@@ -1,0 +1,116 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every paper artifact (the experiment reports
+   E-FIG1 .. E-BASE of DESIGN.md — this theory paper has no numbered
+   tables, so experiments are indexed by theorem/figure).
+
+   Part 2 runs Bechamel micro-benchmarks over the core operations, one
+   Test.make per operation, grouped in a single executable as required
+   by the project layout. *)
+
+open Bechamel
+open Toolkit
+open Repro_graph
+open Repro_hub
+open Repro_core
+
+let rng () = Random.State.make [| 20190721 |]
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmark fixtures (built once, outside the timed region).    *)
+
+let grid16 = Generators.grid ~rows:16 ~cols:16
+let sparse2000 = Generators.random_connected (rng ()) ~n:2000 ~m:4000
+let wsparse2000 = Wgraph.of_unweighted sparse2000
+let path128 = Generators.path 128
+let labels_grid16 = Pll.build grid16
+let labels_sparse = Pll.build sparse2000
+
+let query_pairs =
+  let r = rng () in
+  Array.init 1024 (fun _ ->
+      (Random.State.int r 2000, Random.State.int r 2000))
+
+let bipartite_instance =
+  let r = rng () in
+  Repro_matching.Bipartite.create ~left:200 ~right:200
+    (Generators.random_bipartite r ~left:200 ~right:200 ~m:600)
+
+let tree4095 = Generators.balanced_binary_tree ~depth:11
+
+let tests =
+  Test.make_grouped ~name:"hubhard" ~fmt:"%s %s"
+    [
+      Test.make ~name:"bfs sparse-2000"
+        (Staged.stage (fun () -> ignore (Traversal.bfs sparse2000 0)));
+      Test.make ~name:"dijkstra sparse-2000"
+        (Staged.stage (fun () -> ignore (Dijkstra.distances wsparse2000 0)));
+      Test.make ~name:"pll-build grid-16x16"
+        (Staged.stage (fun () -> ignore (Pll.build grid16)));
+      Test.make ~name:"pll-query x1024 sparse-2000"
+        (Staged.stage (fun () ->
+             Array.iter
+               (fun (u, v) -> ignore (Hub_label.query labels_sparse u v))
+               query_pairs));
+      Test.make ~name:"encode labels grid-16x16"
+        (Staged.stage (fun () ->
+             ignore (Repro_labeling.Encoder.encode labels_grid16)));
+      Test.make ~name:"hopcroft-karp 200x200x600"
+        (Staged.stage (fun () ->
+             ignore (Repro_matching.Hopcroft_karp.solve bipartite_instance)));
+      Test.make ~name:"behrend n=10000"
+        (Staged.stage (fun () -> ignore (Repro_rs.Behrend.construct 10_000)));
+      Test.make ~name:"rs-graph c=4 d=4"
+        (Staged.stage (fun () -> ignore (Repro_rs.Rs_graph.build ~c:4 ~d:4)));
+      Test.make ~name:"grid-graph b=2 l=2"
+        (Staged.stage (fun () -> ignore (Grid_graph.create ~b:2 ~l:2 ())));
+      Test.make ~name:"gadget b=2 l=1"
+        (Staged.stage (fun () ->
+             ignore (Degree_gadget.build (Grid_graph.create ~b:2 ~l:1 ()))));
+      Test.make ~name:"rs-hub d=4 path-128"
+        (Staged.stage (fun () ->
+             ignore (Rs_hub.build ~rng:(rng ()) ~d:4 path128)));
+      Test.make ~name:"tree-label n=4095"
+        (Staged.stage (fun () ->
+             ignore (Repro_labeling.Tree_label.build tree4095)));
+      Test.make ~name:"random-hitting d=6 grid-16x16"
+        (Staged.stage (fun () ->
+             ignore (Random_hitting.build ~rng:(rng ()) ~d:6 grid16)));
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
+  in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  (results, raw_results)
+
+let () = Bechamel_notty.Unit.add Instance.monotonic_clock "ns"
+
+let img (window, results) =
+  Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+    ~predictor:Measure.run results
+
+open Notty_unix
+
+let () =
+  (* Part 1: paper-artifact experiment reports. *)
+  Repro_experiments.Experiments.run_all ();
+  (* Part 2: micro-benchmarks. *)
+  print_newline ();
+  print_endline "=== Bechamel micro-benchmarks (monotonic clock) ===";
+  let window =
+    match winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 100; h = 1 }
+  in
+  let results, _ = benchmark () in
+  img (window, results) |> eol |> output_image

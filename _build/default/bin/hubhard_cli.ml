@@ -1,0 +1,271 @@
+(* Command-line driver for the reproduction: run experiments, check the
+   paper's lemmas on chosen parameters, build labelings over generated
+   graphs, and exercise the Sum-Index protocol. *)
+
+open Cmdliner
+open Repro_graph
+open Repro_hub
+open Repro_core
+
+(* ---------------------------------------------------------------- *)
+(* shared arguments                                                   *)
+
+let seed_arg =
+  let doc = "Random seed (all commands are deterministic given the seed)." in
+  Arg.(value & opt int 20190721 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let b_arg =
+  let doc = "Side-length parameter b (s = 2^b)." in
+  Arg.(value & opt int 2 & info [ "b" ] ~docv:"B" ~doc)
+
+let l_arg =
+  let doc = "Level parameter l." in
+  Arg.(value & opt int 1 & info [ "l" ] ~docv:"L" ~doc)
+
+let rng_of seed = Random.State.make [| seed |]
+
+(* ---------------------------------------------------------------- *)
+(* exp                                                                *)
+
+let exp_cmd =
+  let id =
+    let doc =
+      "Experiment id (E-FIG1, E-THM21, E-THM11, E-THM41, E-THM16, E-RS, \
+       E-BASE, E-ORACLE, E-ABL, E-HWY) or 'all'."
+    in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
+  in
+  let run id =
+    if String.lowercase_ascii id = "all" then begin
+      Repro_experiments.Experiments.run_all ();
+      `Ok ()
+    end
+    else
+      match Repro_experiments.Experiments.find id with
+      | Some f ->
+          f ();
+          `Ok ()
+      | None ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown experiment %S; known ids: %s" id
+                (String.concat ", "
+                   (List.map
+                      (fun (i, _, _) -> i)
+                      Repro_experiments.Experiments.all)) )
+  in
+  let doc = "Run a reproduction experiment (or all of them)." in
+  Cmd.v (Cmd.info "exp" ~doc) Term.(ret (const run $ id))
+
+(* ---------------------------------------------------------------- *)
+(* lemma                                                              *)
+
+let lemma_cmd =
+  let gadget =
+    let doc = "Also check the unweighted degree-3 gadget G_{b,l} (slower)." in
+    Arg.(value & flag & info [ "gadget" ] ~doc)
+  in
+  let run b l with_gadget =
+    let grid = Grid_graph.create ~b ~l () in
+    let report name (c : Lower_bound.lemma_check) =
+      Printf.printf
+        "%s: %d valid pairs; failures: uniqueness=%d midpoint=%d distance=%d\n"
+        name c.Lower_bound.pairs_checked c.Lower_bound.unique_failures
+        c.Lower_bound.midpoint_failures c.Lower_bound.distance_failures
+    in
+    Printf.printf "H_{%d,%d}: %d vertices, %d edges, A=%d\n" b l
+      (Grid_graph.n grid)
+      (Wgraph.m grid.Grid_graph.graph)
+      grid.Grid_graph.a_weight;
+    report "Lemma 2.2 on H" (Lower_bound.check_lemma22_grid grid);
+    if with_gadget then begin
+      let gadget = Degree_gadget.build grid in
+      Printf.printf "G_{%d,%d}: %d vertices, max degree %d (bound %d)\n" b l
+        (Degree_gadget.n gadget)
+        (Graph.max_degree gadget.Degree_gadget.graph)
+        (Degree_gadget.theorem21_node_bound gadget);
+      report "Lemma 2.2 on G" (Lower_bound.check_lemma22_gadget gadget);
+      Printf.printf "counting bound s^l(s/2)^l = %d; certified avg-hub LB = %g\n"
+        (Lower_bound.counting_bound grid)
+        (Lower_bound.avg_hub_size_lower_bound_measured gadget)
+    end
+  in
+  let doc = "Exhaustively verify Lemma 2.2 on H_{b,l} (and optionally G_{b,l})." in
+  Cmd.v (Cmd.info "lemma" ~doc) Term.(const run $ b_arg $ l_arg $ gadget)
+
+(* ---------------------------------------------------------------- *)
+(* label                                                              *)
+
+let graph_of_kind rng kind n =
+  match kind with
+  | "path" -> Generators.path n
+  | "cycle" -> Generators.cycle n
+  | "grid" ->
+      let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+      Generators.grid ~rows:side ~cols:side
+  | "tree" -> Generators.random_tree rng n
+  | "sparse" -> Generators.random_connected rng ~n ~m:(2 * n)
+  | "deg3" -> Generators.random_bounded_degree rng ~n ~d:3
+  | "road" ->
+      let side = max 3 (int_of_float (sqrt (float_of_int n))) in
+      Generators.grid_with_shortcuts rng ~rows:side ~cols:side
+        ~shortcuts:(side * 2)
+  | other -> invalid_arg (Printf.sprintf "unknown graph kind %S" other)
+
+let label_cmd =
+  let kind =
+    let doc = "Graph kind: path, cycle, grid, tree, sparse, deg3, road." in
+    Arg.(value & opt string "sparse" & info [ "graph" ] ~docv:"KIND" ~doc)
+  in
+  let n =
+    let doc = "Number of vertices (approximate for grid/road)." in
+    Arg.(value & opt int 256 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let scheme =
+    let doc =
+      "Labeling scheme: pll, greedy, randhit, rshub, rshub-sparse, tree, sep, \
+       approx (additive error <= 2)."
+    in
+    Arg.(value & opt string "pll" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+  in
+  let d =
+    let doc = "Threshold parameter D for randhit / rshub." in
+    Arg.(value & opt int 6 & info [ "d" ] ~docv:"D" ~doc)
+  in
+  let verify =
+    let doc = "Exhaustively verify the labeling is an exact cover." in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let run kind n scheme d verify seed =
+    let rng = rng_of seed in
+    match
+      let g = graph_of_kind rng kind n in
+      let labels =
+        match scheme with
+        | "pll" -> Pll.build g
+        | "greedy" -> Greedy_landmark.build g
+        | "randhit" -> fst (Random_hitting.build ~rng ~d g)
+        | "rshub" -> fst (Rs_hub.build ~rng ~d g)
+        | "rshub-sparse" -> fst (Rs_hub.build_sparse ~rng ~d g)
+        | "tree" -> Repro_labeling.Tree_label.build g
+        | "sep" -> Separator_label.build g
+        | "approx" -> (Approx_hub.build g).Approx_hub.labels
+        | other -> invalid_arg (Printf.sprintf "unknown scheme %S" other)
+      in
+      (g, labels)
+    with
+    | g, labels ->
+        Printf.printf "graph: n=%d m=%d maxdeg=%d\n" (Graph.n g) (Graph.m g)
+          (Graph.max_degree g);
+        print_endline (Hub_stats.report labels);
+        if verify then
+          Printf.printf "exact cover: %b\n" (Cover.verify g labels);
+        `Ok ()
+    | exception Invalid_argument msg -> `Error (false, msg)
+  in
+  let doc = "Build a hub labeling over a generated graph and report sizes." in
+  Cmd.v
+    (Cmd.info "label" ~doc)
+    Term.(ret (const run $ kind $ n $ scheme $ d $ verify $ seed_arg))
+
+(* ---------------------------------------------------------------- *)
+(* sumindex                                                           *)
+
+let sumindex_cmd =
+  let string_arg =
+    let doc =
+      "Shared bit string (e.g. 0110). Must have length (2^(b-1))^l; random \
+       if omitted."
+    in
+    Arg.(value & opt (some string) None & info [ "string" ] ~docv:"BITS" ~doc)
+  in
+  let run b l s_opt seed =
+    match Si_reduction.params ~b ~l with
+    | p ->
+        let m = p.Si_reduction.m in
+        let s =
+          match s_opt with
+          | None -> Sum_index.random_instance (rng_of seed) m
+          | Some str ->
+              if String.length str <> m then
+                invalid_arg
+                  (Printf.sprintf "string must have length m = %d" m)
+              else Array.init m (fun i -> str.[i] = '1')
+        in
+        Printf.printf "Sum-Index universe m = %d, string = %s\n" m
+          (String.concat ""
+             (List.map (fun b -> if b then "1" else "0") (Array.to_list s)));
+        let proto = Si_reduction.protocol p in
+        let ok = Sum_index.correct_on proto s in
+        let ma, mb = Sum_index.max_message_bits proto s in
+        let tr = Sum_index.trivial ~n:m in
+        let ta, tb = Sum_index.max_message_bits tr s in
+        Printf.printf
+          "Theorem 1.6 protocol: correct on all %d index pairs: %b\n" (m * m)
+          ok;
+        Printf.printf "message bits: alice=%d bob=%d (trivial: %d+%d)\n" ma mb
+          ta tb;
+        Printf.printf "SUMINDEX lower bound sqrt(m) = %.2f bits\n"
+          (Sum_index.sqrt_lower_bound_bits m);
+        `Ok ()
+    | exception Invalid_argument msg -> `Error (false, msg)
+  in
+  let doc = "Run the Theorem 1.6 Sum-Index protocol end to end." in
+  Cmd.v
+    (Cmd.info "sumindex" ~doc)
+    Term.(ret (const run $ b_arg $ l_arg $ string_arg $ seed_arg))
+
+(* ---------------------------------------------------------------- *)
+(* gen                                                                *)
+
+let gen_cmd =
+  let kind =
+    let doc = "Graph kind: path, cycle, grid, tree, sparse, deg3, road." in
+    Arg.(value & pos 0 string "sparse" & info [] ~docv:"KIND" ~doc)
+  in
+  let n =
+    let doc = "Number of vertices." in
+    Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let run kind n seed =
+    match graph_of_kind (rng_of seed) kind n with
+    | g ->
+        print_string (Graph_io.to_string g);
+        `Ok ()
+    | exception Invalid_argument msg -> `Error (false, msg)
+  in
+  let doc = "Generate a graph and print it in edge-list format." in
+  Cmd.v (Cmd.info "gen" ~doc) Term.(ret (const run $ kind $ n $ seed_arg))
+
+(* ---------------------------------------------------------------- *)
+(* check                                                              *)
+
+let check_cmd =
+  let run seed =
+    let verdicts = Theorems.check_all ~seed in
+    List.iter
+      (fun vd -> Format.printf "%a@." Theorems.pp_verdict vd)
+      verdicts;
+    let failures =
+      List.length (List.filter (fun vd -> not vd.Theorems.holds) verdicts)
+    in
+    if failures = 0 then begin
+      Printf.printf "all %d theorem checks passed\n" (List.length verdicts);
+      `Ok ()
+    end
+    else `Error (false, Printf.sprintf "%d theorem checks FAILED" failures)
+  in
+  let doc = "Run the consolidated theorem-certificate battery." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(ret (const run $ seed_arg))
+
+(* ---------------------------------------------------------------- *)
+
+let default =
+  let doc =
+    "Reproduction of 'Hardness of exact distance queries in sparse graphs \
+     through hub labeling' (PODC 2019)."
+  in
+  let info = Cmd.info "hubhard" ~version:"1.0.0" ~doc in
+  Cmd.group info [ exp_cmd; lemma_cmd; label_cmd; sumindex_cmd; gen_cmd; check_cmd ]
+
+let () = exit (Cmd.eval default)

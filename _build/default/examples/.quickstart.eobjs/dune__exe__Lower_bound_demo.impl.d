@@ -1,0 +1,1 @@
+examples/lower_bound_demo.ml: Array Cover Degree_gadget Graph Grid_graph Hub_label Lower_bound Pll Printf Repro_core Repro_graph Repro_hub Wgraph

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cover Format Generators Graph Hub_label List Pll Printf Random Repro_graph Repro_hub Repro_labeling Traversal

@@ -1,0 +1,1 @@
+examples/road_network.ml: Array Cover Generators Graph Hub_label List Order Pll Printf Random Random_hitting Repro_graph Repro_hub Sys

@@ -1,0 +1,1 @@
+examples/rs_matchings_demo.ml: Ap_free Behrend Induced_matching List Printf Repro_rs Rs_bounds Rs_graph String

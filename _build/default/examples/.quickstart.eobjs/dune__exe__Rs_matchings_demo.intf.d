@@ -1,0 +1,1 @@
+examples/rs_matchings_demo.mli:

@@ -1,0 +1,1 @@
+examples/sum_index_demo.ml: Array List Printf Random Repro_core Repro_labeling Si_reduction String Sum_index

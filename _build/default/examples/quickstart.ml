@@ -1,0 +1,44 @@
+(* Quickstart: build a sparse graph, compute a hub labeling, answer
+   distance queries from labels alone, and verify exactness.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Repro_graph
+open Repro_hub
+
+let () =
+  (* A random connected sparse graph: n = 500 vertices, m = 2n edges. *)
+  let rng = Random.State.make [| 42 |] in
+  let g = Generators.random_connected rng ~n:500 ~m:1000 in
+  Printf.printf "graph: %d vertices, %d edges, max degree %d\n" (Graph.n g)
+    (Graph.m g) (Graph.max_degree g);
+
+  (* Pruned Landmark Labeling: the standard practical 2-hop cover. *)
+  let labels = Pll.build g in
+  Printf.printf "hub labeling: %s\n"
+    (Format.asprintf "%a" Hub_label.pp labels);
+
+  (* Distance queries straight from the labels. *)
+  let bfs0 = Traversal.bfs g 0 in
+  List.iter
+    (fun v ->
+      let d = Hub_label.query labels 0 v in
+      Printf.printf "dist(0, %d) = %d (BFS agrees: %b)\n" v d (d = bfs0.(v)))
+    [ 1; 100; 250; 499 ];
+
+  (* The optimal meeting hub of a query. *)
+  (match Hub_label.query_meet labels 0 499 with
+  | Some (hub, d) -> Printf.printf "pair (0, 499) meets at hub %d, dist %d\n" hub d
+  | None -> print_endline "pair (0, 499) disconnected");
+
+  (* Exhaustive exactness check (the 2-hop cover property). *)
+  Printf.printf "exact on all %d pairs: %b\n"
+    (Graph.n g * (Graph.n g + 1) / 2)
+    (Cover.verify g labels);
+
+  (* Binary distance labels: encode, then answer from bits alone. *)
+  let encoded = Repro_labeling.Encoder.encode labels in
+  Printf.printf "binary labels: %.1f bits/vertex on average\n"
+    (Repro_labeling.Encoder.avg_bits encoded);
+  Printf.printf "query from binary labels: dist(0, 499) = %d\n"
+    (Repro_labeling.Encoder.query_encoded encoded.(0) encoded.(499))

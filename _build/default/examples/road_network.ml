@@ -1,0 +1,64 @@
+(* The practical motivation of §1.1: hub labels answer shortest-path
+   queries on transportation-like networks fast, with modest space.
+
+   We build a grid-with-shortcuts "road network", compare three
+   labelings (PLL under two vertex orders, and the random-hitting-set
+   scheme of the sparse-graph upper bounds), and measure label size and
+   query throughput.
+
+   Run with: dune exec examples/road_network.exe *)
+
+open Repro_graph
+open Repro_hub
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let () =
+  let rng = Random.State.make [| 2019 |] in
+  let rows = 24 and cols = 24 in
+  let g = Generators.grid_with_shortcuts rng ~rows ~cols ~shortcuts:48 in
+  Printf.printf "road network: %d intersections, %d segments\n" (Graph.n g)
+    (Graph.m g);
+
+  let schemes =
+    [
+      ("PLL (degree order)", fun () -> Pll.build g);
+      ( "PLL (closeness order)",
+        fun () ->
+          let order = Order.by_closeness_sample g ~rng ~samples:24 in
+          Pll.build ~order g );
+      ( "random hitting (D=8)",
+        fun () -> fst (Random_hitting.build ~rng ~d:8 g) );
+    ]
+  in
+  let n = Graph.n g in
+  let queries =
+    Array.init 50_000 (fun _ -> (Random.State.int rng n, Random.State.int rng n))
+  in
+  List.iter
+    (fun (name, build) ->
+      let labels, build_time = time build in
+      assert (Cover.verify_sampled g labels ~rng ~samples:5);
+      let (), query_time =
+        time (fun () ->
+            Array.iter
+              (fun (u, v) -> ignore (Hub_label.query labels u v))
+              queries)
+      in
+      Printf.printf
+        "%-22s avg hubs %6.1f  built in %5.2fs  %8.0f queries/s\n" name
+        (Hub_label.avg_size labels) build_time
+        (float_of_int (Array.length queries) /. max query_time 1e-9))
+    schemes;
+
+  (* A sample route, reconstructed hop by hop through meeting hubs. *)
+  let labels = Pll.build g in
+  let src = 0 and dst = (rows * cols) - 1 in
+  match Hub_label.query_meet labels src dst with
+  | None -> print_endline "no route"
+  | Some (hub, d) ->
+      Printf.printf
+        "route corner-to-corner: %d segments, via hub intersection %d\n" d hub

@@ -1,0 +1,54 @@
+(* Theorem 1.6 in action: distance labels of a sparse max-degree-3
+   graph solve the Sum-Index communication problem.
+
+   Alice and Bob share a bit string S. Each builds the graph G'_{b,l}
+   whose middle layer encodes S, labels it deterministically, and sends
+   the referee just one binary vertex label (plus their index). The
+   referee recovers S_{(a+b) mod m} from the two labels alone.
+
+   Run with: dune exec examples/sum_index_demo.exe *)
+
+open Repro_core
+
+let () =
+  let p = Si_reduction.params ~b:3 ~l:1 in
+  let m = p.Si_reduction.m in
+  Printf.printf "parameters: b=3 l=1 -> universe m = %d\n" m;
+
+  let rng = Random.State.make [| 7 |] in
+  let s = Sum_index.random_instance rng m in
+  Printf.printf "shared string S = %s\n"
+    (String.concat ""
+       (List.map (fun b -> if b then "1" else "0") (Array.to_list s)));
+
+  let proto = Si_reduction.protocol p in
+
+  (* One run, spelled out. *)
+  let a = 1 and b = 2 in
+  let ma = proto.Sum_index.alice s a in
+  let mb = proto.Sum_index.bob s b in
+  Printf.printf "Alice (a=%d) sends %d bits; Bob (b=%d) sends %d bits\n" a
+    (Repro_labeling.Bitvec.length ma)
+    b
+    (Repro_labeling.Bitvec.length mb);
+  let answer = proto.Sum_index.referee ma mb in
+  Printf.printf "referee outputs %b; ground truth S[(%d+%d) mod %d] = %b\n"
+    answer a b m (Sum_index.answer s a b);
+
+  (* Exhaustive check over every index pair. *)
+  Printf.printf "correct on all %d pairs: %b\n" (m * m)
+    (Sum_index.correct_on proto s);
+
+  (* Compare with the trivial protocol. *)
+  let tr = Sum_index.trivial ~n:m in
+  let ta, tb = Sum_index.max_message_bits tr s in
+  let ga, gb = Sum_index.max_message_bits proto s in
+  Printf.printf
+    "message sizes: graph-derived %d+%d bits, trivial %d+%d bits,\n\
+     SUMINDEX(m) lower bound ~ sqrt(m) = %.2f bits\n"
+    ga gb ta tb
+    (Sum_index.sqrt_lower_bound_bits m);
+  print_endline
+    "(the reduction runs in the lower-bound direction: small distance\n\
+     labels would imply small Sum-Index messages, so Sum-Index hardness\n\
+     bounds distance-label size from below)"

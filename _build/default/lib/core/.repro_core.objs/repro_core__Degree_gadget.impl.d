@@ -1,0 +1,1 @@
+lib/core/degree_gadget.ml: Array Graph Grid_graph List Repro_graph Wgraph

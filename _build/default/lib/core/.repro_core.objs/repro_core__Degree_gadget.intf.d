@@ -1,0 +1,1 @@
+lib/core/degree_gadget.mli: Graph Grid_graph Repro_graph

@@ -1,0 +1,1 @@
+lib/core/grid_graph.ml: Array Repro_graph Wgraph

@@ -1,0 +1,1 @@
+lib/core/grid_graph.mli: Repro_graph Wgraph

@@ -1,0 +1,1 @@
+lib/core/hubhard.mli: Repro_graph Repro_hub Repro_labeling Repro_matching Repro_route Repro_rs

@@ -1,0 +1,1 @@
+lib/core/lower_bound.ml: Array Degree_gadget Dijkstra Graph Grid_graph Hub_label List Monotone Repro_graph Repro_hub Traversal

@@ -1,0 +1,1 @@
+lib/core/lower_bound.mli: Degree_gadget Grid_graph Hub_label Repro_hub

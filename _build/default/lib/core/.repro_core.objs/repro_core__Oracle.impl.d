@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Apsp Array Graph Hub_label Repro_graph Repro_hub Traversal

@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Graph Hub_label Repro_graph Repro_hub

@@ -1,0 +1,1 @@
+lib/core/rs_hub.ml: Array Dijkstra Dist Graph Hashtbl Hub_label List Random Repro_graph Repro_hub Repro_matching Repro_rs Subdivide Traversal Wgraph

@@ -1,0 +1,1 @@
+lib/core/rs_hub.mli: Graph Hub_label Random Repro_graph Repro_hub Wgraph

@@ -1,0 +1,1 @@
+lib/core/si_reduction.ml: Array Bit_io Bitvec Degree_gadget Encoder Grid_graph Hashtbl Hub_label List Pll Printf Repro_hub Repro_labeling Sum_index

@@ -1,0 +1,1 @@
+lib/core/si_reduction.mli: Grid_graph Sum_index

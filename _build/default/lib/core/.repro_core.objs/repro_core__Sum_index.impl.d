@@ -1,0 +1,1 @@
+lib/core/sum_index.ml: Array Bit_io Bitvec List Random Repro_labeling

@@ -1,0 +1,1 @@
+lib/core/sum_index.mli: Bitvec Random Repro_labeling

@@ -1,0 +1,1 @@
+lib/core/theorems.ml: Array Cover Degree_gadget Format Generators Graph Grid_graph Hub_label Lower_bound Pll Printf Random Repro_graph Repro_hub Rs_hub Si_reduction Sum_index

@@ -1,0 +1,1 @@
+lib/core/theorems.mli: Format Graph Random Repro_graph

@@ -1,0 +1,1 @@
+lib/core/tz_oracle.ml: Array Dist Graph List Random Repro_graph Traversal

@@ -1,0 +1,1 @@
+lib/core/tz_oracle.mli: Graph Random Repro_graph

@@ -1,0 +1,97 @@
+open Repro_graph
+
+type t = { grid : Grid_graph.t; graph : Graph.t; anchor : int array }
+
+(* A fresh-vertex allocator over a growing edge list. *)
+type builder = { mutable next : int; mutable edges : (int * int) list }
+
+let fresh bld =
+  let v = bld.next in
+  bld.next <- v + 1;
+  v
+
+let link bld u v = bld.edges <- (u, v) :: bld.edges
+
+(* Build a perfectly balanced binary tree with [leaves = 2^depth]
+   leaves below [root]; returns the leaf ids in left-to-right order. *)
+let rec grow_tree bld root depth =
+  if depth = 0 then [ root ]
+  else begin
+    let left = fresh bld in
+    let right = fresh bld in
+    link bld root left;
+    link bld root right;
+    grow_tree bld left (depth - 1) @ grow_tree bld right (depth - 1)
+  end
+
+let build (grid : Grid_graph.t) =
+  let open Grid_graph in
+  let hb = grid.graph in
+  let nh = Wgraph.n hb in
+  let bld = { next = 0; edges = [] } in
+  let anchor = Array.make nh (-1) in
+  (* in_leaf.(v).(value) / out_leaf.(v).(value): the leaf of T_in(v) /
+     T_out(v) indexed by the changing coordinate's value. *)
+  let in_leaf = Array.make nh [||] in
+  let out_leaf = Array.make nh [||] in
+  let two_l = 2 * grid.l in
+  for v = 0 to nh - 1 do
+    let level, _ = Grid_graph.coords grid v in
+    if not (Grid_graph.is_removed grid v) then begin
+      let a = fresh bld in
+      anchor.(v) <- a;
+      if level > 0 then begin
+        let root = fresh bld in
+        link bld a root;
+        in_leaf.(v) <- Array.of_list (grow_tree bld root grid.b)
+      end;
+      if level < two_l then begin
+        let root = fresh bld in
+        link bld a root;
+        out_leaf.(v) <- Array.of_list (grow_tree bld root grid.b)
+      end
+    end
+  done;
+  (* Connect leaves by subdivided paths of length w - 2b - 2. *)
+  List.iter
+    (fun (u, v, w) ->
+      (* orient the edge from the lower level to the higher one *)
+      let lu, _ = Grid_graph.coords grid u in
+      let lv, _ = Grid_graph.coords grid v in
+      let u, v = if lu < lv then (u, v) else (v, u) in
+      let _, vec_u = Grid_graph.coords grid u in
+      let _, vec_v = Grid_graph.coords grid v in
+      let i, _ = Grid_graph.coords grid u in
+      let c = Grid_graph.edge_coordinate grid i in
+      let path_len = w - (2 * grid.b) - 2 in
+      assert (path_len >= 1);
+      let start = out_leaf.(u).(vec_v.(c)) in
+      let stop = in_leaf.(v).(vec_u.(c)) in
+      let prev = ref start in
+      for _ = 1 to path_len - 1 do
+        let x = fresh bld in
+        link bld !prev x;
+        prev := x
+      done;
+      link bld !prev stop)
+    (Wgraph.edges hb);
+  { grid; graph = Graph.of_edges ~n:bld.next bld.edges; anchor }
+
+let anchor_of t v =
+  let a = t.anchor.(v) in
+  if a < 0 then invalid_arg "Degree_gadget.anchor_of: removed grid vertex";
+  a
+
+let is_anchor t g =
+  let found = ref None in
+  Array.iteri (fun v a -> if a = g then found := Some v) t.anchor;
+  !found
+
+let n t = Graph.n t.graph
+
+let theorem21_node_bound t =
+  let open Grid_graph in
+  let s = t.grid.s in
+  let l = t.grid.l in
+  let sl = t.grid.per_level in
+  (4 * s * sl * ((2 * l) + 1)) + (((3 * l) + 1) * s * s * sl * 2 * l * s)

@@ -1,0 +1,41 @@
+(** The degree-reduction gadget of Theorem 2.1: converts the weighted
+    layered graph [H_{b,ℓ}] into the unweighted graph [G_{b,ℓ}] with
+    maximum degree 3.
+
+    Each grid vertex [v] receives two perfectly balanced binary trees
+    [T_in(v)] and [T_out(v)] of depth [b] with [s = 2^b] leaves, both
+    roots linked to [v] by an edge ([T_in] omitted at level 0, [T_out]
+    at level [2ℓ]). The leaf of [T_out(u)] (resp. [T_in(v)]) designated
+    by the changing coordinate's new (resp. old) value is connected to
+    its counterpart by a path of [w(e) - 2b - 2] unit edges, so the
+    [u .. v] walk through the gadget has length exactly [w(e)].
+
+    Consequently (last step of the proof of Lemma 2.2) distances
+    between anchors of grid vertices on different levels coincide with
+    the [H_{b,ℓ}] distances, shortest paths between valid extreme pairs
+    stay unique, and they pass through the midpoint's anchor. *)
+
+open Repro_graph
+
+type t = {
+  grid : Grid_graph.t;
+  graph : Graph.t;  (** the unweighted [G_{b,ℓ}], max degree 3 *)
+  anchor : int array;  (** grid vertex id -> its anchor vertex in [graph] *)
+}
+
+val build : Grid_graph.t -> t
+
+val anchor_of : t -> int -> int
+(** Anchor of a grid vertex. *)
+
+val is_anchor : t -> int -> int option
+(** If the gadget vertex is the anchor of a grid vertex, that grid
+    vertex. *)
+
+val n : t -> int
+(** Number of vertices of [G_{b,ℓ}]. *)
+
+val theorem21_node_bound : t -> int
+(** The right-hand side of the size estimate in the proof:
+    [4s·s^ℓ·(2ℓ+1) + (3ℓ+1)s²·s^ℓ·2ℓ·s] — our construction must stay
+    within it. *)

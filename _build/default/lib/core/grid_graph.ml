@@ -1,0 +1,147 @@
+open Repro_graph
+
+type t = {
+  b : int;
+  l : int;
+  s : int;
+  per_level : int;
+  a_weight : int;
+  graph : Wgraph.t;
+  removed_mid : bool array;
+}
+
+let ipow base e =
+  let rec go acc e = if e = 0 then acc else go (acc * base) (e - 1) in
+  go 1 e
+
+let code_vec ~s ~l vec =
+  if Array.length vec <> l then invalid_arg "Grid_graph: bad vector length";
+  let acc = ref 0 in
+  for k = l - 1 downto 0 do
+    if vec.(k) < 0 || vec.(k) >= s then
+      invalid_arg "Grid_graph: coordinate out of range";
+    acc := (!acc * s) + vec.(k)
+  done;
+  !acc
+
+let decode_vec ~s ~l idx =
+  let v = Array.make l 0 in
+  let rest = ref idx in
+  for k = 0 to l - 1 do
+    v.(k) <- !rest mod s;
+    rest := !rest / s
+  done;
+  v
+
+let edge_coordinate_raw ~l i =
+  (* paper (1-indexed): c = i+1 for i < l, c = 2l - i for i >= l *)
+  if i < l then i else (2 * l) - i - 1
+
+let create ?remove_mid ~b ~l () =
+  if b < 1 || l < 1 then invalid_arg "Grid_graph.create: need b, l >= 1";
+  let s = 1 lsl b in
+  let per_level = ipow s l in
+  if per_level > 1_000_000 then
+    invalid_arg "Grid_graph.create: s^l too large for experiment scale";
+  let a_weight = 3 * l * s * s in
+  let removed_mid = Array.make per_level false in
+  (match remove_mid with
+  | None -> ()
+  | Some pred ->
+      for idx = 0 to per_level - 1 do
+        removed_mid.(idx) <- pred (decode_vec ~s ~l idx)
+      done);
+  let vertex_id level idx = (level * per_level) + idx in
+  let is_removed_id level idx = level = l && removed_mid.(idx) in
+  let edges = ref [] in
+  for i = 0 to (2 * l) - 1 do
+    let c = edge_coordinate_raw ~l i in
+    let stride = ipow s c in
+    for idx = 0 to per_level - 1 do
+      if not (is_removed_id i idx) then begin
+        let jc = idx / stride mod s in
+        for jc' = 0 to s - 1 do
+          (* change coordinate c from jc to jc' *)
+          let idx' = idx + ((jc' - jc) * stride) in
+          if not (is_removed_id (i + 1) idx') then begin
+            let diff = jc - jc' in
+            let w = a_weight + (diff * diff) in
+            edges := (vertex_id i idx, vertex_id (i + 1) idx', w) :: !edges
+          end
+        done
+      end
+    done
+  done;
+  let n = ((2 * l) + 1) * per_level in
+  {
+    b;
+    l;
+    s;
+    per_level;
+    a_weight;
+    graph = Wgraph.of_edges ~n !edges;
+    removed_mid;
+  }
+
+let n t = Wgraph.n t.graph
+let code t vec = code_vec ~s:t.s ~l:t.l vec
+let decode t idx = decode_vec ~s:t.s ~l:t.l idx
+
+let vertex t ~level vec =
+  if level < 0 || level > 2 * t.l then invalid_arg "Grid_graph.vertex: level";
+  (level * t.per_level) + code t vec
+
+let coords t id =
+  if id < 0 || id >= n t then invalid_arg "Grid_graph.coords";
+  (id / t.per_level, decode t (id mod t.per_level))
+
+let is_removed t id =
+  let level, vec = coords t id in
+  level = t.l && t.removed_mid.(code t vec)
+
+let edge_coordinate t i =
+  if i < 0 || i >= 2 * t.l then invalid_arg "Grid_graph.edge_coordinate";
+  edge_coordinate_raw ~l:t.l i
+
+let midpoint x z =
+  Array.init (Array.length x) (fun k ->
+      let d = z.(k) - x.(k) in
+      if d land 1 <> 0 then invalid_arg "Grid_graph.midpoint: odd difference";
+      x.(k) + (d / 2))
+
+let valid_pair t x z =
+  Array.length x = t.l
+  && Array.length z = t.l
+  &&
+  let ok = ref true in
+  for k = 0 to t.l - 1 do
+    if (z.(k) - x.(k)) land 1 <> 0 then ok := false
+  done;
+  !ok
+
+let expected_distance t x z =
+  if not (valid_pair t x z) then
+    invalid_arg "Grid_graph.expected_distance: invalid pair";
+  let sq = ref 0 in
+  for k = 0 to t.l - 1 do
+    let d = z.(k) - x.(k) in
+    sq := !sq + (d * d)
+  done;
+  (2 * t.l * t.a_weight) + (!sq / 2)
+
+let bottom t x = vertex t ~level:0 x
+let top t z = vertex t ~level:(2 * t.l) z
+let middle t y = vertex t ~level:t.l y
+
+let iter_vectors t f =
+  for idx = 0 to t.per_level - 1 do
+    f (decode t idx)
+  done
+
+let iter_even_vectors t f =
+  let half = t.s / 2 in
+  let count = ipow half t.l in
+  for idx = 0 to count - 1 do
+    let v = decode_vec ~s:half ~l:t.l idx in
+    f (Array.map (fun x -> 2 * x) v)
+  done

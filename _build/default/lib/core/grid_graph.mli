@@ -1,0 +1,85 @@
+(** The weighted layered graph [H_{b,ℓ}] of Theorem 2.1 (Figure 1).
+
+    Parameters: [b >= 1] (side-length parameter, [s = 2^b]) and
+    [ℓ >= 1] (number of levels on each side of the middle). The vertex
+    set is [⋃_{i=0}^{2ℓ} V_i] with [V_i ≅ [0, s-1]^ℓ]; an edge joins
+    [v_{i,j}] and [v_{i+1,j'}] when the vectors agree outside the
+    designated coordinate [c(i)] ([c = i+1] for [i < ℓ], [c = 2ℓ-i]
+    for [i >= ℓ], 1-indexed), with weight [A + (j_c - j'_c)²] where
+    [A = 3ℓs²].
+
+    Lemma 2.2: for [x, z] with all coordinates of [z - x] even, the
+    shortest [v_{0,x} .. v_{2ℓ,z}] path is unique and passes through
+    the midpoint [v_{ℓ,(x+z)/2}] — {!Lower_bound} checks this
+    exhaustively, {!Si_reduction} exploits it.
+
+    The optional removal predicate deletes middle-layer vertices (their
+    incident edges are dropped; identifiers stay stable), producing the
+    graph [G'_{b,ℓ}] of Theorem 1.6. *)
+
+open Repro_graph
+
+type t = {
+  b : int;
+  l : int;
+  s : int;  (** side length, [2^b] *)
+  per_level : int;  (** [s^ℓ] *)
+  a_weight : int;  (** [A = 3ℓs²] *)
+  graph : Wgraph.t;
+  removed_mid : bool array;  (** by middle-layer vector code *)
+}
+
+val create : ?remove_mid:(int array -> bool) -> b:int -> l:int -> unit -> t
+(** @raise Invalid_argument for [b < 1], [l < 1], or parameters so
+    large that [s^ℓ] overflows the intended experiment scale
+    ([s^ℓ > 10⁶]). *)
+
+val n : t -> int
+(** Number of vertices, [(2ℓ+1) s^ℓ]. *)
+
+val code : t -> int array -> int
+(** Mixed-radix code of a coordinate vector in [[0, s-1]^ℓ]. *)
+
+val decode : t -> int -> int array
+
+val vertex : t -> level:int -> int array -> int
+(** Vertex identifier of [v_{level, vec}]. *)
+
+val coords : t -> int -> int * int array
+(** Inverse of {!vertex}: [(level, vector)]. *)
+
+val is_removed : t -> int -> bool
+(** Whether this vertex was deleted by the removal predicate (only
+    middle-layer vertices can be). *)
+
+val edge_coordinate : t -> int -> int
+(** [edge_coordinate t i] is the 0-indexed coordinate allowed to change
+    between levels [i] and [i+1]. *)
+
+val midpoint : int array -> int array -> int array
+(** [(x + z) / 2], requiring all coordinate differences even.
+    @raise Invalid_argument otherwise. *)
+
+val valid_pair : t -> int array -> int array -> bool
+(** All coordinates of [z - x] even (the hypothesis of Lemma 2.2). *)
+
+val expected_distance : t -> int array -> int array -> int
+(** The Lemma 2.2 shortest-path length
+    [2ℓA + Σ_k (z_k - x_k)² / 2] between [v_{0,x}] and [v_{2ℓ,z}]
+    (valid pairs only, midpoint present). *)
+
+val bottom : t -> int array -> int
+(** [v_{0,x}]. *)
+
+val top : t -> int array -> int
+(** [v_{2ℓ,z}]. *)
+
+val middle : t -> int array -> int
+(** [v_{ℓ,y}]. *)
+
+val iter_vectors : t -> (int array -> unit) -> unit
+(** Iterate over all of [[0, s-1]^ℓ] (fresh array each call). *)
+
+val iter_even_vectors : t -> (int array -> unit) -> unit
+(** Iterate over [{0, 2, ..., s-2}^ℓ] — the images [2x] used by the
+    Theorem 1.6 protocol. *)

@@ -1,0 +1,59 @@
+(** One-stop public API for the reproduction.
+
+    [Hubhard] re-exports the substrate libraries under stable aliases
+    so that applications can [open Repro_core.Hubhard] (or use
+    qualified paths) without depending on each substrate library
+    individually. The paper-specific modules ({!Grid_graph},
+    {!Degree_gadget}, {!Lower_bound}, {!Rs_hub}, {!Sum_index},
+    {!Si_reduction}) live alongside this module in [Repro_core]. *)
+
+module Graph = Repro_graph.Graph
+module Wgraph = Repro_graph.Wgraph
+module Dist = Repro_graph.Dist
+module Traversal = Repro_graph.Traversal
+module Dijkstra = Repro_graph.Dijkstra
+module Apsp = Repro_graph.Apsp
+module Path = Repro_graph.Path
+module Generators = Repro_graph.Generators
+module Subdivide = Repro_graph.Subdivide
+module Graph_io = Repro_graph.Graph_io
+module Graph_ops = Repro_graph.Graph_ops
+
+module Bipartite = Repro_matching.Bipartite
+module Hopcroft_karp = Repro_matching.Hopcroft_karp
+module Koenig = Repro_matching.Koenig
+
+module Bidirectional = Repro_route.Bidirectional
+module Contraction = Repro_route.Contraction
+module Arc_flags = Repro_route.Arc_flags
+
+module Behrend = Repro_rs.Behrend
+module Ap_free = Repro_rs.Ap_free
+module Rs_graph = Repro_rs.Rs_graph
+module Induced_matching = Repro_rs.Induced_matching
+module Rs_bounds = Repro_rs.Rs_bounds
+
+module Hub_label = Repro_hub.Hub_label
+module Cover = Repro_hub.Cover
+module Pll = Repro_hub.Pll
+module Order = Repro_hub.Order
+module Random_hitting = Repro_hub.Random_hitting
+module Greedy_landmark = Repro_hub.Greedy_landmark
+module Monotone = Repro_hub.Monotone
+module Hub_stats = Repro_hub.Hub_stats
+module Hub_prune = Repro_hub.Hub_prune
+module Approx_hub = Repro_hub.Approx_hub
+module Separator_label = Repro_hub.Separator_label
+module Spc = Repro_hub.Spc
+module Canonical_hhl = Repro_hub.Canonical_hhl
+module Hub_io = Repro_hub.Hub_io
+
+module Bitvec = Repro_labeling.Bitvec
+module Bit_io = Repro_labeling.Bit_io
+module Encoder = Repro_labeling.Encoder
+module Tree_label = Repro_labeling.Tree_label
+module Flat_label = Repro_labeling.Flat_label
+module Sparse_label = Repro_labeling.Sparse_label
+module Distance_label = Repro_labeling.Distance_label
+
+val version : string

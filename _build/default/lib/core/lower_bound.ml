@@ -1,0 +1,123 @@
+open Repro_graph
+open Repro_hub
+
+type lemma_check = {
+  pairs_checked : int;
+  unique_failures : int;
+  midpoint_failures : int;
+  distance_failures : int;
+}
+
+(* Both checkers exploit the point symmetry of the Lemma 2.2 path: the
+   two halves around the midpoint have equal length, so "the midpoint
+   lies on the unique shortest path" is equivalent to
+   [2 · dist(x, mid) = dist(x, z)] once uniqueness holds. *)
+
+let check_with ~dist_and_counts ~vertex_of (grid : Grid_graph.t) =
+  let pairs_checked = ref 0 in
+  let unique_failures = ref 0 in
+  let midpoint_failures = ref 0 in
+  let distance_failures = ref 0 in
+  Grid_graph.iter_vectors grid (fun x ->
+      let dist, num = dist_and_counts (vertex_of `Bottom x) in
+      Grid_graph.iter_vectors grid (fun z ->
+          if Grid_graph.valid_pair grid x z then begin
+            incr pairs_checked;
+            let dst = vertex_of `Top z in
+            let y = Grid_graph.midpoint x z in
+            let mid = vertex_of `Middle y in
+            let expected = Grid_graph.expected_distance grid x z in
+            if dist.(dst) <> expected then incr distance_failures;
+            if num.(dst) <> 1 then incr unique_failures;
+            if 2 * dist.(mid) <> expected then incr midpoint_failures
+          end));
+  {
+    pairs_checked = !pairs_checked;
+    unique_failures = !unique_failures;
+    midpoint_failures = !midpoint_failures;
+    distance_failures = !distance_failures;
+  }
+
+let check_lemma22_grid (grid : Grid_graph.t) =
+  let h = grid.Grid_graph.graph in
+  check_with grid
+    ~dist_and_counts:(fun src ->
+      (Dijkstra.distances h src, Dijkstra.count_shortest_paths h src))
+    ~vertex_of:(fun place vec ->
+      match place with
+      | `Bottom -> Grid_graph.bottom grid vec
+      | `Top -> Grid_graph.top grid vec
+      | `Middle -> Grid_graph.middle grid vec)
+
+let check_lemma22_gadget (gadget : Degree_gadget.t) =
+  let grid = gadget.Degree_gadget.grid in
+  let g = gadget.Degree_gadget.graph in
+  check_with grid
+    ~dist_and_counts:(fun src ->
+      let r = Traversal.bfs_full g src in
+      (r.Traversal.dist, r.Traversal.num_paths))
+    ~vertex_of:(fun place vec ->
+      let grid_vertex =
+        match place with
+        | `Bottom -> Grid_graph.bottom grid vec
+        | `Top -> Grid_graph.top grid vec
+        | `Middle -> Grid_graph.middle grid vec
+      in
+      Degree_gadget.anchor_of gadget grid_vertex)
+
+let counting_bound (grid : Grid_graph.t) =
+  let open Grid_graph in
+  let rec ipow b e = if e = 0 then 1 else b * ipow b (e - 1) in
+  ipow grid.s grid.l * ipow (grid.s / 2) grid.l
+
+let closure_total (gadget : Degree_gadget.t) labels =
+  let closed = Monotone.closure gadget.Degree_gadget.graph labels in
+  Hub_label.total_size closed
+
+let check_counting_argument gadget labels =
+  let total = closure_total gadget labels in
+  (total >= counting_bound gadget.Degree_gadget.grid, total)
+
+let midpoint_charge_total (gadget : Degree_gadget.t) labels =
+  let grid = gadget.Degree_gadget.grid in
+  let closed = Monotone.closure gadget.Degree_gadget.graph labels in
+  let count = ref 0 in
+  Grid_graph.iter_vectors grid (fun x ->
+      Grid_graph.iter_vectors grid (fun z ->
+          if Grid_graph.valid_pair grid x z then begin
+            let y = Grid_graph.midpoint x z in
+            let ax = Degree_gadget.anchor_of gadget (Grid_graph.bottom grid x) in
+            let az = Degree_gadget.anchor_of gadget (Grid_graph.top grid z) in
+            let ay = Degree_gadget.anchor_of gadget (Grid_graph.middle grid y) in
+            if
+              Hub_label.mem closed ax ~hub:ay || Hub_label.mem closed az ~hub:ay
+            then incr count
+          end));
+  !count
+
+let avg_hub_size_lower_bound_measured ?(samples = 3) (gadget : Degree_gadget.t) =
+  let g = gadget.Degree_gadget.graph in
+  let grid = gadget.Degree_gadget.grid in
+  (* diam(G) <= 2 ecc(v) for every v: minimise over a few anchors *)
+  let candidates =
+    Grid_graph.middle grid (Array.make grid.Grid_graph.l 0)
+    :: Grid_graph.bottom grid (Array.make grid.Grid_graph.l 0)
+    :: (if samples > 2 then [ Grid_graph.top grid (Array.make grid.Grid_graph.l 0) ] else [])
+  in
+  let diam_ub =
+    List.fold_left
+      (fun acc v ->
+        min acc (2 * Traversal.eccentricity g (Degree_gadget.anchor_of gadget v)))
+      max_int candidates
+  in
+  float_of_int (counting_bound grid)
+  /. (float_of_int diam_ub *. float_of_int (Graph.n g))
+
+let avg_hub_size_lower_bound (gadget : Degree_gadget.t) =
+  let g = gadget.Degree_gadget.graph in
+  let grid = gadget.Degree_gadget.grid in
+  (* the proof's analytic diameter bound diam(G) <= (3l+1)s^2 * 4l *)
+  let open Grid_graph in
+  let diam_bound = ((3 * grid.l) + 1) * grid.s * grid.s * 4 * grid.l in
+  float_of_int (counting_bound grid)
+  /. (float_of_int diam_bound *. float_of_int (Graph.n g))

@@ -1,0 +1,64 @@
+(** Executable form of Section 2: Lemma 2.2 and the counting argument
+    behind Theorem 2.1 / Theorem 1.1.
+
+    The counting argument: fix any hub labeling [{S_v}] of [G_{b,ℓ}]
+    and shortest-path trees [T_v]; let [S*_v] be the monotone closure
+    (minimal subtree of [T_v] containing [S_v]). For every valid triple
+    [(x, y, z)] with [y = (x+z)/2], the unique shortest path between
+    the anchors of [v_{0,x}] and [v_{2ℓ,z}] passes through the anchor
+    of [v_{ℓ,y}], so that anchor lies in [S*] of one of the two
+    endpoints; since [x] (resp. [z]) is determined by [(y, z)] (resp.
+    [(x, y)]), contributions are distinct and
+    [Σ_v |S*_v| >= s^ℓ (s/2)^ℓ]. Combined with Eq. (1)
+    ([|S*_v| <= diam · |S_v|]) this lower-bounds the average hubset
+    size of any exact labeling. *)
+
+open Repro_hub
+
+type lemma_check = {
+  pairs_checked : int;
+  unique_failures : int;  (** valid pairs with more than one shortest path *)
+  midpoint_failures : int;  (** valid pairs whose path avoids the midpoint *)
+  distance_failures : int;
+      (** valid pairs whose distance differs from the closed form *)
+}
+
+val check_lemma22_grid : Grid_graph.t -> lemma_check
+(** Exhaustive check of Lemma 2.2 on [H_{b,ℓ}] over all valid pairs
+    [(x, z)] (no vertex removed). Uses Dijkstra with path counting. *)
+
+val check_lemma22_gadget : Degree_gadget.t -> lemma_check
+(** Same on the unweighted [G_{b,ℓ}], via BFS with path counting
+    between anchors; also checks
+    [dist_G(anchor x, anchor z) = dist_H(x, z)]. *)
+
+val counting_bound : Grid_graph.t -> int
+(** [s^ℓ · (s/2)^ℓ] — the proven lower bound on [Σ_v |S*_v|]. *)
+
+val closure_total : Degree_gadget.t -> Hub_label.t -> int
+(** [Σ_v |S*_v|] for an actual labeling of the gadget graph (monotone
+    closure along BFS trees). *)
+
+val check_counting_argument : Degree_gadget.t -> Hub_label.t -> bool * int
+(** [(bound_holds, closure_total)]: verifies
+    [Σ_v |S*_v| >= counting_bound] on a concrete exact labeling —
+    the Theorem 2.1(iii) inequality, certified empirically. *)
+
+val midpoint_charge_total : Degree_gadget.t -> Hub_label.t -> int
+(** The sharper count the proof actually charges: the number of valid
+    triples [(x, y, z)] whose midpoint anchor belongs to the monotone
+    closure of at least one endpoint. Must equal the number of valid
+    triples (i.e. {!counting_bound}) for any exact labeling. *)
+
+val avg_hub_size_lower_bound : Degree_gadget.t -> float
+(** The certified bound on the average hubset size of any exact hub
+    labeling of this gadget instance:
+    [counting_bound / (diam(G) · n(G))] per Eq. (1), using the proof's
+    analytic diameter bound [(3ℓ+1)s² · 4ℓ]. *)
+
+val avg_hub_size_lower_bound_measured : ?samples:int -> Degree_gadget.t -> float
+(** Tighter certified variant: replaces the analytic diameter bound by
+    the measured upper bound [min over sampled v of 2·ecc(v)]
+    (eccentricities from a few BFS runs; [samples] defaults to 3).
+    Still a sound lower bound, usually an order of magnitude above the
+    analytic one at experiment scales. *)

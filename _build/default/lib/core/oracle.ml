@@ -1,0 +1,38 @@
+open Repro_graph
+open Repro_hub
+
+type kind =
+  | Full of Apsp.t
+  | Hub of Hub_label.t
+  | On_demand of Graph.t
+
+type t = { kind : kind; space : int; label : string }
+
+let full g =
+  let apsp = Apsp.of_graph g in
+  let n = Graph.n g in
+  { kind = Full apsp; space = n * n; label = "full-matrix" }
+
+let hub g labels =
+  ignore g;
+  {
+    kind = Hub labels;
+    space = 2 * Hub_label.total_size labels;
+    label = "hub-labeling";
+  }
+
+let on_demand g =
+  {
+    kind = On_demand g;
+    space = (2 * Graph.m g) + Graph.n g;
+    label = "bfs-on-demand";
+  }
+
+let query t u v =
+  match t.kind with
+  | Full apsp -> Apsp.dist apsp u v
+  | Hub labels -> Hub_label.query labels u v
+  | On_demand g -> (Traversal.bfs g u).(v)
+
+let name t = t.label
+let space_words t = t.space

@@ -1,0 +1,31 @@
+(** Centralised distance oracles — the space/time tradeoff discussion
+    of the introduction ("a natural objective ... data structures using
+    space S and resolving exact distance queries in time T, with
+    ST = Õ(n²)").
+
+    Three endpoints of the tradeoff, all exact:
+    - [full]: the precomputed n×n matrix — S = Θ(n²), T = O(1);
+    - [hub]: a hub labeling — S = Θ(Σ|S_v|), T = O(|S_u| + |S_v|);
+    - [on_demand]: store only the graph and BFS per query —
+      S = Θ(n + m), T = O(n + m).
+
+    The [E-ORACLE] experiment measures all three on sparse instances,
+    exhibiting the tradeoff curve the paper's lower bound constrains
+    (hub-based oracles cannot beat [n/2^Θ(√log n)] space on the
+    construction of Section 2). *)
+
+open Repro_graph
+open Repro_hub
+
+type t
+
+val full : Graph.t -> t
+val hub : Graph.t -> Hub_label.t -> t
+val on_demand : Graph.t -> t
+
+val query : t -> int -> int -> int
+val name : t -> string
+
+val space_words : t -> int
+(** Machine words of the query structure: [n²] for [full], twice the
+    total hub count for [hub], [2m + n] for [on_demand]. *)

@@ -1,0 +1,299 @@
+open Repro_graph
+open Repro_hub
+
+type lemma42_data = {
+  colour_of : int array;
+  bucket_matchings : (int * int * int * (int * int) list) list;
+      (* (h, a, b, maximum-matching pairs (u, v) of the bucket E^h_{a,b}) *)
+}
+
+type stats = {
+  d : int;
+  n : int;
+  global_size : int;
+  q_total : int;
+  r_total : int;
+  f_total : int;
+  bucket_count : int;
+  matching_edge_total : int;
+  total_hubs : int;
+}
+
+let default_d n =
+  let rs = Repro_rs.Rs_bounds.behrend_upper n in
+  max 2 (int_of_float (ceil (rs ** (1.0 /. 6.0))))
+
+(* The construction, abstracted over the distance matrix [rows] and an
+   adjacency iterator (used only for the closed neighbourhoods
+   N[F_v]). *)
+let build_on ~rng ~d ?colors ?s_size ~n ~rows ~iter_adj () =
+  let bucket_matchings = ref [] in
+  if d < 1 then invalid_arg "Rs_hub.build: need d >= 1";
+  let dist u v = rows.(u).(v) in
+  (* --- component S: random global hubset ------------------------- *)
+  let s_target =
+    match s_size with
+    | Some s -> min n (max 1 s)
+    | None ->
+        min n
+          (max 1
+             (int_of_float
+                (ceil
+                   (float_of_int n /. float_of_int d
+                   *. log (float_of_int (d + 1))))))
+  in
+  let in_s = Array.make n false in
+  let s_count = ref 0 in
+  while !s_count < s_target do
+    let v = Random.State.int rng n in
+    if not in_s.(v) then begin
+      in_s.(v) <- true;
+      incr s_count
+    end
+  done;
+  let s_list = ref [] in
+  for v = n - 1 downto 0 do
+    if in_s.(v) then s_list := v :: !s_list
+  done;
+  (* --- colouring with d^3 colours (overridable for ablations) ---- *)
+  let colour_count = match colors with Some c -> max 1 c | None -> d * d * d in
+  let colour = Array.init n (fun _ -> Random.State.int rng colour_count) in
+  (* --- classify every pair ---------------------------------------- *)
+  let q : (int * int) list array = Array.make n [] in
+  let q_total = ref 0 in
+  let r : (int * int) list array = Array.make n [] in
+  let r_total = ref 0 in
+  (* buckets: (h, a, b) -> edge list (u, v) with u < v *)
+  let buckets : (int * int * int, (int * int) list ref) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let hubs_scratch = Array.make n 0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let duv = dist u v in
+      if Dist.is_finite duv then begin
+        (* valid hubs H_uv *)
+        let count = ref 0 in
+        for x = 0 to n - 1 do
+          if Dist.add rows.(u).(x) rows.(x).(v) = duv then begin
+            hubs_scratch.(!count) <- x;
+            incr count
+          end
+        done;
+        let hcount = !count in
+        if hcount >= d then begin
+          (* case 1: far/popular pair; covered by S or patched into Q *)
+          let covered = ref false in
+          for k = 0 to hcount - 1 do
+            if in_s.(hubs_scratch.(k)) then covered := true
+          done;
+          if not !covered then begin
+            q.(u) <- (v, duv) :: q.(u);
+            incr q_total
+          end
+        end
+        else begin
+          (* case 2/3: small H_uv; check colour collisions *)
+          let conflict = ref false in
+          for i = 0 to hcount - 1 do
+            for j = i + 1 to hcount - 1 do
+              if colour.(hubs_scratch.(i)) = colour.(hubs_scratch.(j)) then
+                conflict := true
+            done
+          done;
+          if !conflict then begin
+            r.(u) <- (v, duv) :: r.(u);
+            incr r_total
+          end
+          else
+            for k = 0 to hcount - 1 do
+              let h = hubs_scratch.(k) in
+              let a = rows.(u).(h) in
+              let b = duv - a in
+              let key = (h, a, b) in
+              match Hashtbl.find_opt buckets key with
+              | Some l -> l := (u, v) :: !l
+              | None -> Hashtbl.replace buckets key (ref [ (u, v) ])
+            done
+        end
+      end
+    done
+  done;
+  (* --- per-bucket vertex covers -> F_v ---------------------------- *)
+  let f : (int, unit) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 4) in
+  let f_total = ref 0 in
+  let bucket_count = Hashtbl.length buckets in
+  let matching_edge_total = ref 0 in
+  let add_f v h =
+    if not (Hashtbl.mem f.(v) h) then begin
+      Hashtbl.replace f.(v) h ();
+      incr f_total
+    end
+  in
+  Hashtbl.iter
+    (fun ((h, _, _) as key_of_bucket) edge_list ->
+      let edges = !edge_list in
+      (* compress endpoints *)
+      let left_ids = Hashtbl.create 16 and right_ids = Hashtbl.create 16 in
+      let left_back = ref [] and right_back = ref [] in
+      let nl = ref 0 and nr = ref 0 in
+      let lid u =
+        match Hashtbl.find_opt left_ids u with
+        | Some i -> i
+        | None ->
+            let i = !nl in
+            incr nl;
+            Hashtbl.replace left_ids u i;
+            left_back := u :: !left_back;
+            i
+      in
+      let rid v =
+        match Hashtbl.find_opt right_ids v with
+        | Some i -> i
+        | None ->
+            let i = !nr in
+            incr nr;
+            Hashtbl.replace right_ids v i;
+            right_back := v :: !right_back;
+            i
+      in
+      let compressed = List.map (fun (u, v) -> (lid u, rid v)) edges in
+      let left_arr = Array.of_list (List.rev !left_back) in
+      let right_arr = Array.of_list (List.rev !right_back) in
+      let bg = Repro_matching.Bipartite.create ~left:!nl ~right:!nr compressed in
+      let matching = Repro_matching.Hopcroft_karp.solve bg in
+      matching_edge_total := !matching_edge_total + matching.Repro_matching.Hopcroft_karp.size;
+      (* record the matching in original vertex ids for the Lemma 4.2
+         verification *)
+      let matched_pairs = ref [] in
+      Array.iteri
+        (fun i j ->
+          if j >= 0 then matched_pairs := (left_arr.(i), right_arr.(j)) :: !matched_pairs)
+        matching.Repro_matching.Hopcroft_karp.mate_left;
+      (match key_of_bucket with
+      | h, a, b -> bucket_matchings := (h, a, b, !matched_pairs) :: !bucket_matchings);
+      let cover = Repro_matching.Koenig.of_matching bg matching in
+      List.iter
+        (fun i -> add_f left_arr.(i) h)
+        cover.Repro_matching.Koenig.left_cover;
+      List.iter
+        (fun i -> add_f right_arr.(i) h)
+        cover.Repro_matching.Koenig.right_cover)
+    buckets;
+  (* --- assemble hubsets ------------------------------------------- *)
+  let labels : (int * int) list array = Array.make n [] in
+  for v = 0 to n - 1 do
+    let add x =
+      if Dist.is_finite rows.(v).(x) then
+        labels.(v) <- (x, rows.(v).(x)) :: labels.(v)
+    in
+    add v;
+    List.iter add !s_list;
+    List.iter (fun (x, dvx) -> labels.(v) <- (x, dvx) :: labels.(v)) q.(v);
+    List.iter (fun (x, dvx) -> labels.(v) <- (x, dvx) :: labels.(v)) r.(v);
+    Hashtbl.iter
+      (fun h () ->
+        add h;
+        iter_adj h (fun nb -> add nb))
+      f.(v)
+  done;
+  let final = Hub_label.make ~n labels in
+  ( final,
+    {
+      d;
+      n;
+      global_size = !s_count;
+      q_total = !q_total;
+      r_total = !r_total;
+      f_total = !f_total;
+      bucket_count;
+      matching_edge_total = !matching_edge_total;
+      total_hubs = Hub_label.total_size final;
+    },
+    { colour_of = colour; bucket_matchings = !bucket_matchings } )
+
+let build_checked ~rng ?d ?colors ?s_size g =
+  let n = Graph.n g in
+  let d = match d with Some d -> d | None -> default_d n in
+  let rows = Array.init n (fun v -> Traversal.bfs g v) in
+  build_on ~rng ~d ?colors ?s_size ~n ~rows
+    ~iter_adj:(fun v f -> Graph.iter_neighbors g v f)
+    ()
+
+let build ~rng ?d ?colors ?s_size g =
+  let labels, stats, _ = build_checked ~rng ?d ?colors ?s_size g in
+  (labels, stats)
+
+let build_w ~rng ?d g =
+  List.iter
+    (fun (_, _, w) ->
+      if w > 1 then invalid_arg "Rs_hub.build_w: weights must be 0/1")
+    (Wgraph.edges g);
+  let n = Wgraph.n g in
+  let d = match d with Some d -> d | None -> default_d n in
+  let rows = Array.init n (fun v -> Dijkstra.distances g v) in
+  let labels, stats, _ =
+    build_on ~rng ~d ~n ~rows
+      ~iter_adj:(fun v f -> Wgraph.iter_neighbors g v (fun u _ -> f u))
+      ()
+  in
+  (labels, stats)
+
+let build_sparse ~rng ?d g =
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let k = max 1 ((2 * m + n - 1) / max n 1) in
+  let split = Subdivide.split_unweighted g ~k in
+  let labels', stats = build_w ~rng ?d split.Subdivide.graph in
+  (* project back: hubs of the representative copy, hub vertices mapped
+     to their originating vertex *)
+  let labels =
+    Array.init n (fun v ->
+        let rep = split.Subdivide.representative.(v) in
+        List.map
+          (fun (h, dist) -> (split.Subdivide.origin.(h), dist))
+          (Hub_label.hub_list labels' rep))
+  in
+  (* distances are preserved by the weight-0 links, but two distinct
+     copies of one original vertex may both appear as hubs with the
+     same distance; Hub_label.make merges them *)
+  (Hub_label.make ~n labels, stats)
+
+(* Lemma 4.2 verification: for each (a, b) and colour c, the union
+   G^c_{a,b} of the per-hub maximum matchings MM^h_{a,b} (over hubs h
+   of colour c) must be edge-partitioned into those matchings, each of
+   which is *induced* in the union — the Ruzsa–Szemerédi structure the
+   proof charges against RS(2n). Pairs live in a bipartite universe, so
+   we realise the union on 2n vertices (left u, right n + v). *)
+let lemma42_holds ~n data =
+  let groups : (int * int * int, (int * int) list list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (h, a, b, pairs) ->
+      if pairs <> [] then begin
+        let key = (a, b, data.colour_of.(h)) in
+        let shifted = List.map (fun (u, v) -> (u, n + v)) pairs in
+        match Hashtbl.find_opt groups key with
+        | Some l -> l := shifted :: !l
+        | None -> Hashtbl.replace groups key (ref [ shifted ])
+      end)
+    data.bucket_matchings;
+  let ok = ref true in
+  Hashtbl.iter
+    (fun _ matchings ->
+      let edges = List.concat !matchings in
+      match Repro_graph.Graph.of_edges ~n:(2 * n) edges with
+      | g ->
+          if
+            not
+              (List.for_all
+                 (Repro_rs.Induced_matching.is_induced g)
+                 !matchings)
+          then ok := false
+      | exception Invalid_argument _ ->
+          (* duplicate edge across two matchings of one group: the
+             partition property itself failed *)
+          ok := false)
+    groups;
+  !ok

@@ -1,0 +1,98 @@
+(** The Theorem 4.1 hub-labeling construction, end to end.
+
+    Given a graph of constant maximum degree and a threshold [D], the
+    hubset of every vertex is assembled from four components, exactly
+    following the proof:
+
+    - [S]: a random global hubset of size [⌈(n/D) ln(D+1)⌉] meant to
+      hit a valid hub of every pair with at least [D] valid hubs;
+    - [Q_v]: the far pairs the random draw missed, patched by storing
+      the partner directly (the probabilistic method made
+      constructive);
+    - [R_v]: pairs whose valid-hub set [H_uv] (at most [D] vertices)
+      received a colour collision under a uniform [D³]-colouring;
+    - [N(F_v)]: for every remaining pair and every valid hub
+      [h ∈ H_uv] at split distances [(a, b)], the pair becomes an edge
+      of the bipartite graph [E^h_{a,b}]; a minimum vertex cover
+      (König, from Hopcroft–Karp) decides whether [h] joins [F_u] or
+      [F_v], and the closed neighbourhoods [N[F_v]] enter the hubsets.
+      The induction along a shortest path in the proof guarantees a
+      common hub in [N[F_u]] ∩ N[F_v]] (or an endpoint itself).
+
+    The resulting labeling is an exact cover by construction; tests
+    verify it with {!Repro_hub.Cover.verify}. The per-colour unions of
+    the matchings [MM^h_{a,b}] are the Ruzsa–Szemerédi graphs
+    [G^c_{a,b}] of Lemma 4.2, and their measured densities are reported
+    by the stats.
+
+    Everything is quadratic-to-cubic in [n] (it materialises [H_uv]
+    for all pairs), so intended for instances up to a few thousand
+    vertices. *)
+
+open Repro_graph
+open Repro_hub
+
+type stats = {
+  d : int;  (** the threshold actually used *)
+  n : int;
+  global_size : int;  (** |S| *)
+  q_total : int;  (** Σ_v |Q_v| *)
+  r_total : int;  (** Σ_v |R_v| *)
+  f_total : int;  (** Σ_v |F_v| *)
+  bucket_count : int;  (** number of non-empty [E^h_{a,b}] *)
+  matching_edge_total : int;  (** Σ |MM^h_{a,b}| over all buckets *)
+  total_hubs : int;  (** Σ_v |S(v)| of the final labeling *)
+}
+
+val default_d : int -> int
+(** [max 2 ⌈RS(n)^{1/6}⌉] with the Behrend-shape estimate of RS —
+    the [D = RS(n)^{1/6}] choice concluding the proof. *)
+
+type lemma42_data = {
+  colour_of : int array;  (** the colouring actually drawn *)
+  bucket_matchings : (int * int * int * (int * int) list) list;
+      (** per bucket [(h, a, b)], the maximum matching of [E^h_{a,b}]
+          as original-vertex pairs *)
+}
+
+val build :
+  rng:Random.State.t ->
+  ?d:int ->
+  ?colors:int ->
+  ?s_size:int ->
+  Graph.t ->
+  Hub_label.t * stats
+(** Unweighted graphs. The optional [colors] (default [d³]) and
+    [s_size] (default [⌈(n/d) ln(d+1)⌉]) override the proof's parameter
+    choices — ablation knobs for the [E-ABL] experiment; the output is
+    an exact cover for any values. *)
+
+val build_checked :
+  rng:Random.State.t ->
+  ?d:int ->
+  ?colors:int ->
+  ?s_size:int ->
+  Graph.t ->
+  Hub_label.t * stats * lemma42_data
+(** Like {!build} but also returns the data needed by
+    {!lemma42_holds}. *)
+
+val lemma42_holds : n:int -> lemma42_data -> bool
+(** The Lemma 4.2 structure check: within every [(a, b, colour)] group,
+    the per-hub maximum matchings are pairwise edge-disjoint and each
+    is an induced matching of their union — i.e. the union is a
+    Ruzsa–Szemerédi-style graph, which is what bounds [Σ|F_v|] by
+    [O(D⁵ n²/RS(n))] in the proof. *)
+
+val build_w : rng:Random.State.t -> ?d:int -> Wgraph.t -> Hub_label.t * stats
+(** Graphs with 0/1 weights (the generalisation noted after the proof
+    of Theorem 4.1, needed by {!build_sparse}).
+    @raise Invalid_argument if some weight exceeds 1. *)
+
+val build_sparse :
+  rng:Random.State.t -> ?d:int -> Graph.t -> Hub_label.t * stats
+(** Theorem 1.4: reduce a constant *average* degree graph to bounded
+    maximum degree by vertex subdivision with weight-0 links
+    ({!Repro_graph.Subdivide.split_high_degree} with [k = ⌈2m/n⌉]),
+    label the subdivided graph with {!build_w}, then project hubs back
+    through their originating vertices. Exact on the input graph. *)

@@ -1,0 +1,59 @@
+(** Theorem 1.6: distance labels of sparse graphs solve Sum-Index.
+
+    For parameters [(b, ℓ)] let [m = (s/2)^ℓ] with [s = 2^b]. Given the
+    shared string [S ∈ {0,1}^m], both players build the graph
+    [G'_{b,ℓ}]: the Theorem 2.1 grid in which the middle-layer vertex
+    [v_{ℓ,x}] is kept iff [W(x) = S_{repr(x)}], where
+    [repr(x) = (Σ_k x_k (s/2)^k) mod m] treats the coordinates as
+    base-[s/2] digits. Both compute the same (deterministic) exact
+    distance labeling. Alice, holding [a], finds the unique
+    [x ∈ [0, s/2-1]^ℓ] with [repr(x) = a] and sends the binary label
+    of [v_{0,2x}] together with [a]; Bob symmetrically sends the label
+    of [v_{2ℓ,2z}] and [b]. The referee recovers the distance from the
+    two labels alone and applies Observation 3.1: the distance equals
+    the Lemma 2.2 closed form iff the midpoint [v_{ℓ,x+z}] is present,
+    i.e. iff [S_{repr(x+z)} = S_{(a+b) mod m} = 1] (deviating paths
+    cost at least 2 extra).
+
+    The implementation labels the weighted grid [H'_{b,ℓ}] (whose
+    relevant distances provably equal those of the degree-3 [G'_{b,ℓ}];
+    {!Lower_bound.check_lemma22_gadget} verifies the equality
+    machinery), with deterministic weighted PLL and the gamma-coded
+    binary labels of {!Repro_labeling.Encoder}. *)
+
+type params = private {
+  b : int;
+  l : int;
+  s : int;
+  half : int;  (** s/2 *)
+  m : int;  (** (s/2)^ℓ — the Sum-Index universe size *)
+}
+
+val params : b:int -> l:int -> params
+(** @raise Invalid_argument if [b < 2] (need [s/2 >= 2]) or [l < 1]. *)
+
+val repr : params -> int array -> int
+(** [repr(x)] for any [x ∈ [0, s-1]^ℓ]. *)
+
+val index_vector : params -> int -> int array
+(** The unique [x ∈ [0, s/2-1]^ℓ] with [repr x = a]. *)
+
+val graph_of_string : params -> bool array -> Grid_graph.t
+(** [G'_{b,ℓ}] (as its weighted form [H'_{b,ℓ}]) for the given string. *)
+
+val protocol : params -> Sum_index.protocol
+(** The Theorem 1.6 protocol for strings of length [m], labeling the
+    weighted grid [H'_{b,ℓ}] (fast; distances provably equal the
+    degree-3 graph's). *)
+
+val protocol_gadget : params -> Sum_index.protocol
+(** The literal variant: labels are computed on the unweighted
+    max-degree-3 gadget [G'_{b,ℓ}] itself — the graph class of the
+    theorem statement. Far more expensive preprocessing (the gadget has
+    [Θ(ℓ²s³·s^ℓ)] vertices); intended for small parameters. *)
+
+val predicted_label_bits : params -> float
+(** The paper's accounting: the protocol costs
+    [SUMINDEX(2^{(b-1)ℓ}) - bℓ] label bits at most, i.e. a distance
+    label must have at least [SUMINDEX(m) - bℓ] bits; we report the
+    [√m] floor of that quantity. *)

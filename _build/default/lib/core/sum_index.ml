@@ -1,0 +1,73 @@
+open Repro_labeling
+
+type protocol = {
+  name : string;
+  universe : int;
+  alice : bool array -> int -> Bitvec.t;
+  bob : bool array -> int -> Bitvec.t;
+  referee : Bitvec.t -> Bitvec.t -> bool;
+}
+
+let answer s a b =
+  let n = Array.length s in
+  if n = 0 then invalid_arg "Sum_index.answer: empty string";
+  s.((a + b) mod n)
+
+let run p s a b = p.referee (p.alice s a) (p.bob s b)
+
+let correct_on p s =
+  let n = Array.length s in
+  if n <> p.universe then invalid_arg "Sum_index.correct_on: wrong length";
+  let ok = ref true in
+  for a = 0 to n - 1 do
+    if !ok then begin
+      let ma = p.alice s a in
+      for b = 0 to n - 1 do
+        if !ok && p.referee ma (p.bob s b) <> answer s a b then ok := false
+      done
+    end
+  done;
+  !ok
+
+let max_message_bits p s =
+  let n = Array.length s in
+  let ma = ref 0 and mb = ref 0 in
+  for i = 0 to n - 1 do
+    ma := max !ma (Bitvec.length (p.alice s i));
+    mb := max !mb (Bitvec.length (p.bob s i))
+  done;
+  (!ma, !mb)
+
+let ceil_log2 x =
+  let rec go acc p = if p >= x then acc else go (acc + 1) (2 * p) in
+  if x <= 1 then 1 else go 0 1
+
+let trivial ~n =
+  if n < 1 then invalid_arg "Sum_index.trivial";
+  let width = ceil_log2 n in
+  {
+    name = "trivial";
+    universe = n;
+    alice =
+      (fun s a ->
+        Bitvec.of_bools (List.init n (fun i -> s.((a + i) mod n))));
+    bob =
+      (fun _ b ->
+        let w = Bit_io.Writer.create () in
+        Bit_io.Writer.bits w ~width b;
+        Bit_io.Writer.contents w);
+    referee =
+      (fun ma mb ->
+        let r = Bit_io.Reader.of_bitvec mb in
+        let b = Bit_io.Reader.bits r ~width in
+        Bitvec.get ma b);
+  }
+
+let sqrt_lower_bound_bits n = sqrt (float_of_int n)
+
+let ambainis_upper_bound_bits n =
+  let fn = float_of_int (max n 2) in
+  let logn = log fn /. log 2.0 in
+  fn *. (logn ** 0.25) /. (2.0 ** sqrt logn)
+
+let random_instance rng n = Array.init n (fun _ -> Random.State.bool rng)

@@ -1,0 +1,47 @@
+(** The Sum-Index communication problem (Definition 1.5).
+
+    Alice holds the shared string [S ∈ {0,1}^n] and an index [a]; Bob
+    holds [S] and [b]; both send one simultaneous message to a referee
+    who must output [S_{(a+b) mod n}].
+
+    Protocols are represented with an explicit preprocessing stage:
+    [alice s] may do arbitrary shared-string work (e.g. build a graph
+    and its distance labeling, as in Theorem 1.6) and returns the
+    per-index message function. *)
+
+open Repro_labeling
+
+type protocol = {
+  name : string;
+  universe : int;  (** the string length [n] this protocol instance serves *)
+  alice : bool array -> int -> Bitvec.t;
+  bob : bool array -> int -> Bitvec.t;
+  referee : Bitvec.t -> Bitvec.t -> bool;
+}
+
+val answer : bool array -> int -> int -> bool
+(** Ground truth [S_{(a+b) mod n}]. *)
+
+val run : protocol -> bool array -> int -> int -> bool
+(** One execution. *)
+
+val correct_on : protocol -> bool array -> bool
+(** Exhaustive correctness over all [n²] index pairs. *)
+
+val max_message_bits : protocol -> bool array -> int * int
+(** [(max |M_a|, max |M_b|)] in bits over all indices. *)
+
+val trivial : n:int -> protocol
+(** The [n + ⌈log₂ n⌉]-bit upper bound: Alice sends the cyclic shift
+    [i ↦ S_{(a+i) mod n}], Bob sends [b]; the referee reads bit [b] of
+    Alice's message. *)
+
+val sqrt_lower_bound_bits : int -> float
+(** The [Ω(√n)] lower bound on [SUMINDEX(n)]
+    ([BGKL03, BKL95, PRS97, NW93]), as [√n]. *)
+
+val ambainis_upper_bound_bits : int -> float
+(** The [O(n log^{1/4} n / 2^{√log n})] upper bound of [Amb96]
+    (constant 1), for shape comparison in experiments. *)
+
+val random_instance : Random.State.t -> int -> bool array

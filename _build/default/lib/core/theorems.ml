@@ -1,0 +1,88 @@
+open Repro_graph
+open Repro_hub
+
+type verdict = { claim : string; holds : bool; detail : string }
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "[%s] %s — %s"
+    (if v.holds then "OK" else "FAIL")
+    v.claim v.detail
+
+let v claim holds detail = { claim; holds; detail }
+
+let check_theorem21 ~b ~l =
+  let grid = Grid_graph.create ~b ~l () in
+  let gadget = Degree_gadget.build grid in
+  let g = gadget.Degree_gadget.graph in
+  let size_ok = Graph.n g <= Degree_gadget.theorem21_node_bound gadget in
+  let deg = Graph.max_degree g in
+  let ch = Lower_bound.check_lemma22_grid grid in
+  let cg = Lower_bound.check_lemma22_gadget gadget in
+  let lemma_ok (c : Lower_bound.lemma_check) =
+    c.Lower_bound.unique_failures = 0
+    && c.Lower_bound.midpoint_failures = 0
+    && c.Lower_bound.distance_failures = 0
+  in
+  let labels = Pll.build g in
+  let exact = Cover.verify_sampled g labels ~rng:(Random.State.make [| 1 |]) ~samples:5 in
+  let holds, total = Lower_bound.check_counting_argument gadget labels in
+  [
+    v "2.1(i) node count within bound" size_ok
+      (Printf.sprintf "|V(G)| = %d <= %d" (Graph.n g)
+         (Degree_gadget.theorem21_node_bound gadget));
+    v "2.1(ii) maximum degree 3" (deg <= 3) (Printf.sprintf "Δ(G) = %d" deg);
+    v "Lemma 2.2 on H" (lemma_ok ch)
+      (Printf.sprintf "%d pairs, 0 failures expected" ch.Lower_bound.pairs_checked);
+    v "Lemma 2.2 on G" (lemma_ok cg)
+      (Printf.sprintf "%d pairs, 0 failures expected" cg.Lower_bound.pairs_checked);
+    v "2.1(iii) counting inequality on a real labeling" (exact && holds)
+      (Printf.sprintf "Σ|S*| = %d >= %d (labeling exact: %b)" total
+         (Lower_bound.counting_bound grid) exact);
+  ]
+
+let check_theorem41 ~rng ?d g =
+  let labels, st = Rs_hub.build ~rng ?d g in
+  [
+    v "4.1 labeling is an exact cover" (Cover.verify g labels)
+      (Printf.sprintf "n=%d, D=%d, avg |S(v)| = %.1f" st.Rs_hub.n st.Rs_hub.d
+         (Hub_label.avg_size labels));
+    v "4.1 stored distances are exact" (Cover.stored_distances_exact g labels)
+      "every (hub, d) pair matches BFS";
+  ]
+
+let check_theorem14 ~rng ?d g =
+  let labels, st = Rs_hub.build_sparse ~rng ?d g in
+  [
+    v "1.4 subdivide-and-project labeling is exact" (Cover.verify g labels)
+      (Printf.sprintf "n=%d (subdivided to %d), avg |S(v)| = %.1f" (Graph.n g)
+         st.Rs_hub.n (Hub_label.avg_size labels));
+  ]
+
+let check_theorem16 ~b ~l ~seed =
+  let p = Si_reduction.params ~b ~l in
+  let m = p.Si_reduction.m in
+  let proto = Si_reduction.protocol p in
+  let random_s = Sum_index.random_instance (Random.State.make [| seed |]) m in
+  let all_zero = Array.make m false in
+  let all_one = Array.make m true in
+  [
+    v "1.6 protocol correct (random string)"
+      (Sum_index.correct_on proto random_s)
+      (Printf.sprintf "all %d index pairs decode" (m * m));
+    v "1.6 protocol correct (all-removed)"
+      (Sum_index.correct_on proto all_zero)
+      "middle layer fully deleted";
+    v "1.6 protocol correct (all-kept)"
+      (Sum_index.correct_on proto all_one)
+      "middle layer intact";
+  ]
+
+let check_all ~seed =
+  let rng = Random.State.make [| seed |] in
+  check_theorem21 ~b:2 ~l:1
+  @ check_theorem21 ~b:1 ~l:2
+  @ check_theorem41 ~rng ~d:5
+      (Generators.random_bounded_degree rng ~n:120 ~d:3)
+  @ check_theorem14 ~rng ~d:4 (Generators.gnm rng ~n:60 ~m:180)
+  @ check_theorem16 ~b:2 ~l:1 ~seed
+  @ check_theorem16 ~b:2 ~l:2 ~seed

@@ -1,0 +1,131 @@
+open Repro_graph
+
+type t = {
+  n : int;
+  sample : int array;  (** the set A *)
+  sample_index : int array;  (** vertex -> index in [sample], or -1 *)
+  to_sample : int array array;  (** d(a, v) for each a in A *)
+  nearest : int array;  (** p(v), or -1 if A is empty / unreachable *)
+  d_nearest : int array;  (** d(v, A) *)
+  bunch : (int * int) array array;  (** sorted (w, d(v,w)) with d < d(v,A) *)
+}
+
+let build ~rng g =
+  let n = Graph.n g in
+  let p =
+    if n <= 1 then 1.0
+    else sqrt (log (float_of_int n) /. float_of_int n)
+  in
+  let sample_list = ref [] in
+  for v = n - 1 downto 0 do
+    if Random.State.float rng 1.0 < p then sample_list := v :: !sample_list
+  done;
+  (* never leave A empty on a non-empty graph: it would make bunches
+     the whole graph, which is correct but defeats the structure *)
+  if !sample_list = [] && n > 0 then sample_list := [ Random.State.int rng n ];
+  let sample = Array.of_list !sample_list in
+  let sample_index = Array.make n (-1) in
+  Array.iteri (fun i a -> sample_index.(a) <- i) sample;
+  let to_sample = Array.map (fun a -> Traversal.bfs g a) sample in
+  let nearest = Array.make n (-1) in
+  let d_nearest = Array.make n Dist.inf in
+  for v = 0 to n - 1 do
+    Array.iteri
+      (fun i a ->
+        let d = to_sample.(i).(v) in
+        if d < d_nearest.(v) then begin
+          d_nearest.(v) <- d;
+          nearest.(v) <- a
+        end)
+      sample
+  done;
+  let bunch =
+    Array.init n (fun v ->
+        if d_nearest.(v) = 0 then [||]
+        else begin
+          let radius =
+            if Dist.is_finite d_nearest.(v) then d_nearest.(v) - 1
+            else Graph.n g (* unreachable from A: bunch = component *)
+          in
+          Traversal.bfs_limited g v ~radius
+          |> List.filter (fun (w, _) -> w <> v)
+          |> List.sort compare |> Array.of_list
+        end)
+  in
+  { n; sample; sample_index; to_sample; nearest; d_nearest; bunch }
+
+let bunch_find t v w =
+  let arr = t.bunch.(v) in
+  let lo = ref 0 and hi = ref (Array.length arr - 1) in
+  let res = ref None in
+  while !res = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x, d = arr.(mid) in
+    if x = w then res := Some d
+    else if x < w then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+let query t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then invalid_arg "Tz_oracle.query";
+  if u = v then 0
+  else begin
+    let direct =
+      match bunch_find t u v with
+      | Some d -> Some d
+      | None -> bunch_find t v u
+    in
+    match direct with
+    | Some d -> d
+    | None ->
+        (* sampled vertices have empty bunches but exact rows *)
+        let via_sample x y =
+          if t.sample_index.(x) >= 0 then
+            Some t.to_sample.(t.sample_index.(x)).(y)
+          else None
+        in
+        (match (via_sample u v, via_sample v u) with
+        | Some d, _ | _, Some d -> d
+        | None, None ->
+            (* d(x, A) + d(p(x), y): the stretch-3 estimate, both ways *)
+            let side w dx y =
+              if w < 0 then Dist.inf
+              else Dist.add dx t.to_sample.(t.sample_index.(w)).(y)
+            in
+            Dist.min
+              (side t.nearest.(u) t.d_nearest.(u) v)
+              (side t.nearest.(v) t.d_nearest.(v) u))
+  end
+
+let space_words t =
+  let bunch_total =
+    Array.fold_left (fun acc b -> acc + (2 * Array.length b)) 0 t.bunch
+  in
+  bunch_total + (Array.length t.sample * t.n) + (2 * t.n)
+
+let sample_size t = Array.length t.sample
+
+let avg_bunch_size t =
+  if t.n = 0 then 0.0
+  else
+    float_of_int
+      (Array.fold_left (fun acc b -> acc + Array.length b) 0 t.bunch)
+    /. float_of_int t.n
+
+let max_stretch g t =
+  let n = Graph.n g in
+  let worst = ref 1.0 in
+  for u = 0 to n - 1 do
+    let dist = Traversal.bfs g u in
+    for v = u + 1 to n - 1 do
+      if Dist.is_finite dist.(v) then begin
+        let est = query t u v in
+        if est < dist.(v) then
+          invalid_arg "Tz_oracle.max_stretch: underestimate";
+        let r = float_of_int est /. float_of_int (max dist.(v) 1) in
+        if r > !worst then worst := r
+      end
+    done
+  done;
+  !worst

@@ -1,0 +1,31 @@
+(** Thorup–Zwick approximate distance oracle for [k = 2] (stretch 3) —
+    the classical point on the approximate side of the sparse-graph
+    oracle tradeoff the introduction discusses ([SVY09], [CP10] study
+    exactly when such oracles can be made exact).
+
+    Structure: a random sample [A] of expected size [√(n ln n)]; every
+    vertex stores its distances to all of [A], its nearest sampled
+    vertex [p(v)], and its *bunch* [B(v) = {w : d(v,w) < d(v,A)}].
+    Query: exact when [v ∈ B(u)] or [u ∈ B(v)]; otherwise
+    [d(u,p(u)) + d(p(u),v)], which is at most [3·d(u,v)].
+
+    Space is [O(Σ|B(v)| + |A|·n) = Õ(n^{3/2})] words in expectation —
+    between the hub labeling and the full matrix of {!Oracle}. *)
+
+open Repro_graph
+
+type t
+
+val build : rng:Random.State.t -> Graph.t -> t
+
+val query : t -> int -> int -> int
+(** Estimated distance: never below the true distance, at most 3× it
+    (for connected pairs; {!Dist.inf} when provably disconnected). *)
+
+val space_words : t -> int
+val sample_size : t -> int
+val avg_bunch_size : t -> float
+
+val max_stretch : Graph.t -> t -> float
+(** Exhaustive maximum ratio estimate/true over connected pairs
+    (test-scale). *)

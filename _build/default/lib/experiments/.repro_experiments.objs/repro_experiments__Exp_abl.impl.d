@@ -1,0 +1,1 @@
+lib/experiments/exp_abl.ml: Cover Exp_util Generators Graph Hub_label Hub_prune List Pll Printf Random_hitting Repro_core Repro_graph Repro_hub Rs_hub

@@ -1,0 +1,1 @@
+lib/experiments/exp_base.ml: Array Cover Encoder Exp_util Generators Graph Hub_label List Order Pll Printf Random Random_hitting Repro_graph Repro_hub Repro_labeling Tree_label

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig1.ml: Array Dijkstra Dist Exp_util Grid_graph List Printf Repro_core Repro_graph Wgraph

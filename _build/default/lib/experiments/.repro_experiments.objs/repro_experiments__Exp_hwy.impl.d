@@ -1,0 +1,1 @@
+lib/experiments/exp_hwy.ml: Approx_hub Cover Exp_util Generators Hub_label List Pll Printf Repro_graph Repro_hub Separator_label Spc

@@ -1,0 +1,1 @@
+lib/experiments/exp_oracle.ml: Array Exp_util Generators Graph Hub_label List Oracle Pll Printf Random Repro_core Repro_graph Repro_hub Repro_route Tz_oracle Wgraph

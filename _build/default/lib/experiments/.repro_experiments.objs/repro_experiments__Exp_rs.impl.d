@@ -1,0 +1,1 @@
+lib/experiments/exp_rs.ml: Behrend Exp_util Graph Induced_matching List Printf Repro_graph Repro_rs Rs_bounds Rs_graph

@@ -1,0 +1,1 @@
+lib/experiments/exp_thm11.ml: Degree_gadget Exp_util Graph Grid_graph Hub_label List Lower_bound Pll Printf Repro_core Repro_graph Repro_hub Repro_rs

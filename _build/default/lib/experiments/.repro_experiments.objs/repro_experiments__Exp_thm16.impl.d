@@ -1,0 +1,1 @@
+lib/experiments/exp_thm16.ml: Exp_util List Printf Repro_core Si_reduction Sum_index

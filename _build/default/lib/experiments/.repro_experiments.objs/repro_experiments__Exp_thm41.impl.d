@@ -1,0 +1,1 @@
+lib/experiments/exp_thm41.ml: Cover Exp_util Generators Graph Greedy_landmark Hub_label List Pll Printf Random_hitting Repro_core Repro_graph Repro_hub Rs_hub

@@ -1,0 +1,1 @@
+lib/experiments/exp_util.ml: List Printf Random String Unix

@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Exp_abl Exp_base Exp_fig1 Exp_hwy Exp_oracle Exp_rs Exp_thm11 Exp_thm16 Exp_thm21 Exp_thm41 List String

@@ -1,0 +1,61 @@
+open Repro_graph
+open Repro_hub
+open Repro_core
+
+let run () =
+  Exp_util.header "E-ABL  Ablations of the Theorem 4.1 parameter choices";
+  let rng = Exp_util.rng () in
+  let g = Generators.random_bounded_degree rng ~n:160 ~d:3 in
+  let n = Graph.n g in
+  Printf.printf "instance: bounded-degree-3 graph, n=%d m=%d\n\n" n (Graph.m g);
+
+  Printf.printf "colour budget (d = 5 fixed; proof uses d^3 = 125 colours):\n";
+  Exp_util.row [ "colors"; "sum|R|"; "buckets"; "avg |S(v)|"; "exact" ];
+  List.iter
+    (fun colors ->
+      let labels, st = Rs_hub.build ~rng ~d:5 ~colors g in
+      Exp_util.row
+        [
+          string_of_int colors;
+          string_of_int st.Rs_hub.r_total;
+          string_of_int st.Rs_hub.bucket_count;
+          Exp_util.fmt_float (Hub_label.avg_size labels);
+          string_of_bool (Cover.verify g labels);
+        ])
+    [ 5; 25; 125; 625 ];
+
+  Printf.printf "\nhitting-set size (d = 5; proof uses ceil((n/d) ln(d+1)) = %d):\n"
+    (int_of_float
+       (ceil (float_of_int n /. 5.0 *. log 6.0)));
+  Exp_util.row [ "|S| target"; "|S|"; "sum|Q|"; "avg |S(v)|"; "exact" ];
+  List.iter
+    (fun s_size ->
+      let labels, st = Rs_hub.build ~rng ~d:5 ~s_size g in
+      Exp_util.row
+        [
+          string_of_int s_size;
+          string_of_int st.Rs_hub.global_size;
+          string_of_int st.Rs_hub.q_total;
+          Exp_util.fmt_float (Hub_label.avg_size labels);
+          string_of_bool (Cover.verify g labels);
+        ])
+    [ 14; 29; 58; 116 ];
+
+  Printf.printf "\npost-hoc minimisation (Hub_prune) of each scheme (n=%d):\n" 96;
+  let small = Generators.random_connected rng ~n:96 ~m:192 in
+  Exp_util.row [ "scheme"; "avg before"; "avg after"; "exact after" ];
+  List.iter
+    (fun (name, labels) ->
+      let pruned = Hub_prune.prune small labels in
+      Exp_util.row
+        [
+          name;
+          Exp_util.fmt_float (Hub_label.avg_size labels);
+          Exp_util.fmt_float (Hub_label.avg_size pruned);
+          string_of_bool (Cover.verify small pruned);
+        ])
+    [
+      ("thm4.1 d=5", fst (Rs_hub.build ~rng ~d:5 small));
+      ("rand-hit d=5", fst (Random_hitting.build ~rng ~d:5 small));
+      ("pll", Pll.build small);
+    ]

@@ -1,0 +1,14 @@
+(** [E-ABL] — ablations of the Theorem 4.1 construction's parameter
+    choices (the design decisions DESIGN.md calls out):
+
+    - threshold sweep [D]: how the S / Q / R / N(F) components trade
+      off against each other;
+    - colour budget: [D³] colours (the proof's choice) vs fewer/more —
+      fewer colours inflate the conflict sets [R_v];
+    - hitting-set size: the [⌈(n/D) ln(D+1)⌉] sample vs halved/doubled —
+      smaller samples inflate the patch sets [Q_v].
+
+    Also compares the raw construction against its {!Repro_hub.Hub_prune}
+    minimisation. Every variant is verified to remain an exact cover. *)
+
+val run : unit -> unit

@@ -1,0 +1,73 @@
+open Repro_graph
+open Repro_hub
+open Repro_labeling
+
+let query_throughput labels g ~rng ~queries =
+  let n = Graph.n g in
+  let pairs =
+    Array.init queries (fun _ -> (Random.State.int rng n, Random.State.int rng n))
+  in
+  let (), secs =
+    Exp_util.time (fun () ->
+        Array.iter (fun (u, v) -> ignore (Hub_label.query labels u v)) pairs)
+  in
+  float_of_int queries /. max secs 1e-9
+
+let run () =
+  Exp_util.header
+    "E-BASE  Hub labeling in practice: size / build time / query rate";
+  let rng = Exp_util.rng () in
+  let networks =
+    [
+      ("road-32x32+64", Generators.grid_with_shortcuts rng ~rows:32 ~cols:32 ~shortcuts:64);
+      ("sparse-2000", Generators.random_connected rng ~n:2000 ~m:4000);
+      ("deg3-1500", Generators.random_bounded_degree rng ~n:1500 ~d:3);
+    ]
+  in
+  Exp_util.row
+    [ "network"; "scheme"; "avg |S(v)|"; "bits/vertex"; "build s"; "queries/s" ];
+  List.iter
+    (fun (name, g) ->
+      let schemes =
+        [
+          ("pll-degree", fun () -> Pll.build g);
+          ( "pll-closeness",
+            fun () ->
+              Pll.build
+                ~order:(Order.by_closeness_sample g ~rng ~samples:16)
+                g );
+          ("rand-hit d=8", fun () -> fst (Random_hitting.build ~rng ~d:8 g));
+        ]
+      in
+      List.iter
+        (fun (scheme, build) ->
+          let labels, build_secs = Exp_util.time build in
+          let bits = Encoder.avg_bits (Encoder.encode labels) in
+          let qps = query_throughput labels g ~rng ~queries:20_000 in
+          Exp_util.row
+            [
+              name;
+              scheme;
+              Exp_util.fmt_float (Hub_label.avg_size labels);
+              Exp_util.fmt_float bits;
+              Exp_util.fmt_float build_secs;
+              Printf.sprintf "%.2e" qps;
+            ])
+        schemes)
+    networks;
+  Printf.printf "\nTree labeling reference (Pel00-style, Theta(log n) hubs):\n";
+  Exp_util.row [ "tree size"; "max hubs"; "bound"; "avg bits"; "exact" ];
+  List.iter
+    (fun n ->
+      let g = Generators.random_tree rng n in
+      let labels = Tree_label.build g in
+      Exp_util.row
+        [
+          string_of_int n;
+          string_of_int (Hub_label.max_size labels);
+          string_of_int (Tree_label.max_hubs_bound n);
+          Exp_util.fmt_float (Encoder.avg_bits (Encoder.encode labels));
+          string_of_bool
+            (Cover.verify_sampled g labels ~rng ~samples:10);
+        ])
+    [ 100; 1_000; 10_000 ]

@@ -1,0 +1,7 @@
+(** [E-BASE] — §1.1 "Hub labeling in practice": construction time,
+    label size and query throughput of the labeling schemes on
+    transportation-like and random sparse networks, plus the tree
+    labeling reference point. Wall-clock numbers (the fine-grained
+    micro-benchmarks live in [bench/main.ml] under Bechamel). *)
+
+val run : unit -> unit

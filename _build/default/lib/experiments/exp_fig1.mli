@@ -1,0 +1,5 @@
+(** [E-FIG1] — Figure 1: construction statistics of [H_{b,ℓ}] across a
+    parameter sweep, plus the exact path lengths the figure annotates
+    (blue path [4A+4], red path [4A+8], best detour [4A+6]). *)
+
+val run : unit -> unit

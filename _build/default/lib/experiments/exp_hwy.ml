@@ -1,0 +1,71 @@
+open Repro_graph
+open Repro_hub
+
+let run () =
+  Exp_util.header
+    "E-HWY  Highway dimension, separator labelings, approximate hubsets";
+  let rng = Exp_util.rng () in
+
+  Printf.printf
+    "Highway-dimension estimates (weak SPC local sparsity per scale):\n";
+  Exp_util.row [ "network"; "r"; "|cover|"; "sparsity" ];
+  let networks =
+    [
+      ("grid-10x10", Generators.grid ~rows:10 ~cols:10);
+      ("road-10x10+10", Generators.grid_with_shortcuts rng ~rows:10 ~cols:10 ~shortcuts:10);
+      ("sparse-100", Generators.random_connected rng ~n:100 ~m:200);
+      ("path-100", Generators.path 100);
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun (r, size, sparsity) ->
+          Exp_util.row
+            [ name; string_of_int r; string_of_int size; string_of_int sparsity ])
+        (Spc.highway_dimension_estimate g))
+    networks;
+  Printf.printf
+    "(road-like and path networks keep the sparsity low at large scales;\n\
+     random sparse graphs concentrate all pairs at one scale)\n";
+
+  Printf.printf "\nSeparator labelings (GPPR04-style) vs PLL on grids:\n";
+  Exp_util.row
+    [ "grid"; "sep avg |S|"; "sep max"; "PLL avg"; "sqrt(n)"; "exact" ];
+  List.iter
+    (fun side ->
+      let g = Generators.grid ~rows:side ~cols:side in
+      let sep = Separator_label.build_grid ~rows:side ~cols:side g in
+      let pll = Pll.build g in
+      Exp_util.row
+        [
+          Printf.sprintf "%dx%d" side side;
+          Exp_util.fmt_float (Hub_label.avg_size sep);
+          string_of_int (Hub_label.max_size sep);
+          Exp_util.fmt_float (Hub_label.avg_size pll);
+          Exp_util.fmt_float (sqrt (float_of_int (side * side)));
+          string_of_bool
+            (Cover.verify_sampled g sep ~rng ~samples:8);
+        ])
+    [ 8; 12; 16; 24 ];
+
+  Printf.printf "\nAdditive-approximation hubsets (error <= 2, AGHP16a-style):\n";
+  Exp_util.row
+    [ "graph"; "base avg"; "approx avg"; "compression"; "max error" ];
+  List.iter
+    (fun (name, g) ->
+      let base = Pll.build g in
+      let t = Approx_hub.build ~base g in
+      Exp_util.row
+        [
+          name;
+          Exp_util.fmt_float (Hub_label.avg_size base);
+          Exp_util.fmt_float (Hub_label.avg_size t.Approx_hub.labels);
+          Exp_util.fmt_float (Approx_hub.compression ~base t);
+          string_of_int (Approx_hub.max_error g t);
+        ])
+    [
+      ("path-200", Generators.path 200);
+      ("grid-12x12", Generators.grid ~rows:12 ~cols:12);
+      ("sparse-200", Generators.random_connected rng ~n:200 ~m:400);
+    ]

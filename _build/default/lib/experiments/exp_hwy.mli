@@ -1,0 +1,7 @@
+(** [E-HWY] — the remaining practice machinery of §1.1: highway-
+    dimension estimates via shortest-path covers ([ADF+16]), the
+    separator-based labelings of the planar discussion ([GPPR04]), and
+    the additive-approximation hubsets behind [AGHP16a]'s distance
+    labels. *)
+
+val run : unit -> unit

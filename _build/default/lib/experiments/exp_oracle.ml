@@ -1,0 +1,111 @@
+open Repro_graph
+open Repro_hub
+open Repro_core
+
+let measure_queries f pairs =
+  let (), secs =
+    Exp_util.time (fun () -> Array.iter (fun (u, v) -> ignore (f u v)) pairs)
+  in
+  float_of_int (Array.length pairs) /. max secs 1e-9
+
+let run () =
+  Exp_util.header
+    "E-ORACLE  Exact distance oracles: the S*T tradeoff at sparse scale";
+  let rng = Exp_util.rng () in
+  let instances =
+    [
+      ("road-24x24+48", Generators.grid_with_shortcuts rng ~rows:24 ~cols:24 ~shortcuts:48, 20_000);
+      ("sparse-600", Generators.random_connected rng ~n:600 ~m:1200, 20_000);
+    ]
+  in
+  Exp_util.row [ "graph"; "oracle"; "space (words)"; "queries/s"; "S*T proxy" ];
+  List.iter
+    (fun (name, g, query_count) ->
+      let n = Graph.n g in
+      let pairs =
+        Array.init query_count (fun _ ->
+            (Random.State.int rng n, Random.State.int rng n))
+      in
+      let oracles =
+        [
+          Oracle.full g;
+          Oracle.hub g (Pll.build g);
+          Oracle.on_demand g;
+        ]
+      in
+      let tz = Tz_oracle.build ~rng g in
+      List.iter
+        (fun (name, space, query) ->
+          let qps = measure_queries query pairs in
+          let st = float_of_int space /. qps *. 1e6 in
+          Exp_util.row
+            [
+              name;
+              "tz-stretch3";
+              string_of_int space;
+              Printf.sprintf "%.2e" qps;
+              Exp_util.fmt_float st;
+            ])
+        [ (name, Tz_oracle.space_words tz, fun u v -> Tz_oracle.query tz u v) ];
+      List.iter
+        (fun o ->
+          let qps = measure_queries (fun u v -> Oracle.query o u v) pairs in
+          let st =
+            float_of_int (Oracle.space_words o) /. qps *. 1e6
+            (* space * time-per-query, scaled to words*us *)
+          in
+          Exp_util.row
+            [
+              name;
+              Oracle.name o;
+              string_of_int (Oracle.space_words o);
+              Printf.sprintf "%.2e" qps;
+              Exp_util.fmt_float st;
+            ])
+        oracles)
+    instances;
+  Printf.printf
+    "\nRoute-planning heuristics from the practice discussion (SS 1.1):\n";
+  Exp_util.row
+    [ "graph"; "method"; "prep s"; "shortcuts"; "queries/s"; "exact" ];
+  List.iter
+    (fun (name, g, _) ->
+      let w = Wgraph.of_unweighted g in
+      let n = Graph.n g in
+      let pairs =
+        Array.init 200 (fun _ -> (Random.State.int rng n, Random.State.int rng n))
+      in
+      let reference = Pll.build g in
+      let check f =
+        Array.for_all
+          (fun (u, v) -> f u v = Hub_label.query reference u v)
+          pairs
+      in
+      (* bidirectional dijkstra *)
+      let qps_bd =
+        measure_queries (fun u v -> Repro_route.Bidirectional.distance w u v) pairs
+      in
+      Exp_util.row
+        [
+          name;
+          "bidir-dijkstra";
+          "0";
+          "0";
+          Printf.sprintf "%.2e" qps_bd;
+          string_of_bool
+            (check (fun u v -> Repro_route.Bidirectional.distance w u v));
+        ];
+      let ch, prep = Exp_util.time (fun () -> Repro_route.Contraction.preprocess w) in
+      let qps_ch =
+        measure_queries (fun u v -> Repro_route.Contraction.query ch u v) pairs
+      in
+      Exp_util.row
+        [
+          name;
+          "contraction-h";
+          Exp_util.fmt_float prep;
+          string_of_int (Repro_route.Contraction.shortcut_count ch);
+          Printf.sprintf "%.2e" qps_ch;
+          string_of_bool (check (fun u v -> Repro_route.Contraction.query ch u v));
+        ])
+    instances

@@ -1,0 +1,7 @@
+(** [E-ORACLE] — the introduction's space/time tradeoff for centralised
+    exact distance oracles (ST = Õ(n²)): measured space and query time
+    of the full matrix, hub-labeling and BFS-on-demand oracles, plus
+    the route-planning heuristics (bidirectional search, contraction
+    hierarchies) §1.1 cites. *)
+
+val run : unit -> unit

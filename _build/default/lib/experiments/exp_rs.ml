@@ -1,0 +1,54 @@
+open Repro_rs
+open Repro_graph
+
+let run () =
+  Exp_util.header
+    "E-RS  Ruzsa-Szemeredi machinery: Behrend sets and induced matchings";
+  Printf.printf "Behrend / greedy AP-free set sizes (measured density curve):\n";
+  Exp_util.row [ "n"; "|S|"; "|S|/n"; "n/2^2sqrt(lg n)" ];
+  List.iter
+    (fun (n, size, density) ->
+      Exp_util.row
+        [
+          string_of_int n;
+          string_of_int size;
+          Printf.sprintf "%.4f" density;
+          Exp_util.fmt_float (float_of_int n /. Rs_bounds.behrend_upper n);
+        ])
+    (Behrend.density_series [ 100; 1_000; 10_000; 100_000 ]);
+  Printf.printf
+    "\nAMS-style sphere graphs (Section 2's source of induced matchings):\n";
+  Exp_util.row [ "c"; "d"; "n"; "m"; "#matchings"; "avg |M|"; "n^2/m"; "Def1.3" ];
+  List.iter
+    (fun (c, d) ->
+      let t = Rs_graph.build ~c ~d in
+      let g = t.Rs_graph.graph in
+      let n = Graph.n g and m = Graph.m g in
+      Exp_util.row
+        [
+          string_of_int c;
+          string_of_int d;
+          string_of_int n;
+          string_of_int m;
+          string_of_int (Rs_graph.matching_count t);
+          Exp_util.fmt_float (Rs_graph.avg_matching_size t);
+          Exp_util.fmt_float (float_of_int (n * n) /. float_of_int (max m 1));
+          string_of_bool
+            (Induced_matching.is_ruzsa_szemeredi g t.Rs_graph.matchings);
+        ])
+    [ (3, 3); (4, 3); (3, 4); (4, 4); (5, 4); (4, 5); (5, 5); (6, 5) ];
+  Printf.printf
+    "(the (6,5) shell honestly reports false: its direction count\n\
+     exceeds the Definition 1.3 budget of n matchings at that size)\n";
+  Printf.printf
+    "\nRS(n) bound shapes (the conditional range of Theorems 1.1/1.4):\n";
+  Exp_util.row [ "n"; "2^log*(n) (Fox)"; "2^2sqrt(lg n) (Behrend)" ];
+  List.iter
+    (fun n ->
+      Exp_util.row
+        [
+          string_of_int n;
+          Exp_util.fmt_float (Rs_bounds.fox_lower n);
+          Exp_util.fmt_float (Rs_bounds.behrend_upper n);
+        ])
+    [ 1_000; 1_000_000; 1_000_000_000 ]

@@ -1,0 +1,5 @@
+(** [E-RS] — Definition 1.3 / §1.2: measured Behrend AP-free densities
+    (the [RS(n)] upper-bound machinery) and the AMS-style sphere graphs
+    with their verified partitions into induced matchings. *)
+
+val run : unit -> unit

@@ -1,0 +1,51 @@
+open Repro_graph
+open Repro_hub
+open Repro_core
+
+(* (b, l, run_pll): PLL on the 24k-vertex (2,2) instance is feasible
+   but slow in a default experiment run; its row reports the certified
+   bound only. *)
+let sweep = [ (1, 1, true); (2, 1, true); (1, 2, true); (3, 1, true); (2, 2, false) ]
+
+let run () =
+  Exp_util.header
+    "E-THM11  Theorem 1.1: average hub size vs n / 2^{sqrt(log n)}";
+  Exp_util.row
+    [
+      "b";
+      "l";
+      "n(G)";
+      "cert. avg LB";
+      "cert. LB (meas)";
+      "PLL avg |S|";
+      "n/2^sqrt(lg n)";
+      "n (trivial UB)";
+    ];
+  List.iter
+    (fun (b, l, run_pll) ->
+      let grid = Grid_graph.create ~b ~l () in
+      let gadget = Degree_gadget.build grid in
+      let g = gadget.Degree_gadget.graph in
+      let n = Graph.n g in
+      let pll_avg =
+        if run_pll then Exp_util.fmt_float (Hub_label.avg_size (Pll.build g))
+        else "(skipped)"
+      in
+      Exp_util.row
+        [
+          string_of_int b;
+          string_of_int l;
+          string_of_int n;
+          Exp_util.fmt_float (Lower_bound.avg_hub_size_lower_bound gadget);
+          Exp_util.fmt_float (Lower_bound.avg_hub_size_lower_bound_measured gadget);
+          pll_avg;
+          Exp_util.fmt_float (Repro_rs.Rs_bounds.hub_lower_bound_shape n);
+          string_of_int n;
+        ])
+    sweep;
+  Printf.printf
+    "\nReading: the certified bound comes from the executable counting\n\
+     argument; the theorem states it approaches n / 2^{Theta(sqrt(log n))}\n\
+     as b = l -> infinity (at laptop scales the constant-factor gap to\n\
+     the analytic shape is still large, but the bound is nontrivial and\n\
+     grows with the instance).\n"

@@ -1,0 +1,8 @@
+(** [E-THM11] — Theorem 1.1: the [n / 2^{Θ(√log n)}] shape. For the
+    [G_{b,ℓ}] family (with [b = ℓ] along the theorem's diagonal where
+    feasible), compare (a) the certified average-hub-size lower bound
+    from the counting argument, (b) the measured average hubset size of
+    a real exact labeling, and (c) the analytic shape
+    [n / 2^{√(log₂ n)}]. *)
+
+val run : unit -> unit

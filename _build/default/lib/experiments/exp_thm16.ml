@@ -1,0 +1,71 @@
+open Repro_core
+
+let sweep = [ (2, 1); (3, 1); (2, 2); (4, 1) ]
+
+let run () =
+  Exp_util.header
+    "E-THM16  Theorem 1.6: Sum-Index from distance labels of G'_{b,l}";
+  Exp_util.row
+    [
+      "b";
+      "l";
+      "m";
+      "correct";
+      "label bits A";
+      "label bits B";
+      "trivial bits";
+      "sqrt(m)";
+      "Ambainis";
+    ];
+  let rng = Exp_util.rng () in
+  List.iter
+    (fun (b, l) ->
+      let p = Si_reduction.params ~b ~l in
+      let m = p.Si_reduction.m in
+      let s = Sum_index.random_instance rng m in
+      let proto = Si_reduction.protocol p in
+      let correct = Sum_index.correct_on proto s in
+      let ma, mb = Sum_index.max_message_bits proto s in
+      let trivial = Sum_index.trivial ~n:m in
+      let ta, tb = Sum_index.max_message_bits trivial s in
+      Exp_util.row
+        [
+          string_of_int b;
+          string_of_int l;
+          string_of_int m;
+          string_of_bool correct;
+          string_of_int ma;
+          string_of_int mb;
+          string_of_int (ta + tb);
+          Exp_util.fmt_float (Sum_index.sqrt_lower_bound_bits m);
+          Exp_util.fmt_float (Sum_index.ambainis_upper_bound_bits m);
+        ];
+      assert correct)
+    sweep;
+  Printf.printf
+    "\nLiteral max-degree-3 variant (labels computed on G'_{b,l} itself):\n";
+  Exp_util.row [ "b"; "l"; "m"; "|V(G')|~"; "correct"; "bits A"; "bits B" ];
+  let p = Si_reduction.params ~b:2 ~l:1 in
+  let s = Sum_index.random_instance rng p.Si_reduction.m in
+  let proto = Si_reduction.protocol_gadget p in
+  let ok = Sum_index.correct_on proto s in
+  let ga, gb = Sum_index.max_message_bits proto s in
+  Exp_util.row
+    [
+      "2";
+      "1";
+      string_of_int p.Si_reduction.m;
+      "~1500";
+      string_of_bool ok;
+      string_of_int ga;
+      string_of_int gb;
+    ];
+  assert ok;
+  Printf.printf
+    "\nReading: the reduction direction matters, not the absolute sizes —\n\
+     any exact distance labeling of the max-degree-3 graph G'_{b,l}\n\
+     yields a correct Sum-Index protocol, so label size is bounded below\n\
+     by SUMINDEX((s/2)^l) - bl bits (paper, end of Section 3). At these\n\
+     toy scales the graph-derived messages are naturally larger than the\n\
+     trivial protocol; what the experiment certifies is exactness of the\n\
+     decoding for every index pair.\n"

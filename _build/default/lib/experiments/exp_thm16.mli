@@ -1,0 +1,6 @@
+(** [E-THM16] — Theorem 1.6: the Sum-Index protocol built from distance
+    labels of [G'_{b,ℓ}]. Verifies exhaustive correctness per parameter
+    set and reports message sizes against the trivial protocol, the
+    [Ω(√n)] Sum-Index lower bound and the Ambainis upper-bound shape. *)
+
+val run : unit -> unit

@@ -1,0 +1,7 @@
+(** [E-THM21] — Theorem 2.1: exhaustive Lemma 2.2 verification on both
+    [H_{b,ℓ}] and the degree-3 gadget [G_{b,ℓ}]; size/degree claims
+    (i)-(ii); and the claim (iii) counting argument evaluated on an
+    actual exact labeling (PLL) — monotone-closure total vs. the proven
+    [s^ℓ (s/2)^ℓ] bound. *)
+
+val run : unit -> unit

@@ -1,0 +1,20 @@
+let rng () = Random.State.make [| 20190721 |]
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let row cells =
+  let pad s = if String.length s >= 14 then s else s ^ String.make (14 - String.length s) ' ' in
+  print_endline (String.concat "  " (List.map pad cells))
+
+let fmt_float x =
+  if x = 0.0 then "0"
+  else if abs_float x >= 1000.0 then Printf.sprintf "%.0f" x
+  else if abs_float x >= 10.0 then Printf.sprintf "%.1f" x
+  else if abs_float x >= 0.001 then Printf.sprintf "%.3f" x
+  else Printf.sprintf "%.2e" x

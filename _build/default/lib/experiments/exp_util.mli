@@ -1,0 +1,19 @@
+(** Small shared helpers for the experiment drivers: fixed seeds,
+    wall-clock timing and aligned table printing. *)
+
+val rng : unit -> Random.State.t
+(** Fresh deterministic generator (fixed seed) — every experiment run
+    is reproducible. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Result and elapsed wall-clock seconds. *)
+
+val header : string -> unit
+(** Print an experiment banner. *)
+
+val row : string list -> unit
+(** Print one table row, columns separated by two spaces, each padded
+    to 14 characters. *)
+
+val fmt_float : float -> string
+(** Compact float formatting for table cells. *)

@@ -1,0 +1,35 @@
+let all =
+  [
+    ( "E-FIG1",
+      "Figure 1: the layered grid H_{b,l} and its annotated path lengths",
+      Exp_fig1.run );
+    ( "E-THM21",
+      "Theorem 2.1: Lemma 2.2 checks and the counting lower bound",
+      Exp_thm21.run );
+    ( "E-THM11",
+      "Theorem 1.1: average hub size vs the n/2^sqrt(log n) shape",
+      Exp_thm11.run );
+    ( "E-THM41",
+      "Theorem 4.1/1.4: the RS-based hub labeling and baselines",
+      Exp_thm41.run );
+    ( "E-THM16",
+      "Theorem 1.6: Sum-Index protocols from distance labels",
+      Exp_thm16.run );
+    ("E-RS", "Behrend sets and induced-matching graphs", Exp_rs.run);
+    ("E-BASE", "Hub labeling in practice: sizes and timings", Exp_base.run);
+    ( "E-ORACLE",
+      "Centralised distance oracles: the S*T tradeoff",
+      Exp_oracle.run );
+    ("E-ABL", "Ablations of the Theorem 4.1 parameter choices", Exp_abl.run);
+    ( "E-HWY",
+      "Highway dimension, separators and approximate hubsets",
+      Exp_hwy.run );
+  ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.find_map
+    (fun (i, _, run) -> if String.uppercase_ascii i = id then Some run else None)
+    all
+
+let run_all () = List.iter (fun (_, _, run) -> run ()) all

@@ -1,0 +1,12 @@
+(** Registry of the reproduction experiments (DESIGN.md §5).
+
+    Every experiment prints a self-contained report to stdout; all use
+    fixed seeds, so runs are reproducible. *)
+
+val all : (string * string * (unit -> unit)) list
+(** [(id, description, run)] for every experiment, in report order. *)
+
+val find : string -> (unit -> unit) option
+(** Look up an experiment by id (case-insensitive). *)
+
+val run_all : unit -> unit

@@ -1,0 +1,1 @@
+lib/graph/graph_ops.ml: Array Graph Hashtbl List Wgraph

@@ -1,0 +1,1 @@
+lib/graph/path.ml: Array Dijkstra Dist Graph List Traversal Wgraph

@@ -1,0 +1,1 @@
+lib/graph/subdivide.ml: Array Graph List Wgraph

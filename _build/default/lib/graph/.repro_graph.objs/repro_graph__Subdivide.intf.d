@@ -1,0 +1,1 @@
+lib/graph/subdivide.mli: Graph Wgraph

@@ -1,0 +1,38 @@
+type t = { n : int; rows : int array array }
+
+let of_graph g =
+  let n = Graph.n g in
+  { n; rows = Array.init n (fun s -> Traversal.bfs g s) }
+
+let of_wgraph g =
+  let n = Wgraph.n g in
+  { n; rows = Array.init n (fun s -> Dijkstra.distances g s) }
+
+let n t = t.n
+
+let dist t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then invalid_arg "Apsp.dist";
+  t.rows.(u).(v)
+
+let row t u =
+  if u < 0 || u >= t.n then invalid_arg "Apsp.row";
+  t.rows.(u)
+
+let max_finite t =
+  let best = ref 0 in
+  Array.iter
+    (Array.iter (fun d -> if Dist.is_finite d && d > !best then best := d))
+    t.rows;
+  !best
+
+let check_triangle_inequality t =
+  let ok = ref true in
+  for u = 0 to t.n - 1 do
+    for v = 0 to t.n - 1 do
+      for w = 0 to t.n - 1 do
+        if t.rows.(u).(w) > Dist.add t.rows.(u).(v) t.rows.(v).(w) then
+          ok := false
+      done
+    done
+  done;
+  !ok

@@ -1,0 +1,28 @@
+(** All-pairs shortest paths, as a distance matrix.
+
+    Memory is Θ(n²) ints; intended for the verification and experiment
+    scales of this repository (n up to a few tens of thousands for
+    unweighted BFS-based APSP). *)
+
+type t
+
+val of_graph : Graph.t -> t
+(** BFS from every vertex. *)
+
+val of_wgraph : Wgraph.t -> t
+(** Dijkstra from every vertex. *)
+
+val n : t -> int
+
+val dist : t -> int -> int -> int
+(** Distance, {!Dist.inf} if unreachable. *)
+
+val row : t -> int -> int array
+(** The distance array from one source (not a copy — do not mutate). *)
+
+val max_finite : t -> int
+(** Largest finite entry (the diameter for connected graphs). *)
+
+val check_triangle_inequality : t -> bool
+(** Exhaustive check of [d(u,w) <= d(u,v) + d(v,w)] with saturating
+    arithmetic; used by tests. O(n³). *)

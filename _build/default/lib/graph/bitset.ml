@@ -1,0 +1,88 @@
+type t = { n : int; bits : Bytes.t }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { n; bits = Bytes.make ((n + 7) / 8) '\000' }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.bits b
+    (Char.chr (Char.code (Bytes.unsafe_get t.bits b) lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.bits b
+    (Char.chr
+       (Char.code (Bytes.unsafe_get t.bits b) land lnot (1 lsl (i land 7))))
+
+let clear t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+let popcount_byte =
+  let tbl = Array.make 256 0 in
+  for i = 1 to 255 do
+    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
+  done;
+  fun c -> tbl.(Char.code c)
+
+let cardinal t =
+  let acc = ref 0 in
+  for b = 0 to Bytes.length t.bits - 1 do
+    acc := !acc + popcount_byte (Bytes.unsafe_get t.bits b)
+  done;
+  !acc
+
+let iter f t =
+  for b = 0 to Bytes.length t.bits - 1 do
+    let byte = Char.code (Bytes.unsafe_get t.bits b) in
+    if byte <> 0 then
+      for j = 0 to 7 do
+        if byte land (1 lsl j) <> 0 then f ((b lsl 3) + j)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n xs =
+  let t = create n in
+  List.iter (add t) xs;
+  t
+
+let copy t = { n = t.n; bits = Bytes.copy t.bits }
+
+let union_into dst src =
+  if dst.n <> src.n then invalid_arg "Bitset.union_into: capacity mismatch";
+  for b = 0 to Bytes.length dst.bits - 1 do
+    Bytes.unsafe_set dst.bits b
+      (Char.chr
+         (Char.code (Bytes.unsafe_get dst.bits b)
+         lor Char.code (Bytes.unsafe_get src.bits b)))
+  done
+
+let inter_exists a b =
+  if a.n <> b.n then invalid_arg "Bitset.inter_exists: capacity mismatch";
+  let rec loop i =
+    if i >= Bytes.length a.bits then false
+    else if
+      Char.code (Bytes.unsafe_get a.bits i)
+      land Char.code (Bytes.unsafe_get b.bits i)
+      <> 0
+    then true
+    else loop (i + 1)
+  in
+  loop 0

@@ -1,0 +1,40 @@
+(** Fixed-capacity bit set over the universe [0 .. n-1], backed by [Bytes].
+
+    Used for visited marks, hubset membership tests and set algebra on
+    vertex sets where [Hashtbl] or [Set] overhead matters. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty subset of [0 .. n-1]. *)
+
+val capacity : t -> int
+(** The universe size [n] given at creation. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val clear : t -> unit
+(** Remove all elements. *)
+
+val cardinal : t -> int
+(** Number of set bits, O(n/8). *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate over members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> int list
+(** Members in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list n xs] is the subset of [0 .. n-1] holding [xs]. *)
+
+val copy : t -> t
+
+val union_into : t -> t -> unit
+(** [union_into dst src] adds every member of [src] to [dst].
+    @raise Invalid_argument on capacity mismatch. *)
+
+val inter_exists : t -> t -> bool
+(** [inter_exists a b] is [true] iff the sets share an element. *)

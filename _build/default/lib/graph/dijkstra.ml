@@ -1,0 +1,55 @@
+type result = { dist : int array; parent : int array }
+
+let shortest_paths g s =
+  let n = Wgraph.n g in
+  if s < 0 || s >= n then invalid_arg "Dijkstra.shortest_paths";
+  let dist = Array.make n Dist.inf in
+  let parent = Array.make n (-1) in
+  let pq = Pqueue.create n in
+  dist.(s) <- 0;
+  Pqueue.insert pq s 0;
+  while not (Pqueue.is_empty pq) do
+    let u, du = Pqueue.pop_min pq in
+    Wgraph.iter_neighbors g u (fun v w ->
+        let d = du + w in
+        if d < dist.(v) then begin
+          dist.(v) <- d;
+          parent.(v) <- u;
+          Pqueue.insert_or_decrease pq v d
+        end)
+  done;
+  { dist; parent }
+
+let distances g s = (shortest_paths g s).dist
+
+let has_zero_weight g =
+  List.exists (fun (_, _, w) -> w = 0) (Wgraph.edges g)
+
+let count_shortest_paths g s =
+  if has_zero_weight g then
+    invalid_arg "Dijkstra.count_shortest_paths: zero-weight edge";
+  let { dist; _ } = shortest_paths g s in
+  let n = Wgraph.n g in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare dist.(a) dist.(b)) order;
+  let num = Array.make n 0 in
+  num.(s) <- 1;
+  Array.iter
+    (fun v ->
+      if Dist.is_finite dist.(v) && v <> s then
+        Wgraph.iter_neighbors g v (fun u w ->
+            if Dist.is_finite dist.(u) && dist.(u) + w = dist.(v) then
+              num.(v) <-
+                (if num.(v) >= Traversal.path_count_cap - num.(u) then
+                   Traversal.path_count_cap
+                 else num.(v) + num.(u))))
+    order;
+  num
+
+let unique_shortest_path g u v =
+  let num = count_shortest_paths g u in
+  num.(v) = 1
+
+let distance g u v =
+  let d = distances g u in
+  d.(v)

@@ -1,0 +1,30 @@
+(** Single-source shortest paths on weighted graphs.
+
+    Zero-weight edges are allowed (needed by the vertex-subdivision
+    reduction of Theorem 1.4); distances remain correct because weights
+    are non-negative. Shortest-path *counting* however requires strictly
+    positive weights — see {!count_shortest_paths}. *)
+
+type result = {
+  dist : int array;  (** distance from the source, {!Dist.inf} if unreachable *)
+  parent : int array;  (** a shortest-path-tree parent, [-1] otherwise *)
+}
+
+val shortest_paths : Wgraph.t -> int -> result
+
+val distances : Wgraph.t -> int -> int array
+
+val count_shortest_paths : Wgraph.t -> int -> int array
+(** [count_shortest_paths g s] counts, for every vertex, the number of
+    distinct shortest paths from [s] (saturated at
+    {!Traversal.path_count_cap}). Counting proceeds over the
+    shortest-path DAG in order of distance, which is only sound without
+    zero-weight edges.
+    @raise Invalid_argument if [g] has a zero-weight edge. *)
+
+val unique_shortest_path : Wgraph.t -> int -> int -> bool
+(** [unique_shortest_path g u v] is [true] iff [v] is reachable from [u]
+    by exactly one shortest path. Requires positive weights. *)
+
+val distance : Wgraph.t -> int -> int -> int
+(** Point-to-point distance (full Dijkstra from the source). *)

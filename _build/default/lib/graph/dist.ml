@@ -1,0 +1,8 @@
+let inf = max_int / 4
+let is_finite d = d < inf
+let add a b = if a >= inf || b >= inf then inf else a + b
+let min = Stdlib.min
+
+let pp ppf d =
+  if is_finite d then Format.fprintf ppf "%d" d
+  else Format.fprintf ppf "inf"

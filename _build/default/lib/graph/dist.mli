@@ -1,0 +1,20 @@
+(** Distance arithmetic with an infinity sentinel.
+
+    Distances are plain [int]s; unreachable pairs are represented by
+    {!inf}, chosen so that [inf + inf] does not overflow. All distance
+    arrays produced by {!Traversal}, {!Dijkstra} and {!Apsp} use this
+    convention, and hub-label queries add two distances with {!add}. *)
+
+val inf : int
+(** The unreachable sentinel, [max_int / 4]. *)
+
+val is_finite : int -> bool
+
+val add : int -> int -> int
+(** Saturating addition: if either operand is [>= inf], the result is
+    [inf]. *)
+
+val min : int -> int -> int
+
+val pp : Format.formatter -> int -> unit
+(** Prints ["inf"] for the sentinel, the integer otherwise. *)

@@ -1,0 +1,191 @@
+let path n =
+  Graph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: need n >= 3";
+  Graph.of_edges ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let star n =
+  if n < 1 then invalid_arg "Generators.star";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.grid";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !edges
+
+let torus ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Generators.torus: need >= 3x3";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := (id r c, id r ((c + 1) mod cols)) :: !edges;
+      edges := (id r c, id ((r + 1) mod rows) c) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !edges
+
+let balanced_binary_tree ~depth =
+  if depth < 0 then invalid_arg "Generators.balanced_binary_tree";
+  let n = (1 lsl (depth + 1)) - 1 in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    if (2 * i) + 1 < n then edges := (i, (2 * i) + 1) :: !edges;
+    if (2 * i) + 2 < n then edges := (i, (2 * i) + 2) :: !edges
+  done;
+  Graph.of_edges ~n !edges
+
+let random_tree rng n =
+  if n < 1 then invalid_arg "Generators.random_tree";
+  Graph.of_edges ~n
+    (List.init (n - 1) (fun i ->
+         let v = i + 1 in
+         (Random.State.int rng v, v)))
+
+(* Sample [m] distinct unordered pairs over [0..n-1], uniformly, by
+   rejection; assumes [m] is not too close to the maximum. *)
+let sample_pairs rng ~n ~m ~seen =
+  let edges = ref [] in
+  let added = ref 0 in
+  while !added < m do
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    if u <> v then begin
+      let key = (min u v * n) + max u v in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        edges := (min u v, max u v) :: !edges;
+        incr added
+      end
+    end
+  done;
+  !edges
+
+let gnm rng ~n ~m =
+  let max_m = n * (n - 1) / 2 in
+  if m > max_m then invalid_arg "Generators.gnm: too many edges";
+  if 2 * m > max_m then begin
+    (* dense: sample by shuffling all pairs *)
+    let all = Array.make max_m (0, 0) in
+    let k = ref 0 in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        all.(!k) <- (u, v);
+        incr k
+      done
+    done;
+    for i = max_m - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = all.(i) in
+      all.(i) <- all.(j);
+      all.(j) <- tmp
+    done;
+    Graph.of_edge_array ~n (Array.sub all 0 m)
+  end
+  else
+    Graph.of_edges ~n (sample_pairs rng ~n ~m ~seen:(Hashtbl.create (4 * m)))
+
+let gnp rng ~n ~p =
+  if p < 0. || p > 1. then invalid_arg "Generators.gnp";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let random_connected rng ~n ~m =
+  if n < 1 then invalid_arg "Generators.random_connected";
+  if m < n - 1 then invalid_arg "Generators.random_connected: m < n-1";
+  if m > n * (n - 1) / 2 then
+    invalid_arg "Generators.random_connected: too many edges";
+  let seen = Hashtbl.create (4 * m) in
+  let tree =
+    List.init (n - 1) (fun i ->
+        let v = i + 1 in
+        let u = Random.State.int rng v in
+        Hashtbl.replace seen ((min u v * n) + max u v) ();
+        (u, v))
+  in
+  let extra = sample_pairs rng ~n ~m:(m - (n - 1)) ~seen in
+  Graph.of_edges ~n (tree @ extra)
+
+let random_bounded_degree rng ~n ~d =
+  if d < 2 then invalid_arg "Generators.random_bounded_degree: need d >= 2";
+  if n < 2 then invalid_arg "Generators.random_bounded_degree: need n >= 2";
+  let deg = Array.make n 0 in
+  let seen = Hashtbl.create (4 * n) in
+  let edges = ref [] in
+  let add u v =
+    let key = (min u v * n) + max u v in
+    if u <> v && deg.(u) < d && deg.(v) < d && not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1;
+      edges := (u, v) :: !edges;
+      true
+    end
+    else false
+  in
+  (* Connectivity backbone: a random path permutation. *)
+  let perm = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  for i = 0 to n - 2 do
+    ignore (add perm.(i) perm.(i + 1))
+  done;
+  (* Fill remaining capacity with random edges, bounded retries. *)
+  let budget = ref (20 * n * d) in
+  while !budget > 0 do
+    decr budget;
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    ignore (add u v)
+  done;
+  Graph.of_edges ~n !edges
+
+let random_bipartite rng ~left ~right ~m =
+  if m > left * right then invalid_arg "Generators.random_bipartite";
+  let seen = Hashtbl.create (4 * m) in
+  let acc = ref [] in
+  let added = ref 0 in
+  while !added < m do
+    let u = Random.State.int rng left and v = Random.State.int rng right in
+    let key = (u * right) + v in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      acc := (u, v) :: !acc;
+      incr added
+    end
+  done;
+  !acc
+
+let grid_with_shortcuts rng ~rows ~cols ~shortcuts =
+  let base = grid ~rows ~cols in
+  let n = rows * cols in
+  let seen = Hashtbl.create (4 * (Graph.m base + shortcuts)) in
+  List.iter
+    (fun (u, v) -> Hashtbl.replace seen ((min u v * n) + max u v) ())
+    (Graph.edges base);
+  let extra = sample_pairs rng ~n ~m:shortcuts ~seen in
+  Graph.of_edges ~n (Graph.edges base @ extra)

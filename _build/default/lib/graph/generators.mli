@@ -1,0 +1,58 @@
+(** Graph generators for tests, examples and experiments.
+
+    All randomized generators take an explicit [Random.State.t] so that
+    every experiment is reproducible from a seed. *)
+
+val path : int -> Graph.t
+(** Path on [n] vertices (edges [i - i+1]). *)
+
+val cycle : int -> Graph.t
+(** Cycle on [n >= 3] vertices. *)
+
+val complete : int -> Graph.t
+val star : int -> Graph.t
+(** [star n] has center [0] and leaves [1 .. n-1]. *)
+
+val grid : rows:int -> cols:int -> Graph.t
+(** 2-dimensional grid; vertex [(r, c)] is [r * cols + c]. *)
+
+val torus : rows:int -> cols:int -> Graph.t
+(** Grid with wraparound; needs [rows >= 3] and [cols >= 3]. *)
+
+val balanced_binary_tree : depth:int -> Graph.t
+(** Perfectly balanced binary tree of the given depth
+    ([2^(depth+1) - 1] vertices, root [0], children of [i] are
+    [2i+1, 2i+2]). *)
+
+val random_tree : Random.State.t -> int -> Graph.t
+(** Uniform random attachment tree on [n] vertices (vertex [i > 0]
+    attaches to a uniform earlier vertex). *)
+
+val gnm : Random.State.t -> n:int -> m:int -> Graph.t
+(** Uniform simple graph with exactly [m] edges.
+    @raise Invalid_argument if [m > n(n-1)/2]. *)
+
+val gnp : Random.State.t -> n:int -> p:float -> Graph.t
+(** Erdős–Rényi G(n, p). *)
+
+val random_connected : Random.State.t -> n:int -> m:int -> Graph.t
+(** Connected graph with exactly [m >= n-1] edges: random spanning tree
+    plus uniform extra edges. The workhorse "sparse graph" generator:
+    call with [m = c * n] for constant average degree. *)
+
+val random_bounded_degree : Random.State.t -> n:int -> d:int -> Graph.t
+(** Random graph with maximum degree at most [d] (>= 2), built by
+    repeated random matching rounds with rejection; connected whenever
+    the attempt succeeds, otherwise the largest structure found is
+    completed with a path through leftover low-degree vertices.
+    Guaranteed simple and Δ <= d. *)
+
+val random_bipartite :
+  Random.State.t -> left:int -> right:int -> m:int -> (int * int) list
+(** [m] distinct pairs [(u, v)] with [u] in [0..left-1] and [v] in
+    [0..right-1], for matching tests. *)
+
+val grid_with_shortcuts :
+  Random.State.t -> rows:int -> cols:int -> shortcuts:int -> Graph.t
+(** A "road-network-like" instance: 2D grid plus random long-range
+    shortcut edges (used by the examples motivated by §1.1). *)

@@ -1,0 +1,104 @@
+type t = { n : int; m : int; off : int array; adj : int array }
+
+let n t = t.n
+let m t = t.m
+
+let build_csr ~allow_multi ~n edges_iter ~count =
+  let deg = Array.make n 0 in
+  edges_iter (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_edges: endpoint out of range";
+      if u = v then invalid_arg "Graph.of_edges: self loop";
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1);
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + deg.(i)
+  done;
+  let adj = Array.make (2 * count) 0 in
+  let cursor = Array.copy off in
+  edges_iter (fun (u, v) ->
+      adj.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      adj.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1);
+  for i = 0 to n - 1 do
+    let lo = off.(i) and hi = off.(i + 1) in
+    let slice = Array.sub adj lo (hi - lo) in
+    Array.sort compare slice;
+    Array.blit slice 0 adj lo (hi - lo);
+    if not allow_multi then
+      for k = lo to hi - 2 do
+        if adj.(k) = adj.(k + 1) then
+          invalid_arg "Graph.of_edges: duplicate edge"
+      done
+  done;
+  { n; m = count; off; adj }
+
+let of_edge_array ?(allow_multi = false) ~n edges =
+  build_csr ~allow_multi ~n
+    (fun f -> Array.iter f edges)
+    ~count:(Array.length edges)
+
+let of_edges ?(allow_multi = false) ~n edges =
+  build_csr ~allow_multi ~n
+    (fun f -> List.iter f edges)
+    ~count:(List.length edges)
+
+let degree t v =
+  if v < 0 || v >= t.n then invalid_arg "Graph.degree";
+  t.off.(v + 1) - t.off.(v)
+
+let max_degree t =
+  let best = ref 0 in
+  for v = 0 to t.n - 1 do
+    let d = t.off.(v + 1) - t.off.(v) in
+    if d > !best then best := d
+  done;
+  !best
+
+let neighbors t v =
+  if v < 0 || v >= t.n then invalid_arg "Graph.neighbors";
+  Array.sub t.adj t.off.(v) (t.off.(v + 1) - t.off.(v))
+
+let iter_neighbors t v f =
+  if v < 0 || v >= t.n then invalid_arg "Graph.iter_neighbors";
+  for k = t.off.(v) to t.off.(v + 1) - 1 do
+    f t.adj.(k)
+  done
+
+let fold_neighbors t v f init =
+  if v < 0 || v >= t.n then invalid_arg "Graph.fold_neighbors";
+  let acc = ref init in
+  for k = t.off.(v) to t.off.(v + 1) - 1 do
+    acc := f !acc t.adj.(k)
+  done;
+  !acc
+
+let mem_edge t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then invalid_arg "Graph.mem_edge";
+  let lo = ref t.off.(u) and hi = ref (t.off.(u + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = t.adj.(mid) in
+    if w = v then found := true
+    else if w < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let iter_edges t f =
+  for u = 0 to t.n - 1 do
+    for k = t.off.(u) to t.off.(u + 1) - 1 do
+      let v = t.adj.(k) in
+      if u < v then f u v
+    done
+  done
+
+let edges t =
+  let acc = ref [] in
+  iter_edges t (fun u v -> acc := (u, v) :: !acc);
+  List.rev !acc
+
+let pp ppf t = Format.fprintf ppf "graph(n=%d, m=%d)" t.n t.m

@@ -1,0 +1,47 @@
+(** Undirected, unweighted graph on vertices [0 .. n-1] in compressed
+    sparse row (CSR) form.
+
+    The representation is immutable after construction: build edge lists
+    (or use {!Builder}) and call {!of_edges}. Parallel edges and self
+    loops are rejected by default because every construction in the
+    paper is simple. *)
+
+type t
+
+val of_edges : ?allow_multi:bool -> n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds the graph with vertex set [0 .. n-1] and
+    the given undirected edges. Self loops are always rejected; a
+    duplicate edge raises unless [allow_multi] is set.
+    @raise Invalid_argument on an endpoint out of range or a self loop. *)
+
+val of_edge_array : ?allow_multi:bool -> n:int -> (int * int) array -> t
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of undirected edges. *)
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+(** Maximum degree; 0 for the empty graph. *)
+
+val neighbors : t -> int -> int array
+(** Fresh array of the neighbours of a vertex, in sorted order. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Iterate neighbours without allocating. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val mem_edge : t -> int -> int -> bool
+(** Edge test in O(log deg). *)
+
+val edges : t -> (int * int) list
+(** Each undirected edge once, as [(u, v)] with [u < v], sorted. *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Short human-readable summary ["graph(n=.., m=..)"]. *)

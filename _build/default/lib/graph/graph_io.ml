@@ -1,0 +1,76 @@
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" (Graph.n g) (Graph.m g));
+  Graph.iter_edges g (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  Buffer.contents buf
+
+let lines_of s =
+  String.split_on_char '\n' s
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
+let ints_of_line line =
+  String.split_on_char ' ' line
+  |> List.filter (fun t -> t <> "")
+  |> List.map (fun t ->
+         match int_of_string_opt t with
+         | Some i -> i
+         | None -> invalid_arg ("Graph_io: bad token " ^ t))
+
+let of_string s =
+  match lines_of s with
+  | [] -> invalid_arg "Graph_io.of_string: empty input"
+  | header :: rest -> (
+      match ints_of_line header with
+      | [ n; m ] ->
+          if List.length rest <> m then
+            invalid_arg "Graph_io.of_string: edge count mismatch";
+          let edges =
+            List.map
+              (fun l ->
+                match ints_of_line l with
+                | [ u; v ] -> (u, v)
+                | _ -> invalid_arg "Graph_io.of_string: bad edge line")
+              rest
+          in
+          Graph.of_edges ~n edges
+      | _ -> invalid_arg "Graph_io.of_string: bad header")
+
+let wgraph_to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" (Wgraph.n g) (Wgraph.m g));
+  List.iter
+    (fun (u, v, w) -> Buffer.add_string buf (Printf.sprintf "%d %d %d\n" u v w))
+    (Wgraph.edges g);
+  Buffer.contents buf
+
+let wgraph_of_string s =
+  match lines_of s with
+  | [] -> invalid_arg "Graph_io.wgraph_of_string: empty input"
+  | header :: rest -> (
+      match ints_of_line header with
+      | [ n; m ] ->
+          if List.length rest <> m then
+            invalid_arg "Graph_io.wgraph_of_string: edge count mismatch";
+          let edges =
+            List.map
+              (fun l ->
+                match ints_of_line l with
+                | [ u; v; w ] -> (u, v, w)
+                | _ -> invalid_arg "Graph_io.wgraph_of_string: bad edge line")
+              rest
+          in
+          Wgraph.of_edges ~n edges
+      | _ -> invalid_arg "Graph_io.wgraph_of_string: bad header")
+
+let to_dot ?(name = "g") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  for v = 0 to Graph.n g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+  done;
+  Graph.iter_edges g (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Plain-text graph serialisation.
+
+    The format is one header line ["n m"] followed by [m] lines
+    ["u v"] (or ["u v w"] in the weighted variant), 0-indexed. *)
+
+val to_string : Graph.t -> string
+val of_string : string -> Graph.t
+(** @raise Invalid_argument on malformed input. *)
+
+val wgraph_to_string : Wgraph.t -> string
+val wgraph_of_string : string -> Wgraph.t
+
+val to_dot : ?name:string -> Graph.t -> string
+(** Graphviz rendering, for small illustrative instances. *)

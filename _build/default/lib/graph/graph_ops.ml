@@ -1,0 +1,53 @@
+let induced_subgraph g vs =
+  let keep = List.sort_uniq compare vs in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= Graph.n g then
+        invalid_arg "Graph_ops.induced_subgraph: vertex out of range")
+    keep;
+  let old_id = Array.of_list keep in
+  let new_id = Hashtbl.create (Array.length old_id) in
+  Array.iteri (fun i v -> Hashtbl.replace new_id v i) old_id;
+  let edges = ref [] in
+  Graph.iter_edges g (fun u v ->
+      match (Hashtbl.find_opt new_id u, Hashtbl.find_opt new_id v) with
+      | Some u', Some v' -> edges := (u', v') :: !edges
+      | _ -> ());
+  (Graph.of_edges ~n:(Array.length old_id) !edges, old_id)
+
+let remove_vertices g vs =
+  let drop = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace drop v ()) vs;
+  let keep = ref [] in
+  for v = Graph.n g - 1 downto 0 do
+    if not (Hashtbl.mem drop v) then keep := v :: !keep
+  done;
+  induced_subgraph g !keep
+
+let disjoint_union a b =
+  let na = Graph.n a in
+  let edges =
+    Graph.edges a @ List.map (fun (u, v) -> (u + na, v + na)) (Graph.edges b)
+  in
+  Graph.of_edges ~n:(na + Graph.n b) edges
+
+let complement g =
+  let n = Graph.n g in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not (Graph.mem_edge g u v) then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let is_subgraph ~sub g =
+  Graph.n sub = Graph.n g
+  &&
+  let ok = ref true in
+  Graph.iter_edges sub (fun u v -> if not (Graph.mem_edge g u v) then ok := false);
+  !ok
+
+let map_weights f g =
+  Wgraph.of_edges ~n:(Wgraph.n g)
+    (List.map (fun (u, v, w) -> (u, v, f u v w)) (Wgraph.edges g))

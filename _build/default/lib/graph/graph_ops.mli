@@ -1,0 +1,25 @@
+(** Graph combinators: induced subgraphs, unions, complements,
+    deletions and weight maps. *)
+
+val induced_subgraph : Graph.t -> int list -> Graph.t * int array
+(** [induced_subgraph g vs] keeps exactly the listed vertices
+    (duplicates merged) and the edges among them, renumbering to
+    [0 .. k-1] in the sorted order of [vs]. Returns the subgraph and
+    the [old_id] array mapping new ids back to original ids. *)
+
+val remove_vertices : Graph.t -> int list -> Graph.t * int array
+(** Complementary selection, same renumbering convention. *)
+
+val disjoint_union : Graph.t -> Graph.t -> Graph.t
+(** Vertices of the second graph are shifted by [n] of the first. *)
+
+val complement : Graph.t -> Graph.t
+(** Simple complement (no self loops). Quadratic — small graphs only. *)
+
+val is_subgraph : sub:Graph.t -> Graph.t -> bool
+(** Same vertex count and every edge of [sub] present. *)
+
+val map_weights : (int -> int -> int -> int) -> Wgraph.t -> Wgraph.t
+(** [map_weights f g] rebuilds [g] with weight [f u v w] on each edge
+    [(u, v, w)].
+    @raise Invalid_argument if [f] produces a negative weight. *)

@@ -1,0 +1,69 @@
+let extract ~parent ~src ~dst =
+  let n = Array.length parent in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Path.extract: vertex out of range";
+  if src = dst then Some [ src ]
+  else begin
+    let rec walk v acc steps =
+      if steps > n then None (* cycle in parent pointers: not a tree *)
+      else if v = src then Some (src :: acc)
+      else
+        let p = parent.(v) in
+        if p < 0 then None else walk p (v :: acc) (steps + 1)
+    in
+    walk dst [] 0
+  end
+
+let rec pairwise ok = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> ok a b && pairwise ok rest
+
+let is_path g vs = pairwise (fun a b -> Graph.mem_edge g a b) vs
+let is_wpath g vs = pairwise (fun a b -> Wgraph.weight g a b <> None) vs
+
+let wlength g vs =
+  let rec go acc = function
+    | [] | [ _ ] -> Some acc
+    | a :: (b :: _ as rest) -> (
+        match Wgraph.weight g a b with
+        | None -> None
+        | Some w -> go (acc + w) rest)
+  in
+  go 0 vs
+
+let endpoints = function
+  | [] -> None
+  | v :: _ as vs -> Some (v, List.nth vs (List.length vs - 1))
+
+let verify_shortest g vs =
+  is_path g vs
+  &&
+  match endpoints vs with
+  | None -> true
+  | Some (u, v) ->
+      let d = (Traversal.bfs g u).(v) in
+      Dist.is_finite d && List.length vs - 1 = d
+
+let verify_wshortest g vs =
+  match (wlength g vs, endpoints vs) with
+  | Some len, Some (u, v) ->
+      let d = (Dijkstra.distances g u).(v) in
+      Dist.is_finite d && len = d
+  | Some _, None -> true
+  | None, _ -> false
+
+let on_shortest_path ~dist_u ~dist_v x d =
+  Dist.add dist_u.(x) dist_v.(x) = d
+
+let vertices_on_some_shortest_path g u v =
+  let du = Traversal.bfs g u in
+  let dv = Traversal.bfs g v in
+  let d = du.(v) in
+  if not (Dist.is_finite d) then []
+  else begin
+    let acc = ref [] in
+    for x = Graph.n g - 1 downto 0 do
+      if on_shortest_path ~dist_u:du ~dist_v:dv x d then acc := x :: !acc
+    done;
+    !acc
+  end

@@ -1,0 +1,31 @@
+(** Path extraction and validation utilities. *)
+
+val extract : parent:int array -> src:int -> dst:int -> int list option
+(** Reconstruct the tree path [src -> ... -> dst] from parent pointers
+    produced by {!Traversal.bfs_full} or {!Dijkstra.shortest_paths}.
+    [None] when [dst] is unreachable. *)
+
+val is_path : Graph.t -> int list -> bool
+(** [true] iff consecutive vertices of the list are adjacent (a single
+    vertex or the empty list are paths). *)
+
+val is_wpath : Wgraph.t -> int list -> bool
+
+val wlength : Wgraph.t -> int list -> int option
+(** Total weight of a path, [None] if a hop is not an edge. *)
+
+val verify_shortest : Graph.t -> int list -> bool
+(** [true] iff the list is a path whose length equals the graph
+    distance between its endpoints. *)
+
+val verify_wshortest : Wgraph.t -> int list -> bool
+
+val vertices_on_some_shortest_path : Graph.t -> int -> int -> int list
+(** All vertices [x] with [dist(u,x) + dist(x,v) = dist(u,v)] — the
+    "valid hubs" [H_uv] of Theorem 4.1 — in increasing vertex order.
+    Empty when [v] is unreachable from [u]. *)
+
+val on_shortest_path : dist_u:int array -> dist_v:int array -> int -> int -> bool
+(** [on_shortest_path ~dist_u ~dist_v x d] decides
+    [dist_u.(x) + dist_v.(x) = d] with saturating arithmetic; the caller
+    supplies [d = dist(u, v)]. *)

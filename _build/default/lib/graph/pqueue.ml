@@ -1,0 +1,87 @@
+type t = {
+  mutable size : int;
+  heap : int array; (* heap slot -> vertex *)
+  pos : int array; (* vertex -> heap slot, or -1 when absent *)
+  keys : int array; (* vertex -> current key (valid while present) *)
+}
+
+let create n =
+  {
+    size = 0;
+    heap = Array.make (max n 1) (-1);
+    pos = Array.make (max n 1) (-1);
+    keys = Array.make (max n 1) max_int;
+  }
+
+let is_empty t = t.size = 0
+let size t = t.size
+
+let mem t v =
+  if v < 0 || v >= Array.length t.pos then false else t.pos.(v) >= 0
+
+let key t v =
+  if not (mem t v) then invalid_arg "Pqueue.key: absent vertex";
+  t.keys.(v)
+
+let swap t i j =
+  let vi = t.heap.(i) and vj = t.heap.(j) in
+  t.heap.(i) <- vj;
+  t.heap.(j) <- vi;
+  t.pos.(vi) <- j;
+  t.pos.(vj) <- i
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.keys.(t.heap.(i)) < t.keys.(t.heap.(parent)) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.keys.(t.heap.(l)) < t.keys.(t.heap.(!smallest)) then
+    smallest := l;
+  if r < t.size && t.keys.(t.heap.(r)) < t.keys.(t.heap.(!smallest)) then
+    smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let insert t v k =
+  if v < 0 || v >= Array.length t.pos then
+    invalid_arg "Pqueue.insert: vertex out of range";
+  if t.pos.(v) >= 0 then invalid_arg "Pqueue.insert: vertex already present";
+  let i = t.size in
+  t.size <- i + 1;
+  t.heap.(i) <- v;
+  t.pos.(v) <- i;
+  t.keys.(v) <- k;
+  sift_up t i
+
+let decrease_key t v k =
+  if not (mem t v) then invalid_arg "Pqueue.decrease_key: absent vertex";
+  if k > t.keys.(v) then invalid_arg "Pqueue.decrease_key: key increase";
+  t.keys.(v) <- k;
+  sift_up t t.pos.(v)
+
+let insert_or_decrease t v k =
+  if mem t v then begin if k < t.keys.(v) then decrease_key t v k end
+  else insert t v k
+
+let pop_min t =
+  if t.size = 0 then invalid_arg "Pqueue.pop_min: empty heap";
+  let v = t.heap.(0) in
+  let k = t.keys.(v) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    let last = t.heap.(t.size) in
+    t.heap.(0) <- last;
+    t.pos.(last) <- 0;
+    sift_down t 0
+  end;
+  t.pos.(v) <- -1;
+  (v, k)

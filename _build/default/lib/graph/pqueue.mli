@@ -1,0 +1,40 @@
+(** Indexed binary min-heap with integer keys, specialised for graph
+    algorithms over vertices [0 .. n-1].
+
+    Each element is a vertex identifier; its priority is an [int] key.
+    The heap supports [decrease_key], which is what Dijkstra needs, in
+    O(log n) by keeping the position of every vertex in the heap array. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty heap able to hold vertices [0 .. n-1]. *)
+
+val is_empty : t -> bool
+
+val size : t -> int
+(** Number of elements currently stored. *)
+
+val mem : t -> int -> bool
+(** [mem h v] is [true] iff vertex [v] is currently in the heap. *)
+
+val insert : t -> int -> int -> unit
+(** [insert h v k] inserts vertex [v] with key [k].
+    @raise Invalid_argument if [v] is already present or out of range. *)
+
+val decrease_key : t -> int -> int -> unit
+(** [decrease_key h v k] lowers the key of [v] to [k].
+    @raise Invalid_argument if [v] is absent or [k] is larger than the
+    current key of [v]. *)
+
+val insert_or_decrease : t -> int -> int -> unit
+(** [insert_or_decrease h v k] inserts [v] with key [k] if absent,
+    otherwise lowers its key to [k] when [k] is smaller (no-op if not). *)
+
+val key : t -> int -> int
+(** Current key of a stored vertex.
+    @raise Invalid_argument if the vertex is absent. *)
+
+val pop_min : t -> int * int
+(** Remove and return [(v, key)] with the minimum key.
+    @raise Invalid_argument on an empty heap. *)

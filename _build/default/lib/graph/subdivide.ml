@@ -1,0 +1,82 @@
+type split = {
+  graph : Wgraph.t;
+  representative : int array;
+  origin : int array;
+}
+
+let split_high_degree g ~k =
+  if k < 1 then invalid_arg "Subdivide.split_high_degree: need k >= 1";
+  let n = Wgraph.n g in
+  (* Number of copies of each vertex, and id of its first copy. *)
+  let copies =
+    Array.init n (fun v ->
+        let d = Wgraph.degree g v in
+        max 1 ((d + k - 1) / k))
+  in
+  let first = Array.make n 0 in
+  let total = ref 0 in
+  for v = 0 to n - 1 do
+    first.(v) <- !total;
+    total := !total + copies.(v)
+  done;
+  let origin = Array.make !total 0 in
+  for v = 0 to n - 1 do
+    for c = 0 to copies.(v) - 1 do
+      origin.(first.(v) + c) <- v
+    done
+  done;
+  let edges = ref [] in
+  (* Weight-0 path linking the copies of each vertex. *)
+  for v = 0 to n - 1 do
+    for c = 0 to copies.(v) - 2 do
+      edges := (first.(v) + c, first.(v) + c + 1, 0) :: !edges
+    done
+  done;
+  (* Distribute original edges round-robin over copies, at most k per
+     copy. [slot.(v)] counts edges already attached at v's copies. *)
+  let slot = Array.make n 0 in
+  let attach v =
+    let c = slot.(v) / k in
+    slot.(v) <- slot.(v) + 1;
+    first.(v) + c
+  in
+  List.iter
+    (fun (u, v, w) -> edges := (attach u, attach v, w) :: !edges)
+    (Wgraph.edges g);
+  {
+    graph = Wgraph.of_edges ~n:!total !edges;
+    representative = first;
+    origin;
+  }
+
+let split_unweighted g ~k = split_high_degree (Wgraph.of_unweighted g) ~k
+
+let subdivide_edge_paths ~n edges =
+  List.iter
+    (fun (_, _, w) ->
+      if w < 1 then invalid_arg "Subdivide.subdivide_edge_paths: weight < 1")
+    edges;
+  let extra = List.fold_left (fun acc (_, _, w) -> acc + (w - 1)) 0 edges in
+  let total = n + extra in
+  let origin = Array.make total (-1) in
+  for v = 0 to n - 1 do
+    origin.(v) <- v
+  done;
+  let next = ref n in
+  let out = ref [] in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Subdivide.subdivide_edge_paths: endpoint out of range";
+      if w = 1 then out := (u, v) :: !out
+      else begin
+        let prev = ref u in
+        for _ = 1 to w - 1 do
+          out := (!prev, !next) :: !out;
+          prev := !next;
+          incr next
+        done;
+        out := (!prev, v) :: !out
+      end)
+    edges;
+  (Graph.of_edges ~n:total !out, origin)

@@ -1,0 +1,32 @@
+(** Vertex-subdivision reductions used by Theorem 1.4 and the
+    degree-3 gadget of Theorem 2.1.
+
+    [split_high_degree] implements the reduction at the end of Section 4:
+    a vertex of degree [deg(v)] is replaced by [ceil(deg(v) / k)] copies
+    of degree at most [2 + k] linked in a path of weight-0 auxiliary
+    edges, while original edges keep weight 1 (or their original weight).
+    Distances between representative copies equal distances in the
+    original graph. *)
+
+type split = {
+  graph : Wgraph.t;  (** the subdivided graph, with 0-weight link edges *)
+  representative : int array;
+      (** original vertex -> its canonical copy in [graph] *)
+  origin : int array;  (** copy in [graph] -> originating original vertex *)
+}
+
+val split_high_degree : Wgraph.t -> k:int -> split
+(** [split_high_degree g ~k] splits every vertex of degree more than
+    [k + 2] as described above. Requires [k >= 1]. *)
+
+val split_unweighted : Graph.t -> k:int -> split
+(** Convenience wrapper treating all edges as weight 1. *)
+
+val subdivide_edge_paths : n:int -> (int * int * int) list -> Graph.t * int array
+(** [subdivide_edge_paths ~n edges] replaces every weighted edge
+    [(u, v, w)] (with [w >= 1]) by a path of [w] unit edges through
+    [w - 1] fresh auxiliary vertices, yielding an unweighted graph in
+    which distances between original vertices are preserved. Returns the
+    graph and the [origin] map sending each new vertex to the original
+    vertex it stems from ([-1] for auxiliary path vertices). Original
+    vertices keep their identifiers [0 .. n-1]. *)

@@ -1,0 +1,127 @@
+type bfs_result = {
+  dist : int array;
+  parent : int array;
+  num_paths : int array;
+}
+
+let path_count_cap = max_int / 4
+
+let cap_add a b =
+  if a >= path_count_cap - b then path_count_cap else a + b
+
+let bfs g s =
+  let n = Graph.n g in
+  if s < 0 || s >= n then invalid_arg "Traversal.bfs: source out of range";
+  let dist = Array.make n Dist.inf in
+  let q = Queue.create () in
+  dist.(s) <- 0;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Graph.iter_neighbors g u (fun v ->
+        if dist.(v) = Dist.inf then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+  done;
+  dist
+
+let bfs_full g s =
+  let n = Graph.n g in
+  if s < 0 || s >= n then invalid_arg "Traversal.bfs_full: source out of range";
+  let dist = Array.make n Dist.inf in
+  let parent = Array.make n (-1) in
+  let num_paths = Array.make n 0 in
+  let q = Queue.create () in
+  dist.(s) <- 0;
+  num_paths.(s) <- 1;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Graph.iter_neighbors g u (fun v ->
+        if dist.(v) = Dist.inf then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          num_paths.(v) <- num_paths.(u);
+          Queue.add v q
+        end
+        else if dist.(v) = dist.(u) + 1 then
+          num_paths.(v) <- cap_add num_paths.(v) num_paths.(u))
+  done;
+  { dist; parent; num_paths }
+
+let bfs_limited g s ~radius =
+  let n = Graph.n g in
+  if s < 0 || s >= n then invalid_arg "Traversal.bfs_limited";
+  let dist = Hashtbl.create 64 in
+  let q = Queue.create () in
+  Hashtbl.replace dist s 0;
+  Queue.add s q;
+  let acc = ref [ (s, 0) ] in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let du = Hashtbl.find dist u in
+    if du < radius then
+      Graph.iter_neighbors g u (fun v ->
+          if not (Hashtbl.mem dist v) then begin
+            Hashtbl.replace dist v (du + 1);
+            acc := (v, du + 1) :: !acc;
+            Queue.add v q
+          end)
+  done;
+  List.rev !acc
+
+let components g =
+  let n = Graph.n g in
+  let comp = Array.make n (-1) in
+  let k = ref 0 in
+  let q = Queue.create () in
+  for s = 0 to n - 1 do
+    if comp.(s) = -1 then begin
+      comp.(s) <- !k;
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        Graph.iter_neighbors g u (fun v ->
+            if comp.(v) = -1 then begin
+              comp.(v) <- !k;
+              Queue.add v q
+            end)
+      done;
+      incr k
+    end
+  done;
+  (comp, !k)
+
+let is_connected g =
+  let n = Graph.n g in
+  n = 0 || snd (components g) = 1
+
+let eccentricity g s =
+  let dist = bfs g s in
+  Array.fold_left max 0 dist
+
+let diameter g =
+  let n = Graph.n g in
+  if n = 0 then 0
+  else begin
+    let best = ref 0 in
+    for s = 0 to n - 1 do
+      let e = eccentricity g s in
+      if e > !best then best := e
+    done;
+    !best
+  end
+
+let dfs_order g s =
+  let n = Graph.n g in
+  if s < 0 || s >= n then invalid_arg "Traversal.dfs_order";
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec go u =
+    seen.(u) <- true;
+    order := u :: !order;
+    Graph.iter_neighbors g u (fun v -> if not seen.(v) then go v)
+  in
+  go s;
+  List.rev !order

@@ -1,0 +1,43 @@
+(** Breadth-first and depth-first traversals of unweighted graphs.
+
+    All distance arrays use the {!Dist.inf} sentinel for unreachable
+    vertices. *)
+
+type bfs_result = {
+  dist : int array;  (** distance from the source, {!Dist.inf} if unreachable *)
+  parent : int array;  (** a BFS-tree parent, [-1] for the source/unreachable *)
+  num_paths : int array;
+      (** number of distinct shortest paths from the source, saturated at
+          {!path_count_cap} to avoid overflow *)
+}
+
+val path_count_cap : int
+(** Saturation value for shortest-path counting. *)
+
+val bfs : Graph.t -> int -> int array
+(** [bfs g s] is the array of distances from [s]. *)
+
+val bfs_full : Graph.t -> int -> bfs_result
+(** BFS with parent pointers and shortest-path counting. *)
+
+val bfs_limited : Graph.t -> int -> radius:int -> (int * int) list
+(** [bfs_limited g s ~radius] lists [(v, d)] for every vertex [v] with
+    [d = dist(s, v) <= radius], in non-decreasing order of distance. *)
+
+val components : Graph.t -> int array * int
+(** [components g] is [(comp, k)]: [comp.(v)] is the index in
+    [0 .. k-1] of the connected component of [v]. *)
+
+val is_connected : Graph.t -> bool
+(** [true] for the empty graph. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Maximum finite distance from the vertex; {!Dist.inf} when some
+    vertex is unreachable. *)
+
+val diameter : Graph.t -> int
+(** Exact diameter by running BFS from every vertex; {!Dist.inf} when
+    disconnected, [0] for the empty or single-vertex graph. *)
+
+val dfs_order : Graph.t -> int -> int list
+(** Preorder of the DFS from the given source (its component only). *)

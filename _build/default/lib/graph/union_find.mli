@@ -1,0 +1,19 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used by generators to guarantee connectivity and by component
+    bookkeeping in tests. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets [{0}, ..., {n-1}]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the element. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two sets; returns [false] if they were already merged. *)
+
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of disjoint sets currently. *)

@@ -1,0 +1,108 @@
+type t = { n : int; m : int; off : int array; adj : int array; wgt : int array }
+
+let n t = t.n
+let m t = t.m
+
+let build ~n edges_iter ~count =
+  let deg = Array.make n 0 in
+  edges_iter (fun (u, v, w) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Wgraph.of_edges: endpoint out of range";
+      if u = v then invalid_arg "Wgraph.of_edges: self loop";
+      if w < 0 then invalid_arg "Wgraph.of_edges: negative weight";
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1);
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + deg.(i)
+  done;
+  let adj = Array.make (2 * count) 0 in
+  let wgt = Array.make (2 * count) 0 in
+  let cursor = Array.copy off in
+  edges_iter (fun (u, v, w) ->
+      adj.(cursor.(u)) <- v;
+      wgt.(cursor.(u)) <- w;
+      cursor.(u) <- cursor.(u) + 1;
+      adj.(cursor.(v)) <- u;
+      wgt.(cursor.(v)) <- w;
+      cursor.(v) <- cursor.(v) + 1);
+  (* Sort each adjacency slice by target, carrying weights along. *)
+  for i = 0 to n - 1 do
+    let lo = off.(i) and len = off.(i + 1) - off.(i) in
+    let pairs = Array.init len (fun k -> (adj.(lo + k), wgt.(lo + k))) in
+    Array.sort compare pairs;
+    Array.iteri
+      (fun k (v, w) ->
+        adj.(lo + k) <- v;
+        wgt.(lo + k) <- w)
+      pairs;
+    for k = lo to lo + len - 2 do
+      if adj.(k) = adj.(k + 1) then invalid_arg "Wgraph.of_edges: duplicate edge"
+    done
+  done;
+  { n; m = count; off; adj; wgt }
+
+let of_edge_array ~n edges =
+  build ~n (fun f -> Array.iter f edges) ~count:(Array.length edges)
+
+let of_edges ~n edges =
+  build ~n (fun f -> List.iter f edges) ~count:(List.length edges)
+
+let of_unweighted g =
+  let edges = List.map (fun (u, v) -> (u, v, 1)) (Graph.edges g) in
+  of_edges ~n:(Graph.n g) edges
+
+let degree t v =
+  if v < 0 || v >= t.n then invalid_arg "Wgraph.degree";
+  t.off.(v + 1) - t.off.(v)
+
+let max_degree t =
+  let best = ref 0 in
+  for v = 0 to t.n - 1 do
+    let d = t.off.(v + 1) - t.off.(v) in
+    if d > !best then best := d
+  done;
+  !best
+
+let iter_neighbors t v f =
+  if v < 0 || v >= t.n then invalid_arg "Wgraph.iter_neighbors";
+  for k = t.off.(v) to t.off.(v + 1) - 1 do
+    f t.adj.(k) t.wgt.(k)
+  done
+
+let fold_neighbors t v f init =
+  let acc = ref init in
+  iter_neighbors t v (fun u w -> acc := f !acc u w);
+  !acc
+
+let neighbors t v =
+  if v < 0 || v >= t.n then invalid_arg "Wgraph.neighbors";
+  Array.init
+    (t.off.(v + 1) - t.off.(v))
+    (fun k -> (t.adj.(t.off.(v) + k), t.wgt.(t.off.(v) + k)))
+
+let weight t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then invalid_arg "Wgraph.weight";
+  let lo = ref t.off.(u) and hi = ref (t.off.(u + 1) - 1) in
+  let res = ref None in
+  while !res = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = t.adj.(mid) in
+    if w = v then res := Some t.wgt.(mid)
+    else if w < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+let edges t =
+  let acc = ref [] in
+  for u = 0 to t.n - 1 do
+    for k = t.off.(u) to t.off.(u + 1) - 1 do
+      let v = t.adj.(k) in
+      if u < v then acc := (u, v, t.wgt.(k)) :: !acc
+    done
+  done;
+  List.rev !acc
+
+let total_weight t = List.fold_left (fun acc (_, _, w) -> acc + w) 0 (edges t)
+let pp ppf t = Format.fprintf ppf "wgraph(n=%d, m=%d)" t.n t.m

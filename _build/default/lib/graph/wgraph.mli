@@ -1,0 +1,38 @@
+(** Undirected graph with non-negative integer edge weights, in CSR form.
+
+    Weight 0 is permitted: the degree-reduction of Theorem 1.4 links the
+    copies of a subdivided vertex with weight-0 auxiliary edges, so the
+    shortest-path machinery ({!Dijkstra}) must tolerate zero weights. *)
+
+type t
+
+val of_edges : n:int -> (int * int * int) list -> t
+(** [of_edges ~n edges] builds the graph from [(u, v, w)] triples.
+    @raise Invalid_argument on out-of-range endpoints, self loops,
+    duplicate edges or negative weights. *)
+
+val of_edge_array : n:int -> (int * int * int) array -> t
+
+val of_unweighted : Graph.t -> t
+(** Every edge receives weight 1. *)
+
+val n : t -> int
+val m : t -> int
+val degree : t -> int -> int
+val max_degree : t -> int
+
+val iter_neighbors : t -> int -> (int -> int -> unit) -> unit
+(** [iter_neighbors g v f] calls [f u w] for every edge [{v, u}] of
+    weight [w]. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> int -> 'a) -> 'a -> 'a
+val neighbors : t -> int -> (int * int) array
+
+val weight : t -> int -> int -> int option
+(** Weight of the edge [{u, v}], if present. *)
+
+val edges : t -> (int * int * int) list
+(** Each undirected edge once, as [(u, v, w)] with [u < v]. *)
+
+val total_weight : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/hub/approx_hub.ml: Array Dist Graph Hashtbl Hub_label List Pll Repro_graph Traversal

@@ -1,0 +1,1 @@
+lib/hub/approx_hub.mli: Graph Hub_label Repro_graph

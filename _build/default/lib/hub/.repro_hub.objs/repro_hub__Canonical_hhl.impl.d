@@ -1,0 +1,1 @@
+lib/hub/canonical_hhl.ml: Array Dist Graph Hub_label Order Repro_graph Traversal

@@ -1,0 +1,1 @@
+lib/hub/canonical_hhl.mli: Graph Hub_label Repro_graph

@@ -1,0 +1,1 @@
+lib/hub/cover.ml: Array Dijkstra Dist Format Graph Hub_label List Random Repro_graph Traversal Wgraph

@@ -1,0 +1,1 @@
+lib/hub/cover.mli: Format Graph Hub_label Random Repro_graph Wgraph

@@ -1,0 +1,1 @@
+lib/hub/greedy_landmark.ml: Apsp Array Dist Graph Hub_label List Repro_graph

@@ -1,0 +1,1 @@
+lib/hub/greedy_landmark.mli: Graph Hub_label Repro_graph

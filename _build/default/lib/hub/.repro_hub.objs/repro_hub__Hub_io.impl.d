@@ -1,0 +1,1 @@
+lib/hub/hub_io.ml: Array Buffer Hub_label List Printf String

@@ -1,0 +1,1 @@
+lib/hub/hub_io.mli: Hub_label

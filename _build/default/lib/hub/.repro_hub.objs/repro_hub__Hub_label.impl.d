@@ -1,0 +1,1 @@
+lib/hub/hub_label.ml: Array Dist Format List Repro_graph

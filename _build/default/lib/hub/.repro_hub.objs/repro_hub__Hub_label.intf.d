@@ -1,0 +1,1 @@
+lib/hub/hub_label.mli: Format

@@ -1,0 +1,1 @@
+lib/hub/hub_prune.ml: Array Cover Dijkstra Graph Hub_label List Repro_graph Traversal Wgraph

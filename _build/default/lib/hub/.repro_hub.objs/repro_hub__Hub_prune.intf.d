@@ -1,0 +1,1 @@
+lib/hub/hub_prune.mli: Graph Hub_label Repro_graph Wgraph

@@ -1,0 +1,1 @@
+lib/hub/hub_stats.ml: Array Hashtbl Hub_label List Option Printf

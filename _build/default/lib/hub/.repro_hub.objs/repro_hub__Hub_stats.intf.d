@@ -1,0 +1,1 @@
+lib/hub/hub_stats.mli: Hub_label

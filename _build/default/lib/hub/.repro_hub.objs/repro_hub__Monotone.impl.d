@@ -1,0 +1,1 @@
+lib/hub/monotone.ml: Array Dijkstra Dist Graph Hashtbl Hub_label Repro_graph Traversal Wgraph

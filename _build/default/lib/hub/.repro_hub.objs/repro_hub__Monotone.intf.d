@@ -1,0 +1,1 @@
+lib/hub/monotone.mli: Graph Hub_label Repro_graph Wgraph

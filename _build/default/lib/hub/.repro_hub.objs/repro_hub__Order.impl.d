@@ -1,0 +1,1 @@
+lib/hub/order.ml: Array Dist Graph Random Repro_graph Traversal Wgraph

@@ -1,0 +1,1 @@
+lib/hub/order.mli: Graph Random Repro_graph Wgraph

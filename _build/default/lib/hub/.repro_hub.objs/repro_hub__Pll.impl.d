@@ -1,0 +1,1 @@
+lib/hub/pll.ml: Array Dist Graph Hub_label List Order Pqueue Queue Repro_graph Wgraph

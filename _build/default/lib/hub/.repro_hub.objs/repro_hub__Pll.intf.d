@@ -1,0 +1,1 @@
+lib/hub/pll.mli: Graph Hub_label Repro_graph Wgraph

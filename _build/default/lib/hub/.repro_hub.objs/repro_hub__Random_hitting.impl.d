@@ -1,0 +1,1 @@
+lib/hub/random_hitting.ml: Array Dist Graph Hub_label Random Repro_graph Traversal

@@ -1,0 +1,1 @@
+lib/hub/random_hitting.mli: Graph Hub_label Random Repro_graph

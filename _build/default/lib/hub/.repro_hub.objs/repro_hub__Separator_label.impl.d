@@ -1,0 +1,1 @@
+lib/hub/separator_label.ml: Array Dist Graph Hashtbl Hub_label List Queue Repro_graph Traversal

@@ -1,0 +1,1 @@
+lib/hub/separator_label.mli: Graph Hub_label Repro_graph

@@ -1,0 +1,1 @@
+lib/hub/spc.ml: Array Dist Graph List Repro_graph Traversal

@@ -1,0 +1,1 @@
+lib/hub/spc.mli: Graph Repro_graph

@@ -1,0 +1,91 @@
+open Repro_graph
+
+type t = {
+  labels : Hub_label.t;
+  dominators : int array;
+  dominating_set_size : int;
+}
+
+(* Greedy 1-dominating set: repeatedly take the vertex covering the
+   most undominated vertices (itself + neighbours). *)
+let dominating_set g =
+  let n = Graph.n g in
+  let dominated = Array.make n false in
+  let remaining = ref n in
+  let chosen = ref [] in
+  while !remaining > 0 do
+    let best = ref (-1) and best_gain = ref (-1) in
+    for v = 0 to n - 1 do
+      let gain = ref (if dominated.(v) then 0 else 1) in
+      Graph.iter_neighbors g v (fun u -> if not dominated.(u) then incr gain);
+      if !gain > !best_gain then begin
+        best_gain := !gain;
+        best := v
+      end
+    done;
+    let v = !best in
+    chosen := v :: !chosen;
+    if not dominated.(v) then begin
+      dominated.(v) <- true;
+      decr remaining
+    end;
+    Graph.iter_neighbors g v (fun u ->
+        if not dominated.(u) then begin
+          dominated.(u) <- true;
+          decr remaining
+        end)
+  done;
+  !chosen
+
+let build ?base g =
+  let n = Graph.n g in
+  let base = match base with Some b -> b | None -> Pll.build g in
+  let dom = dominating_set g in
+  let p = Array.make n (-1) in
+  List.iter (fun v -> p.(v) <- v) dom;
+  (* map every vertex to an adjacent dominator (or itself) *)
+  for v = 0 to n - 1 do
+    if p.(v) = -1 then
+      Graph.iter_neighbors g v (fun u ->
+          if p.(v) = -1 && p.(u) = u then p.(v) <- u)
+  done;
+  (* distances from every dominator, shared across vertices *)
+  let dom_dist = Hashtbl.create 64 in
+  List.iter (fun d -> Hashtbl.replace dom_dist d (Traversal.bfs g d)) dom;
+  let sets =
+    Array.init n (fun v ->
+        List.filter_map
+          (fun (w, _) ->
+            let pw = p.(w) in
+            let dist = (Hashtbl.find dom_dist pw).(v) in
+            if Dist.is_finite dist then Some (pw, dist) else None)
+          (Hub_label.hub_list base v))
+  in
+  {
+    labels = Hub_label.make ~n sets;
+    dominators = p;
+    dominating_set_size = List.length dom;
+  }
+
+let query t u v = Hub_label.query t.labels u v
+
+let max_error g t =
+  let n = Graph.n g in
+  let worst = ref 0 in
+  for u = 0 to n - 1 do
+    let dist = Traversal.bfs g u in
+    for v = u to n - 1 do
+      if Dist.is_finite dist.(v) then begin
+        let got = query t u v in
+        let err = got - dist.(v) in
+        if err < 0 then
+          invalid_arg "Approx_hub.max_error: underestimate (broken labeling)";
+        if err > !worst then worst := err
+      end
+    done
+  done;
+  !worst
+
+let compression ~base t =
+  float_of_int (Hub_label.total_size base)
+  /. float_of_int (max 1 (Hub_label.total_size t.labels))

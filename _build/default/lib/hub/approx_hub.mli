@@ -1,0 +1,35 @@
+(** Additive-approximation hubsets — the ingredient §1.1 describes in
+    the distance labelings of [AGHP16a]: "an additive approximation
+    scheme for hub-labeling is constructed, that is for each pair uv
+    there is w ∈ S(u) ∩ S(v) such that either w or some neighbor
+    x ∈ N(w) is on a shortest uv path. This guarantees that the
+    absolute error of estimation is either 0, 1 or 2."
+
+    Construction: pick a 1-dominating set [N] (greedy), map every
+    vertex to a dominator [p(v) ∈ N] at distance ≤ 1, and replace each
+    hub [w] of a base exact labeling by [p(w)] (with its true distance).
+    Any exact meeting hub [w] becomes [p(w)] ∈ both hubsets with
+    [d(u,p(w)) + d(p(w),v) ≤ d(u,v) + 2], so the query error lies in
+    [{0, 1, 2}]; distinct hubs with the same dominator merge, shrinking
+    the labels. *)
+
+open Repro_graph
+
+type t = {
+  labels : Hub_label.t;  (** the approximate hubsets (true distances) *)
+  dominators : int array;  (** [p(v)] for every vertex *)
+  dominating_set_size : int;
+}
+
+val build : ?base:Hub_label.t -> Graph.t -> t
+(** [base] defaults to PLL. The base labeling must be exact. *)
+
+val query : t -> int -> int -> int
+(** Approximate distance, always within [+2] of the truth (and never
+    below it). *)
+
+val max_error : Graph.t -> t -> int
+(** Exhaustive maximum additive error over all pairs (expected ≤ 2). *)
+
+val compression : base:Hub_label.t -> t -> float
+(** [total base hubs / total approx hubs] — the size saving. *)

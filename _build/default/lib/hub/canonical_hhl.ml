@@ -1,0 +1,44 @@
+open Repro_graph
+
+let build ~order g =
+  let n = Graph.n g in
+  if Array.length order <> n then invalid_arg "Canonical_hhl.build: bad order";
+  let rank = Order.rank_of order in
+  let rows = Array.init n (fun v -> Traversal.bfs g v) in
+  let labels : (int * int) list array = Array.make n [] in
+  for v = 0 to n - 1 do
+    for w = 0 to n - 1 do
+      let dvw = rows.(v).(w) in
+      if Dist.is_finite dvw then begin
+        (* is w the most important vertex on some shortest v-w path?
+           equivalently: no x with rank.(x) < rank.(w) satisfies
+           d(v,x) + d(x,w) = d(v,w) *)
+        let dominated = ref false in
+        for x = 0 to n - 1 do
+          if
+            rank.(x) < rank.(w)
+            && Dist.add rows.(v).(x) rows.(x).(w) = dvw
+          then dominated := true
+        done;
+        if not !dominated then labels.(v) <- (w, dvw) :: labels.(v)
+      end
+    done
+  done;
+  Hub_label.make ~n labels
+
+let respects_hierarchy ~rank g labels =
+  let n = Graph.n g in
+  let rows = Array.init n (fun v -> Traversal.bfs g v) in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    Array.iter
+      (fun (w, dvw) ->
+        for x = 0 to n - 1 do
+          if
+            rank.(x) < rank.(w)
+            && Dist.add rows.(v).(x) rows.(x).(w) = dvw
+          then ok := false
+        done)
+      (Hub_label.hubs labels v)
+  done;
+  !ok

@@ -1,0 +1,20 @@
+(** Canonical hierarchical hub labelings, by definition.
+
+    Fix a vertex order (most important first). The canonical labeling
+    assigns [w ∈ S(v)] iff [w] is the highest-ranked vertex on some
+    shortest [w–v] path ... equivalently, iff no vertex ranked above
+    [w] lies on any shortest [w–v] path. This is the minimal labeling
+    respecting the hierarchy ([ADGW12]), and pruned landmark labeling
+    computes exactly this set — a fact the test suite uses to
+    cross-validate {!Pll} against this direct O(n³)-ish definition. *)
+
+open Repro_graph
+
+val build : order:int array -> Graph.t -> Hub_label.t
+(** Direct from the definition, using per-vertex BFS distance rows.
+    Quadratic memory, cubic-ish time: testing scales only. *)
+
+val respects_hierarchy : rank:int array -> Graph.t -> Hub_label.t -> bool
+(** Every stored hub is hierarchically maximal on its pair: for
+    [w ∈ S(v)], no vertex with lower rank index (= more important) lies
+    on a shortest [w-v] path. ([rank] maps vertex to order position.) *)

@@ -1,0 +1,65 @@
+open Repro_graph
+
+type violation = { u : int; v : int; expected : int; got : int }
+
+let pp_violation ppf t =
+  Format.fprintf ppf "pair (%d, %d): expected %a, got %a" t.u t.v Dist.pp
+    t.expected Dist.pp t.got
+
+let collect ?(limit = max_int) ~n ~dist_from labels =
+  let acc = ref [] in
+  let count = ref 0 in
+  (try
+     for u = 0 to n - 1 do
+       let dist = dist_from u in
+       for v = u to n - 1 do
+         let got = Hub_label.query labels u v in
+         let expected = dist.(v) in
+         if got <> expected then begin
+           acc := { u; v; expected; got } :: !acc;
+           incr count;
+           if !count >= limit then raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  List.rev !acc
+
+let violations ?limit g labels =
+  collect ?limit ~n:(Graph.n g) ~dist_from:(fun u -> Traversal.bfs g u) labels
+
+let verify g labels = violations ~limit:1 g labels = []
+
+let violations_w ?limit g labels =
+  collect ?limit ~n:(Wgraph.n g)
+    ~dist_from:(fun u -> Dijkstra.distances g u)
+    labels
+
+let verify_w g labels = violations_w ~limit:1 g labels = []
+
+let verify_sampled g labels ~rng ~samples =
+  let n = Graph.n g in
+  let ok = ref true in
+  for _ = 1 to samples do
+    if !ok then begin
+      let u = Random.State.int rng n in
+      let dist = Traversal.bfs g u in
+      for v = 0 to n - 1 do
+        if Hub_label.query labels u v <> dist.(v) then ok := false
+      done
+    end
+  done;
+  !ok
+
+let stored_distances_exact g labels =
+  let n = Graph.n g in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if !ok then begin
+      let dist = Traversal.bfs g v in
+      Array.iter
+        (fun (h, d) -> if dist.(h) <> d then ok := false)
+        (Hub_label.hubs labels v)
+    end
+  done;
+  !ok

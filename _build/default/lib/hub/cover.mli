@@ -1,0 +1,33 @@
+(** Correctness checks for hub labelings: is the labeling an exact
+    2-hop cover (equivalently, is the family a shortest-path cover with
+    true stored distances)? *)
+
+open Repro_graph
+
+type violation = {
+  u : int;
+  v : int;
+  expected : int;  (** graph distance *)
+  got : int;  (** labeling answer *)
+}
+
+val violations : ?limit:int -> Graph.t -> Hub_label.t -> violation list
+(** All (or the first [limit]) pairs where the labeling answer differs
+    from the BFS distance. Runs BFS from every vertex. *)
+
+val verify : Graph.t -> Hub_label.t -> bool
+(** [violations] is empty. *)
+
+val violations_w : ?limit:int -> Wgraph.t -> Hub_label.t -> violation list
+val verify_w : Wgraph.t -> Hub_label.t -> bool
+
+val verify_sampled :
+  Graph.t -> Hub_label.t -> rng:Random.State.t -> samples:int -> bool
+(** Checks [samples] random sources exhaustively against BFS — a cheap
+    screen for large instances. *)
+
+val stored_distances_exact : Graph.t -> Hub_label.t -> bool
+(** Every stored pair [(h, d) ∈ S(v)] satisfies [d = dist(v, h)] — a
+    stronger well-formedness property all our constructions obey. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,44 @@
+open Repro_graph
+
+let build g =
+  let n = Graph.n g in
+  let apsp = Apsp.of_graph g in
+  let labels : (int * int) list array = Array.make n [] in
+  (* Uncovered pairs, as a list refreshed each round. *)
+  let uncovered = ref [] in
+  for u = 0 to n - 1 do
+    for v = u to n - 1 do
+      if Dist.is_finite (Apsp.dist apsp u v) then
+        uncovered := (u, v) :: !uncovered
+    done
+  done;
+  while !uncovered <> [] do
+    (* Count, per candidate hub, how many uncovered pairs it resolves. *)
+    let gain = Array.make n 0 in
+    List.iter
+      (fun (u, v) ->
+        let duv = Apsp.dist apsp u v in
+        for w = 0 to n - 1 do
+          if Dist.add (Apsp.dist apsp u w) (Apsp.dist apsp w v) = duv then
+            gain.(w) <- gain.(w) + 1
+        done)
+      !uncovered;
+    let best = ref 0 in
+    for w = 1 to n - 1 do
+      if gain.(w) > gain.(!best) then best := w
+    done;
+    let w = !best in
+    assert (gain.(w) > 0);
+    let still = ref [] in
+    List.iter
+      (fun (u, v) ->
+        let duv = Apsp.dist apsp u v in
+        if Dist.add (Apsp.dist apsp u w) (Apsp.dist apsp w v) = duv then begin
+          labels.(u) <- (w, Apsp.dist apsp u w) :: labels.(u);
+          if v <> u then labels.(v) <- (w, Apsp.dist apsp v w) :: labels.(v)
+        end
+        else still := (u, v) :: !still)
+      !uncovered;
+    uncovered := !still
+  done;
+  Hub_label.make ~n labels

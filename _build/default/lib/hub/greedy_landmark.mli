@@ -1,0 +1,14 @@
+(** Small-scale greedy landmark labeling, after the landmark-labeling
+    view of [AG11]: repeatedly pick the vertex lying on shortest paths
+    of the most still-uncovered pairs and add it as a hub to both sides
+    of all those pairs.
+
+    O(n³) per round with up to O(n) rounds — a quality (not speed)
+    baseline for instances of a few hundred vertices, used in tests and
+    in the upper-bound comparison experiment. *)
+
+open Repro_graph
+
+val build : Graph.t -> Hub_label.t
+(** Exact cover by construction (every pair ends covered; unreachable
+    pairs need no hub). *)

@@ -1,0 +1,55 @@
+let to_string labels =
+  let buf = Buffer.create 4096 in
+  let n = Hub_label.n labels in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" n (Hub_label.total_size labels));
+  for v = 0 to n - 1 do
+    let hubs = Hub_label.hubs labels v in
+    Buffer.add_string buf (Printf.sprintf "%d %d" v (Array.length hubs));
+    Array.iter
+      (fun (h, d) -> Buffer.add_string buf (Printf.sprintf " %d %d" h d))
+      hubs;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let ints line =
+    String.split_on_char ' ' line
+    |> List.filter (fun t -> t <> "")
+    |> List.map (fun t ->
+           match int_of_string_opt t with
+           | Some i -> i
+           | None -> invalid_arg ("Hub_io.of_string: bad token " ^ t))
+  in
+  match lines with
+  | [] -> invalid_arg "Hub_io.of_string: empty input"
+  | header :: rest -> (
+      match ints header with
+      | [ n; _total ] ->
+          if List.length rest <> n then
+            invalid_arg "Hub_io.of_string: vertex count mismatch";
+          let sets = Array.make n [] in
+          List.iter
+            (fun line ->
+              match ints line with
+              | v :: k :: pairs ->
+                  if v < 0 || v >= n then
+                    invalid_arg "Hub_io.of_string: vertex out of range";
+                  if List.length pairs <> 2 * k then
+                    invalid_arg "Hub_io.of_string: pair count mismatch";
+                  let rec collect = function
+                    | [] -> []
+                    | h :: d :: rest -> (h, d) :: collect rest
+                    | [ _ ] -> invalid_arg "Hub_io.of_string: odd pair list"
+                  in
+                  sets.(v) <- collect pairs
+              | _ -> invalid_arg "Hub_io.of_string: bad vertex line")
+            rest;
+          Hub_label.make ~n sets
+      | _ -> invalid_arg "Hub_io.of_string: bad header")

@@ -1,0 +1,9 @@
+(** Plain-text serialisation of hub labelings.
+
+    Format: header ["n total"], then one line per vertex:
+    ["v k h1 d1 h2 d2 ..."]. Lossless. *)
+
+val to_string : Hub_label.t -> string
+
+val of_string : string -> Hub_label.t
+(** @raise Invalid_argument on malformed input. *)

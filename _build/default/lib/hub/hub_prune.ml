@@ -1,0 +1,47 @@
+open Repro_graph
+
+let prune_generic ~n ~dist_from labels =
+  (* Mutable copy of the hubsets, as sorted association lists. *)
+  let sets = Array.init n (fun v -> Hub_label.hub_list labels v) in
+  let current = ref (Hub_label.make ~n (Array.copy sets)) in
+  for v = 0 to n - 1 do
+    let dist = dist_from v in
+    (* check that removing (h, d) from S(v) keeps every pair (v, u)
+       answered exactly; try larger-distance hubs first, as they are
+       the most likely to be redundant *)
+    let try_order =
+      List.sort (fun (_, d1) (_, d2) -> compare d2 d1) sets.(v)
+    in
+    List.iter
+      (fun (h, d) ->
+        if h <> v then begin
+          let without = List.filter (fun (h', _) -> h' <> h) sets.(v) in
+          let tentative_sets = Array.copy sets in
+          tentative_sets.(v) <- without;
+          let tentative = Hub_label.make ~n tentative_sets in
+          let still_exact = ref true in
+          for u = 0 to n - 1 do
+            if !still_exact && Hub_label.query tentative v u <> dist.(u) then
+              still_exact := false
+          done;
+          if !still_exact then begin
+            sets.(v) <- without;
+            current := tentative
+          end;
+          ignore d
+        end)
+      try_order
+  done;
+  !current
+
+let prune g labels =
+  if not (Cover.verify g labels) then
+    invalid_arg "Hub_prune.prune: labeling is not exact";
+  prune_generic ~n:(Graph.n g) ~dist_from:(fun v -> Traversal.bfs g v) labels
+
+let prune_w g labels =
+  if not (Cover.verify_w g labels) then
+    invalid_arg "Hub_prune.prune_w: labeling is not exact";
+  prune_generic ~n:(Wgraph.n g)
+    ~dist_from:(fun v -> Dijkstra.distances g v)
+    labels

@@ -1,0 +1,18 @@
+(** Redundant-hub elimination.
+
+    Hub labelings produced by unions of components (e.g. the
+    Theorem 4.1 construction, whose hubsets are
+    [S ∪ Q_v ∪ R_v ∪ N(F_v)]) typically contain hubs that no query
+    needs. [prune] removes, vertex by vertex, every hub whose deletion
+    keeps all queries involving that vertex exact, yielding a smaller
+    labeling that is still an exact cover. Quadratic in [n] times the
+    average label size — an offline optimisation pass for experiment
+    scales. *)
+
+open Repro_graph
+
+val prune : Graph.t -> Hub_label.t -> Hub_label.t
+(** @raise Invalid_argument if the input labeling is not exact (pruning
+    is only meaningful on exact covers). *)
+
+val prune_w : Wgraph.t -> Hub_label.t -> Hub_label.t

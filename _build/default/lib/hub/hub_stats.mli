@@ -1,0 +1,20 @@
+(** Size accounting and reporting for hub labelings. *)
+
+val sizes : Hub_label.t -> int array
+
+val histogram : Hub_label.t -> (int * int) list
+(** [(size, how many vertices)] pairs, sorted by size. *)
+
+val quantile : Hub_label.t -> float -> int
+(** [quantile t 0.5] is the median hubset size. *)
+
+val bits_naive : Hub_label.t -> int
+(** Bits of the naive binary encoding: each pair costs
+    [⌈log₂ n⌉ + ⌈log₂ (1 + max stored distance)⌉] bits. This is the
+    "log n overhead" encoding the related-work section contrasts with
+    the compressed encodings of [GKU16]/[AGHP16a]. *)
+
+val bits_per_vertex : Hub_label.t -> float
+
+val report : Hub_label.t -> string
+(** Multi-line human-readable summary. *)

@@ -1,0 +1,64 @@
+open Repro_graph
+
+let closure_generic ~n ~tree_from labels =
+  let out = Array.make n [] in
+  for v = 0 to n - 1 do
+    let dist, parent = tree_from v in
+    let added = Hashtbl.create 16 in
+    let add x =
+      if not (Hashtbl.mem added x) then begin
+        Hashtbl.replace added x ();
+        out.(v) <- (x, dist.(x)) :: out.(v)
+      end
+    in
+    add v;
+    Array.iter
+      (fun (h, _) ->
+        (* climb from h to v along the tree *)
+        let rec climb x =
+          if not (Hashtbl.mem added x) then begin
+            add x;
+            let p = parent.(x) in
+            if p >= 0 then climb p
+          end
+        in
+        if Dist.is_finite dist.(h) then climb h)
+      (Hub_label.hubs labels v)
+  done;
+  Hub_label.make ~n out
+
+let closure g labels =
+  closure_generic ~n:(Graph.n g)
+    ~tree_from:(fun v ->
+      let r = Traversal.bfs_full g v in
+      (r.Traversal.dist, r.Traversal.parent))
+    labels
+
+let closure_w g labels =
+  closure_generic ~n:(Wgraph.n g)
+    ~tree_from:(fun v ->
+      let r = Dijkstra.shortest_paths g v in
+      (r.Dijkstra.dist, r.Dijkstra.parent))
+    labels
+
+let is_monotone g labels =
+  let n = Graph.n g in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if !ok then begin
+      let dist = Traversal.bfs g v in
+      Array.iter
+        (fun (h, d) ->
+          if d >= 1 then begin
+            let has_pred = ref false in
+            Graph.iter_neighbors g h (fun p ->
+                if
+                  dist.(p) = d - 1
+                  && Hub_label.dist_to_hub labels v ~hub:p = Some (d - 1)
+                then has_pred := true);
+            if not !has_pred then ok := false
+          end)
+        (Hub_label.hubs labels v)
+    end
+  done;
+  !ok

@@ -1,0 +1,20 @@
+(** Monotone hubsets (§1.2): a hubset family is monotone when, for any
+    [x ∈ S(u)], every vertex of some chosen shortest [u-x] path is also
+    in [S(u)]. The proof of Theorem 2.1 replaces arbitrary hubsets
+    [S_v] by their monotone closure [S*_v] — the minimal subtree of a
+    fixed shortest-path tree rooted at [v] containing [S_v] — at a cost
+    factor of at most the (weighted) diameter, Eq. (1). *)
+
+open Repro_graph
+
+val closure : Graph.t -> Hub_label.t -> Hub_label.t
+(** The monotone closure along BFS trees: for each vertex [v], walk
+    each hub's parent chain towards [v], adding every vertex on it with
+    its exact distance. Adds [v] itself ([dist] 0). *)
+
+val closure_w : Wgraph.t -> Hub_label.t -> Hub_label.t
+(** Same along Dijkstra trees. *)
+
+val is_monotone : Graph.t -> Hub_label.t -> bool
+(** Every hub at distance [k >= 1] from [v] has a predecessor hub in
+    [S(v)] at distance [k - 1] adjacent to it. *)

@@ -1,0 +1,61 @@
+open Repro_graph
+
+let identity n = Array.init n (fun i -> i)
+
+let sort_by_score n score =
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare score.(b) score.(a) in
+      if c <> 0 then c else compare a b)
+    order;
+  order
+
+let by_degree g =
+  let n = Graph.n g in
+  sort_by_score n (Array.init n (fun v -> Graph.degree g v))
+
+let by_wdegree g =
+  let n = Wgraph.n g in
+  sort_by_score n (Array.init n (fun v -> Wgraph.degree g v))
+
+let random rng n =
+  let order = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  order
+
+let by_closeness_sample g ~rng ~samples =
+  let n = Graph.n g in
+  let score = Array.make n 0.0 in
+  for _ = 1 to samples do
+    let s = Random.State.int rng n in
+    let dist = Traversal.bfs g s in
+    for v = 0 to n - 1 do
+      if Dist.is_finite dist.(v) then
+        score.(v) <- score.(v) -. float_of_int dist.(v)
+    done
+  done;
+  sort_by_score n score
+
+let rank_of order =
+  let n = Array.length order in
+  let rank = Array.make n (-1) in
+  Array.iteri (fun pos v -> rank.(v) <- pos) order;
+  rank
+
+let is_permutation order =
+  let n = Array.length order in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then false
+      else begin
+        seen.(v) <- true;
+        true
+      end)
+    order

@@ -1,0 +1,24 @@
+(** Vertex orders for hierarchical labelings such as {!Pll}.
+
+    An order is an array listing the vertices from most to least
+    important; PLL prunes better when important (high-degree, central)
+    vertices come first. *)
+
+open Repro_graph
+
+val identity : int -> int array
+val by_degree : Graph.t -> int array
+(** Decreasing degree, ties by vertex id. *)
+
+val by_wdegree : Wgraph.t -> int array
+val random : Random.State.t -> int -> int array
+
+val by_closeness_sample : Graph.t -> rng:Random.State.t -> samples:int -> int array
+(** Decreasing closeness centrality estimated from BFS distances to a
+    random sample of pivots. *)
+
+val rank_of : int array -> int array
+(** [rank_of order] inverts the order: [rank.(v)] is the position of
+    [v]. *)
+
+val is_permutation : int array -> bool

@@ -1,0 +1,109 @@
+open Repro_graph
+
+(* Shared driver: [labels] accumulate as reversed lists; [root_dist]
+   caches the current label of the BFS root for O(1) prune queries. *)
+
+let finalise ~n labels =
+  Hub_label.make ~n (Array.map (fun l -> l) labels)
+
+let prune_query ~root_dist ~label_of u du =
+  (* distance via hubs common to the processed root and u, using the
+     root's current label loaded in [root_dist] *)
+  let best = ref Dist.inf in
+  List.iter
+    (fun (h, d) ->
+      let dr = root_dist.(h) in
+      if Dist.is_finite dr then begin
+        let cand = Dist.add dr d in
+        if cand < !best then best := cand
+      end)
+    (label_of u);
+  !best <= du
+
+let build ?order g =
+  let n = Graph.n g in
+  let order = match order with Some o -> o | None -> Order.by_degree g in
+  if Array.length order <> n then invalid_arg "Pll.build: bad order length";
+  let labels : (int * int) list array = Array.make n [] in
+  let root_dist = Array.make n Dist.inf in
+  let dist = Array.make n Dist.inf in
+  let touched = ref [] in
+  let q = Queue.create () in
+  Array.iter
+    (fun root ->
+      (* Load the root's current label for pruning. *)
+      List.iter (fun (h, d) -> root_dist.(h) <- d) labels.(root);
+      root_dist.(root) <- 0;
+      dist.(root) <- 0;
+      touched := [ root ];
+      Queue.add root q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        let du = dist.(u) in
+        let pruned =
+          u <> root
+          && prune_query ~root_dist ~label_of:(fun x -> labels.(x)) u du
+        in
+        if not pruned then begin
+          labels.(u) <- (root, du) :: labels.(u);
+          Graph.iter_neighbors g u (fun v ->
+              if dist.(v) = Dist.inf then begin
+                dist.(v) <- du + 1;
+                touched := v :: !touched;
+                Queue.add v q
+              end)
+        end
+      done;
+      (* Reset scratch arrays. *)
+      List.iter (fun v -> dist.(v) <- Dist.inf) !touched;
+      List.iter (fun (h, _) -> root_dist.(h) <- Dist.inf) labels.(root);
+      root_dist.(root) <- Dist.inf)
+    order;
+  finalise ~n labels
+
+let build_w ?order g =
+  let n = Wgraph.n g in
+  let order = match order with Some o -> o | None -> Order.by_wdegree g in
+  if Array.length order <> n then invalid_arg "Pll.build_w: bad order length";
+  let labels : (int * int) list array = Array.make n [] in
+  let root_dist = Array.make n Dist.inf in
+  let dist = Array.make n Dist.inf in
+  let settled = Array.make n false in
+  let touched = ref [] in
+  Array.iter
+    (fun root ->
+      List.iter (fun (h, d) -> root_dist.(h) <- d) labels.(root);
+      root_dist.(root) <- 0;
+      let pq = Pqueue.create n in
+      dist.(root) <- 0;
+      touched := [ root ];
+      Pqueue.insert pq root 0;
+      while not (Pqueue.is_empty pq) do
+        let u, du = Pqueue.pop_min pq in
+        settled.(u) <- true;
+        let pruned =
+          u <> root
+          && prune_query ~root_dist ~label_of:(fun x -> labels.(x)) u du
+        in
+        if not pruned then begin
+          labels.(u) <- (root, du) :: labels.(u);
+          Wgraph.iter_neighbors g u (fun v w ->
+              if not settled.(v) then begin
+                let d = du + w in
+                if d < dist.(v) then begin
+                  if dist.(v) = Dist.inf then touched := v :: !touched;
+                  dist.(v) <- d;
+                  Pqueue.insert_or_decrease pq v d
+                end
+              end)
+        end
+      done;
+      List.iter
+        (fun v ->
+          dist.(v) <- Dist.inf;
+          settled.(v) <- false)
+        !touched;
+      List.iter (fun (h, _) -> root_dist.(h) <- Dist.inf) labels.(root);
+      root_dist.(root) <- Dist.inf)
+    order;
+  finalise ~n labels

@@ -1,0 +1,19 @@
+(** Pruned Landmark Labeling [Akiba–Iwata–Yoshida, SIGMOD'13] — the
+    standard practical hub-labeling construction, used throughout the
+    experiments as the "real labeling" whose sizes are compared against
+    the paper's lower and upper bounds.
+
+    Vertices are processed from most to least important; a pruned
+    BFS/Dijkstra from the k-th vertex adds it as a hub exactly to the
+    vertices whose distance is not already answered by
+    higher-importance hubs. The result is the minimal *canonical
+    hierarchical* labeling for the given order, and is always an exact
+    cover. *)
+
+open Repro_graph
+
+val build : ?order:int array -> Graph.t -> Hub_label.t
+(** Unweighted PLL via pruned BFS. Default order: decreasing degree. *)
+
+val build_w : ?order:int array -> Wgraph.t -> Hub_label.t
+(** Weighted PLL via pruned Dijkstra (weights may be zero). *)

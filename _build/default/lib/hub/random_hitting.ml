@@ -1,0 +1,68 @@
+open Repro_graph
+
+type stats = { global_hubs : int; ball_total : int; patched_pairs : int }
+
+let recommended_d g =
+  let n = Graph.n g in
+  max 2 (int_of_float (log (float_of_int (max n 2))))
+
+let build ~rng ~d g =
+  if d < 1 then invalid_arg "Random_hitting.build: need d >= 1";
+  let n = Graph.n g in
+  let radius = (d + 1) / 2 in
+  (* Global random hubset of size ~ (n/d) ln(d+1), at least 1. *)
+  let target =
+    max 1
+      (int_of_float
+         (ceil (float_of_int n /. float_of_int d *. log (float_of_int (d + 1)))))
+  in
+  let in_s = Array.make n false in
+  let s_count = ref 0 in
+  let budget = ref (20 * (target + 1)) in
+  while !s_count < min target n && !budget > 0 do
+    decr budget;
+    let v = Random.State.int rng n in
+    if not in_s.(v) then begin
+      in_s.(v) <- true;
+      incr s_count
+    end
+  done;
+  let labels : (int * int) list array = Array.make n [] in
+  (* BFS from every vertex once; store ball hubs, distances to global
+     hubs, and keep the rows to patch afterwards. *)
+  let rows = Array.init n (fun v -> Traversal.bfs g v) in
+  let ball_total = ref 0 in
+  for v = 0 to n - 1 do
+    let dist = rows.(v) in
+    for x = 0 to n - 1 do
+      let dx = dist.(x) in
+      if Dist.is_finite dx then begin
+        if dx <= radius then begin
+          labels.(v) <- (x, dx) :: labels.(v);
+          incr ball_total
+        end
+        else if in_s.(x) then labels.(v) <- (x, dx) :: labels.(v)
+      end
+    done
+  done;
+  (* Patch the far pairs the random hubset missed: add v itself as a
+     hub of u (and (v,0) of v, ensured by the ball since radius >= 0). *)
+  let patched = ref 0 in
+  let tentative = Hub_label.make ~n (Array.copy labels) in
+  for u = 0 to n - 1 do
+    let dist = rows.(u) in
+    for v = u + 1 to n - 1 do
+      if Dist.is_finite dist.(v) && dist.(v) > d then
+        if Hub_label.query tentative u v <> dist.(v) then begin
+          labels.(u) <- (v, dist.(v)) :: labels.(u);
+          incr patched
+        end
+    done
+  done;
+  let final = Hub_label.make ~n labels in
+  ( final,
+    {
+      global_hubs = !s_count;
+      ball_total = !ball_total;
+      patched_pairs = !patched;
+    } )

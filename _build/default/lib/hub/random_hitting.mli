@@ -1,0 +1,30 @@
+(** The random-hitting-set hub labeling for sparse graphs, in the style
+    of [ADKP16]/[GKU16] (§1.1 "Distance labeling of sparse graphs").
+
+    The scheme, as sketched in the paper: a random global hubset [S] of
+    size [Θ((n/D) log D)] covers (w.h.p.) every pair at distance at
+    least [D] — every such pair has at least [D+1] valid hubs; pairs at
+    distance below [D] are covered by storing, for each vertex, its
+    full ball of radius [⌈D/2⌉] (any such pair has a midpoint hub in
+    both balls). Because a random draw may miss a few far pairs, the
+    construction finishes with an explicit patching pass that restores
+    exactness and reports how many pairs needed patching — this is the
+    "probabilistic method, made constructive with verification"
+    substitution documented in DESIGN.md. *)
+
+open Repro_graph
+
+type stats = {
+  global_hubs : int;  (** |S| *)
+  ball_total : int;  (** Σ_v |ball hubs of v| *)
+  patched_pairs : int;  (** far pairs missed by [S], fixed explicitly *)
+}
+
+val build :
+  rng:Random.State.t -> d:int -> Graph.t -> Hub_label.t * stats
+(** [build ~rng ~d g] with threshold [D = d >= 1]. The result is always
+    an exact cover (patched if needed). Runs BFS from every vertex, so
+    intended for experiment scales ([n] up to ~10⁴). *)
+
+val recommended_d : Graph.t -> int
+(** The [Θ(log n)] threshold the paper's discussion suggests. *)

@@ -1,0 +1,123 @@
+open Repro_graph
+
+type strategy = Graph.t -> int list -> int list
+
+let bfs_level_strategy g region =
+  match region with
+  | [] -> invalid_arg "Separator_label: empty region"
+  | [ v ] -> [ v ]
+  | start :: _ ->
+      let in_region = Hashtbl.create (List.length region) in
+      List.iter (fun v -> Hashtbl.replace in_region v ()) region;
+      (* BFS restricted to the region *)
+      let dist = Hashtbl.create 64 in
+      let q = Queue.create () in
+      Hashtbl.replace dist start 0;
+      Queue.add start q;
+      let maxd = ref 0 in
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        let du = Hashtbl.find dist u in
+        if du > !maxd then maxd := du;
+        Graph.iter_neighbors g u (fun v ->
+            if Hashtbl.mem in_region v && not (Hashtbl.mem dist v) then begin
+              Hashtbl.replace dist v (du + 1);
+              Queue.add v q
+            end)
+      done;
+      let cut = (!maxd + 1) / 2 in
+      let sep =
+        List.filter
+          (fun v ->
+            match Hashtbl.find_opt dist v with
+            | Some d -> d = cut
+            | None -> false)
+          region
+      in
+      if sep = [] then [ start ] else sep
+
+let grid_strategy ~cols g region =
+  ignore g;
+  match region with
+  | [] -> invalid_arg "Separator_label: empty region"
+  | [ v ] -> [ v ]
+  | _ ->
+      let rows_of v = v / cols and cols_of v = v mod cols in
+      let rmin = ref max_int and rmax = ref min_int in
+      let cmin = ref max_int and cmax = ref min_int in
+      List.iter
+        (fun v ->
+          rmin := min !rmin (rows_of v);
+          rmax := max !rmax (rows_of v);
+          cmin := min !cmin (cols_of v);
+          cmax := max !cmax (cols_of v))
+        region;
+      let sep =
+        if !rmax - !rmin >= !cmax - !cmin then begin
+          let mid = (!rmin + !rmax) / 2 in
+          List.filter (fun v -> rows_of v = mid) region
+        end
+        else begin
+          let mid = (!cmin + !cmax) / 2 in
+          List.filter (fun v -> cols_of v = mid) region
+        end
+      in
+      if sep = [] then [ List.hd region ] else sep
+
+let build ?(strategy = bfs_level_strategy) g =
+  let n = Graph.n g in
+  let labels : (int * int) list array = Array.make n [] in
+  let removed = Array.make n false in
+  (* connected components of a vertex set under [removed] *)
+  let components vertices =
+    let pending = Hashtbl.create (List.length vertices) in
+    List.iter (fun v -> if not removed.(v) then Hashtbl.replace pending v ()) vertices;
+    let comps = ref [] in
+    let q = Queue.create () in
+    Hashtbl.iter
+      (fun start () ->
+        if Hashtbl.mem pending start then begin
+          let comp = ref [] in
+          Hashtbl.remove pending start;
+          Queue.add start q;
+          while not (Queue.is_empty q) do
+            let u = Queue.pop q in
+            comp := u :: !comp;
+            Graph.iter_neighbors g u (fun v ->
+                if Hashtbl.mem pending v then begin
+                  Hashtbl.remove pending v;
+                  Queue.add v q
+                end)
+          done;
+          comps := !comp :: !comps
+        end)
+      pending;
+    !comps
+  in
+  let rec decompose region =
+    if region <> [] then begin
+      let sep = strategy g region in
+      if sep = [] then invalid_arg "Separator_label: strategy returned []";
+      (* every region vertex stores every separator vertex with its
+         true distance in the full graph *)
+      List.iter
+        (fun s ->
+          let dist = Traversal.bfs g s in
+          List.iter
+            (fun v ->
+              if Dist.is_finite dist.(v) then
+                labels.(v) <- (s, dist.(v)) :: labels.(v))
+            region)
+        sep;
+      List.iter (fun s -> removed.(s) <- true) sep;
+      List.iter decompose (components region)
+    end
+  in
+  List.iter decompose
+    (components (List.init n (fun i -> i)));
+  Hub_label.make ~n labels
+
+let build_grid ~rows ~cols g =
+  if Graph.n g <> rows * cols then
+    invalid_arg "Separator_label.build_grid: vertex count mismatch";
+  build ~strategy:(grid_strategy ~cols) g

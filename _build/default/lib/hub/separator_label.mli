@@ -1,0 +1,39 @@
+(** Hub labelings from recursive vertex separators — the technique
+    behind the planar-graph bounds of [GPPR04] discussed in §1.1 ("the
+    main technical ingredient is an existence of small size
+    separators ... applying the separation recursively").
+
+    The decomposition recursively removes a separator from each
+    connected region; every vertex stores every vertex of every
+    separator chosen for a region containing it, with its *true* graph
+    distance. For any pair, consider the smallest region containing
+    both: a shortest path either meets that region's separator or an
+    ancestor separator, and both endpoints store all of those — so the
+    labeling is exact for *any* separator strategy; only its size
+    depends on the strategy (O(√n log n) total per vertex on grids with
+    the geometric strategy, matching the planar story). *)
+
+open Repro_graph
+
+type strategy = Graph.t -> int list -> int list
+(** Given the graph and the vertex list of a region (a connected set
+    after ancestor separators were removed), return a non-empty subset
+    to use as this region's separator. *)
+
+val bfs_level_strategy : strategy
+(** Generic fallback: BFS inside the region from its first vertex and
+    cut at the median-distance level. *)
+
+val grid_strategy : cols:int -> strategy
+(** Geometric strategy for {!Generators.grid} instances ([rows×cols],
+    vertex [(r, c) = r·cols + c]): split the region's bounding box
+    through the middle of its longer side. *)
+
+val build : ?strategy:strategy -> Graph.t -> Hub_label.t
+(** Exact hub labeling by recursive separation (default strategy:
+    {!bfs_level_strategy}). *)
+
+val build_grid : rows:int -> cols:int -> Graph.t -> Hub_label.t
+(** Convenience: {!build} with {!grid_strategy}; the graph must be the
+    [rows×cols] grid (or a supergraph on the same vertex layout —
+    exactness never depends on it, only label size does). *)

@@ -1,0 +1,71 @@
+open Repro_graph
+
+(* Pairs at distance in (r, 2r], with their distance rows shared. *)
+let scale_pairs rows n ~r =
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = rows.(u).(v) in
+      if Dist.is_finite d && d > r && d <= 2 * r then acc := (u, v) :: !acc
+    done
+  done;
+  !acc
+
+let on_path rows u v x = rows.(u).(x) + rows.(x).(v) = rows.(u).(v)
+
+let cover g ~r =
+  if r < 1 then invalid_arg "Spc.cover: need r >= 1";
+  let n = Graph.n g in
+  let rows = Array.init n (fun v -> Traversal.bfs g v) in
+  let uncovered = ref (scale_pairs rows n ~r) in
+  let chosen = ref [] in
+  while !uncovered <> [] do
+    let gain = Array.make n 0 in
+    List.iter
+      (fun (u, v) ->
+        for x = 0 to n - 1 do
+          if on_path rows u v x then gain.(x) <- gain.(x) + 1
+        done)
+      !uncovered;
+    let best = ref 0 in
+    for x = 1 to n - 1 do
+      if gain.(x) > gain.(!best) then best := x
+    done;
+    assert (gain.(!best) > 0);
+    chosen := !best :: !chosen;
+    uncovered :=
+      List.filter (fun (u, v) -> not (on_path rows u v !best)) !uncovered
+  done;
+  List.sort compare !chosen
+
+let is_cover g ~r cover =
+  let n = Graph.n g in
+  let rows = Array.init n (fun v -> Traversal.bfs g v) in
+  List.for_all
+    (fun (u, v) -> List.exists (fun x -> on_path rows u v x) cover)
+    (scale_pairs rows n ~r)
+
+let local_sparsity g ~r cover =
+  let n = Graph.n g in
+  let worst = ref 0 in
+  for v = 0 to n - 1 do
+    let dist = Traversal.bfs g v in
+    let inside =
+      List.fold_left
+        (fun acc x -> if dist.(x) <= 2 * r then acc + 1 else acc)
+        0 cover
+    in
+    if inside > !worst then worst := inside
+  done;
+  !worst
+
+let highway_dimension_estimate g =
+  let diam = Traversal.diameter g in
+  let rec scales r acc =
+    if (not (Dist.is_finite diam)) || r > diam then List.rev acc
+    else begin
+      let c = cover g ~r in
+      scales (2 * r) ((r, List.length c, local_sparsity g ~r c) :: acc)
+    end
+  in
+  scales 1 []

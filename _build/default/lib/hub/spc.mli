@@ -1,0 +1,28 @@
+(** Shortest-path covers and highway-dimension estimates — the
+    [ADF+16] machinery §1.1 credits for small hubsets on transportation
+    networks ("the notion of highway dimension h of a network, which is
+    presumed to be a small constant e.g. for road networks").
+
+    An [r]-cover here is a *weak* shortest-path cover: a vertex set
+    hitting, for every pair at distance in [(r, 2r]], the valid-hub set
+    [H_uv] (i.e. some shortest path of the pair). The local sparsity of
+    the cover — the largest number of cover vertices inside any ball of
+    radius [2r] — is the standard empirical proxy for the highway
+    dimension. Quadratic-to-cubic in [n]: experiment scales only. *)
+
+open Repro_graph
+
+val cover : Graph.t -> r:int -> int list
+(** Greedy weak [r]-cover: repeatedly take the vertex lying on shortest
+    paths of the most uncovered pairs with distance in [(r, 2r]]. *)
+
+val is_cover : Graph.t -> r:int -> int list -> bool
+(** Every pair at distance in [(r, 2r]] has a cover vertex in [H_uv]. *)
+
+val local_sparsity : Graph.t -> r:int -> int list -> int
+(** [max over v of |cover ∩ Ball(v, 2r)|]. *)
+
+val highway_dimension_estimate : Graph.t -> (int * int * int) list
+(** For each scale [r = 1, 2, 4, ...] up to the diameter:
+    [(r, |cover|, local sparsity)] — road-like networks should show
+    small sparsity at every scale, unlike expanders. *)

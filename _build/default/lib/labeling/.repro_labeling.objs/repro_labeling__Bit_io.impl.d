@@ -1,0 +1,1 @@
+lib/labeling/bit_io.ml: Bitvec Bytes Char

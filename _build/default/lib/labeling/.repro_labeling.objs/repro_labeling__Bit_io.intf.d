@@ -1,0 +1,1 @@
+lib/labeling/bit_io.mli: Bitvec

@@ -1,0 +1,1 @@
+lib/labeling/bitvec.ml: Bytes Char List String

@@ -1,0 +1,1 @@
+lib/labeling/bitvec.mli: Bytes

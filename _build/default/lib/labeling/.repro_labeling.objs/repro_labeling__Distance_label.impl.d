@@ -1,0 +1,1 @@
+lib/labeling/distance_label.ml: Array Bitvec Encoder Flat_label Graph List Repro_graph Traversal Tree_label

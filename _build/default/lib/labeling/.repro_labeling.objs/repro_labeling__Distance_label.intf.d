@@ -1,0 +1,1 @@
+lib/labeling/distance_label.mli: Bitvec Graph Hub_label Repro_graph Repro_hub

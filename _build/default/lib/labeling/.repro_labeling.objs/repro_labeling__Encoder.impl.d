@@ -1,0 +1,1 @@
+lib/labeling/encoder.ml: Array Bit_io Bitvec Dist Hub_label Repro_graph Repro_hub

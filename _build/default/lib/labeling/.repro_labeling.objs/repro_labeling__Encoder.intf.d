@@ -1,0 +1,1 @@
+lib/labeling/encoder.mli: Bit_io Bitvec Hub_label Repro_hub

@@ -1,0 +1,1 @@
+lib/labeling/flat_label.ml: Array Bit_io Bitvec Dijkstra Dist Graph Repro_graph Traversal Wgraph

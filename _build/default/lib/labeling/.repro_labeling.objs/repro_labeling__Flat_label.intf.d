@@ -1,0 +1,1 @@
+lib/labeling/flat_label.mli: Bitvec Graph Repro_graph Wgraph

@@ -1,0 +1,1 @@
+lib/labeling/sparse_label.ml: Array Bitvec Encoder Graph Random_hitting Repro_graph Repro_hub Traversal

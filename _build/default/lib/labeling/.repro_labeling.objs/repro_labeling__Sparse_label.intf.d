@@ -1,0 +1,1 @@
+lib/labeling/sparse_label.mli: Bitvec Graph Random Repro_graph Repro_hub

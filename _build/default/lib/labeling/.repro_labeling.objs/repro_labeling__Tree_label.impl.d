@@ -1,0 +1,1 @@
+lib/labeling/tree_label.ml: Array Graph Hashtbl Hub_label List Queue Repro_graph Repro_hub Stack Traversal

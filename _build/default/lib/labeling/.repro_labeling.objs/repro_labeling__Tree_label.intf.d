@@ -1,0 +1,1 @@
+lib/labeling/tree_label.mli: Graph Hub_label Repro_graph Repro_hub

@@ -1,0 +1,79 @@
+module Writer = struct
+  type t = { mutable bits : int; mutable data : Bytes.t }
+
+  let create () = { bits = 0; data = Bytes.make 16 '\000' }
+  let length t = t.bits
+
+  let ensure t =
+    let needed = (t.bits / 8) + 1 in
+    if needed > Bytes.length t.data then begin
+      let bigger = Bytes.make (2 * Bytes.length t.data) '\000' in
+      Bytes.blit t.data 0 bigger 0 (Bytes.length t.data);
+      t.data <- bigger
+    end
+
+  let bit t b =
+    ensure t;
+    if b then begin
+      let i = t.bits in
+      Bytes.unsafe_set t.data (i lsr 3)
+        (Char.chr
+           (Char.code (Bytes.unsafe_get t.data (i lsr 3)) lor (1 lsl (i land 7))))
+    end;
+    t.bits <- t.bits + 1
+
+  let bits t ~width v =
+    if width < 0 || width > 62 then invalid_arg "Bit_io.Writer.bits: width";
+    if v < 0 || (width < 62 && v lsr width <> 0) then
+      invalid_arg "Bit_io.Writer.bits: value does not fit";
+    for k = 0 to width - 1 do
+      bit t (v lsr k land 1 = 1)
+    done
+
+  let bit_width v =
+    let rec go acc x = if x = 0 then acc else go (acc + 1) (x lsr 1) in
+    go 0 v
+
+  let gamma t v =
+    if v < 1 then invalid_arg "Bit_io.Writer.gamma: need v >= 1";
+    let w = bit_width v in
+    (* w-1 zeros, a one, then the w-1 low bits of v *)
+    for _ = 1 to w - 1 do
+      bit t false
+    done;
+    bit t true;
+    bits t ~width:(w - 1) (v - (1 lsl (w - 1)))
+
+  let contents t =
+    Bitvec.unsafe_of_bytes ~bits:t.bits (Bytes.sub t.data 0 ((t.bits + 7) / 8))
+end
+
+module Reader = struct
+  type t = { vec : Bitvec.t; mutable pos : int }
+
+  let of_bitvec vec = { vec; pos = 0 }
+  let pos t = t.pos
+  let remaining t = Bitvec.length t.vec - t.pos
+
+  let bit t =
+    if t.pos >= Bitvec.length t.vec then
+      invalid_arg "Bit_io.Reader.bit: past the end";
+    let b = Bitvec.get t.vec t.pos in
+    t.pos <- t.pos + 1;
+    b
+
+  let bits t ~width =
+    let v = ref 0 in
+    for k = 0 to width - 1 do
+      if bit t then v := !v lor (1 lsl k)
+    done;
+    !v
+
+  let gamma t =
+    let zeros = ref 0 in
+    while not (bit t) do
+      incr zeros
+    done;
+    let w = !zeros + 1 in
+    (1 lsl (w - 1)) + bits t ~width:(w - 1)
+end

@@ -1,0 +1,36 @@
+(** Bit-granular writers and readers, with Elias-gamma coding for
+    positive integers — the workhorse of {!Encoder}'s compact labels. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  (** Bits written so far. *)
+
+  val bit : t -> bool -> unit
+
+  val bits : t -> width:int -> int -> unit
+  (** Write the [width] low bits, least significant first.
+      @raise Invalid_argument if the value does not fit or is
+      negative. *)
+
+  val gamma : t -> int -> unit
+  (** Elias gamma code of an integer [>= 1] (unary length prefix then
+      binary payload): [2⌊log₂ v⌋ + 1] bits. *)
+
+  val contents : t -> Bitvec.t
+end
+
+module Reader : sig
+  type t
+
+  val of_bitvec : Bitvec.t -> t
+  val pos : t -> int
+  val remaining : t -> int
+  val bit : t -> bool
+  (** @raise Invalid_argument past the end. *)
+
+  val bits : t -> width:int -> int
+  val gamma : t -> int
+end

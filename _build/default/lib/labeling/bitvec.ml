@@ -1,0 +1,37 @@
+type t = { bits : int; data : Bytes.t }
+
+let length t = t.bits
+
+let get t i =
+  if i < 0 || i >= t.bits then invalid_arg "Bitvec.get";
+  Char.code (Bytes.unsafe_get t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let of_bools bools =
+  let bits = List.length bools in
+  let data = Bytes.make ((bits + 7) / 8) '\000' in
+  List.iteri
+    (fun i b ->
+      if b then
+        Bytes.unsafe_set data (i lsr 3)
+          (Char.chr
+             (Char.code (Bytes.unsafe_get data (i lsr 3)) lor (1 lsl (i land 7)))))
+    bools;
+  { bits; data }
+
+let to_bools t = List.init t.bits (fun i -> get t i)
+
+let of_string s =
+  of_bools
+    (List.init (String.length s) (fun i ->
+         match s.[i] with
+         | '0' -> false
+         | '1' -> true
+         | _ -> invalid_arg "Bitvec.of_string: expected 0 or 1"))
+
+let to_string t =
+  String.init t.bits (fun i -> if get t i then '1' else '0')
+
+let equal a b = a.bits = b.bits && to_bools a = to_bools b
+let concat a b = of_bools (to_bools a @ to_bools b)
+let unsafe_of_bytes ~bits data = { bits; data }
+let unsafe_bytes t = t.data

@@ -1,0 +1,29 @@
+(** Immutable bit strings, the payload type of binary distance labels. *)
+
+type t
+
+val length : t -> int
+(** Length in bits. *)
+
+val get : t -> int -> bool
+(** @raise Invalid_argument when out of range. *)
+
+val of_bools : bool list -> t
+val to_bools : t -> bool list
+
+val of_string : string -> t
+(** From a ["0101"]-style string.
+    @raise Invalid_argument on other characters. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+
+val concat : t -> t -> t
+
+(**/**)
+
+val unsafe_of_bytes : bits:int -> Bytes.t -> t
+(** Internal constructor used by {!Bit_io}; the byte buffer is adopted,
+    not copied. *)
+
+val unsafe_bytes : t -> Bytes.t

@@ -1,0 +1,58 @@
+open Repro_graph
+
+type t = {
+  name : string;
+  labels : Bitvec.t array;
+  decode : Bitvec.t -> Bitvec.t -> int;
+}
+
+let of_hub_labeling ~name hub =
+  {
+    name;
+    labels = Encoder.encode hub;
+    decode = Encoder.query_encoded;
+  }
+
+let of_flat g =
+  { name = "flat-rows"; labels = Flat_label.build g; decode = Flat_label.query }
+
+let of_tree g =
+  of_hub_labeling ~name:"tree-centroid" (Tree_label.build g)
+
+let query t u v =
+  if
+    u < 0
+    || u >= Array.length t.labels
+    || v < 0
+    || v >= Array.length t.labels
+  then invalid_arg "Distance_label.query";
+  t.decode t.labels.(u) t.labels.(v)
+
+let total_bits t =
+  Array.fold_left (fun acc l -> acc + Bitvec.length l) 0 t.labels
+
+let avg_bits t =
+  if Array.length t.labels = 0 then 0.0
+  else float_of_int (total_bits t) /. float_of_int (Array.length t.labels)
+
+let max_bits t =
+  Array.fold_left (fun acc l -> max acc (Bitvec.length l)) 0 t.labels
+
+let verify g t =
+  let n = Graph.n g in
+  if n <> Array.length t.labels then false
+  else begin
+    let ok = ref true in
+    for u = 0 to n - 1 do
+      if !ok then begin
+        let dist = Traversal.bfs g u in
+        for v = u to n - 1 do
+          if query t u v <> dist.(v) then ok := false
+        done
+      end
+    done;
+    !ok
+  end
+
+let compare_schemes g schemes =
+  List.map (fun t -> (t.name, avg_bits t, max_bits t, verify g t)) schemes

@@ -1,0 +1,39 @@
+(** Distance labeling schemes, as first-class values.
+
+    A scheme assigns every vertex a binary label such that the distance
+    of any pair is computable from the two labels alone — the general
+    framework of the paper's introduction ("the assignment of a binary
+    string label(u) to each node u, so that the graph distance between
+    u and v is uniquely determined by the pair of labels"). This module
+    packages the repository's concrete schemes (hub-based, flat rows,
+    tree centroid) behind one interface for comparison experiments. *)
+
+open Repro_graph
+open Repro_hub
+
+type t = {
+  name : string;
+  labels : Bitvec.t array;
+  decode : Bitvec.t -> Bitvec.t -> int;
+}
+
+val of_hub_labeling : name:string -> Hub_label.t -> t
+(** Gamma-coded hubset labels, decoded by sorted intersection. *)
+
+val of_flat : Graph.t -> t
+(** Full distance rows ({!Flat_label}). *)
+
+val of_tree : Graph.t -> t
+(** Centroid-decomposition labels for trees ({!Tree_label}).
+    @raise Invalid_argument if the graph is not a tree. *)
+
+val query : t -> int -> int -> int
+val total_bits : t -> int
+val avg_bits : t -> float
+val max_bits : t -> int
+
+val verify : Graph.t -> t -> bool
+(** All-pairs exactness, answered purely from labels. *)
+
+val compare_schemes : Graph.t -> t list -> (string * float * int * bool) list
+(** For each scheme: [(name, avg bits, max bits, exact)]. *)

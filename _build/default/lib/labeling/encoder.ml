@@ -1,0 +1,59 @@
+open Repro_graph
+open Repro_hub
+
+let encode_vertex pairs =
+  let w = Bit_io.Writer.create () in
+  Bit_io.Writer.gamma w (Array.length pairs + 1);
+  let prev = ref (-1) in
+  Array.iter
+    (fun (h, d) ->
+      if h <= !prev then invalid_arg "Encoder.encode_vertex: hubs not sorted";
+      Bit_io.Writer.gamma w (h - !prev);
+      Bit_io.Writer.gamma w (d + 1);
+      prev := h)
+    pairs;
+  Bit_io.Writer.contents w
+
+let decode_vertex_from r =
+  let count = Bit_io.Reader.gamma r - 1 in
+  let prev = ref (-1) in
+  Array.init count (fun _ ->
+      let h = !prev + Bit_io.Reader.gamma r in
+      let d = Bit_io.Reader.gamma r - 1 in
+      prev := h;
+      (h, d))
+
+let decode_vertex vec = decode_vertex_from (Bit_io.Reader.of_bitvec vec)
+
+let query_pairs a b =
+  let best = ref Dist.inf in
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length a && !j < Array.length b do
+    let ha, da = a.(!i) and hb, db = b.(!j) in
+    if ha = hb then begin
+      let d = Dist.add da db in
+      if d < !best then best := d;
+      incr i;
+      incr j
+    end
+    else if ha < hb then incr i
+    else incr j
+  done;
+  !best
+
+let encode labels =
+  Array.init (Hub_label.n labels) (fun v ->
+      encode_vertex (Hub_label.hubs labels v))
+
+let decode ~n vecs =
+  if Array.length vecs <> n then invalid_arg "Encoder.decode: length mismatch";
+  Hub_label.of_arrays ~n (Array.map decode_vertex vecs)
+
+let total_bits vecs =
+  Array.fold_left (fun acc v -> acc + Bitvec.length v) 0 vecs
+
+let avg_bits vecs =
+  if Array.length vecs = 0 then 0.0
+  else float_of_int (total_bits vecs) /. float_of_int (Array.length vecs)
+
+let query_encoded la lb = query_pairs (decode_vertex la) (decode_vertex lb)

@@ -1,0 +1,35 @@
+(** Compact binary encoding of hub labels.
+
+    This is the bridge the paper describes between hub labelings and
+    distance labelings ("such constructions usually involve some form
+    of compression and/or encoding of all distances", §1.1): each
+    vertex label stores its hubset as gamma-coded hub-id gaps and
+    gamma-coded distances, and the query decodes two labels and
+    intersects them. Lossless: [decode ∘ encode = id]. *)
+
+open Repro_hub
+
+val encode_vertex : (int * int) array -> Bitvec.t
+(** Encode one hubset (sorted by hub id, distances [>= 0]). *)
+
+val decode_vertex : Bitvec.t -> (int * int) array
+
+val decode_vertex_from : Bit_io.Reader.t -> (int * int) array
+(** Like {!decode_vertex} but consuming from an existing reader, so a
+    label can be embedded inside a larger message (used by the
+    Theorem 1.6 protocol). *)
+
+val query_pairs : (int * int) array -> (int * int) array -> int
+(** Minimum [d_a + d_b] over common hubs of two sorted hubset arrays;
+    {!Repro_graph.Dist.inf} when disjoint. *)
+
+val encode : Hub_label.t -> Bitvec.t array
+val decode : n:int -> Bitvec.t array -> Hub_label.t
+
+val total_bits : Bitvec.t array -> int
+val avg_bits : Bitvec.t array -> float
+
+val query_encoded : Bitvec.t -> Bitvec.t -> int
+(** Distance answered from the two binary labels alone
+    ({!Repro_graph.Dist.inf} when the decoded hubsets are disjoint) —
+    this is the "decoder" of the induced distance labeling scheme. *)

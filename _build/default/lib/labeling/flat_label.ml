@@ -1,0 +1,45 @@
+open Repro_graph
+
+(* Label layout: gamma(id+1), gamma(n), then n gamma-coded cells
+   (dist+2, with inf stored as 1). *)
+
+let encode_row ~id row =
+  let w = Bit_io.Writer.create () in
+  Bit_io.Writer.gamma w (id + 1);
+  Bit_io.Writer.gamma w (Array.length row + 1);
+  Array.iter
+    (fun d ->
+      if Dist.is_finite d then Bit_io.Writer.gamma w (d + 2)
+      else Bit_io.Writer.gamma w 1)
+    row;
+  Bit_io.Writer.contents w
+
+let build g =
+  Array.init (Graph.n g) (fun v -> encode_row ~id:v (Traversal.bfs g v))
+
+let build_w g =
+  Array.init (Wgraph.n g) (fun v -> encode_row ~id:v (Dijkstra.distances g v))
+
+let header vec =
+  let r = Bit_io.Reader.of_bitvec vec in
+  let id = Bit_io.Reader.gamma r - 1 in
+  let n = Bit_io.Reader.gamma r - 1 in
+  (id, n, r)
+
+let query la lb =
+  let _, n, r = header la in
+  let id_b, _, _ = header lb in
+  if id_b < 0 || id_b >= n then invalid_arg "Flat_label.query: bad label";
+  let d = ref Dist.inf in
+  for i = 0 to n - 1 do
+    let cell = Bit_io.Reader.gamma r in
+    if i = id_b then d := (if cell = 1 then Dist.inf else cell - 2)
+  done;
+  !d
+
+let avg_bits labels =
+  if Array.length labels = 0 then 0.0
+  else
+    float_of_int
+      (Array.fold_left (fun acc v -> acc + Bitvec.length v) 0 labels)
+    /. float_of_int (Array.length labels)

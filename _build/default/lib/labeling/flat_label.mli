@@ -1,0 +1,18 @@
+(** The trivial distance labeling: each vertex stores its entire
+    distance row, gamma-coded. [Θ(n log diam)] bits per label — the
+    baseline the sublinear schemes of [ADKP16]/[GKU16] (and this
+    paper's bounds) are measured against. Decoding needs only the two
+    labels: [dist(u, v)] is read directly from either row. *)
+
+open Repro_graph
+
+val build : Graph.t -> Bitvec.t array
+(** One label per vertex. *)
+
+val build_w : Wgraph.t -> Bitvec.t array
+
+val query : Bitvec.t -> Bitvec.t -> int
+(** Distance from the two labels (only the first is actually needed;
+    the second's vertex id is read from its header). *)
+
+val avg_bits : Bitvec.t array -> float

@@ -1,0 +1,37 @@
+open Repro_graph
+open Repro_hub
+
+type t = {
+  labels : Bitvec.t array;
+  d : int;
+  stats : Random_hitting.stats;
+}
+
+let build ~rng ?d g =
+  let d = match d with Some d -> d | None -> Random_hitting.recommended_d g in
+  let hub_labels, stats = Random_hitting.build ~rng ~d g in
+  { labels = Encoder.encode hub_labels; d; stats }
+
+let query t u v =
+  if u < 0 || u >= Array.length t.labels || v < 0 || v >= Array.length t.labels
+  then invalid_arg "Sparse_label.query";
+  Encoder.query_encoded t.labels.(u) t.labels.(v)
+
+let total_bits t = Encoder.total_bits t.labels
+let avg_bits t = Encoder.avg_bits t.labels
+
+let verify g t =
+  let n = Graph.n g in
+  if n <> Array.length t.labels then false
+  else begin
+    let ok = ref true in
+    for u = 0 to n - 1 do
+      if !ok then begin
+        let dist = Traversal.bfs g u in
+        for v = u to n - 1 do
+          if query t u v <> dist.(v) then ok := false
+        done
+      end
+    done;
+    !ok
+  end

@@ -1,0 +1,25 @@
+(** Packaged sublinear-style distance labeling for sparse graphs, in
+    the spirit of [ADKP16]/[GKU16] (§1.1): the random-hitting-set hub
+    labeling of {!Repro_hub.Random_hitting}, serialised with the
+    gamma-coded {!Encoder}. The scheme object carries everything needed
+    to answer queries from bits alone. *)
+
+open Repro_graph
+
+type t = {
+  labels : Bitvec.t array;
+  d : int;  (** distance threshold used *)
+  stats : Repro_hub.Random_hitting.stats;
+}
+
+val build : rng:Random.State.t -> ?d:int -> Graph.t -> t
+(** [d] defaults to {!Repro_hub.Random_hitting.recommended_d}. *)
+
+val query : t -> int -> int -> int
+(** Decode-and-intersect from the binary labels. *)
+
+val avg_bits : t -> float
+val total_bits : t -> int
+
+val verify : Graph.t -> t -> bool
+(** All-pairs exactness via the binary path. *)

@@ -1,0 +1,116 @@
+open Repro_graph
+open Repro_hub
+
+let is_tree g =
+  let n = Graph.n g in
+  n > 0 && Graph.m g = n - 1 && Traversal.is_connected g
+
+let ceil_log2 x =
+  let rec go acc p = if p >= x then acc else go (acc + 1) (2 * p) in
+  if x <= 1 then 0 else go 0 1
+
+let max_hubs_bound n = ceil_log2 (max n 1) + 1
+
+let build g =
+  if not (is_tree g) then invalid_arg "Tree_label.build: not a tree";
+  let n = Graph.n g in
+  let removed = Array.make n false in
+  let labels : (int * int) list array = Array.make n [] in
+  (* Component collection and subtree sizes by iterative DFS over the
+     not-yet-removed vertices. *)
+  let subtree = Array.make n 0 in
+  let component_of start =
+    let acc = ref [] in
+    let stack = Stack.create () in
+    let seen = Hashtbl.create 64 in
+    Stack.push start stack;
+    Hashtbl.replace seen start ();
+    while not (Stack.is_empty stack) do
+      let u = Stack.pop stack in
+      acc := u :: !acc;
+      Graph.iter_neighbors g u (fun v ->
+          if (not removed.(v)) && not (Hashtbl.mem seen v) then begin
+            Hashtbl.replace seen v ();
+            Stack.push v stack
+          end)
+    done;
+    !acc
+  in
+  let centroid comp =
+    let size = List.length comp in
+    let in_comp = Hashtbl.create 64 in
+    List.iter (fun v -> Hashtbl.replace in_comp v ()) comp;
+    (* subtree sizes rooted at the first vertex, children processed
+       before parents via a post-order obtained from a DFS stack *)
+    let root = List.hd comp in
+    let order = ref [] in
+    let parent = Hashtbl.create 64 in
+    let stack = Stack.create () in
+    Stack.push root stack;
+    Hashtbl.replace parent root (-1);
+    while not (Stack.is_empty stack) do
+      let u = Stack.pop stack in
+      order := u :: !order;
+      Graph.iter_neighbors g u (fun v ->
+          if
+            (not removed.(v))
+            && Hashtbl.mem in_comp v
+            && not (Hashtbl.mem parent v)
+          then begin
+            Hashtbl.replace parent v u;
+            Stack.push v stack
+          end)
+    done;
+    List.iter
+      (fun u ->
+        subtree.(u) <- 1;
+        Graph.iter_neighbors g u (fun v ->
+            if Hashtbl.find_opt parent v = Some u then
+              subtree.(u) <- subtree.(u) + subtree.(v)))
+      !order;
+    (* The centroid: all components after removal have size <= size/2;
+       equivalently max(subtree of children, size - subtree(v)) is
+       minimal and <= size/2. *)
+    let best = ref root and best_weight = ref max_int in
+    List.iter
+      (fun v ->
+        let heaviest = ref (size - subtree.(v)) in
+        Graph.iter_neighbors g v (fun c ->
+            if Hashtbl.find_opt parent c = Some v && subtree.(c) > !heaviest
+            then heaviest := subtree.(c));
+        if !heaviest < !best_weight then begin
+          best_weight := !heaviest;
+          best := v
+        end)
+      comp;
+    !best
+  in
+  (* BFS distances from a vertex within the live component. *)
+  let dist_from c =
+    let dist = Hashtbl.create 64 in
+    let q = Queue.create () in
+    Hashtbl.replace dist c 0;
+    Queue.add c q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      let du = Hashtbl.find dist u in
+      Graph.iter_neighbors g u (fun v ->
+          if (not removed.(v)) && not (Hashtbl.mem dist v) then begin
+            Hashtbl.replace dist v (du + 1);
+            Queue.add v q
+          end)
+    done;
+    dist
+  in
+  let rec decompose start =
+    let comp = component_of start in
+    let c = centroid comp in
+    let dist = dist_from c in
+    List.iter
+      (fun v -> labels.(v) <- (c, Hashtbl.find dist v) :: labels.(v))
+      comp;
+    removed.(c) <- true;
+    Graph.iter_neighbors g c (fun v -> if not removed.(v) then decompose v)
+  in
+  if n > 0 then decompose 0;
+  Hub_label.make ~n labels

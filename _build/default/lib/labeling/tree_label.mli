@@ -1,0 +1,21 @@
+(** Distance labeling for trees by centroid decomposition — the
+    [Θ(log n)]-hubs / [Θ(log² n)]-bits scheme of [Pel00] discussed in
+    §1.1 ("For the class of trees … selection of central vertices as
+    hubs, proceeding recursively on obtained subtrees").
+
+    Every vertex stores the centroids of the decomposition components
+    it belongs to; any pair meets at their lowest common centroid,
+    which lies on their tree path, so the labeling is an exact cover
+    with at most [⌈log₂ n⌉ + 1] hubs per vertex. *)
+
+open Repro_graph
+open Repro_hub
+
+val is_tree : Graph.t -> bool
+(** Connected with [n - 1] edges (true for the 1-vertex graph). *)
+
+val build : Graph.t -> Hub_label.t
+(** @raise Invalid_argument if the graph is not a tree. *)
+
+val max_hubs_bound : int -> int
+(** The [⌈log₂ n⌉ + 1] guarantee. *)

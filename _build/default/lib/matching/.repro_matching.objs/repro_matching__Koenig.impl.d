@@ -1,0 +1,1 @@
+lib/matching/koenig.ml: Array Bipartite Hopcroft_karp List Queue

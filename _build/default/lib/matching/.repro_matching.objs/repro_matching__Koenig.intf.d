@@ -1,0 +1,1 @@
+lib/matching/koenig.mli: Bipartite Hopcroft_karp

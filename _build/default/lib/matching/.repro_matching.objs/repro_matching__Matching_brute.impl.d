@@ -1,0 +1,1 @@
+lib/matching/matching_brute.ml: Array Bipartite Hashtbl List

@@ -1,0 +1,37 @@
+type t = { left : int; right : int; m : int; adjacency : int array array }
+
+let create ~left ~right edges =
+  if left < 0 || right < 0 then invalid_arg "Bipartite.create";
+  let buckets = Array.make left [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= left || v < 0 || v >= right then
+        invalid_arg "Bipartite.create: endpoint out of range";
+      buckets.(u) <- v :: buckets.(u))
+    edges;
+  let m = ref 0 in
+  let adjacency =
+    Array.map
+      (fun vs ->
+        let arr = Array.of_list (List.sort_uniq compare vs) in
+        m := !m + Array.length arr;
+        arr)
+      buckets
+  in
+  { left; right; m = !m; adjacency }
+
+let left t = t.left
+let right t = t.right
+let m t = t.m
+
+let adj t u =
+  if u < 0 || u >= t.left then invalid_arg "Bipartite.adj";
+  t.adjacency.(u)
+
+let iter_edges t f =
+  Array.iteri (fun u vs -> Array.iter (fun v -> f u v) vs) t.adjacency
+
+let edges t =
+  let acc = ref [] in
+  iter_edges t (fun u v -> acc := (u, v) :: !acc);
+  List.rev !acc

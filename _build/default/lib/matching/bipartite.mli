@@ -1,0 +1,22 @@
+(** Bipartite graphs with explicit sides [L = 0..left-1] and
+    [R = 0..right-1], adjacency stored from the left side.
+
+    This is the input type for {!Hopcroft_karp} and {!Koenig}; the
+    Theorem 4.1 construction builds one such graph per hub/distance
+    bucket [(h, a, b)]. *)
+
+type t
+
+val create : left:int -> right:int -> (int * int) list -> t
+(** Duplicate edges are merged. *)
+
+val left : t -> int
+val right : t -> int
+val m : t -> int
+(** Number of distinct edges. *)
+
+val adj : t -> int -> int array
+(** Right-neighbours of a left vertex (sorted, no duplicates). *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+val edges : t -> (int * int) list

@@ -1,0 +1,89 @@
+type matching = { size : int; mate_left : int array; mate_right : int array }
+
+let solve bg =
+  let nl = Bipartite.left bg in
+  let nr = Bipartite.right bg in
+  let mate_left = Array.make nl (-1) in
+  let mate_right = Array.make nr (-1) in
+  let dist = Array.make nl max_int in
+  let q = Queue.create () in
+  (* Layered BFS from free left vertices; true iff an augmenting path
+     exists. *)
+  let bfs () =
+    Queue.clear q;
+    for u = 0 to nl - 1 do
+      if mate_left.(u) = -1 then begin
+        dist.(u) <- 0;
+        Queue.add u q
+      end
+      else dist.(u) <- max_int
+    done;
+    let found = ref false in
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Array.iter
+        (fun v ->
+          let u' = mate_right.(v) in
+          if u' = -1 then found := true
+          else if dist.(u') = max_int then begin
+            dist.(u') <- dist.(u) + 1;
+            Queue.add u' q
+          end)
+        (Bipartite.adj bg u)
+    done;
+    !found
+  in
+  let rec dfs u =
+    let adj = Bipartite.adj bg u in
+    let rec try_from i =
+      if i >= Array.length adj then begin
+        dist.(u) <- max_int;
+        false
+      end
+      else begin
+        let v = adj.(i) in
+        let u' = mate_right.(v) in
+        let ok =
+          if u' = -1 then true
+          else if dist.(u') = dist.(u) + 1 then dfs u'
+          else false
+        in
+        if ok then begin
+          mate_left.(u) <- v;
+          mate_right.(v) <- u;
+          true
+        end
+        else try_from (i + 1)
+      end
+    in
+    try_from 0
+  in
+  let size = ref 0 in
+  while bfs () do
+    for u = 0 to nl - 1 do
+      if mate_left.(u) = -1 && dfs u then incr size
+    done
+  done;
+  { size = !size; mate_left; mate_right }
+
+let is_valid bg m =
+  let ok = ref true in
+  Array.iteri
+    (fun u v ->
+      if v >= 0 then begin
+        if m.mate_right.(v) <> u then ok := false;
+        if not (Array.exists (fun x -> x = v) (Bipartite.adj bg u)) then
+          ok := false
+      end)
+    m.mate_left;
+  Array.iteri
+    (fun v u -> if u >= 0 && m.mate_left.(u) <> v then ok := false)
+    m.mate_right;
+  let count = Array.fold_left (fun c v -> if v >= 0 then c + 1 else c) 0 m.mate_left in
+  !ok && count = m.size
+
+let is_maximal bg m =
+  let ok = ref true in
+  Bipartite.iter_edges bg (fun u v ->
+      if m.mate_left.(u) = -1 && m.mate_right.(v) = -1 then ok := false);
+  !ok

@@ -1,0 +1,17 @@
+(** Maximum bipartite matching by the Hopcroft–Karp algorithm,
+    O(m √n). *)
+
+type matching = {
+  size : int;
+  mate_left : int array;  (** left vertex -> matched right vertex or -1 *)
+  mate_right : int array;  (** right vertex -> matched left vertex or -1 *)
+}
+
+val solve : Bipartite.t -> matching
+
+val is_valid : Bipartite.t -> matching -> bool
+(** Checks that the two mate arrays are mutually consistent and only use
+    actual edges. *)
+
+val is_maximal : Bipartite.t -> matching -> bool
+(** No edge with both endpoints free (necessary condition for maximum). *)

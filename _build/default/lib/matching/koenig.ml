@@ -1,0 +1,51 @@
+type cover = { left_cover : int list; right_cover : int list }
+
+let of_matching bg (m : Hopcroft_karp.matching) =
+  let nl = Bipartite.left bg in
+  let nr = Bipartite.right bg in
+  let visited_left = Array.make nl false in
+  let visited_right = Array.make nr false in
+  let q = Queue.create () in
+  for u = 0 to nl - 1 do
+    if m.mate_left.(u) = -1 then begin
+      visited_left.(u) <- true;
+      Queue.add u q
+    end
+  done;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun v ->
+        (* Traverse non-matching edges L -> R, matching edges R -> L. *)
+        if m.mate_left.(u) <> v && not visited_right.(v) then begin
+          visited_right.(v) <- true;
+          let u' = m.mate_right.(v) in
+          if u' >= 0 && not visited_left.(u') then begin
+            visited_left.(u') <- true;
+            Queue.add u' q
+          end
+        end)
+      (Bipartite.adj bg u)
+  done;
+  let left_cover = ref [] in
+  for u = nl - 1 downto 0 do
+    if not visited_left.(u) then left_cover := u :: !left_cover
+  done;
+  let right_cover = ref [] in
+  for v = nr - 1 downto 0 do
+    if visited_right.(v) then right_cover := v :: !right_cover
+  done;
+  { left_cover = !left_cover; right_cover = !right_cover }
+
+let minimum_vertex_cover bg = of_matching bg (Hopcroft_karp.solve bg)
+let size c = List.length c.left_cover + List.length c.right_cover
+
+let is_cover bg c =
+  let nl = Bipartite.left bg and nr = Bipartite.right bg in
+  let inl = Array.make (max nl 1) false in
+  let inr = Array.make (max nr 1) false in
+  List.iter (fun u -> inl.(u) <- true) c.left_cover;
+  List.iter (fun v -> inr.(v) <- true) c.right_cover;
+  let ok = ref true in
+  Bipartite.iter_edges bg (fun u v -> if not (inl.(u) || inr.(v)) then ok := false);
+  !ok

@@ -1,0 +1,22 @@
+(** Minimum vertex cover of a bipartite graph via König's theorem.
+
+    Given a maximum matching, the constructive proof yields a vertex
+    cover of the same size: starting from the unmatched left vertices,
+    alternate unmatched/matched edges; the cover is (left vertices not
+    reached) ∪ (right vertices reached). Theorem 4.1 stores the cover
+    sides into the hubset components [F_v]. *)
+
+type cover = {
+  left_cover : int list;  (** covered left vertices, increasing *)
+  right_cover : int list;  (** covered right vertices, increasing *)
+}
+
+val of_matching : Bipartite.t -> Hopcroft_karp.matching -> cover
+
+val minimum_vertex_cover : Bipartite.t -> cover
+(** Runs Hopcroft–Karp then {!of_matching}. *)
+
+val size : cover -> int
+
+val is_cover : Bipartite.t -> cover -> bool
+(** Every edge has an endpoint in the cover. *)

@@ -1,0 +1,48 @@
+let max_matching_size bg =
+  let nl = Bipartite.left bg in
+  let used = Array.make (Bipartite.right bg) false in
+  (* Branch over left vertices: match u to some free neighbour or skip. *)
+  let rec go u =
+    if u >= nl then 0
+    else begin
+      let best = ref (go (u + 1)) in
+      Array.iter
+        (fun v ->
+          if not used.(v) then begin
+            used.(v) <- true;
+            let r = 1 + go (u + 1) in
+            if r > !best then best := r;
+            used.(v) <- false
+          end)
+        (Bipartite.adj bg u);
+      !best
+    end
+  in
+  go 0
+
+let min_vertex_cover_size bg =
+  let nl = Bipartite.left bg in
+  let edges = Bipartite.edges bg in
+  if edges = [] then 0
+  else begin
+    (* Enumerate subsets of the left side that are in the cover; the
+       right side must then contain every right endpoint of an edge
+       whose left endpoint is excluded. *)
+    let best = ref max_int in
+    for mask = 0 to (1 lsl nl) - 1 do
+      let rights = Hashtbl.create 16 in
+      List.iter
+        (fun (u, v) ->
+          if mask land (1 lsl u) = 0 then Hashtbl.replace rights v ())
+        edges;
+      let size =
+        let left_count = ref 0 in
+        for u = 0 to nl - 1 do
+          if mask land (1 lsl u) <> 0 then incr left_count
+        done;
+        !left_count + Hashtbl.length rights
+      in
+      if size < !best then best := size
+    done;
+    !best
+  end

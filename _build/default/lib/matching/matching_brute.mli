@@ -1,0 +1,10 @@
+(** Exponential-time references for testing {!Hopcroft_karp} and
+    {!Koenig} on small instances. *)
+
+val max_matching_size : Bipartite.t -> int
+(** Maximum matching size by branch-and-bound over left vertices.
+    Intended for instances with at most ~20 left vertices. *)
+
+val min_vertex_cover_size : Bipartite.t -> int
+(** Minimum vertex cover size by subset enumeration over the smaller
+    side combined with forced choices. Intended for tiny instances. *)

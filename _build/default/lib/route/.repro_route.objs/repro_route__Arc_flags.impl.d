@@ -1,0 +1,1 @@
+lib/route/arc_flags.ml: Array Bytes Char Dijkstra Dist Hashtbl List Pqueue Repro_graph Wgraph

@@ -1,0 +1,1 @@
+lib/route/arc_flags.mli: Repro_graph Wgraph

@@ -1,0 +1,1 @@
+lib/route/bidirectional.ml: Array Dist Graph Pqueue Queue Repro_graph Wgraph

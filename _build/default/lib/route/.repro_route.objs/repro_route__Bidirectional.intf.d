@@ -1,0 +1,1 @@
+lib/route/bidirectional.mli: Graph Repro_graph Wgraph

@@ -1,0 +1,1 @@
+lib/route/contraction.ml: Array Dist Hashtbl List Pqueue Repro_graph Wgraph

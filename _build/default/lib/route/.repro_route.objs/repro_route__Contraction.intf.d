@@ -1,0 +1,1 @@
+lib/route/contraction.mli: Repro_graph Wgraph

@@ -1,0 +1,150 @@
+open Repro_graph
+
+type t = {
+  graph : Wgraph.t;
+  region : int array;
+  k : int;
+  (* arc flags, indexed by a flat arc id; arcs are the directed
+     versions of each undirected edge, identified by (edge index,
+     direction). We store flags per (u, v) pair in a hashtable keyed by
+     u * n + v, each a Bytes bitmask over regions. *)
+  flags : (int, Bytes.t) Hashtbl.t;
+  n : int;
+}
+
+let flag_key t u v = (u * t.n) + v
+
+let get_flag t u v r =
+  match Hashtbl.find_opt t.flags (flag_key t u v) with
+  | None -> false
+  | Some mask -> Char.code (Bytes.get mask (r lsr 3)) land (1 lsl (r land 7)) <> 0
+
+let set_flag t u v r =
+  let key = flag_key t u v in
+  let mask =
+    match Hashtbl.find_opt t.flags key with
+    | Some m -> m
+    | None ->
+        let m = Bytes.make ((t.k + 7) / 8) '\000' in
+        Hashtbl.replace t.flags key m;
+        m
+  in
+  Bytes.set mask (r lsr 3)
+    (Char.chr (Char.code (Bytes.get mask (r lsr 3)) lor (1 lsl (r land 7))))
+
+(* BFS-Voronoi partition around k spread seeds (farthest-point style:
+   first seed 0, then repeatedly the vertex farthest from all seeds). *)
+let partition g k =
+  let n = Wgraph.n g in
+  let best_dist = Array.make n Dist.inf in
+  let region = Array.make n (-1) in
+  let seeds = ref [] in
+  let assign seed idx =
+    let d = Dijkstra.distances g seed in
+    for v = 0 to n - 1 do
+      if d.(v) < best_dist.(v) then begin
+        best_dist.(v) <- d.(v);
+        region.(v) <- idx
+      end
+    done
+  in
+  let next_seed () =
+    let best = ref 0 in
+    for v = 0 to n - 1 do
+      if best_dist.(v) > best_dist.(!best) then best := v
+    done;
+    !best
+  in
+  for idx = 0 to k - 1 do
+    let s = if idx = 0 then 0 else next_seed () in
+    seeds := s :: !seeds;
+    assign s idx
+  done;
+  (* unreachable-from-everything vertices get their own assignment *)
+  for v = 0 to n - 1 do
+    if region.(v) = -1 then region.(v) <- 0
+  done;
+  region
+
+let preprocess ?regions g =
+  let n = Wgraph.n g in
+  let k =
+    match regions with
+    | Some k -> max 1 k
+    | None -> max 2 (int_of_float (sqrt (float_of_int (max n 4)) /. 2.0))
+  in
+  let region = partition g k in
+  let t = { graph = g; region; k; flags = Hashtbl.create (4 * Wgraph.m g); n } in
+  (* intra-region arcs are always flagged for their own region *)
+  List.iter
+    (fun (u, v, _) ->
+      set_flag t u v region.(v);
+      set_flag t v u region.(u);
+      if region.(u) = region.(v) then begin
+        set_flag t u v region.(u);
+        set_flag t v u region.(v)
+      end)
+    (Wgraph.edges g);
+  (* boundary vertices of each region: endpoints of inter-region edges *)
+  let boundary = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v, _) ->
+      if region.(u) <> region.(v) then begin
+        Hashtbl.replace boundary u ();
+        Hashtbl.replace boundary v ()
+      end)
+    (Wgraph.edges g);
+  (* backward Dijkstra from each boundary vertex b: arc (u, v) lies on
+     a shortest path from u to b iff d(v) + w = d(u); flag it for b's
+     region *)
+  Hashtbl.iter
+    (fun b () ->
+      let d = Dijkstra.distances g b in
+      let r = region.(b) in
+      List.iter
+        (fun (u, v, w) ->
+          if Dist.is_finite d.(u) && Dist.is_finite d.(v) then begin
+            if d.(v) + w = d.(u) then set_flag t u v r;
+            if d.(u) + w = d.(v) then set_flag t v u r
+          end)
+        (Wgraph.edges g))
+    boundary;
+  t
+
+let query_settling t s target =
+  if s < 0 || s >= t.n || target < 0 || target >= t.n then
+    invalid_arg "Arc_flags.query";
+  let r = t.region.(target) in
+  let dist = Array.make t.n Dist.inf in
+  let pq = Pqueue.create t.n in
+  dist.(s) <- 0;
+  Pqueue.insert pq s 0;
+  let settled = ref 0 in
+  let answer = ref Dist.inf in
+  (try
+     while not (Pqueue.is_empty pq) do
+       let u, du = Pqueue.pop_min pq in
+       incr settled;
+       if u = target then begin
+         answer := du;
+         raise Exit
+       end;
+       Wgraph.iter_neighbors t.graph u (fun v w ->
+           if get_flag t u v r then begin
+             let d = du + w in
+             if d < dist.(v) then begin
+               dist.(v) <- d;
+               Pqueue.insert_or_decrease pq v d
+             end
+           end)
+     done
+   with Exit -> ());
+  (!answer, !settled)
+
+let query t s target = fst (query_settling t s target)
+let region_of t v = t.region.(v)
+let region_count t = t.k
+
+let settled_ratio t s target =
+  let _, settled = query_settling t s target in
+  float_of_int settled /. float_of_int (max 1 t.n)

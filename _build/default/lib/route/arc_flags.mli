@@ -1,0 +1,31 @@
+(** Arc flags [KMS06] — the second practical heuristic §1.1 names
+    ("fast point-to-point shortest path computations with arc-flags").
+
+    The vertex set is partitioned into [k] regions (BFS-Voronoi cells
+    around spread-out seeds). For every directed arc [(u, v)] and
+    region [r], a flag records whether the arc starts some shortest
+    path from [u] into [r]; a query towards target [t] runs Dijkstra
+    but only relaxes arcs flagged for [t]'s region, which prunes the
+    search while staying exact.
+
+    Flags are computed exactly by a backward Dijkstra per region
+    *boundary* vertex (any shortest path into a region enters through
+    its boundary), plus all intra-region arcs for the region itself.
+    Preprocessing is O(boundary · m log n): experiment scales. *)
+
+open Repro_graph
+
+type t
+
+val preprocess : ?regions:int -> Wgraph.t -> t
+(** Default region count: [max 2 (√n / 2)], rounded. *)
+
+val query : t -> int -> int -> int
+(** Exact distance; {!Dist.inf} if disconnected. *)
+
+val region_of : t -> int -> int
+val region_count : t -> int
+
+val settled_ratio : t -> int -> int -> float
+(** Fraction of vertices settled by the flagged query relative to [n] —
+    the pruning effectiveness measure. *)

@@ -1,0 +1,104 @@
+open Repro_graph
+
+(* Termination uses the classical criterion: once the smallest key
+   still in either queue (tracked via the last popped keys, which equal
+   the previous tops) sums to at least the best meeting value found,
+   no shorter s-t path can remain. *)
+
+let distance g s t =
+  let n = Wgraph.n g in
+  if s < 0 || s >= n || t < 0 || t >= n then
+    invalid_arg "Bidirectional.distance";
+  if s = t then 0
+  else begin
+    let dist_f = Array.make n Dist.inf in
+    let dist_b = Array.make n Dist.inf in
+    let settled_f = Array.make n false in
+    let settled_b = Array.make n false in
+    let pq_f = Pqueue.create n in
+    let pq_b = Pqueue.create n in
+    dist_f.(s) <- 0;
+    dist_b.(t) <- 0;
+    Pqueue.insert pq_f s 0;
+    Pqueue.insert pq_b t 0;
+    let best = ref Dist.inf in
+    let last_f = ref 0 and last_b = ref 0 in
+    let step_side pq dist settled other_dist last =
+      if not (Pqueue.is_empty pq) then begin
+        let u, du = Pqueue.pop_min pq in
+        last := du;
+        settled.(u) <- true;
+        let via = Dist.add du other_dist.(u) in
+        if via < !best then best := via;
+        Wgraph.iter_neighbors g u (fun v w ->
+            if not settled.(v) then begin
+              let d = du + w in
+              if d < dist.(v) then begin
+                dist.(v) <- d;
+                Pqueue.insert_or_decrease pq v d;
+                let via = Dist.add d other_dist.(v) in
+                if via < !best then best := via
+              end
+            end)
+      end
+    in
+    let flip = ref true in
+    while
+      (not (Pqueue.is_empty pq_f && Pqueue.is_empty pq_b))
+      && Dist.add !last_f !last_b < !best
+    do
+      let forward =
+        if Pqueue.is_empty pq_f then false
+        else if Pqueue.is_empty pq_b then true
+        else !flip
+      in
+      if forward then step_side pq_f dist_f settled_f dist_b last_f
+      else step_side pq_b dist_b settled_b dist_f last_b;
+      flip := not !flip
+    done;
+    !best
+  end
+
+let distance_unweighted g s t =
+  let n = Graph.n g in
+  if s < 0 || s >= n || t < 0 || t >= n then
+    invalid_arg "Bidirectional.distance_unweighted";
+  if s = t then 0
+  else begin
+    let dist_f = Array.make n Dist.inf in
+    let dist_b = Array.make n Dist.inf in
+    let qf = Queue.create () and qb = Queue.create () in
+    dist_f.(s) <- 0;
+    dist_b.(t) <- 0;
+    Queue.add s qf;
+    Queue.add t qb;
+    let best = ref Dist.inf in
+    let expand q dist other =
+      (* expand one full BFS level *)
+      let level = Queue.length q in
+      for _ = 1 to level do
+        let u = Queue.pop q in
+        Graph.iter_neighbors g u (fun v ->
+            if dist.(v) = Dist.inf then begin
+              dist.(v) <- dist.(u) + 1;
+              Queue.add v q;
+              let via = Dist.add dist.(v) other.(v) in
+              if via < !best then best := via
+            end)
+      done
+    in
+    let frontier q dist =
+      if Queue.is_empty q then Dist.inf else dist.(Queue.peek q)
+    in
+    while
+      (not (Queue.is_empty qf && Queue.is_empty qb))
+      && Dist.add (frontier qf dist_f) (frontier qb dist_b) < !best
+    do
+      if
+        Queue.is_empty qb
+        || ((not (Queue.is_empty qf)) && Queue.length qf <= Queue.length qb)
+      then expand qf dist_f dist_b
+      else expand qb dist_b dist_f
+    done;
+    !best
+  end

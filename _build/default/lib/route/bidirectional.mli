@@ -1,0 +1,11 @@
+(** Bidirectional Dijkstra — the classical point-to-point baseline the
+    hub-based methods of §1.1 are compared against in practice. *)
+
+open Repro_graph
+
+val distance : Wgraph.t -> int -> int -> int
+(** Exact point-to-point distance; {!Dist.inf} if disconnected. On
+    undirected graphs both searches use the same adjacency. *)
+
+val distance_unweighted : Graph.t -> int -> int -> int
+(** Bidirectional BFS. *)

@@ -1,0 +1,171 @@
+open Repro_graph
+
+type t = {
+  n : int;
+  rank : int array; (* vertex -> contraction rank (higher = more important) *)
+  order : int array;
+  (* search graph: for each vertex, edges to higher-ranked endpoints
+     (original edges and shortcuts) *)
+  up : (int * int) array array; (* vertex -> (neighbour, weight) list *)
+  shortcuts : int;
+}
+
+(* Remaining-graph adjacency during contraction: hashtable per vertex,
+   neighbour -> best weight. *)
+
+let preprocess ?(hop_limit = 16) g =
+  let n = Wgraph.n g in
+  let adj : (int, int) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 8) in
+  let add_edge u v w =
+    (match Hashtbl.find_opt adj.(u) v with
+    | Some w0 when w0 <= w -> ()
+    | _ ->
+        Hashtbl.replace adj.(u) v w;
+        Hashtbl.replace adj.(v) u w)
+  in
+  List.iter (fun (u, v, w) -> add_edge u v w) (Wgraph.edges g);
+  let contracted = Array.make n false in
+  (* Bounded witness search: is there a u..w path avoiding v of length
+     <= limit? Settles at most [hop_limit] vertices. *)
+  let witness_exists u w v limit =
+    if u = w then true
+    else begin
+      let dist = Hashtbl.create 16 in
+      let pq = Pqueue.create n in
+      Hashtbl.replace dist u 0;
+      Pqueue.insert pq u 0;
+      let settled = ref 0 in
+      let found = ref false in
+      (try
+         while (not (Pqueue.is_empty pq)) && !settled < hop_limit do
+           let x, dx = Pqueue.pop_min pq in
+           incr settled;
+           if x = w then begin
+             found := dx <= limit;
+             raise Exit
+           end;
+           if dx < limit then
+             Hashtbl.iter
+               (fun y wxy ->
+                 if (not contracted.(y)) && y <> v then begin
+                   let d = dx + wxy in
+                   if d <= limit then
+                     match Hashtbl.find_opt dist y with
+                     | Some d0 when d0 <= d -> ()
+                     | _ ->
+                         Hashtbl.replace dist y d;
+                         Pqueue.insert_or_decrease pq y d
+                 end)
+               adj.(x)
+         done
+       with Exit -> ());
+      (* the target may be reachable but not yet settled *)
+      (!found
+      ||
+      match Hashtbl.find_opt dist w with Some d -> d <= limit | None -> false)
+    end
+  in
+  (* Edge difference of contracting v: shortcuts needed - edges removed. *)
+  let needed_shortcuts v =
+    let nbrs =
+      Hashtbl.fold
+        (fun u w acc -> if contracted.(u) then acc else (u, w) :: acc)
+        adj.(v) []
+    in
+    let pairs = ref [] in
+    let rec all_pairs = function
+      | [] -> ()
+      | (u, wu) :: rest ->
+          List.iter
+            (fun (w, ww) ->
+              if not (witness_exists u w v (wu + ww)) then
+                pairs := (u, w, wu + ww) :: !pairs)
+            rest;
+          all_pairs rest
+    in
+    all_pairs nbrs;
+    (!pairs, List.length nbrs)
+  in
+  let priority v =
+    let shortcuts, deg = needed_shortcuts v in
+    (2 * List.length shortcuts) - deg
+  in
+  (* Lazy-update contraction loop. *)
+  let pq = Pqueue.create n in
+  let offset = 4 * n in
+  (* priorities can be negative; shift into Pqueue's int keys *)
+  for v = 0 to n - 1 do
+    Pqueue.insert pq v (priority v + offset)
+  done;
+  let rank = Array.make n 0 in
+  let order = Array.make n 0 in
+  let shortcut_total = ref 0 in
+  let next_rank = ref 0 in
+  while not (Pqueue.is_empty pq) do
+    let v, key = Pqueue.pop_min pq in
+    (* lazy re-evaluation: if the priority rose, re-insert *)
+    let fresh = priority v + offset in
+    if fresh > key && not (Pqueue.is_empty pq) then Pqueue.insert pq v fresh
+    else begin
+      let shortcuts, _ = needed_shortcuts v in
+      List.iter
+        (fun (u, w, weight) ->
+          incr shortcut_total;
+          add_edge u w weight)
+        shortcuts;
+      contracted.(v) <- true;
+      rank.(v) <- !next_rank;
+      order.(!next_rank) <- v;
+      incr next_rank
+    end
+  done;
+  (* Build the upward search graph from the final adjacency (which now
+     contains originals + shortcuts). *)
+  let up =
+    Array.init n (fun v ->
+        let out =
+          Hashtbl.fold
+            (fun u w acc -> if rank.(u) > rank.(v) then (u, w) :: acc else acc)
+            adj.(v) []
+        in
+        Array.of_list out)
+  in
+  { n; rank; order; up; shortcuts = !shortcut_total }
+
+let query t s u =
+  if s < 0 || s >= t.n || u < 0 || u >= t.n then invalid_arg "Contraction.query";
+  if s = u then 0
+  else begin
+    let search src =
+      let dist = Hashtbl.create 64 in
+      let pq = Pqueue.create t.n in
+      Hashtbl.replace dist src 0;
+      Pqueue.insert pq src 0;
+      while not (Pqueue.is_empty pq) do
+        let x, dx = Pqueue.pop_min pq in
+        if Hashtbl.find dist x = dx then
+          Array.iter
+            (fun (y, w) ->
+              let d = dx + w in
+              match Hashtbl.find_opt dist y with
+              | Some d0 when d0 <= d -> ()
+              | _ ->
+                  Hashtbl.replace dist y d;
+                  Pqueue.insert_or_decrease pq y d)
+            t.up.(x)
+      done;
+      dist
+    in
+    let df = search s and db = search u in
+    let best = ref Dist.inf in
+    Hashtbl.iter
+      (fun v d ->
+        match Hashtbl.find_opt db v with
+        | Some d' -> if d + d' < !best then best := d + d'
+        | None -> ())
+      df;
+    !best
+  end
+
+let shortcut_count t = t.shortcuts
+let order t = t.order

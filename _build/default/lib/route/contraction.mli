@@ -1,0 +1,30 @@
+(** Contraction hierarchies [Geisberger et al.], one of the practical
+    shortest-path heuristics §1.1 cites alongside hub labels ("such as
+    contraction hierarchies and algorithms with arc flags").
+
+    Preprocessing contracts vertices in importance order, inserting a
+    shortcut [u-w] of weight [w(u,v) + w(v,w)] whenever removing [v]
+    would otherwise break a shortest path (a bounded witness search
+    decides; inconclusive searches insert the shortcut, which is always
+    safe). Queries run a bidirectional Dijkstra that only relaxes edges
+    going *upward* in the contraction order; the answer is the best
+    meeting vertex. Exact on all pairs. *)
+
+open Repro_graph
+
+type t
+
+val preprocess : ?hop_limit:int -> Wgraph.t -> t
+(** Build the hierarchy. [hop_limit] bounds the witness searches
+    (default 16 settled vertices per search); smaller limits build
+    faster but insert more shortcuts. *)
+
+val query : t -> int -> int -> int
+(** Exact distance; {!Dist.inf} if disconnected. *)
+
+val shortcut_count : t -> int
+(** Number of shortcut edges added during preprocessing. *)
+
+val order : t -> int array
+(** The contraction order used (position = importance rank, least
+    important first). *)

@@ -1,0 +1,1 @@
+lib/rs/ap_free.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/rs/behrend.ml: Ap_free Hashtbl List

@@ -1,0 +1,1 @@
+lib/rs/behrend.mli:

@@ -1,0 +1,1 @@
+lib/rs/induced_matching.ml: Graph Hashtbl List Repro_graph

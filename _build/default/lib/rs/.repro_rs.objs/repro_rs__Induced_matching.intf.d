@@ -1,0 +1,1 @@
+lib/rs/induced_matching.mli: Graph Repro_graph

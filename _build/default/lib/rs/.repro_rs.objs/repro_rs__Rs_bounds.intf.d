@@ -1,0 +1,1 @@
+lib/rs/rs_bounds.mli:

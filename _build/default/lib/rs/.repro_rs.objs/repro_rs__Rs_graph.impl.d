@@ -1,0 +1,1 @@
+lib/rs/rs_graph.ml: Array Graph Hashtbl List Option Printf Repro_graph

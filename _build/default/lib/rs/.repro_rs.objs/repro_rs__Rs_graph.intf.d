@@ -1,0 +1,1 @@
+lib/rs/rs_graph.mli: Graph Repro_graph

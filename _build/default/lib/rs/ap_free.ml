@@ -1,0 +1,70 @@
+let is_ap_free xs =
+  let arr = Array.of_list (List.sort_uniq compare xs) in
+  let k = Array.length arr in
+  let mem x =
+    let lo = ref 0 and hi = ref (k - 1) in
+    let found = ref false in
+    while (not !found) && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if arr.(mid) = x then found := true
+      else if arr.(mid) < x then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+  in
+  let ok = ref true in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      (* arr.(i) < arr.(j); the third term closing the progression. *)
+      if !ok && mem ((2 * arr.(j)) - arr.(i)) then ok := false
+    done
+  done;
+  !ok
+
+let greedy n =
+  let chosen = ref [] in
+  let mem = Hashtbl.create 64 in
+  for x = 0 to n - 1 do
+    let closes_ap =
+      List.exists
+        (fun b ->
+          (* x > b: progression a < b < x needs a = 2b - x chosen. *)
+          let a = (2 * b) - x in
+          a >= 0 && a <> b && Hashtbl.mem mem a)
+        !chosen
+    in
+    if not closes_ap then begin
+      chosen := x :: !chosen;
+      Hashtbl.replace mem x ()
+    end
+  done;
+  List.rev !chosen
+
+let no_two_base3 n =
+  let rec has_two x = x > 0 && (x mod 3 = 2 || has_two (x / 3)) in
+  List.filter (fun x -> not (has_two x)) (List.init n (fun i -> i))
+
+let maximum_exhaustive n =
+  if n > 40 then invalid_arg "Ap_free.maximum_exhaustive: n too large";
+  let best = ref [] in
+  (* Branch on each element in decreasing order; prune when even taking
+     everything remaining cannot beat the incumbent. *)
+  let rec go x chosen size =
+    if size + x + 1 <= List.length !best then ()
+    else if x < 0 then begin
+      if size > List.length !best then best := chosen
+    end
+    else begin
+      let closes_ap =
+        (* chosen elements are all > x; check b, c in chosen with
+           x + c = 2b. *)
+        List.exists
+          (fun b -> List.exists (fun c -> x + c = 2 * b && c > b) chosen)
+          chosen
+      in
+      if not closes_ap then go (x - 1) (x :: chosen) (size + 1);
+      go (x - 1) chosen size
+    end
+  in
+  go (n - 1) [] 0;
+  !best

@@ -1,0 +1,22 @@
+(** Sets of integers with no 3-term arithmetic progression.
+
+    AP-free sets underlie the Behrend construction [Beh46] cited by the
+    paper as the source of the upper bound on [RS(n)]. *)
+
+val is_ap_free : int list -> bool
+(** [true] iff no three (distinct) elements [a < b < c] of the list
+    satisfy [a + c = 2b]. The list need not be sorted; duplicates are
+    ignored. O(k² log k). *)
+
+val greedy : int -> int list
+(** Greedy AP-free subset of [0 .. n-1]: scan upwards, keep an element
+    whenever it closes no progression. Classical fact: this yields
+    exactly the integers with no digit 2 in base 3. *)
+
+val no_two_base3 : int -> int list
+(** Integers in [0 .. n-1] whose base-3 representation avoids the
+    digit 2 (the closed form of {!greedy}). *)
+
+val maximum_exhaustive : int -> int list
+(** A maximum AP-free subset of [0 .. n-1] by branch and bound.
+    Exponential; intended for [n <= 30] in tests. *)

@@ -1,0 +1,73 @@
+(* Enumerate digit vectors in [0, q-1]^d, bucket by squared norm, and
+   return the numbers (base-2q evaluations) of the fullest shell. The
+   public [construct] searches over dimensions (and, at small n where
+   it still dominates, the greedy base-3 set) and returns the largest
+   AP-free set found. *)
+
+let shell_for ~d n =
+  let q =
+    let ideal =
+      int_of_float (0.5 *. (float_of_int n ** (1.0 /. float_of_int d)))
+    in
+    max 2 (min ideal 64)
+  in
+  let base = 2 * q in
+  let shells : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let rec enumerate pos value norm =
+    if pos = d then begin
+      match Hashtbl.find_opt shells norm with
+      | Some l -> l := value :: !l
+      | None -> Hashtbl.replace shells norm (ref [ value ])
+    end
+    else
+      for digit = 0 to q - 1 do
+        (* most significant digit first: prefix overflow prunes all
+           completions *)
+        let value' = (value * base) + digit in
+        if value' < n then enumerate (pos + 1) value' (norm + (digit * digit))
+      done
+  in
+  enumerate 0 0 0;
+  let best = ref [] in
+  Hashtbl.iter
+    (fun _ l -> if List.length !l > List.length !best then best := !l)
+    shells;
+  !best
+
+let default_dimension n =
+  let logn = log (float_of_int (max n 2)) /. log 2.0 in
+  max 2 (int_of_float (ceil (sqrt logn)))
+
+let construct ?dimension n =
+  if n < 1 then invalid_arg "Behrend.construct";
+  if n <= 3 then List.init n (fun i -> i)
+  else begin
+    let candidates =
+      match dimension with
+      | Some d -> [ shell_for ~d:(max 1 d) n ]
+      | None ->
+          let dmax = default_dimension n + 1 in
+          let shells =
+            List.init (dmax - 1) (fun i -> shell_for ~d:(i + 2) n)
+          in
+          (* the digit shells only overtake the greedy base-3 set at
+             scales beyond this library's enumeration budget; include
+             greedy as a candidate while it is cheap *)
+          if n <= 100_000 then Ap_free.greedy n :: shells else shells
+    in
+    let best =
+      List.fold_left
+        (fun acc c -> if List.length c > List.length acc then c else acc)
+        [] candidates
+    in
+    List.sort compare best
+  end
+
+let best_size n = List.length (construct n)
+
+let density_series ns =
+  List.map
+    (fun n ->
+      let s = best_size n in
+      (n, s, float_of_int s /. float_of_int n))
+    ns

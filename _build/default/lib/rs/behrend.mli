@@ -1,0 +1,23 @@
+(** Behrend's construction of large progression-free sets [Beh46].
+
+    Integers are written in base [2q] with digits below [q]; keeping
+    those whose digit vector has a fixed Euclidean norm gives an AP-free
+    set, because digit addition then carries nowhere and spheres are
+    strictly convex. The best norm shell has size
+    [n / 2^{O(√log n)}] for suitable dimension — this is the function
+    shape that bounds [RS(n)] from above in Definition 1.3's regime. *)
+
+val construct : ?dimension:int -> int -> int list
+(** [construct n] is an AP-free subset of [0 .. n-1]: the best norm
+    shell over a small dimension sweep, or — at the small scales where
+    it still dominates the digit construction — the greedy base-3 set.
+    [dimension] forces a single digit-construction dimension. The
+    result is sorted. *)
+
+val best_size : int -> int
+(** [List.length (construct n)] without materialising the set twice. *)
+
+val density_series : int list -> (int * int * float) list
+(** For each [n] of the input list: [(n, |S|, |S| / n)] using
+    {!construct} — the measured Behrend density curve reported by the
+    [E-RS] experiment. *)

@@ -1,0 +1,53 @@
+open Repro_graph
+
+let is_matching m =
+  let seen = Hashtbl.create 64 in
+  let ok = ref true in
+  List.iter
+    (fun (u, v) ->
+      if u = v || Hashtbl.mem seen u || Hashtbl.mem seen v then ok := false
+      else begin
+        Hashtbl.replace seen u ();
+        Hashtbl.replace seen v ()
+      end)
+    m;
+  !ok
+
+let is_induced g m =
+  is_matching m
+  && List.for_all (fun (u, v) -> Graph.mem_edge g u v) m
+  &&
+  let endpoints =
+    List.concat_map (fun (u, v) -> [ u; v ]) m |> List.sort_uniq compare
+  in
+  let in_m = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v) ->
+      Hashtbl.replace in_m (min u v, max u v) ())
+    m;
+  (* Every induced edge among the endpoints must belong to m. *)
+  List.for_all
+    (fun u ->
+      List.for_all
+        (fun v ->
+          u >= v
+          || (not (Graph.mem_edge g u v))
+          || Hashtbl.mem in_m (u, v))
+        endpoints)
+    endpoints
+
+let is_partition g matchings =
+  let seen = Hashtbl.create (2 * Graph.m g) in
+  let ok = ref true in
+  List.iter
+    (List.iter (fun (u, v) ->
+         let key = (min u v, max u v) in
+         if Hashtbl.mem seen key || not (Graph.mem_edge g u v) then ok := false
+         else Hashtbl.replace seen key ()))
+    matchings;
+  !ok && Hashtbl.length seen = Graph.m g
+
+let is_ruzsa_szemeredi g matchings =
+  List.length matchings <= Graph.n g
+  && is_partition g matchings
+  && List.for_all (is_induced g) matchings

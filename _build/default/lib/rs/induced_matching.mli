@@ -1,0 +1,21 @@
+(** Verification of induced matchings (Definition 1.2) and of
+    edge partitions into induced matchings (Definition 1.3). *)
+
+open Repro_graph
+
+val is_matching : (int * int) list -> bool
+(** No vertex appears twice among the endpoints. *)
+
+val is_induced : Graph.t -> (int * int) list -> bool
+(** [is_induced g m] is [true] iff [m] is a matching using edges of [g]
+    and the subgraph of [g] induced by the endpoints of [m] contains
+    exactly the edges of [m]. *)
+
+val is_partition : Graph.t -> (int * int) list list -> bool
+(** The matchings are pairwise edge-disjoint and together contain every
+    edge of [g] exactly once (each matching also checked non-empty-safe
+    for membership in [g]). *)
+
+val is_ruzsa_szemeredi : Graph.t -> (int * int) list list -> bool
+(** Definition 1.3: an edge partition into at most [n] induced
+    matchings. *)

@@ -1,0 +1,18 @@
+let log2 x = log x /. log 2.0
+
+let log_star n =
+  let rec go x acc =
+    if x <= 1.0 then acc else go (log2 x) (acc + 1)
+  in
+  go (float_of_int (max n 1)) 0
+
+let fox_lower n = 2.0 ** float_of_int (log_star n)
+
+let behrend_upper n = 2.0 ** (2.0 *. sqrt (log2 (float_of_int (max n 2))))
+
+let sqrt_log_shape n = 2.0 ** sqrt (log2 (float_of_int (max n 2)))
+
+let hub_lower_bound_shape n = float_of_int n /. sqrt_log_shape n
+
+let hub_upper_bound_shape ~c n =
+  float_of_int n /. (behrend_upper n ** (1.0 /. c))

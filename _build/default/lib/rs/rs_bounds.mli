@@ -1,0 +1,24 @@
+(** Numeric proxies for the known bounds on the Ruzsa–Szemerédi
+    function [2^{Ω(log* n)} ≤ RS(n) ≤ 2^{O(√log n)}] ([Fox11], [Beh46]),
+    used by experiments to plot the paper's conditional shapes. *)
+
+val log_star : int -> int
+(** Iterated binary logarithm (number of [log₂] applications needed to
+    reach [<= 1]). *)
+
+val fox_lower : int -> float
+(** The [2^{log* n}] lower-bound shape (constant 1 in the exponent). *)
+
+val behrend_upper : int -> float
+(** The [2^{2√(log₂ n)}] upper-bound shape. *)
+
+val sqrt_log_shape : int -> float
+(** [2^{√(log₂ n)}] — the canonical "between polylog and polynomial"
+    scale the paper's bounds are phrased in ([n / 2^{Θ(√log n)}]). *)
+
+val hub_lower_bound_shape : int -> float
+(** [n / 2^{√(log₂ n)}], the Theorem 1.1 shape. *)
+
+val hub_upper_bound_shape : c:float -> int -> float
+(** [n / RS(n)^{1/c}] with RS replaced by its Behrend-shape upper
+    bound — the optimistic reading of Theorem 1.4. *)

@@ -1,0 +1,175 @@
+open Repro_graph
+
+type t = {
+  graph : Graph.t;
+  points : int array array;
+  matchings : (int * int) list list;
+  rho : int;
+  mu : int;
+}
+
+let enumerate_points ~c ~d =
+  let total = int_of_float (float_of_int c ** float_of_int d) in
+  Array.init total (fun idx ->
+      let v = Array.make d 0 in
+      let rest = ref idx in
+      for k = 0 to d - 1 do
+        v.(k) <- !rest mod c;
+        rest := !rest / c
+      done;
+      v)
+
+let norm2 v = Array.fold_left (fun acc x -> acc + (x * x)) 0 v
+
+let dist2 a b =
+  let acc = ref 0 in
+  for k = 0 to Array.length a - 1 do
+    let diff = a.(k) - b.(k) in
+    acc := !acc + (diff * diff)
+  done;
+  !acc
+
+let popular_rho points =
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun p ->
+      let r = norm2 p in
+      Hashtbl.replace counts r (1 + Option.value ~default:0 (Hashtbl.find_opt counts r)))
+    points;
+  let best = ref (-1) and best_count = ref 0 in
+  Hashtbl.iter
+    (fun r c ->
+      if c > !best_count || (c = !best_count && r < !best) then begin
+        best := r;
+        best_count := c
+      end)
+    counts;
+  !best
+
+let shell points rho = Array.of_list (List.filter (fun p -> norm2 p = rho) (Array.to_list points))
+
+(* Canonical representative of the pair {z, -z}: first non-zero
+   coordinate positive. *)
+let canonical_direction z =
+  let rec first_nonzero k =
+    if k >= Array.length z then 0 else if z.(k) <> 0 then z.(k) else first_nonzero (k + 1)
+  in
+  if first_nonzero 0 < 0 then Array.map (fun x -> -x) z else z
+
+(* Pick the squared distance [mu] maximising the edge count subject to
+   the Definition 1.3 budget: the number of distinct edge directions
+   (hence matchings) must not exceed the shell size. Falls back to the
+   most popular distance when no value fits the budget. *)
+let popular_mu pts =
+  let counts = Hashtbl.create 64 in
+  let directions = Hashtbl.create 64 in
+  let n = Array.length pts in
+  let d = if n = 0 then 0 else Array.length pts.(0) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let m = dist2 pts.(i) pts.(j) in
+      if m > 0 then begin
+        Hashtbl.replace counts m
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts m));
+        let z =
+          canonical_direction (Array.init d (fun k -> pts.(j).(k) - pts.(i).(k)))
+        in
+        let key = (m, Array.to_list z) in
+        if not (Hashtbl.mem directions key) then Hashtbl.replace directions key ()
+      end
+    done
+  done;
+  let dir_count m =
+    Hashtbl.fold (fun (m', _) () acc -> if m' = m then acc + 1 else acc)
+      directions 0
+  in
+  let best = ref (-1) and best_count = ref 0 in
+  let pick m c =
+    if c > !best_count || (c = !best_count && (!best < 0 || m < !best)) then begin
+      best := m;
+      best_count := c
+    end
+  in
+  Hashtbl.iter (fun m c -> if dir_count m <= n then pick m c) counts;
+  if !best < 0 then Hashtbl.iter pick counts;
+  !best
+
+let build_with ~c ~d ~rho ~mu =
+  if c < 2 || d < 1 then invalid_arg "Rs_graph.build_with: need c >= 2, d >= 1";
+  if mu <= 0 then invalid_arg "Rs_graph.build_with: need mu > 0";
+  let all = enumerate_points ~c ~d in
+  let pts = shell all rho in
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Rs_graph.build_with: empty shell";
+  let buckets : (int list, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if dist2 pts.(i) pts.(j) = mu then begin
+        edges := (i, j) :: !edges;
+        let z =
+          canonical_direction (Array.init d (fun k -> pts.(j).(k) - pts.(i).(k)))
+        in
+        let key = Array.to_list z in
+        match Hashtbl.find_opt buckets key with
+        | Some l -> l := (i, j) :: !l
+        | None -> Hashtbl.replace buckets key (ref [ (i, j) ])
+      end
+    done
+  done;
+  let graph = Graph.of_edges ~n !edges in
+  (* A direction group is *almost* an induced matching (the sphere
+     restriction kills cross pairs (x1, x2+z)), but two left endpoints
+     x1, x2 may themselves be at distance mu. Refine each group
+     greedily into genuinely induced matchings; violations are rare so
+     the group count stays close to the number of directions. *)
+  let refine group =
+    let sub : (int * int) list ref list ref = ref [] in
+    let compatible members (u, v) =
+      List.for_all
+        (fun (a, b) ->
+          u <> a && u <> b && v <> a && v <> b
+          && (not (Graph.mem_edge graph u a))
+          && (not (Graph.mem_edge graph u b))
+          && (not (Graph.mem_edge graph v a))
+          && not (Graph.mem_edge graph v b))
+        members
+    in
+    List.iter
+      (fun e ->
+        let rec place = function
+          | [] -> sub := ref [ e ] :: !sub
+          | g :: rest -> if compatible !g e then g := e :: !g else place rest
+        in
+        place !sub)
+      group;
+    List.map (fun g -> !g) !sub
+  in
+  let matchings =
+    Hashtbl.fold (fun _ l acc -> refine !l @ acc) buckets []
+  in
+  { graph; points = pts; matchings; rho; mu }
+
+let build ~c ~d =
+  if c < 2 || d < 1 then invalid_arg "Rs_graph.build: need c >= 2, d >= 1";
+  let all = enumerate_points ~c ~d in
+  let rho = popular_rho all in
+  let pts = shell all rho in
+  let mu = popular_mu pts in
+  if mu <= 0 then invalid_arg "Rs_graph.build: shell carries no edge";
+  build_with ~c ~d ~rho ~mu
+
+let edge_count t = Graph.m t.graph
+let matching_count t = List.length t.matchings
+
+let avg_matching_size t =
+  if t.matchings = [] then 0.0
+  else float_of_int (edge_count t) /. float_of_int (matching_count t)
+
+let density_summary t =
+  let n = Graph.n t.graph and m = edge_count t in
+  Printf.sprintf
+    "n=%d m=%d matchings=%d avg|M|=%.2f n^2/m=%.1f (rho=%d mu=%d)" n m
+    (matching_count t) (avg_matching_size t)
+    (if m = 0 then infinity else float_of_int (n * n) /. float_of_int m)
+    t.rho t.mu

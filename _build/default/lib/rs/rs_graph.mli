@@ -1,0 +1,38 @@
+(** Dense graphs edge-partitioned into large induced matchings, after
+    Alon–Moitra–Sudakov [AMS12] — the construction the paper tweaks in
+    Section 2.
+
+    Vertices are the points of a norm shell
+    [X = {x ∈ [0,c-1]^d : ‖x‖² = ρ}]; edges join points at squared
+    distance exactly [µ]; the matching [M_z] collects the pairs with
+    difference vector [±z]. Because all points share the same norm, a
+    cross pair [(x₁, x₂+z)] has squared distance [µ + ‖x₂-x₁‖² > µ], so
+    each [M_z] is an induced matching — the property Section 2 turns
+    into uniqueness of shortest paths. *)
+
+open Repro_graph
+
+type t = {
+  graph : Graph.t;
+  points : int array array;  (** vertex -> its coordinate vector *)
+  matchings : (int * int) list list;
+      (** the partition of the edges into induced matchings, one per
+          canonical direction [z] *)
+  rho : int;  (** squared norm of the shell *)
+  mu : int;  (** squared distance defining edges *)
+}
+
+val build : c:int -> d:int -> t
+(** Chooses the most popular shell norm [ρ] and, within that shell, the
+    most popular difference norm [µ > 0].
+    @raise Invalid_argument if [c < 2] or [d < 1], or if the shell is
+    too small to carry an edge. *)
+
+val build_with : c:int -> d:int -> rho:int -> mu:int -> t
+
+val edge_count : t -> int
+val matching_count : t -> int
+val avg_matching_size : t -> float
+
+val density_summary : t -> string
+(** One line: n, m, #matchings, avg matching size, n²/m. *)

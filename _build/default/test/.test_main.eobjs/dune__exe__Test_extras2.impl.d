@@ -1,0 +1,1 @@
+test/test_extras2.ml: Alcotest Array Cover Distance_label Encoder Generators Graph Graph_ops Hub_io Hub_label List Pll QCheck2 Random Repro_graph Repro_hub Repro_labeling Test_util Traversal Wgraph

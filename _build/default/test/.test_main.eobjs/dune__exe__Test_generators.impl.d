@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest Array Dijkstra Generators Graph Graph_io List QCheck2 Random Repro_graph String Subdivide Test_util Traversal Wgraph

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Apsp Array Dijkstra Dist Generators Graph List Path Repro_graph Test_util Traversal Wgraph

@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Array Cover Degree_gadget Dijkstra Dist Graph Grid_graph List Lower_bound Pll Repro_core Repro_graph Repro_hub Test_util Traversal Wgraph

@@ -1,0 +1,1 @@
+test/test_hhl_flags.ml: Alcotest Arc_flags Array Canonical_hhl Cover Dijkstra Dist Generators Graph Hub_label List Order Pll QCheck2 Random Repro_graph Repro_hub Repro_route Test_util Wgraph

@@ -1,0 +1,1 @@
+test/test_hub2.ml: Alcotest Approx_hub Array Cover Dist Generators Graph Hub_label List Pll QCheck2 Repro_graph Repro_hub Separator_label Spc Test_util Traversal

@@ -1,0 +1,1 @@
+test/test_labeling.ml: Alcotest Array Bit_io Bitvec Cover Encoder Generators Graph Hub_label List Pll QCheck2 Random Repro_graph Repro_hub Repro_labeling Test_util Traversal Tree_label

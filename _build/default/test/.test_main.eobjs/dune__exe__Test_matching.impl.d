@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Bipartite Generators Hopcroft_karp Koenig List Matching_brute QCheck2 Random Repro_graph Repro_matching Test_util

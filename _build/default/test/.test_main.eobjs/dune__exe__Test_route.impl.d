@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Bidirectional Contraction Dijkstra Dist Generators Graph List QCheck2 Random Repro_graph Repro_hub Repro_route Test_util Traversal Wgraph

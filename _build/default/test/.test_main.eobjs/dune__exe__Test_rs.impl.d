@@ -1,0 +1,1 @@
+test/test_rs.ml: Alcotest Ap_free Array Behrend Generators Induced_matching List QCheck2 Repro_graph Repro_rs Rs_bounds Rs_graph Test_util

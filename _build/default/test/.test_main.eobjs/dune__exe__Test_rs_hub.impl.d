@@ -1,0 +1,1 @@
+test/test_rs_hub.ml: Alcotest Cover Generators Graph Hub_label List QCheck2 Random Repro_core Repro_graph Repro_hub Rs_hub Test_util Wgraph

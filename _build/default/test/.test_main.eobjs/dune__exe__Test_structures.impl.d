@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Array Bitset List Pqueue QCheck2 Repro_graph Test_util Union_find

@@ -1,0 +1,1 @@
+test/test_sumindex.ml: Alcotest Array Grid_graph List QCheck2 Repro_core Si_reduction Sum_index Test_util

@@ -1,0 +1,1 @@
+test/test_tz.ml: Alcotest Array Dist Format Generators Graph List Repro_core Repro_graph Test_util Theorems Traversal Tz_oracle

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest QCheck2 QCheck_alcotest Random Repro_graph

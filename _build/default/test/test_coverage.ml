@@ -1,0 +1,146 @@
+(* Coverage tests for API corners not exercised elsewhere. *)
+
+open Repro_graph
+open Repro_hub
+open Repro_rs
+
+let test_apsp_weighted () =
+  let w = Wgraph.of_edges ~n:4 [ (0, 1, 2); (1, 2, 3); (2, 3, 1) ] in
+  let apsp = Apsp.of_wgraph w in
+  Test_util.check_int "n" 4 (Apsp.n apsp);
+  Test_util.check_int "0-3" 6 (Apsp.dist apsp 0 3);
+  Test_util.check_int "max finite" 6 (Apsp.max_finite apsp);
+  Test_util.check_bool "triangle" true (Apsp.check_triangle_inequality apsp);
+  Test_util.check_int "row access" 2 (Apsp.row apsp 0).(1)
+
+let test_dfs_order () =
+  let g = Generators.path 5 in
+  let order = Traversal.dfs_order g 0 in
+  Alcotest.(check (list int)) "path preorder" [ 0; 1; 2; 3; 4 ] order;
+  let star = Generators.star 4 in
+  Test_util.check_int "visits component" 4 (List.length (Traversal.dfs_order star 0))
+
+let test_fold_helpers () =
+  let g = Generators.star 4 in
+  Test_util.check_int "fold_neighbors sum" 6
+    (Graph.fold_neighbors g 0 (fun acc v -> acc + v) 0);
+  let w = Wgraph.of_unweighted g in
+  Test_util.check_int "wfold sum of weights" 3
+    (Wgraph.fold_neighbors w 0 (fun acc _ wt -> acc + wt) 0);
+  Alcotest.(check (array int)) "neighbors array" [| 1; 2; 3 |]
+    (Graph.neighbors g 0)
+
+let test_dist_pp () =
+  Alcotest.(check string) "finite" "7" (Format.asprintf "%a" Dist.pp 7);
+  Alcotest.(check string) "infinite" "inf" (Format.asprintf "%a" Dist.pp Dist.inf);
+  Test_util.check_int "min" 3 (Dist.min 3 9)
+
+let test_pp_printers () =
+  let g = Generators.path 3 in
+  Alcotest.(check string) "graph pp" "graph(n=3, m=2)"
+    (Format.asprintf "%a" Graph.pp g);
+  let w = Wgraph.of_unweighted g in
+  Alcotest.(check string) "wgraph pp" "wgraph(n=3, m=2)"
+    (Format.asprintf "%a" Wgraph.pp w);
+  let labels = Pll.build g in
+  Test_util.check_bool "label pp mentions n" true
+    (String.length (Format.asprintf "%a" Hub_label.pp labels) > 0)
+
+let test_gnp_bounds () =
+  let rng = Test_util.rng () in
+  let empty = Generators.gnp rng ~n:10 ~p:0.0 in
+  Test_util.check_int "p=0" 0 (Graph.m empty);
+  let full = Generators.gnp rng ~n:10 ~p:1.0 in
+  Test_util.check_int "p=1" 45 (Graph.m full)
+
+let test_random_bipartite_distinct () =
+  let rng = Test_util.rng () in
+  let edges = Generators.random_bipartite rng ~left:5 ~right:5 ~m:20 in
+  Test_util.check_int "all distinct" 20
+    (List.length (List.sort_uniq compare edges))
+
+let test_rs_build_with () =
+  let t = Rs_graph.build_with ~c:4 ~d:3 ~rho:5 ~mu:2 in
+  Test_util.check_bool "has vertices" true (Graph.n t.Rs_graph.graph > 0);
+  Alcotest.check_raises "mu = 0 rejected"
+    (Invalid_argument "Rs_graph.build_with: need mu > 0") (fun () ->
+      ignore (Rs_graph.build_with ~c:3 ~d:2 ~rho:1 ~mu:0))
+
+let test_behrend_forced_dimension () =
+  let s = Behrend.construct ~dimension:3 5000 in
+  Test_util.check_bool "non-empty" true (s <> []);
+  Test_util.check_bool "AP-free" true (Ap_free.is_ap_free s)
+
+let test_order_wdegree () =
+  let w = Wgraph.of_edges ~n:3 [ (0, 1, 5); (1, 2, 1) ] in
+  let o = Order.by_wdegree w in
+  Test_util.check_int "vertex 1 has degree 2, first" 1 o.(0)
+
+let test_subdivide_rejects () =
+  Alcotest.check_raises "zero weight path"
+    (Invalid_argument "Subdivide.subdivide_edge_paths: weight < 1") (fun () ->
+      ignore (Subdivide.subdivide_edge_paths ~n:2 [ (0, 1, 0) ]));
+  Alcotest.check_raises "k = 0"
+    (Invalid_argument "Subdivide.split_high_degree: need k >= 1") (fun () ->
+      ignore (Subdivide.split_unweighted (Generators.path 2) ~k:0))
+
+let test_bitset_fold () =
+  let s = Repro_graph.Bitset.of_list 16 [ 2; 5; 11 ] in
+  Test_util.check_int "fold sum" 18
+    (Repro_graph.Bitset.fold (fun i acc -> acc + i) s 0);
+  Test_util.check_int "capacity" 16 (Repro_graph.Bitset.capacity s)
+
+let test_hub_label_restrict_query () =
+  let g = Generators.cycle 5 in
+  let labels = Pll.build g in
+  (* restricting to self-hubs only breaks distant pairs *)
+  let selfish = Hub_label.restrict labels ~keep:(fun v h -> v = h) in
+  Test_util.check_bool "broken" false (Cover.verify g selfish)
+
+let test_hubhard_umbrella () =
+  Test_util.check_bool "version" true
+    (String.length Repro_core.Hubhard.version > 0);
+  (* the umbrella aliases point to the same implementations *)
+  let g = Repro_core.Hubhard.Generators.path 4 in
+  let labels = Repro_core.Hubhard.Pll.build g in
+  Test_util.check_int "query via umbrella" 3
+    (Repro_core.Hubhard.Hub_label.query labels 0 3)
+
+let test_experiments_registry () =
+  Test_util.check_int "ten experiments" 10
+    (List.length Repro_experiments.Experiments.all);
+  Test_util.check_bool "find is case-insensitive" true
+    (Repro_experiments.Experiments.find "e-fig1" <> None);
+  Test_util.check_bool "unknown id" true
+    (Repro_experiments.Experiments.find "E-NOPE" = None)
+
+let test_grid_coords_errors () =
+  let g = Repro_core.Grid_graph.create ~b:1 ~l:1 () in
+  Alcotest.check_raises "bad level" (Invalid_argument "Grid_graph.vertex: level")
+    (fun () -> ignore (Repro_core.Grid_graph.vertex g ~level:5 [| 0 |]));
+  Alcotest.check_raises "bad coordinate"
+    (Invalid_argument "Grid_graph: coordinate out of range") (fun () ->
+      ignore (Repro_core.Grid_graph.code g [| 7 |]))
+
+let suite =
+  [
+    Alcotest.test_case "weighted apsp" `Quick test_apsp_weighted;
+    Alcotest.test_case "dfs order" `Quick test_dfs_order;
+    Alcotest.test_case "fold helpers" `Quick test_fold_helpers;
+    Alcotest.test_case "dist pp" `Quick test_dist_pp;
+    Alcotest.test_case "pretty printers" `Quick test_pp_printers;
+    Alcotest.test_case "gnp bounds" `Quick test_gnp_bounds;
+    Alcotest.test_case "random bipartite distinct" `Quick
+      test_random_bipartite_distinct;
+    Alcotest.test_case "rs build_with" `Quick test_rs_build_with;
+    Alcotest.test_case "behrend forced dimension" `Quick
+      test_behrend_forced_dimension;
+    Alcotest.test_case "order by wdegree" `Quick test_order_wdegree;
+    Alcotest.test_case "subdivide rejects" `Quick test_subdivide_rejects;
+    Alcotest.test_case "bitset fold" `Quick test_bitset_fold;
+    Alcotest.test_case "restrict breaks cover" `Quick
+      test_hub_label_restrict_query;
+    Alcotest.test_case "umbrella module" `Quick test_hubhard_umbrella;
+    Alcotest.test_case "experiments registry" `Quick test_experiments_registry;
+    Alcotest.test_case "grid coordinate errors" `Quick test_grid_coords_errors;
+  ]

@@ -1,0 +1,126 @@
+(* Tests for Hub_prune, Flat_label, Sparse_label and Oracle. *)
+
+open Repro_graph
+open Repro_hub
+open Repro_labeling
+open Repro_core
+
+let prune_keeps_exact_and_shrinks =
+  Test_util.qcheck "pruning keeps exactness and never grows" ~count:20
+    QCheck2.Gen.(
+      let* n = int_range 2 30 in
+      let* seed = int_range 0 1_000_000 in
+      return (n, seed))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Generators.random_connected rng ~n ~m:(min (2 * n) (n * (n - 1) / 2)) in
+      let labels, _ = Random_hitting.build ~rng ~d:3 g in
+      let pruned = Hub_prune.prune g labels in
+      Cover.verify g pruned
+      && Hub_label.total_size pruned <= Hub_label.total_size labels)
+
+let prune_weighted =
+  Test_util.qcheck "weighted pruning keeps exactness" ~count:10
+    QCheck2.Gen.(
+      let* n = int_range 2 20 in
+      let* seed = int_range 0 1_000_000 in
+      return (n, seed))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Generators.random_connected rng ~n ~m:(min (2 * n) (n * (n - 1) / 2)) in
+      let w =
+        Wgraph.of_edges ~n
+          (List.map (fun (u, v) -> (u, v, 1 + Random.State.int rng 5)) (Graph.edges g))
+      in
+      let labels = Pll.build_w w in
+      Cover.verify_w w (Hub_prune.prune_w w labels))
+
+let test_prune_rejects_inexact () =
+  let g = Generators.path 3 in
+  let bad = Hub_label.make ~n:3 [| [ (0, 0) ]; []; [] |] in
+  Alcotest.check_raises "rejects non-cover"
+    (Invalid_argument "Hub_prune.prune: labeling is not exact") (fun () ->
+      ignore (Hub_prune.prune g bad))
+
+let flat_label_exact =
+  Test_util.qcheck "flat labels answer exactly" ~count:30
+    Test_util.small_graph_gen (fun params ->
+      let g = Test_util.build_graph params in
+      let labels = Flat_label.build g in
+      let n = Graph.n g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let dist = Traversal.bfs g u in
+        for v = 0 to n - 1 do
+          if Flat_label.query labels.(u) labels.(v) <> dist.(v) then ok := false
+        done
+      done;
+      !ok)
+
+let test_flat_label_weighted () =
+  let w = Wgraph.of_edges ~n:3 [ (0, 1, 5); (1, 2, 7) ] in
+  let labels = Flat_label.build_w w in
+  Test_util.check_int "weighted query" 12 (Flat_label.query labels.(0) labels.(2));
+  Test_util.check_bool "bits positive" true (Flat_label.avg_bits labels > 0.0)
+
+let sparse_label_exact =
+  Test_util.qcheck "sparse binary labels are exact" ~count:15
+    Test_util.small_connected_gen (fun params ->
+      let g = Test_util.build_connected params in
+      let scheme = Sparse_label.build ~rng:(Test_util.rng ()) ~d:3 g in
+      Sparse_label.verify g scheme)
+
+let test_sparse_label_smaller_than_flat () =
+  (* on a long path, hub-based labels beat full rows *)
+  let g = Generators.path 200 in
+  let rng = Test_util.rng () in
+  let sparse = Sparse_label.build ~rng ~d:8 g in
+  let flat = Flat_label.build g in
+  Test_util.check_bool "sparse < flat bits" true
+    (Sparse_label.avg_bits sparse < Flat_label.avg_bits flat)
+
+let oracles_agree =
+  Test_util.qcheck "the three oracles agree on all pairs" ~count:20
+    Test_util.small_graph_gen (fun params ->
+      let g = Test_util.build_graph params in
+      let oracles =
+        [ Oracle.full g; Oracle.hub g (Pll.build g); Oracle.on_demand g ]
+      in
+      let n = Graph.n g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          let answers = List.map (fun o -> Oracle.query o u v) oracles in
+          match answers with
+          | a :: rest -> if List.exists (fun b -> b <> a) rest then ok := false
+          | [] -> ()
+        done
+      done;
+      !ok)
+
+let test_oracle_space_ordering () =
+  let rng = Test_util.rng () in
+  let g = Generators.random_connected rng ~n:100 ~m:200 in
+  let full = Oracle.full g in
+  let hub = Oracle.hub g (Pll.build g) in
+  let demand = Oracle.on_demand g in
+  Test_util.check_bool "full largest" true
+    (Oracle.space_words full > Oracle.space_words hub);
+  Test_util.check_bool "on-demand smallest" true
+    (Oracle.space_words hub > Oracle.space_words demand);
+  Test_util.check_bool "names distinct" true
+    (Oracle.name full <> Oracle.name hub && Oracle.name hub <> Oracle.name demand)
+
+let suite =
+  [
+    prune_keeps_exact_and_shrinks;
+    prune_weighted;
+    Alcotest.test_case "prune rejects inexact" `Quick test_prune_rejects_inexact;
+    flat_label_exact;
+    Alcotest.test_case "flat labels weighted" `Quick test_flat_label_weighted;
+    sparse_label_exact;
+    Alcotest.test_case "sparse beats flat on a path" `Quick
+      test_sparse_label_smaller_than_flat;
+    oracles_agree;
+    Alcotest.test_case "oracle space ordering" `Quick test_oracle_space_ordering;
+  ]

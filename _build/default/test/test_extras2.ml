@@ -1,0 +1,166 @@
+(* Tests for Distance_label, Hub_io, Graph_ops, and failure-injection
+   checks on the verifiers. *)
+
+open Repro_graph
+open Repro_hub
+open Repro_labeling
+
+(* ----- Distance_label ---------------------------------------------- *)
+
+let schemes_all_exact =
+  Test_util.qcheck "hub-based and flat label schemes verify" ~count:20
+    Test_util.small_connected_gen (fun params ->
+      let g = Test_util.build_connected params in
+      let schemes =
+        [
+          Distance_label.of_hub_labeling ~name:"pll" (Pll.build g);
+          Distance_label.of_flat g;
+        ]
+      in
+      List.for_all
+        (fun (_, _, _, exact) -> exact)
+        (Distance_label.compare_schemes g schemes))
+
+let tree_scheme_exact =
+  Test_util.qcheck "tree scheme verifies on random trees" ~count:20
+    QCheck2.Gen.(pair (int_range 1 60) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let g = Generators.random_tree (Random.State.make [| seed |]) n in
+      Distance_label.verify g (Distance_label.of_tree g))
+
+let test_scheme_size_accounting () =
+  let g = Generators.path 50 in
+  let flat = Distance_label.of_flat g in
+  let hub = Distance_label.of_hub_labeling ~name:"pll" (Pll.build g) in
+  Test_util.check_bool "bits positive" true (Distance_label.total_bits flat > 0);
+  Test_util.check_bool "max >= avg" true
+    (float_of_int (Distance_label.max_bits hub) >= Distance_label.avg_bits hub);
+  Test_util.check_int "query works" 49 (Distance_label.query flat 0 49)
+
+(* ----- Hub_io ------------------------------------------------------- *)
+
+let hub_io_roundtrip =
+  Test_util.qcheck "hub labeling text roundtrip" ~count:30
+    Test_util.small_graph_gen (fun params ->
+      let g = Test_util.build_graph params in
+      let labels = Pll.build g in
+      let back = Hub_io.of_string (Hub_io.to_string labels) in
+      let ok = ref (Hub_label.n back = Hub_label.n labels) in
+      for v = 0 to Graph.n g - 1 do
+        if Hub_label.hubs back v <> Hub_label.hubs labels v then ok := false
+      done;
+      !ok)
+
+let test_hub_io_rejects () =
+  Alcotest.check_raises "empty" (Invalid_argument "Hub_io.of_string: empty input")
+    (fun () -> ignore (Hub_io.of_string "  \n "));
+  Alcotest.check_raises "count mismatch"
+    (Invalid_argument "Hub_io.of_string: vertex count mismatch") (fun () ->
+      ignore (Hub_io.of_string "2 0\n0 0\n"))
+
+(* ----- Graph_ops ---------------------------------------------------- *)
+
+let test_induced_subgraph () =
+  let g = Generators.cycle 6 in
+  let sub, old_id = Graph_ops.induced_subgraph g [ 0; 1; 2; 4 ] in
+  Test_util.check_int "n" 4 (Graph.n sub);
+  (* edges among {0,1,2,4} in C6: (0,1), (1,2) *)
+  Test_util.check_int "m" 2 (Graph.m sub);
+  Alcotest.(check (array int)) "old ids" [| 0; 1; 2; 4 |] old_id
+
+let test_remove_vertices () =
+  let g = Generators.path 5 in
+  let sub, old_id = Graph_ops.remove_vertices g [ 2 ] in
+  Test_util.check_int "n" 4 (Graph.n sub);
+  Test_util.check_int "m (path split)" 2 (Graph.m sub);
+  Test_util.check_bool "old ids skip 2" true (not (Array.mem 2 old_id))
+
+let test_disjoint_union () =
+  let g = Graph_ops.disjoint_union (Generators.path 3) (Generators.cycle 3) in
+  Test_util.check_int "n" 6 (Graph.n g);
+  Test_util.check_int "m" 5 (Graph.m g);
+  let _, k = Traversal.components g in
+  Test_util.check_int "two components" 2 k
+
+let test_complement () =
+  let g = Graph_ops.complement (Generators.path 3) in
+  (* P3 complement: single edge (0,2) *)
+  Test_util.check_int "m" 1 (Graph.m g);
+  Test_util.check_bool "edge" true (Graph.mem_edge g 0 2)
+
+let complement_involution =
+  Test_util.qcheck "complement is an involution" ~count:30
+    Test_util.small_graph_gen (fun params ->
+      let g = Test_util.build_graph params in
+      Graph.edges (Graph_ops.complement (Graph_ops.complement g)) = Graph.edges g)
+
+let test_is_subgraph () =
+  let p = Generators.path 4 in
+  let c = Generators.cycle 4 in
+  Test_util.check_bool "path <= cycle" true (Graph_ops.is_subgraph ~sub:p c);
+  Test_util.check_bool "cycle </= path" false (Graph_ops.is_subgraph ~sub:c p)
+
+let test_map_weights () =
+  let w = Wgraph.of_edges ~n:3 [ (0, 1, 2); (1, 2, 3) ] in
+  let doubled = Graph_ops.map_weights (fun _ _ x -> 2 * x) w in
+  Test_util.check_int "total doubled" 10 (Wgraph.total_weight doubled)
+
+(* ----- failure injection on verifiers ------------------------------- *)
+
+let corrupted_distance_detected =
+  Test_util.qcheck "stored_distances_exact catches off-by-one corruption"
+    ~count:30 Test_util.small_connected_gen (fun params ->
+      let g = Test_util.build_connected params in
+      if Graph.n g < 2 then true
+      else begin
+        let labels = Pll.build g in
+        (* bump the distance of the last hub of vertex 0 by one *)
+        let sets =
+          Array.init (Graph.n g) (fun v -> Hub_label.hub_list labels v)
+        in
+        match List.rev sets.(0) with
+        | (h, d) :: rest_rev ->
+            sets.(0) <- List.rev ((h, d + 1) :: rest_rev);
+            let corrupted = Hub_label.make ~n:(Graph.n g) sets in
+            not (Cover.stored_distances_exact g corrupted)
+        | [] -> true
+      end)
+
+let missing_hub_detected_on_path () =
+  (* dropping the middle hub of a 3-path from both endpoints breaks the
+     pair (0,2); Cover.violations must report exactly it *)
+  let g = Generators.path 3 in
+  let labels =
+    Hub_label.make ~n:3 [| [ (0, 0) ]; [ (1, 0) ]; [ (2, 0) ] |]
+  in
+  let v = Cover.violations g labels in
+  Test_util.check_int "one missing pair plus neighbours" 3 (List.length v);
+  Test_util.check_bool "0-2 among them" true
+    (List.exists (fun x -> x.Cover.u = 0 && x.Cover.v = 2) v)
+
+let encoder_rejects_unsorted () =
+  Alcotest.check_raises "unsorted hubs"
+    (Invalid_argument "Encoder.encode_vertex: hubs not sorted") (fun () ->
+      ignore (Encoder.encode_vertex [| (3, 0); (1, 2) |]))
+
+let suite =
+  [
+    schemes_all_exact;
+    tree_scheme_exact;
+    Alcotest.test_case "scheme size accounting" `Quick
+      test_scheme_size_accounting;
+    hub_io_roundtrip;
+    Alcotest.test_case "hub io rejects garbage" `Quick test_hub_io_rejects;
+    Alcotest.test_case "induced subgraph" `Quick test_induced_subgraph;
+    Alcotest.test_case "remove vertices" `Quick test_remove_vertices;
+    Alcotest.test_case "disjoint union" `Quick test_disjoint_union;
+    Alcotest.test_case "complement" `Quick test_complement;
+    complement_involution;
+    Alcotest.test_case "is_subgraph" `Quick test_is_subgraph;
+    Alcotest.test_case "map_weights" `Quick test_map_weights;
+    corrupted_distance_detected;
+    Alcotest.test_case "missing hub detected" `Quick
+      missing_hub_detected_on_path;
+    Alcotest.test_case "encoder rejects unsorted" `Quick
+      encoder_rejects_unsorted;
+  ]

@@ -1,0 +1,184 @@
+(* Tests for graph generators, subdivision reductions and text I/O. *)
+
+open Repro_graph
+
+let test_basic_shapes () =
+  Test_util.check_int "path m" 4 (Graph.m (Generators.path 5));
+  Test_util.check_int "cycle m" 5 (Graph.m (Generators.cycle 5));
+  Test_util.check_int "complete m" 10 (Graph.m (Generators.complete 5));
+  Test_util.check_int "star max degree" 6 (Graph.max_degree (Generators.star 7));
+  let g = Generators.grid ~rows:3 ~cols:4 in
+  Test_util.check_int "grid n" 12 (Graph.n g);
+  Test_util.check_int "grid m" 17 (Graph.m g);
+  Test_util.check_bool "grid connected" true (Traversal.is_connected g);
+  let t = Generators.torus ~rows:3 ~cols:3 in
+  Test_util.check_int "torus degree" 4 (Graph.max_degree t);
+  Test_util.check_int "torus m" 18 (Graph.m t)
+
+let test_balanced_tree () =
+  let g = Generators.balanced_binary_tree ~depth:3 in
+  Test_util.check_int "n" 15 (Graph.n g);
+  Test_util.check_int "m" 14 (Graph.m g);
+  Test_util.check_bool "connected" true (Traversal.is_connected g);
+  Test_util.check_int "depth = ecc of root" 3 (Traversal.eccentricity g 0)
+
+let random_tree_is_tree =
+  Test_util.qcheck "random_tree is a tree"
+    QCheck2.Gen.(pair (int_range 1 60) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let g = Generators.random_tree (Random.State.make [| seed |]) n in
+      Graph.m g = n - 1 && Traversal.is_connected g)
+
+let gnm_has_m_edges =
+  Test_util.qcheck "gnm has exactly m edges" Test_util.small_graph_gen
+    (fun params ->
+      let g = Test_util.build_graph params in
+      let _, m, _ = params in
+      Graph.m g = m)
+
+let random_connected_is_connected =
+  Test_util.qcheck "random_connected is connected with m edges"
+    Test_util.small_connected_gen (fun params ->
+      let g = Test_util.build_connected params in
+      let _, m, _ = params in
+      Traversal.is_connected g && Graph.m g = m)
+
+let bounded_degree_respects_bound =
+  Test_util.qcheck "random_bounded_degree stays within the bound"
+    QCheck2.Gen.(
+      let* n = int_range 2 80 in
+      let* d = int_range 2 5 in
+      let* seed = int_range 0 1_000_000 in
+      return (n, d, seed))
+    (fun (n, d, seed) ->
+      let g =
+        Generators.random_bounded_degree (Random.State.make [| seed |]) ~n ~d
+      in
+      Graph.max_degree g <= d)
+
+let test_grid_with_shortcuts () =
+  let rng = Test_util.rng () in
+  let g = Generators.grid_with_shortcuts rng ~rows:5 ~cols:5 ~shortcuts:10 in
+  Test_util.check_int "m" (40 + 10) (Graph.m g);
+  Test_util.check_bool "connected" true (Traversal.is_connected g)
+
+let test_split_high_degree_distances () =
+  let rng = Test_util.rng () in
+  let g = Generators.gnm rng ~n:30 ~m:90 in
+  let w = Wgraph.of_unweighted g in
+  let split = Subdivide.split_high_degree w ~k:3 in
+  (* max degree of the split graph is at most 2 + k *)
+  Test_util.check_bool "degree bound" true
+    (Wgraph.max_degree split.Subdivide.graph <= 2 + 3);
+  (* distances between representatives match the original graph *)
+  let ok = ref true in
+  for u = 0 to 29 do
+    let du = Dijkstra.distances w u in
+    let du' =
+      Dijkstra.distances split.Subdivide.graph split.Subdivide.representative.(u)
+    in
+    for v = 0 to 29 do
+      if du.(v) <> du'.(split.Subdivide.representative.(v)) then ok := false
+    done
+  done;
+  Test_util.check_bool "distance preservation" true !ok
+
+let test_split_origin_map () =
+  let g = Generators.star 10 in
+  let split = Subdivide.split_unweighted g ~k:2 in
+  (* center has degree 9 -> ceil(9/2) = 5 copies *)
+  let copies =
+    Array.to_list split.Subdivide.origin
+    |> List.filter (fun o -> o = 0)
+    |> List.length
+  in
+  Test_util.check_int "center copies" 5 copies;
+  Array.iteri
+    (fun orig rep ->
+      Test_util.check_int "representative originates correctly" orig
+        split.Subdivide.origin.(rep))
+    split.Subdivide.representative
+
+let test_subdivide_edge_paths () =
+  let g, origin = Subdivide.subdivide_edge_paths ~n:2 [ (0, 1, 5) ] in
+  Test_util.check_int "n" 6 (Graph.n g);
+  Test_util.check_int "m" 5 (Graph.m g);
+  Test_util.check_int "distance preserved" 5 (Traversal.bfs g 0).(1);
+  Test_util.check_int "origin of endpoint" 1 origin.(1);
+  Test_util.check_int "aux origin" (-1) origin.(2)
+
+let subdivide_preserves_distances =
+  Test_util.qcheck "edge-path subdivision preserves distances" ~count:50
+    QCheck2.Gen.(
+      let* n = int_range 2 15 in
+      let* seed = int_range 0 1_000_000 in
+      return (n, seed))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let tree = Generators.random_tree rng n in
+      let weighted =
+        List.map
+          (fun (u, v) -> (u, v, 1 + Random.State.int rng 4))
+          (Graph.edges tree)
+      in
+      let w = Wgraph.of_edges ~n weighted in
+      let g, _ = Subdivide.subdivide_edge_paths ~n weighted in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let dw = Dijkstra.distances w u in
+        let dg = Traversal.bfs g u in
+        for v = 0 to n - 1 do
+          if dw.(v) <> dg.(v) then ok := false
+        done
+      done;
+      !ok)
+
+let test_io_roundtrip () =
+  let rng = Test_util.rng () in
+  let g = Generators.random_connected rng ~n:20 ~m:35 in
+  let g' = Graph_io.of_string (Graph_io.to_string g) in
+  Alcotest.(check (list (pair int int))) "edges equal" (Graph.edges g)
+    (Graph.edges g');
+  let w = Wgraph.of_edges ~n:3 [ (0, 1, 7); (1, 2, 0) ] in
+  let w' = Graph_io.wgraph_of_string (Graph_io.wgraph_to_string w) in
+  Test_util.check_bool "wedges equal" true (Wgraph.edges w = Wgraph.edges w')
+
+let test_io_rejects () =
+  Alcotest.check_raises "bad header"
+    (Invalid_argument "Graph_io.of_string: bad header") (fun () ->
+      ignore (Graph_io.of_string "1 2 3\n"));
+  Alcotest.check_raises "edge count"
+    (Invalid_argument "Graph_io.of_string: edge count mismatch") (fun () ->
+      ignore (Graph_io.of_string "3 2\n0 1\n"))
+
+let test_dot_output () =
+  let g = Generators.path 3 in
+  let dot = Graph_io.to_dot g in
+  Test_util.check_bool "mentions edge" true
+    (String.length dot > 0
+    &&
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    contains dot "0 -- 1")
+
+let suite =
+  [
+    Alcotest.test_case "basic shapes" `Quick test_basic_shapes;
+    Alcotest.test_case "balanced binary tree" `Quick test_balanced_tree;
+    random_tree_is_tree;
+    gnm_has_m_edges;
+    random_connected_is_connected;
+    bounded_degree_respects_bound;
+    Alcotest.test_case "grid with shortcuts" `Quick test_grid_with_shortcuts;
+    Alcotest.test_case "split_high_degree distances" `Quick
+      test_split_high_degree_distances;
+    Alcotest.test_case "split origin map" `Quick test_split_origin_map;
+    Alcotest.test_case "subdivide edge paths" `Quick test_subdivide_edge_paths;
+    subdivide_preserves_distances;
+    Alcotest.test_case "text io roundtrip" `Quick test_io_roundtrip;
+    Alcotest.test_case "text io rejects garbage" `Quick test_io_rejects;
+    Alcotest.test_case "dot output" `Quick test_dot_output;
+  ]

@@ -1,0 +1,193 @@
+(* Tests for the graph representations and shortest-path machinery. *)
+
+open Repro_graph
+
+let test_graph_basic () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  Test_util.check_int "n" 4 (Graph.n g);
+  Test_util.check_int "m" 4 (Graph.m g);
+  Test_util.check_int "degree" 2 (Graph.degree g 1);
+  Test_util.check_int "max degree" 2 (Graph.max_degree g);
+  Test_util.check_bool "edge 0-1" true (Graph.mem_edge g 0 1);
+  Test_util.check_bool "edge 1-0" true (Graph.mem_edge g 1 0);
+  Test_util.check_bool "edge 0-2" false (Graph.mem_edge g 0 2);
+  Alcotest.(check (list (pair int int)))
+    "edges sorted" [ (0, 1); (0, 3); (1, 2); (2, 3) ] (Graph.edges g)
+
+let test_graph_rejects () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.of_edges: self loop")
+    (fun () -> ignore (Graph.of_edges ~n:3 [ (1, 1) ]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Graph.of_edges: duplicate edge") (fun () ->
+      ignore (Graph.of_edges ~n:3 [ (0, 1); (1, 0) ]));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Graph.of_edges: endpoint out of range") (fun () ->
+      ignore (Graph.of_edges ~n:3 [ (0, 3) ]))
+
+let test_wgraph_basic () =
+  let g = Wgraph.of_edges ~n:3 [ (0, 1, 5); (1, 2, 0) ] in
+  Test_util.check_int "m" 2 (Wgraph.m g);
+  Alcotest.(check (option int)) "weight" (Some 5) (Wgraph.weight g 1 0);
+  Alcotest.(check (option int)) "zero weight" (Some 0) (Wgraph.weight g 1 2);
+  Alcotest.(check (option int)) "absent" None (Wgraph.weight g 0 2);
+  Test_util.check_int "total" 5 (Wgraph.total_weight g)
+
+let test_bfs_path_graph () =
+  let g = Generators.path 5 in
+  let dist = Traversal.bfs g 0 in
+  Alcotest.(check (array int)) "path dists" [| 0; 1; 2; 3; 4 |] dist;
+  Test_util.check_int "eccentricity" 4 (Traversal.eccentricity g 0);
+  Test_util.check_int "diameter" 4 (Traversal.diameter g)
+
+let test_bfs_disconnected () =
+  let g = Graph.of_edges ~n:4 [ (0, 1) ] in
+  let dist = Traversal.bfs g 0 in
+  Test_util.check_bool "unreachable" false (Dist.is_finite dist.(2));
+  let _, k = Traversal.components g in
+  Test_util.check_int "components" 3 k;
+  Test_util.check_bool "not connected" false (Traversal.is_connected g)
+
+let test_bfs_full_counts () =
+  (* 4-cycle: two shortest paths between opposite corners *)
+  let g = Generators.cycle 4 in
+  let r = Traversal.bfs_full g 0 in
+  Test_util.check_int "two paths" 2 r.Traversal.num_paths.(2);
+  Test_util.check_int "one path" 1 r.Traversal.num_paths.(1);
+  (* parents give a valid shortest path *)
+  match Path.extract ~parent:r.Traversal.parent ~src:0 ~dst:2 with
+  | None -> Alcotest.fail "no path extracted"
+  | Some p ->
+      Test_util.check_bool "valid shortest" true (Path.verify_shortest g p)
+
+let test_bfs_limited () =
+  let g = Generators.path 10 in
+  let ball = Traversal.bfs_limited g 5 ~radius:2 in
+  Test_util.check_int "ball size" 5 (List.length ball);
+  Test_util.check_bool "sorted by dist" true
+    (let ds = List.map snd ball in
+     List.sort compare ds = ds)
+
+let test_dijkstra_vs_bfs () =
+  let rng = Test_util.rng () in
+  let g = Generators.random_connected rng ~n:60 ~m:120 in
+  let w = Wgraph.of_unweighted g in
+  for s = 0 to 9 do
+    let bfs = Traversal.bfs g s in
+    let dij = Dijkstra.distances w s in
+    Alcotest.(check (array int)) "bfs = dijkstra on unit weights" bfs dij
+  done
+
+let test_dijkstra_weighted () =
+  (* triangle with a cheap two-hop detour *)
+  let g = Wgraph.of_edges ~n:3 [ (0, 1, 10); (0, 2, 3); (2, 1, 3) ] in
+  let d = Dijkstra.distances g 0 in
+  Test_util.check_int "detour wins" 6 d.(1);
+  let r = Dijkstra.shortest_paths g 0 in
+  Test_util.check_int "parent of 1" 2 r.Dijkstra.parent.(1)
+
+let test_dijkstra_zero_weights () =
+  let g = Wgraph.of_edges ~n:4 [ (0, 1, 0); (1, 2, 5); (2, 3, 0) ] in
+  let d = Dijkstra.distances g 0 in
+  Alcotest.(check (array int)) "zero-weight dists" [| 0; 0; 5; 5 |] d
+
+let test_count_paths () =
+  let g = Wgraph.of_edges ~n:4 [ (0, 1, 1); (0, 2, 1); (1, 3, 1); (2, 3, 1) ] in
+  let num = Dijkstra.count_shortest_paths g 0 in
+  Test_util.check_int "two paths to 3" 2 num.(3);
+  Test_util.check_bool "unique to 1" true (Dijkstra.unique_shortest_path g 0 1);
+  Test_util.check_bool "not unique to 3" false
+    (Dijkstra.unique_shortest_path g 0 3)
+
+let test_count_paths_rejects_zero () =
+  let g = Wgraph.of_edges ~n:2 [ (0, 1, 0) ] in
+  Alcotest.check_raises "zero weight rejected"
+    (Invalid_argument "Dijkstra.count_shortest_paths: zero-weight edge")
+    (fun () -> ignore (Dijkstra.count_shortest_paths g 0))
+
+let test_apsp () =
+  let g = Generators.cycle 6 in
+  let apsp = Apsp.of_graph g in
+  Test_util.check_int "opposite" 3 (Apsp.dist apsp 0 3);
+  Test_util.check_int "max finite" 3 (Apsp.max_finite apsp);
+  Test_util.check_bool "triangle inequality" true
+    (Apsp.check_triangle_inequality apsp)
+
+let test_path_helpers () =
+  let g = Generators.path 4 in
+  Test_util.check_bool "is_path" true (Path.is_path g [ 0; 1; 2; 3 ]);
+  Test_util.check_bool "not path" false (Path.is_path g [ 0; 2 ]);
+  let hubs = Path.vertices_on_some_shortest_path g 0 3 in
+  Alcotest.(check (list int)) "H_uv on a path graph" [ 0; 1; 2; 3 ] hubs
+
+let test_hubset_count_cycle () =
+  (* on an even cycle, antipodal pairs have every vertex of both arcs *)
+  let g = Generators.cycle 6 in
+  let hubs = Path.vertices_on_some_shortest_path g 0 3 in
+  Test_util.check_int "both arcs" 6 (List.length hubs)
+
+let bfs_symmetric =
+  Test_util.qcheck "dist(u,v) = dist(v,u)" Test_util.small_connected_gen
+    (fun params ->
+      let g = Test_util.build_connected params in
+      let n = Graph.n g in
+      let u = 0 and v = n - 1 in
+      (Traversal.bfs g u).(v) = (Traversal.bfs g v).(u))
+
+let bfs_triangle =
+  Test_util.qcheck "BFS metric satisfies triangle inequality"
+    Test_util.small_connected_gen (fun params ->
+      let g = Test_util.build_connected params in
+      let apsp = Apsp.of_graph g in
+      Apsp.check_triangle_inequality apsp)
+
+let bfs_edge_lipschitz =
+  Test_util.qcheck "adjacent vertices differ by at most 1 in dist"
+    Test_util.small_connected_gen (fun params ->
+      let g = Test_util.build_connected params in
+      let dist = Traversal.bfs g 0 in
+      let ok = ref true in
+      Graph.iter_edges g (fun u v ->
+          if abs (dist.(u) - dist.(v)) > 1 then ok := false);
+      !ok)
+
+let dijkstra_parent_paths =
+  Test_util.qcheck "dijkstra parent chains realise the distance"
+    Test_util.small_connected_gen (fun params ->
+      let g = Test_util.build_connected params in
+      let w = Wgraph.of_unweighted g in
+      let r = Dijkstra.shortest_paths w 0 in
+      let ok = ref true in
+      for v = 0 to Graph.n g - 1 do
+        match Path.extract ~parent:r.Dijkstra.parent ~src:0 ~dst:v with
+        | None -> ok := false
+        | Some p -> (
+            match Path.wlength w p with
+            | Some len -> if len <> r.Dijkstra.dist.(v) then ok := false
+            | None -> ok := false)
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "graph basics" `Quick test_graph_basic;
+    Alcotest.test_case "graph rejects bad input" `Quick test_graph_rejects;
+    Alcotest.test_case "wgraph basics" `Quick test_wgraph_basic;
+    Alcotest.test_case "bfs on a path" `Quick test_bfs_path_graph;
+    Alcotest.test_case "bfs disconnected" `Quick test_bfs_disconnected;
+    Alcotest.test_case "bfs path counting" `Quick test_bfs_full_counts;
+    Alcotest.test_case "bfs limited radius" `Quick test_bfs_limited;
+    Alcotest.test_case "dijkstra = bfs on unit weights" `Quick
+      test_dijkstra_vs_bfs;
+    Alcotest.test_case "dijkstra weighted detour" `Quick test_dijkstra_weighted;
+    Alcotest.test_case "dijkstra zero weights" `Quick test_dijkstra_zero_weights;
+    Alcotest.test_case "shortest path counting" `Quick test_count_paths;
+    Alcotest.test_case "counting rejects zero weights" `Quick
+      test_count_paths_rejects_zero;
+    Alcotest.test_case "apsp" `Quick test_apsp;
+    Alcotest.test_case "path helpers" `Quick test_path_helpers;
+    Alcotest.test_case "H_uv on even cycle" `Quick test_hubset_count_cycle;
+    bfs_symmetric;
+    bfs_triangle;
+    bfs_edge_lipschitz;
+    dijkstra_parent_paths;
+  ]

@@ -1,0 +1,233 @@
+(* Tests for the Section 2 constructions: H_{b,l}, the degree-3 gadget
+   G_{b,l}, Lemma 2.2 and the counting argument. *)
+
+open Repro_graph
+open Repro_hub
+open Repro_core
+
+let grid b l = Grid_graph.create ~b ~l ()
+
+let test_grid_shape () =
+  let g = grid 2 2 in
+  Test_util.check_int "s" 4 g.Grid_graph.s;
+  Test_util.check_int "per level" 16 g.Grid_graph.per_level;
+  Test_util.check_int "n = (2l+1) s^l" 80 (Grid_graph.n g);
+  Test_util.check_int "A = 3 l s^2" 96 g.Grid_graph.a_weight;
+  (* every vertex on inner levels has s neighbours up and s down *)
+  let w = g.Grid_graph.graph in
+  Test_util.check_int "middle degree" 8
+    (Wgraph.degree w (Grid_graph.middle g [| 0; 0 |]));
+  Test_util.check_int "bottom degree" 4 (Wgraph.degree w (Grid_graph.bottom g [| 0; 0 |]))
+
+let test_grid_codes () =
+  let g = grid 2 2 in
+  Grid_graph.iter_vectors g (fun v ->
+      let c = Grid_graph.code g v in
+      Alcotest.(check (array int)) "code/decode roundtrip" v (Grid_graph.decode g c));
+  let level, vec = Grid_graph.coords g (Grid_graph.middle g [| 3; 1 |]) in
+  Test_util.check_int "level" 2 level;
+  Alcotest.(check (array int)) "vec" [| 3; 1 |] vec
+
+let test_grid_edge_weights () =
+  let g = grid 2 1 in
+  let w = g.Grid_graph.graph in
+  let u = Grid_graph.bottom g [| 1 |] in
+  let v = Grid_graph.vertex g ~level:1 [| 3 |] in
+  (* changing coordinate 0 from 1 to 3: weight A + 4 *)
+  Alcotest.(check (option int)) "weight" (Some (g.Grid_graph.a_weight + 4))
+    (Wgraph.weight w u v)
+
+let test_figure1_paths () =
+  (* the blue path of Figure 1: v0,(1,0) -> v4,(3,2) has length 4A+4
+     through v2,(2,1); deviating midpoints cost at least 4 more *)
+  let g = grid 2 2 in
+  let x = [| 1; 0 |] and z = [| 3; 2 |] in
+  let expected = (4 * g.Grid_graph.a_weight) + 4 in
+  Test_util.check_int "closed form" expected (Grid_graph.expected_distance g x z);
+  let dist = Dijkstra.distances g.Grid_graph.graph (Grid_graph.bottom g x) in
+  Test_util.check_int "dijkstra agrees" expected (dist.(Grid_graph.top g z));
+  (* detours: the best path avoiding the true midpoint pays at least 2
+     more (Observation 3.1's robustness margin), and the figure's red
+     path through v2,(1,2) costs exactly 4A+8 *)
+  let dist_rev = Dijkstra.distances g.Grid_graph.graph (Grid_graph.top g z) in
+  let via y =
+    let mid = Grid_graph.middle g y in
+    Dist.add dist.(mid) dist_rev.(mid)
+  in
+  let best_detour = ref Dist.inf in
+  Grid_graph.iter_vectors g (fun y ->
+      if y <> [| 2; 1 |] then begin
+        let len = via y in
+        if len < !best_detour then best_detour := len
+      end);
+  Test_util.check_int "best detour pays the +2 margin"
+    ((4 * g.Grid_graph.a_weight) + 4 + 2)
+    !best_detour;
+  Test_util.check_int "red path via (1,2) is 4A+8"
+    ((4 * g.Grid_graph.a_weight) + 8)
+    (via [| 1; 2 |])
+
+let test_midpoint_helpers () =
+  let g = grid 2 2 in
+  Alcotest.(check (array int)) "midpoint" [| 2; 1 |]
+    (Grid_graph.midpoint [| 1; 0 |] [| 3; 2 |]);
+  Alcotest.check_raises "odd diff"
+    (Invalid_argument "Grid_graph.midpoint: odd difference") (fun () ->
+      ignore (Grid_graph.midpoint [| 0; 0 |] [| 1; 0 |]));
+  Test_util.check_bool "valid pair" true (Grid_graph.valid_pair g [| 1; 0 |] [| 3; 2 |]);
+  Test_util.check_bool "invalid pair" false (Grid_graph.valid_pair g [| 1; 0 |] [| 2; 0 |])
+
+let lemma22_cases = [ (1, 1); (1, 2); (2, 1); (2, 2); (3, 1) ]
+
+let test_lemma22_grid () =
+  List.iter
+    (fun (b, l) ->
+      let c = Lower_bound.check_lemma22_grid (grid b l) in
+      if
+        c.Lower_bound.unique_failures <> 0
+        || c.Lower_bound.midpoint_failures <> 0
+        || c.Lower_bound.distance_failures <> 0
+      then Alcotest.failf "Lemma 2.2 fails on H(b=%d,l=%d)" b l;
+      let expected_pairs =
+        let rec ipow x e = if e = 0 then 1 else x * ipow x (e - 1) in
+        let s = 1 lsl b in
+        ipow s l * ipow (s / 2) l
+      in
+      Test_util.check_int "pair count = s^l (s/2)^l" expected_pairs
+        c.Lower_bound.pairs_checked)
+    lemma22_cases
+
+let test_iter_even_vectors () =
+  let g = grid 2 2 in
+  let count = ref 0 in
+  Grid_graph.iter_even_vectors g (fun v ->
+      incr count;
+      Array.iter (fun c -> Test_util.check_int "even coordinate" 0 (c land 1)) v);
+  Test_util.check_int "(s/2)^l vectors" 4 !count
+
+let test_gadget_structure () =
+  let h = grid 2 1 in
+  let gadget = Degree_gadget.build h in
+  let g = gadget.Degree_gadget.graph in
+  Test_util.check_int "max degree 3" 3 (Graph.max_degree g);
+  Test_util.check_bool "connected" true (Traversal.is_connected g);
+  Test_util.check_bool "within the Theorem 2.1 size bound" true
+    (Graph.n g <= Degree_gadget.theorem21_node_bound gadget);
+  (* anchor of a grid vertex is recoverable *)
+  let v = Grid_graph.middle h [| 2 |] in
+  Alcotest.(check (option int)) "is_anchor inverse" (Some v)
+    (Degree_gadget.is_anchor gadget (Degree_gadget.anchor_of gadget v))
+
+let test_gadget_distance_preservation () =
+  let h = grid 2 1 in
+  let gadget = Degree_gadget.build h in
+  let g = gadget.Degree_gadget.graph in
+  (* distances between anchors on different levels match H *)
+  let ok = ref true in
+  Grid_graph.iter_vectors h (fun x ->
+      let src = Grid_graph.bottom h x in
+      let dh = Dijkstra.distances h.Grid_graph.graph src in
+      let dg = Traversal.bfs g (Degree_gadget.anchor_of gadget src) in
+      Grid_graph.iter_vectors h (fun z ->
+          let for_level level =
+            let dst = Grid_graph.vertex h ~level z in
+            if dh.(dst) <> dg.(Degree_gadget.anchor_of gadget dst) then
+              ok := false
+          in
+          for_level 1;
+          for_level 2));
+  Test_util.check_bool "distance preservation" true !ok
+
+let test_lemma22_gadget () =
+  List.iter
+    (fun (b, l) ->
+      let gadget = Degree_gadget.build (grid b l) in
+      let c = Lower_bound.check_lemma22_gadget gadget in
+      if
+        c.Lower_bound.unique_failures <> 0
+        || c.Lower_bound.midpoint_failures <> 0
+        || c.Lower_bound.distance_failures <> 0
+      then Alcotest.failf "Lemma 2.2 fails on G(b=%d,l=%d)" b l)
+    [ (1, 1); (2, 1); (1, 2) ]
+
+let test_counting_bound_value () =
+  Test_util.check_int "b=2 l=2" (16 * 4) (Lower_bound.counting_bound (grid 2 2));
+  Test_util.check_int "b=1 l=1" 2 (Lower_bound.counting_bound (grid 1 1))
+
+let test_counting_argument_on_pll () =
+  (* the Theorem 2.1(iii) inequality on a real exact labeling *)
+  let gadget = Degree_gadget.build (grid 1 1) in
+  let g = gadget.Degree_gadget.graph in
+  let labels = Pll.build g in
+  Test_util.check_bool "PLL is exact on the gadget" true (Cover.verify g labels);
+  let holds, total = Lower_bound.check_counting_argument gadget labels in
+  Test_util.check_bool "closure total >= s^l (s/2)^l" true holds;
+  Test_util.check_bool "total sane" true (total >= 2)
+
+let test_midpoint_charges () =
+  let grid_g = grid 1 1 in
+  let gadget = Degree_gadget.build grid_g in
+  let labels = Pll.build gadget.Degree_gadget.graph in
+  let charges = Lower_bound.midpoint_charge_total gadget labels in
+  (* every valid triple must charge its midpoint to one endpoint *)
+  Test_util.check_int "all triples charged"
+    (Lower_bound.counting_bound grid_g) charges
+
+let test_avg_lower_bound_positive () =
+  let gadget = Degree_gadget.build (grid 2 2) in
+  Test_util.check_bool "positive" true
+    (Lower_bound.avg_hub_size_lower_bound gadget > 0.0)
+
+let test_removed_middle () =
+  (* removing a middle vertex perturbs exactly the pairs whose midpoint
+     it is *)
+  let full = grid 2 1 in
+  let removed =
+    Grid_graph.create ~b:2 ~l:1 ~remove_mid:(fun v -> v.(0) = 1) ()
+  in
+  Test_util.check_bool "flag set" true
+    (Grid_graph.is_removed removed (Grid_graph.middle removed [| 1 |]));
+  Test_util.check_bool "others kept" false
+    (Grid_graph.is_removed removed (Grid_graph.middle removed [| 2 |]));
+  let x = [| 0 |] and z = [| 2 |] in
+  (* midpoint is 1: distance must exceed the closed form *)
+  let d_full = Dijkstra.distances full.Grid_graph.graph (Grid_graph.bottom full x) in
+  let d_rem =
+    Dijkstra.distances removed.Grid_graph.graph (Grid_graph.bottom removed x)
+  in
+  let expected = Grid_graph.expected_distance full x z in
+  Test_util.check_int "full graph: closed form" expected
+    d_full.(Grid_graph.top full z);
+  Test_util.check_bool "removed: strictly longer" true
+    (d_rem.(Grid_graph.top removed z) > expected);
+  (* pairs with a different midpoint are unaffected *)
+  let x' = [| 0 |] and z' = [| 0 |] in
+  Test_util.check_int "unaffected pair" (Grid_graph.expected_distance full x' z')
+    d_rem.(Grid_graph.top removed z')
+
+let test_grid_rejects () =
+  Alcotest.check_raises "b = 0" (Invalid_argument "Grid_graph.create: need b, l >= 1")
+    (fun () -> ignore (Grid_graph.create ~b:0 ~l:1 ()))
+
+let suite =
+  [
+    Alcotest.test_case "grid shape" `Quick test_grid_shape;
+    Alcotest.test_case "grid codes" `Quick test_grid_codes;
+    Alcotest.test_case "grid edge weights" `Quick test_grid_edge_weights;
+    Alcotest.test_case "Figure 1 path lengths" `Quick test_figure1_paths;
+    Alcotest.test_case "midpoint helpers" `Quick test_midpoint_helpers;
+    Alcotest.test_case "Lemma 2.2 on H (sweep)" `Slow test_lemma22_grid;
+    Alcotest.test_case "even vector iteration" `Quick test_iter_even_vectors;
+    Alcotest.test_case "gadget structure" `Quick test_gadget_structure;
+    Alcotest.test_case "gadget distance preservation" `Quick
+      test_gadget_distance_preservation;
+    Alcotest.test_case "Lemma 2.2 on G (sweep)" `Slow test_lemma22_gadget;
+    Alcotest.test_case "counting bound values" `Quick test_counting_bound_value;
+    Alcotest.test_case "counting argument on PLL labels" `Quick
+      test_counting_argument_on_pll;
+    Alcotest.test_case "midpoint charges" `Quick test_midpoint_charges;
+    Alcotest.test_case "avg lower bound positive" `Quick
+      test_avg_lower_bound_positive;
+    Alcotest.test_case "middle-layer removal" `Quick test_removed_middle;
+    Alcotest.test_case "grid rejects bad params" `Quick test_grid_rejects;
+  ]

@@ -1,0 +1,124 @@
+(* Tests for canonical hierarchical hub labelings (cross-validating
+   PLL) and arc flags. *)
+
+open Repro_graph
+open Repro_hub
+open Repro_route
+
+let canonical_equals_pll =
+  Test_util.qcheck "PLL = canonical hierarchical labeling (same order)"
+    ~count:40
+    QCheck2.Gen.(pair Test_util.small_connected_gen (int_range 0 1000))
+    (fun (params, oseed) ->
+      let g = Test_util.build_connected params in
+      let order = Order.random (Random.State.make [| oseed |]) (Graph.n g) in
+      let pll = Pll.build ~order g in
+      let canon = Canonical_hhl.build ~order g in
+      let ok = ref true in
+      for v = 0 to Graph.n g - 1 do
+        if Hub_label.hubs pll v <> Hub_label.hubs canon v then ok := false
+      done;
+      !ok)
+
+let canonical_is_exact =
+  Test_util.qcheck "canonical labeling is exact" ~count:20
+    Test_util.small_graph_gen (fun params ->
+      let g = Test_util.build_graph params in
+      let order = Order.identity (Graph.n g) in
+      Cover.verify g (Canonical_hhl.build ~order g))
+
+let canonical_respects_hierarchy =
+  Test_util.qcheck "canonical labeling respects its hierarchy" ~count:20
+    Test_util.small_connected_gen (fun params ->
+      let g = Test_util.build_connected params in
+      let order = Order.by_degree g in
+      let canon = Canonical_hhl.build ~order g in
+      Canonical_hhl.respects_hierarchy ~rank:(Order.rank_of order) g canon)
+
+let test_hierarchy_violation_detected () =
+  (* storing a dominated hub must be flagged *)
+  let g = Generators.path 3 in
+  let order = [| 1; 0; 2 |] in
+  (* hub 2 of vertex 0 is dominated by vertex 1 (rank 0) on the path *)
+  let labels = Hub_label.make ~n:3 [| [ (2, 2) ]; []; [] |] in
+  Test_util.check_bool "violation detected" false
+    (Canonical_hhl.respects_hierarchy ~rank:(Order.rank_of order) g labels)
+
+let arc_flags_exact =
+  Test_util.qcheck "arc-flag queries = dijkstra" ~count:30
+    QCheck2.Gen.(pair Test_util.small_connected_gen (int_range 0 1000))
+    (fun (params, wseed) ->
+      let g = Test_util.build_connected params in
+      let rng = Random.State.make [| wseed |] in
+      let w =
+        Wgraph.of_edges ~n:(Graph.n g)
+          (List.map
+             (fun (u, v) -> (u, v, 1 + Random.State.int rng 9))
+             (Graph.edges g))
+      in
+      let af = Arc_flags.preprocess w in
+      let d = Dijkstra.distances w 0 in
+      let ok = ref true in
+      for t = 0 to Graph.n g - 1 do
+        if Arc_flags.query af 0 t <> d.(t) then ok := false
+      done;
+      !ok)
+
+let arc_flags_exact_many_regions =
+  Test_util.qcheck "arc flags exact with many regions" ~count:15
+    Test_util.small_connected_gen (fun params ->
+      let g = Test_util.build_connected params in
+      let w = Wgraph.of_unweighted g in
+      let af = Arc_flags.preprocess ~regions:(max 2 (Graph.n g / 3)) w in
+      let d = Dijkstra.distances w 0 in
+      let ok = ref true in
+      for t = 0 to Graph.n g - 1 do
+        if Arc_flags.query af 0 t <> d.(t) then ok := false
+      done;
+      !ok)
+
+let test_arc_flags_partition () =
+  let rng = Test_util.rng () in
+  let g = Wgraph.of_unweighted (Generators.grid ~rows:8 ~cols:8) in
+  let af = Arc_flags.preprocess ~regions:4 g in
+  Test_util.check_int "region count" 4 (Arc_flags.region_count af);
+  for v = 0 to 63 do
+    let r = Arc_flags.region_of af v in
+    Test_util.check_bool "region in range" true (r >= 0 && r < 4)
+  done;
+  ignore rng
+
+let test_arc_flags_prune_on_grid () =
+  (* pruning should settle notably less than the whole graph for
+     corner-to-corner queries on a partitioned grid *)
+  let g = Wgraph.of_unweighted (Generators.grid ~rows:12 ~cols:12) in
+  let af = Arc_flags.preprocess ~regions:9 g in
+  (* mid-board target: the flagged search plus early termination must
+     not settle the whole board *)
+  let ratio = Arc_flags.settled_ratio af 0 77 in
+  Test_util.check_bool "exact" true
+    (Arc_flags.query af 0 77 = Dijkstra.distance g 0 77);
+  Test_util.check_bool "prunes something" true (ratio < 1.0)
+
+let test_arc_flags_disconnected () =
+  let w = Wgraph.of_edges ~n:4 [ (0, 1, 2) ] in
+  let af = Arc_flags.preprocess ~regions:2 w in
+  Test_util.check_bool "inf across" false
+    (Dist.is_finite (Arc_flags.query af 0 3));
+  Test_util.check_int "within" 2 (Arc_flags.query af 0 1)
+
+let suite =
+  [
+    canonical_equals_pll;
+    canonical_is_exact;
+    canonical_respects_hierarchy;
+    Alcotest.test_case "hierarchy violation detected" `Quick
+      test_hierarchy_violation_detected;
+    arc_flags_exact;
+    arc_flags_exact_many_regions;
+    Alcotest.test_case "arc flags partition" `Quick test_arc_flags_partition;
+    Alcotest.test_case "arc flags prune on grid" `Quick
+      test_arc_flags_prune_on_grid;
+    Alcotest.test_case "arc flags disconnected" `Quick
+      test_arc_flags_disconnected;
+  ]

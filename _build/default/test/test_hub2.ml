@@ -1,0 +1,148 @@
+(* Tests for the second wave of hub machinery: additive-approximation
+   hubsets, separator-based labelings, shortest-path covers. *)
+
+open Repro_graph
+open Repro_hub
+
+(* ----- Approx_hub ------------------------------------------------- *)
+
+let approx_error_bounded =
+  Test_util.qcheck "approximate hubsets err by at most 2" ~count:30
+    Test_util.small_connected_gen (fun params ->
+      let g = Test_util.build_connected params in
+      let t = Approx_hub.build g in
+      Approx_hub.max_error g t <= 2)
+
+let approx_never_underestimates =
+  Test_util.qcheck "approximate queries never underestimate" ~count:20
+    Test_util.small_connected_gen (fun params ->
+      let g = Test_util.build_connected params in
+      let t = Approx_hub.build g in
+      let n = Graph.n g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let dist = Traversal.bfs g u in
+        for v = 0 to n - 1 do
+          if Dist.is_finite dist.(v) && Approx_hub.query t u v < dist.(v) then
+            ok := false
+        done
+      done;
+      !ok)
+
+let test_approx_compresses_on_path () =
+  let g = Generators.path 100 in
+  let base = Pll.build g in
+  let t = Approx_hub.build ~base g in
+  Test_util.check_bool "no larger than base" true
+    (Hub_label.total_size t.Approx_hub.labels <= Hub_label.total_size base);
+  Test_util.check_bool "compression >= 1" true
+    (Approx_hub.compression ~base t >= 1.0);
+  Test_util.check_bool "error bounded" true (Approx_hub.max_error g t <= 2)
+
+let test_approx_dominating_set () =
+  let g = Generators.star 10 in
+  let t = Approx_hub.build g in
+  (* the centre dominates everything *)
+  Test_util.check_int "one dominator suffices" 1 t.Approx_hub.dominating_set_size;
+  Array.iteri
+    (fun v p ->
+      Test_util.check_bool "dominator adjacent or self" true
+        (p = v || Graph.mem_edge g v p))
+    t.Approx_hub.dominators
+
+(* ----- Separator_label -------------------------------------------- *)
+
+let separator_label_exact_default =
+  Test_util.qcheck "separator labeling exact (BFS-level strategy)" ~count:30
+    Test_util.small_graph_gen (fun params ->
+      let g = Test_util.build_graph params in
+      Cover.verify g (Separator_label.build g))
+
+let separator_label_exact_grid =
+  Test_util.qcheck "separator labeling exact on grids (geometric strategy)"
+    ~count:10
+    QCheck2.Gen.(pair (int_range 2 8) (int_range 2 8))
+    (fun (rows, cols) ->
+      let g = Generators.grid ~rows ~cols in
+      Cover.verify g (Separator_label.build_grid ~rows ~cols g))
+
+let test_separator_grid_sublinear () =
+  (* on a 16x16 grid the geometric separators give far fewer hubs than
+     storing everything *)
+  let g = Generators.grid ~rows:16 ~cols:16 in
+  let labels = Separator_label.build_grid ~rows:16 ~cols:16 g in
+  Test_util.check_bool "exact" true
+    (Cover.verify_sampled g labels ~rng:(Test_util.rng ()) ~samples:10);
+  Test_util.check_bool "avg far below n" true
+    (Hub_label.avg_size labels < 64.0)
+
+let test_separator_on_tree_vs_centroid () =
+  (* the BFS-level strategy on a path behaves like repeated halving *)
+  let g = Generators.path 64 in
+  let labels = Separator_label.build g in
+  Test_util.check_bool "exact" true (Cover.verify g labels);
+  Test_util.check_bool "logarithmic-ish" true (Hub_label.max_size labels <= 16)
+
+let test_separator_disconnected () =
+  let g = Graph.of_edges ~n:5 [ (0, 1); (2, 3) ] in
+  let labels = Separator_label.build g in
+  Test_util.check_bool "exact incl. disconnected" true (Cover.verify g labels)
+
+(* ----- Spc --------------------------------------------------------- *)
+
+let spc_is_cover =
+  Test_util.qcheck "greedy SPC covers its scale" ~count:20
+    QCheck2.Gen.(pair Test_util.small_connected_gen (int_range 1 4))
+    (fun (params, r) ->
+      let g = Test_util.build_connected params in
+      Spc.is_cover g ~r (Spc.cover g ~r))
+
+let test_spc_on_path () =
+  (* a path at scale r needs ~n/r cover vertices, each ball holds few *)
+  let g = Generators.path 64 in
+  let c = Spc.cover g ~r:8 in
+  Test_util.check_bool "cover valid" true (Spc.is_cover g ~r:8 c);
+  Test_util.check_bool "cover small" true (List.length c <= 12);
+  Test_util.check_bool "sparsity constant-ish" true
+    (Spc.local_sparsity g ~r:8 c <= 8)
+
+let test_spc_empty_scale () =
+  (* no pairs at distance in (r, 2r] -> empty cover is fine *)
+  let g = Generators.path 3 in
+  let c = Spc.cover g ~r:5 in
+  Test_util.check_int "empty" 0 (List.length c);
+  Test_util.check_bool "trivially covers" true (Spc.is_cover g ~r:5 c)
+
+let test_highway_estimate_shapes () =
+  let rng = Test_util.rng () in
+  let road = Generators.grid ~rows:8 ~cols:8 in
+  let est = Spc.highway_dimension_estimate road in
+  Test_util.check_bool "at least two scales" true (List.length est >= 2);
+  List.iter
+    (fun (r, size, sparsity) ->
+      Test_util.check_bool "scale positive" true (r >= 1);
+      Test_util.check_bool "sparsity <= size" true (sparsity <= size))
+    est;
+  ignore rng
+
+let suite =
+  [
+    approx_error_bounded;
+    approx_never_underestimates;
+    Alcotest.test_case "approx compresses on a path" `Quick
+      test_approx_compresses_on_path;
+    Alcotest.test_case "approx dominating set" `Quick test_approx_dominating_set;
+    separator_label_exact_default;
+    separator_label_exact_grid;
+    Alcotest.test_case "separator labels sublinear on grid" `Quick
+      test_separator_grid_sublinear;
+    Alcotest.test_case "separator labels on a path" `Quick
+      test_separator_on_tree_vs_centroid;
+    Alcotest.test_case "separator labels disconnected" `Quick
+      test_separator_disconnected;
+    spc_is_cover;
+    Alcotest.test_case "SPC on a path" `Quick test_spc_on_path;
+    Alcotest.test_case "SPC empty scale" `Quick test_spc_empty_scale;
+    Alcotest.test_case "highway estimate shapes" `Quick
+      test_highway_estimate_shapes;
+  ]

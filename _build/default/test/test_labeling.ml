@@ -1,0 +1,153 @@
+(* Tests for bit vectors, bit IO, the hubset encoder and tree labels. *)
+
+open Repro_graph
+open Repro_hub
+open Repro_labeling
+
+let test_bitvec_basic () =
+  let v = Bitvec.of_string "10110" in
+  Test_util.check_int "length" 5 (Bitvec.length v);
+  Test_util.check_bool "bit 0" true (Bitvec.get v 0);
+  Test_util.check_bool "bit 1" false (Bitvec.get v 1);
+  Alcotest.(check string) "roundtrip" "10110" (Bitvec.to_string v);
+  Test_util.check_bool "equal" true (Bitvec.equal v (Bitvec.of_string "10110"));
+  Test_util.check_bool "not equal" false (Bitvec.equal v (Bitvec.of_string "10111"));
+  let c = Bitvec.concat v (Bitvec.of_string "01") in
+  Alcotest.(check string) "concat" "1011001" (Bitvec.to_string c)
+
+let bitvec_roundtrip =
+  Test_util.qcheck "bitvec bools roundtrip"
+    QCheck2.Gen.(list_size (int_range 0 100) bool)
+    (fun bools -> Bitvec.to_bools (Bitvec.of_bools bools) = bools)
+
+let test_writer_reader_bits () =
+  let w = Bit_io.Writer.create () in
+  Bit_io.Writer.bits w ~width:7 93;
+  Bit_io.Writer.bit w true;
+  Bit_io.Writer.bits w ~width:3 5;
+  let r = Bit_io.Reader.of_bitvec (Bit_io.Writer.contents w) in
+  Test_util.check_int "bits" 93 (Bit_io.Reader.bits r ~width:7);
+  Test_util.check_bool "bit" true (Bit_io.Reader.bit r);
+  Test_util.check_int "more bits" 5 (Bit_io.Reader.bits r ~width:3);
+  Test_util.check_int "exhausted" 0 (Bit_io.Reader.remaining r)
+
+let test_writer_rejects () =
+  let w = Bit_io.Writer.create () in
+  Alcotest.check_raises "value too large"
+    (Invalid_argument "Bit_io.Writer.bits: value does not fit") (fun () ->
+      Bit_io.Writer.bits w ~width:3 8);
+  Alcotest.check_raises "gamma zero"
+    (Invalid_argument "Bit_io.Writer.gamma: need v >= 1") (fun () ->
+      Bit_io.Writer.gamma w 0)
+
+let gamma_roundtrip =
+  Test_util.qcheck "gamma code roundtrip"
+    QCheck2.Gen.(list_size (int_range 1 50) (int_range 1 1_000_000))
+    (fun values ->
+      let w = Bit_io.Writer.create () in
+      List.iter (Bit_io.Writer.gamma w) values;
+      let r = Bit_io.Reader.of_bitvec (Bit_io.Writer.contents w) in
+      List.for_all (fun v -> Bit_io.Reader.gamma r = v) values)
+
+let test_gamma_length () =
+  (* gamma(v) costs 2⌊log₂ v⌋ + 1 bits *)
+  let cost v =
+    let w = Bit_io.Writer.create () in
+    Bit_io.Writer.gamma w v;
+    Bit_io.Writer.length w
+  in
+  Test_util.check_int "gamma 1" 1 (cost 1);
+  Test_util.check_int "gamma 2" 3 (cost 2);
+  Test_util.check_int "gamma 7" 5 (cost 7);
+  Test_util.check_int "gamma 8" 7 (cost 8)
+
+let encoder_roundtrip =
+  Test_util.qcheck "hubset encoder roundtrip" ~count:60
+    QCheck2.Gen.(
+      list_size (int_range 0 20) (pair (int_range 0 500) (int_range 0 300)))
+    (fun pairs ->
+      let sorted =
+        List.sort_uniq (fun (a, _) (b, _) -> compare a b) pairs
+      in
+      let arr = Array.of_list sorted in
+      Encoder.decode_vertex (Encoder.encode_vertex arr) = arr)
+
+let labels_roundtrip =
+  Test_util.qcheck "full labeling encode/decode roundtrip" ~count:30
+    Test_util.small_connected_gen (fun params ->
+      let g = Test_util.build_connected params in
+      let labels = Pll.build g in
+      let encoded = Encoder.encode labels in
+      let decoded = Encoder.decode ~n:(Graph.n g) encoded in
+      let ok = ref true in
+      for v = 0 to Graph.n g - 1 do
+        if Hub_label.hubs labels v <> Hub_label.hubs decoded v then ok := false
+      done;
+      !ok)
+
+let encoded_query_exact =
+  Test_util.qcheck "query from binary labels equals BFS distance" ~count:30
+    Test_util.small_connected_gen (fun params ->
+      let g = Test_util.build_connected params in
+      let labels = Pll.build g in
+      let encoded = Encoder.encode labels in
+      let dist = Traversal.bfs g 0 in
+      let ok = ref true in
+      for v = 0 to Graph.n g - 1 do
+        if Encoder.query_encoded encoded.(0) encoded.(v) <> dist.(v) then
+          ok := false
+      done;
+      !ok)
+
+let test_is_tree () =
+  Test_util.check_bool "path is tree" true (Tree_label.is_tree (Generators.path 5));
+  Test_util.check_bool "cycle is not" false (Tree_label.is_tree (Generators.cycle 5));
+  Test_util.check_bool "disconnected is not" false
+    (Tree_label.is_tree (Graph.of_edges ~n:4 [ (0, 1); (2, 3) ]))
+
+let tree_label_exact =
+  Test_util.qcheck "tree labeling is exact" ~count:50
+    QCheck2.Gen.(pair (int_range 1 80) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let g = Generators.random_tree (Random.State.make [| seed |]) n in
+      Cover.verify g (Tree_label.build g))
+
+let tree_label_log_bound =
+  Test_util.qcheck "tree labels have <= ceil(log2 n)+1 hubs" ~count:50
+    QCheck2.Gen.(pair (int_range 1 200) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let g = Generators.random_tree (Random.State.make [| seed |]) n in
+      Hub_label.max_size (Tree_label.build g) <= Tree_label.max_hubs_bound n)
+
+let test_tree_label_path () =
+  let g = Generators.path 127 in
+  let labels = Tree_label.build g in
+  Test_util.check_bool "bound on path" true
+    (Hub_label.max_size labels <= Tree_label.max_hubs_bound 127);
+  Test_util.check_bool "exact" true (Cover.verify g labels);
+  (* bit size is O(log² n): generous numeric sanity check *)
+  let bits = Encoder.avg_bits (Encoder.encode labels) in
+  Test_util.check_bool "label bits modest" true (bits < 400.0)
+
+let test_tree_label_rejects () =
+  Alcotest.check_raises "non-tree" (Invalid_argument "Tree_label.build: not a tree")
+    (fun () -> ignore (Tree_label.build (Generators.cycle 4)))
+
+let suite =
+  [
+    Alcotest.test_case "bitvec basics" `Quick test_bitvec_basic;
+    bitvec_roundtrip;
+    Alcotest.test_case "writer/reader bits" `Quick test_writer_reader_bits;
+    Alcotest.test_case "writer rejects" `Quick test_writer_rejects;
+    gamma_roundtrip;
+    Alcotest.test_case "gamma code lengths" `Quick test_gamma_length;
+    encoder_roundtrip;
+    labels_roundtrip;
+    encoded_query_exact;
+    Alcotest.test_case "is_tree" `Quick test_is_tree;
+    tree_label_exact;
+    tree_label_log_bound;
+    Alcotest.test_case "tree labels on a long path" `Quick test_tree_label_path;
+    Alcotest.test_case "tree label rejects non-tree" `Quick
+      test_tree_label_rejects;
+  ]

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "hubhard"
+    [
+      ("structures", Test_structures.suite);
+      ("graph", Test_graph.suite);
+      ("generators", Test_generators.suite);
+      ("matching", Test_matching.suite);
+      ("ruzsa-szemeredi", Test_rs.suite);
+      ("hub-labeling", Test_hub.suite);
+      ("bit-labeling", Test_labeling.suite);
+      ("grid-lower-bound", Test_grid.suite);
+      ("rs-hub-upper-bound", Test_rs_hub.suite);
+      ("sum-index", Test_sumindex.suite);
+      ("route-planning", Test_route.suite);
+      ("extras", Test_extras.suite);
+      ("hub-labeling-2", Test_hub2.suite);
+      ("hhl-arcflags", Test_hhl_flags.suite);
+      ("extras-2", Test_extras2.suite);
+      ("coverage", Test_coverage.suite);
+      ("tz-theorems", Test_tz.suite);
+    ]

@@ -1,0 +1,91 @@
+(* Tests for Hopcroft–Karp and König cover against brute force. *)
+
+open Repro_matching
+open Repro_graph
+
+let test_hk_simple () =
+  let bg = Bipartite.create ~left:3 ~right:3 [ (0, 0); (0, 1); (1, 0); (2, 2) ] in
+  let m = Hopcroft_karp.solve bg in
+  Test_util.check_int "matching size" 3 m.Hopcroft_karp.size;
+  Test_util.check_bool "valid" true (Hopcroft_karp.is_valid bg m);
+  Test_util.check_bool "maximal" true (Hopcroft_karp.is_maximal bg m)
+
+let test_hk_empty () =
+  let bg = Bipartite.create ~left:4 ~right:0 [] in
+  let m = Hopcroft_karp.solve bg in
+  Test_util.check_int "empty" 0 m.Hopcroft_karp.size
+
+let test_hk_star () =
+  (* one left vertex connected to all right: matching size 1 *)
+  let bg = Bipartite.create ~left:1 ~right:5 (List.init 5 (fun i -> (0, i))) in
+  Test_util.check_int "star" 1 (Hopcroft_karp.solve bg).Hopcroft_karp.size
+
+let test_koenig_simple () =
+  let bg = Bipartite.create ~left:3 ~right:3 [ (0, 0); (1, 0); (2, 0); (0, 1) ] in
+  let c = Koenig.minimum_vertex_cover bg in
+  Test_util.check_bool "is cover" true (Koenig.is_cover bg c);
+  Test_util.check_int "cover = matching size" 2 (Koenig.size c)
+
+let test_bipartite_dedup () =
+  let bg = Bipartite.create ~left:2 ~right:2 [ (0, 1); (0, 1); (1, 0) ] in
+  Test_util.check_int "dedup" 2 (Bipartite.m bg)
+
+let random_bipartite_gen =
+  QCheck2.Gen.(
+    let* left = int_range 1 9 in
+    let* right = int_range 1 9 in
+    let* m = int_range 0 (min (left * right) 20) in
+    let* seed = int_range 0 1_000_000 in
+    return (left, right, m, seed))
+
+let build_bipartite (left, right, m, seed) =
+  let rng = Random.State.make [| seed |] in
+  Bipartite.create ~left ~right (Generators.random_bipartite rng ~left ~right ~m)
+
+let hk_matches_brute =
+  Test_util.qcheck "Hopcroft–Karp size = brute-force maximum"
+    random_bipartite_gen (fun params ->
+      let bg = build_bipartite params in
+      (Hopcroft_karp.solve bg).Hopcroft_karp.size
+      = Matching_brute.max_matching_size bg)
+
+let hk_always_valid =
+  Test_util.qcheck "Hopcroft–Karp output is a valid maximal matching"
+    random_bipartite_gen (fun params ->
+      let bg = build_bipartite params in
+      let m = Hopcroft_karp.solve bg in
+      Hopcroft_karp.is_valid bg m && Hopcroft_karp.is_maximal bg m)
+
+let koenig_duality =
+  Test_util.qcheck "König: cover size = matching size, and covers all edges"
+    random_bipartite_gen (fun params ->
+      let bg = build_bipartite params in
+      let m = Hopcroft_karp.solve bg in
+      let c = Koenig.of_matching bg m in
+      Koenig.is_cover bg c && Koenig.size c = m.Hopcroft_karp.size)
+
+let koenig_matches_brute =
+  Test_util.qcheck "König cover size = brute-force minimum cover"
+    QCheck2.Gen.(
+      let* left = int_range 1 7 in
+      let* right = int_range 1 7 in
+      let* m = int_range 0 (min (left * right) 14) in
+      let* seed = int_range 0 1_000_000 in
+      return (left, right, m, seed))
+    (fun params ->
+      let bg = build_bipartite params in
+      Koenig.size (Koenig.minimum_vertex_cover bg)
+      = Matching_brute.min_vertex_cover_size bg)
+
+let suite =
+  [
+    Alcotest.test_case "HK simple" `Quick test_hk_simple;
+    Alcotest.test_case "HK empty" `Quick test_hk_empty;
+    Alcotest.test_case "HK star" `Quick test_hk_star;
+    Alcotest.test_case "König simple" `Quick test_koenig_simple;
+    Alcotest.test_case "bipartite dedups" `Quick test_bipartite_dedup;
+    hk_matches_brute;
+    hk_always_valid;
+    koenig_duality;
+    koenig_matches_brute;
+  ]

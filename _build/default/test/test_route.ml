@@ -1,0 +1,119 @@
+(* Tests for the route-planning substrate: bidirectional search and
+   contraction hierarchies. *)
+
+open Repro_graph
+open Repro_route
+
+let bidir_matches_dijkstra =
+  Test_util.qcheck "bidirectional dijkstra = dijkstra" ~count:60
+    QCheck2.Gen.(pair Test_util.small_connected_gen (int_range 0 1000))
+    (fun (params, wseed) ->
+      let g = Test_util.build_connected params in
+      let rng = Random.State.make [| wseed |] in
+      let w =
+        Wgraph.of_edges ~n:(Graph.n g)
+          (List.map
+             (fun (u, v) -> (u, v, 1 + Random.State.int rng 9))
+             (Graph.edges g))
+      in
+      let n = Graph.n g in
+      let s = Random.State.int rng n and t = Random.State.int rng n in
+      Bidirectional.distance w s t = (Dijkstra.distances w s).(t))
+
+let bidir_disconnected () =
+  let g = Wgraph.of_edges ~n:4 [ (0, 1, 3) ] in
+  Test_util.check_bool "inf across components" false
+    (Dist.is_finite (Bidirectional.distance g 0 2));
+  Test_util.check_int "same component" 3 (Bidirectional.distance g 0 1);
+  Test_util.check_int "self" 0 (Bidirectional.distance g 2 2)
+
+let bidir_bfs_matches =
+  Test_util.qcheck "bidirectional BFS = BFS" ~count:60
+    QCheck2.Gen.(pair Test_util.small_graph_gen (int_range 0 1000))
+    (fun (params, seed) ->
+      let g = Test_util.build_graph params in
+      let rng = Random.State.make [| seed |] in
+      let n = Graph.n g in
+      let s = Random.State.int rng n and t = Random.State.int rng n in
+      Bidirectional.distance_unweighted g s t = (Traversal.bfs g s).(t))
+
+let ch_exact_unit_weights =
+  Test_util.qcheck "contraction hierarchy queries = dijkstra (unit)" ~count:25
+    Test_util.small_connected_gen (fun params ->
+      let g = Test_util.build_connected params in
+      let w = Wgraph.of_unweighted g in
+      let ch = Contraction.preprocess w in
+      let n = Graph.n g in
+      let ok = ref true in
+      for s = 0 to min (n - 1) 7 do
+        let d = Dijkstra.distances w s in
+        for t = 0 to n - 1 do
+          if Contraction.query ch s t <> d.(t) then ok := false
+        done
+      done;
+      !ok)
+
+let ch_exact_random_weights =
+  Test_util.qcheck "contraction hierarchy queries = dijkstra (weighted)"
+    ~count:25
+    QCheck2.Gen.(pair Test_util.small_connected_gen (int_range 0 1000))
+    (fun (params, wseed) ->
+      let g = Test_util.build_connected params in
+      let rng = Random.State.make [| wseed |] in
+      let w =
+        Wgraph.of_edges ~n:(Graph.n g)
+          (List.map
+             (fun (u, v) -> (u, v, 1 + Random.State.int rng 9))
+             (Graph.edges g))
+      in
+      let ch = Contraction.preprocess w in
+      let d = Dijkstra.distances w 0 in
+      let ok = ref true in
+      for t = 0 to Graph.n g - 1 do
+        if Contraction.query ch 0 t <> d.(t) then ok := false
+      done;
+      !ok)
+
+let ch_small_hop_limit_still_exact =
+  Test_util.qcheck "tiny witness budget stays exact" ~count:15
+    Test_util.small_connected_gen (fun params ->
+      (* a hop limit of 1 makes nearly every witness search
+         inconclusive, forcing many (safe) shortcuts; exactness must be
+         unaffected. Shortcut counts are not compared across limits
+         because the lazy priority order itself changes. *)
+      let g = Test_util.build_connected params in
+      let w = Wgraph.of_unweighted g in
+      let stingy = Contraction.preprocess ~hop_limit:1 w in
+      let d = Dijkstra.distances w 0 in
+      let ok = ref true in
+      for t = 0 to Graph.n g - 1 do
+        if Contraction.query stingy 0 t <> d.(t) then ok := false
+      done;
+      !ok)
+
+let ch_order_is_permutation () =
+  let rng = Test_util.rng () in
+  let g = Generators.random_connected rng ~n:40 ~m:80 in
+  let ch = Contraction.preprocess (Wgraph.of_unweighted g) in
+  Test_util.check_bool "order is a permutation" true
+    (Repro_hub.Order.is_permutation (Contraction.order ch))
+
+let ch_disconnected () =
+  let w = Wgraph.of_edges ~n:5 [ (0, 1, 2); (2, 3, 4) ] in
+  let ch = Contraction.preprocess w in
+  Test_util.check_int "within" 2 (Contraction.query ch 0 1);
+  Test_util.check_bool "across" false
+    (Dist.is_finite (Contraction.query ch 0 3));
+  Test_util.check_bool "isolated" false (Dist.is_finite (Contraction.query ch 4 0))
+
+let suite =
+  [
+    bidir_matches_dijkstra;
+    Alcotest.test_case "bidirectional on disconnected" `Quick bidir_disconnected;
+    bidir_bfs_matches;
+    ch_exact_unit_weights;
+    ch_exact_random_weights;
+    ch_small_hop_limit_still_exact;
+    Alcotest.test_case "CH order permutation" `Quick ch_order_is_permutation;
+    Alcotest.test_case "CH on disconnected" `Quick ch_disconnected;
+  ]

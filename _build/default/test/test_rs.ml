@@ -1,0 +1,153 @@
+(* Tests for the Ruzsa–Szemerédi substrate: AP-free sets, Behrend
+   construction, RS graphs and induced-matching verification. *)
+
+open Repro_rs
+open Repro_graph
+
+let test_ap_free_detects () =
+  Test_util.check_bool "0 1 2 has AP" false (Ap_free.is_ap_free [ 0; 1; 2 ]);
+  Test_util.check_bool "0 1 3 is free" true (Ap_free.is_ap_free [ 0; 1; 3 ]);
+  Test_util.check_bool "empty" true (Ap_free.is_ap_free []);
+  Test_util.check_bool "singleton" true (Ap_free.is_ap_free [ 5 ]);
+  Test_util.check_bool "duplicates ignored" true (Ap_free.is_ap_free [ 2; 2 ]);
+  Test_util.check_bool "2 4 6" false (Ap_free.is_ap_free [ 2; 6; 4 ])
+
+let test_greedy_equals_base3 () =
+  for n = 1 to 200 do
+    if Ap_free.greedy n <> Ap_free.no_two_base3 n then
+      Alcotest.failf "greedy <> base3 at n=%d" n
+  done
+
+let greedy_is_ap_free =
+  Test_util.qcheck "greedy output is AP-free" QCheck2.Gen.(int_range 1 300)
+    (fun n -> Ap_free.is_ap_free (Ap_free.greedy n))
+
+let test_maximum_exhaustive () =
+  (* known maximum AP-free subset sizes of [0..n-1] (OEIS A065825
+     inverse): r(9) = 5, e.g. {0,1,3,7,8}. *)
+  Test_util.check_int "n=9 max" 5 (List.length (Ap_free.maximum_exhaustive 9));
+  Test_util.check_int "n=5 max" 4 (List.length (Ap_free.maximum_exhaustive 5));
+  Test_util.check_bool "result AP-free" true
+    (Ap_free.is_ap_free (Ap_free.maximum_exhaustive 14))
+
+let exhaustive_beats_greedy =
+  Test_util.qcheck "exhaustive maximum >= greedy" ~count:20
+    QCheck2.Gen.(int_range 1 25)
+    (fun n ->
+      List.length (Ap_free.maximum_exhaustive n)
+      >= List.length (Ap_free.greedy n))
+
+let behrend_is_ap_free =
+  Test_util.qcheck "Behrend sets are AP-free" ~count:25
+    QCheck2.Gen.(int_range 4 3000)
+    (fun n ->
+      let s = Behrend.construct n in
+      List.for_all (fun x -> 0 <= x && x < n) s && Ap_free.is_ap_free s)
+
+let test_behrend_nontrivial_density () =
+  let s = Behrend.best_size 1000 in
+  Test_util.check_bool "at least 40 elements at n=1000" true (s >= 40)
+
+let test_behrend_series () =
+  let series = Behrend.density_series [ 10; 100 ] in
+  Test_util.check_int "two entries" 2 (List.length series);
+  List.iter
+    (fun (n, size, d) ->
+      Test_util.check_bool "density consistent" true
+        (abs_float (d -. (float_of_int size /. float_of_int n)) < 1e-9))
+    series
+
+let test_induced_matching_checks () =
+  let g = Generators.path 4 in
+  (* edges (0,1),(1,2),(2,3); {(0,1),(2,3)} is a matching but NOT
+     induced: 1-2 is an edge between endpoints *)
+  Test_util.check_bool "matching yes" true
+    (Induced_matching.is_matching [ (0, 1); (2, 3) ]);
+  Test_util.check_bool "induced no" false
+    (Induced_matching.is_induced g [ (0, 1); (2, 3) ]);
+  Test_util.check_bool "single edge induced" true
+    (Induced_matching.is_induced g [ (1, 2) ]);
+  let p5 = Generators.path 6 in
+  Test_util.check_bool "far apart induced" true
+    (Induced_matching.is_induced p5 [ (0, 1); (3, 4) ])
+
+let test_partition_checks () =
+  let g = Generators.path 4 in
+  Test_util.check_bool "full partition" true
+    (Induced_matching.is_partition g [ [ (0, 1); (2, 3) ]; [ (1, 2) ] ]);
+  Test_util.check_bool "missing edge" false
+    (Induced_matching.is_partition g [ [ (0, 1) ]; [ (1, 2) ] ]);
+  Test_util.check_bool "duplicate edge" false
+    (Induced_matching.is_partition g [ [ (0, 1) ]; [ (1, 0); (2, 3) ]; [ (1, 2) ] ])
+
+let test_rs_graph_small () =
+  let t = Rs_graph.build ~c:3 ~d:3 in
+  Test_util.check_bool "has edges" true (Rs_graph.edge_count t > 0);
+  Test_util.check_bool "is Ruzsa–Szemerédi (Definition 1.3)" true
+    (Induced_matching.is_ruzsa_szemeredi t.Rs_graph.graph t.Rs_graph.matchings)
+
+let rs_graph_always_rs =
+  Test_util.qcheck "AMS sphere construction yields induced-matching partitions"
+    ~count:8
+    QCheck2.Gen.(pair (int_range 2 4) (int_range 2 4))
+    (fun (c, d) ->
+      match Rs_graph.build ~c ~d with
+      | t ->
+          (* the partition-into-induced-matchings property always
+             holds; the Definition 1.3 count condition (<= n
+             matchings) additionally holds once the shell is large
+             enough — tested separately on such instances *)
+          Induced_matching.is_partition t.Rs_graph.graph t.Rs_graph.matchings
+          && List.for_all
+               (Induced_matching.is_induced t.Rs_graph.graph)
+               t.Rs_graph.matchings
+      | exception Invalid_argument _ -> true (* degenerate shell: fine *))
+
+let test_rs_definition13_on_large_shells () =
+  List.iter
+    (fun (c, d) ->
+      let t = Rs_graph.build ~c ~d in
+      Test_util.check_bool "Definition 1.3 holds" true
+        (Induced_matching.is_ruzsa_szemeredi t.Rs_graph.graph
+           t.Rs_graph.matchings))
+    [ (3, 3); (3, 4); (4, 3); (4, 4); (5, 4) ]
+
+let test_rs_points_on_shell () =
+  let t = Rs_graph.build ~c:4 ~d:3 in
+  Array.iter
+    (fun p ->
+      let norm = Array.fold_left (fun acc x -> acc + (x * x)) 0 p in
+      Test_util.check_int "norm = rho" t.Rs_graph.rho norm)
+    t.Rs_graph.points
+
+let test_rs_bounds_shapes () =
+  Test_util.check_int "log* 2 = 1" 1 (Rs_bounds.log_star 2);
+  Test_util.check_int "log* 16 = 3" 3 (Rs_bounds.log_star 16);
+  Test_util.check_int "log* 65536 = 4" 4 (Rs_bounds.log_star 65536);
+  Test_util.check_bool "fox <= behrend for large n" true
+    (Rs_bounds.fox_lower 1_000_000 <= Rs_bounds.behrend_upper 1_000_000);
+  Test_util.check_bool "hub lower bound below n" true
+    (Rs_bounds.hub_lower_bound_shape 1000 < 1000.0);
+  Test_util.check_bool "upper bound shape positive" true
+    (Rs_bounds.hub_upper_bound_shape ~c:7.0 1000 > 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "AP detection" `Quick test_ap_free_detects;
+    Alcotest.test_case "greedy = no-2-base-3" `Quick test_greedy_equals_base3;
+    greedy_is_ap_free;
+    Alcotest.test_case "exhaustive maximum" `Quick test_maximum_exhaustive;
+    exhaustive_beats_greedy;
+    behrend_is_ap_free;
+    Alcotest.test_case "Behrend density" `Quick test_behrend_nontrivial_density;
+    Alcotest.test_case "Behrend series" `Quick test_behrend_series;
+    Alcotest.test_case "induced matching checks" `Quick
+      test_induced_matching_checks;
+    Alcotest.test_case "partition checks" `Quick test_partition_checks;
+    Alcotest.test_case "RS graph small" `Quick test_rs_graph_small;
+    rs_graph_always_rs;
+    Alcotest.test_case "Definition 1.3 on large shells" `Quick
+      test_rs_definition13_on_large_shells;
+    Alcotest.test_case "RS shell norms" `Quick test_rs_points_on_shell;
+    Alcotest.test_case "RS bound shapes" `Quick test_rs_bounds_shapes;
+  ]

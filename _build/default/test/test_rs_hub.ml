@@ -1,0 +1,133 @@
+(* Tests for the Theorem 4.1 / 1.4 construction. *)
+
+open Repro_graph
+open Repro_hub
+open Repro_core
+
+let test_default_d () =
+  Test_util.check_bool "d >= 2" true (Rs_hub.default_d 100 >= 2);
+  Test_util.check_bool "d grows" true
+    (Rs_hub.default_d 1_000_000 >= Rs_hub.default_d 100)
+
+let rs_hub_exact =
+  Test_util.qcheck "Theorem 4.1 labeling is an exact cover" ~count:30
+    QCheck2.Gen.(pair Test_util.small_connected_gen (int_range 2 6))
+    (fun (params, d) ->
+      let g = Test_util.build_connected params in
+      let labels, _ = Rs_hub.build ~rng:(Test_util.rng ()) ~d g in
+      Cover.verify g labels)
+
+let rs_hub_exact_disconnected =
+  Test_util.qcheck "Theorem 4.1 handles disconnected graphs" ~count:20
+    Test_util.small_graph_gen (fun params ->
+      let g = Test_util.build_graph params in
+      let labels, _ = Rs_hub.build ~rng:(Test_util.rng ()) ~d:3 g in
+      Cover.verify g labels)
+
+let rs_hub_stored_exact =
+  Test_util.qcheck "Theorem 4.1 stores true distances" ~count:20
+    Test_util.small_connected_gen (fun params ->
+      let g = Test_util.build_connected params in
+      let labels, _ = Rs_hub.build ~rng:(Test_util.rng ()) ~d:4 g in
+      Cover.stored_distances_exact g labels)
+
+let test_stats_accounting () =
+  let rng = Test_util.rng () in
+  let g = Generators.random_bounded_degree rng ~n:150 ~d:4 in
+  let labels, st = Rs_hub.build ~rng ~d:5 g in
+  Test_util.check_int "n recorded" 150 st.Rs_hub.n;
+  Test_util.check_int "total hubs matches labeling" (Hub_label.total_size labels)
+    st.Rs_hub.total_hubs;
+  Test_util.check_bool "global component sampled" true (st.Rs_hub.global_size > 0);
+  Test_util.check_bool "cover exact" true (Cover.verify g labels)
+
+let test_bucket_structure_appears () =
+  (* with a larger threshold on a bounded-degree graph, case 3 must
+     actually fire: buckets and F-sets non-empty *)
+  let rng = Test_util.rng () in
+  let g = Generators.random_bounded_degree rng ~n:120 ~d:3 in
+  let _, st = Rs_hub.build ~rng ~d:6 g in
+  Test_util.check_bool "buckets exist" true (st.Rs_hub.bucket_count > 0);
+  Test_util.check_bool "matchings non-trivial" true
+    (st.Rs_hub.matching_edge_total > 0)
+
+let test_build_w_zero_one () =
+  let rng = Test_util.rng () in
+  let g = Generators.random_connected rng ~n:40 ~m:60 in
+  let edges =
+    List.map (fun (u, v) -> (u, v, Random.State.int rng 2)) (Graph.edges g)
+  in
+  let w = Wgraph.of_edges ~n:40 edges in
+  let labels, _ = Rs_hub.build_w ~rng ~d:4 w in
+  Test_util.check_bool "exact on 0/1 weights" true (Cover.verify_w w labels)
+
+let test_build_w_rejects_large () =
+  let w = Wgraph.of_edges ~n:2 [ (0, 1, 2) ] in
+  Alcotest.check_raises "weights must be 0/1"
+    (Invalid_argument "Rs_hub.build_w: weights must be 0/1") (fun () ->
+      ignore (Rs_hub.build_w ~rng:(Test_util.rng ()) ~d:3 w))
+
+let build_sparse_exact =
+  Test_util.qcheck "Theorem 1.4 (subdivide + project) is exact" ~count:20
+    QCheck2.Gen.(
+      let* n = int_range 2 30 in
+      let max_m = n * (n - 1) / 2 in
+      let* m = int_range (n - 1) (min max_m (4 * n)) in
+      let* seed = int_range 0 1_000_000 in
+      return (n, m, seed))
+    (fun (n, m, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Generators.random_connected rng ~n ~m in
+      let labels, _ = Rs_hub.build_sparse ~rng ~d:4 g in
+      Cover.verify g labels)
+
+let test_sparse_on_star () =
+  (* the star maximises the benefit of subdivision: degree n-1 *)
+  let rng = Test_util.rng () in
+  let g = Generators.star 40 in
+  let labels, _ = Rs_hub.build_sparse ~rng ~d:4 g in
+  Test_util.check_bool "exact on star" true (Cover.verify g labels)
+
+let test_rejects_bad_d () =
+  let g = Generators.path 3 in
+  Alcotest.check_raises "d >= 1" (Invalid_argument "Rs_hub.build: need d >= 1")
+    (fun () -> ignore (Rs_hub.build ~rng:(Test_util.rng ()) ~d:0 g))
+
+let test_component_sizes_reasonable () =
+  (* on a long path with moderate d, the average hubset size must be
+     far below n (the scheme is sublinear in practice here) *)
+  let rng = Test_util.rng () in
+  let n = 200 in
+  let g = Generators.path n in
+  let labels, _ = Rs_hub.build ~rng ~d:6 g in
+  Test_util.check_bool "average below n/2" true
+    (Hub_label.avg_size labels < float_of_int n /. 2.0);
+  Test_util.check_bool "exact" true (Cover.verify g labels)
+
+let lemma42_verified =
+  Test_util.qcheck "Lemma 4.2: per-colour matching unions are RS-structured"
+    ~count:15
+    QCheck2.Gen.(pair Test_util.small_connected_gen (int_range 3 6))
+    (fun (params, d) ->
+      let g = Test_util.build_connected params in
+      let _, _, data = Rs_hub.build_checked ~rng:(Test_util.rng ()) ~d g in
+      Rs_hub.lemma42_holds ~n:(Graph.n g) data)
+
+let suite =
+  [
+    Alcotest.test_case "default d" `Quick test_default_d;
+    rs_hub_exact;
+    rs_hub_exact_disconnected;
+    rs_hub_stored_exact;
+    Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+    Alcotest.test_case "buckets fire on bounded degree" `Quick
+      test_bucket_structure_appears;
+    lemma42_verified;
+    Alcotest.test_case "0/1 weights" `Quick test_build_w_zero_one;
+    Alcotest.test_case "rejects weight 2" `Quick test_build_w_rejects_large;
+    build_sparse_exact;
+    Alcotest.test_case "Theorem 1.4 on a star" `Quick test_sparse_on_star;
+    Alcotest.test_case "rejects d = 0" `Quick test_rejects_bad_d;
+    Alcotest.test_case "path labels sublinear" `Quick
+      test_component_sizes_reasonable;
+  ]

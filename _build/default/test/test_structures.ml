@@ -1,0 +1,151 @@
+(* Unit and property tests for Pqueue, Bitset, Union_find. *)
+
+open Repro_graph
+
+let test_pqueue_basic () =
+  let h = Pqueue.create 10 in
+  Test_util.check_bool "empty" true (Pqueue.is_empty h);
+  Pqueue.insert h 3 30;
+  Pqueue.insert h 1 10;
+  Pqueue.insert h 2 20;
+  Test_util.check_int "size" 3 (Pqueue.size h);
+  Test_util.check_bool "mem 1" true (Pqueue.mem h 1);
+  Test_util.check_bool "mem 5" false (Pqueue.mem h 5);
+  let v, k = Pqueue.pop_min h in
+  Test_util.check_int "min vertex" 1 v;
+  Test_util.check_int "min key" 10 k;
+  Test_util.check_int "size after pop" 2 (Pqueue.size h)
+
+let test_pqueue_decrease () =
+  let h = Pqueue.create 5 in
+  Pqueue.insert h 0 100;
+  Pqueue.insert h 1 50;
+  Pqueue.decrease_key h 0 10;
+  let v, k = Pqueue.pop_min h in
+  Test_util.check_int "decreased wins" 0 v;
+  Test_util.check_int "new key" 10 k
+
+let test_pqueue_insert_or_decrease () =
+  let h = Pqueue.create 5 in
+  Pqueue.insert_or_decrease h 2 7;
+  Pqueue.insert_or_decrease h 2 3;
+  Pqueue.insert_or_decrease h 2 9 (* no-op: larger *);
+  Test_util.check_int "key" 3 (Pqueue.key h 2)
+
+let test_pqueue_errors () =
+  let h = Pqueue.create 3 in
+  Alcotest.check_raises "pop empty" (Invalid_argument "Pqueue.pop_min: empty heap")
+    (fun () -> ignore (Pqueue.pop_min h));
+  Pqueue.insert h 0 5;
+  Alcotest.check_raises "double insert"
+    (Invalid_argument "Pqueue.insert: vertex already present") (fun () ->
+      Pqueue.insert h 0 1);
+  Alcotest.check_raises "key increase"
+    (Invalid_argument "Pqueue.decrease_key: key increase") (fun () ->
+      Pqueue.decrease_key h 0 100)
+
+let pqueue_sorts =
+  Test_util.qcheck "pqueue pops in sorted key order"
+    QCheck2.Gen.(list_size (int_range 1 200) (int_range 0 1000))
+    (fun keys ->
+      let n = List.length keys in
+      let h = Pqueue.create n in
+      List.iteri (fun i k -> Pqueue.insert h i k) keys;
+      let popped = ref [] in
+      while not (Pqueue.is_empty h) do
+        popped := snd (Pqueue.pop_min h) :: !popped
+      done;
+      List.rev !popped = List.sort compare keys)
+
+let test_bitset_basic () =
+  let s = Bitset.create 100 in
+  Test_util.check_int "empty cardinal" 0 (Bitset.cardinal s);
+  Bitset.add s 0;
+  Bitset.add s 7;
+  Bitset.add s 63;
+  Bitset.add s 99;
+  Test_util.check_bool "mem 7" true (Bitset.mem s 7);
+  Test_util.check_bool "mem 8" false (Bitset.mem s 8);
+  Test_util.check_int "cardinal" 4 (Bitset.cardinal s);
+  Bitset.remove s 7;
+  Test_util.check_bool "removed" false (Bitset.mem s 7);
+  Test_util.check_int "to_list" 3 (List.length (Bitset.to_list s));
+  Alcotest.(check (list int)) "sorted members" [ 0; 63; 99 ] (Bitset.to_list s)
+
+let test_bitset_ops () =
+  let a = Bitset.of_list 20 [ 1; 3; 5 ] in
+  let b = Bitset.of_list 20 [ 2; 4; 5 ] in
+  Test_util.check_bool "inter exists" true (Bitset.inter_exists a b);
+  let c = Bitset.of_list 20 [ 2; 4 ] in
+  Test_util.check_bool "inter empty" false (Bitset.inter_exists a c);
+  let d = Bitset.copy a in
+  Bitset.union_into d b;
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4; 5 ] (Bitset.to_list d);
+  Bitset.clear d;
+  Test_util.check_int "cleared" 0 (Bitset.cardinal d)
+
+let bitset_roundtrip =
+  Test_util.qcheck "bitset of_list/to_list roundtrip"
+    QCheck2.Gen.(list_size (int_range 0 50) (int_range 0 199))
+    (fun xs ->
+      let sorted = List.sort_uniq compare xs in
+      Bitset.to_list (Bitset.of_list 200 xs) = sorted)
+
+let test_union_find () =
+  let u = Union_find.create 6 in
+  Test_util.check_int "initial count" 6 (Union_find.count u);
+  Test_util.check_bool "union 0 1" true (Union_find.union u 0 1);
+  Test_util.check_bool "union 1 2" true (Union_find.union u 1 2);
+  Test_util.check_bool "re-union" false (Union_find.union u 0 2);
+  Test_util.check_bool "same 0 2" true (Union_find.same u 0 2);
+  Test_util.check_bool "not same 0 3" false (Union_find.same u 0 3);
+  Test_util.check_int "count" 4 (Union_find.count u)
+
+let union_find_transitivity =
+  Test_util.qcheck "union-find transitive closure matches naive"
+    QCheck2.Gen.(
+      let* n = int_range 2 30 in
+      let* pairs =
+        list_size (int_range 0 40) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      in
+      return (n, pairs))
+    (fun (n, pairs) ->
+      let u = Union_find.create n in
+      List.iter (fun (a, b) -> ignore (Union_find.union u a b)) pairs;
+      (* naive closure via repeated relabeling *)
+      let comp = Array.init n (fun i -> i) in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun (a, b) ->
+            let ca = comp.(a) and cb = comp.(b) in
+            if ca <> cb then begin
+              let lo = min ca cb in
+              Array.iteri (fun i c -> if c = max ca cb then comp.(i) <- lo) comp;
+              changed := true
+            end)
+          pairs
+      done;
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if Union_find.same u a b <> (comp.(a) = comp.(b)) then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "pqueue basic" `Quick test_pqueue_basic;
+    Alcotest.test_case "pqueue decrease_key" `Quick test_pqueue_decrease;
+    Alcotest.test_case "pqueue insert_or_decrease" `Quick
+      test_pqueue_insert_or_decrease;
+    Alcotest.test_case "pqueue errors" `Quick test_pqueue_errors;
+    pqueue_sorts;
+    Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
+    Alcotest.test_case "bitset set ops" `Quick test_bitset_ops;
+    bitset_roundtrip;
+    Alcotest.test_case "union-find basic" `Quick test_union_find;
+    union_find_transitivity;
+  ]

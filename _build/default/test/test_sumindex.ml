@@ -1,0 +1,137 @@
+(* Tests for the Sum-Index problem and the Theorem 1.6 reduction. *)
+
+open Repro_core
+
+let test_answer () =
+  let s = [| true; false; true; false |] in
+  Test_util.check_bool "0+0" true (Sum_index.answer s 0 0);
+  Test_util.check_bool "1+2" false (Sum_index.answer s 1 2);
+  Test_util.check_bool "wraparound 3+3" true (Sum_index.answer s 3 3)
+
+let trivial_correct =
+  Test_util.qcheck "trivial protocol always correct" ~count:30
+    QCheck2.Gen.(
+      let* n = int_range 1 24 in
+      let* bits = list_size (return n) bool in
+      return (n, bits))
+    (fun (n, bits) ->
+      let s = Array.of_list bits in
+      Sum_index.correct_on (Sum_index.trivial ~n) s)
+
+let test_trivial_message_sizes () =
+  let n = 16 in
+  let s = Sum_index.random_instance (Test_util.rng ()) n in
+  let ma, mb = Sum_index.max_message_bits (Sum_index.trivial ~n) s in
+  Test_util.check_int "alice = n bits" n ma;
+  Test_util.check_int "bob = log n bits" 4 mb
+
+let test_bounds_shapes () =
+  Test_util.check_bool "sqrt bound" true
+    (abs_float (Sum_index.sqrt_lower_bound_bits 100 -. 10.0) < 1e-9);
+  Test_util.check_bool "Ambainis below trivial for large n" true
+    (Sum_index.ambainis_upper_bound_bits 1_000_000 < 1_000_000.0)
+
+let test_params () =
+  let p = Si_reduction.params ~b:2 ~l:2 in
+  Test_util.check_int "s" 4 p.Si_reduction.s;
+  Test_util.check_int "m = (s/2)^l" 4 p.Si_reduction.m;
+  Alcotest.check_raises "b >= 2"
+    (Invalid_argument "Si_reduction.params: need b >= 2 (s/2 >= 2)") (fun () ->
+      ignore (Si_reduction.params ~b:1 ~l:1))
+
+let test_repr () =
+  let p = Si_reduction.params ~b:3 ~l:2 in
+  (* base 4 digits: repr [|1; 2|] = 1 + 2*4 = 9 mod 16 *)
+  Test_util.check_int "repr" 9 (Si_reduction.repr p [| 1; 2 |]);
+  (* index_vector inverts repr on [0, s/2-1]^l *)
+  for a = 0 to p.Si_reduction.m - 1 do
+    Test_util.check_int "roundtrip" a
+      (Si_reduction.repr p (Si_reduction.index_vector p a))
+  done;
+  (* repr also folds overflowing digits modulo m *)
+  Test_util.check_int "mod fold" ((3 + (7 * 4)) mod 16)
+    (Si_reduction.repr p [| 3; 7 |])
+
+let test_graph_of_string () =
+  let p = Si_reduction.params ~b:2 ~l:1 in
+  let s = [| true; false |] in
+  let g = Si_reduction.graph_of_string p s in
+  (* kept iff S[repr x] = 1: repr [|0|] = 0 (bit true, kept),
+     repr [|1|] = 1 (bit false, removed) *)
+  Test_util.check_bool "x=0 kept" false
+    (Grid_graph.is_removed g (Grid_graph.middle g [| 0 |]));
+  Test_util.check_bool "x=1 removed" true
+    (Grid_graph.is_removed g (Grid_graph.middle g [| 1 |]));
+  (* repr [|2|] = 2 mod 2 = 0 -> kept; repr [|3|] = 3 mod 2 = 1 -> removed *)
+  Test_util.check_bool "x=2 kept" false
+    (Grid_graph.is_removed g (Grid_graph.middle g [| 2 |]))
+
+let protocol_correct_small =
+  Test_util.qcheck "Theorem 1.6 protocol exhaustively correct (b=2, l=1)"
+    ~count:4
+    QCheck2.Gen.(list_size (return 2) bool)
+    (fun bits ->
+      let p = Si_reduction.params ~b:2 ~l:1 in
+      let s = Array.of_list bits in
+      Sum_index.correct_on (Si_reduction.protocol p) s)
+
+let test_protocol_correct_b2_l2 () =
+  let p = Si_reduction.params ~b:2 ~l:2 in
+  let rng = Test_util.rng () in
+  for _ = 1 to 3 do
+    let s = Sum_index.random_instance rng p.Si_reduction.m in
+    Test_util.check_bool "correct" true
+      (Sum_index.correct_on (Si_reduction.protocol p) s)
+  done
+
+let test_protocol_correct_b3_l1 () =
+  let p = Si_reduction.params ~b:3 ~l:1 in
+  let rng = Test_util.rng () in
+  let s = Sum_index.random_instance rng p.Si_reduction.m in
+  Test_util.check_bool "correct" true
+    (Sum_index.correct_on (Si_reduction.protocol p) s)
+
+let test_protocol_all_zero_all_one () =
+  (* degenerate strings: all middle vertices removed / all kept *)
+  let p = Si_reduction.params ~b:2 ~l:1 in
+  let zero = [| false; false |] and one = [| true; true |] in
+  Test_util.check_bool "all-zero" true
+    (Sum_index.correct_on (Si_reduction.protocol p) zero);
+  Test_util.check_bool "all-one" true
+    (Sum_index.correct_on (Si_reduction.protocol p) one)
+
+let test_protocol_gadget_literal () =
+  (* the literal degree-3 variant: labels computed on G'_{b,l} itself *)
+  let p = Si_reduction.params ~b:2 ~l:1 in
+  List.iter
+    (fun s ->
+      Test_util.check_bool "gadget protocol correct" true
+        (Sum_index.correct_on (Si_reduction.protocol_gadget p) s))
+    [ [| true; false |]; [| false; false |]; [| true; true |] ]
+
+let test_message_accounting () =
+  let p = Si_reduction.params ~b:2 ~l:2 in
+  let s = Sum_index.random_instance (Test_util.rng ()) p.Si_reduction.m in
+  let proto = Si_reduction.protocol p in
+  let ma, mb = Sum_index.max_message_bits proto s in
+  Test_util.check_bool "messages non-trivial" true (ma > 0 && mb > 0);
+  Test_util.check_bool "prediction is a float >= 0" true
+    (Si_reduction.predicted_label_bits p >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "ground truth" `Quick test_answer;
+    trivial_correct;
+    Alcotest.test_case "trivial message sizes" `Quick test_trivial_message_sizes;
+    Alcotest.test_case "bound shapes" `Quick test_bounds_shapes;
+    Alcotest.test_case "params" `Quick test_params;
+    Alcotest.test_case "repr/index_vector" `Quick test_repr;
+    Alcotest.test_case "graph_of_string removals" `Quick test_graph_of_string;
+    protocol_correct_small;
+    Alcotest.test_case "protocol b=2 l=2" `Slow test_protocol_correct_b2_l2;
+    Alcotest.test_case "protocol b=3 l=1" `Slow test_protocol_correct_b3_l1;
+    Alcotest.test_case "degenerate strings" `Quick test_protocol_all_zero_all_one;
+    Alcotest.test_case "literal degree-3 protocol" `Slow
+      test_protocol_gadget_literal;
+    Alcotest.test_case "message accounting" `Quick test_message_accounting;
+  ]

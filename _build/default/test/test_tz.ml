@@ -1,0 +1,77 @@
+(* Tests for the Thorup–Zwick stretch-3 oracle and the consolidated
+   theorem certificates. *)
+
+open Repro_graph
+open Repro_core
+
+let tz_never_underestimates_and_stretch3 =
+  Test_util.qcheck "TZ oracle: exact <= estimate <= 3x" ~count:40
+    Test_util.small_connected_gen (fun params ->
+      let g = Test_util.build_connected params in
+      let t = Tz_oracle.build ~rng:(Test_util.rng ()) g in
+      Tz_oracle.max_stretch g t <= 3.0)
+
+let tz_disconnected =
+  Test_util.qcheck "TZ oracle on disconnected graphs" ~count:20
+    Test_util.small_graph_gen (fun params ->
+      let g = Test_util.build_graph params in
+      let t = Tz_oracle.build ~rng:(Test_util.rng ()) g in
+      let n = Graph.n g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let dist = Traversal.bfs g u in
+        for v = 0 to n - 1 do
+          let est = Tz_oracle.query t u v in
+          if Dist.is_finite dist.(v) then begin
+            if est < dist.(v) || est > 3 * max dist.(v) 1 then ok := false
+          end
+          else if Dist.is_finite est then ok := false
+        done
+      done;
+      !ok)
+
+let test_tz_exact_within_bunch () =
+  (* on a star everything is at distance <= 2; the oracle must answer
+     pairs through the centre within stretch (and exactly for centre
+     pairs) *)
+  let g = Generators.star 20 in
+  let t = Tz_oracle.build ~rng:(Test_util.rng ()) g in
+  Test_util.check_int "centre to leaf exact" 1 (Tz_oracle.query t 0 5);
+  Test_util.check_bool "leaf to leaf within stretch" true
+    (Tz_oracle.query t 3 7 <= 6);
+  Test_util.check_bool "space positive" true (Tz_oracle.space_words t > 0);
+  Test_util.check_bool "sample non-empty" true (Tz_oracle.sample_size t >= 1);
+  Test_util.check_bool "bunches bounded" true (Tz_oracle.avg_bunch_size t >= 0.0)
+
+let test_tz_space_below_full_matrix () =
+  let rng = Test_util.rng () in
+  let g = Generators.random_connected rng ~n:400 ~m:800 in
+  let t = Tz_oracle.build ~rng g in
+  Test_util.check_bool "space below n^2" true
+    (Tz_oracle.space_words t < 400 * 400)
+
+let test_theorem_battery () =
+  let verdicts = Theorems.check_all ~seed:7 in
+  Test_util.check_bool "non-empty" true (List.length verdicts >= 15);
+  List.iter
+    (fun vd ->
+      if not vd.Theorems.holds then
+        Alcotest.failf "theorem check failed: %s (%s)" vd.Theorems.claim
+          vd.Theorems.detail)
+    verdicts
+
+let test_verdict_printer () =
+  let vd = { Theorems.claim = "c"; holds = true; detail = "d" } in
+  Alcotest.(check string) "format" "[OK] c — d"
+    (Format.asprintf "%a" Theorems.pp_verdict vd)
+
+let suite =
+  [
+    tz_never_underestimates_and_stretch3;
+    tz_disconnected;
+    Alcotest.test_case "TZ on a star" `Quick test_tz_exact_within_bunch;
+    Alcotest.test_case "TZ space below matrix" `Quick
+      test_tz_space_below_full_matrix;
+    Alcotest.test_case "theorem battery" `Slow test_theorem_battery;
+    Alcotest.test_case "verdict printer" `Quick test_verdict_printer;
+  ]
