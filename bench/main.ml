@@ -38,6 +38,20 @@ let bipartite_instance =
 
 let tree4095 = Generators.balanced_binary_tree ~depth:11
 
+(* Serving-layer fixtures: the direct hub path ("pll-query" above) vs.
+   the resilient wrapper in its three regimes — trusting primary,
+   spot-checked primary, and the pure fallback chain (no labels, so
+   every query runs the budgeted bidirectional search). *)
+let serve_primary =
+  Repro_serve.Resilient_oracle.create ~spot_check_every:0 ~labels:labels_sparse
+    sparse2000
+
+let serve_checked =
+  Repro_serve.Resilient_oracle.create ~spot_check_every:8 ~labels:labels_sparse
+    sparse2000
+
+let serve_fallback = Repro_serve.Resilient_oracle.create sparse2000
+
 let tests =
   Test.make_grouped ~name:"hubhard" ~fmt:"%s %s"
     [
@@ -76,6 +90,24 @@ let tests =
       Test.make ~name:"random-hitting d=6 grid-16x16"
         (Staged.stage (fun () ->
              ignore (Random_hitting.build ~rng:(rng ()) ~d:6 grid16)));
+      Test.make ~name:"serve-query primary x1024 sparse-2000"
+        (Staged.stage (fun () ->
+             Array.iter
+               (fun (u, v) ->
+                 ignore (Repro_serve.Resilient_oracle.query serve_primary u v))
+               query_pairs));
+      Test.make ~name:"serve-query checked-1/8 x1024 sparse-2000"
+        (Staged.stage (fun () ->
+             Array.iter
+               (fun (u, v) ->
+                 ignore (Repro_serve.Resilient_oracle.query serve_checked u v))
+               query_pairs));
+      Test.make ~name:"serve-query fallback x1024 sparse-2000"
+        (Staged.stage (fun () ->
+             Array.iter
+               (fun (u, v) ->
+                 ignore (Repro_serve.Resilient_oracle.query serve_fallback u v))
+               query_pairs));
     ]
 
 let benchmark () =

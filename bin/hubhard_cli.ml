@@ -136,7 +136,14 @@ let label_cmd =
     let doc = "Exhaustively verify the labeling is an exact cover." in
     Arg.(value & flag & info [ "verify" ] ~doc)
   in
-  let run kind n scheme d verify seed =
+  let out =
+    let doc =
+      "Write the labeling in Hub_io format to $(docv) ('-' for stdout), and \
+       the graph next to it as $(docv).graph (for 'hubhard serve')."
+    in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run kind n scheme d verify out seed =
     let rng = rng_of seed in
     match
       let g = graph_of_kind rng kind n in
@@ -160,13 +167,25 @@ let label_cmd =
         print_endline (Hub_stats.report labels);
         if verify then
           Printf.printf "exact cover: %b\n" (Cover.verify g labels);
+        (match out with
+        | None -> ()
+        | Some "-" -> print_string (Hub_io.to_string labels)
+        | Some path ->
+            let write p s =
+              let oc = open_out p in
+              output_string oc s;
+              close_out oc
+            in
+            write path (Hub_io.to_string labels);
+            write (path ^ ".graph") (Graph_io.to_string g);
+            Printf.printf "wrote %s and %s.graph\n" path path);
         `Ok ()
     | exception Invalid_argument msg -> `Error (false, msg)
   in
   let doc = "Build a hub labeling over a generated graph and report sizes." in
   Cmd.v
     (Cmd.info "label" ~doc)
-    Term.(ret (const run $ kind $ n $ scheme $ d $ verify $ seed_arg))
+    Term.(ret (const run $ kind $ n $ scheme $ d $ verify $ out $ seed_arg))
 
 (* ---------------------------------------------------------------- *)
 (* sumindex                                                           *)
@@ -259,6 +278,249 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc) Term.(ret (const run $ seed_arg))
 
 (* ---------------------------------------------------------------- *)
+(* serve                                                              *)
+
+(* The resilient serving path. Distinct exit codes so callers can
+   script against the failure taxonomy (see docs/ROBUSTNESS.md):
+   10 = input did not parse, 11 = input parsed but failed validation,
+   12 = all answers served but some came from a degraded (fallback)
+   path or the primary was quarantined. *)
+
+module Resilient_oracle = Repro_serve.Resilient_oracle
+module Fault_injector = Repro_serve.Fault_injector
+
+let exit_parse_failure = 10
+let exit_validation_failure = 11
+let exit_degraded = 12
+
+let read_input = function
+  | "-" ->
+      let buf = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_string buf (input_line stdin);
+           Buffer.add_char buf '\n'
+         done
+       with End_of_file -> ());
+      Buffer.contents buf
+  | path -> (
+      match open_in_bin path with
+      | ic ->
+          let s = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          s
+      | exception Sys_error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit exit_parse_failure)
+
+let parse_graph_exit path =
+  match Graph_io.of_string_res (read_input path) with
+  | Ok g -> g
+  | Error e ->
+      Printf.eprintf "%s: parse failure: %s\n" path
+        (Graph_io.string_of_parse_error e);
+      exit exit_parse_failure
+
+let parse_labels_exit path =
+  match Hub_io.of_string_res (read_input path) with
+  | Ok l -> l
+  | Error e ->
+      Printf.eprintf "%s: parse failure: %s\n" path
+        (Graph_io.string_of_parse_error e);
+      exit exit_parse_failure
+
+let structural_exit g labels =
+  match Hub_verify.structural g labels with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "validation failure: %s\n" msg;
+      exit exit_validation_failure
+
+let graph_file_arg =
+  let doc = "Graph file in Graph_io format ('-' for stdin)." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "graph-file" ] ~docv:"FILE" ~doc)
+
+let labels_file_req_arg =
+  let doc = "Hub labeling file in Hub_io format ('-' for stdin)." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "labels-file" ] ~docv:"FILE" ~doc)
+
+let serve_check_cmd =
+  let samples =
+    let doc = "Number of BFS sources sampled for the cover check." in
+    Arg.(value & opt int 8 & info [ "samples" ] ~docv:"K" ~doc)
+  in
+  let run graph_file labels_file samples seed =
+    let g = parse_graph_exit graph_file in
+    let labels = parse_labels_exit labels_file in
+    structural_exit g labels;
+    let report = Hub_verify.verify ~samples ~rng:(rng_of seed) g labels in
+    Format.printf "%a@." Hub_verify.pp_report report;
+    if Hub_verify.ok report then
+      print_endline "labeling validated: structural + sampled cover checks ok"
+    else begin
+      Printf.eprintf
+        "validation failure: %d stored mismatches, %d cover violations on \
+         sampled pairs\n"
+        report.Hub_verify.stored_mismatches report.Hub_verify.cover_violations;
+      exit exit_validation_failure
+    end
+  in
+  let doc =
+    "Validate a graph + labeling pair: parse with line-precise errors (exit \
+     10), then run structural and sampled cover-property checks (exit 11 on \
+     failure)."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ graph_file_arg $ labels_file_req_arg $ samples $ seed_arg)
+
+let serve_query_cmd =
+  let labels_file =
+    let doc =
+      "Optional hub labeling file; without it queries are served by the \
+       search chain only."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "labels-file" ] ~docv:"FILE" ~doc)
+  in
+  let pairs =
+    let doc = "Query pair 'u,v' (repeatable)." in
+    Arg.(
+      value & opt_all (pair ~sep:',' int int) [] & info [ "pair" ] ~docv:"U,V" ~doc)
+  in
+  let num =
+    let doc = "Number of random query pairs when no --pair is given." in
+    Arg.(value & opt int 16 & info [ "num" ] ~docv:"N" ~doc)
+  in
+  let budget =
+    let doc =
+      "Per-query step budget (label scan / bidirectional expansions); 0 \
+       means unlimited."
+    in
+    Arg.(value & opt int 0 & info [ "budget" ] ~docv:"B" ~doc)
+  in
+  let spot_check =
+    let doc = "Spot-check every K-th primary answer (0 disables)." in
+    Arg.(value & opt int 1 & info [ "spot-check-every" ] ~docv:"K" ~doc)
+  in
+  let quarantine_after =
+    let doc = "Quarantine the primary after this many strikes." in
+    Arg.(value & opt int 3 & info [ "quarantine-after" ] ~docv:"Q" ~doc)
+  in
+  let inject_fraction =
+    let doc =
+      "Deterministically inject faults into this fraction of primary calls \
+       (demonstration/testing)."
+    in
+    Arg.(value & opt float 0.0 & info [ "inject-fraction" ] ~docv:"F" ~doc)
+  in
+  let inject_mode =
+    let doc = "Injected fault kind: $(docv) is corrupt, drop or fail." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("corrupt", Fault_injector.Corrupt);
+               ("drop", Fault_injector.Drop);
+               ("fail", Fault_injector.Fail);
+             ])
+          Fault_injector.Corrupt
+      & info [ "inject-mode" ] ~docv:"MODE" ~doc)
+  in
+  let run graph_file labels_file pairs num budget spot_check quarantine_after
+      inject_fraction inject_mode seed =
+    if inject_fraction < 0.0 || inject_fraction > 1.0 then begin
+      Printf.eprintf "hubhard: --inject-fraction must lie in [0, 1]\n";
+      exit 124
+    end;
+    let g = parse_graph_exit graph_file in
+    let n = Graph.n g in
+    if n = 0 then begin
+      Printf.eprintf "validation failure: empty graph\n";
+      exit exit_validation_failure
+    end;
+    let labels = Option.map parse_labels_exit labels_file in
+    Option.iter (structural_exit g) labels;
+    let step_budget = if budget > 0 then Some budget else None in
+    let oracle =
+      match labels with
+      | None ->
+          Resilient_oracle.create ?step_budget ~spot_check_every:spot_check
+            ~quarantine_after g
+      | Some l ->
+          if inject_fraction > 0.0 then
+            let inj =
+              Fault_injector.create ~seed ~fraction:inject_fraction inject_mode
+            in
+            Resilient_oracle.with_primary ?step_budget
+              ~spot_check_every:spot_check ~quarantine_after
+              ~name:"hub-labeling+faults"
+              (Fault_injector.wrap inj (Hub_label.query l))
+              g
+          else
+            Resilient_oracle.create ?step_budget ~spot_check_every:spot_check
+              ~quarantine_after ~labels:l g
+    in
+    let pairs =
+      if pairs <> [] then pairs
+      else
+        let rng = rng_of seed in
+        List.init num (fun _ ->
+            (Random.State.int rng n, Random.State.int rng n))
+    in
+    List.iter
+      (fun (u, v) ->
+        if u < 0 || u >= n || v < 0 || v >= n then begin
+          Printf.eprintf "validation failure: pair (%d, %d) out of range\n" u v;
+          exit exit_validation_failure
+        end)
+      pairs;
+    List.iter
+      (fun (u, v) ->
+        let d, src = Resilient_oracle.query_detailed oracle u v in
+        Format.printf "%d %d %a %s@." u v Dist.pp d
+          (Resilient_oracle.source_name src))
+      pairs;
+    let s = Resilient_oracle.stats oracle in
+    Format.printf "stats: %a@." Resilient_oracle.pp_stats s;
+    if Resilient_oracle.quarantined oracle then
+      Format.printf "quarantined: %s@."
+        (Option.value ~default:"primary"
+           (Resilient_oracle.primary_name oracle));
+    if
+      s.Resilient_oracle.fallback_answers > 0
+      || s.Resilient_oracle.quarantines > 0
+      || s.Resilient_oracle.faults > 0
+    then exit exit_degraded
+  in
+  let doc =
+    "Answer distance queries through the resilient serving path (exit 12 \
+     when any answer came from a degraded/fallback path)."
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(
+      const run $ graph_file_arg $ labels_file $ pairs $ num $ budget
+      $ spot_check $ quarantine_after $ inject_fraction $ inject_mode
+      $ seed_arg)
+
+let serve_cmd =
+  let doc =
+    "Resilient serving path: validated inputs, spot-checked answers, \
+     graceful degradation (hub labels -> bidirectional search -> BFS). Exit \
+     codes: 10 parse failure, 11 validation failure, 12 degraded-mode \
+     answers."
+  in
+  Cmd.group (Cmd.info "serve" ~doc) [ serve_check_cmd; serve_query_cmd ]
+
+(* ---------------------------------------------------------------- *)
 
 let default =
   let doc =
@@ -266,6 +528,7 @@ let default =
      through hub labeling' (PODC 2019)."
   in
   let info = Cmd.info "hubhard" ~version:"1.0.0" ~doc in
-  Cmd.group info [ exp_cmd; lemma_cmd; label_cmd; sumindex_cmd; gen_cmd; check_cmd ]
+  Cmd.group info
+    [ exp_cmd; lemma_cmd; label_cmd; sumindex_cmd; gen_cmd; check_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval default)

@@ -47,6 +47,7 @@ module Separator_label = Repro_hub.Separator_label
 module Spc = Repro_hub.Spc
 module Canonical_hhl = Repro_hub.Canonical_hhl
 module Hub_io = Repro_hub.Hub_io
+module Hub_verify = Repro_hub.Hub_verify
 
 module Bitvec = Repro_labeling.Bitvec
 module Bit_io = Repro_labeling.Bit_io

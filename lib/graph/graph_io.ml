@@ -1,3 +1,14 @@
+type parse_error = { line : int; msg : string }
+
+exception Parse of parse_error
+
+let fail line msg = raise (Parse { line; msg })
+
+let string_of_parse_error e =
+  if e.line = 0 then e.msg else Printf.sprintf "line %d: %s" e.line e.msg
+
+let pp_parse_error ppf e = Format.pp_print_string ppf (string_of_parse_error e)
+
 let to_string g =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "%d %d\n" (Graph.n g) (Graph.m g));
@@ -5,37 +16,67 @@ let to_string g =
       Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
   Buffer.contents buf
 
-let lines_of s =
+(* Trimmed non-blank, non-comment lines, each tagged with its 1-based
+   position in the raw input so parse errors can point at it. *)
+let numbered_lines s =
   String.split_on_char '\n' s
-  |> List.map String.trim
-  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
 
-let ints_of_line line =
+let ints_of_line ~what ln line =
   String.split_on_char ' ' line
   |> List.filter (fun t -> t <> "")
   |> List.map (fun t ->
          match int_of_string_opt t with
          | Some i -> i
-         | None -> invalid_arg ("Graph_io: bad token " ^ t))
+         | None -> fail ln (what ^ ": bad token " ^ t))
+
+let header_of ~what = function
+  | [] -> fail 0 (what ^ ": empty input")
+  | (ln, header) :: rest -> (
+      match ints_of_line ~what ln header with
+      | [ n; m ] ->
+          if n < 0 then fail ln (what ^ ": negative vertex count");
+          if m < 0 then fail ln (what ^ ": negative edge count");
+          ((ln, n, m), rest)
+      | _ -> fail ln (what ^ ": bad header"))
+
+let check_endpoints ~what ln ~n u v =
+  if u < 0 || u >= n || v < 0 || v >= n then
+    fail ln (what ^ ": endpoint out of range");
+  if u = v then fail ln (what ^ ": self loop")
+
+let duplicate_guard ~what =
+  let seen = Hashtbl.create 64 in
+  fun ln u v ->
+    let key = (min u v, max u v) in
+    if Hashtbl.mem seen key then fail ln (what ^ ": duplicate edge");
+    Hashtbl.add seen key ()
+
+let of_string_res s =
+  let what = "Graph_io.of_string" in
+  try
+    let (hln, n, m), rest = header_of ~what (numbered_lines s) in
+    if List.length rest <> m then fail hln (what ^ ": edge count mismatch");
+    let dup = duplicate_guard ~what in
+    let edges =
+      List.map
+        (fun (ln, l) ->
+          match ints_of_line ~what ln l with
+          | [ u; v ] ->
+              check_endpoints ~what ln ~n u v;
+              dup ln u v;
+              (u, v)
+          | _ -> fail ln (what ^ ": bad edge line"))
+        rest
+    in
+    match Graph.of_edges ~n edges with
+    | g -> Ok g
+    | exception Invalid_argument msg -> fail 0 msg
+  with Parse e -> Error e
 
 let of_string s =
-  match lines_of s with
-  | [] -> invalid_arg "Graph_io.of_string: empty input"
-  | header :: rest -> (
-      match ints_of_line header with
-      | [ n; m ] ->
-          if List.length rest <> m then
-            invalid_arg "Graph_io.of_string: edge count mismatch";
-          let edges =
-            List.map
-              (fun l ->
-                match ints_of_line l with
-                | [ u; v ] -> (u, v)
-                | _ -> invalid_arg "Graph_io.of_string: bad edge line")
-              rest
-          in
-          Graph.of_edges ~n edges
-      | _ -> invalid_arg "Graph_io.of_string: bad header")
+  match of_string_res s with Ok g -> g | Error e -> invalid_arg e.msg
 
 let wgraph_to_string g =
   let buf = Buffer.create 1024 in
@@ -45,24 +86,31 @@ let wgraph_to_string g =
     (Wgraph.edges g);
   Buffer.contents buf
 
+let wgraph_of_string_res s =
+  let what = "Graph_io.wgraph_of_string" in
+  try
+    let (hln, n, m), rest = header_of ~what (numbered_lines s) in
+    if List.length rest <> m then fail hln (what ^ ": edge count mismatch");
+    let dup = duplicate_guard ~what in
+    let edges =
+      List.map
+        (fun (ln, l) ->
+          match ints_of_line ~what ln l with
+          | [ u; v; w ] ->
+              check_endpoints ~what ln ~n u v;
+              if w < 0 then fail ln (what ^ ": negative weight");
+              dup ln u v;
+              (u, v, w)
+          | _ -> fail ln (what ^ ": bad edge line"))
+        rest
+    in
+    match Wgraph.of_edges ~n edges with
+    | g -> Ok g
+    | exception Invalid_argument msg -> fail 0 msg
+  with Parse e -> Error e
+
 let wgraph_of_string s =
-  match lines_of s with
-  | [] -> invalid_arg "Graph_io.wgraph_of_string: empty input"
-  | header :: rest -> (
-      match ints_of_line header with
-      | [ n; m ] ->
-          if List.length rest <> m then
-            invalid_arg "Graph_io.wgraph_of_string: edge count mismatch";
-          let edges =
-            List.map
-              (fun l ->
-                match ints_of_line l with
-                | [ u; v; w ] -> (u, v, w)
-                | _ -> invalid_arg "Graph_io.wgraph_of_string: bad edge line")
-              rest
-          in
-          Wgraph.of_edges ~n edges
-      | _ -> invalid_arg "Graph_io.wgraph_of_string: bad header")
+  match wgraph_of_string_res s with Ok g -> g | Error e -> invalid_arg e.msg
 
 let to_dot ?(name = "g") g =
   let buf = Buffer.create 1024 in

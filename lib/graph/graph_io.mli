@@ -1,14 +1,38 @@
 (** Plain-text graph serialisation.
 
     The format is one header line ["n m"] followed by [m] lines
-    ["u v"] (or ["u v w"] in the weighted variant), 0-indexed. *)
+    ["u v"] (or ["u v w"] in the weighted variant), 0-indexed. Blank
+    lines and [#]-comments are ignored.
+
+    The [_res] parsers are the validated entry points of the serving
+    layer: they reject out-of-range endpoints, self loops, duplicate
+    edges and negative weights, and report the offending input line.
+    [of_string]/[wgraph_of_string] are thin wrappers that raise
+    [Invalid_argument] with the same message instead. *)
+
+type parse_error = { line : int; msg : string }
+(** [line] is 1-based in the raw input (blank and comment lines
+    counted); [0] when no single line is to blame. *)
+
+val string_of_parse_error : parse_error -> string
+val pp_parse_error : Format.formatter -> parse_error -> unit
 
 val to_string : Graph.t -> string
+
+val of_string_res : string -> (Graph.t, parse_error) result
+(** Validated parse: every endpoint must lie in [0 .. n-1], edges must
+    be simple and distinct, and the edge count must match the header. *)
+
 val of_string : string -> Graph.t
 (** @raise Invalid_argument on malformed input. *)
 
 val wgraph_to_string : Wgraph.t -> string
+
+val wgraph_of_string_res : string -> (Wgraph.t, parse_error) result
+(** As {!of_string_res}, additionally rejecting negative weights. *)
+
 val wgraph_of_string : string -> Wgraph.t
+(** @raise Invalid_argument on malformed input. *)
 
 val to_dot : ?name:string -> Graph.t -> string
 (** Graphviz rendering, for small illustrative instances. *)

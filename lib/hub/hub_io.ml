@@ -1,3 +1,9 @@
+type parse_error = Repro_graph.Graph_io.parse_error = { line : int; msg : string }
+
+exception Parse of parse_error
+
+let fail line msg = raise (Parse { line; msg })
+
 let to_string labels =
   let buf = Buffer.create 4096 in
   let n = Hub_label.n labels in
@@ -13,43 +19,69 @@ let to_string labels =
   done;
   Buffer.contents buf
 
+let numbered_lines s =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+
+let ints ln line =
+  String.split_on_char ' ' line
+  |> List.filter (fun t -> t <> "")
+  |> List.map (fun t ->
+         match int_of_string_opt t with
+         | Some i -> i
+         | None -> fail ln ("Hub_io.of_string: bad token " ^ t))
+
+let of_string_res s =
+  let what = "Hub_io.of_string" in
+  try
+    match numbered_lines s with
+    | [] -> fail 0 (what ^ ": empty input")
+    | (hln, header) :: rest -> (
+        match ints hln header with
+        | [ n; total ] ->
+            if n < 0 then fail hln (what ^ ": negative vertex count");
+            if total < 0 then fail hln (what ^ ": negative total size");
+            if List.length rest <> n then
+              fail hln (what ^ ": vertex count mismatch");
+            let sets = Array.make n [] in
+            let seen = Array.make n false in
+            let declared = ref 0 in
+            List.iter
+              (fun (ln, line) ->
+                match ints ln line with
+                | v :: k :: pairs ->
+                    if v < 0 || v >= n then
+                      fail ln (what ^ ": vertex out of range");
+                    if seen.(v) then
+                      fail ln (what ^ ": duplicate vertex line");
+                    seen.(v) <- true;
+                    if k < 0 then fail ln (what ^ ": negative hub count");
+                    if List.length pairs <> 2 * k then
+                      fail ln (what ^ ": pair count mismatch");
+                    declared := !declared + k;
+                    let rec collect = function
+                      | [] -> []
+                      | h :: d :: tl ->
+                          if h < 0 || h >= n then
+                            fail ln (what ^ ": hub out of range");
+                          if d < 0 then
+                            fail ln (what ^ ": negative distance");
+                          (h, d) :: collect tl
+                      | [ _ ] ->
+                          (* unreachable: [pairs] has even length 2k *)
+                          fail ln (what ^ ": odd pair list")
+                    in
+                    sets.(v) <- collect pairs
+                | _ -> fail ln (what ^ ": bad vertex line"))
+              rest;
+            if !declared <> total then
+              fail hln (what ^ ": total size mismatch");
+            (match Hub_label.make ~n sets with
+            | labels -> Ok labels
+            | exception Invalid_argument msg -> fail 0 msg)
+        | _ -> fail hln (what ^ ": bad header"))
+  with Parse e -> Error e
+
 let of_string s =
-  let lines =
-    String.split_on_char '\n' s
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "")
-  in
-  let ints line =
-    String.split_on_char ' ' line
-    |> List.filter (fun t -> t <> "")
-    |> List.map (fun t ->
-           match int_of_string_opt t with
-           | Some i -> i
-           | None -> invalid_arg ("Hub_io.of_string: bad token " ^ t))
-  in
-  match lines with
-  | [] -> invalid_arg "Hub_io.of_string: empty input"
-  | header :: rest -> (
-      match ints header with
-      | [ n; _total ] ->
-          if List.length rest <> n then
-            invalid_arg "Hub_io.of_string: vertex count mismatch";
-          let sets = Array.make n [] in
-          List.iter
-            (fun line ->
-              match ints line with
-              | v :: k :: pairs ->
-                  if v < 0 || v >= n then
-                    invalid_arg "Hub_io.of_string: vertex out of range";
-                  if List.length pairs <> 2 * k then
-                    invalid_arg "Hub_io.of_string: pair count mismatch";
-                  let rec collect = function
-                    | [] -> []
-                    | h :: d :: rest -> (h, d) :: collect rest
-                    | [ _ ] -> invalid_arg "Hub_io.of_string: odd pair list"
-                  in
-                  sets.(v) <- collect pairs
-              | _ -> invalid_arg "Hub_io.of_string: bad vertex line")
-            rest;
-          Hub_label.make ~n sets
-      | _ -> invalid_arg "Hub_io.of_string: bad header")
+  match of_string_res s with Ok l -> l | Error e -> invalid_arg e.msg

@@ -1,9 +1,22 @@
 (** Plain-text serialisation of hub labelings.
 
     Format: header ["n total"], then one line per vertex:
-    ["v k h1 d1 h2 d2 ..."]. Lossless. *)
+    ["v k h1 d1 h2 d2 ..."]. Lossless. Blank lines and [#]-comments
+    are ignored.
+
+    {!of_string_res} is the validated entry point of the serving
+    layer: it rejects out-of-range vertex/hub ids, negative distances,
+    duplicate vertex lines, and count mismatches against the header,
+    reporting the offending input line. *)
+
+type parse_error = Repro_graph.Graph_io.parse_error = {
+  line : int;
+  msg : string;
+}
 
 val to_string : Hub_label.t -> string
+
+val of_string_res : string -> (Hub_label.t, parse_error) result
 
 val of_string : string -> Hub_label.t
 (** @raise Invalid_argument on malformed input. *)

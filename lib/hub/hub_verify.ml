@@ -1,0 +1,79 @@
+open Repro_graph
+
+type report = {
+  n : int;
+  entries : int;
+  missing_self : int;
+  sources_checked : int;
+  stored_mismatches : int;
+  pairs_checked : int;
+  cover_violations : int;
+}
+
+let ok r = r.stored_mismatches = 0 && r.cover_violations = 0
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "hub_verify(n=%d, entries=%d, missing_self=%d, sources=%d, \
+     stored_mismatches=%d, pairs=%d, cover_violations=%d)"
+    r.n r.entries r.missing_self r.sources_checked r.stored_mismatches
+    r.pairs_checked r.cover_violations
+
+let structural g labels =
+  let n = Graph.n g in
+  if Hub_label.n labels <> n then
+    Error
+      (Printf.sprintf
+         "Hub_verify.structural: labeling is over %d vertices but the graph \
+          has %d"
+         (Hub_label.n labels) n)
+  else begin
+    (* Hub_label.make already guarantees per-vertex sortedness, hub
+       range and non-negative distances; what remains is a bound no
+       unweighted distance can exceed. *)
+    let bad = ref None in
+    for v = 0 to n - 1 do
+      Array.iter
+        (fun (h, d) -> if !bad = None && d > n - 1 then bad := Some (v, h, d))
+        (Hub_label.hubs labels v)
+    done;
+    match !bad with
+    | Some (v, h, d) ->
+        Error
+          (Printf.sprintf
+             "Hub_verify.structural: S(%d) stores impossible distance %d to \
+              hub %d (n = %d)"
+             v d h n)
+    | None -> Ok ()
+  end
+
+let verify ?(samples = 8) ~rng g labels =
+  let n = Graph.n g in
+  let missing_self = ref 0 in
+  for v = 0 to n - 1 do
+    if Hub_label.dist_to_hub labels v ~hub:v <> Some 0 then incr missing_self
+  done;
+  let sources = if n = 0 then 0 else min samples n in
+  let stored_mismatches = ref 0 in
+  let pairs = ref 0 in
+  let violations = ref 0 in
+  for _ = 1 to sources do
+    let u = Random.State.int rng n in
+    let dist = Traversal.bfs g u in
+    Array.iter
+      (fun (h, d) -> if dist.(h) <> d then incr stored_mismatches)
+      (Hub_label.hubs labels u);
+    for v = 0 to n - 1 do
+      incr pairs;
+      if Hub_label.query labels u v <> dist.(v) then incr violations
+    done
+  done;
+  {
+    n;
+    entries = Hub_label.total_size labels;
+    missing_self = !missing_self;
+    sources_checked = sources;
+    stored_mismatches = !stored_mismatches;
+    pairs_checked = !pairs;
+    cover_violations = !violations;
+  }

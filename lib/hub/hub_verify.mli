@@ -1,0 +1,40 @@
+(** Trust-establishing checks for a {e loaded} hub labeling.
+
+    The constructions in this repository build exact labelings by
+    design, but a serving layer that reads a labeling from disk must
+    verify the cover assumption instead of silently returning wrong
+    distances when it fails ({!Cover} does the exhaustive version;
+    this module is the cheap screen the serving path runs at load
+    time). *)
+
+open Repro_graph
+
+type report = {
+  n : int;
+  entries : int;  (** total stored pairs *)
+  missing_self : int;  (** vertices [v] without [(v, 0) ∈ S(v)] *)
+  sources_checked : int;
+  stored_mismatches : int;
+      (** stored pairs [(h, d) ∈ S(u)] with [d ≠ dist(u, h)], over the
+          sampled sources [u] *)
+  pairs_checked : int;
+  cover_violations : int;
+      (** sampled pairs where the labeling answer differs from BFS *)
+}
+
+val structural : Graph.t -> Hub_label.t -> (unit, string) result
+(** O(total label size) sanity: the labeling and graph agree on [n],
+    and no stored distance exceeds [n - 1] (impossible in an
+    unweighted graph). *)
+
+val verify : ?samples:int -> rng:Random.State.t -> Graph.t -> Hub_label.t -> report
+(** [verify ~samples ~rng g labels] BFSes from [samples] random
+    sources (default 8) and checks, for each source, every stored
+    distance of its hubset and the cover property against every other
+    vertex. [missing_self] is informational and does not affect
+    {!ok} — a labeling can be exact without explicit self-hubs. *)
+
+val ok : report -> bool
+(** No stored mismatches and no cover violations. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,48 @@
+open Repro_graph
+
+let bidirectional g ~budget s t =
+  let n = Graph.n g in
+  if s < 0 || s >= n || t < 0 || t >= n then
+    invalid_arg "Budget_search.bidirectional";
+  if s = t then Some 0
+  else begin
+    let dist_f = Array.make n (-1) and dist_b = Array.make n (-1) in
+    dist_f.(s) <- 0;
+    dist_b.(t) <- 0;
+    let frontier_f = ref [ s ] and frontier_b = ref [ t ] in
+    let df = ref 0 and db = ref 0 in
+    let steps = ref 0 in
+    let best = ref Dist.inf in
+    (* Expand one full BFS level of one side. Levels are completed in
+       order, so [dist] holds exact distances for every labeled vertex;
+       once [df + db >= best] no undiscovered s-t path can be shorter
+       than [best] (any such path of length L <= df + db has a vertex
+       labeled by both sides, whose label sum L was already folded into
+       [best] when the later of the two labelings happened). *)
+    let expand frontier dist other depth =
+      let next = ref [] in
+      List.iter
+        (fun u ->
+          incr steps;
+          if !steps > budget then raise Exit;
+          Graph.iter_neighbors g u (fun v ->
+              if dist.(v) < 0 then begin
+                dist.(v) <- !depth + 1;
+                if other.(v) >= 0 then
+                  best := min !best (dist.(v) + other.(v));
+                next := v :: !next
+              end))
+        !frontier;
+      frontier := !next;
+      incr depth
+    in
+    match
+      while !frontier_f <> [] && !frontier_b <> [] && !df + !db < !best do
+        if List.length !frontier_f <= List.length !frontier_b then
+          expand frontier_f dist_f dist_b df
+        else expand frontier_b dist_b dist_f db
+      done
+    with
+    | () -> Some (if Dist.is_finite !best then !best else Dist.inf)
+    | exception Exit -> None
+  end

@@ -1,0 +1,13 @@
+(** Budget-bounded point-to-point search — the middle stage of the
+    degradation chain in {!Resilient_oracle}.
+
+    The budget counts vertex expansions; exceeding it aborts the
+    search rather than serving a possibly-wrong partial answer. *)
+
+open Repro_graph
+
+val bidirectional : Graph.t -> budget:int -> int -> int -> int option
+(** Bidirectional BFS expanding the smaller frontier level by level.
+    [Some d] is a certified exact distance ([Some Dist.inf] certifies
+    disconnection); [None] means the budget ran out first.
+    @raise Invalid_argument on out-of-range endpoints. *)

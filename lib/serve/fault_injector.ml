@@ -1,0 +1,58 @@
+open Repro_graph
+open Repro_hub
+
+exception Injected_failure
+
+type mode = Corrupt | Drop | Fail
+
+type t = {
+  rng : Random.State.t;
+  fraction : float;
+  mode : mode;
+  mutable calls : int;
+  mutable injected : int;
+}
+
+let create ~seed ~fraction mode =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Fault_injector.create: fraction must lie in [0, 1]";
+  {
+    rng = Random.State.make [| seed; 0x0FA17 |];
+    fraction;
+    mode;
+    calls = 0;
+    injected = 0;
+  }
+
+let calls t = t.calls
+let injected t = t.injected
+
+let wrap t f u v =
+  t.calls <- t.calls + 1;
+  if Random.State.float t.rng 1.0 >= t.fraction then f u v
+  else begin
+    t.injected <- t.injected + 1;
+    match t.mode with
+    | Fail -> raise Injected_failure
+    | Drop -> Dist.inf
+    | Corrupt ->
+        let delta = 1 + Random.State.int t.rng 3 in
+        let d = f u v in
+        if not (Dist.is_finite d) then delta
+        else if d > delta && Random.State.bool t.rng then d - delta
+        else d + delta
+  end
+
+let corrupt_labels ~seed ~fraction labels =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Fault_injector.corrupt_labels: fraction must lie in [0, 1]";
+  let rng = Random.State.make [| seed; 0xC0B0 |] in
+  let n = Hub_label.n labels in
+  let sets =
+    Array.init n (fun v ->
+        List.map
+          (fun (h, d) ->
+            if Random.State.float rng 1.0 < fraction then (h, d + 1) else (h, d))
+          (Hub_label.hub_list labels v))
+  in
+  Hub_label.make ~n sets

@@ -1,0 +1,33 @@
+(** Deterministic (seeded) fault injection for hardening tests.
+
+    Wraps an oracle function and corrupts, drops or fails a
+    configurable fraction of calls, or perturbs label entries
+    wholesale. Given the seed and the call sequence, the injected
+    faults are fully reproducible, so tests against
+    {!Resilient_oracle} are deterministic. *)
+
+open Repro_hub
+
+exception Injected_failure
+
+type mode =
+  | Corrupt  (** return a wrong finite distance (off by a few, either way) *)
+  | Drop  (** claim the pair is disconnected *)
+  | Fail  (** raise {!Injected_failure} *)
+
+type t
+
+val create : seed:int -> fraction:float -> mode -> t
+(** @raise Invalid_argument unless [0 <= fraction <= 1]. *)
+
+val wrap : t -> (int -> int -> int) -> int -> int -> int
+(** [wrap t f] behaves as [f] except on the injected fraction of
+    calls. *)
+
+val calls : t -> int
+val injected : t -> int
+
+val corrupt_labels : seed:int -> fraction:float -> Hub_label.t -> Hub_label.t
+(** Off-by-one perturbation of a fraction of stored distances; the
+    result is structurally valid but no longer exact — what a
+    bit-rotted label file looks like to {!Hub_verify}. *)

@@ -1,0 +1,182 @@
+open Repro_graph
+open Repro_hub
+
+type source = Primary | Bidirectional | Bfs
+
+let source_name = function
+  | Primary -> "primary"
+  | Bidirectional -> "bidirectional"
+  | Bfs -> "bfs"
+
+type stats = {
+  queries : int;
+  primary_answers : int;
+  fallback_answers : int;
+  spot_checks : int;
+  disagreements : int;
+  faults : int;
+  budget_exhausted : int;
+  validation_failures : int;
+  quarantines : int;
+}
+
+exception Over_budget
+
+type t = {
+  graph : Graph.t;
+  prim_name : string option;
+  primary : (int -> int -> int) option;
+  step_budget : int;
+  spot_check_every : int;
+  quarantine_after : int;
+  mutable strikes : int;
+  mutable is_quarantined : bool;
+  mutable queries : int;
+  mutable primary_attempts : int;
+  mutable primary_answers : int;
+  mutable fallback_answers : int;
+  mutable spot_checks : int;
+  mutable disagreements : int;
+  mutable faults : int;
+  mutable budget_exhausted : int;
+  mutable validation_failures : int;
+  mutable quarantines : int;
+}
+
+let make ?(step_budget = max_int) ?(spot_check_every = 1)
+    ?(quarantine_after = 3) ~prim_name ~primary graph =
+  if step_budget <= 0 then
+    invalid_arg "Resilient_oracle: step_budget must be positive";
+  if quarantine_after <= 0 then
+    invalid_arg "Resilient_oracle: quarantine_after must be positive";
+  {
+    graph;
+    prim_name;
+    primary;
+    step_budget;
+    spot_check_every;
+    quarantine_after;
+    strikes = 0;
+    is_quarantined = false;
+    queries = 0;
+    primary_attempts = 0;
+    primary_answers = 0;
+    fallback_answers = 0;
+    spot_checks = 0;
+    disagreements = 0;
+    faults = 0;
+    budget_exhausted = 0;
+    validation_failures = 0;
+    quarantines = 0;
+  }
+
+let create ?step_budget ?spot_check_every ?quarantine_after ?labels g =
+  match labels with
+  | None ->
+      make ?step_budget ?spot_check_every ?quarantine_after ~prim_name:None
+        ~primary:None g
+  | Some l ->
+      if Hub_label.n l <> Graph.n g then
+        invalid_arg "Resilient_oracle.create: labeling and graph disagree on n";
+      let budget = Option.value step_budget ~default:max_int in
+      let q u v =
+        if Hub_label.size l u + Hub_label.size l v > budget then
+          raise Over_budget;
+        Hub_label.query l u v
+      in
+      make ?step_budget ?spot_check_every ?quarantine_after
+        ~prim_name:(Some "hub-labeling") ~primary:(Some q) g
+
+let with_primary ?step_budget ?spot_check_every ?quarantine_after ~name f g =
+  make ?step_budget ?spot_check_every ?quarantine_after ~prim_name:(Some name)
+    ~primary:(Some f) g
+
+let strike t =
+  t.strikes <- t.strikes + 1;
+  if (not t.is_quarantined) && t.strikes >= t.quarantine_after then begin
+    t.is_quarantined <- true;
+    t.quarantines <- t.quarantines + 1
+  end
+
+(* The chain below the primary. Plain BFS is the unbudgeted final
+   authority: it always terminates with the exact answer. *)
+let compute_fallback t u v =
+  match Budget_search.bidirectional t.graph ~budget:t.step_budget u v with
+  | Some d -> (d, Bidirectional)
+  | None ->
+      t.budget_exhausted <- t.budget_exhausted + 1;
+      ((Traversal.bfs t.graph u).(v), Bfs)
+
+let serve_fallback t u v =
+  let d, src = compute_fallback t u v in
+  t.fallback_answers <- t.fallback_answers + 1;
+  (d, src)
+
+let query_detailed t u v =
+  let n = Graph.n t.graph in
+  if u < 0 || u >= n || v < 0 || v >= n then begin
+    t.validation_failures <- t.validation_failures + 1;
+    invalid_arg "Resilient_oracle.query: vertex out of range"
+  end;
+  t.queries <- t.queries + 1;
+  match t.primary with
+  | Some p when not t.is_quarantined -> (
+      t.primary_attempts <- t.primary_attempts + 1;
+      match p u v with
+      | exception Over_budget ->
+          t.budget_exhausted <- t.budget_exhausted + 1;
+          serve_fallback t u v
+      | exception _ ->
+          t.faults <- t.faults + 1;
+          strike t;
+          serve_fallback t u v
+      | d ->
+          let checked =
+            t.spot_check_every > 0
+            && t.primary_attempts mod t.spot_check_every = 0
+          in
+          if not checked then begin
+            t.primary_answers <- t.primary_answers + 1;
+            (d, Primary)
+          end
+          else begin
+            t.spot_checks <- t.spot_checks + 1;
+            let truth, src = compute_fallback t u v in
+            if truth = d then begin
+              t.primary_answers <- t.primary_answers + 1;
+              (d, Primary)
+            end
+            else begin
+              t.disagreements <- t.disagreements + 1;
+              strike t;
+              t.fallback_answers <- t.fallback_answers + 1;
+              (truth, src)
+            end
+          end)
+  | _ -> serve_fallback t u v
+
+let query t u v = fst (query_detailed t u v)
+
+let stats t =
+  {
+    queries = t.queries;
+    primary_answers = t.primary_answers;
+    fallback_answers = t.fallback_answers;
+    spot_checks = t.spot_checks;
+    disagreements = t.disagreements;
+    faults = t.faults;
+    budget_exhausted = t.budget_exhausted;
+    validation_failures = t.validation_failures;
+    quarantines = t.quarantines;
+  }
+
+let quarantined t = t.is_quarantined
+let primary_name t = t.prim_name
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "queries=%d primary=%d fallback=%d spot_checks=%d disagreements=%d \
+     faults=%d budget_exhausted=%d validation_failures=%d quarantines=%d"
+    s.queries s.primary_answers s.fallback_answers s.spot_checks
+    s.disagreements s.faults s.budget_exhausted s.validation_failures
+    s.quarantines

@@ -1,0 +1,93 @@
+(** Resilient distance serving.
+
+    Wraps a fast-but-untrusted primary backend (typically hub labels,
+    possibly loaded from disk) with:
+
+    - {b input validation}: out-of-range endpoints are rejected and
+      counted, never forwarded to a backend;
+    - {b spot checks}: a configurable fraction of primary answers is
+      re-derived through the fallback chain, and the chain's answer is
+      the one served on disagreement;
+    - {b graceful degradation}: primary → budgeted bidirectional BFS →
+      plain BFS. Plain BFS on the stored graph is the unbudgeted final
+      authority, so every query terminates with the exact distance as
+      long as the graph itself is sound;
+    - {b quarantine}: after a configurable number of strikes
+      (disagreements or raised exceptions) the primary is taken out of
+      rotation for good;
+    - {b an incident log}: the {!stats} record counts everything the
+      degradation machinery did.
+
+    With [spot_check_every = 1] every served answer is exact whatever
+    the primary returns — the configuration the fault-injection suite
+    locks in (see {!Fault_injector}). *)
+
+open Repro_graph
+open Repro_hub
+
+type source = Primary | Bidirectional | Bfs
+
+val source_name : source -> string
+
+type stats = {
+  queries : int;  (** accepted queries (validation failures excluded) *)
+  primary_answers : int;  (** served by the primary (spot-checked or not) *)
+  fallback_answers : int;  (** served by the fallback chain *)
+  spot_checks : int;
+  disagreements : int;  (** spot check contradicted the primary *)
+  faults : int;  (** primary raised an exception *)
+  budget_exhausted : int;  (** a stage gave up on its step budget *)
+  validation_failures : int;  (** rejected out-of-range queries *)
+  quarantines : int;  (** 0 or 1: the primary was taken out of rotation *)
+}
+
+type t
+
+val create :
+  ?step_budget:int ->
+  ?spot_check_every:int ->
+  ?quarantine_after:int ->
+  ?labels:Hub_label.t ->
+  Graph.t ->
+  t
+(** [create g] builds a resilient oracle over [g]; [labels] is the
+    primary hub-label backend (omit it for a search-only oracle).
+
+    [spot_check_every k]: every [k]-th successful primary answer is
+    re-derived through the fallback chain; [k = 1] (default) verifies
+    every answer, [k <= 0] disables spot checks. [quarantine_after q]
+    (default 3): after [q] strikes the primary is never consulted
+    again. [step_budget] (default: effectively unlimited) caps both
+    the primary's label-scan length ([|S(u)| + |S(v)|]) and the
+    bidirectional stage's vertex expansions before degrading to plain
+    BFS.
+
+    @raise Invalid_argument if [labels] disagree with [g] on [n], or
+    on a non-positive [step_budget]/[quarantine_after]. *)
+
+val with_primary :
+  ?step_budget:int ->
+  ?spot_check_every:int ->
+  ?quarantine_after:int ->
+  name:string ->
+  (int -> int -> int) ->
+  Graph.t ->
+  t
+(** Arbitrary primary backend; exceptions it raises are contained and
+    count as faults/strikes. This is the hook the fault-injection
+    harness uses. *)
+
+val query : t -> int -> int -> int
+(** Exact distance ({!Dist.inf} when disconnected) whenever spot
+    checks are exhaustive or the primary is honest.
+    @raise Invalid_argument on out-of-range endpoints (counted in
+    [validation_failures]). *)
+
+val query_detailed : t -> int -> int -> int * source
+(** Like {!query}, also reporting which stage produced the served
+    answer — the CLI uses it to flag degraded-mode responses. *)
+
+val stats : t -> stats
+val quarantined : t -> bool
+val primary_name : t -> string option
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,57 @@
+(* Standalone fault-injection harness, wired to `dune build @fault`.
+
+   Scenario (the ROBUSTNESS.md acceptance demo, scaled up): 20% of the
+   queries against the hub-label backend are corrupted; the resilient
+   oracle must still serve the exact BFS distance for every sampled
+   pair, quarantine the lying backend, and log nonzero fallback and
+   quarantine counts. Exits nonzero on any violation, printing a
+   summary either way. *)
+
+open Repro_graph
+open Repro_hub
+open Repro_serve
+
+let scenario ~name ~mode ~fraction ~pairs ~n ~m =
+  let rng = Random.State.make [| 20190721 |] in
+  let g = Generators.random_connected rng ~n ~m in
+  let labels = Pll.build g in
+  let inj = Fault_injector.create ~seed:42 ~fraction mode in
+  let oracle =
+    Resilient_oracle.with_primary ~spot_check_every:1 ~quarantine_after:3
+      ~name:"faulty-hub"
+      (Fault_injector.wrap inj (Hub_label.query labels))
+      g
+  in
+  let wrong = ref 0 in
+  for _ = 1 to pairs do
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    let truth = (Traversal.bfs g u).(v) in
+    if Resilient_oracle.query oracle u v <> truth then incr wrong
+  done;
+  let s = Resilient_oracle.stats oracle in
+  Format.printf "%-18s exact=%d/%d injected=%d %a@." name (pairs - !wrong)
+    pairs (Fault_injector.injected inj) Resilient_oracle.pp_stats s;
+  let ok =
+    !wrong = 0
+    && s.Resilient_oracle.fallback_answers > 0
+    && s.Resilient_oracle.quarantines > 0
+  in
+  if not ok then
+    Format.printf "FAILED: %s (wrong=%d fallbacks=%d quarantines=%d)@." name
+      !wrong s.Resilient_oracle.fallback_answers s.Resilient_oracle.quarantines;
+  ok
+
+let () =
+  let ok =
+    List.for_all Fun.id
+      [
+        scenario ~name:"corrupt-20%" ~mode:Fault_injector.Corrupt ~fraction:0.2
+          ~pairs:500 ~n:120 ~m:260;
+        scenario ~name:"drop-30%" ~mode:Fault_injector.Drop ~fraction:0.3
+          ~pairs:300 ~n:100 ~m:220;
+        scenario ~name:"fail-25%" ~mode:Fault_injector.Fail ~fraction:0.25
+          ~pairs:300 ~n:100 ~m:220;
+      ]
+  in
+  if ok then print_endline "fault-injection suite: all scenarios passed"
+  else exit 1

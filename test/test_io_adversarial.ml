@@ -1,0 +1,165 @@
+(* Adversarial parsing tests for the Result-typed IO entry points:
+   truncated input, wrong counts, out-of-range ids, negative
+   weights/distances, duplicate lines, comments/whitespace — plus
+   round-trip property tests for both formats. *)
+
+open Repro_graph
+open Repro_hub
+
+let graph_err input =
+  match Graph_io.of_string_res input with
+  | Ok _ -> Alcotest.failf "expected a parse error on %S" input
+  | Error e -> e
+
+let wgraph_err input =
+  match Graph_io.wgraph_of_string_res input with
+  | Ok _ -> Alcotest.failf "expected a parse error on %S" input
+  | Error e -> e
+
+let hub_err input =
+  match Hub_io.of_string_res input with
+  | Ok _ -> Alcotest.failf "expected a parse error on %S" input
+  | Error e -> e
+
+let check_err name ~line ~substr e =
+  Test_util.check_int (name ^ " line") line e.Graph_io.line;
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  if not (contains e.Graph_io.msg substr) then
+    Alcotest.failf "%s: message %S does not mention %S" name e.Graph_io.msg
+      substr
+
+(* ----- Graph_io ------------------------------------------------------ *)
+
+let test_graph_truncated () =
+  check_err "truncated" ~line:1 ~substr:"edge count mismatch"
+    (graph_err "4 3\n0 1\n1 2\n");
+  check_err "extra edges" ~line:1 ~substr:"edge count mismatch"
+    (graph_err "4 1\n0 1\n1 2\n")
+
+let test_graph_comments_whitespace () =
+  let g =
+    match
+      Graph_io.of_string_res "# header next\n\n  3 2  \n0 1\n# middle\n\n1 2\n"
+    with
+    | Ok g -> g
+    | Error e -> Alcotest.failf "unexpected: %s" (Graph_io.string_of_parse_error e)
+  in
+  Test_util.check_int "n" 3 (Graph.n g);
+  Test_util.check_int "m" 2 (Graph.m g)
+
+let test_graph_bad_lines () =
+  check_err "endpoint range" ~line:2 ~substr:"endpoint out of range"
+    (graph_err "2 1\n0 5\n");
+  check_err "negative endpoint" ~line:2 ~substr:"endpoint out of range"
+    (graph_err "2 1\n0 -1\n");
+  check_err "self loop" ~line:2 ~substr:"self loop" (graph_err "2 1\n1 1\n");
+  check_err "duplicate" ~line:3 ~substr:"duplicate edge"
+    (graph_err "2 2\n0 1\n1 0\n");
+  check_err "bad token" ~line:2 ~substr:"bad token" (graph_err "2 1\nx 1\n");
+  check_err "bad header" ~line:1 ~substr:"bad header" (graph_err "1 2 3\n");
+  check_err "negative n" ~line:1 ~substr:"negative vertex count"
+    (graph_err "-2 0\n");
+  check_err "empty" ~line:0 ~substr:"empty input" (graph_err "  \n# only\n")
+
+let test_wgraph_bad_lines () =
+  check_err "negative weight" ~line:2 ~substr:"negative weight"
+    (wgraph_err "2 1\n0 1 -3\n");
+  check_err "short edge line" ~line:2 ~substr:"bad edge line"
+    (wgraph_err "2 1\n0 1\n");
+  let g =
+    match Graph_io.wgraph_of_string_res "2 1\n0 1 0\n" with
+    | Ok g -> g
+    | Error e -> Alcotest.failf "unexpected: %s" (Graph_io.string_of_parse_error e)
+  in
+  Test_util.check_int "zero weight accepted" 1 (Wgraph.m g)
+
+(* Legacy raising wrappers keep their exception contract. *)
+let test_compat_raises () =
+  Alcotest.check_raises "of_string raises"
+    (Invalid_argument "Graph_io.of_string: edge count mismatch") (fun () ->
+      ignore (Graph_io.of_string "3 2\n0 1\n"));
+  Alcotest.check_raises "hub of_string raises"
+    (Invalid_argument "Hub_io.of_string: duplicate vertex line") (fun () ->
+      ignore (Hub_io.of_string "2 2\n0 1 0 0\n0 1 0 0\n"))
+
+(* ----- Hub_io -------------------------------------------------------- *)
+
+let test_hub_bad_lines () =
+  check_err "duplicate vertex" ~line:3 ~substr:"duplicate vertex line"
+    (hub_err "2 2\n0 1 0 0\n0 1 0 0\n");
+  check_err "vertex range" ~line:2 ~substr:"vertex out of range"
+    (hub_err "1 1\n4 1 0 0\n");
+  check_err "hub range" ~line:2 ~substr:"hub out of range"
+    (hub_err "1 1\n0 1 5 0\n");
+  check_err "negative distance" ~line:2 ~substr:"negative distance"
+    (hub_err "1 1\n0 1 0 -2\n");
+  check_err "truncated" ~line:1 ~substr:"vertex count mismatch"
+    (hub_err "3 3\n0 1 0 0\n");
+  check_err "pair count" ~line:2 ~substr:"pair count mismatch"
+    (hub_err "1 2\n0 2 0 0\n");
+  check_err "total mismatch" ~line:1 ~substr:"total size mismatch"
+    (hub_err "1 2\n0 1 0 0\n");
+  check_err "bad header" ~line:1 ~substr:"bad header" (hub_err "1\n0 0\n")
+
+let test_hub_comments_whitespace () =
+  let l =
+    match Hub_io.of_string_res "# labeling\n2 2\n\n 0 1 0 0 \n1 1 1 0\n" with
+    | Ok l -> l
+    | Error e -> Alcotest.failf "unexpected: %s" (Graph_io.string_of_parse_error e)
+  in
+  Test_util.check_int "n" 2 (Hub_label.n l);
+  Test_util.check_int "total" 2 (Hub_label.total_size l)
+
+(* ----- round-trip properties ---------------------------------------- *)
+
+let prop_graph_roundtrip =
+  Test_util.qcheck "Graph_io roundtrip through of_string_res" ~count:50
+    Test_util.small_graph_gen (fun param ->
+      let g = Test_util.build_graph param in
+      match Graph_io.of_string_res (Graph_io.to_string g) with
+      | Error _ -> false
+      | Ok g' -> Graph.n g' = Graph.n g && Graph.edges g' = Graph.edges g)
+
+let prop_wgraph_roundtrip =
+  Test_util.qcheck "Graph_io weighted roundtrip" ~count:50
+    Test_util.small_connected_gen (fun param ->
+      let g = Test_util.build_connected param in
+      let w =
+        Wgraph.of_edges ~n:(Graph.n g)
+          (List.mapi (fun i (u, v) -> (u, v, i mod 7)) (Graph.edges g))
+      in
+      match Graph_io.wgraph_of_string_res (Graph_io.wgraph_to_string w) with
+      | Error _ -> false
+      | Ok w' -> Wgraph.n w' = Wgraph.n w && Wgraph.edges w' = Wgraph.edges w)
+
+let prop_hub_roundtrip =
+  Test_util.qcheck "Hub_io roundtrip through of_string_res" ~count:30
+    Test_util.small_connected_gen (fun param ->
+      let g = Test_util.build_connected param in
+      let labels = Pll.build g in
+      match Hub_io.of_string_res (Hub_io.to_string labels) with
+      | Error _ -> false
+      | Ok labels' ->
+          Hub_label.n labels' = Hub_label.n labels
+          && Array.init (Hub_label.n labels) (fun v -> Hub_label.hubs labels' v)
+             = Array.init (Hub_label.n labels) (fun v -> Hub_label.hubs labels v))
+
+let suite =
+  [
+    Alcotest.test_case "graph truncated input" `Quick test_graph_truncated;
+    Alcotest.test_case "graph comments and whitespace" `Quick
+      test_graph_comments_whitespace;
+    Alcotest.test_case "graph bad lines" `Quick test_graph_bad_lines;
+    Alcotest.test_case "wgraph bad lines" `Quick test_wgraph_bad_lines;
+    Alcotest.test_case "legacy raise compat" `Quick test_compat_raises;
+    Alcotest.test_case "hub bad lines" `Quick test_hub_bad_lines;
+    Alcotest.test_case "hub comments and whitespace" `Quick
+      test_hub_comments_whitespace;
+    prop_graph_roundtrip;
+    prop_wgraph_roundtrip;
+    prop_hub_roundtrip;
+  ]

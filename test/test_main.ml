@@ -18,4 +18,6 @@ let () =
       ("extras-2", Test_extras2.suite);
       ("coverage", Test_coverage.suite);
       ("tz-theorems", Test_tz.suite);
+      ("io-adversarial", Test_io_adversarial.suite);
+      ("serve", Test_serve.suite);
     ]
