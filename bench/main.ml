@@ -6,7 +6,15 @@
 
    Part 2 runs Bechamel micro-benchmarks over the core operations, one
    Test.make per operation, grouped in a single executable as required
-   by the project layout. *)
+   by the project layout.
+
+   Part 3 times the packed flat-array hub store against the assoc
+   labeling on the same query stream and writes the summary to
+   BENCH_flat_query.json (see docs/PERFORMANCE.md).
+
+   `--smoke` (the @bench-smoke dune alias) skips the experiments and
+   Bechamel, rebuilds every fixture at tiny sizes and executes each
+   benchmark body once, so the benchmark code cannot bit-rot unbuilt. *)
 
 open Bechamel
 open Toolkit
@@ -17,100 +25,207 @@ open Repro_core
 let rng () = Random.State.make [| 20190721 |]
 
 (* ------------------------------------------------------------------ *)
-(* Micro-benchmark fixtures (built once, outside the timed region).    *)
+(* Fixture sizes: one record, two profiles.                            *)
 
-let grid16 = Generators.grid ~rows:16 ~cols:16
-let sparse2000 = Generators.random_connected (rng ()) ~n:2000 ~m:4000
-let wsparse2000 = Wgraph.of_unweighted sparse2000
-let path128 = Generators.path 128
-let labels_grid16 = Pll.build grid16
-let labels_sparse = Pll.build sparse2000
+type sizes = {
+  grid_side : int;
+  sparse_n : int;
+  sparse_m : int;
+  path_n : int;
+  pairs : int;
+  bip_side : int;
+  bip_m : int;
+  tree_depth : int;
+  behrend_n : int;
+  rs_c : int;
+  rs_d : int;
+  grid_b : int;
+  grid_l : int;
+}
 
-let query_pairs =
-  let r = rng () in
-  Array.init 1024 (fun _ ->
-      (Random.State.int r 2000, Random.State.int r 2000))
+let full_sizes =
+  {
+    grid_side = 16;
+    sparse_n = 2000;
+    sparse_m = 4000;
+    path_n = 128;
+    pairs = 1024;
+    bip_side = 200;
+    bip_m = 600;
+    tree_depth = 11;
+    behrend_n = 10_000;
+    rs_c = 4;
+    rs_d = 4;
+    grid_b = 2;
+    grid_l = 2;
+  }
 
-let bipartite_instance =
-  let r = rng () in
-  Repro_matching.Bipartite.create ~left:200 ~right:200
-    (Generators.random_bipartite r ~left:200 ~right:200 ~m:600)
+let smoke_sizes =
+  {
+    grid_side = 4;
+    sparse_n = 60;
+    sparse_m = 120;
+    path_n = 32;
+    pairs = 64;
+    bip_side = 20;
+    bip_m = 40;
+    tree_depth = 4;
+    behrend_n = 200;
+    rs_c = 2;
+    rs_d = 2;
+    grid_b = 2;
+    grid_l = 1;
+  }
 
-let tree4095 = Generators.balanced_binary_tree ~depth:11
+(* Micro-benchmark entries: (name, body), fixtures built once outside
+   the timed region. *)
+let make_entries (z : sizes) =
+  let grid = Generators.grid ~rows:z.grid_side ~cols:z.grid_side in
+  let sparse = Generators.random_connected (rng ()) ~n:z.sparse_n ~m:z.sparse_m in
+  let wsparse = Wgraph.of_unweighted sparse in
+  let path = Generators.path z.path_n in
+  let labels_grid = Pll.build grid in
+  let labels_sparse = Pll.build sparse in
+  let flat_sparse = Flat_hub.of_labels labels_sparse in
+  let flat_cached =
+    Flat_hub.of_labels ~cache_slots:(4 * z.pairs) labels_sparse
+  in
+  let query_pairs =
+    let r = rng () in
+    Array.init z.pairs (fun _ ->
+        (Random.State.int r z.sparse_n, Random.State.int r z.sparse_n))
+  in
+  let bipartite_instance =
+    let r = rng () in
+    Repro_matching.Bipartite.create ~left:z.bip_side ~right:z.bip_side
+      (Generators.random_bipartite r ~left:z.bip_side ~right:z.bip_side
+         ~m:z.bip_m)
+  in
+  let tree = Generators.balanced_binary_tree ~depth:z.tree_depth in
+  (* Serving-layer fixtures: the direct hub path ("pll-query" below) vs.
+     the resilient wrapper in its regimes — trusting primary (assoc and
+     flat), spot-checked primary, and the pure fallback chain (no
+     labels, so every query runs the budgeted bidirectional search). *)
+  let serve_primary =
+    Repro_serve.Resilient_oracle.create ~spot_check_every:0
+      ~labels:labels_sparse sparse
+  in
+  let serve_flat =
+    Repro_serve.Resilient_oracle.create_flat ~spot_check_every:0
+      ~flat:flat_sparse sparse
+  in
+  let serve_checked =
+    Repro_serve.Resilient_oracle.create ~spot_check_every:8
+      ~labels:labels_sparse sparse
+  in
+  let serve_fallback = Repro_serve.Resilient_oracle.create sparse in
+  let sweep name q =
+    ( name,
+      fun () -> Array.iter (fun (u, v) -> ignore (q u v : int)) query_pairs )
+  in
+  [
+    ("bfs sparse", fun () -> ignore (Traversal.bfs sparse 0));
+    ("dijkstra sparse", fun () -> ignore (Dijkstra.distances wsparse 0));
+    ("pll-build grid", fun () -> ignore (Pll.build grid));
+    sweep "pll-query sparse" (Hub_label.query labels_sparse);
+    sweep "flat-query sparse" (Flat_hub.query flat_sparse);
+    ( "flat-query-batched sparse",
+      fun () -> ignore (Flat_hub.query_many flat_sparse query_pairs) );
+    ( "flat-query-cached sparse",
+      fun () -> ignore (Flat_hub.query_many flat_cached query_pairs) );
+    ("flat-pack sparse", fun () -> ignore (Flat_hub.of_labels labels_sparse));
+    ( "encode labels grid",
+      fun () -> ignore (Repro_labeling.Encoder.encode labels_grid) );
+    ( "hopcroft-karp",
+      fun () -> ignore (Repro_matching.Hopcroft_karp.solve bipartite_instance)
+    );
+    ("behrend", fun () -> ignore (Repro_rs.Behrend.construct z.behrend_n));
+    ( "rs-graph",
+      fun () -> ignore (Repro_rs.Rs_graph.build ~c:z.rs_c ~d:z.rs_d) );
+    ( "grid-graph",
+      fun () -> ignore (Grid_graph.create ~b:z.grid_b ~l:z.grid_l ()) );
+    ( "gadget",
+      fun () ->
+        ignore (Degree_gadget.build (Grid_graph.create ~b:2 ~l:1 ())) );
+    ("rs-hub path", fun () -> ignore (Rs_hub.build ~rng:(rng ()) ~d:4 path));
+    ("tree-label", fun () -> ignore (Repro_labeling.Tree_label.build tree));
+    ( "random-hitting grid",
+      fun () -> ignore (Random_hitting.build ~rng:(rng ()) ~d:6 grid) );
+    sweep "serve-query primary"
+      (Repro_serve.Resilient_oracle.query serve_primary);
+    sweep "serve-query flat" (Repro_serve.Resilient_oracle.query serve_flat);
+    sweep "serve-query checked-1/8"
+      (Repro_serve.Resilient_oracle.query serve_checked);
+    sweep "serve-query fallback"
+      (Repro_serve.Resilient_oracle.query serve_fallback);
+  ]
 
-(* Serving-layer fixtures: the direct hub path ("pll-query" above) vs.
-   the resilient wrapper in its three regimes — trusting primary,
-   spot-checked primary, and the pure fallback chain (no labels, so
-   every query runs the budgeted bidirectional search). *)
-let serve_primary =
-  Repro_serve.Resilient_oracle.create ~spot_check_every:0 ~labels:labels_sparse
-    sparse2000
+(* ------------------------------------------------------------------ *)
+(* Part 3: flat vs. assoc on one query stream -> BENCH_flat_query.json *)
 
-let serve_checked =
-  Repro_serve.Resilient_oracle.create ~spot_check_every:8 ~labels:labels_sparse
-    sparse2000
+let time_ns_per_query ~iters ~queries f =
+  f ();
+  (* warm up caches and trigger any lazy setup *)
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let t1 = Unix.gettimeofday () in
+  (t1 -. t0) *. 1e9 /. float_of_int (iters * queries)
 
-let serve_fallback = Repro_serve.Resilient_oracle.create sparse2000
+let flat_vs_assoc ~mode (z : sizes) ~iters =
+  let g = Generators.random_connected (rng ()) ~n:z.sparse_n ~m:z.sparse_m in
+  let labels = Pll.build g in
+  let flat = Flat_hub.of_labels labels in
+  let cached = Flat_hub.of_labels ~cache_slots:(4 * z.pairs) labels in
+  let pairs =
+    let r = rng () in
+    Array.init z.pairs (fun _ ->
+        (Random.State.int r z.sparse_n, Random.State.int r z.sparse_n))
+  in
+  let sweep q () = Array.iter (fun (u, v) -> ignore (q u v : int)) pairs in
+  let t = time_ns_per_query ~iters ~queries:z.pairs in
+  let assoc_point = t (sweep (Hub_label.query labels)) in
+  let flat_point = t (sweep (Flat_hub.query flat)) in
+  let flat_batched = t (fun () -> ignore (Flat_hub.query_many flat pairs)) in
+  let flat_cached = t (fun () -> ignore (Flat_hub.query_many cached pairs)) in
+  let oc = open_out "BENCH_flat_query.json" in
+  Printf.fprintf oc
+    {|{
+  "bench": "flat_query",
+  "mode": "%s",
+  "graph": { "n": %d, "m": %d },
+  "queries": %d,
+  "iters": %d,
+  "avg_label_size": %.2f,
+  "ns_per_query": {
+    "assoc_point": %.1f,
+    "flat_point": %.1f,
+    "flat_batched": %.1f,
+    "flat_cached": %.1f
+  },
+  "speedup_vs_assoc": {
+    "point": %.3f,
+    "batched": %.3f,
+    "cached": %.3f
+  }
+}
+|}
+    mode z.sparse_n z.sparse_m z.pairs iters
+    (Hub_label.avg_size labels)
+    assoc_point flat_point flat_batched flat_cached
+    (assoc_point /. flat_point)
+    (assoc_point /. flat_batched)
+    (assoc_point /. flat_cached);
+  close_out oc;
+  Printf.printf
+    "flat vs assoc (%s, n=%d, %d pairs): assoc %.1f ns/q, flat %.1f ns/q, \
+     batched %.1f ns/q, cached %.1f ns/q -> BENCH_flat_query.json\n%!"
+    mode z.sparse_n z.pairs assoc_point flat_point flat_batched flat_cached
 
-let tests =
-  Test.make_grouped ~name:"hubhard" ~fmt:"%s %s"
-    [
-      Test.make ~name:"bfs sparse-2000"
-        (Staged.stage (fun () -> ignore (Traversal.bfs sparse2000 0)));
-      Test.make ~name:"dijkstra sparse-2000"
-        (Staged.stage (fun () -> ignore (Dijkstra.distances wsparse2000 0)));
-      Test.make ~name:"pll-build grid-16x16"
-        (Staged.stage (fun () -> ignore (Pll.build grid16)));
-      Test.make ~name:"pll-query x1024 sparse-2000"
-        (Staged.stage (fun () ->
-             Array.iter
-               (fun (u, v) -> ignore (Hub_label.query labels_sparse u v))
-               query_pairs));
-      Test.make ~name:"encode labels grid-16x16"
-        (Staged.stage (fun () ->
-             ignore (Repro_labeling.Encoder.encode labels_grid16)));
-      Test.make ~name:"hopcroft-karp 200x200x600"
-        (Staged.stage (fun () ->
-             ignore (Repro_matching.Hopcroft_karp.solve bipartite_instance)));
-      Test.make ~name:"behrend n=10000"
-        (Staged.stage (fun () -> ignore (Repro_rs.Behrend.construct 10_000)));
-      Test.make ~name:"rs-graph c=4 d=4"
-        (Staged.stage (fun () -> ignore (Repro_rs.Rs_graph.build ~c:4 ~d:4)));
-      Test.make ~name:"grid-graph b=2 l=2"
-        (Staged.stage (fun () -> ignore (Grid_graph.create ~b:2 ~l:2 ())));
-      Test.make ~name:"gadget b=2 l=1"
-        (Staged.stage (fun () ->
-             ignore (Degree_gadget.build (Grid_graph.create ~b:2 ~l:1 ()))));
-      Test.make ~name:"rs-hub d=4 path-128"
-        (Staged.stage (fun () ->
-             ignore (Rs_hub.build ~rng:(rng ()) ~d:4 path128)));
-      Test.make ~name:"tree-label n=4095"
-        (Staged.stage (fun () ->
-             ignore (Repro_labeling.Tree_label.build tree4095)));
-      Test.make ~name:"random-hitting d=6 grid-16x16"
-        (Staged.stage (fun () ->
-             ignore (Random_hitting.build ~rng:(rng ()) ~d:6 grid16)));
-      Test.make ~name:"serve-query primary x1024 sparse-2000"
-        (Staged.stage (fun () ->
-             Array.iter
-               (fun (u, v) ->
-                 ignore (Repro_serve.Resilient_oracle.query serve_primary u v))
-               query_pairs));
-      Test.make ~name:"serve-query checked-1/8 x1024 sparse-2000"
-        (Staged.stage (fun () ->
-             Array.iter
-               (fun (u, v) ->
-                 ignore (Repro_serve.Resilient_oracle.query serve_checked u v))
-               query_pairs));
-      Test.make ~name:"serve-query fallback x1024 sparse-2000"
-        (Staged.stage (fun () ->
-             Array.iter
-               (fun (u, v) ->
-                 ignore (Repro_serve.Resilient_oracle.query serve_fallback u v))
-               query_pairs));
-    ]
+(* ------------------------------------------------------------------ *)
 
-let benchmark () =
+let benchmark tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
@@ -133,16 +248,41 @@ let img (window, results) =
 
 open Notty_unix
 
-let () =
+let run_smoke () =
+  List.iter
+    (fun (name, body) ->
+      body ();
+      Printf.printf "smoke ok: %s\n%!" name)
+    (make_entries smoke_sizes);
+  flat_vs_assoc ~mode:"smoke" smoke_sizes ~iters:2;
+  print_endline "bench smoke: all entries ran"
+
+let run_full () =
   (* Part 1: paper-artifact experiment reports. *)
   Repro_experiments.Experiments.run_all ();
   (* Part 2: micro-benchmarks. *)
   print_newline ();
   print_endline "=== Bechamel micro-benchmarks (monotonic clock) ===";
+  let tests =
+    Test.make_grouped ~name:"hubhard" ~fmt:"%s %s"
+      (List.map
+         (fun (name, body) -> Test.make ~name (Staged.stage body))
+         (make_entries full_sizes))
+  in
   let window =
     match winsize Unix.stdout with
     | Some (w, h) -> { Bechamel_notty.w; h }
     | None -> { Bechamel_notty.w = 100; h = 1 }
   in
-  let results, _ = benchmark () in
-  img (window, results) |> eol |> output_image
+  let results, _ = benchmark tests in
+  img (window, results) |> eol |> output_image;
+  (* Part 3: the flat-vs-assoc query comparison. *)
+  print_newline ();
+  flat_vs_assoc ~mode:"full" full_sizes ~iters:200
+
+let () =
+  if Array.exists (( = ) "--smoke") Sys.argv then run_smoke ()
+  else if Array.exists (( = ) "--flat-json") Sys.argv then
+    (* just the flat-vs-assoc comparison at full size *)
+    flat_vs_assoc ~mode:"full" full_sizes ~iters:200
+  else run_full ()

@@ -143,7 +143,14 @@ let label_cmd =
     in
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
   in
-  let run kind n scheme d verify out seed =
+  let pack =
+    let doc =
+      "Write the labeling in the binary packed Flat_hub form to $(docv), and \
+       the graph next to it as $(docv).graph (see docs/PERFORMANCE.md)."
+    in
+    Arg.(value & opt (some string) None & info [ "pack" ] ~docv:"FILE" ~doc)
+  in
+  let run kind n scheme d verify out pack seed =
     let rng = rng_of seed in
     match
       let g = graph_of_kind rng kind n in
@@ -167,25 +174,34 @@ let label_cmd =
         print_endline (Hub_stats.report labels);
         if verify then
           Printf.printf "exact cover: %b\n" (Cover.verify g labels);
+        let write p s =
+          let oc = open_out_bin p in
+          output_string oc s;
+          close_out oc
+        in
         (match out with
         | None -> ()
         | Some "-" -> print_string (Hub_io.to_string labels)
         | Some path ->
-            let write p s =
-              let oc = open_out p in
-              output_string oc s;
-              close_out oc
-            in
             write path (Hub_io.to_string labels);
             write (path ^ ".graph") (Graph_io.to_string g);
             Printf.printf "wrote %s and %s.graph\n" path path);
+        (match pack with
+        | None -> ()
+        | Some path ->
+            let packed = Hub_io.flat_to_bytes (Flat_hub.of_labels labels) in
+            write path packed;
+            write (path ^ ".graph") (Graph_io.to_string g);
+            Printf.printf "packed %d bytes into %s (and %s.graph)\n"
+              (String.length packed) path path);
         `Ok ()
     | exception Invalid_argument msg -> `Error (false, msg)
   in
   let doc = "Build a hub labeling over a generated graph and report sizes." in
   Cmd.v
     (Cmd.info "label" ~doc)
-    Term.(ret (const run $ kind $ n $ scheme $ d $ verify $ out $ seed_arg))
+    Term.(
+      ret (const run $ kind $ n $ scheme $ d $ verify $ out $ pack $ seed_arg))
 
 (* ---------------------------------------------------------------- *)
 (* sumindex                                                           *)
@@ -295,13 +311,17 @@ let exit_degraded = 12
 
 let read_input = function
   | "-" ->
+      (* chunked binary read: packed label files may arrive on stdin *)
       let buf = Buffer.create 4096 in
-      (try
-         while true do
-           Buffer.add_string buf (input_line stdin);
-           Buffer.add_char buf '\n'
-         done
-       with End_of_file -> ());
+      let chunk = Bytes.create 65536 in
+      let rec loop () =
+        let k = input stdin chunk 0 (Bytes.length chunk) in
+        if k > 0 then begin
+          Buffer.add_subbytes buf chunk 0 k;
+          loop ()
+        end
+      in
+      loop ();
       Buffer.contents buf
   | path -> (
       match open_in_bin path with
@@ -321,13 +341,25 @@ let parse_graph_exit path =
         (Graph_io.string_of_parse_error e);
       exit exit_parse_failure
 
+(* Label files are auto-detected: the binary packed form (by magic) or
+   the plain-text Hub_io format. Returns the assoc labeling for the
+   validation paths plus the packed store when one was loaded. *)
 let parse_labels_exit path =
-  match Hub_io.of_string_res (read_input path) with
-  | Ok l -> l
-  | Error e ->
-      Printf.eprintf "%s: parse failure: %s\n" path
-        (Graph_io.string_of_parse_error e);
-      exit exit_parse_failure
+  let s = read_input path in
+  if Hub_io.is_packed s then
+    match Hub_io.flat_of_bytes_res s with
+    | Ok flat -> (Flat_hub.to_labels flat, Some flat)
+    | Error e ->
+        Printf.eprintf "%s: parse failure: %s\n" path
+          (Graph_io.string_of_parse_error e);
+        exit exit_parse_failure
+  else
+    match Hub_io.of_string_res s with
+    | Ok l -> (l, None)
+    | Error e ->
+        Printf.eprintf "%s: parse failure: %s\n" path
+          (Graph_io.string_of_parse_error e);
+        exit exit_parse_failure
 
 let structural_exit g labels =
   match Hub_verify.structural g labels with
@@ -357,7 +389,7 @@ let serve_check_cmd =
   in
   let run graph_file labels_file samples seed =
     let g = parse_graph_exit graph_file in
-    let labels = parse_labels_exit labels_file in
+    let labels, _ = parse_labels_exit labels_file in
     structural_exit g labels;
     let report = Hub_verify.verify ~samples ~rng:(rng_of seed) g labels in
     Format.printf "%a@." Hub_verify.pp_report report;
@@ -372,9 +404,9 @@ let serve_check_cmd =
     end
   in
   let doc =
-    "Validate a graph + labeling pair: parse with line-precise errors (exit \
-     10), then run structural and sampled cover-property checks (exit 11 on \
-     failure)."
+    "Validate a graph + labeling pair (text or binary packed labels): parse \
+     with precise errors (exit 10), then run structural and sampled \
+     cover-property checks (exit 11 on failure)."
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ graph_file_arg $ labels_file_req_arg $ samples $ seed_arg)
@@ -414,6 +446,21 @@ let serve_query_cmd =
     let doc = "Quarantine the primary after this many strikes." in
     Arg.(value & opt int 3 & info [ "quarantine-after" ] ~docv:"Q" ~doc)
   in
+  let flat =
+    let doc =
+      "Serve from the packed flat-array store (Flat_hub) instead of the \
+       per-vertex assoc labeling. Text label files are packed on load; \
+       binary packed files (hubhard label --pack) already are."
+    in
+    Arg.(value & flag & info [ "flat" ] ~doc)
+  in
+  let cache_slots =
+    let doc =
+      "With --flat: direct-mapped distance-cache slots (0 disables the \
+       cache)."
+    in
+    Arg.(value & opt int 0 & info [ "cache-slots" ] ~docv:"SLOTS" ~doc)
+  in
   let inject_fraction =
     let doc =
       "Deterministically inject faults into this fraction of primary calls \
@@ -436,9 +483,13 @@ let serve_query_cmd =
       & info [ "inject-mode" ] ~docv:"MODE" ~doc)
   in
   let run graph_file labels_file pairs num budget spot_check quarantine_after
-      inject_fraction inject_mode seed =
+      flat cache_slots inject_fraction inject_mode seed =
     if inject_fraction < 0.0 || inject_fraction > 1.0 then begin
       Printf.eprintf "hubhard: --inject-fraction must lie in [0, 1]\n";
+      exit 124
+    end;
+    if cache_slots < 0 then begin
+      Printf.eprintf "hubhard: --cache-slots must be non-negative\n";
       exit 124
     end;
     let g = parse_graph_exit graph_file in
@@ -448,26 +499,43 @@ let serve_query_cmd =
       exit exit_validation_failure
     end;
     let labels = Option.map parse_labels_exit labels_file in
-    Option.iter (structural_exit g) labels;
+    Option.iter (fun (l, _) -> structural_exit g l) labels;
     let step_budget = if budget > 0 then Some budget else None in
     let oracle =
       match labels with
       | None ->
           Resilient_oracle.create ?step_budget ~spot_check_every:spot_check
             ~quarantine_after g
-      | Some l ->
+      | Some (l, packed) ->
+          let store =
+            if not flat then None
+            else
+              let s = Option.value packed ~default:(Flat_hub.of_labels l) in
+              Some
+                (if cache_slots > 0 then Flat_hub.with_cache ~cache_slots s
+                 else s)
+          in
           if inject_fraction > 0.0 then
             let inj =
               Fault_injector.create ~seed ~fraction:inject_fraction inject_mode
             in
+            let primary_query, name =
+              match store with
+              | Some s -> (Flat_hub.query s, "flat-hub-labeling+faults")
+              | None -> (Hub_label.query l, "hub-labeling+faults")
+            in
             Resilient_oracle.with_primary ?step_budget
-              ~spot_check_every:spot_check ~quarantine_after
-              ~name:"hub-labeling+faults"
-              (Fault_injector.wrap inj (Hub_label.query l))
+              ~spot_check_every:spot_check ~quarantine_after ~name
+              (Fault_injector.wrap inj primary_query)
               g
-          else
-            Resilient_oracle.create ?step_budget ~spot_check_every:spot_check
-              ~quarantine_after ~labels:l g
+          else (
+            match store with
+            | Some s ->
+                Resilient_oracle.create_flat ?step_budget
+                  ~spot_check_every:spot_check ~quarantine_after ~flat:s g
+            | None ->
+                Resilient_oracle.create ?step_budget
+                  ~spot_check_every:spot_check ~quarantine_after ~labels:l g)
     in
     let pairs =
       if pairs <> [] then pairs
@@ -508,8 +576,8 @@ let serve_query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ graph_file_arg $ labels_file $ pairs $ num $ budget
-      $ spot_check $ quarantine_after $ inject_fraction $ inject_mode
-      $ seed_arg)
+      $ spot_check $ quarantine_after $ flat $ cache_slots $ inject_fraction
+      $ inject_mode $ seed_arg)
 
 let serve_cmd =
   let doc =

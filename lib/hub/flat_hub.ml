@@ -1,0 +1,155 @@
+open Repro_graph
+
+type cache = {
+  slots : int;
+  keys : int array; (* packed unordered pair, or -1 for an empty slot *)
+  values : int array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type t = {
+  n : int;
+  offsets : int array; (* length n + 1 *)
+  data : int array; (* length 2 * offsets.(n); entry i = (data.(2i), data.(2i+1)) *)
+  cache : cache option;
+}
+
+let make_cache = function
+  | 0 -> None
+  | s when s < 0 -> invalid_arg "Flat_hub: cache_slots must be non-negative"
+  | s ->
+      Some
+        { slots = s; keys = Array.make s (-1); values = Array.make s 0;
+          hits = 0; misses = 0 }
+
+let of_labels ?(cache_slots = 0) labels =
+  let n = Hub_label.n labels in
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + Hub_label.size labels v
+  done;
+  let data = Array.make (2 * offsets.(n)) 0 in
+  for v = 0 to n - 1 do
+    let base = ref (2 * offsets.(v)) in
+    Array.iter
+      (fun (h, d) ->
+        data.(!base) <- h;
+        data.(!base + 1) <- d;
+        base := !base + 2)
+      (Hub_label.hubs labels v)
+  done;
+  { n; offsets; data; cache = make_cache cache_slots }
+
+let of_raw ~n ~offsets ~data =
+  let fail msg = invalid_arg ("Flat_hub.of_raw: " ^ msg) in
+  if n < 0 then fail "negative n";
+  if Array.length offsets <> n + 1 then fail "offsets length must be n + 1";
+  if Array.length data mod 2 <> 0 then fail "data length must be even";
+  if offsets.(0) <> 0 then fail "offsets must start at 0";
+  for v = 0 to n - 1 do
+    if offsets.(v + 1) < offsets.(v) then fail "offsets must be non-decreasing"
+  done;
+  if 2 * offsets.(n) <> Array.length data then
+    fail "offsets must end at the entry count";
+  for v = 0 to n - 1 do
+    for e = offsets.(v) to offsets.(v + 1) - 1 do
+      let h = data.(2 * e) and d = data.((2 * e) + 1) in
+      if h < 0 || h >= n then fail "hub out of range";
+      if d < 0 then fail "negative distance";
+      if e > offsets.(v) && data.(2 * (e - 1)) >= h then
+        fail "hubs must be strictly increasing within a vertex"
+    done
+  done;
+  { n; offsets; data; cache = None }
+
+let with_cache ~cache_slots t = { t with cache = make_cache cache_slots }
+let raw t = (t.offsets, t.data)
+let n t = t.n
+
+let size t v =
+  if v < 0 || v >= t.n then invalid_arg "Flat_hub.size";
+  t.offsets.(v + 1) - t.offsets.(v)
+
+let total_size t = t.offsets.(t.n)
+
+let hubs t v =
+  if v < 0 || v >= t.n then invalid_arg "Flat_hub.hubs";
+  Array.init
+    (t.offsets.(v + 1) - t.offsets.(v))
+    (fun k ->
+      let e = t.offsets.(v) + k in
+      (t.data.(2 * e), t.data.((2 * e) + 1)))
+
+let to_labels t = Hub_label.of_arrays ~n:t.n (Array.init t.n (hubs t))
+
+(* The hot path. Walk the two interleaved runs with raw indices into
+   [data]; bounds are established by the CSR invariants, so unsafe
+   accesses are sound. *)
+let raw_query t u v =
+  let data = t.data in
+  let i = ref (2 * Array.unsafe_get t.offsets u)
+  and iend = 2 * Array.unsafe_get t.offsets (u + 1)
+  and j = ref (2 * Array.unsafe_get t.offsets v)
+  and jend = 2 * Array.unsafe_get t.offsets (v + 1) in
+  let best = ref Dist.inf in
+  while !i < iend && !j < jend do
+    let ha = Array.unsafe_get data !i and hb = Array.unsafe_get data !j in
+    if ha = hb then begin
+      let d =
+        Dist.add (Array.unsafe_get data (!i + 1)) (Array.unsafe_get data (!j + 1))
+      in
+      if d < !best then best := d;
+      i := !i + 2;
+      j := !j + 2
+    end
+    else if ha < hb then i := !i + 2
+    else j := !j + 2
+  done;
+  !best
+
+let cached_query t c u v =
+  let key = if u <= v then (u * t.n) + v else (v * t.n) + u in
+  let slot = key mod c.slots in
+  if Array.unsafe_get c.keys slot = key then begin
+    c.hits <- c.hits + 1;
+    Array.unsafe_get c.values slot
+  end
+  else begin
+    c.misses <- c.misses + 1;
+    let d = raw_query t u v in
+    Array.unsafe_set c.keys slot key;
+    Array.unsafe_set c.values slot d;
+    d
+  end
+
+let dispatch t u v =
+  match t.cache with None -> raw_query t u v | Some c -> cached_query t c u v
+
+let query t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then invalid_arg "Flat_hub.query";
+  dispatch t u v
+
+let query_many t pairs =
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= t.n || v < 0 || v >= t.n then
+        invalid_arg "Flat_hub.query_many")
+    pairs;
+  let out = Array.make (Array.length pairs) 0 in
+  for k = 0 to Array.length pairs - 1 do
+    let u, v = Array.unsafe_get pairs k in
+    Array.unsafe_set out k (dispatch t u v)
+  done;
+  out
+
+let cache_stats t =
+  match t.cache with None -> None | Some c -> Some (c.hits, c.misses)
+
+let equal a b = a.n = b.n && a.offsets = b.offsets && a.data = b.data
+
+let pp ppf t =
+  Format.fprintf ppf "flat_hub(n=%d, total=%d, cache=%s)" t.n (total_size t)
+    (match t.cache with
+    | None -> "none"
+    | Some c -> string_of_int c.slots ^ " slots")

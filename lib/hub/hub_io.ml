@@ -85,3 +85,73 @@ let of_string_res s =
 
 let of_string s =
   match of_string_res s with Ok l -> l | Error e -> invalid_arg e.msg
+
+(* ---------------------------------------------------------------- *)
+(* Binary serialisation of the packed flat form.
+
+   Layout (all words little-endian int64):
+     bytes 0..7    magic "HUBFLAT1"
+     word  0       n
+     word  1       total entry count
+     words 2..     n+1 offsets, then 2*total interleaved (hub, dist)
+
+   The encoding of a given store is canonical, so save -> load -> save
+   is byte-for-byte stable (the flat arrays themselves are canonical:
+   offsets are determined by the hubset sizes and entries are sorted by
+   hub id). *)
+
+let packed_magic = "HUBFLAT1"
+
+let is_packed s =
+  String.length s >= String.length packed_magic
+  && String.sub s 0 (String.length packed_magic) = packed_magic
+
+let flat_to_bytes flat =
+  let offsets, data = Flat_hub.raw flat in
+  let n = Flat_hub.n flat in
+  let words = 2 + (n + 1) + Array.length data in
+  let b = Bytes.create (String.length packed_magic + (8 * words)) in
+  Bytes.blit_string packed_magic 0 b 0 (String.length packed_magic);
+  let pos = ref (String.length packed_magic) in
+  let put x =
+    Bytes.set_int64_le b !pos (Int64.of_int x);
+    pos := !pos + 8
+  in
+  put n;
+  put (Flat_hub.total_size flat);
+  Array.iter put offsets;
+  Array.iter put data;
+  Bytes.unsafe_to_string b
+
+let flat_of_bytes_res s =
+  let what = "Hub_io.flat_of_bytes" in
+  (* [line] reports the byte offset of the offending word for the
+     binary format. *)
+  let fail pos msg = raise (Parse { line = pos; msg = what ^ ": " ^ msg }) in
+  try
+    let mlen = String.length packed_magic in
+    if not (is_packed s) then fail 0 "bad magic";
+    if (String.length s - mlen) mod 8 <> 0 then
+      fail (String.length s) "truncated word";
+    let words = (String.length s - mlen) / 8 in
+    if words < 2 then fail mlen "missing header";
+    let get i =
+      let x = Int64.to_int (String.get_int64_le s (mlen + (8 * i))) in
+      if Int64.of_int x <> String.get_int64_le s (mlen + (8 * i)) then
+        fail (mlen + (8 * i)) "word overflows native int";
+      x
+    in
+    let n = get 0 and total = get 1 in
+    if n < 0 then fail mlen "negative vertex count";
+    if total < 0 then fail (mlen + 8) "negative total size";
+    if words <> 2 + (n + 1) + (2 * total) then
+      fail (String.length s) "length disagrees with header";
+    let offsets = Array.init (n + 1) (fun i -> get (2 + i)) in
+    let data = Array.init (2 * total) (fun i -> get (2 + (n + 1) + i)) in
+    match Flat_hub.of_raw ~n ~offsets ~data with
+    | flat -> Ok flat
+    | exception Invalid_argument msg -> fail 0 msg
+  with Parse e -> Error e
+
+let flat_of_bytes s =
+  match flat_of_bytes_res s with Ok f -> f | Error e -> invalid_arg e.msg

@@ -20,3 +20,26 @@ val of_string_res : string -> (Hub_label.t, parse_error) result
 
 val of_string : string -> Hub_label.t
 (** @raise Invalid_argument on malformed input. *)
+
+(** {1 Binary packed form}
+
+    Serialisation of {!Flat_hub.t}: an 8-byte magic ["HUBFLAT1"]
+    followed by little-endian 64-bit words — [n], the total entry
+    count, the [n+1] CSR offsets and the [2*total] interleaved
+    [(hub, dist)] words. The encoding is canonical, so
+    save → load → save round-trips byte-for-byte. *)
+
+val is_packed : string -> bool
+(** Whether the string starts with the packed-form magic (used to
+    auto-detect binary label files). *)
+
+val flat_to_bytes : Flat_hub.t -> string
+
+val flat_of_bytes_res : string -> (Flat_hub.t, parse_error) result
+(** Validated load; rejects bad magic, truncation, length/header
+    mismatches and every CSR violation {!Flat_hub.of_raw} rejects. For
+    this binary format the [line] field carries the byte offset of the
+    offending word. *)
+
+val flat_of_bytes : string -> Flat_hub.t
+(** @raise Invalid_argument on malformed input. *)

@@ -87,6 +87,18 @@ let create ?step_budget ?spot_check_every ?quarantine_after ?labels g =
       make ?step_budget ?spot_check_every ?quarantine_after
         ~prim_name:(Some "hub-labeling") ~primary:(Some q) g
 
+let create_flat ?step_budget ?spot_check_every ?quarantine_after ~flat g =
+  if Flat_hub.n flat <> Graph.n g then
+    invalid_arg "Resilient_oracle.create_flat: store and graph disagree on n";
+  let budget = Option.value step_budget ~default:max_int in
+  let q u v =
+    if Flat_hub.size flat u + Flat_hub.size flat v > budget then
+      raise Over_budget;
+    Flat_hub.query flat u v
+  in
+  make ?step_budget ?spot_check_every ?quarantine_after
+    ~prim_name:(Some "flat-hub-labeling") ~primary:(Some q) g
+
 let with_primary ?step_budget ?spot_check_every ?quarantine_after ~name f g =
   make ?step_budget ?spot_check_every ?quarantine_after ~prim_name:(Some name)
     ~primary:(Some f) g

@@ -65,6 +65,18 @@ val create :
     @raise Invalid_argument if [labels] disagree with [g] on [n], or
     on a non-positive [step_budget]/[quarantine_after]. *)
 
+val create_flat :
+  ?step_budget:int ->
+  ?spot_check_every:int ->
+  ?quarantine_after:int ->
+  flat:Flat_hub.t ->
+  Graph.t ->
+  t
+(** Like {!create} with labels, but the primary is a packed
+    {!Flat_hub} store (primary name ["flat-hub-labeling"]). The same
+    [step_budget] cap on [|S(u)| + |S(v)|] applies.
+    @raise Invalid_argument if [flat] disagrees with [g] on [n]. *)
+
 val with_primary :
   ?step_budget:int ->
   ?spot_check_every:int ->

@@ -1,0 +1,62 @@
+(* Shared QCheck2 generators for the test suites: random connected
+   graphs, random (possibly disconnected) graphs, random weighted
+   graphs and random query pairs. Generators produce seeds/parameters
+   rather than graphs so that shrinking stays meaningful and every
+   failure is reproducible from the printed tuple. *)
+
+(* (n, m, seed) for a connected graph with n in [min_n, max_n] and
+   average degree at most 2 * max_deg. *)
+let connected_gen ?(min_n = 2) ~max_n ~max_deg () =
+  QCheck2.Gen.(
+    let* n = int_range min_n max_n in
+    let max_m = n * (n - 1) / 2 in
+    let* m = int_range (n - 1) (min max_m (max_deg * n)) in
+    let* seed = int_range 0 1_000_000 in
+    return (n, m, seed))
+
+(* The workhorse: small random connected graphs. *)
+let small_connected_gen = connected_gen ~max_n:40 ~max_deg:3 ()
+
+let build_connected (n, m, seed) =
+  let rng = Random.State.make [| seed |] in
+  Repro_graph.Generators.random_connected rng ~n ~m
+
+(* Any simple graph, possibly disconnected. *)
+let graph_gen ?(min_n = 1) ~max_n ~max_deg () =
+  QCheck2.Gen.(
+    let* n = int_range min_n max_n in
+    let max_m = n * (n - 1) / 2 in
+    let* m = int_range 0 (min max_m (max_deg * n)) in
+    let* seed = int_range 0 1_000_000 in
+    return (n, m, seed))
+
+let small_graph_gen = graph_gen ~max_n:30 ~max_deg:2 ()
+
+let build_graph (n, m, seed) =
+  let rng = Random.State.make [| seed |] in
+  Repro_graph.Generators.gnm rng ~n ~m
+
+(* ((n, m, seed), wseed) for a connected graph with random edge
+   weights. *)
+let weighted_gen ?min_n ~max_n ~max_deg () =
+  QCheck2.Gen.(
+    pair (connected_gen ?min_n ~max_n ~max_deg ()) (int_range 0 1_000_000))
+
+let small_weighted_gen = weighted_gen ~max_n:30 ~max_deg:3 ()
+
+(* Weights drawn uniformly from [0, max_w); [min_w] raises the floor
+   (e.g. [~min_w:1] for strictly positive weights). *)
+let build_weighted ?(min_w = 0) ?(max_w = 10) (params, wseed) =
+  let g = build_connected params in
+  let rng = Random.State.make [| wseed |] in
+  Repro_graph.Wgraph.of_edges
+    ~n:(Repro_graph.Graph.n g)
+    (List.map
+       (fun (u, v) -> (u, v, min_w + Random.State.int rng (max_w - min_w)))
+       (Repro_graph.Graph.edges g))
+
+(* [k] query pairs over [0, n), deterministic from the seed; includes
+   repeats and self-pairs by construction. *)
+let query_pairs ~seed ~n k =
+  let rng = Random.State.make [| seed |] in
+  Array.init k (fun _ -> (Random.State.int rng n, Random.State.int rng n))

@@ -1,0 +1,135 @@
+(* Differential property harness: every distance backend in the repo
+   must agree, query by query, with BFS ground truth — on random sparse
+   graphs, on disconnected graphs (infinity handling), on weighted
+   graphs, and on the paper's G_{b,l} degree-3 gadget instances. The
+   packed Flat_hub store is run alongside the assoc Hub_label it was
+   frozen from, so the flat-layout optimisation can never silently
+   diverge from the structures it replaced. *)
+
+open Repro_graph
+open Repro_hub
+open Repro_core
+open Repro_serve
+
+let inf_budget = max_int
+
+(* The unweighted backend battery over a graph: (name, query). *)
+let unweighted_backends g =
+  let pll = Pll.build g in
+  let flat = Flat_hub.of_labels pll in
+  let flat_cached = Flat_hub.of_labels ~cache_slots:32 pll in
+  let hhl = Canonical_hhl.build ~order:(Order.by_degree g) g in
+  let w = Wgraph.of_unweighted g in
+  [
+    ("hub-assoc", Hub_label.query pll);
+    ("flat", Flat_hub.query flat);
+    ("flat-cached", Flat_hub.query flat_cached);
+    ("canonical-hhl", Hub_label.query hhl);
+    ("dijkstra-unit", fun u v -> (Dijkstra.distances w u).(v));
+    ( "bidirectional",
+      fun u v ->
+        match Budget_search.bidirectional g ~budget:inf_budget u v with
+        | Some d -> d
+        | None -> Alcotest.fail "unbudgeted bidirectional search gave up" );
+  ]
+
+(* Check every backend against BFS truth on the given pairs; queries
+   each pair twice through the cached flat store via the repetition in
+   [pairs] (query_pairs includes repeats and self-pairs). *)
+let agree_on g pairs =
+  let backends = unweighted_backends g in
+  Array.for_all
+    (fun (u, v) ->
+      let truth = (Traversal.bfs g u).(v) in
+      List.for_all
+        (fun (name, q) ->
+          let d = q u v in
+          if d <> truth then
+            Alcotest.failf "%s: d(%d,%d) = %d, BFS says %d" name u v d truth;
+          true)
+        backends)
+    pairs
+
+let diff_connected =
+  Test_util.qcheck "all backends = BFS on random connected graphs" ~count:100
+    (Gen.connected_gen ~max_n:28 ~max_deg:3 ())
+    (fun ((_, _, seed) as params) ->
+      let g = Gen.build_connected params in
+      agree_on g (Gen.query_pairs ~seed ~n:(Graph.n g) 10))
+
+let diff_disconnected =
+  Test_util.qcheck
+    "all backends agree on disconnected graphs (infinity included)" ~count:60
+    Gen.small_graph_gen
+    (fun ((_, _, seed) as params) ->
+      let g = Gen.build_graph params in
+      agree_on g (Gen.query_pairs ~seed ~n:(Graph.n g) 10))
+
+let diff_weighted =
+  Test_util.qcheck "weighted: flat = assoc = Dijkstra" ~count:40
+    (Gen.weighted_gen ~max_n:24 ~max_deg:3 ())
+    (fun (((_, _, seed) as params), wseed) ->
+      let w = Gen.build_weighted (params, wseed) in
+      let labels = Pll.build_w w in
+      let flat = Flat_hub.of_labels labels in
+      let n = Wgraph.n w in
+      Array.for_all
+        (fun (u, v) ->
+          let truth = (Dijkstra.distances w u).(v) in
+          Hub_label.query labels u v = truth && Flat_hub.query flat u v = truth)
+        (Gen.query_pairs ~seed ~n 10))
+
+(* G_{2,1} is deterministic; build its backends once and vary only the
+   sampled query pairs. 1516 vertices, max degree 3 — big enough to
+   exercise long unit paths through the gadget trees, small enough for
+   per-pair BFS truth. Canonical HHL is cubic-ish, so the gadget runs
+   the remaining backends. *)
+let gadget_fixture =
+  lazy
+    (let grid = Grid_graph.create ~b:2 ~l:1 () in
+     let g = (Degree_gadget.build grid).Degree_gadget.graph in
+     let pll = Pll.build g in
+     let flat = Flat_hub.of_labels pll in
+     (g, pll, flat))
+
+let diff_gadget =
+  Test_util.qcheck "G_{2,1} gadget: flat = assoc = BFS = bidirectional"
+    ~count:8
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let g, pll, flat = Lazy.force gadget_fixture in
+      let n = Graph.n g in
+      Array.for_all
+        (fun (u, v) ->
+          let truth = (Traversal.bfs g u).(v) in
+          Hub_label.query pll u v = truth
+          && Flat_hub.query flat u v = truth
+          &&
+          match Budget_search.bidirectional g ~budget:inf_budget u v with
+          | Some d -> d = truth
+          | None -> false)
+        (Gen.query_pairs ~seed ~n 6))
+
+(* The TZ oracle is approximate by design: differential bounds instead
+   of equality — never below the truth, never above 3x. *)
+let diff_tz_stretch =
+  Test_util.qcheck "TZ oracle stays within [truth, 3*truth]" ~count:20
+    (Gen.connected_gen ~max_n:28 ~max_deg:3 ())
+    (fun ((_, _, seed) as params) ->
+      let g = Gen.build_connected params in
+      let tz = Tz_oracle.build ~rng:(Random.State.make [| seed |]) g in
+      Array.for_all
+        (fun (u, v) ->
+          let truth = (Traversal.bfs g u).(v) in
+          let est = Tz_oracle.query tz u v in
+          est >= truth && est <= 3 * truth)
+        (Gen.query_pairs ~seed ~n:(Graph.n g) 10))
+
+let suite =
+  [
+    diff_connected;
+    diff_disconnected;
+    diff_weighted;
+    diff_gadget;
+    diff_tz_stretch;
+  ]

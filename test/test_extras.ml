@@ -7,13 +7,10 @@ open Repro_core
 
 let prune_keeps_exact_and_shrinks =
   Test_util.qcheck "pruning keeps exactness and never grows" ~count:20
-    QCheck2.Gen.(
-      let* n = int_range 2 30 in
-      let* seed = int_range 0 1_000_000 in
-      return (n, seed))
-    (fun (n, seed) ->
+    (Gen.connected_gen ~max_n:30 ~max_deg:2 ())
+    (fun ((_, _, seed) as params) ->
+      let g = Gen.build_connected params in
       let rng = Random.State.make [| seed |] in
-      let g = Generators.random_connected rng ~n ~m:(min (2 * n) (n * (n - 1) / 2)) in
       let labels, _ = Random_hitting.build ~rng ~d:3 g in
       let pruned = Hub_prune.prune g labels in
       Cover.verify g pruned
@@ -21,17 +18,9 @@ let prune_keeps_exact_and_shrinks =
 
 let prune_weighted =
   Test_util.qcheck "weighted pruning keeps exactness" ~count:10
-    QCheck2.Gen.(
-      let* n = int_range 2 20 in
-      let* seed = int_range 0 1_000_000 in
-      return (n, seed))
-    (fun (n, seed) ->
-      let rng = Random.State.make [| seed |] in
-      let g = Generators.random_connected rng ~n ~m:(min (2 * n) (n * (n - 1) / 2)) in
-      let w =
-        Wgraph.of_edges ~n
-          (List.map (fun (u, v) -> (u, v, 1 + Random.State.int rng 5)) (Graph.edges g))
-      in
+    (Gen.weighted_gen ~max_n:20 ~max_deg:2 ())
+    (fun params ->
+      let w = Gen.build_weighted ~min_w:1 ~max_w:6 params in
       let labels = Pll.build_w w in
       Cover.verify_w w (Hub_prune.prune_w w labels))
 
@@ -44,8 +33,8 @@ let test_prune_rejects_inexact () =
 
 let flat_label_exact =
   Test_util.qcheck "flat labels answer exactly" ~count:30
-    Test_util.small_graph_gen (fun params ->
-      let g = Test_util.build_graph params in
+    Gen.small_graph_gen (fun params ->
+      let g = Gen.build_graph params in
       let labels = Flat_label.build g in
       let n = Graph.n g in
       let ok = ref true in
@@ -65,8 +54,8 @@ let test_flat_label_weighted () =
 
 let sparse_label_exact =
   Test_util.qcheck "sparse binary labels are exact" ~count:15
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let scheme = Sparse_label.build ~rng:(Test_util.rng ()) ~d:3 g in
       Sparse_label.verify g scheme)
 
@@ -81,8 +70,8 @@ let test_sparse_label_smaller_than_flat () =
 
 let oracles_agree =
   Test_util.qcheck "the three oracles agree on all pairs" ~count:20
-    Test_util.small_graph_gen (fun params ->
-      let g = Test_util.build_graph params in
+    Gen.small_graph_gen (fun params ->
+      let g = Gen.build_graph params in
       let oracles =
         [ Oracle.full g; Oracle.hub g (Pll.build g); Oracle.on_demand g ]
       in

@@ -9,8 +9,8 @@ open Repro_labeling
 
 let schemes_all_exact =
   Test_util.qcheck "hub-based and flat label schemes verify" ~count:20
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let schemes =
         [
           Distance_label.of_hub_labeling ~name:"pll" (Pll.build g);
@@ -41,8 +41,8 @@ let test_scheme_size_accounting () =
 
 let hub_io_roundtrip =
   Test_util.qcheck "hub labeling text roundtrip" ~count:30
-    Test_util.small_graph_gen (fun params ->
-      let g = Test_util.build_graph params in
+    Gen.small_graph_gen (fun params ->
+      let g = Gen.build_graph params in
       let labels = Pll.build g in
       let back = Hub_io.of_string (Hub_io.to_string labels) in
       let ok = ref (Hub_label.n back = Hub_label.n labels) in
@@ -90,8 +90,8 @@ let test_complement () =
 
 let complement_involution =
   Test_util.qcheck "complement is an involution" ~count:30
-    Test_util.small_graph_gen (fun params ->
-      let g = Test_util.build_graph params in
+    Gen.small_graph_gen (fun params ->
+      let g = Gen.build_graph params in
       Graph.edges (Graph_ops.complement (Graph_ops.complement g)) = Graph.edges g)
 
 let test_is_subgraph () =
@@ -109,8 +109,8 @@ let test_map_weights () =
 
 let corrupted_distance_detected =
   Test_util.qcheck "stored_distances_exact catches off-by-one corruption"
-    ~count:30 Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    ~count:30 Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       if Graph.n g < 2 then true
       else begin
         let labels = Pll.build g in

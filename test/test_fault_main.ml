@@ -42,15 +42,20 @@ let scenario ~name ~mode ~fraction ~pairs ~n ~m =
   ok
 
 let () =
+  (* --quick (the tier-1 runtest hookup) shrinks the trial counts so
+     the fault path is exercised on every `dune runtest`; the @fault
+     alias still runs the full-size scenarios. *)
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let scale k = if quick then max 40 (k / 5) else k in
   let ok =
     List.for_all Fun.id
       [
         scenario ~name:"corrupt-20%" ~mode:Fault_injector.Corrupt ~fraction:0.2
-          ~pairs:500 ~n:120 ~m:260;
+          ~pairs:(scale 500) ~n:(scale 120) ~m:(scale 260);
         scenario ~name:"drop-30%" ~mode:Fault_injector.Drop ~fraction:0.3
-          ~pairs:300 ~n:100 ~m:220;
+          ~pairs:(scale 300) ~n:(scale 100) ~m:(scale 220);
         scenario ~name:"fail-25%" ~mode:Fault_injector.Fail ~fraction:0.25
-          ~pairs:300 ~n:100 ~m:220;
+          ~pairs:(scale 300) ~n:(scale 100) ~m:(scale 220);
       ]
   in
   if ok then print_endline "fault-injection suite: all scenarios passed"

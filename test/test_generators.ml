@@ -30,16 +30,16 @@ let random_tree_is_tree =
       Graph.m g = n - 1 && Traversal.is_connected g)
 
 let gnm_has_m_edges =
-  Test_util.qcheck "gnm has exactly m edges" Test_util.small_graph_gen
+  Test_util.qcheck "gnm has exactly m edges" Gen.small_graph_gen
     (fun params ->
-      let g = Test_util.build_graph params in
+      let g = Gen.build_graph params in
       let _, m, _ = params in
       Graph.m g = m)
 
 let random_connected_is_connected =
   Test_util.qcheck "random_connected is connected with m edges"
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let _, m, _ = params in
       Traversal.is_connected g && Graph.m g = m)
 

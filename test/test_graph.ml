@@ -126,24 +126,24 @@ let test_hubset_count_cycle () =
   Test_util.check_int "both arcs" 6 (List.length hubs)
 
 let bfs_symmetric =
-  Test_util.qcheck "dist(u,v) = dist(v,u)" Test_util.small_connected_gen
+  Test_util.qcheck "dist(u,v) = dist(v,u)" Gen.small_connected_gen
     (fun params ->
-      let g = Test_util.build_connected params in
+      let g = Gen.build_connected params in
       let n = Graph.n g in
       let u = 0 and v = n - 1 in
       (Traversal.bfs g u).(v) = (Traversal.bfs g v).(u))
 
 let bfs_triangle =
   Test_util.qcheck "BFS metric satisfies triangle inequality"
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let apsp = Apsp.of_graph g in
       Apsp.check_triangle_inequality apsp)
 
 let bfs_edge_lipschitz =
   Test_util.qcheck "adjacent vertices differ by at most 1 in dist"
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let dist = Traversal.bfs g 0 in
       let ok = ref true in
       Graph.iter_edges g (fun u v ->
@@ -152,8 +152,8 @@ let bfs_edge_lipschitz =
 
 let dijkstra_parent_paths =
   Test_util.qcheck "dijkstra parent chains realise the distance"
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let w = Wgraph.of_unweighted g in
       let r = Dijkstra.shortest_paths w 0 in
       let ok = ref true in

@@ -8,9 +8,9 @@ open Repro_route
 let canonical_equals_pll =
   Test_util.qcheck "PLL = canonical hierarchical labeling (same order)"
     ~count:40
-    QCheck2.Gen.(pair Test_util.small_connected_gen (int_range 0 1000))
+    QCheck2.Gen.(pair Gen.small_connected_gen (int_range 0 1000))
     (fun (params, oseed) ->
-      let g = Test_util.build_connected params in
+      let g = Gen.build_connected params in
       let order = Order.random (Random.State.make [| oseed |]) (Graph.n g) in
       let pll = Pll.build ~order g in
       let canon = Canonical_hhl.build ~order g in
@@ -22,15 +22,15 @@ let canonical_equals_pll =
 
 let canonical_is_exact =
   Test_util.qcheck "canonical labeling is exact" ~count:20
-    Test_util.small_graph_gen (fun params ->
-      let g = Test_util.build_graph params in
+    Gen.small_graph_gen (fun params ->
+      let g = Gen.build_graph params in
       let order = Order.identity (Graph.n g) in
       Cover.verify g (Canonical_hhl.build ~order g))
 
 let canonical_respects_hierarchy =
   Test_util.qcheck "canonical labeling respects its hierarchy" ~count:20
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let order = Order.by_degree g in
       let canon = Canonical_hhl.build ~order g in
       Canonical_hhl.respects_hierarchy ~rank:(Order.rank_of order) g canon)
@@ -46,9 +46,9 @@ let test_hierarchy_violation_detected () =
 
 let arc_flags_exact =
   Test_util.qcheck "arc-flag queries = dijkstra" ~count:30
-    QCheck2.Gen.(pair Test_util.small_connected_gen (int_range 0 1000))
+    QCheck2.Gen.(pair Gen.small_connected_gen (int_range 0 1000))
     (fun (params, wseed) ->
-      let g = Test_util.build_connected params in
+      let g = Gen.build_connected params in
       let rng = Random.State.make [| wseed |] in
       let w =
         Wgraph.of_edges ~n:(Graph.n g)
@@ -66,8 +66,8 @@ let arc_flags_exact =
 
 let arc_flags_exact_many_regions =
   Test_util.qcheck "arc flags exact with many regions" ~count:15
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let w = Wgraph.of_unweighted g in
       let af = Arc_flags.preprocess ~regions:(max 2 (Graph.n g / 3)) w in
       let d = Dijkstra.distances w 0 in

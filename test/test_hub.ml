@@ -67,49 +67,42 @@ let test_cover_violations () =
 
 let pll_exact_on_connected =
   Test_util.qcheck "PLL is an exact cover on random connected graphs"
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       Cover.verify g (Pll.build g))
 
 let pll_exact_on_disconnected =
-  Test_util.qcheck "PLL handles disconnected graphs" Test_util.small_graph_gen
+  Test_util.qcheck "PLL handles disconnected graphs" Gen.small_graph_gen
     (fun params ->
-      let g = Test_util.build_graph params in
+      let g = Gen.build_graph params in
       Cover.verify g (Pll.build g))
 
 let pll_exact_any_order =
   Test_util.qcheck "PLL exact under random orders"
-    QCheck2.Gen.(pair Test_util.small_connected_gen (int_range 0 1000))
+    QCheck2.Gen.(pair Gen.small_connected_gen (int_range 0 1000))
     (fun (params, seed) ->
-      let g = Test_util.build_connected params in
+      let g = Gen.build_connected params in
       let order = Order.random (Random.State.make [| seed |]) (Graph.n g) in
       Cover.verify g (Pll.build ~order g))
 
 let pll_stored_distances_exact =
-  Test_util.qcheck "PLL stores true distances" Test_util.small_connected_gen
+  Test_util.qcheck "PLL stores true distances" Gen.small_connected_gen
     (fun params ->
-      let g = Test_util.build_connected params in
+      let g = Gen.build_connected params in
       Cover.stored_distances_exact g (Pll.build g))
 
 let pll_weighted_exact =
   Test_util.qcheck "weighted PLL exact (unit weights = BFS)" ~count:40
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let w = Wgraph.of_unweighted g in
       Cover.verify_w w (Pll.build_w w))
 
 let pll_weighted_random_weights =
   Test_util.qcheck "weighted PLL exact on random weights" ~count:40
-    QCheck2.Gen.(pair Test_util.small_connected_gen (int_range 0 1000))
-    (fun (params, wseed) ->
-      let g = Test_util.build_connected params in
-      let rng = Random.State.make [| wseed |] in
-      let w =
-        Wgraph.of_edges ~n:(Graph.n g)
-          (List.map
-             (fun (u, v) -> (u, v, Random.State.int rng 10))
-             (Graph.edges g))
-      in
+    Gen.small_weighted_gen
+    (fun params ->
+      let w = Gen.build_weighted params in
       Cover.verify_w w (Pll.build_w w))
 
 let test_pll_path_small_labels () =
@@ -148,9 +141,9 @@ let test_pll_star () =
 
 let random_hitting_exact =
   Test_util.qcheck "random-hitting scheme is exact after patching" ~count:40
-    QCheck2.Gen.(pair Test_util.small_connected_gen (int_range 1 6))
+    QCheck2.Gen.(pair Gen.small_connected_gen (int_range 1 6))
     (fun (params, d) ->
-      let g = Test_util.build_connected params in
+      let g = Gen.build_connected params in
       let labels, _ = Random_hitting.build ~rng:(Test_util.rng ()) ~d g in
       Cover.verify g labels)
 
@@ -164,19 +157,15 @@ let test_random_hitting_stats () =
 
 let greedy_landmark_exact =
   Test_util.qcheck "greedy landmark labeling is exact" ~count:25
-    QCheck2.Gen.(
-      let* n = int_range 2 25 in
-      let* seed = int_range 0 1_000_000 in
-      return (n, seed))
-    (fun (n, seed) ->
-      let rng = Random.State.make [| seed |] in
-      let g = Generators.random_connected rng ~n ~m:(min (2 * n) (n * (n - 1) / 2)) in
+    (Gen.connected_gen ~max_n:25 ~max_deg:2 ())
+    (fun params ->
+      let g = Gen.build_connected params in
       Cover.verify g (Greedy_landmark.build g))
 
 let monotone_closure_props =
   Test_util.qcheck "monotone closure: superset, monotone, still exact"
-    ~count:30 Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    ~count:30 Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let labels = Pll.build g in
       let closed = Monotone.closure g labels in
       let superset =
@@ -222,8 +211,8 @@ let test_hub_stats () =
 
 let pll_query_agrees_with_bfs =
   Test_util.qcheck "PLL query equals BFS distance pointwise" ~count:50
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let labels = Pll.build g in
       let n = Graph.n g in
       let u = 0 in

@@ -8,15 +8,15 @@ open Repro_hub
 
 let approx_error_bounded =
   Test_util.qcheck "approximate hubsets err by at most 2" ~count:30
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let t = Approx_hub.build g in
       Approx_hub.max_error g t <= 2)
 
 let approx_never_underestimates =
   Test_util.qcheck "approximate queries never underestimate" ~count:20
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let t = Approx_hub.build g in
       let n = Graph.n g in
       let ok = ref true in
@@ -54,8 +54,8 @@ let test_approx_dominating_set () =
 
 let separator_label_exact_default =
   Test_util.qcheck "separator labeling exact (BFS-level strategy)" ~count:30
-    Test_util.small_graph_gen (fun params ->
-      let g = Test_util.build_graph params in
+    Gen.small_graph_gen (fun params ->
+      let g = Gen.build_graph params in
       Cover.verify g (Separator_label.build g))
 
 let separator_label_exact_grid =
@@ -92,9 +92,9 @@ let test_separator_disconnected () =
 
 let spc_is_cover =
   Test_util.qcheck "greedy SPC covers its scale" ~count:20
-    QCheck2.Gen.(pair Test_util.small_connected_gen (int_range 1 4))
+    QCheck2.Gen.(pair Gen.small_connected_gen (int_range 1 4))
     (fun (params, r) ->
-      let g = Test_util.build_connected params in
+      let g = Gen.build_connected params in
       Spc.is_cover g ~r (Spc.cover g ~r))
 
 let test_spc_on_path () =

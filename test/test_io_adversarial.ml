@@ -118,16 +118,16 @@ let test_hub_comments_whitespace () =
 
 let prop_graph_roundtrip =
   Test_util.qcheck "Graph_io roundtrip through of_string_res" ~count:50
-    Test_util.small_graph_gen (fun param ->
-      let g = Test_util.build_graph param in
+    Gen.small_graph_gen (fun param ->
+      let g = Gen.build_graph param in
       match Graph_io.of_string_res (Graph_io.to_string g) with
       | Error _ -> false
       | Ok g' -> Graph.n g' = Graph.n g && Graph.edges g' = Graph.edges g)
 
 let prop_wgraph_roundtrip =
   Test_util.qcheck "Graph_io weighted roundtrip" ~count:50
-    Test_util.small_connected_gen (fun param ->
-      let g = Test_util.build_connected param in
+    Gen.small_connected_gen (fun param ->
+      let g = Gen.build_connected param in
       let w =
         Wgraph.of_edges ~n:(Graph.n g)
           (List.mapi (fun i (u, v) -> (u, v, i mod 7)) (Graph.edges g))
@@ -138,8 +138,8 @@ let prop_wgraph_roundtrip =
 
 let prop_hub_roundtrip =
   Test_util.qcheck "Hub_io roundtrip through of_string_res" ~count:30
-    Test_util.small_connected_gen (fun param ->
-      let g = Test_util.build_connected param in
+    Gen.small_connected_gen (fun param ->
+      let g = Gen.build_connected param in
       let labels = Pll.build g in
       match Hub_io.of_string_res (Hub_io.to_string labels) with
       | Error _ -> false

@@ -74,8 +74,8 @@ let encoder_roundtrip =
 
 let labels_roundtrip =
   Test_util.qcheck "full labeling encode/decode roundtrip" ~count:30
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let labels = Pll.build g in
       let encoded = Encoder.encode labels in
       let decoded = Encoder.decode ~n:(Graph.n g) encoded in
@@ -87,8 +87,8 @@ let labels_roundtrip =
 
 let encoded_query_exact =
   Test_util.qcheck "query from binary labels equals BFS distance" ~count:30
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let labels = Pll.build g in
       let encoded = Encoder.encode labels in
       let dist = Traversal.bfs g 0 in

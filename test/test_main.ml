@@ -20,4 +20,6 @@ let () =
       ("tz-theorems", Test_tz.suite);
       ("io-adversarial", Test_io_adversarial.suite);
       ("serve", Test_serve.suite);
+      ("flat-hub", Test_flat_hub.suite);
+      ("differential", Test_differential.suite);
     ]

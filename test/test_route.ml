@@ -6,9 +6,9 @@ open Repro_route
 
 let bidir_matches_dijkstra =
   Test_util.qcheck "bidirectional dijkstra = dijkstra" ~count:60
-    QCheck2.Gen.(pair Test_util.small_connected_gen (int_range 0 1000))
+    QCheck2.Gen.(pair Gen.small_connected_gen (int_range 0 1000))
     (fun (params, wseed) ->
-      let g = Test_util.build_connected params in
+      let g = Gen.build_connected params in
       let rng = Random.State.make [| wseed |] in
       let w =
         Wgraph.of_edges ~n:(Graph.n g)
@@ -29,9 +29,9 @@ let bidir_disconnected () =
 
 let bidir_bfs_matches =
   Test_util.qcheck "bidirectional BFS = BFS" ~count:60
-    QCheck2.Gen.(pair Test_util.small_graph_gen (int_range 0 1000))
+    QCheck2.Gen.(pair Gen.small_graph_gen (int_range 0 1000))
     (fun (params, seed) ->
-      let g = Test_util.build_graph params in
+      let g = Gen.build_graph params in
       let rng = Random.State.make [| seed |] in
       let n = Graph.n g in
       let s = Random.State.int rng n and t = Random.State.int rng n in
@@ -39,8 +39,8 @@ let bidir_bfs_matches =
 
 let ch_exact_unit_weights =
   Test_util.qcheck "contraction hierarchy queries = dijkstra (unit)" ~count:25
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let w = Wgraph.of_unweighted g in
       let ch = Contraction.preprocess w in
       let n = Graph.n g in
@@ -56,9 +56,9 @@ let ch_exact_unit_weights =
 let ch_exact_random_weights =
   Test_util.qcheck "contraction hierarchy queries = dijkstra (weighted)"
     ~count:25
-    QCheck2.Gen.(pair Test_util.small_connected_gen (int_range 0 1000))
+    QCheck2.Gen.(pair Gen.small_connected_gen (int_range 0 1000))
     (fun (params, wseed) ->
-      let g = Test_util.build_connected params in
+      let g = Gen.build_connected params in
       let rng = Random.State.make [| wseed |] in
       let w =
         Wgraph.of_edges ~n:(Graph.n g)
@@ -76,12 +76,12 @@ let ch_exact_random_weights =
 
 let ch_small_hop_limit_still_exact =
   Test_util.qcheck "tiny witness budget stays exact" ~count:15
-    Test_util.small_connected_gen (fun params ->
+    Gen.small_connected_gen (fun params ->
       (* a hop limit of 1 makes nearly every witness search
          inconclusive, forcing many (safe) shortcuts; exactness must be
          unaffected. Shortcut counts are not compared across limits
          because the lazy priority order itself changes. *)
-      let g = Test_util.build_connected params in
+      let g = Gen.build_connected params in
       let w = Wgraph.of_unweighted g in
       let stingy = Contraction.preprocess ~hop_limit:1 w in
       let d = Dijkstra.distances w 0 in

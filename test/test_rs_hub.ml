@@ -11,23 +11,23 @@ let test_default_d () =
 
 let rs_hub_exact =
   Test_util.qcheck "Theorem 4.1 labeling is an exact cover" ~count:30
-    QCheck2.Gen.(pair Test_util.small_connected_gen (int_range 2 6))
+    QCheck2.Gen.(pair Gen.small_connected_gen (int_range 2 6))
     (fun (params, d) ->
-      let g = Test_util.build_connected params in
+      let g = Gen.build_connected params in
       let labels, _ = Rs_hub.build ~rng:(Test_util.rng ()) ~d g in
       Cover.verify g labels)
 
 let rs_hub_exact_disconnected =
   Test_util.qcheck "Theorem 4.1 handles disconnected graphs" ~count:20
-    Test_util.small_graph_gen (fun params ->
-      let g = Test_util.build_graph params in
+    Gen.small_graph_gen (fun params ->
+      let g = Gen.build_graph params in
       let labels, _ = Rs_hub.build ~rng:(Test_util.rng ()) ~d:3 g in
       Cover.verify g labels)
 
 let rs_hub_stored_exact =
   Test_util.qcheck "Theorem 4.1 stores true distances" ~count:20
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let labels, _ = Rs_hub.build ~rng:(Test_util.rng ()) ~d:4 g in
       Cover.stored_distances_exact g labels)
 
@@ -69,15 +69,10 @@ let test_build_w_rejects_large () =
 
 let build_sparse_exact =
   Test_util.qcheck "Theorem 1.4 (subdivide + project) is exact" ~count:20
-    QCheck2.Gen.(
-      let* n = int_range 2 30 in
-      let max_m = n * (n - 1) / 2 in
-      let* m = int_range (n - 1) (min max_m (4 * n)) in
-      let* seed = int_range 0 1_000_000 in
-      return (n, m, seed))
-    (fun (n, m, seed) ->
+    (Gen.connected_gen ~max_n:30 ~max_deg:4 ())
+    (fun ((_, _, seed) as params) ->
+      let g = Gen.build_connected params in
       let rng = Random.State.make [| seed |] in
-      let g = Generators.random_connected rng ~n ~m in
       let labels, _ = Rs_hub.build_sparse ~rng ~d:4 g in
       Cover.verify g labels)
 
@@ -107,9 +102,9 @@ let test_component_sizes_reasonable () =
 let lemma42_verified =
   Test_util.qcheck "Lemma 4.2: per-colour matching unions are RS-structured"
     ~count:15
-    QCheck2.Gen.(pair Test_util.small_connected_gen (int_range 3 6))
+    QCheck2.Gen.(pair Gen.small_connected_gen (int_range 3 6))
     (fun (params, d) ->
-      let g = Test_util.build_connected params in
+      let g = Gen.build_connected params in
       let _, _, data = Rs_hub.build_checked ~rng:(Test_util.rng ()) ~d g in
       Rs_hub.lemma42_holds ~n:(Graph.n g) data)
 

@@ -6,15 +6,15 @@ open Repro_core
 
 let tz_never_underestimates_and_stretch3 =
   Test_util.qcheck "TZ oracle: exact <= estimate <= 3x" ~count:40
-    Test_util.small_connected_gen (fun params ->
-      let g = Test_util.build_connected params in
+    Gen.small_connected_gen (fun params ->
+      let g = Gen.build_connected params in
       let t = Tz_oracle.build ~rng:(Test_util.rng ()) g in
       Tz_oracle.max_stretch g t <= 3.0)
 
 let tz_disconnected =
   Test_util.qcheck "TZ oracle on disconnected graphs" ~count:20
-    Test_util.small_graph_gen (fun params ->
-      let g = Test_util.build_graph params in
+    Gen.small_graph_gen (fun params ->
+      let g = Gen.build_graph params in
       let t = Tz_oracle.build ~rng:(Test_util.rng ()) g in
       let n = Graph.n g in
       let ok = ref true in

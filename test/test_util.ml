@@ -1,4 +1,5 @@
-(* Shared helpers for the test suites. *)
+(* Shared helpers for the test suites. Random-structure generators
+   live in Gen (test/gen.ml). *)
 
 let rng () = Random.State.make [| 0xC0FFEE |]
 
@@ -8,29 +9,3 @@ let check_int = Alcotest.(check int)
 let qcheck ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~count ~name gen prop)
-
-(* A generator of small random connected graphs: (n, m, seed). *)
-let small_connected_gen =
-  QCheck2.Gen.(
-    let* n = int_range 2 40 in
-    let max_m = n * (n - 1) / 2 in
-    let* m = int_range (n - 1) (min max_m (3 * n)) in
-    let* seed = int_range 0 1_000_000 in
-    return (n, m, seed))
-
-let build_connected (n, m, seed) =
-  let rng = Random.State.make [| seed |] in
-  Repro_graph.Generators.random_connected rng ~n ~m
-
-(* Any simple graph, possibly disconnected. *)
-let small_graph_gen =
-  QCheck2.Gen.(
-    let* n = int_range 1 30 in
-    let max_m = n * (n - 1) / 2 in
-    let* m = int_range 0 (min max_m (2 * n)) in
-    let* seed = int_range 0 1_000_000 in
-    return (n, m, seed))
-
-let build_graph (n, m, seed) =
-  let rng = Random.State.make [| seed |] in
-  Repro_graph.Generators.gnm rng ~n ~m
