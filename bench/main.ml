@@ -224,6 +224,100 @@ let flat_vs_assoc ~mode (z : sizes) ~iters =
     mode z.sparse_n z.pairs assoc_point flat_point flat_batched flat_cached
 
 (* ------------------------------------------------------------------ *)
+(* Part 4: the instrumented serving stack -> BENCH_serve_metrics.json.
+
+   Every backend behind the uniform Backend.S signature, wrapped with
+   Obs.instrument into one shared registry; the JSON carries the
+   per-backend latency percentiles straight from the fixed-bucket
+   histograms (real monotonic clock — this is a benchmark, the
+   deterministic-clock path is exercised by the test suite). *)
+
+let serve_metrics ~mode (z : sizes) ~rounds =
+  let module Metrics = Repro_obs.Metrics in
+  let module Backend = Repro_obs.Backend in
+  let module Obs = Repro_obs.Obs in
+  let g = Generators.random_connected (rng ()) ~n:z.sparse_n ~m:z.sparse_m in
+  let labels = Pll.build g in
+  let flat = Flat_hub.of_labels ~cache_slots:(4 * z.pairs) labels in
+  let pairs =
+    let r = rng () in
+    Array.init z.pairs (fun _ ->
+        (Random.State.int r z.sparse_n, Random.State.int r z.sparse_n))
+  in
+  let registry = Metrics.create () in
+  let backends =
+    [
+      ("hub", Hub_label.backend labels);
+      ("flat", Flat_hub.backend flat);
+      ( "resilient",
+        Repro_serve.Resilient_oracle.backend
+          (Repro_serve.Resilient_oracle.create ~spot_check_every:8
+             ~labels g) );
+    ]
+  in
+  let instrumented =
+    List.map
+      (fun (prefix, b) -> (prefix, Obs.instrument ~prefix registry b))
+      backends
+  in
+  List.iter
+    (fun (_, b) ->
+      for _ = 1 to rounds do
+        Array.iter (fun (u, v) -> ignore (Backend.query b u v : int)) pairs
+      done)
+    instrumented;
+  let snap = Metrics.snapshot registry in
+  let backend_json (prefix, b) =
+    let h =
+      match Metrics.find_histogram snap (prefix ^ ".latency_ns") with
+      | Some h -> h
+      | None -> { Metrics.count = 0; sum = 0; p50 = 0; p90 = 0; p99 = 0; max = 0 }
+    in
+    let counter name =
+      Option.value ~default:0 (Metrics.find_counter snap (prefix ^ name))
+    in
+    Printf.sprintf
+      {|    "%s": {
+      "backend": "%s",
+      "space_words": %d,
+      "queries": %d,
+      "cache_hit": %d,
+      "cache_miss": %d,
+      "latency_ns": { "count": %d, "sum": %d, "p50": %d, "p90": %d, "p99": %d, "max": %d }
+    }|}
+      prefix (Backend.name b) (Backend.space_words b) (counter ".queries")
+      (counter ".cache.hit") (counter ".cache.miss") h.Metrics.count
+      h.Metrics.sum h.Metrics.p50 h.Metrics.p90 h.Metrics.p99 h.Metrics.max
+  in
+  let oc = open_out "BENCH_serve_metrics.json" in
+  Printf.fprintf oc
+    {|{
+  "bench": "serve_metrics",
+  "mode": "%s",
+  "graph": { "n": %d, "m": %d },
+  "queries_per_backend": %d,
+  "backends": {
+%s
+  }
+}
+|}
+    mode z.sparse_n z.sparse_m (rounds * z.pairs)
+    (String.concat ",\n" (List.map backend_json instrumented));
+  close_out oc;
+  List.iter
+    (fun (prefix, _) ->
+      match Metrics.find_histogram snap (prefix ^ ".latency_ns") with
+      | Some h ->
+          Printf.printf
+            "serve metrics (%s): %-9s p50 %d ns, p90 %d ns, p99 %d ns, max \
+             %d ns over %d queries\n%!"
+            mode prefix h.Metrics.p50 h.Metrics.p90 h.Metrics.p99
+            h.Metrics.max h.Metrics.count
+      | None -> ())
+    instrumented;
+  Printf.printf "-> BENCH_serve_metrics.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 
 let benchmark tests =
   let ols =
@@ -255,6 +349,7 @@ let run_smoke () =
       Printf.printf "smoke ok: %s\n%!" name)
     (make_entries smoke_sizes);
   flat_vs_assoc ~mode:"smoke" smoke_sizes ~iters:2;
+  serve_metrics ~mode:"smoke" smoke_sizes ~rounds:2;
   print_endline "bench smoke: all entries ran"
 
 let run_full () =
@@ -278,11 +373,16 @@ let run_full () =
   img (window, results) |> eol |> output_image;
   (* Part 3: the flat-vs-assoc query comparison. *)
   print_newline ();
-  flat_vs_assoc ~mode:"full" full_sizes ~iters:200
+  flat_vs_assoc ~mode:"full" full_sizes ~iters:200;
+  (* Part 4: per-backend latency percentiles from the metrics registry. *)
+  print_newline ();
+  serve_metrics ~mode:"full" full_sizes ~rounds:50
 
 let () =
   if Array.exists (( = ) "--smoke") Sys.argv then run_smoke ()
   else if Array.exists (( = ) "--flat-json") Sys.argv then
     (* just the flat-vs-assoc comparison at full size *)
     flat_vs_assoc ~mode:"full" full_sizes ~iters:200
+  else if Array.exists (( = ) "--serve-metrics") Sys.argv then
+    serve_metrics ~mode:"full" full_sizes ~rounds:50
   else run_full ()

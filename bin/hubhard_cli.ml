@@ -304,6 +304,10 @@ let check_cmd =
 
 module Resilient_oracle = Repro_serve.Resilient_oracle
 module Fault_injector = Repro_serve.Fault_injector
+module Backend = Repro_obs.Backend
+module Metrics = Repro_obs.Metrics
+module Obs = Repro_obs.Obs
+module Trace = Repro_obs.Trace
 
 let exit_parse_failure = 10
 let exit_validation_failure = 11
@@ -411,17 +415,74 @@ let serve_check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ graph_file_arg $ labels_file_req_arg $ samples $ seed_arg)
 
-let serve_query_cmd =
-  let labels_file =
-    let doc =
-      "Optional hub labeling file; without it queries are served by the \
-       search chain only."
-    in
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "labels-file" ] ~docv:"FILE" ~doc)
+(* Build the serving oracle for `serve query` / `serve stats`: one
+   unified Resilient_oracle.create over a uniform primary backend,
+   every layer instrumented into [registry]. Returns the oracle and
+   the packed store when one is in play (for cache reporting). *)
+let build_serving_oracle ~registry ~labels ~flat ~cache_slots ~step_budget
+    ~spot_check ~quarantine_after ~inject_fraction ~inject_mode ~seed g =
+  let primary_and_store =
+    match labels with
+    | None -> None
+    | Some (l, packed) ->
+        let store =
+          if not flat then None
+          else
+            let s = Option.value packed ~default:(Flat_hub.of_labels l) in
+            Some
+              (if cache_slots > 0 then Flat_hub.with_cache ~cache_slots s
+               else s)
+        in
+        let base =
+          match store with
+          | Some s -> Resilient_oracle.flat_primary ?step_budget s
+          | None -> Resilient_oracle.hub_primary ?step_budget l
+        in
+        let base =
+          if inject_fraction <= 0.0 then base
+          else
+            let inj =
+              Fault_injector.create ~seed ~fraction:inject_fraction inject_mode
+            in
+            Backend.make
+              ~name:(Backend.name base ^ "+faults")
+              ~space_words:(Backend.space_words base)
+              (Fault_injector.wrap inj (Backend.query base))
+        in
+        Some (Obs.instrument registry base, store)
   in
+  let primary = Option.map fst primary_and_store in
+  let store = Option.bind primary_and_store snd in
+  let oracle =
+    Resilient_oracle.create ?step_budget ~spot_check_every:spot_check
+      ~quarantine_after ~metrics:registry ?primary g
+  in
+  (oracle, store)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let metrics_out_arg =
+  let doc =
+    "Write the full metrics registry (counters, gauges, latency histograms \
+     with p50/p90/p99/max) as JSON to $(docv) — see docs/OBSERVABILITY.md \
+     for the schema."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let labels_file_opt_arg =
+  let doc =
+    "Optional hub labeling file; without it queries are served by the \
+     search chain only."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "labels-file" ] ~docv:"FILE" ~doc)
+
+let serve_query_cmd =
+  let labels_file = labels_file_opt_arg in
   let pairs =
     let doc = "Query pair 'u,v' (repeatable)." in
     Arg.(
@@ -483,7 +544,7 @@ let serve_query_cmd =
       & info [ "inject-mode" ] ~docv:"MODE" ~doc)
   in
   let run graph_file labels_file pairs num budget spot_check quarantine_after
-      flat cache_slots inject_fraction inject_mode seed =
+      flat cache_slots inject_fraction inject_mode metrics_out seed =
     if inject_fraction < 0.0 || inject_fraction > 1.0 then begin
       Printf.eprintf "hubhard: --inject-fraction must lie in [0, 1]\n";
       exit 124
@@ -501,41 +562,13 @@ let serve_query_cmd =
     let labels = Option.map parse_labels_exit labels_file in
     Option.iter (fun (l, _) -> structural_exit g l) labels;
     let step_budget = if budget > 0 then Some budget else None in
-    let oracle =
-      match labels with
-      | None ->
-          Resilient_oracle.create ?step_budget ~spot_check_every:spot_check
-            ~quarantine_after g
-      | Some (l, packed) ->
-          let store =
-            if not flat then None
-            else
-              let s = Option.value packed ~default:(Flat_hub.of_labels l) in
-              Some
-                (if cache_slots > 0 then Flat_hub.with_cache ~cache_slots s
-                 else s)
-          in
-          if inject_fraction > 0.0 then
-            let inj =
-              Fault_injector.create ~seed ~fraction:inject_fraction inject_mode
-            in
-            let primary_query, name =
-              match store with
-              | Some s -> (Flat_hub.query s, "flat-hub-labeling+faults")
-              | None -> (Hub_label.query l, "hub-labeling+faults")
-            in
-            Resilient_oracle.with_primary ?step_budget
-              ~spot_check_every:spot_check ~quarantine_after ~name
-              (Fault_injector.wrap inj primary_query)
-              g
-          else (
-            match store with
-            | Some s ->
-                Resilient_oracle.create_flat ?step_budget
-                  ~spot_check_every:spot_check ~quarantine_after ~flat:s g
-            | None ->
-                Resilient_oracle.create ?step_budget
-                  ~spot_check_every:spot_check ~quarantine_after ~labels:l g)
+    let registry = Metrics.create () in
+    let oracle, _store =
+      build_serving_oracle ~registry ~labels ~flat ~cache_slots ~step_budget
+        ~spot_check ~quarantine_after ~inject_fraction ~inject_mode ~seed g
+    in
+    let backend =
+      Obs.instrument ~prefix:"serve" registry (Resilient_oracle.backend oracle)
     in
     let pairs =
       if pairs <> [] then pairs
@@ -553,9 +586,8 @@ let serve_query_cmd =
       pairs;
     List.iter
       (fun (u, v) ->
-        let d, src = Resilient_oracle.query_detailed oracle u v in
-        Format.printf "%d %d %a %s@." u v Dist.pp d
-          (Resilient_oracle.source_name src))
+        let d, tr = Backend.query_detailed backend u v in
+        Format.printf "%d %d %a %s@." u v Dist.pp d tr.Trace.source)
       pairs;
     let s = Resilient_oracle.stats oracle in
     Format.printf "stats: %a@." Resilient_oracle.pp_stats s;
@@ -563,6 +595,11 @@ let serve_query_cmd =
       Format.printf "quarantined: %s@."
         (Option.value ~default:"primary"
            (Resilient_oracle.primary_name oracle));
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        write_file path (Metrics.to_json (Metrics.snapshot registry));
+        Format.printf "metrics: wrote %s@." path);
     if
       s.Resilient_oracle.fallback_answers > 0
       || s.Resilient_oracle.quarantines > 0
@@ -571,13 +608,117 @@ let serve_query_cmd =
   in
   let doc =
     "Answer distance queries through the resilient serving path (exit 12 \
-     when any answer came from a degraded/fallback path)."
+     when any answer came from a degraded/fallback path). With \
+     --metrics-out, dump the instrumented query counters and latency \
+     percentiles as JSON."
   in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ graph_file_arg $ labels_file $ pairs $ num $ budget
       $ spot_check $ quarantine_after $ flat $ cache_slots $ inject_fraction
-      $ inject_mode $ seed_arg)
+      $ inject_mode $ metrics_out_arg $ seed_arg)
+
+let serve_stats_cmd =
+  let num =
+    let doc = "Number of random query pairs to drive through the stack." in
+    Arg.(value & opt int 256 & info [ "num" ] ~docv:"N" ~doc)
+  in
+  let budget =
+    let doc =
+      "Per-query step budget (label scan / bidirectional expansions); 0 \
+       means unlimited."
+    in
+    Arg.(value & opt int 0 & info [ "budget" ] ~docv:"B" ~doc)
+  in
+  let spot_check =
+    let doc = "Spot-check every K-th primary answer (0 disables)." in
+    Arg.(value & opt int 1 & info [ "spot-check-every" ] ~docv:"K" ~doc)
+  in
+  let flat =
+    let doc = "Serve from the packed flat-array store (see 'serve query')." in
+    Arg.(value & flag & info [ "flat" ] ~doc)
+  in
+  let cache_slots =
+    let doc = "With --flat: direct-mapped distance-cache slots." in
+    Arg.(value & opt int 0 & info [ "cache-slots" ] ~docv:"SLOTS" ~doc)
+  in
+  let json =
+    let doc = "Print the metrics registry as JSON instead of the text report." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let traces =
+    let doc = "Number of most recent per-query trace records to show." in
+    Arg.(value & opt int 5 & info [ "traces" ] ~docv:"K" ~doc)
+  in
+  let run graph_file labels_file num budget spot_check flat cache_slots json
+      traces metrics_out seed =
+    if cache_slots < 0 then begin
+      Printf.eprintf "hubhard: --cache-slots must be non-negative\n";
+      exit 124
+    end;
+    let g = parse_graph_exit graph_file in
+    let n = Graph.n g in
+    if n = 0 then begin
+      Printf.eprintf "validation failure: empty graph\n";
+      exit exit_validation_failure
+    end;
+    let labels = Option.map parse_labels_exit labels_file in
+    Option.iter (fun (l, _) -> structural_exit g l) labels;
+    let step_budget = if budget > 0 then Some budget else None in
+    let registry = Metrics.create () in
+    let oracle, store =
+      build_serving_oracle ~registry ~labels ~flat ~cache_slots ~step_budget
+        ~spot_check ~quarantine_after:3 ~inject_fraction:0.0
+        ~inject_mode:Fault_injector.Corrupt ~seed g
+    in
+    let recorder = Trace.recorder ~capacity:(max 1 traces) in
+    let backend =
+      Obs.instrument ~recorder ~prefix:"serve" registry
+        (Resilient_oracle.backend oracle)
+    in
+    let rng = rng_of seed in
+    for _ = 1 to num do
+      ignore (Backend.query backend (Random.State.int rng n)
+                (Random.State.int rng n))
+    done;
+    let snap = Metrics.snapshot registry in
+    if json then print_string (Metrics.to_json snap)
+    else begin
+      Format.printf "backend: %s (%d words)@." (Backend.name backend)
+        (Backend.space_words backend);
+      (match store with
+      | Some s ->
+          Option.iter
+            (fun (h, m) -> Format.printf "flat cache: %d hits, %d misses@." h m)
+            (Flat_hub.cache_stats s)
+      | None -> ());
+      Format.printf "%a" Metrics.pp snap;
+      if traces > 0 then begin
+        Format.printf "recent traces (%d of %d):@."
+          (List.length (Trace.records recorder))
+          (Trace.seen recorder);
+        List.iter
+          (fun tr -> Format.printf "  %a@." Trace.pp tr)
+          (Trace.records recorder)
+      end
+    end;
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+        write_file path (Metrics.to_json snap);
+        Format.eprintf "metrics: wrote %s@." path
+  in
+  let doc =
+    "Drive random queries through the instrumented serving stack and report \
+     the metrics registry: query/source counters, cache hit/miss, latency \
+     percentiles (deterministic fixed-bucket histograms) and recent \
+     per-query traces."
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(
+      const run $ graph_file_arg $ labels_file_opt_arg $ num $ budget
+      $ spot_check $ flat $ cache_slots $ json $ traces $ metrics_out_arg
+      $ seed_arg)
 
 let serve_cmd =
   let doc =
@@ -586,7 +727,8 @@ let serve_cmd =
      codes: 10 parse failure, 11 validation failure, 12 degraded-mode \
      answers."
   in
-  Cmd.group (Cmd.info "serve" ~doc) [ serve_check_cmd; serve_query_cmd ]
+  Cmd.group (Cmd.info "serve" ~doc)
+    [ serve_check_cmd; serve_query_cmd; serve_stats_cmd ]
 
 (* ---------------------------------------------------------------- *)
 

@@ -4,7 +4,9 @@ open Repro_hub
 type kind =
   | Full of Apsp.t
   | Hub of Hub_label.t
+  | Flat of Flat_hub.t
   | On_demand of Graph.t
+  | Ext of Repro_obs.Backend.t
 
 type t = { kind : kind; space : int; label : string }
 
@@ -21,6 +23,14 @@ let hub g labels =
     label = "hub-labeling";
   }
 
+let flat g store =
+  ignore g;
+  {
+    kind = Flat store;
+    space = Flat_hub.space_words store;
+    label = "flat-hub-labeling";
+  }
+
 let on_demand g =
   {
     kind = On_demand g;
@@ -28,11 +38,28 @@ let on_demand g =
     label = "bfs-on-demand";
   }
 
+let of_backend b =
+  {
+    kind = Ext b;
+    space = Repro_obs.Backend.space_words b;
+    label = Repro_obs.Backend.name b;
+  }
+
 let query t u v =
   match t.kind with
   | Full apsp -> Apsp.dist apsp u v
   | Hub labels -> Hub_label.query labels u v
+  | Flat store -> Flat_hub.query store u v
   | On_demand g -> (Traversal.bfs g u).(v)
+  | Ext b -> Repro_obs.Backend.query b u v
 
 let name t = t.label
 let space_words t = t.space
+
+let backend t =
+  match t.kind with
+  | Ext b -> b
+  | Hub labels -> Hub_label.backend labels
+  | Flat store -> Flat_hub.backend store
+  | Full _ | On_demand _ ->
+      Repro_obs.Backend.make ~name:t.label ~space_words:t.space (query t)

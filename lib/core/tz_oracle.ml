@@ -113,6 +113,18 @@ let avg_bunch_size t =
       (Array.fold_left (fun acc b -> acc + Array.length b) 0 t.bunch)
     /. float_of_int t.n
 
+let backend t =
+  let detailed u v =
+    let d = query t u v in
+    (* both bunches are probed; sampled rows are O(1) lookups *)
+    let scanned = Array.length t.bunch.(u) + Array.length t.bunch.(v) in
+    ( d,
+      Repro_obs.Trace.make ~entries_scanned:scanned ~source:"tz-stretch3" ~u
+        ~v ~dist:d () )
+  in
+  Repro_obs.Backend.make ~name:"tz-stretch3" ~space_words:(space_words t)
+    ~detailed (query t)
+
 let max_stretch g t =
   let n = Graph.n g in
   let worst = ref 1.0 in

@@ -26,6 +26,11 @@ val space_words : t -> int
 val sample_size : t -> int
 val avg_bunch_size : t -> float
 
+val backend : t -> Repro_obs.Backend.t
+(** The oracle as a uniform serving backend (name ["tz-stretch3"]) —
+    the one approximate backend behind {!Repro_obs.Backend.S}. Traces
+    report [|B(u)| + |B(v)|] as [entries_scanned]. *)
+
 val max_stretch : Graph.t -> t -> float
 (** Exhaustive maximum ratio estimate/true over connected pairs
     (test-scale). *)

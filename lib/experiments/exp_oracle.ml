@@ -26,27 +26,18 @@ let run () =
         Array.init query_count (fun _ ->
             (Random.State.int rng n, Random.State.int rng n))
       in
+      (* every oracle — including the approximate TZ one — behind the
+         single Oracle surface *)
+      let labels = Pll.build g in
       let oracles =
         [
           Oracle.full g;
-          Oracle.hub g (Pll.build g);
+          Oracle.hub g labels;
+          Oracle.flat g (Flat_hub.of_labels labels);
           Oracle.on_demand g;
+          Oracle.of_backend (Tz_oracle.backend (Tz_oracle.build ~rng g));
         ]
       in
-      let tz = Tz_oracle.build ~rng g in
-      List.iter
-        (fun (name, space, query) ->
-          let qps = measure_queries query pairs in
-          let st = float_of_int space /. qps *. 1e6 in
-          Exp_util.row
-            [
-              name;
-              "tz-stretch3";
-              string_of_int space;
-              Printf.sprintf "%.2e" qps;
-              Exp_util.fmt_float st;
-            ])
-        [ (name, Tz_oracle.space_words tz, fun u v -> Tz_oracle.query tz u v) ];
       List.iter
         (fun o ->
           let qps = measure_queries (fun u v -> Oracle.query o u v) pairs in

@@ -4,11 +4,12 @@
     ["u v"] (or ["u v w"] in the weighted variant), 0-indexed. Blank
     lines and [#]-comments are ignored.
 
-    The [_res] parsers are the validated entry points of the serving
-    layer: they reject out-of-range endpoints, self loops, duplicate
-    edges and negative weights, and report the offending input line.
-    [of_string]/[wgraph_of_string] are thin wrappers that raise
-    [Invalid_argument] with the same message instead. *)
+    The [_res] parsers are the canonical, Result-first entry points:
+    they reject out-of-range endpoints, self loops, duplicate edges
+    and negative weights, and report the offending input line. New
+    code should match on the [result]; the raising
+    [of_string]/[wgraph_of_string] wrappers are deprecated thin shims
+    kept for old call sites and throwaway scripts. *)
 
 type parse_error = { line : int; msg : string }
 (** [line] is 1-based in the raw input (blank and comment lines
@@ -24,7 +25,10 @@ val of_string_res : string -> (Graph.t, parse_error) result
     be simple and distinct, and the edge count must match the header. *)
 
 val of_string : string -> Graph.t
-(** @raise Invalid_argument on malformed input. *)
+  [@@ocaml.deprecated "use of_string_res and match on the result"]
+(** Raising shim over {!of_string_res}.
+    @raise Invalid_argument on malformed input.
+    @deprecated Use {!of_string_res}. *)
 
 val wgraph_to_string : Wgraph.t -> string
 
@@ -32,7 +36,10 @@ val wgraph_of_string_res : string -> (Wgraph.t, parse_error) result
 (** As {!of_string_res}, additionally rejecting negative weights. *)
 
 val wgraph_of_string : string -> Wgraph.t
-(** @raise Invalid_argument on malformed input. *)
+  [@@ocaml.deprecated "use wgraph_of_string_res and match on the result"]
+(** Raising shim over {!wgraph_of_string_res}.
+    @raise Invalid_argument on malformed input.
+    @deprecated Use {!wgraph_of_string_res}. *)
 
 val to_dot : ?name:string -> Graph.t -> string
 (** Graphviz rendering, for small illustrative instances. *)

@@ -153,3 +153,34 @@ let pp ppf t =
     (match t.cache with
     | None -> "none"
     | Some c -> string_of_int c.slots ^ " slots")
+
+let backend_name = "flat-hub-labeling"
+let space_words t = Array.length t.offsets + Array.length t.data
+
+let backend t =
+  let detailed u v =
+    if u < 0 || u >= t.n || v < 0 || v >= t.n then invalid_arg "Flat_hub.query";
+    match t.cache with
+    | None ->
+        let d = raw_query t u v in
+        ( d,
+          Repro_obs.Trace.make
+            ~entries_scanned:(size t u + size t v)
+            ~source:backend_name ~u ~v ~dist:d () )
+    | Some c ->
+        let hits0 = c.hits in
+        let d = cached_query t c u v in
+        let cache =
+          if c.hits > hits0 then Repro_obs.Trace.Hit else Repro_obs.Trace.Miss
+        in
+        let scanned =
+          match cache with
+          | Repro_obs.Trace.Hit -> 0
+          | _ -> size t u + size t v
+        in
+        ( d,
+          Repro_obs.Trace.make ~entries_scanned:scanned ~cache
+            ~source:backend_name ~u ~v ~dist:d () )
+  in
+  Repro_obs.Backend.make ~name:backend_name ~space_words:(space_words t)
+    ~detailed (query t)

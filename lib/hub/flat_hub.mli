@@ -85,3 +85,13 @@ val equal : t -> t -> bool
 (** Structural equality of the packed arrays (ignores the cache). *)
 
 val pp : Format.formatter -> t -> unit
+
+val space_words : t -> int
+(** Machine words of the packed arrays: [(n + 1) + 2 * total]. *)
+
+val backend : t -> Repro_obs.Backend.t
+(** The store as a uniform serving backend (name
+    ["flat-hub-labeling"]). Traces report [|S(u)| + |S(v)|] as
+    [entries_scanned] and, on a cached store, whether the distance
+    cache hit ([entries_scanned = 0] on a hit — the packed arrays were
+    never touched). *)

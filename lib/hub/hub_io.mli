@@ -4,10 +4,12 @@
     ["v k h1 d1 h2 d2 ..."]. Lossless. Blank lines and [#]-comments
     are ignored.
 
-    {!of_string_res} is the validated entry point of the serving
-    layer: it rejects out-of-range vertex/hub ids, negative distances,
-    duplicate vertex lines, and count mismatches against the header,
-    reporting the offending input line. *)
+    {!of_string_res} is the canonical, Result-first entry point: it
+    rejects out-of-range vertex/hub ids, negative distances, duplicate
+    vertex lines, and count mismatches against the header, reporting
+    the offending input line. The raising {!of_string} /
+    {!flat_of_bytes} wrappers are deprecated thin shims kept for old
+    call sites. *)
 
 type parse_error = Repro_graph.Graph_io.parse_error = {
   line : int;
@@ -19,7 +21,10 @@ val to_string : Hub_label.t -> string
 val of_string_res : string -> (Hub_label.t, parse_error) result
 
 val of_string : string -> Hub_label.t
-(** @raise Invalid_argument on malformed input. *)
+  [@@ocaml.deprecated "use of_string_res and match on the result"]
+(** Raising shim over {!of_string_res}.
+    @raise Invalid_argument on malformed input.
+    @deprecated Use {!of_string_res}. *)
 
 (** {1 Binary packed form}
 
@@ -42,4 +47,7 @@ val flat_of_bytes_res : string -> (Flat_hub.t, parse_error) result
     offending word. *)
 
 val flat_of_bytes : string -> Flat_hub.t
-(** @raise Invalid_argument on malformed input. *)
+  [@@ocaml.deprecated "use flat_of_bytes_res and match on the result"]
+(** Raising shim over {!flat_of_bytes_res}.
+    @raise Invalid_argument on malformed input.
+    @deprecated Use {!flat_of_bytes_res}. *)

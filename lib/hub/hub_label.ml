@@ -100,3 +100,17 @@ let restrict t ~keep =
 let pp ppf t =
   Format.fprintf ppf "hub_label(n=%d, total=%d, avg=%.2f, max=%d)" t.n
     (total_size t) (avg_size t) (max_size t)
+
+let backend_name = "hub-labeling"
+
+let backend t =
+  let detailed u v =
+    let d = query t u v in
+    (* the sorted merge touches at most |S(u)| + |S(v)| entries *)
+    ( d,
+      Repro_obs.Trace.make
+        ~entries_scanned:(size t u + size t v)
+        ~source:backend_name ~u ~v ~dist:d () )
+  in
+  Repro_obs.Backend.make ~name:backend_name
+    ~space_words:(2 * total_size t) ~detailed (query t)

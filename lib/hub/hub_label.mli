@@ -58,3 +58,8 @@ val restrict : t -> keep:(int -> int -> bool) -> t
     which [keep v hub] is false. *)
 
 val pp : Format.formatter -> t -> unit
+
+val backend : t -> Repro_obs.Backend.t
+(** The labeling as a uniform serving backend (name ["hub-labeling"],
+    space = two words per stored pair). Traces report
+    [|S(u)| + |S(v)|] as [entries_scanned]. *)

@@ -1,0 +1,29 @@
+module type S = sig
+  val name : string
+  val space_words : int
+  val query : int -> int -> int
+  val query_detailed : int -> int -> int * Trace.t
+end
+
+type t = (module S)
+
+let name (module B : S) = B.name
+let space_words (module B : S) = B.space_words
+let query (module B : S) = B.query
+let query_detailed (module B : S) = B.query_detailed
+
+let make ~name ~space_words ?detailed q =
+  let module B = struct
+    let name = name
+    let space_words = space_words
+    let query = q
+
+    let query_detailed =
+      match detailed with
+      | Some f -> f
+      | None ->
+          fun u v ->
+            let d = q u v in
+            (d, Trace.make ~source:name ~u ~v ~dist:d ())
+  end in
+  (module B : S)

@@ -1,0 +1,46 @@
+(** The one backend signature of the serving stack.
+
+    Every distance oracle in the repository — the assoc hub labeling,
+    the packed {!Flat_hub} store, the full matrix, BFS-on-demand, the
+    Thorup–Zwick stretch-3 oracle and the resilient serving wrapper —
+    exposes itself as a first-class module of this signature, so the
+    CLI, the bench harness and {!Obs.instrument} treat them all
+    identically. A backend value closes over its own state; the module
+    is the query surface only.
+
+    [query_detailed] also returns a {!Trace.t} record explaining the
+    answer; the plain [query] is the uninstrumented hot path. *)
+
+module type S = sig
+  val name : string
+  (** Stable identifier, used as the metric-name prefix (e.g.
+      ["flat-hub-labeling"]). *)
+
+  val space_words : int
+  (** Machine words held by the query structure ([0] when unknown, e.g.
+      an arbitrary injected function). *)
+
+  val query : int -> int -> int
+  (** Exact or approximate distance, {!Repro_graph.Dist.inf} when
+      unreachable. *)
+
+  val query_detailed : int -> int -> int * Trace.t
+  (** Like [query], with the trace record explaining the answer. *)
+end
+
+type t = (module S)
+
+val name : t -> string
+val space_words : t -> int
+val query : t -> int -> int -> int
+val query_detailed : t -> int -> int -> int * Trace.t
+
+val make :
+  name:string ->
+  space_words:int ->
+  ?detailed:(int -> int -> int * Trace.t) ->
+  (int -> int -> int) ->
+  t
+(** Pack a query function as a backend. Without [detailed],
+    [query_detailed] wraps the plain query in a minimal trace
+    ([source = name], nothing else filled in). *)

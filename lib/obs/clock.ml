@@ -1,0 +1,29 @@
+type t = unit -> int64
+
+(* gettimeofday can step backwards (NTP); clamp so latencies are never
+   negative. *)
+let monotonic =
+  let last = ref 0L in
+  fun () ->
+    let now = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+    if Int64.compare now !last > 0 then last := now;
+    !last
+
+type manual = { mutable now : int64; auto_step : int64 }
+
+let manual ?(start = 0L) ?(auto_step = 0L) () =
+  if Int64.compare auto_step 0L < 0 then
+    invalid_arg "Clock.manual: auto_step must be non-negative";
+  { now = start; auto_step }
+
+let read m () =
+  let t = m.now in
+  m.now <- Int64.add m.now m.auto_step;
+  t
+
+let advance m delta =
+  if Int64.compare delta 0L < 0 then
+    invalid_arg "Clock.advance: negative step";
+  m.now <- Int64.add m.now delta
+
+let now m = m.now

@@ -1,0 +1,38 @@
+(** Nanosecond clocks behind the latency instrumentation.
+
+    Everything in {!Metrics} and {!Obs} that measures time reads one of
+    these, so tests swap in a {!manual} clock and get bit-identical
+    histograms on every run — no wall-clock dependence anywhere in the
+    observability test surface. *)
+
+type t = unit -> int64
+(** A clock is a function returning the current time in nanoseconds.
+    Only differences of readings are meaningful. *)
+
+val monotonic : t
+(** The process clock (best available without external dependencies;
+    backed by [Unix.gettimeofday], scaled to nanoseconds). Readings are
+    clamped to be non-decreasing, so a wall-clock step backwards can
+    never produce a negative latency. *)
+
+type manual
+(** A hand-driven clock for deterministic tests. *)
+
+val manual : ?start:int64 -> ?auto_step:int64 -> unit -> manual
+(** [manual ()] starts at [start] (default [0L]). When [auto_step] is
+    positive, every reading first returns the current time and then
+    advances it by [auto_step] — so two consecutive readings (the
+    pattern {!Obs.instrument} uses around a query) are exactly
+    [auto_step] apart, making measured latencies a pure function of the
+    query count.
+    @raise Invalid_argument on a negative [auto_step]. *)
+
+val read : manual -> t
+(** The clock face of a manual clock. *)
+
+val advance : manual -> int64 -> unit
+(** Move a manual clock forward.
+    @raise Invalid_argument on a negative step. *)
+
+val now : manual -> int64
+(** Current reading without advancing (even under [auto_step]). *)

@@ -1,0 +1,237 @@
+type counter = { mutable count : int }
+type gauge = { mutable value : int }
+
+type histogram = {
+  bounds : int array; (* strictly increasing bucket upper bounds *)
+  buckets : int array; (* length bounds + 1; last slot is overflow *)
+  mutable total : int;
+  mutable sum : int;
+  mutable max_seen : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let register t name make check =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> check m
+  | None ->
+      let m = make () in
+      Hashtbl.add t.tbl name m;
+      m
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S already registered as a different kind" name)
+
+let counter t name =
+  match
+    register t name
+      (fun () -> Counter { count = 0 })
+      (function Counter _ as m -> m | _ -> kind_error name)
+  with
+  | Counter c -> c
+  | _ -> assert false
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  c.count <- c.count + by
+
+let counter_value c = c.count
+
+let gauge t name =
+  match
+    register t name
+      (fun () -> Gauge { value = 0 })
+      (function Gauge _ as m -> m | _ -> kind_error name)
+  with
+  | Gauge g -> g
+  | _ -> assert false
+
+let set_gauge g v = g.value <- v
+let gauge_value g = g.value
+
+let default_latency_buckets =
+  [|
+    100; 250; 500; 1_000; 2_500; 5_000; 10_000; 25_000; 50_000; 100_000;
+    250_000; 500_000; 1_000_000; 2_500_000; 5_000_000; 10_000_000; 50_000_000;
+    100_000_000; 500_000_000; 1_000_000_000;
+  |]
+
+let check_bounds bounds =
+  if Array.length bounds = 0 then
+    invalid_arg "Metrics.histogram: empty bucket bounds";
+  for i = 1 to Array.length bounds - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Metrics.histogram: bounds must be strictly increasing"
+  done
+
+let histogram ?(buckets = default_latency_buckets) t name =
+  check_bounds buckets;
+  match
+    register t name
+      (fun () ->
+        Histogram
+          {
+            bounds = Array.copy buckets;
+            buckets = Array.make (Array.length buckets + 1) 0;
+            total = 0;
+            sum = 0;
+            max_seen = 0;
+          })
+      (function
+        | Histogram h as m ->
+            if h.bounds <> buckets then
+              invalid_arg
+                (Printf.sprintf
+                   "Metrics: histogram %S already registered with different \
+                    buckets"
+                   name);
+            m
+        | _ -> kind_error name)
+  with
+  | Histogram h -> h
+  | _ -> assert false
+
+(* Index of the first bound >= v, or (length bounds) for overflow. *)
+let bucket_of h v =
+  let lo = ref 0 and hi = ref (Array.length h.bounds) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if h.bounds.(mid) >= v then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let observe h v =
+  let v = max v 0 in
+  let b = bucket_of h v in
+  h.buckets.(b) <- h.buckets.(b) + 1;
+  h.total <- h.total + 1;
+  h.sum <- h.sum + v;
+  if v > h.max_seen then h.max_seen <- v
+
+let observe_span ?(clock = Clock.monotonic) h f =
+  let t0 = clock () in
+  let finally () = observe h (Int64.to_int (Int64.sub (clock ()) t0)) in
+  Fun.protect ~finally f
+
+let hist_count h = h.total
+let hist_sum h = h.sum
+let hist_max h = h.max_seen
+
+let percentile h q =
+  if q <= 0.0 || q > 1.0 then
+    invalid_arg "Metrics.percentile: q must lie in (0, 1]";
+  if h.total = 0 then 0
+  else begin
+    let rank = Stdlib.max 1 (int_of_float (ceil (q *. float_of_int h.total))) in
+    let acc = ref 0 and b = ref 0 in
+    while !acc < rank do
+      acc := !acc + h.buckets.(!b);
+      if !acc < rank then Stdlib.incr b
+    done;
+    if !b >= Array.length h.bounds then h.max_seen
+    else Stdlib.min h.bounds.(!b) h.max_seen
+  end
+
+type hist_summary = {
+  count : int;
+  sum : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  max : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * hist_summary) list;
+}
+
+let summarise h =
+  {
+    count = h.total;
+    sum = h.sum;
+    p50 = percentile h 0.5;
+    p90 = percentile h 0.9;
+    p99 = percentile h 0.99;
+    max = h.max_seen;
+  }
+
+let snapshot t =
+  let by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  Hashtbl.iter
+    (fun name -> function
+      | Counter c -> counters := (name, c.count) :: !counters
+      | Gauge g -> gauges := (name, g.value) :: !gauges
+      | Histogram h -> histograms := (name, summarise h) :: !histograms)
+    t.tbl;
+  {
+    counters = by_name !counters;
+    gauges = by_name !gauges;
+    histograms = by_name !histograms;
+  }
+
+let find_counter s name = List.assoc_opt name s.counters
+let find_histogram s name = List.assoc_opt name s.histograms
+
+(* Metric names are identifier-like by convention, but escape anyway so
+   the output is always valid JSON. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json s =
+  let buf = Buffer.create 1024 in
+  let obj fields body =
+    Buffer.add_string buf "{";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf ", ";
+        body x)
+      fields;
+    Buffer.add_string buf "}"
+  in
+  Buffer.add_string buf "{\n  \"counters\": ";
+  obj s.counters (fun (name, v) ->
+      Buffer.add_string buf (Printf.sprintf "\"%s\": %d" (json_escape name) v));
+  Buffer.add_string buf ",\n  \"gauges\": ";
+  obj s.gauges (fun (name, v) ->
+      Buffer.add_string buf (Printf.sprintf "\"%s\": %d" (json_escape name) v));
+  Buffer.add_string buf ",\n  \"histograms\": ";
+  obj s.histograms (fun (name, h) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\"%s\": {\"count\": %d, \"sum_ns\": %d, \"p50_ns\": %d, \
+            \"p90_ns\": %d, \"p99_ns\": %d, \"max_ns\": %d}"
+           (json_escape name) h.count h.sum h.p50 h.p90 h.p99 h.max));
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+let pp ppf s =
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "counter   %-42s %d@." name v)
+    s.counters;
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "gauge     %-42s %d@." name v)
+    s.gauges;
+  List.iter
+    (fun (name, h) ->
+      Format.fprintf ppf
+        "histogram %-42s count=%d p50=%dns p90=%dns p99=%dns max=%dns@." name
+        h.count h.p50 h.p90 h.p99 h.max)
+    s.histograms

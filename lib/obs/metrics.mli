@@ -1,0 +1,113 @@
+(** A metrics registry: named counters, gauges and fixed-bucket latency
+    histograms.
+
+    The registry is the one shared sink of the serving stack — the
+    resilient oracle emits its incident counters here, {!Obs.instrument}
+    times every backend query into a histogram here, and the CLI and
+    bench harness export the whole thing as JSON or a text report.
+
+    Histograms have {e fixed} bucket upper bounds, so the percentile
+    snapshot is a deterministic function of the observed values: no
+    sampling, no decay, no wall-clock dependence. Under the manual
+    {!Clock} the entire snapshot is reproducible bit for bit, which is
+    what the observability test suite locks in.
+
+    Metric names are flat strings; the convention throughout the stack
+    is dot-separated paths, e.g. [flat-hub-labeling.latency_ns] or
+    [resilient.spot_checks]. Registering the same name twice returns
+    the same metric; re-registering a name as a different metric kind
+    raises. *)
+
+type t
+(** A registry. Not thread-safe (like the stores it observes). *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {1 Counters and gauges} *)
+
+val counter : t -> string -> counter
+(** Get or create a monotonically increasing counter. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1) to a counter.
+    @raise Invalid_argument on a negative [by]. *)
+
+val counter_value : counter -> int
+
+val gauge : t -> string -> gauge
+(** Get or create a gauge (a settable instantaneous value). *)
+
+val set_gauge : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+(** {1 Latency histograms} *)
+
+val default_latency_buckets : int array
+(** Exponentially spaced upper bounds in nanoseconds, from 100ns to
+    1s. Values above the last bound land in an implicit overflow
+    bucket. *)
+
+val histogram : ?buckets:int array -> t -> string -> histogram
+(** Get or create a histogram. [buckets] (default
+    {!default_latency_buckets}) are the strictly increasing bucket
+    upper bounds; an overflow bucket is added implicitly.
+    @raise Invalid_argument on empty or non-increasing [buckets], or if
+    the name already exists with different buckets. *)
+
+val observe : histogram -> int -> unit
+(** Record one value (negative values are clamped to 0). *)
+
+val observe_span : ?clock:Clock.t -> histogram -> (unit -> 'a) -> 'a
+(** Time a thunk with [clock] (default {!Clock.monotonic}) and record
+    the elapsed nanoseconds — also when the thunk raises. *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> int
+val hist_max : histogram -> int
+
+val percentile : histogram -> float -> int
+(** [percentile h q] for [q] in [(0, 1]]: the upper bound of the bucket
+    containing the sample of rank [ceil (q * count)], capped at the
+    maximum observed value (so a single sample reports itself exactly,
+    and overflow-bucket percentiles report the true maximum). [0] when
+    the histogram is empty.
+    @raise Invalid_argument when [q] is outside [(0, 1]]. *)
+
+(** {1 Snapshots and export} *)
+
+type hist_summary = {
+  count : int;
+  sum : int;  (** total observed nanoseconds *)
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  max : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * hist_summary) list;
+}
+(** All lists sorted by metric name, so snapshots of equal registries
+    are structurally equal. *)
+
+val snapshot : t -> snapshot
+
+val find_counter : snapshot -> string -> int option
+val find_histogram : snapshot -> string -> hist_summary option
+
+val to_json : snapshot -> string
+(** The registry as one JSON object:
+    [{"counters": {name: int, ...},
+      "gauges": {name: int, ...},
+      "histograms": {name: {"count": int, "sum_ns": int, "p50_ns": int,
+                            "p90_ns": int, "p99_ns": int, "max_ns": int}}}]
+    (see docs/OBSERVABILITY.md for the full schema). *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Human-readable text report, one metric per line. *)

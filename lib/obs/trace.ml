@@ -1,0 +1,63 @@
+open Repro_graph
+
+type cache_status = Hit | Miss | Uncached
+
+let cache_name = function
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Uncached -> "uncached"
+
+type t = {
+  u : int;
+  v : int;
+  dist : int;
+  source : string;
+  entries_scanned : int;
+  cache : cache_status;
+  fallback_hops : int;
+}
+
+let make ?(entries_scanned = 0) ?(cache = Uncached) ?(fallback_hops = 0)
+    ~source ~u ~v ~dist () =
+  { u; v; dist; source; entries_scanned; cache; fallback_hops }
+
+let to_json t =
+  Printf.sprintf
+    "{\"u\": %d, \"v\": %d, \"dist\": %d, \"source\": \"%s\", \
+     \"entries_scanned\": %d, \"cache\": \"%s\", \"fallback_hops\": %d}"
+    t.u t.v
+    (if Dist.is_finite t.dist then t.dist else -1)
+    t.source t.entries_scanned (cache_name t.cache) t.fallback_hops
+
+let pp ppf t =
+  Format.fprintf ppf
+    "query (%d, %d) -> %a via %s [scanned=%d cache=%s fallback_hops=%d]" t.u
+    t.v Dist.pp t.dist t.source t.entries_scanned (cache_name t.cache)
+    t.fallback_hops
+
+type recorder = {
+  capacity : int;
+  buf : t option array;
+  mutable next : int; (* slot for the next record *)
+  mutable total : int;
+}
+
+let recorder ~capacity =
+  if capacity <= 0 then invalid_arg "Trace.recorder: capacity must be positive";
+  { capacity; buf = Array.make capacity None; next = 0; total = 0 }
+
+let record r t =
+  r.buf.(r.next) <- Some t;
+  r.next <- (r.next + 1) mod r.capacity;
+  r.total <- r.total + 1
+
+let records r =
+  let out = ref [] in
+  (* walk backwards from the most recent slot, then reverse *)
+  for k = 0 to r.capacity - 1 do
+    let slot = (r.next - 1 - k + (2 * r.capacity)) mod r.capacity in
+    match r.buf.(slot) with Some t -> out := t :: !out | None -> ()
+  done;
+  !out
+
+let seen r = r.total

@@ -1,0 +1,60 @@
+(** Per-query trace records.
+
+    Every backend behind {!Backend.S} can explain a query: which stage
+    served it, how many label entries the scan touched, whether the
+    distance cache hit, and how far down the degradation chain the
+    answer came from. {!Obs.instrument} turns these fields into
+    registry counters; the ring-buffer {!recorder} keeps the most
+    recent records for inspection (the [serve stats] CLI prints them).
+
+    Distances use the {!Repro_graph.Dist} convention; in JSON an
+    unreachable pair is encoded as [-1]. *)
+
+type cache_status = Hit | Miss | Uncached
+
+val cache_name : cache_status -> string
+(** ["hit"], ["miss"] or ["uncached"]. *)
+
+type t = {
+  u : int;
+  v : int;  (** query endpoints *)
+  dist : int;  (** served distance ({!Repro_graph.Dist.inf} if unreachable) *)
+  source : string;  (** backend or degradation stage that answered *)
+  entries_scanned : int;  (** label entries touched; [0] when not applicable *)
+  cache : cache_status;
+  fallback_hops : int;  (** 0 = primary; each chain stage adds one *)
+}
+
+val make :
+  ?entries_scanned:int ->
+  ?cache:cache_status ->
+  ?fallback_hops:int ->
+  source:string ->
+  u:int ->
+  v:int ->
+  dist:int ->
+  unit ->
+  t
+(** Defaults: [entries_scanned = 0], [cache = Uncached],
+    [fallback_hops = 0]. *)
+
+val to_json : t -> string
+(** One-line JSON object (see docs/OBSERVABILITY.md for the schema). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Ring-buffer recorder} *)
+
+type recorder
+(** Keeps the last [capacity] records offered. *)
+
+val recorder : capacity:int -> recorder
+(** @raise Invalid_argument unless [capacity > 0]. *)
+
+val record : recorder -> t -> unit
+
+val records : recorder -> t list
+(** Retained records, oldest first (at most [capacity]). *)
+
+val seen : recorder -> int
+(** Total records offered, including evicted ones. *)

@@ -1,5 +1,8 @@
 open Repro_graph
 open Repro_hub
+module Backend = Repro_obs.Backend
+module Metrics = Repro_obs.Metrics
+module Trace = Repro_obs.Trace
 
 type source = Primary | Bidirectional | Bfs
 
@@ -22,10 +25,39 @@ type stats = {
 
 exception Over_budget
 
+(* Live counter handles into a caller-supplied registry, mirroring the
+   mutable stats fields one for one (see [stats] / the differential
+   test in test_obs.ml). *)
+type emitters = {
+  e_queries : Metrics.counter;
+  e_primary_answers : Metrics.counter;
+  e_fallback_answers : Metrics.counter;
+  e_spot_checks : Metrics.counter;
+  e_disagreements : Metrics.counter;
+  e_faults : Metrics.counter;
+  e_budget_exhausted : Metrics.counter;
+  e_validation_failures : Metrics.counter;
+  e_quarantines : Metrics.counter;
+}
+
+let emitters_of registry =
+  let c name = Metrics.counter registry ("resilient." ^ name) in
+  {
+    e_queries = c "queries";
+    e_primary_answers = c "primary_answers";
+    e_fallback_answers = c "fallback_answers";
+    e_spot_checks = c "spot_checks";
+    e_disagreements = c "disagreements";
+    e_faults = c "faults";
+    e_budget_exhausted = c "budget_exhausted";
+    e_validation_failures = c "validation_failures";
+    e_quarantines = c "quarantines";
+  }
+
 type t = {
   graph : Graph.t;
-  prim_name : string option;
-  primary : (int -> int -> int) option;
+  primary : Backend.t option;
+  emit : emitters option;
   step_budget : int;
   spot_check_every : int;
   quarantine_after : int;
@@ -43,16 +75,18 @@ type t = {
   mutable quarantines : int;
 }
 
+let note t sel = match t.emit with Some e -> Metrics.incr (sel e) | None -> ()
+
 let make ?(step_budget = max_int) ?(spot_check_every = 1)
-    ?(quarantine_after = 3) ~prim_name ~primary graph =
+    ?(quarantine_after = 3) ?metrics ~primary graph =
   if step_budget <= 0 then
     invalid_arg "Resilient_oracle: step_budget must be positive";
   if quarantine_after <= 0 then
     invalid_arg "Resilient_oracle: quarantine_after must be positive";
   {
     graph;
-    prim_name;
     primary;
+    emit = Option.map emitters_of metrics;
     step_budget;
     spot_check_every;
     quarantine_after;
@@ -70,44 +104,70 @@ let make ?(step_budget = max_int) ?(spot_check_every = 1)
     quarantines = 0;
   }
 
-let create ?step_budget ?spot_check_every ?quarantine_after ?labels g =
-  match labels with
-  | None ->
-      make ?step_budget ?spot_check_every ?quarantine_after ~prim_name:None
-        ~primary:None g
-  | Some l ->
-      if Hub_label.n l <> Graph.n g then
-        invalid_arg "Resilient_oracle.create: labeling and graph disagree on n";
-      let budget = Option.value step_budget ~default:max_int in
-      let q u v =
-        if Hub_label.size l u + Hub_label.size l v > budget then
-          raise Over_budget;
-        Hub_label.query l u v
-      in
-      make ?step_budget ?spot_check_every ?quarantine_after
-        ~prim_name:(Some "hub-labeling") ~primary:(Some q) g
+(* Budget-capped primaries over the two label stores. The scan budget
+   caps |S(u)| + |S(v)|; exceeding it raises [Over_budget], which the
+   serving loop treats as a clean skip (no strike). *)
 
-let create_flat ?step_budget ?spot_check_every ?quarantine_after ~flat g =
+let budget_capped base scan_cost = function
+  | None -> base
+  | Some budget ->
+      let guard u v = if scan_cost u v > budget then raise Over_budget in
+      let detailed u v =
+        guard u v;
+        Backend.query_detailed base u v
+      in
+      Backend.make ~name:(Backend.name base)
+        ~space_words:(Backend.space_words base) ~detailed
+        (fun u v ->
+          guard u v;
+          Backend.query base u v)
+
+let hub_primary ?step_budget labels =
+  budget_capped (Hub_label.backend labels)
+    (fun u v -> Hub_label.size labels u + Hub_label.size labels v)
+    step_budget
+
+let flat_primary ?step_budget store =
+  budget_capped (Flat_hub.backend store)
+    (fun u v -> Flat_hub.size store u + Flat_hub.size store v)
+    step_budget
+
+let create ?step_budget ?spot_check_every ?quarantine_after ?metrics ?labels
+    ?primary g =
+  let primary =
+    match (primary, labels) with
+    | Some _, Some _ ->
+        invalid_arg "Resilient_oracle.create: pass ~labels or ~primary, not both"
+    | Some b, None -> Some b
+    | None, Some l ->
+        if Hub_label.n l <> Graph.n g then
+          invalid_arg
+            "Resilient_oracle.create: labeling and graph disagree on n";
+        Some (hub_primary ?step_budget l)
+    | None, None -> None
+  in
+  make ?step_budget ?spot_check_every ?quarantine_after ?metrics ~primary g
+
+let create_flat ?step_budget ?spot_check_every ?quarantine_after ?metrics ~flat
+    g =
   if Flat_hub.n flat <> Graph.n g then
     invalid_arg "Resilient_oracle.create_flat: store and graph disagree on n";
-  let budget = Option.value step_budget ~default:max_int in
-  let q u v =
-    if Flat_hub.size flat u + Flat_hub.size flat v > budget then
-      raise Over_budget;
-    Flat_hub.query flat u v
-  in
-  make ?step_budget ?spot_check_every ?quarantine_after
-    ~prim_name:(Some "flat-hub-labeling") ~primary:(Some q) g
+  create ?step_budget ?spot_check_every ?quarantine_after ?metrics
+    ~primary:(flat_primary ?step_budget flat)
+    g
 
-let with_primary ?step_budget ?spot_check_every ?quarantine_after ~name f g =
-  make ?step_budget ?spot_check_every ?quarantine_after ~prim_name:(Some name)
-    ~primary:(Some f) g
+let with_primary ?step_budget ?spot_check_every ?quarantine_after ?metrics
+    ~name f g =
+  create ?step_budget ?spot_check_every ?quarantine_after ?metrics
+    ~primary:(Backend.make ~name ~space_words:0 f)
+    g
 
 let strike t =
   t.strikes <- t.strikes + 1;
   if (not t.is_quarantined) && t.strikes >= t.quarantine_after then begin
     t.is_quarantined <- true;
-    t.quarantines <- t.quarantines + 1
+    t.quarantines <- t.quarantines + 1;
+    note t (fun e -> e.e_quarantines)
   end
 
 (* The chain below the primary. Plain BFS is the unbudgeted final
@@ -117,29 +177,35 @@ let compute_fallback t u v =
   | Some d -> (d, Bidirectional)
   | None ->
       t.budget_exhausted <- t.budget_exhausted + 1;
+      note t (fun e -> e.e_budget_exhausted);
       ((Traversal.bfs t.graph u).(v), Bfs)
 
 let serve_fallback t u v =
   let d, src = compute_fallback t u v in
   t.fallback_answers <- t.fallback_answers + 1;
+  note t (fun e -> e.e_fallback_answers);
   (d, src)
 
 let query_detailed t u v =
   let n = Graph.n t.graph in
   if u < 0 || u >= n || v < 0 || v >= n then begin
     t.validation_failures <- t.validation_failures + 1;
+    note t (fun e -> e.e_validation_failures);
     invalid_arg "Resilient_oracle.query: vertex out of range"
   end;
   t.queries <- t.queries + 1;
+  note t (fun e -> e.e_queries);
   match t.primary with
   | Some p when not t.is_quarantined -> (
       t.primary_attempts <- t.primary_attempts + 1;
-      match p u v with
+      match Backend.query p u v with
       | exception Over_budget ->
           t.budget_exhausted <- t.budget_exhausted + 1;
+          note t (fun e -> e.e_budget_exhausted);
           serve_fallback t u v
       | exception _ ->
           t.faults <- t.faults + 1;
+          note t (fun e -> e.e_faults);
           strike t;
           serve_fallback t u v
       | d ->
@@ -149,19 +215,24 @@ let query_detailed t u v =
           in
           if not checked then begin
             t.primary_answers <- t.primary_answers + 1;
+            note t (fun e -> e.e_primary_answers);
             (d, Primary)
           end
           else begin
             t.spot_checks <- t.spot_checks + 1;
+            note t (fun e -> e.e_spot_checks);
             let truth, src = compute_fallback t u v in
             if truth = d then begin
               t.primary_answers <- t.primary_answers + 1;
+              note t (fun e -> e.e_primary_answers);
               (d, Primary)
             end
             else begin
               t.disagreements <- t.disagreements + 1;
+              note t (fun e -> e.e_disagreements);
               strike t;
               t.fallback_answers <- t.fallback_answers + 1;
+              note t (fun e -> e.e_fallback_answers);
               (truth, src)
             end
           end)
@@ -183,7 +254,27 @@ let stats t =
   }
 
 let quarantined t = t.is_quarantined
-let primary_name t = t.prim_name
+let primary_name t = Option.map Backend.name t.primary
+
+let fallback_hops = function Primary -> 0 | Bidirectional -> 1 | Bfs -> 2
+
+let backend t =
+  let name =
+    match primary_name t with
+    | Some p -> "resilient(" ^ p ^ ")"
+    | None -> "resilient(search)"
+  in
+  let space =
+    (2 * Graph.m t.graph) + Graph.n t.graph
+    + (match t.primary with Some p -> Backend.space_words p | None -> 0)
+  in
+  let detailed u v =
+    let d, src = query_detailed t u v in
+    ( d,
+      Trace.make ~fallback_hops:(fallback_hops src) ~source:(source_name src)
+        ~u ~v ~dist:d () )
+  in
+  Backend.make ~name ~space_words:space ~detailed (query t)
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf

@@ -1,7 +1,8 @@
 (** Resilient distance serving.
 
-    Wraps a fast-but-untrusted primary backend (typically hub labels,
-    possibly loaded from disk) with:
+    Wraps a fast-but-untrusted primary backend (any
+    {!Repro_obs.Backend.S}, typically hub labels, possibly loaded from
+    disk) with:
 
     - {b input validation}: out-of-range endpoints are rejected and
       counted, never forwarded to a backend;
@@ -16,7 +17,10 @@
       (disagreements or raised exceptions) the primary is taken out of
       rotation for good;
     - {b an incident log}: the {!stats} record counts everything the
-      degradation machinery did.
+      degradation machinery did, and the same events stream live into a
+      {!Repro_obs.Metrics} registry when one is attached at creation
+      ([resilient.queries], [resilient.faults], [resilient.quarantines]
+      and friends — one counter per {!stats} field).
 
     With [spot_check_every = 1] every served answer is exact whatever
     the primary returns — the configuration the fault-injection suite
@@ -41,53 +45,78 @@ type stats = {
   quarantines : int;  (** 0 or 1: the primary was taken out of rotation *)
 }
 
+exception Over_budget
+(** Raised by a budget-capped primary when a query's label scan would
+    exceed the step budget. The serving loop treats it as a clean skip
+    (fall back, no strike); custom primaries may raise it for the same
+    effect. *)
+
 type t
 
 val create :
   ?step_budget:int ->
   ?spot_check_every:int ->
   ?quarantine_after:int ->
+  ?metrics:Repro_obs.Metrics.t ->
   ?labels:Hub_label.t ->
+  ?primary:Repro_obs.Backend.t ->
   Graph.t ->
   t
-(** [create g] builds a resilient oracle over [g]; [labels] is the
-    primary hub-label backend (omit it for a search-only oracle).
+(** [create g] builds a resilient oracle over [g]. The single unified
+    entry point: [primary] is any uniform backend (build budget-capped
+    label backends with {!hub_primary} / {!flat_primary}); omit it for
+    a search-only oracle. [labels] is the legacy spelling of
+    [~primary:(hub_primary ?step_budget labels)] kept so existing
+    callers compile unchanged — pass one of the two, not both.
 
     [spot_check_every k]: every [k]-th successful primary answer is
     re-derived through the fallback chain; [k = 1] (default) verifies
     every answer, [k <= 0] disables spot checks. [quarantine_after q]
     (default 3): after [q] strikes the primary is never consulted
     again. [step_budget] (default: effectively unlimited) caps both
-    the primary's label-scan length ([|S(u)| + |S(v)|]) and the
+    the label-scan length of the [labels] primary and the
     bidirectional stage's vertex expansions before degrading to plain
-    BFS.
+    BFS. [metrics]: a registry that receives every incident counter
+    live, under the [resilient.] prefix.
 
-    @raise Invalid_argument if [labels] disagree with [g] on [n], or
-    on a non-positive [step_budget]/[quarantine_after]. *)
+    @raise Invalid_argument if both [labels] and [primary] are given,
+    if [labels] disagree with [g] on [n], or on a non-positive
+    [step_budget]/[quarantine_after]. *)
+
+val hub_primary : ?step_budget:int -> Hub_label.t -> Repro_obs.Backend.t
+(** {!Hub_label.backend}, additionally raising {!Over_budget} when
+    [|S(u)| + |S(v)|] exceeds [step_budget]. *)
+
+val flat_primary : ?step_budget:int -> Flat_hub.t -> Repro_obs.Backend.t
+(** {!Flat_hub.backend} with the same scan-budget cap. *)
 
 val create_flat :
   ?step_budget:int ->
   ?spot_check_every:int ->
   ?quarantine_after:int ->
+  ?metrics:Repro_obs.Metrics.t ->
   flat:Flat_hub.t ->
   Graph.t ->
   t
-(** Like {!create} with labels, but the primary is a packed
-    {!Flat_hub} store (primary name ["flat-hub-labeling"]). The same
-    [step_budget] cap on [|S(u)| + |S(v)|] applies.
-    @raise Invalid_argument if [flat] disagrees with [g] on [n]. *)
+(** [create ~primary:(flat_primary ?step_budget flat)] plus an [n]
+    consistency check.
+    @raise Invalid_argument if [flat] disagrees with [g] on [n].
+    @deprecated Use {!create} with [~primary:(flat_primary flat)]. *)
 
 val with_primary :
   ?step_budget:int ->
   ?spot_check_every:int ->
   ?quarantine_after:int ->
+  ?metrics:Repro_obs.Metrics.t ->
   name:string ->
   (int -> int -> int) ->
   Graph.t ->
   t
-(** Arbitrary primary backend; exceptions it raises are contained and
+(** [create ~primary:(Backend.make ~name ~space_words:0 f)]: an
+    arbitrary primary function; exceptions it raises are contained and
     count as faults/strikes. This is the hook the fault-injection
-    harness uses. *)
+    harness uses.
+    @deprecated Use {!create} with [~primary]. *)
 
 val query : t -> int -> int -> int
 (** Exact distance ({!Dist.inf} when disconnected) whenever spot
@@ -101,5 +130,15 @@ val query_detailed : t -> int -> int -> int * source
 
 val stats : t -> stats
 val quarantined : t -> bool
+
 val primary_name : t -> string option
+(** The primary backend's [name], if a primary was configured. *)
+
+val backend : t -> Repro_obs.Backend.t
+(** The whole resilient oracle behind the uniform signature (name
+    ["resilient(<primary>)"] or ["resilient(search)"]). Traces carry
+    the serving stage as [source] and the chain depth as
+    [fallback_hops] (primary 0, bidirectional 1, BFS 2);
+    [space_words] adds the stored graph to the primary's accounting. *)
+
 val pp_stats : Format.formatter -> stats -> unit

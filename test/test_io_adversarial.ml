@@ -77,14 +77,15 @@ let test_wgraph_bad_lines () =
   in
   Test_util.check_int "zero weight accepted" 1 (Wgraph.m g)
 
-(* Legacy raising wrappers keep their exception contract. *)
+(* Legacy raising wrappers (now deprecated shims over the [_res]
+   parsers) keep their exception contract. *)
 let test_compat_raises () =
   Alcotest.check_raises "of_string raises"
     (Invalid_argument "Graph_io.of_string: edge count mismatch") (fun () ->
-      ignore (Graph_io.of_string "3 2\n0 1\n"));
+      ignore ((Graph_io.of_string [@alert "-deprecated"]) "3 2\n0 1\n"));
   Alcotest.check_raises "hub of_string raises"
     (Invalid_argument "Hub_io.of_string: duplicate vertex line") (fun () ->
-      ignore (Hub_io.of_string "2 2\n0 1 0 0\n0 1 0 0\n"))
+      ignore ((Hub_io.of_string [@alert "-deprecated"]) "2 2\n0 1 0 0\n0 1 0 0\n"))
 
 (* ----- Hub_io -------------------------------------------------------- *)
 

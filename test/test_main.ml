@@ -22,4 +22,5 @@ let () =
       ("serve", Test_serve.suite);
       ("flat-hub", Test_flat_hub.suite);
       ("differential", Test_differential.suite);
+      ("observability", Test_obs.suite);
     ]
