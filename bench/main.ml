@@ -22,7 +22,23 @@ open Repro_graph
 open Repro_hub
 open Repro_core
 
-let rng () = Random.State.make [| 20190721 |]
+(* One seed feeds every fixture RNG; `--seed N` overrides it so reruns
+   can vary the workload while staying reproducible (the seed is
+   recorded in every JSON artifact that depends on it). *)
+let seed = ref 20190721
+
+let () =
+  Array.iteri
+    (fun i a ->
+      if a = "--seed" && i + 1 < Array.length Sys.argv then
+        match int_of_string_opt Sys.argv.(i + 1) with
+        | Some s -> seed := s
+        | None ->
+            prerr_endline "bench: --seed expects an integer";
+            exit 124)
+    Sys.argv
+
+let rng () = Random.State.make [| !seed |]
 
 (* ------------------------------------------------------------------ *)
 (* Fixture sizes: one record, two profiles.                            *)
@@ -294,6 +310,7 @@ let serve_metrics ~mode (z : sizes) ~rounds =
     {|{
   "bench": "serve_metrics",
   "mode": "%s",
+  "seed": %d,
   "graph": { "n": %d, "m": %d },
   "queries_per_backend": %d,
   "backends": {
@@ -301,7 +318,7 @@ let serve_metrics ~mode (z : sizes) ~rounds =
   }
 }
 |}
-    mode z.sparse_n z.sparse_m (rounds * z.pairs)
+    mode !seed z.sparse_n z.sparse_m (rounds * z.pairs)
     (String.concat ",\n" (List.map backend_json instrumented));
   close_out oc;
   List.iter
@@ -316,6 +333,80 @@ let serve_metrics ~mode (z : sizes) ~rounds =
       | None -> ())
     instrumented;
   Printf.printf "-> BENCH_serve_metrics.json\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Part 5: per-phase construction profiles -> BENCH_build_profile.json.
+
+   Each construction pipeline is pre-instrumented with Repro_obs.Span
+   phases named after the proof structure (docs/OBSERVABILITY.md lists
+   the full set); wrapping a build in Span.profile yields the timed
+   tree. The JSON stores one tree per pipeline, so a regression in any
+   single stage (e.g. the Theorem 4.1 König-cover step) is visible
+   without re-deriving anything. *)
+
+let build_profile ~mode (z : sizes) =
+  let module Span = Repro_obs.Span in
+  let g = Generators.random_connected (rng ()) ~n:z.sparse_n ~m:z.sparse_m in
+  let path = Generators.path z.path_n in
+  let profiled name f =
+    let _, root = Span.profile ~name:("profile:" ^ name) f in
+    match root.Span.children with
+    | [ tree ] -> tree
+    | _ -> root (* defensive: keep whatever was recorded *)
+  in
+  let labels = ref None in
+  let pll_tree = profiled "pll" (fun () -> labels := Some (Pll.build g)) in
+  let labels = Option.get !labels in
+  let rs_tree =
+    profiled "rs_hub" (fun () ->
+        ignore (Rs_hub.build ~rng:(rng ()) ~d:z.rs_d path))
+  in
+  let pack_tree =
+    profiled "flat_pack" (fun () -> ignore (Flat_hub.of_labels labels))
+  in
+  let grid = ref None in
+  let grid_tree =
+    profiled "grid" (fun () ->
+        grid := Some (Grid_graph.create ~b:z.grid_b ~l:z.grid_l ()))
+  in
+  let gadget_tree =
+    profiled "gadget" (fun () ->
+        ignore (Degree_gadget.build (Option.get !grid)))
+  in
+  let profiles =
+    [
+      ("pll", pll_tree);
+      ("rs_hub", rs_tree);
+      ("flat_pack", pack_tree);
+      ("grid", grid_tree);
+      ("gadget", gadget_tree);
+    ]
+  in
+  let oc = open_out "BENCH_build_profile.json" in
+  Printf.fprintf oc
+    {|{
+  "bench": "build_profile",
+  "mode": "%s",
+  "seed": %d,
+  "graph": { "n": %d, "m": %d },
+  "profiles": {
+%s
+  }
+}
+|}
+    mode !seed z.sparse_n z.sparse_m
+    (String.concat ",\n"
+       (List.map
+          (fun (k, tree) -> Printf.sprintf {|    "%s": %s|} k (Span.to_json tree))
+          profiles));
+  close_out oc;
+  List.iter
+    (fun (k, tree) ->
+      Printf.printf "build profile (%s): %-9s %Ld ns across %d phases\n%!" mode
+        k (Span.total_ns tree)
+        (List.length tree.Span.children))
+    profiles;
+  Printf.printf "-> BENCH_build_profile.json\n%!"
 
 (* ------------------------------------------------------------------ *)
 
@@ -350,6 +441,7 @@ let run_smoke () =
     (make_entries smoke_sizes);
   flat_vs_assoc ~mode:"smoke" smoke_sizes ~iters:2;
   serve_metrics ~mode:"smoke" smoke_sizes ~rounds:2;
+  build_profile ~mode:"smoke" smoke_sizes;
   print_endline "bench smoke: all entries ran"
 
 let run_full () =
@@ -376,7 +468,10 @@ let run_full () =
   flat_vs_assoc ~mode:"full" full_sizes ~iters:200;
   (* Part 4: per-backend latency percentiles from the metrics registry. *)
   print_newline ();
-  serve_metrics ~mode:"full" full_sizes ~rounds:50
+  serve_metrics ~mode:"full" full_sizes ~rounds:50;
+  (* Part 5: per-phase construction profiles. *)
+  print_newline ();
+  build_profile ~mode:"full" full_sizes
 
 let () =
   if Array.exists (( = ) "--smoke") Sys.argv then run_smoke ()
@@ -385,4 +480,6 @@ let () =
     flat_vs_assoc ~mode:"full" full_sizes ~iters:200
   else if Array.exists (( = ) "--serve-metrics") Sys.argv then
     serve_metrics ~mode:"full" full_sizes ~rounds:50
+  else if Array.exists (( = ) "--build-profile") Sys.argv then
+    build_profile ~mode:"full" full_sizes
   else run_full ()

@@ -150,28 +150,39 @@ let label_cmd =
     in
     Arg.(value & opt (some string) None & info [ "pack" ] ~docv:"FILE" ~doc)
   in
-  let run kind n scheme d verify out pack seed =
+  let run kind n scheme d verify out pack profile seed =
     let rng = rng_of seed in
     match
-      let g = graph_of_kind rng kind n in
-      let labels =
-        match scheme with
-        | "pll" -> Pll.build g
-        | "greedy" -> Greedy_landmark.build g
-        | "randhit" -> fst (Random_hitting.build ~rng ~d g)
-        | "rshub" -> fst (Rs_hub.build ~rng ~d g)
-        | "rshub-sparse" -> fst (Rs_hub.build_sparse ~rng ~d g)
-        | "tree" -> Repro_labeling.Tree_label.build g
-        | "sep" -> Separator_label.build g
-        | "approx" -> (Approx_hub.build g).Approx_hub.labels
-        | other -> invalid_arg (Printf.sprintf "unknown scheme %S" other)
+      let construct () =
+        let g = graph_of_kind rng kind n in
+        let labels =
+          match scheme with
+          | "pll" -> Pll.build g
+          | "greedy" -> Greedy_landmark.build g
+          | "randhit" -> fst (Random_hitting.build ~rng ~d g)
+          | "rshub" -> fst (Rs_hub.build ~rng ~d g)
+          | "rshub-sparse" -> fst (Rs_hub.build_sparse ~rng ~d g)
+          | "tree" -> Repro_labeling.Tree_label.build g
+          | "sep" -> Separator_label.build g
+          | "approx" -> (Approx_hub.build g).Approx_hub.labels
+          | other -> invalid_arg (Printf.sprintf "unknown scheme %S" other)
+        in
+        (g, labels)
       in
-      (g, labels)
+      if profile then
+        let r, span = Repro_obs.Span.profile ~name:"label.build" construct in
+        (r, Some span)
+      else (construct (), None)
     with
-    | g, labels ->
+    | (g, labels), span_opt ->
         Printf.printf "graph: n=%d m=%d maxdeg=%d\n" (Graph.n g) (Graph.m g)
           (Graph.max_degree g);
         print_endline (Hub_stats.report labels);
+        Option.iter
+          (fun span ->
+            Format.printf "construction profile:@.%a@?" Repro_obs.Span.pp_flame
+              span)
+          span_opt;
         if verify then
           Printf.printf "exact cover: %b\n" (Cover.verify g labels);
         let write p s =
@@ -197,11 +208,20 @@ let label_cmd =
         `Ok ()
     | exception Invalid_argument msg -> `Error (false, msg)
   in
+  let profile =
+    let doc =
+      "Profile the construction: wrap it in a Span tree and print the \
+       flame-style per-phase report (see docs/OBSERVABILITY.md)."
+    in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
   let doc = "Build a hub labeling over a generated graph and report sizes." in
   Cmd.v
     (Cmd.info "label" ~doc)
     Term.(
-      ret (const run $ kind $ n $ scheme $ d $ verify $ out $ pack $ seed_arg))
+      ret
+        (const run $ kind $ n $ scheme $ d $ verify $ out $ pack $ profile
+       $ seed_arg))
 
 (* ---------------------------------------------------------------- *)
 (* sumindex                                                           *)
@@ -308,6 +328,9 @@ module Backend = Repro_obs.Backend
 module Metrics = Repro_obs.Metrics
 module Obs = Repro_obs.Obs
 module Trace = Repro_obs.Trace
+module Clock = Repro_obs.Clock
+module Span = Repro_obs.Span
+module Events = Repro_obs.Events
 
 let exit_parse_failure = 10
 let exit_validation_failure = 11
@@ -419,8 +442,9 @@ let serve_check_cmd =
    unified Resilient_oracle.create over a uniform primary backend,
    every layer instrumented into [registry]. Returns the oracle and
    the packed store when one is in play (for cache reporting). *)
-let build_serving_oracle ~registry ~labels ~flat ~cache_slots ~step_budget
-    ~spot_check ~quarantine_after ~inject_fraction ~inject_mode ~seed g =
+let build_serving_oracle ?clock ~registry ~labels ~flat ~cache_slots
+    ~step_budget ~spot_check ~quarantine_after ~inject_fraction ~inject_mode
+    ~seed g =
   let primary_and_store =
     match labels with
     | None -> None
@@ -449,7 +473,7 @@ let build_serving_oracle ~registry ~labels ~flat ~cache_slots ~step_budget
               ~space_words:(Backend.space_words base)
               (Fault_injector.wrap inj (Backend.query base))
         in
-        Some (Obs.instrument registry base, store)
+        Some (Obs.instrument ?clock registry base, store)
   in
   let primary = Option.map fst primary_and_store in
   let store = Option.bind primary_and_store snd in
@@ -720,6 +744,312 @@ let serve_stats_cmd =
       $ spot_check $ flat $ cache_slots $ json $ traces $ metrics_out_arg
       $ seed_arg)
 
+(* serve loop: a long-lived query loop over a file or stdin, flushing
+   periodic observability snapshots (metrics registry + recent traces +
+   event log) to --metrics-out via atomic write-then-rename. Closes the
+   ROADMAP item about wiring the metrics registry into a periodic
+   exporter. Under --clock-step the whole run — snapshot bytes
+   included — is a pure function of the inputs. *)
+
+let serve_loop_cmd =
+  let queries_file =
+    let doc =
+      "Query stream: one 'u v' pair per line ('-' for stdin; blank lines \
+       and '#' comments skipped). Malformed or out-of-range lines are \
+       counted and logged, not fatal."
+    in
+    Arg.(value & opt string "-" & info [ "queries" ] ~docv:"FILE" ~doc)
+  in
+  let flush_every =
+    let doc =
+      "Write a snapshot every $(docv) served queries (0 disables \
+       count-based flushing)."
+    in
+    Arg.(value & opt int 1000 & info [ "flush-every" ] ~docv:"N" ~doc)
+  in
+  let flush_ticks =
+    let doc =
+      "Write a snapshot whenever the clock advanced $(docv) ns since the \
+       last one (0 disables tick-based flushing; pairs naturally with \
+       --clock-step)."
+    in
+    Arg.(value & opt int 0 & info [ "flush-ticks" ] ~docv:"NS" ~doc)
+  in
+  let clock_step =
+    let doc =
+      "Use a manual clock advancing $(docv) ns per reading instead of the \
+       process clock; two runs with the same inputs and seed then produce \
+       byte-identical snapshots (0 = monotonic wall clock)."
+    in
+    Arg.(value & opt int 0 & info [ "clock-step" ] ~docv:"NS" ~doc)
+  in
+  let traces =
+    let doc = "Ring capacity for recent per-query traces in snapshots." in
+    Arg.(value & opt int 16 & info [ "traces" ] ~docv:"K" ~doc)
+  in
+  let events_cap =
+    let doc = "Ring capacity for the structured event log in snapshots." in
+    Arg.(value & opt int 64 & info [ "events" ] ~docv:"K" ~doc)
+  in
+  let budget =
+    let doc =
+      "Per-query step budget (label scan / bidirectional expansions); 0 \
+       means unlimited."
+    in
+    Arg.(value & opt int 0 & info [ "budget" ] ~docv:"B" ~doc)
+  in
+  let spot_check =
+    let doc = "Spot-check every K-th primary answer (0 disables)." in
+    Arg.(value & opt int 1 & info [ "spot-check-every" ] ~docv:"K" ~doc)
+  in
+  let quarantine_after =
+    let doc = "Quarantine the primary after this many strikes." in
+    Arg.(value & opt int 3 & info [ "quarantine-after" ] ~docv:"Q" ~doc)
+  in
+  let flat =
+    let doc = "Serve from the packed flat-array store (see 'serve query')." in
+    Arg.(value & flag & info [ "flat" ] ~doc)
+  in
+  let cache_slots =
+    let doc = "With --flat: direct-mapped distance-cache slots." in
+    Arg.(value & opt int 0 & info [ "cache-slots" ] ~docv:"SLOTS" ~doc)
+  in
+  let inject_fraction =
+    let doc =
+      "Deterministically inject faults into this fraction of primary calls \
+       (demonstration/testing)."
+    in
+    Arg.(value & opt float 0.0 & info [ "inject-fraction" ] ~docv:"F" ~doc)
+  in
+  let inject_mode =
+    let doc = "Injected fault kind: $(docv) is corrupt, drop or fail." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("corrupt", Fault_injector.Corrupt);
+               ("drop", Fault_injector.Drop);
+               ("fail", Fault_injector.Fail);
+             ])
+          Fault_injector.Corrupt
+      & info [ "inject-mode" ] ~docv:"MODE" ~doc)
+  in
+  let echo =
+    let doc = "Print each answer as 'u v dist source' (off by default)." in
+    Arg.(value & flag & info [ "echo" ] ~doc)
+  in
+  let run graph_file labels_file queries_file flush_every flush_ticks
+      clock_step traces events_cap budget spot_check quarantine_after flat
+      cache_slots inject_fraction inject_mode echo metrics_out seed =
+    if inject_fraction < 0.0 || inject_fraction > 1.0 then begin
+      Printf.eprintf "hubhard: --inject-fraction must lie in [0, 1]\n";
+      exit 124
+    end;
+    if cache_slots < 0 || flush_every < 0 || flush_ticks < 0 || clock_step < 0
+       || traces < 1 || events_cap < 1
+    then begin
+      Printf.eprintf
+        "hubhard: --cache-slots/--flush-every/--flush-ticks/--clock-step \
+         must be non-negative; --traces/--events must be positive\n";
+      exit 124
+    end;
+    let clock =
+      if clock_step > 0 then
+        Clock.read (Clock.manual ~auto_step:(Int64.of_int clock_step) ())
+      else Clock.monotonic
+    in
+    let event_log =
+      Events.create ~clock (Events.ring ~capacity:events_cap)
+    in
+    Events.install event_log;
+    let g = parse_graph_exit graph_file in
+    let n = Graph.n g in
+    if n = 0 then begin
+      Printf.eprintf "validation failure: empty graph\n";
+      exit exit_validation_failure
+    end;
+    let labels = Option.map parse_labels_exit labels_file in
+    Option.iter (fun (l, _) -> structural_exit g l) labels;
+    let step_budget = if budget > 0 then Some budget else None in
+    let registry = Metrics.create () in
+    let oracle, _store =
+      build_serving_oracle ~clock ~registry ~labels ~flat ~cache_slots
+        ~step_budget ~spot_check ~quarantine_after ~inject_fraction
+        ~inject_mode ~seed g
+    in
+    let recorder = Trace.recorder ~capacity:traces in
+    let backend =
+      Obs.instrument ~clock ~recorder ~prefix:"serve" registry
+        (Resilient_oracle.backend oracle)
+    in
+    Events.emit event_log "serve_loop.start"
+      [
+        ("n", Events.Int n);
+        ("backend", Events.Str (Backend.name backend));
+        ( "clock",
+          Events.Str (if clock_step > 0 then "manual" else "monotonic") );
+        ("seed", Events.Int seed);
+      ];
+    let served = ref 0 and malformed = ref 0 and out_of_range = ref 0 in
+    let snapshots = ref 0 in
+    let last_flush_clock = ref (if flush_ticks > 0 then clock () else 0L) in
+    let snapshot_json ~final () =
+      let buf = Buffer.create 4096 in
+      Printf.bprintf buf "{\n";
+      Printf.bprintf buf "  \"snapshot\": %d,\n" !snapshots;
+      Printf.bprintf buf "  \"final\": %b,\n" final;
+      Printf.bprintf buf "  \"queries\": %d,\n" !served;
+      Printf.bprintf buf "  \"malformed_lines\": %d,\n" !malformed;
+      Printf.bprintf buf "  \"out_of_range\": %d,\n" !out_of_range;
+      Printf.bprintf buf "  \"clock_ns\": %Ld,\n" (clock ());
+      Printf.bprintf buf "  \"metrics\": %s,\n"
+        (String.trim (Metrics.to_json (Metrics.snapshot registry)));
+      let add_array key to_json items close =
+        Printf.bprintf buf "  %S: [" key;
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            Printf.bprintf buf "\n    %s" (to_json x))
+          items;
+        if items <> [] then Buffer.add_string buf "\n  ";
+        Printf.bprintf buf "]%s\n" close
+      in
+      add_array "traces" Trace.to_json (Trace.records recorder) ",";
+      add_array "events" Events.to_json (Events.recent event_log) "";
+      Printf.bprintf buf "}\n";
+      Buffer.contents buf
+    in
+    let write_atomic path s =
+      let tmp = path ^ ".tmp" in
+      write_file tmp s;
+      Sys.rename tmp path
+    in
+    let flush_snapshot ~final () =
+      match metrics_out with
+      | None -> ()
+      | Some path ->
+          incr snapshots;
+          let target =
+            if final then path else Printf.sprintf "%s.%d" path !snapshots
+          in
+          write_atomic target (snapshot_json ~final ());
+          Events.emit event_log "serve_loop.flush"
+            [
+              ("snapshot", Events.Int !snapshots); ("path", Events.Str target);
+            ]
+    in
+    let maybe_flush () =
+      let due_count = flush_every > 0 && !served mod flush_every = 0 in
+      let due_ticks =
+        if flush_ticks = 0 then false
+        else
+          let now = clock () in
+          if Int64.sub now !last_flush_clock >= Int64.of_int flush_ticks then begin
+            last_flush_clock := now;
+            true
+          end
+          else false
+      in
+      if due_count || due_ticks then flush_snapshot ~final:false ()
+    in
+    let ic =
+      if queries_file = "-" then stdin
+      else
+        match open_in queries_file with
+        | ic -> ic
+        | exception Sys_error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit exit_parse_failure
+    in
+    let stop = ref false in
+    let drain_reason = ref "signal" in
+    let prev_sigint =
+      try
+        Some
+          (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true)))
+      with Invalid_argument _ | Sys_error _ -> None
+    in
+    let line_no = ref 0 in
+    while not !stop do
+      match input_line ic with
+      | exception End_of_file ->
+          (* a SIGINT that lands mid-read surfaces as EOF after the
+             handler runs; attribute it to the signal *)
+          drain_reason := (if !stop then "signal" else "eof");
+          stop := true
+      | exception Sys_error _ ->
+          (* interrupted read (e.g. SIGINT mid-read on a tty) *)
+          drain_reason := "read-error";
+          stop := true
+      | line ->
+          incr line_no;
+          let line = String.trim line in
+          if line <> "" && line.[0] <> '#' then begin
+            match Scanf.sscanf line " %d %d" (fun u v -> (u, v)) with
+            | exception _ ->
+                incr malformed;
+                Events.emit event_log ~level:Events.Warn "serve_loop.malformed"
+                  [ ("line", Events.Int !line_no) ]
+            | u, v ->
+                if u < 0 || u >= n || v < 0 || v >= n then begin
+                  incr out_of_range;
+                  Events.emit event_log ~level:Events.Warn
+                    "serve_loop.out_of_range"
+                    [
+                      ("line", Events.Int !line_no);
+                      ("u", Events.Int u);
+                      ("v", Events.Int v);
+                    ]
+                end
+                else begin
+                  let d, tr = Backend.query_detailed backend u v in
+                  incr served;
+                  if echo then
+                    Format.printf "%d %d %a %s@." u v Dist.pp d tr.Trace.source;
+                  maybe_flush ()
+                end
+          end
+    done;
+    if ic != stdin then close_in ic;
+    Option.iter (fun b -> Sys.set_signal Sys.sigint b) prev_sigint;
+    Events.emit event_log "serve_loop.drain"
+      [ ("reason", Events.Str !drain_reason); ("served", Events.Int !served) ];
+    flush_snapshot ~final:true ();
+    Events.uninstall ();
+    let s = Resilient_oracle.stats oracle in
+    Format.printf
+      "served %d queries (%d malformed, %d out-of-range lines skipped), \
+       drained on %s; wrote %d snapshot(s)%s@."
+      !served !malformed !out_of_range !drain_reason !snapshots
+      (match metrics_out with None -> "" | Some p -> " under " ^ p);
+    Format.printf "stats: %a@." Resilient_oracle.pp_stats s;
+    if Resilient_oracle.quarantined oracle then
+      Format.printf "quarantined: %s@."
+        (Option.value ~default:"primary"
+           (Resilient_oracle.primary_name oracle));
+    if
+      s.Resilient_oracle.fallback_answers > 0
+      || s.Resilient_oracle.quarantines > 0
+      || s.Resilient_oracle.faults > 0
+    then exit exit_degraded
+  in
+  let doc =
+    "Run a long-lived query loop over a file or stdin through the resilient \
+     serving path, periodically flushing an observability snapshot (metrics \
+     registry + recent traces + structured event log, one JSON object) to \
+     --metrics-out.<seq> by atomic write-then-rename, with a final snapshot \
+     at --metrics-out on EOF/SIGINT drain. With --clock-step the snapshots \
+     are byte-identical across runs. Exit 12 when any answer came from a \
+     degraded path."
+  in
+  Cmd.v (Cmd.info "loop" ~doc)
+    Term.(
+      const run $ graph_file_arg $ labels_file_opt_arg $ queries_file
+      $ flush_every $ flush_ticks $ clock_step $ traces $ events_cap $ budget
+      $ spot_check $ quarantine_after $ flat $ cache_slots $ inject_fraction
+      $ inject_mode $ echo $ metrics_out_arg $ seed_arg)
+
 let serve_cmd =
   let doc =
     "Resilient serving path: validated inputs, spot-checked answers, \
@@ -728,7 +1058,7 @@ let serve_cmd =
      answers."
   in
   Cmd.group (Cmd.info "serve" ~doc)
-    [ serve_check_cmd; serve_query_cmd; serve_stats_cmd ]
+    [ serve_check_cmd; serve_query_cmd; serve_stats_cmd; serve_loop_cmd ]
 
 (* ---------------------------------------------------------------- *)
 

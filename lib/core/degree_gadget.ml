@@ -25,6 +25,7 @@ let rec grow_tree bld root depth =
   end
 
 let build (grid : Grid_graph.t) =
+  Repro_obs.Span.run ~name:"degree-gadget.build" (fun () ->
   let open Grid_graph in
   let hb = grid.graph in
   let nh = Wgraph.n hb in
@@ -35,6 +36,7 @@ let build (grid : Grid_graph.t) =
   let in_leaf = Array.make nh [||] in
   let out_leaf = Array.make nh [||] in
   let two_l = 2 * grid.l in
+  Repro_obs.Span.run ~name:"anchor-trees" (fun () ->
   for v = 0 to nh - 1 do
     let level, _ = Grid_graph.coords grid v in
     if not (Grid_graph.is_removed grid v) then begin
@@ -51,8 +53,9 @@ let build (grid : Grid_graph.t) =
         out_leaf.(v) <- Array.of_list (grow_tree bld root grid.b)
       end
     end
-  done;
+  done);
   (* Connect leaves by subdivided paths of length w - 2b - 2. *)
+  Repro_obs.Span.run ~name:"edge-paths" (fun () ->
   List.iter
     (fun (u, v, w) ->
       (* orient the edge from the lower level to the higher one *)
@@ -74,8 +77,13 @@ let build (grid : Grid_graph.t) =
         prev := x
       done;
       link bld !prev stop)
-    (Wgraph.edges hb);
-  { grid; graph = Graph.of_edges ~n:bld.next bld.edges; anchor }
+    (Wgraph.edges hb));
+  Repro_obs.Span.count "gadget_vertices" bld.next;
+  let graph =
+    Repro_obs.Span.run ~name:"adjacency" (fun () ->
+        Graph.of_edges ~n:bld.next bld.edges)
+  in
+  { grid; graph; anchor })
 
 let anchor_of t v =
   let a = t.anchor.(v) in

@@ -38,6 +38,7 @@ let edge_coordinate_raw ~l i =
   if i < l then i else (2 * l) - i - 1
 
 let create ?remove_mid ~b ~l () =
+  Repro_obs.Span.run ~name:"grid-graph.create" (fun () ->
   if b < 1 || l < 1 then invalid_arg "Grid_graph.create: need b, l >= 1";
   let s = 1 lsl b in
   let per_level = ipow s l in
@@ -54,6 +55,7 @@ let create ?remove_mid ~b ~l () =
   let vertex_id level idx = (level * per_level) + idx in
   let is_removed_id level idx = level = l && removed_mid.(idx) in
   let edges = ref [] in
+  Repro_obs.Span.run ~name:"level-edges" (fun () ->
   for i = 0 to (2 * l) - 1 do
     let c = edge_coordinate_raw ~l i in
     let stride = ipow s c in
@@ -66,22 +68,19 @@ let create ?remove_mid ~b ~l () =
           if not (is_removed_id (i + 1) idx') then begin
             let diff = jc - jc' in
             let w = a_weight + (diff * diff) in
+            Repro_obs.Span.count "edges" 1;
             edges := (vertex_id i idx, vertex_id (i + 1) idx', w) :: !edges
           end
         done
       end
     done
-  done;
+  done);
   let n = ((2 * l) + 1) * per_level in
-  {
-    b;
-    l;
-    s;
-    per_level;
-    a_weight;
-    graph = Wgraph.of_edges ~n !edges;
-    removed_mid;
-  }
+  Repro_obs.Span.count "vertices" n;
+  let graph =
+    Repro_obs.Span.run ~name:"adjacency" (fun () -> Wgraph.of_edges ~n !edges)
+  in
+  { b; l; s; per_level; a_weight; graph; removed_mid })
 
 let n t = Wgraph.n t.graph
 let code t vec = code_vec ~s:t.s ~l:t.l vec

@@ -31,6 +31,8 @@ let build_on ~rng ~d ?colors ?s_size ~n ~rows ~iter_adj () =
   if d < 1 then invalid_arg "Rs_hub.build: need d >= 1";
   let dist u v = rows.(u).(v) in
   (* --- component S: random global hubset ------------------------- *)
+  let in_s, s_list =
+    Repro_obs.Span.run ~name:"hitting-set" (fun () ->
   let s_target =
     match s_size with
     | Some s -> min n (max 1 s)
@@ -55,9 +57,18 @@ let build_on ~rng ~d ?colors ?s_size ~n ~rows ~iter_adj () =
   for v = n - 1 downto 0 do
     if in_s.(v) then s_list := v :: !s_list
   done;
+  Repro_obs.Span.count "s_size" !s_count;
+  (in_s, s_list))
+  in
   (* --- colouring with d^3 colours (overridable for ablations) ---- *)
-  let colour_count = match colors with Some c -> max 1 c | None -> d * d * d in
-  let colour = Array.init n (fun _ -> Random.State.int rng colour_count) in
+  let colour =
+    Repro_obs.Span.run ~name:"d3-colouring" (fun () ->
+        let colour_count =
+          match colors with Some c -> max 1 c | None -> d * d * d
+        in
+        Repro_obs.Span.count "colours" colour_count;
+        Array.init n (fun _ -> Random.State.int rng colour_count))
+  in
   (* --- classify every pair ---------------------------------------- *)
   let q : (int * int) list array = Array.make n [] in
   let q_total = ref 0 in
@@ -67,11 +78,13 @@ let build_on ~rng ~d ?colors ?s_size ~n ~rows ~iter_adj () =
   let buckets : (int * int * int, (int * int) list ref) Hashtbl.t =
     Hashtbl.create 1024
   in
+  Repro_obs.Span.run ~name:"conflict-sets" (fun () ->
   let hubs_scratch = Array.make n 0 in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
       let duv = dist u v in
       if Dist.is_finite duv then begin
+        Repro_obs.Span.count "pairs_classified" 1;
         (* valid hubs H_uv *)
         let count = ref 0 in
         for x = 0 to n - 1 do
@@ -88,6 +101,7 @@ let build_on ~rng ~d ?colors ?s_size ~n ~rows ~iter_adj () =
             if in_s.(hubs_scratch.(k)) then covered := true
           done;
           if not !covered then begin
+            Repro_obs.Span.count "q_patched" 1;
             q.(u) <- (v, duv) :: q.(u);
             incr q_total
           end
@@ -102,11 +116,13 @@ let build_on ~rng ~d ?colors ?s_size ~n ~rows ~iter_adj () =
             done
           done;
           if !conflict then begin
+            Repro_obs.Span.count "r_conflicts" 1;
             r.(u) <- (v, duv) :: r.(u);
             incr r_total
           end
           else
             for k = 0 to hcount - 1 do
+              Repro_obs.Span.count "pairs_charged" 1;
               let h = hubs_scratch.(k) in
               let a = rows.(u).(h) in
               let b = duv - a in
@@ -118,7 +134,7 @@ let build_on ~rng ~d ?colors ?s_size ~n ~rows ~iter_adj () =
         end
       end
     done
-  done;
+  done);
   (* --- per-bucket vertex covers -> F_v ---------------------------- *)
   let f : (int, unit) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 4) in
   let f_total = ref 0 in
@@ -130,6 +146,7 @@ let build_on ~rng ~d ?colors ?s_size ~n ~rows ~iter_adj () =
       incr f_total
     end
   in
+  Repro_obs.Span.run ~name:"koenig-covers" (fun () ->
   Hashtbl.iter
     (fun ((h, _, _) as key_of_bucket) edge_list ->
       let edges = !edge_list in
@@ -162,6 +179,8 @@ let build_on ~rng ~d ?colors ?s_size ~n ~rows ~iter_adj () =
       let right_arr = Array.of_list (List.rev !right_back) in
       let bg = Repro_matching.Bipartite.create ~left:!nl ~right:!nr compressed in
       let matching = Repro_matching.Hopcroft_karp.solve bg in
+      Repro_obs.Span.count "matching_augmentations"
+        matching.Repro_matching.Hopcroft_karp.size;
       matching_edge_total := !matching_edge_total + matching.Repro_matching.Hopcroft_karp.size;
       (* record the matching in original vertex ids for the Lemma 4.2
          verification *)
@@ -180,7 +199,11 @@ let build_on ~rng ~d ?colors ?s_size ~n ~rows ~iter_adj () =
         (fun i -> add_f right_arr.(i) h)
         cover.Repro_matching.Koenig.right_cover)
     buckets;
+  Repro_obs.Span.count "buckets" bucket_count;
+  Repro_obs.Span.count "cover_size" !f_total);
   (* --- assemble hubsets ------------------------------------------- *)
+  let final =
+    Repro_obs.Span.run ~name:"hubsets" (fun () ->
   let labels : (int * int) list array = Array.make n [] in
   for v = 0 to n - 1 do
     let add x =
@@ -198,11 +221,14 @@ let build_on ~rng ~d ?colors ?s_size ~n ~rows ~iter_adj () =
       f.(v)
   done;
   let final = Hub_label.make ~n labels in
+  Repro_obs.Span.count "total_hubs" (Hub_label.total_size final);
+  final)
+  in
   ( final,
     {
       d;
       n;
-      global_size = !s_count;
+      global_size = List.length !s_list;
       q_total = !q_total;
       r_total = !r_total;
       f_total = !f_total;
@@ -213,12 +239,26 @@ let build_on ~rng ~d ?colors ?s_size ~n ~rows ~iter_adj () =
     { colour_of = colour; bucket_matchings = !bucket_matchings } )
 
 let build_checked ~rng ?d ?colors ?s_size g =
-  let n = Graph.n g in
-  let d = match d with Some d -> d | None -> default_d n in
-  let rows = Array.init n (fun v -> Traversal.bfs g v) in
-  build_on ~rng ~d ?colors ?s_size ~n ~rows
-    ~iter_adj:(fun v f -> Graph.iter_neighbors g v f)
-    ()
+  Repro_obs.Span.run ~name:"rs-hub.build" (fun () ->
+      let n = Graph.n g in
+      let d = match d with Some d -> d | None -> default_d n in
+      let rows =
+        Repro_obs.Span.run ~name:"distance-rows" (fun () ->
+            Array.init n (fun v -> Traversal.bfs g v))
+      in
+      let result =
+        build_on ~rng ~d ?colors ?s_size ~n ~rows
+          ~iter_adj:(fun v f -> Graph.iter_neighbors g v f)
+          ()
+      in
+      let _, stats, _ = result in
+      Repro_obs.Events.emit_ambient "rs_hub.build.done"
+        [
+          ("n", Repro_obs.Events.Int n);
+          ("d", Repro_obs.Events.Int d);
+          ("total_hubs", Repro_obs.Events.Int stats.total_hubs);
+        ];
+      result)
 
 let build ~rng ?d ?colors ?s_size g =
   let labels, stats, _ = build_checked ~rng ?d ?colors ?s_size g in
@@ -229,15 +269,19 @@ let build_w ~rng ?d g =
     (fun (_, _, w) ->
       if w > 1 then invalid_arg "Rs_hub.build_w: weights must be 0/1")
     (Wgraph.edges g);
-  let n = Wgraph.n g in
-  let d = match d with Some d -> d | None -> default_d n in
-  let rows = Array.init n (fun v -> Dijkstra.distances g v) in
-  let labels, stats, _ =
-    build_on ~rng ~d ~n ~rows
-      ~iter_adj:(fun v f -> Wgraph.iter_neighbors g v (fun u _ -> f u))
-      ()
-  in
-  (labels, stats)
+  Repro_obs.Span.run ~name:"rs-hub.build" (fun () ->
+      let n = Wgraph.n g in
+      let d = match d with Some d -> d | None -> default_d n in
+      let rows =
+        Repro_obs.Span.run ~name:"distance-rows" (fun () ->
+            Array.init n (fun v -> Dijkstra.distances g v))
+      in
+      let labels, stats, _ =
+        build_on ~rng ~d ~n ~rows
+          ~iter_adj:(fun v f -> Wgraph.iter_neighbors g v (fun u _ -> f u))
+          ()
+      in
+      (labels, stats))
 
 let build_sparse ~rng ?d g =
   let n = Graph.n g in

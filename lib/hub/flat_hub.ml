@@ -24,22 +24,25 @@ let make_cache = function
           hits = 0; misses = 0 }
 
 let of_labels ?(cache_slots = 0) labels =
-  let n = Hub_label.n labels in
-  let offsets = Array.make (n + 1) 0 in
-  for v = 0 to n - 1 do
-    offsets.(v + 1) <- offsets.(v) + Hub_label.size labels v
-  done;
-  let data = Array.make (2 * offsets.(n)) 0 in
-  for v = 0 to n - 1 do
-    let base = ref (2 * offsets.(v)) in
-    Array.iter
-      (fun (h, d) ->
-        data.(!base) <- h;
-        data.(!base + 1) <- d;
-        base := !base + 2)
-      (Hub_label.hubs labels v)
-  done;
-  { n; offsets; data; cache = make_cache cache_slots }
+  Repro_obs.Span.run ~name:"flat-hub.pack" (fun () ->
+      let n = Hub_label.n labels in
+      let offsets = Array.make (n + 1) 0 in
+      for v = 0 to n - 1 do
+        offsets.(v + 1) <- offsets.(v) + Hub_label.size labels v
+      done;
+      let data = Array.make (2 * offsets.(n)) 0 in
+      for v = 0 to n - 1 do
+        let base = ref (2 * offsets.(v)) in
+        Array.iter
+          (fun (h, d) ->
+            data.(!base) <- h;
+            data.(!base + 1) <- d;
+            base := !base + 2)
+          (Hub_label.hubs labels v)
+      done;
+      Repro_obs.Span.count "vertices" n;
+      Repro_obs.Span.count "entries" offsets.(n);
+      { n; offsets; data; cache = make_cache cache_slots })
 
 let of_raw ~n ~offsets ~data =
   let fail msg = invalid_arg ("Flat_hub.of_raw: " ^ msg) in

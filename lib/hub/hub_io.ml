@@ -5,6 +5,7 @@ exception Parse of parse_error
 let fail line msg = raise (Parse { line; msg })
 
 let to_string labels =
+  Repro_obs.Span.run ~name:"hub-io.save-text" (fun () ->
   let buf = Buffer.create 4096 in
   let n = Hub_label.n labels in
   Buffer.add_string buf
@@ -17,7 +18,8 @@ let to_string labels =
       hubs;
     Buffer.add_char buf '\n'
   done;
-  Buffer.contents buf
+  Repro_obs.Span.count "bytes" (Buffer.length buf);
+  Buffer.contents buf)
 
 let numbered_lines s =
   String.split_on_char '\n' s
@@ -33,6 +35,8 @@ let ints ln line =
          | None -> fail ln ("Hub_io.of_string: bad token " ^ t))
 
 let of_string_res s =
+  Repro_obs.Span.run ~name:"hub-io.load-text" (fun () ->
+  Repro_obs.Span.count "bytes" (String.length s);
   let what = "Hub_io.of_string" in
   try
     match numbered_lines s with
@@ -81,7 +85,12 @@ let of_string_res s =
             | labels -> Ok labels
             | exception Invalid_argument msg -> fail 0 msg)
         | _ -> fail hln (what ^ ": bad header"))
-  with Parse e -> Error e
+  with Parse e ->
+    Repro_obs.Events.emit_ambient ~level:Repro_obs.Events.Warn
+      "hub_io.parse_failure"
+      [ ("line", Repro_obs.Events.Int e.line);
+        ("msg", Repro_obs.Events.Str e.msg) ];
+    Error e)
 
 let of_string s =
   match of_string_res s with Ok l -> l | Error e -> invalid_arg e.msg
@@ -107,6 +116,7 @@ let is_packed s =
   && String.sub s 0 (String.length packed_magic) = packed_magic
 
 let flat_to_bytes flat =
+  Repro_obs.Span.run ~name:"hub-io.save-packed" (fun () ->
   let offsets, data = Flat_hub.raw flat in
   let n = Flat_hub.n flat in
   let words = 2 + (n + 1) + Array.length data in
@@ -121,9 +131,12 @@ let flat_to_bytes flat =
   put (Flat_hub.total_size flat);
   Array.iter put offsets;
   Array.iter put data;
-  Bytes.unsafe_to_string b
+  Repro_obs.Span.count "bytes" (Bytes.length b);
+  Bytes.unsafe_to_string b)
 
 let flat_of_bytes_res s =
+  Repro_obs.Span.run ~name:"hub-io.load-packed" (fun () ->
+  Repro_obs.Span.count "bytes" (String.length s);
   let what = "Hub_io.flat_of_bytes" in
   (* [line] reports the byte offset of the offending word for the
      binary format. *)
@@ -151,7 +164,12 @@ let flat_of_bytes_res s =
     match Flat_hub.of_raw ~n ~offsets ~data with
     | flat -> Ok flat
     | exception Invalid_argument msg -> fail 0 msg
-  with Parse e -> Error e
+  with Parse e ->
+    Repro_obs.Events.emit_ambient ~level:Repro_obs.Events.Warn
+      "hub_io.parse_failure"
+      [ ("byte", Repro_obs.Events.Int e.line);
+        ("msg", Repro_obs.Events.Str e.msg) ];
+    Error e)
 
 let flat_of_bytes s =
   match flat_of_bytes_res s with Ok f -> f | Error e -> invalid_arg e.msg

@@ -21,14 +21,19 @@ let prune_query ~root_dist ~label_of u du =
   !best <= du
 
 let build ?order g =
+  Repro_obs.Span.run ~name:"pll.build" (fun () ->
   let n = Graph.n g in
-  let order = match order with Some o -> o | None -> Order.by_degree g in
+  let order =
+    Repro_obs.Span.run ~name:"order" (fun () ->
+        match order with Some o -> o | None -> Order.by_degree g)
+  in
   if Array.length order <> n then invalid_arg "Pll.build: bad order length";
   let labels : (int * int) list array = Array.make n [] in
   let root_dist = Array.make n Dist.inf in
   let dist = Array.make n Dist.inf in
   let touched = ref [] in
   let q = Queue.create () in
+  Repro_obs.Span.run ~name:"pruned-sweep" (fun () ->
   Array.iter
     (fun root ->
       (* Load the root's current label for pruning. *)
@@ -44,7 +49,9 @@ let build ?order g =
           u <> root
           && prune_query ~root_dist ~label_of:(fun x -> labels.(x)) u du
         in
-        if not pruned then begin
+        if pruned then Repro_obs.Span.count "pruned" 1
+        else begin
+          Repro_obs.Span.count "labels_added" 1;
           labels.(u) <- (root, du) :: labels.(u);
           Graph.iter_neighbors g u (fun v ->
               if dist.(v) = Dist.inf then begin
@@ -58,18 +65,25 @@ let build ?order g =
       List.iter (fun v -> dist.(v) <- Dist.inf) !touched;
       List.iter (fun (h, _) -> root_dist.(h) <- Dist.inf) labels.(root);
       root_dist.(root) <- Dist.inf)
-    order;
-  finalise ~n labels
+    order);
+  Repro_obs.Events.emit_ambient "pll.build.done"
+    [ ("n", Repro_obs.Events.Int n) ];
+  finalise ~n labels)
 
 let build_w ?order g =
+  Repro_obs.Span.run ~name:"pll.build_w" (fun () ->
   let n = Wgraph.n g in
-  let order = match order with Some o -> o | None -> Order.by_wdegree g in
+  let order =
+    Repro_obs.Span.run ~name:"order" (fun () ->
+        match order with Some o -> o | None -> Order.by_wdegree g)
+  in
   if Array.length order <> n then invalid_arg "Pll.build_w: bad order length";
   let labels : (int * int) list array = Array.make n [] in
   let root_dist = Array.make n Dist.inf in
   let dist = Array.make n Dist.inf in
   let settled = Array.make n false in
   let touched = ref [] in
+  Repro_obs.Span.run ~name:"pruned-sweep" (fun () ->
   Array.iter
     (fun root ->
       List.iter (fun (h, d) -> root_dist.(h) <- d) labels.(root);
@@ -85,7 +99,9 @@ let build_w ?order g =
           u <> root
           && prune_query ~root_dist ~label_of:(fun x -> labels.(x)) u du
         in
-        if not pruned then begin
+        if pruned then Repro_obs.Span.count "pruned" 1
+        else begin
+          Repro_obs.Span.count "labels_added" 1;
           labels.(u) <- (root, du) :: labels.(u);
           Wgraph.iter_neighbors g u (fun v w ->
               if not settled.(v) then begin
@@ -105,5 +121,7 @@ let build_w ?order g =
         !touched;
       List.iter (fun (h, _) -> root_dist.(h) <- Dist.inf) labels.(root);
       root_dist.(root) <- Dist.inf)
-    order;
-  finalise ~n labels
+    order);
+  Repro_obs.Events.emit_ambient "pll.build_w.done"
+    [ ("n", Repro_obs.Events.Int n) ];
+  finalise ~n labels)

@@ -1,0 +1,124 @@
+type level = Debug | Info | Warn | Error
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+type value = Int of int | Str of string | Float of float | Bool of bool
+
+type event = {
+  ts_ns : int64;
+  level : level;
+  name : string;
+  fields : (string * value) list;
+}
+
+type ring_state = {
+  capacity : int;
+  buf : event option array;
+  mutable next : int;
+}
+
+type sink = Ring of ring_state | Stream of out_channel | Null
+
+let ring ~capacity =
+  if capacity <= 0 then invalid_arg "Events.ring: capacity must be positive";
+  Ring { capacity; buf = Array.make capacity None; next = 0 }
+
+let stream oc = Stream oc
+let null = Null
+
+type t = {
+  clock : Clock.t;
+  min_level : level;
+  sink : sink;
+  mutable total : int;
+}
+
+let create ?(clock = Clock.monotonic) ?(min_level = Debug) sink =
+  { clock; min_level; sink; total = 0 }
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_to_json = function
+  | Int i -> string_of_int i
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Float f -> Printf.sprintf "%.17g" f
+  | Bool b -> if b then "true" else "false"
+
+let to_json e =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"ts_ns\": %Ld, \"level\": \"%s\", \"event\": \"%s\", \"fields\": {"
+       e.ts_ns (level_name e.level) (json_escape e.name));
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\": %s" (json_escape k) (value_to_json v)))
+    e.fields;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let pp ppf e =
+  Format.fprintf ppf "[%s] %Ld %s" (level_name e.level) e.ts_ns e.name;
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf " %s=%s" k (value_to_json v))
+    e.fields
+
+let emit t ?(level = Info) name fields =
+  if level_rank level >= level_rank t.min_level then begin
+    let e = { ts_ns = t.clock (); level; name; fields } in
+    t.total <- t.total + 1;
+    match t.sink with
+    | Null -> ()
+    | Ring r ->
+        r.buf.(r.next) <- Some e;
+        r.next <- (r.next + 1) mod r.capacity
+    | Stream oc ->
+        output_string oc (to_json e);
+        output_char oc '\n';
+        flush oc
+  end
+
+let recent t =
+  match t.sink with
+  | Null | Stream _ -> []
+  | Ring r ->
+      let out = ref [] in
+      for k = 0 to r.capacity - 1 do
+        let slot = (r.next - 1 - k + (2 * r.capacity)) mod r.capacity in
+        match r.buf.(slot) with Some e -> out := e :: !out | None -> ()
+      done;
+      !out
+
+let emitted t = t.total
+
+(* The ambient log, for library code with no log parameter. Not
+   thread-safe, like the rest of the observability layer. *)
+let ambient : t option ref = ref None
+
+let install t = ambient := Some t
+let uninstall () = ambient := None
+let installed () = !ambient
+
+let emit_ambient ?level name fields =
+  match !ambient with
+  | None -> ()
+  | Some t -> emit t ?level name fields

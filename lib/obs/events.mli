@@ -1,0 +1,86 @@
+(** Structured event log.
+
+    Replaces ad-hoc [Printf] progress output with typed events: a
+    level, a timestamp from the configured {!Clock}, an event name and
+    key/value fields. Events flow into a {e sink} — a ring buffer
+    keeping the most recent events (the [serve loop] snapshots embed
+    them), an output channel streamed as JSONL (one event object per
+    line), or the null sink.
+
+    Library pipelines emit through the {e ambient} log ({!install} /
+    {!emit_ambient}) so construction code needs no extra parameters:
+    without an installed log, emitting is a no-op costing one ref read.
+
+    Under a manual {!Clock} the timestamps — and hence the serialised
+    log — are deterministic. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+(** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+type value = Int of int | Str of string | Float of float | Bool of bool
+
+type event = {
+  ts_ns : int64;
+  level : level;
+  name : string;
+  fields : (string * value) list;  (** in emission order *)
+}
+
+(** {1 Sinks and logs} *)
+
+type sink
+
+val ring : capacity:int -> sink
+(** Keep the last [capacity] events.
+    @raise Invalid_argument unless [capacity > 0]. *)
+
+val stream : out_channel -> sink
+(** Write each event as one JSONL line, flushed per event (the channel
+    is not closed by this module). *)
+
+val null : sink
+(** Count-and-discard. *)
+
+type t
+
+val create : ?clock:Clock.t -> ?min_level:level -> sink -> t
+(** A log timestamping with [clock] (default {!Clock.monotonic}) and
+    dropping events below [min_level] (default [Debug] — keep
+    everything). *)
+
+val emit : t -> ?level:level -> string -> (string * value) list -> unit
+(** [emit t name fields] records one event (default level [Info]).
+    Events below the log's [min_level] are dropped without reading the
+    clock. *)
+
+val recent : t -> event list
+(** Retained events, oldest first: the ring contents for a ring sink,
+    [[]] for stream/null sinks. *)
+
+val emitted : t -> int
+(** Events accepted (level filter passed), including ones a ring has
+    since evicted. *)
+
+(** {1 Ambient log} *)
+
+val install : t -> unit
+(** Make [t] the ambient log that {!emit_ambient} targets. *)
+
+val uninstall : unit -> unit
+
+val installed : unit -> t option
+
+val emit_ambient : ?level:level -> string -> (string * value) list -> unit
+(** Emit to the installed ambient log; no-op when none is installed. *)
+
+(** {1 Export} *)
+
+val to_json : event -> string
+(** One-line JSON object:
+    [{"ts_ns": int, "level": str, "event": str, "fields": {...}}].
+    Fields keep emission order; strings are escaped; floats use ["%.17g"]
+    so round-tripping is exact. *)
+
+val pp : Format.formatter -> event -> unit

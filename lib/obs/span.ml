@@ -1,0 +1,153 @@
+type node = {
+  name : string;
+  start_ns : int64;
+  elapsed_ns : int64;
+  counters : (string * int) list;
+  children : node list;
+}
+
+(* An in-flight span. Children accumulate reversed; counters in a small
+   table so repeated [count] calls in hot loops stay O(1). *)
+type live = {
+  l_name : string;
+  l_start : int64; (* absolute clock value *)
+  l_counters : (string, int ref) Hashtbl.t;
+  mutable l_children : node list;
+}
+
+type ctx = {
+  clock : Clock.t;
+  root_start : int64;
+  mutable stack : live list; (* innermost first; never empty while active *)
+}
+
+(* The ambient profiling context. Not thread-safe, like the stores this
+   library observes. *)
+let current : ctx option ref = ref None
+
+let enabled () = Option.is_some !current
+
+let fresh_live name start =
+  { l_name = name; l_start = start; l_counters = Hashtbl.create 8;
+    l_children = [] }
+
+let finish ctx live end_abs =
+  {
+    name = live.l_name;
+    start_ns = Int64.sub live.l_start ctx.root_start;
+    elapsed_ns = Int64.sub end_abs live.l_start;
+    counters =
+      List.sort
+        (fun (a, _) (b, _) -> compare a b)
+        (Hashtbl.fold (fun k v acc -> (k, !v) :: acc) live.l_counters []);
+    children = List.rev live.l_children;
+  }
+
+let count name k =
+  match !current with
+  | None -> ()
+  | Some ctx -> (
+      match ctx.stack with
+      | [] -> ()
+      | live :: _ -> (
+          match Hashtbl.find_opt live.l_counters name with
+          | Some r -> r := !r + k
+          | None -> Hashtbl.replace live.l_counters name (ref k)))
+
+let run ?clock ~name f =
+  match !current with
+  | None -> f ()
+  | Some ctx ->
+      let clk = Option.value clock ~default:ctx.clock in
+      let live = fresh_live name (clk ()) in
+      ctx.stack <- live :: ctx.stack;
+      let finally () =
+        (* Pop back to (and past) this span even if an exception blew
+           through unbalanced inner frames. *)
+        let rec pop = function
+          | l :: rest when l != live ->
+              (* an inner span never closed (its [finally] was skipped
+                 by a raise inside ours): fold it in as-is *)
+              live.l_children <- finish ctx l (clk ()) :: live.l_children;
+              pop rest
+          | l :: rest when l == live -> rest
+          | rest -> rest
+        in
+        ctx.stack <- pop ctx.stack;
+        let node = finish ctx live (clk ()) in
+        match ctx.stack with
+        | parent :: _ -> parent.l_children <- node :: parent.l_children
+        | [] -> ()
+      in
+      Fun.protect ~finally f
+
+let profile ?(clock = Clock.monotonic) ~name f =
+  let saved = !current in
+  let start = clock () in
+  let root = fresh_live name start in
+  let ctx = { clock; root_start = start; stack = [ root ] } in
+  current := Some ctx;
+  let x = Fun.protect ~finally:(fun () -> current := saved) f in
+  (x, finish ctx root (clock ()))
+
+let total_ns node = node.elapsed_ns
+
+let rec find node name =
+  if node.name = name then Some node
+  else
+    List.fold_left
+      (fun acc child -> match acc with Some _ -> acc | None -> find child name)
+      None node.children
+
+(* JSON export. Span names are code-chosen identifiers, but escape
+   anyway so the output is always valid JSON. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json node =
+  let buf = Buffer.create 256 in
+  let rec go node =
+    Buffer.add_string buf
+      (Printf.sprintf "{\"name\": \"%s\", \"start_ns\": %Ld, \"elapsed_ns\": %Ld, \"counters\": {"
+         (json_escape node.name) node.start_ns node.elapsed_ns);
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf (Printf.sprintf "\"%s\": %d" (json_escape k) v))
+      node.counters;
+    Buffer.add_string buf "}, \"children\": [";
+    List.iteri
+      (fun i child ->
+        if i > 0 then Buffer.add_string buf ", ";
+        go child)
+      node.children;
+    Buffer.add_string buf "]}"
+  in
+  go node;
+  Buffer.contents buf
+
+let pp_flame ppf root =
+  let total = Int64.to_float (Int64.max root.elapsed_ns 1L) in
+  let rec go depth node =
+    let pct = 100.0 *. Int64.to_float node.elapsed_ns /. total in
+    let indent = String.make (2 * depth) ' ' in
+    let label = indent ^ node.name in
+    Format.fprintf ppf "%-32s %12Ldns %5.1f%%" label node.elapsed_ns pct;
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf "  %s=%d" k v)
+      node.counters;
+    Format.fprintf ppf "@.";
+    List.iter (go (depth + 1)) node.children
+  in
+  go 0 root

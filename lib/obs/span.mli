@@ -1,0 +1,72 @@
+(** Hierarchical timed phases for the construction pipelines.
+
+    A span is a named, timed region of code; spans nest, forming a tree
+    whose root is established by {!profile}. The construction pipelines
+    ({!Repro_hub.Pll.build}, [Rs_hub.build], the Theorem 2.1 gadget
+    builds, [Flat_hub.of_labels] packing, [Hub_io] save/load) are
+    pre-instrumented with {!run}/{!count} calls, so profiling any of
+    them is just wrapping the call in {!profile} — the per-phase
+    construction profile mirrors the structure of the paper's proofs
+    (see docs/OBSERVABILITY.md for the documented phase names).
+
+    Outside a {!profile} context every {!run} degenerates to calling
+    its thunk and every {!count} to a no-op, so instrumented library
+    code costs one mutable-ref read per call in production.
+
+    Under a manual {!Clock} with [auto_step] the whole tree — timings
+    included — is a pure function of the executed code path, which is
+    what the observability suite and the [@ci] span smoke lock in. *)
+
+type node = {
+  name : string;
+  start_ns : int64;  (** offset from the root span's start *)
+  elapsed_ns : int64;
+  counters : (string * int) list;  (** sorted by counter name *)
+  children : node list;  (** in start order *)
+}
+(** A completed span. *)
+
+val profile : ?clock:Clock.t -> name:string -> (unit -> 'a) -> 'a * node
+(** [profile ~name f] runs [f] as the root span of a fresh profiling
+    context (default clock: {!Clock.monotonic}) and returns its result
+    together with the completed span tree. Nested {!profile} calls are
+    allowed — the outer context is saved and restored; the inner tree
+    is returned to the inner caller, not grafted onto the outer tree.
+    When [f] raises, the context is restored and the exception is
+    re-raised (the partial tree is discarded). *)
+
+val run : ?clock:Clock.t -> name:string -> (unit -> 'a) -> 'a
+(** [run ~name f] times [f] as a child of the innermost active span.
+    [clock] overrides the ambient context clock (rarely needed).
+    Without an active {!profile} context, [f] is called directly and
+    nothing is recorded. The span is closed — and recorded — also when
+    [f] raises. *)
+
+val count : string -> int -> unit
+(** [count name k] adds [k] to the named counter of the innermost
+    active span ([pairs_charged], [cover_size],
+    [matching_augmentations], …). No-op outside a profiling context;
+    negative [k] is allowed (counters are plain sums). *)
+
+val enabled : unit -> bool
+(** Whether a {!profile} context is active (for guarding counter
+    computations that are themselves costly). *)
+
+(** {1 Reports} *)
+
+val total_ns : node -> int64
+(** [elapsed_ns] of the root (convenience). *)
+
+val find : node -> string -> node option
+(** Depth-first search for the first descendant (or the node itself)
+    with the given name. *)
+
+val to_json : node -> string
+(** The tree as one JSON object:
+    [{"name": str, "start_ns": int, "elapsed_ns": int,
+      "counters": {name: int, ...}, "children": [...]}].
+    Deterministic: counters sorted by name, children in start order. *)
+
+val pp_flame : Format.formatter -> node -> unit
+(** Flame-style text report: one line per span, indented by depth, with
+    elapsed time, percentage of the root span, and counters. *)

@@ -61,3 +61,8 @@ let records r =
   !out
 
 let seen r = r.total
+
+let reset r =
+  Array.fill r.buf 0 r.capacity None;
+  r.next <- 0;
+  r.total <- 0

@@ -58,3 +58,6 @@ val records : recorder -> t list
 
 val seen : recorder -> int
 (** Total records offered, including evicted ones. *)
+
+val reset : recorder -> unit
+(** Drop all retained records and zero {!seen}; capacity unchanged. *)

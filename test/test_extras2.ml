@@ -51,14 +51,18 @@ let hub_io_roundtrip =
       done;
       !ok)
 
-(* the raising shim is deprecated but its exception contract is still
-   covered here *)
+(* rejection goes through the result-returning parser; the deprecated
+   raising shim's exception contract is covered in
+   test_io_adversarial.ml *)
 let test_hub_io_rejects () =
-  Alcotest.check_raises "empty" (Invalid_argument "Hub_io.of_string: empty input")
-    (fun () -> ignore ((Hub_io.of_string [@alert "-deprecated"]) "  \n "));
-  Alcotest.check_raises "count mismatch"
-    (Invalid_argument "Hub_io.of_string: vertex count mismatch") (fun () ->
-      ignore ((Hub_io.of_string [@alert "-deprecated"]) "2 0\n0 0\n"))
+  let expect_error name input msg =
+    match Hub_io.of_string_res input with
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" name
+    | Error e -> Alcotest.(check string) name msg e.Graph_io.msg
+  in
+  expect_error "empty" "  \n " "Hub_io.of_string: empty input";
+  expect_error "count mismatch" "2 0\n0 0\n"
+    "Hub_io.of_string: vertex count mismatch"
 
 (* ----- Graph_ops ---------------------------------------------------- *)
 

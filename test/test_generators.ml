@@ -145,15 +145,18 @@ let test_io_roundtrip () =
   in
   Test_util.check_bool "wedges equal" true (Wgraph.edges w = Wgraph.edges w')
 
-(* the raising shim is deprecated but its exception contract is still
-   covered here *)
+(* rejection goes through the result-returning parser; the deprecated
+   raising shim's exception contract is covered in
+   test_io_adversarial.ml *)
 let test_io_rejects () =
-  Alcotest.check_raises "bad header"
-    (Invalid_argument "Graph_io.of_string: bad header") (fun () ->
-      ignore ((Graph_io.of_string [@alert "-deprecated"]) "1 2 3\n"));
-  Alcotest.check_raises "edge count"
-    (Invalid_argument "Graph_io.of_string: edge count mismatch") (fun () ->
-      ignore ((Graph_io.of_string [@alert "-deprecated"]) "3 2\n0 1\n"))
+  let expect_error name input msg =
+    match Graph_io.of_string_res input with
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" name
+    | Error e -> Alcotest.(check string) name msg e.Graph_io.msg
+  in
+  expect_error "bad header" "1 2 3\n" "Graph_io.of_string: bad header";
+  expect_error "edge count" "3 2\n0 1\n"
+    "Graph_io.of_string: edge count mismatch"
 
 let test_dot_output () =
   let g = Generators.path 3 in

@@ -300,6 +300,273 @@ let test_oracle_flat_and_ext () =
     (Oracle.name ext = "hub-labeling");
   Test_util.check_int "ext exact" truth.(15) (Oracle.query ext 0 15)
 
+(* ----- Span: hierarchical timed phases -------------------------------- *)
+
+let test_span_tree_deterministic () =
+  let build () =
+    let clock = Clock.read (Clock.manual ~auto_step:10L ()) in
+    Span.profile ~clock ~name:"root" (fun () ->
+        Span.run ~name:"child" (fun () ->
+            Span.count "k" 2;
+            Span.count "k" 3);
+        Span.run ~name:"second" (fun () -> ()))
+  in
+  let (), t1 = build () in
+  let (), t2 = build () in
+  Test_util.check_bool "trees bit-identical" true (t1 = t2);
+  (match t1.Span.children with
+  | [ c1; c2 ] ->
+      Alcotest.(check string) "first child" "child" c1.Span.name;
+      Alcotest.(check string) "second child" "second" c2.Span.name;
+      Test_util.check_bool "counter adds up" true
+        (c1.Span.counters = [ ("k", 5) ]);
+      Test_util.check_bool "child start offset" true (c1.Span.start_ns = 10L);
+      Test_util.check_bool "child elapsed one step" true
+        (c1.Span.elapsed_ns = 10L)
+  | _ -> Alcotest.fail "expected exactly two children");
+  (* reads: root start, 2x(child start/end), root end = 5 steps of 10 *)
+  Test_util.check_bool "root elapsed covers children" true
+    (Span.total_ns t1 = 50L)
+
+let test_span_noop_outside_profile () =
+  Test_util.check_bool "disabled outside profile" true (not (Span.enabled ()));
+  let r =
+    Span.run ~name:"free" (fun () ->
+        Span.count "x" 1;
+        41 + 1)
+  in
+  Test_util.check_int "run passes the value through" 42 r
+
+let test_span_exception_safety () =
+  let clock = Clock.read (Clock.manual ~auto_step:1L ()) in
+  let result =
+    try
+      let _ =
+        Span.profile ~clock ~name:"root" (fun () ->
+            Span.run ~name:"boom" (fun () -> failwith "boom"))
+      in
+      "no-raise"
+    with Failure m -> m
+  in
+  Alcotest.(check string) "exception re-raised" "boom" result;
+  Test_util.check_bool "context restored after raise" true
+    (not (Span.enabled ()))
+
+let test_span_records_raising_child () =
+  let clock = Clock.read (Clock.manual ~auto_step:1L ()) in
+  let (), tree =
+    Span.profile ~clock ~name:"root" (fun () ->
+        try Span.run ~name:"fails" (fun () -> failwith "x")
+        with Failure _ -> ())
+  in
+  Test_util.check_bool "raising child still recorded" true
+    (Span.find tree "fails" <> None)
+
+let test_span_find_and_flame () =
+  let clock = Clock.read (Clock.manual ~auto_step:10L ()) in
+  let (), tree =
+    Span.profile ~clock ~name:"a" (fun () ->
+        Span.run ~name:"b" (fun () ->
+            Span.run ~name:"c" (fun () -> Span.count "n" 7)))
+  in
+  Test_util.check_bool "find reaches depth 2" true
+    (match Span.find tree "c" with
+    | Some c -> c.Span.counters = [ ("n", 7) ]
+    | None -> false);
+  Test_util.check_bool "find misses absent name" true
+    (Span.find tree "zzz" = None);
+  let flame = Format.asprintf "%a" Span.pp_flame tree in
+  List.iter
+    (fun s ->
+      Test_util.check_bool ("flame mentions " ^ String.trim s) true
+        (contains flame s))
+    [ "a"; "  b"; "    c"; "n=7"; "100.0%" ]
+
+(* The instrumented pipelines expose exactly the documented phase names
+   (docs/OBSERVABILITY.md); the @ci span smoke pins the same set from
+   the outside. *)
+let test_span_pipeline_phases () =
+  let clock = Clock.read (Clock.manual ~auto_step:1L ()) in
+  let g = Generators.grid ~rows:4 ~cols:4 in
+  let _, pll_tree = Span.profile ~clock ~name:"p" (fun () -> Pll.build g) in
+  (match Span.find pll_tree "pll.build" with
+  | None -> Alcotest.fail "pll.build span missing"
+  | Some n ->
+      Alcotest.(check (list string))
+        "pll phases" [ "order"; "pruned-sweep" ]
+        (List.map (fun c -> c.Span.name) n.Span.children));
+  let rng = Test_util.rng () in
+  let path = Generators.path 24 in
+  let _, rs_tree =
+    Span.profile ~clock ~name:"p" (fun () ->
+        ignore (Rs_hub.build ~rng ~d:2 path))
+  in
+  match Span.find rs_tree "rs-hub.build" with
+  | None -> Alcotest.fail "rs-hub.build span missing"
+  | Some n ->
+      Alcotest.(check (list string))
+        "theorem 4.1 stages"
+        [
+          "distance-rows";
+          "hitting-set";
+          "d3-colouring";
+          "conflict-sets";
+          "koenig-covers";
+          "hubsets";
+        ]
+        (List.map (fun c -> c.Span.name) n.Span.children)
+
+(* ----- Events: structured log ----------------------------------------- *)
+
+let test_events_ring_wraparound () =
+  let clock = Clock.read (Clock.manual ~auto_step:5L ()) in
+  let log = Events.create ~clock (Events.ring ~capacity:3) in
+  for i = 1 to 5 do
+    Events.emit log "e" [ ("i", Events.Int i) ]
+  done;
+  Test_util.check_int "emitted counts evicted too" 5 (Events.emitted log);
+  let kept = List.map (fun e -> e.Events.fields) (Events.recent log) in
+  Test_util.check_bool "last 3 oldest first" true
+    (kept
+    = [
+        [ ("i", Events.Int 3) ]; [ ("i", Events.Int 4) ]; [ ("i", Events.Int 5) ];
+      ]);
+  let ts = List.map (fun e -> e.Events.ts_ns) (Events.recent log) in
+  Test_util.check_bool "timestamps follow the clock" true
+    (ts = [ 10L; 15L; 20L ]);
+  Test_util.check_bool "capacity 0 rejected" true
+    (try
+       ignore (Events.ring ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_events_level_filter () =
+  let clock = Clock.read (Clock.manual ~auto_step:5L ()) in
+  let log =
+    Events.create ~clock ~min_level:Events.Warn (Events.ring ~capacity:4)
+  in
+  Events.emit log ~level:Events.Debug "dropped" [];
+  Events.emit log "dropped too" [];
+  Events.emit log ~level:Events.Error "kept" [];
+  Test_util.check_int "only the error passed the filter" 1 (Events.emitted log);
+  match Events.recent log with
+  | [ e ] ->
+      Alcotest.(check string) "kept name" "kept" e.Events.name;
+      (* dropped events never read the clock, so the survivor is at t=0 *)
+      Test_util.check_bool "dropped events consume no clock" true
+        (e.Events.ts_ns = 0L)
+  | _ -> Alcotest.fail "expected exactly one retained event"
+
+let test_events_ambient () =
+  Events.emit_ambient "ignored" [];
+  let log =
+    Events.create
+      ~clock:(Clock.read (Clock.manual ()))
+      (Events.ring ~capacity:4)
+  in
+  Events.install log;
+  Events.emit_ambient ~level:Events.Warn "seen" [ ("ok", Events.Bool true) ];
+  Events.uninstall ();
+  Events.emit_ambient "after uninstall" [];
+  Test_util.check_int "exactly the installed-window emit" 1
+    (Events.emitted log);
+  Test_util.check_bool "uninstall clears" true (Events.installed () = None)
+
+let test_events_from_hub_io () =
+  let log = Events.create (Events.ring ~capacity:4) in
+  Events.install log;
+  (match Hub_io.of_string_res "2 0\n0 0\n" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error _ -> ());
+  Events.uninstall ();
+  let names = List.map (fun e -> e.Events.name) (Events.recent log) in
+  Test_util.check_bool "hub_io parse failure flows to the ambient log" true
+    (List.mem "hub_io.parse_failure" names)
+
+(* ----- Trace recorder at/past capacity, reset ------------------------- *)
+
+let test_trace_recorder_capacity_reset () =
+  let r = Trace.recorder ~capacity:3 in
+  for i = 1 to 3 do
+    Trace.record r (Trace.make ~source:"s" ~u:i ~v:i ~dist:i ())
+  done;
+  Test_util.check_int "seen = capacity" 3 (Trace.seen r);
+  Test_util.check_bool "exactly at capacity, in order" true
+    (List.map (fun t -> t.Trace.dist) (Trace.records r) = [ 1; 2; 3 ]);
+  Trace.record r (Trace.make ~source:"s" ~u:4 ~v:4 ~dist:4 ());
+  Test_util.check_bool "one past capacity evicts the oldest" true
+    (List.map (fun t -> t.Trace.dist) (Trace.records r) = [ 2; 3; 4 ]);
+  Trace.reset r;
+  Test_util.check_int "reset zeroes seen" 0 (Trace.seen r);
+  Test_util.check_bool "reset drops records" true (Trace.records r = []);
+  Trace.record r (Trace.make ~source:"s" ~u:9 ~v:9 ~dist:9 ());
+  Test_util.check_bool "recorder usable after reset" true
+    (List.map (fun t -> t.Trace.dist) (Trace.records r) = [ 9 ])
+
+(* ----- Golden JSON: the export schema is pinned byte for byte --------- *)
+
+let test_golden_metrics_json () =
+  let r = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter r "q.queries");
+  Metrics.set_gauge (Metrics.gauge r "g.depth") 2;
+  let h = Metrics.histogram ~buckets:[| 100; 200; 400 |] r "q.latency_ns" in
+  Metrics.observe h 100;
+  Metrics.observe h 200;
+  let expected =
+    "{\n"
+    ^ "  \"counters\": {\"q.queries\": 3},\n"
+    ^ "  \"gauges\": {\"g.depth\": 2},\n"
+    ^ "  \"histograms\": {\"q.latency_ns\": {\"count\": 2, \"sum_ns\": 300, \
+       \"p50_ns\": 100, \"p90_ns\": 200, \"p99_ns\": 200, \"max_ns\": 200}}\n"
+    ^ "}\n"
+  in
+  Alcotest.(check string)
+    "metrics json" expected
+    (Metrics.to_json (Metrics.snapshot r))
+
+let test_golden_trace_json () =
+  let tr =
+    Trace.make ~entries_scanned:7 ~cache:Trace.Hit ~fallback_hops:1
+      ~source:"flat" ~u:1 ~v:2 ~dist:5 ()
+  in
+  Alcotest.(check string)
+    "trace json"
+    "{\"u\": 1, \"v\": 2, \"dist\": 5, \"source\": \"flat\", \
+     \"entries_scanned\": 7, \"cache\": \"hit\", \"fallback_hops\": 1}"
+    (Trace.to_json tr)
+
+let test_golden_span_json () =
+  let clock = Clock.read (Clock.manual ~auto_step:10L ()) in
+  let (), tree =
+    Span.profile ~clock ~name:"root" (fun () ->
+        Span.run ~name:"child" (fun () -> Span.count "k" 2))
+  in
+  Alcotest.(check string)
+    "span json"
+    "{\"name\": \"root\", \"start_ns\": 0, \"elapsed_ns\": 30, \"counters\": \
+     {}, \"children\": [{\"name\": \"child\", \"start_ns\": 10, \
+     \"elapsed_ns\": 10, \"counters\": {\"k\": 2}, \"children\": []}]}"
+    (Span.to_json tree)
+
+let test_golden_events_json () =
+  let clock = Clock.read (Clock.manual ~auto_step:5L ()) in
+  let log = Events.create ~clock (Events.ring ~capacity:2) in
+  Events.emit log ~level:Events.Warn "ev"
+    [
+      ("a", Events.Int 1);
+      ("b", Events.Str "x\"y");
+      ("c", Events.Bool true);
+      ("d", Events.Float 1.5);
+    ];
+  match Events.recent log with
+  | [ e ] ->
+      Alcotest.(check string)
+        "event json"
+        "{\"ts_ns\": 0, \"level\": \"warn\", \"event\": \"ev\", \"fields\": \
+         {\"a\": 1, \"b\": \"x\\\"y\", \"c\": true, \"d\": 1.5}}"
+        (Events.to_json e)
+  | _ -> Alcotest.fail "expected one event"
+
 let suite =
   [
     Alcotest.test_case "counters and gauges" `Quick test_counter_gauge;
@@ -329,4 +596,28 @@ let suite =
     Alcotest.test_case "json export" `Quick test_json_export;
     Alcotest.test_case "oracle over flat/ext backends" `Quick
       test_oracle_flat_and_ext;
+    Alcotest.test_case "span: deterministic tree" `Quick
+      test_span_tree_deterministic;
+    Alcotest.test_case "span: no-op outside profile" `Quick
+      test_span_noop_outside_profile;
+    Alcotest.test_case "span: exception safety" `Quick
+      test_span_exception_safety;
+    Alcotest.test_case "span: raising child recorded" `Quick
+      test_span_records_raising_child;
+    Alcotest.test_case "span: find + flame report" `Quick
+      test_span_find_and_flame;
+    Alcotest.test_case "span: pipeline phase names" `Quick
+      test_span_pipeline_phases;
+    Alcotest.test_case "events: ring wraparound" `Quick
+      test_events_ring_wraparound;
+    Alcotest.test_case "events: level filter" `Quick test_events_level_filter;
+    Alcotest.test_case "events: ambient install" `Quick test_events_ambient;
+    Alcotest.test_case "events: hub_io parse failure" `Quick
+      test_events_from_hub_io;
+    Alcotest.test_case "trace recorder: capacity + reset" `Quick
+      test_trace_recorder_capacity_reset;
+    Alcotest.test_case "golden: metrics json" `Quick test_golden_metrics_json;
+    Alcotest.test_case "golden: trace json" `Quick test_golden_trace_json;
+    Alcotest.test_case "golden: span json" `Quick test_golden_span_json;
+    Alcotest.test_case "golden: events json" `Quick test_golden_events_json;
   ]
