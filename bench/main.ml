@@ -210,6 +210,8 @@ let flat_vs_assoc ~mode (z : sizes) ~iters =
     {|{
   "bench": "flat_query",
   "mode": "%s",
+  "jobs": %d,
+  "recommended_domain_count": %d,
   "graph": { "n": %d, "m": %d },
   "queries": %d,
   "iters": %d,
@@ -227,7 +229,10 @@ let flat_vs_assoc ~mode (z : sizes) ~iters =
   }
 }
 |}
-    mode z.sparse_n z.sparse_m z.pairs iters
+    mode
+    (Repro_par.Pool.default_jobs ())
+    (Repro_par.Pool.recommended ())
+    z.sparse_n z.sparse_m z.pairs iters
     (Hub_label.avg_size labels)
     assoc_point flat_point flat_batched flat_cached
     (assoc_point /. flat_point)
@@ -311,6 +316,8 @@ let serve_metrics ~mode (z : sizes) ~rounds =
   "bench": "serve_metrics",
   "mode": "%s",
   "seed": %d,
+  "jobs": %d,
+  "recommended_domain_count": %d,
   "graph": { "n": %d, "m": %d },
   "queries_per_backend": %d,
   "backends": {
@@ -318,7 +325,10 @@ let serve_metrics ~mode (z : sizes) ~rounds =
   }
 }
 |}
-    mode !seed z.sparse_n z.sparse_m (rounds * z.pairs)
+    mode !seed
+    (Repro_par.Pool.default_jobs ())
+    (Repro_par.Pool.recommended ())
+    z.sparse_n z.sparse_m (rounds * z.pairs)
     (String.concat ",\n" (List.map backend_json instrumented));
   close_out oc;
   List.iter
@@ -388,13 +398,18 @@ let build_profile ~mode (z : sizes) =
   "bench": "build_profile",
   "mode": "%s",
   "seed": %d,
+  "jobs": %d,
+  "recommended_domain_count": %d,
   "graph": { "n": %d, "m": %d },
   "profiles": {
 %s
   }
 }
 |}
-    mode !seed z.sparse_n z.sparse_m
+    mode !seed
+    (Repro_par.Pool.default_jobs ())
+    (Repro_par.Pool.recommended ())
+    z.sparse_n z.sparse_m
     (String.concat ",\n"
        (List.map
           (fun (k, tree) -> Printf.sprintf {|    "%s": %s|} k (Span.to_json tree))
@@ -407,6 +422,163 @@ let build_profile ~mode (z : sizes) =
         (List.length tree.Span.children))
     profiles;
   Printf.printf "-> BENCH_build_profile.json\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Part 6: multicore scaling + determinism -> BENCH_parallel.json.
+
+   For jobs in {1, 2, 4}: time the parallel distance rows, the Theorem
+   4.1 construction and the batched query fan-out on one shared pool,
+   and hash every observable output (labels, stats, the span tree under
+   a manual clock). The hashes must agree across job counts — that is
+   the determinism contract of Repro_par.Pool — while the timings show
+   whatever speedup the machine has cores for; jobs_available records
+   how many that is, so a flat ratio on a 1-core box explains itself. *)
+
+let run_parallel ~mode (z : sizes) =
+  let module Pool = Repro_par.Pool in
+  let module Checksum = Repro_par.Checksum in
+  let module Span = Repro_obs.Span in
+  let module Clock = Repro_obs.Clock in
+  let iters = if mode = "smoke" then 2 else 50 in
+  let sparse = Generators.random_connected (rng ()) ~n:z.sparse_n ~m:z.sparse_m in
+  let rs_n = max 8 (z.sparse_n / 4) in
+  let deg3 = Generators.random_bounded_degree (rng ()) ~n:rs_n ~d:3 in
+  let labels = Pll.build sparse in
+  let flat = Flat_hub.of_labels labels in
+  let pairs =
+    let r = rng () in
+    Array.init z.pairs (fun _ ->
+        (Random.State.int r z.sparse_n, Random.State.int r z.sparse_n))
+  in
+  let time_ms f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let t1 = Unix.gettimeofday () in
+    ((t1 -. t0) *. 1e3, r)
+  in
+  let rows_digest rows =
+    let buf = Buffer.create (1 lsl 16) in
+    Array.iter
+      (Array.iter (fun d ->
+           Buffer.add_string buf (string_of_int d);
+           Buffer.add_char buf ' '))
+      rows;
+    Checksum.sha256_hex (Buffer.contents buf)
+  in
+  let one_run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        let rows_ms, rows = time_ms (fun () -> Traversal.bfs_rows ~pool sparse) in
+        let rows_sha = rows_digest rows in
+        (* same seed every run: the construction's random draws all
+           happen on the submitting domain, so the labeling, stats and
+           span tree must be byte-identical whatever [jobs] is *)
+        let clock = Clock.read (Clock.manual ~auto_step:1L ()) in
+        let build_ms, ((labels, stats), span) =
+          time_ms (fun () ->
+              Span.profile ~clock ~name:"bench-parallel" (fun () ->
+                  Rs_hub.build ~rng:(rng ()) ~d:z.rs_d ~pool deg3))
+        in
+        let labels_sha = Checksum.sha256_hex (Hub_io.to_string labels) in
+        let stats_sha =
+          Checksum.sha256_hex
+            (Printf.sprintf "d=%d n=%d s=%d q=%d r=%d f=%d buckets=%d mm=%d hubs=%d"
+               stats.Rs_hub.d stats.Rs_hub.n stats.Rs_hub.global_size
+               stats.Rs_hub.q_total stats.Rs_hub.r_total stats.Rs_hub.f_total
+               stats.Rs_hub.bucket_count stats.Rs_hub.matching_edge_total
+               stats.Rs_hub.total_hubs)
+        in
+        let span_sha = Checksum.sha256_hex (Span.to_json span) in
+        let query_ms, answers =
+          time_ms (fun () ->
+              let out = ref [||] in
+              for _ = 1 to iters do
+                out := Flat_hub.query_many ~pool flat pairs
+              done;
+              !out)
+        in
+        let answers_sha =
+          Checksum.sha256_hex
+            (String.concat ","
+               (Array.to_list (Array.map string_of_int answers)))
+        in
+        let query_ns_per_q =
+          query_ms *. 1e6 /. float_of_int (iters * z.pairs)
+        in
+        ( jobs,
+          rows_ms,
+          build_ms,
+          query_ns_per_q,
+          rows_sha,
+          labels_sha,
+          stats_sha,
+          span_sha,
+          answers_sha ))
+  in
+  let runs = List.map one_run [ 1; 2; 4 ] in
+  let shas_of (_, _, _, _, a, b, c, d, e) = [ a; b; c; d; e ] in
+  let deterministic =
+    match runs with
+    | [] -> true
+    | first :: rest ->
+        List.for_all (fun r -> shas_of r = shas_of first) rest
+  in
+  let base =
+    match runs with (_, r, b, q, _, _, _, _, _) :: _ -> (r, b, q) | [] -> (1., 1., 1.)
+  in
+  let run_json (jobs, rows_ms, build_ms, query_ns, rows_sha, labels_sha,
+                stats_sha, span_sha, answers_sha) =
+    let r1, b1, q1 = base in
+    Printf.sprintf
+      {|    {
+      "jobs": %d,
+      "bfs_rows_ms": %.2f,
+      "rs_hub_build_ms": %.2f,
+      "query_many_ns_per_query": %.1f,
+      "speedup_vs_jobs1": { "bfs_rows": %.3f, "rs_hub_build": %.3f, "query_many": %.3f },
+      "sha256": {
+        "distance_rows": "%s",
+        "labels": "%s",
+        "stats": "%s",
+        "span_json": "%s",
+        "batch_answers": "%s"
+      }
+    }|}
+      jobs rows_ms build_ms query_ns (r1 /. rows_ms) (b1 /. build_ms)
+      (q1 /. query_ns) rows_sha labels_sha stats_sha span_sha answers_sha
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    {|{
+  "bench": "parallel",
+  "mode": "%s",
+  "seed": %d,
+  "jobs_available": %d,
+  "default_jobs": %d,
+  "graph": { "n": %d, "m": %d },
+  "rs_hub_graph": { "n": %d, "max_degree": 3 },
+  "queries": %d,
+  "query_iters": %d,
+  "deterministic_across_jobs": %b,
+  "runs": [
+%s
+  ]
+}
+|}
+    mode !seed (Pool.recommended ()) (Pool.default_jobs ()) z.sparse_n
+    z.sparse_m rs_n z.pairs iters deterministic
+    (String.concat ",\n" (List.map run_json runs));
+  close_out oc;
+  List.iter
+    (fun (jobs, rows_ms, build_ms, query_ns, _, _, _, _, _) ->
+      Printf.printf
+        "parallel (%s, jobs=%d): bfs_rows %.2f ms, rs-hub %.2f ms, \
+         query_many %.1f ns/q\n%!"
+        mode jobs rows_ms build_ms query_ns)
+    runs;
+  Printf.printf
+    "parallel: outputs byte-identical across jobs {1,2,4}: %b (%d core(s) \
+     available) -> BENCH_parallel.json\n%!"
+    deterministic (Pool.recommended ())
 
 (* ------------------------------------------------------------------ *)
 
@@ -442,6 +614,7 @@ let run_smoke () =
   flat_vs_assoc ~mode:"smoke" smoke_sizes ~iters:2;
   serve_metrics ~mode:"smoke" smoke_sizes ~rounds:2;
   build_profile ~mode:"smoke" smoke_sizes;
+  run_parallel ~mode:"smoke" smoke_sizes;
   print_endline "bench smoke: all entries ran"
 
 let run_full () =
@@ -471,7 +644,10 @@ let run_full () =
   serve_metrics ~mode:"full" full_sizes ~rounds:50;
   (* Part 5: per-phase construction profiles. *)
   print_newline ();
-  build_profile ~mode:"full" full_sizes
+  build_profile ~mode:"full" full_sizes;
+  (* Part 6: multicore scaling + determinism. *)
+  print_newline ();
+  run_parallel ~mode:"full" full_sizes
 
 let () =
   if Array.exists (( = ) "--smoke") Sys.argv then run_smoke ()
@@ -482,4 +658,6 @@ let () =
     serve_metrics ~mode:"full" full_sizes ~rounds:50
   else if Array.exists (( = ) "--build-profile") Sys.argv then
     build_profile ~mode:"full" full_sizes
+  else if Array.exists (( = ) "--parallel") Sys.argv then
+    run_parallel ~mode:"full" full_sizes
   else run_full ()

@@ -14,6 +14,24 @@ let seed_arg =
   let doc = "Random seed (all commands are deterministic given the seed)." in
   Arg.(value & opt int 20190721 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel phases (construction distance rows, \
+     König covers, batched queries). Defaults to $(b,HUBHARD_JOBS) or the \
+     machine's recommended domain count. Outputs are identical for any \
+     value."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"J" ~doc)
+
+let apply_jobs = function
+  | None -> ()
+  | Some j ->
+      if j < 1 then begin
+        Printf.eprintf "hubhard: --jobs must be positive\n";
+        exit 124
+      end;
+      Repro_par.Pool.set_default_jobs j
+
 let b_arg =
   let doc = "Side-length parameter b (s = 2^b)." in
   Arg.(value & opt int 2 & info [ "b" ] ~docv:"B" ~doc)
@@ -150,7 +168,8 @@ let label_cmd =
     in
     Arg.(value & opt (some string) None & info [ "pack" ] ~docv:"FILE" ~doc)
   in
-  let run kind n scheme d verify out pack profile seed =
+  let run kind n scheme d verify out pack profile seed jobs =
+    apply_jobs jobs;
     let rng = rng_of seed in
     match
       let construct () =
@@ -221,7 +240,7 @@ let label_cmd =
     Term.(
       ret
         (const run $ kind $ n $ scheme $ d $ verify $ out $ pack $ profile
-       $ seed_arg))
+       $ seed_arg $ jobs_arg))
 
 (* ---------------------------------------------------------------- *)
 (* sumindex                                                           *)
@@ -296,7 +315,8 @@ let gen_cmd =
 (* check                                                              *)
 
 let check_cmd =
-  let run seed =
+  let run seed jobs =
+    apply_jobs jobs;
     let verdicts = Theorems.check_all ~seed in
     List.iter
       (fun vd -> Format.printf "%a@." Theorems.pp_verdict vd)
@@ -311,7 +331,7 @@ let check_cmd =
     else `Error (false, Printf.sprintf "%d theorem checks FAILED" failures)
   in
   let doc = "Run the consolidated theorem-certificate battery." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(ret (const run $ seed_arg))
+  Cmd.v (Cmd.info "check" ~doc) Term.(ret (const run $ seed_arg $ jobs_arg))
 
 (* ---------------------------------------------------------------- *)
 (* serve                                                              *)
@@ -414,7 +434,8 @@ let serve_check_cmd =
     let doc = "Number of BFS sources sampled for the cover check." in
     Arg.(value & opt int 8 & info [ "samples" ] ~docv:"K" ~doc)
   in
-  let run graph_file labels_file samples seed =
+  let run graph_file labels_file samples seed jobs =
+    apply_jobs jobs;
     let g = parse_graph_exit graph_file in
     let labels, _ = parse_labels_exit labels_file in
     structural_exit g labels;
@@ -436,15 +457,17 @@ let serve_check_cmd =
      cover-property checks (exit 11 on failure)."
   in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ graph_file_arg $ labels_file_req_arg $ samples $ seed_arg)
+    Term.(
+      const run $ graph_file_arg $ labels_file_req_arg $ samples $ seed_arg
+      $ jobs_arg)
 
 (* Build the serving oracle for `serve query` / `serve stats`: one
    unified Resilient_oracle.create over a uniform primary backend,
    every layer instrumented into [registry]. Returns the oracle and
    the packed store when one is in play (for cache reporting). *)
-let build_serving_oracle ?clock ~registry ~labels ~flat ~cache_slots
-    ~step_budget ~spot_check ~quarantine_after ~inject_fraction ~inject_mode
-    ~seed g =
+let build_serving_oracle ?clock ?(instrument_primary = true) ~registry ~labels
+    ~flat ~cache_slots ~step_budget ~spot_check ~quarantine_after
+    ~inject_fraction ~inject_mode ~seed g =
   let primary_and_store =
     match labels with
     | None -> None
@@ -473,7 +496,15 @@ let build_serving_oracle ?clock ~registry ~labels ~flat ~cache_slots
               ~space_words:(Backend.space_words base)
               (Fault_injector.wrap inj (Backend.query base))
         in
-        Some (Obs.instrument ?clock registry base, store)
+        (* batched serving skips the per-call primary instrumentation:
+           the wrapper mutates the registry and reads the clock on every
+           call, which is neither domain-safe nor clock-deterministic
+           when primary answers are precomputed in parallel *)
+        let base =
+          if instrument_primary then Obs.instrument ?clock registry base
+          else base
+        in
+        Some (base, store)
   in
   let primary = Option.map fst primary_and_store in
   let store = Option.bind primary_and_store snd in
@@ -568,7 +599,8 @@ let serve_query_cmd =
       & info [ "inject-mode" ] ~docv:"MODE" ~doc)
   in
   let run graph_file labels_file pairs num budget spot_check quarantine_after
-      flat cache_slots inject_fraction inject_mode metrics_out seed =
+      flat cache_slots inject_fraction inject_mode metrics_out seed jobs =
+    apply_jobs jobs;
     if inject_fraction < 0.0 || inject_fraction > 1.0 then begin
       Printf.eprintf "hubhard: --inject-fraction must lie in [0, 1]\n";
       exit 124
@@ -640,7 +672,7 @@ let serve_query_cmd =
     Term.(
       const run $ graph_file_arg $ labels_file $ pairs $ num $ budget
       $ spot_check $ quarantine_after $ flat $ cache_slots $ inject_fraction
-      $ inject_mode $ metrics_out_arg $ seed_arg)
+      $ inject_mode $ metrics_out_arg $ seed_arg $ jobs_arg)
 
 let serve_stats_cmd =
   let num =
@@ -675,7 +707,8 @@ let serve_stats_cmd =
     Arg.(value & opt int 5 & info [ "traces" ] ~docv:"K" ~doc)
   in
   let run graph_file labels_file num budget spot_check flat cache_slots json
-      traces metrics_out seed =
+      traces metrics_out seed jobs =
+    apply_jobs jobs;
     if cache_slots < 0 then begin
       Printf.eprintf "hubhard: --cache-slots must be non-negative\n";
       exit 124
@@ -742,7 +775,7 @@ let serve_stats_cmd =
     Term.(
       const run $ graph_file_arg $ labels_file_opt_arg $ num $ budget
       $ spot_check $ flat $ cache_slots $ json $ traces $ metrics_out_arg
-      $ seed_arg)
+      $ seed_arg $ jobs_arg)
 
 (* serve loop: a long-lived query loop over a file or stdin, flushing
    periodic observability snapshots (metrics registry + recent traces +
@@ -839,9 +872,25 @@ let serve_loop_cmd =
     let doc = "Print each answer as 'u v dist source' (off by default)." in
     Arg.(value & flag & info [ "echo" ] ~doc)
   in
+  let batch =
+    let doc =
+      "Serve queries in batches of $(docv): primary answers are precomputed \
+       across the worker domains (see --jobs), then accounted in input \
+       order, so answers, stats and exit codes match --batch 1 exactly. \
+       Batching skips the per-call primary latency instrumentation; \
+       snapshots may only flush on batch boundaries. 1 = per-query path."
+    in
+    Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N" ~doc)
+  in
   let run graph_file labels_file queries_file flush_every flush_ticks
       clock_step traces events_cap budget spot_check quarantine_after flat
-      cache_slots inject_fraction inject_mode echo metrics_out seed =
+      cache_slots inject_fraction inject_mode echo batch metrics_out seed jobs
+      =
+    apply_jobs jobs;
+    if batch < 1 then begin
+      Printf.eprintf "hubhard: --batch must be positive\n";
+      exit 124
+    end;
     if inject_fraction < 0.0 || inject_fraction > 1.0 then begin
       Printf.eprintf "hubhard: --inject-fraction must lie in [0, 1]\n";
       exit 124
@@ -874,14 +923,22 @@ let serve_loop_cmd =
     let step_budget = if budget > 0 then Some budget else None in
     let registry = Metrics.create () in
     let oracle, _store =
-      build_serving_oracle ~clock ~registry ~labels ~flat ~cache_slots
-        ~step_budget ~spot_check ~quarantine_after ~inject_fraction
-        ~inject_mode ~seed g
+      build_serving_oracle ~clock ~instrument_primary:(batch = 1) ~registry
+        ~labels ~flat ~cache_slots ~step_budget ~spot_check ~quarantine_after
+        ~inject_fraction ~inject_mode ~seed g
     in
     let recorder = Trace.recorder ~capacity:traces in
     let backend =
       Obs.instrument ~clock ~recorder ~prefix:"serve" registry
         (Resilient_oracle.backend oracle)
+    in
+    (* Fan a batch's primary answers across domains only when the
+       primary is a pure function of the pair: fault injectors and the
+       flat store's distance cache mutate shared state per call. *)
+    let batch_pool =
+      if batch > 1 && inject_fraction = 0.0 && cache_slots = 0 then
+        Some (Repro_par.Pool.default ())
+      else None
     in
     Events.emit event_log "serve_loop.start"
       [
@@ -953,6 +1010,28 @@ let serve_loop_cmd =
       in
       if due_count || due_ticks then flush_snapshot ~final:false ()
     in
+    (* batched path: buffer valid pairs, answer them in one
+       query_many_detailed call, then echo/account in input order *)
+    let pending = ref [] and pending_n = ref 0 in
+    let flush_batch () =
+      if !pending_n > 0 then begin
+        let arr = Array.of_list (List.rev !pending) in
+        pending := [];
+        pending_n := 0;
+        let answers =
+          Resilient_oracle.query_many_detailed ?pool:batch_pool oracle arr
+        in
+        Array.iteri
+          (fun i (d, src) ->
+            let u, v = arr.(i) in
+            incr served;
+            if echo then
+              Format.printf "%d %d %a %s@." u v Dist.pp d
+                (Resilient_oracle.source_name src);
+            maybe_flush ())
+          answers
+      end
+    in
     let ic =
       if queries_file = "-" then stdin
       else
@@ -1002,6 +1081,11 @@ let serve_loop_cmd =
                       ("v", Events.Int v);
                     ]
                 end
+                else if batch > 1 then begin
+                  pending := (u, v) :: !pending;
+                  incr pending_n;
+                  if !pending_n >= batch then flush_batch ()
+                end
                 else begin
                   let d, tr = Backend.query_detailed backend u v in
                   incr served;
@@ -1013,6 +1097,7 @@ let serve_loop_cmd =
     done;
     if ic != stdin then close_in ic;
     Option.iter (fun b -> Sys.set_signal Sys.sigint b) prev_sigint;
+    flush_batch ();
     Events.emit event_log "serve_loop.drain"
       [ ("reason", Events.Str !drain_reason); ("served", Events.Int !served) ];
     flush_snapshot ~final:true ();
@@ -1048,7 +1133,7 @@ let serve_loop_cmd =
       const run $ graph_file_arg $ labels_file_opt_arg $ queries_file
       $ flush_every $ flush_ticks $ clock_step $ traces $ events_cap $ budget
       $ spot_check $ quarantine_after $ flat $ cache_slots $ inject_fraction
-      $ inject_mode $ echo $ metrics_out_arg $ seed_arg)
+      $ inject_mode $ echo $ batch $ metrics_out_arg $ seed_arg $ jobs_arg)
 
 let serve_cmd =
   let doc =

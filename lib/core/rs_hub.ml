@@ -23,10 +23,26 @@ let default_d n =
   let rs = Repro_rs.Rs_bounds.behrend_upper n in
   max 2 (int_of_float (ceil (rs ** (1.0 /. 6.0))))
 
+(* Per-chunk tallies of the pair-classification sweep. Workers fill
+   these privately; the submitting domain merges them in chunk order so
+   every observable — span counters, Q/R totals, bucket contents — is
+   independent of the job count. *)
+type conflict_chunk = {
+  mutable cc_pairs : int;
+  mutable cc_qpatch : int;
+  mutable cc_rconf : int;
+  mutable cc_charged : int;
+  mutable cc_q : int;
+  mutable cc_r : int;
+  cc_buckets : (int * int * int, (int * int) list ref) Hashtbl.t;
+      (* edge lists accumulate reversed; the merge restores scan order *)
+}
+
 (* The construction, abstracted over the distance matrix [rows] and an
    adjacency iterator (used only for the closed neighbourhoods
    N[F_v]). *)
-let build_on ~rng ~d ?colors ?s_size ~n ~rows ~iter_adj () =
+let build_on ~rng ~d ?colors ?s_size ?pool ~n ~rows ~iter_adj () =
+  let pool = match pool with Some p -> p | None -> Repro_par.Pool.default () in
   let bucket_matchings = ref [] in
   if d < 1 then invalid_arg "Rs_hub.build: need d >= 1";
   let dist u v = rows.(u).(v) in
@@ -79,62 +95,99 @@ let build_on ~rng ~d ?colors ?s_size ~n ~rows ~iter_adj () =
     Hashtbl.create 1024
   in
   Repro_obs.Span.run ~name:"conflict-sets" (fun () ->
-  let hubs_scratch = Array.make n 0 in
-  for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      let duv = dist u v in
-      if Dist.is_finite duv then begin
-        Repro_obs.Span.count "pairs_classified" 1;
-        (* valid hubs H_uv *)
-        let count = ref 0 in
-        for x = 0 to n - 1 do
-          if Dist.add rows.(u).(x) rows.(x).(v) = duv then begin
-            hubs_scratch.(!count) <- x;
-            incr count
-          end
+  (* Chunks partition the [u] range, so [q.(u)]/[r.(u)] have a single
+     writer each; everything else a worker touches is chunk-private.
+     Workers never call into Span/Metrics — the tallies merge below. *)
+  let chunk_results =
+    Repro_par.Pool.map_chunks pool ~n (fun ~slot:_ lo hi ->
+        let hubs_scratch = Array.make n 0 in
+        let cc =
+          {
+            cc_pairs = 0;
+            cc_qpatch = 0;
+            cc_rconf = 0;
+            cc_charged = 0;
+            cc_q = 0;
+            cc_r = 0;
+            cc_buckets = Hashtbl.create 64;
+          }
+        in
+        for u = lo to hi - 1 do
+          for v = u + 1 to n - 1 do
+            let duv = dist u v in
+            if Dist.is_finite duv then begin
+              cc.cc_pairs <- cc.cc_pairs + 1;
+              (* valid hubs H_uv *)
+              let count = ref 0 in
+              for x = 0 to n - 1 do
+                if Dist.add rows.(u).(x) rows.(x).(v) = duv then begin
+                  hubs_scratch.(!count) <- x;
+                  incr count
+                end
+              done;
+              let hcount = !count in
+              if hcount >= d then begin
+                (* case 1: far/popular pair; covered by S or patched
+                   into Q *)
+                let covered = ref false in
+                for k = 0 to hcount - 1 do
+                  if in_s.(hubs_scratch.(k)) then covered := true
+                done;
+                if not !covered then begin
+                  cc.cc_qpatch <- cc.cc_qpatch + 1;
+                  q.(u) <- (v, duv) :: q.(u);
+                  cc.cc_q <- cc.cc_q + 1
+                end
+              end
+              else begin
+                (* case 2/3: small H_uv; check colour collisions *)
+                let conflict = ref false in
+                for i = 0 to hcount - 1 do
+                  for j = i + 1 to hcount - 1 do
+                    if colour.(hubs_scratch.(i)) = colour.(hubs_scratch.(j))
+                    then conflict := true
+                  done
+                done;
+                if !conflict then begin
+                  cc.cc_rconf <- cc.cc_rconf + 1;
+                  r.(u) <- (v, duv) :: r.(u);
+                  cc.cc_r <- cc.cc_r + 1
+                end
+                else
+                  for k = 0 to hcount - 1 do
+                    cc.cc_charged <- cc.cc_charged + 1;
+                    let h = hubs_scratch.(k) in
+                    let a = rows.(u).(h) in
+                    let b = duv - a in
+                    let key = (h, a, b) in
+                    match Hashtbl.find_opt cc.cc_buckets key with
+                    | Some l -> l := (u, v) :: !l
+                    | None -> Hashtbl.replace cc.cc_buckets key (ref [ (u, v) ])
+                  done
+              end
+            end
+          done
         done;
-        let hcount = !count in
-        if hcount >= d then begin
-          (* case 1: far/popular pair; covered by S or patched into Q *)
-          let covered = ref false in
-          for k = 0 to hcount - 1 do
-            if in_s.(hubs_scratch.(k)) then covered := true
-          done;
-          if not !covered then begin
-            Repro_obs.Span.count "q_patched" 1;
-            q.(u) <- (v, duv) :: q.(u);
-            incr q_total
-          end
-        end
-        else begin
-          (* case 2/3: small H_uv; check colour collisions *)
-          let conflict = ref false in
-          for i = 0 to hcount - 1 do
-            for j = i + 1 to hcount - 1 do
-              if colour.(hubs_scratch.(i)) = colour.(hubs_scratch.(j)) then
-                conflict := true
-            done
-          done;
-          if !conflict then begin
-            Repro_obs.Span.count "r_conflicts" 1;
-            r.(u) <- (v, duv) :: r.(u);
-            incr r_total
-          end
-          else
-            for k = 0 to hcount - 1 do
-              Repro_obs.Span.count "pairs_charged" 1;
-              let h = hubs_scratch.(k) in
-              let a = rows.(u).(h) in
-              let b = duv - a in
-              let key = (h, a, b) in
-              match Hashtbl.find_opt buckets key with
-              | Some l -> l := (u, v) :: !l
-              | None -> Hashtbl.replace buckets key (ref [ (u, v) ])
-            done
-        end
-      end
-    done
-  done);
+        cc)
+  in
+  (* Merge in chunk order: bucket edge lists come out in scan order
+     (first by u, then by v), whatever the chunk boundaries were. *)
+  Array.iter
+    (fun cc ->
+      Repro_obs.Span.count "pairs_classified" cc.cc_pairs;
+      Repro_obs.Span.count "q_patched" cc.cc_qpatch;
+      Repro_obs.Span.count "r_conflicts" cc.cc_rconf;
+      Repro_obs.Span.count "pairs_charged" cc.cc_charged;
+      q_total := !q_total + cc.cc_q;
+      r_total := !r_total + cc.cc_r;
+      Hashtbl.iter
+        (fun key l ->
+          let segment = List.rev !l in
+          match Hashtbl.find_opt buckets key with
+          | Some acc -> acc := !acc @ segment
+          | None -> Hashtbl.replace buckets key (ref segment))
+        cc.cc_buckets)
+    chunk_results);
   (* --- per-bucket vertex covers -> F_v ---------------------------- *)
   let f : (int, unit) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 4) in
   let f_total = ref 0 in
@@ -147,79 +200,97 @@ let build_on ~rng ~d ?colors ?s_size ~n ~rows ~iter_adj () =
     end
   in
   Repro_obs.Span.run ~name:"koenig-covers" (fun () ->
-  Hashtbl.iter
-    (fun ((h, _, _) as key_of_bucket) edge_list ->
-      let edges = !edge_list in
-      (* compress endpoints *)
-      let left_ids = Hashtbl.create 16 and right_ids = Hashtbl.create 16 in
-      let left_back = ref [] and right_back = ref [] in
-      let nl = ref 0 and nr = ref 0 in
-      let lid u =
-        match Hashtbl.find_opt left_ids u with
-        | Some i -> i
-        | None ->
-            let i = !nl in
-            incr nl;
-            Hashtbl.replace left_ids u i;
-            left_back := u :: !left_back;
-            i
-      in
-      let rid v =
-        match Hashtbl.find_opt right_ids v with
-        | Some i -> i
-        | None ->
-            let i = !nr in
-            incr nr;
-            Hashtbl.replace right_ids v i;
-            right_back := v :: !right_back;
-            i
-      in
-      let compressed = List.map (fun (u, v) -> (lid u, rid v)) edges in
-      let left_arr = Array.of_list (List.rev !left_back) in
-      let right_arr = Array.of_list (List.rev !right_back) in
-      let bg = Repro_matching.Bipartite.create ~left:!nl ~right:!nr compressed in
-      let matching = Repro_matching.Hopcroft_karp.solve bg in
-      Repro_obs.Span.count "matching_augmentations"
-        matching.Repro_matching.Hopcroft_karp.size;
-      matching_edge_total := !matching_edge_total + matching.Repro_matching.Hopcroft_karp.size;
-      (* record the matching in original vertex ids for the Lemma 4.2
-         verification *)
-      let matched_pairs = ref [] in
-      Array.iteri
-        (fun i j ->
-          if j >= 0 then matched_pairs := (left_arr.(i), right_arr.(j)) :: !matched_pairs)
-        matching.Repro_matching.Hopcroft_karp.mate_left;
-      (match key_of_bucket with
-      | h, a, b -> bucket_matchings := (h, a, b, !matched_pairs) :: !bucket_matchings);
-      let cover = Repro_matching.Koenig.of_matching bg matching in
-      List.iter
-        (fun i -> add_f left_arr.(i) h)
-        cover.Repro_matching.Koenig.left_cover;
-      List.iter
-        (fun i -> add_f right_arr.(i) h)
-        cover.Repro_matching.Koenig.right_cover)
-    buckets;
+  (* Buckets in sorted (h, a, b) order — a total order independent of
+     hash-table internals and chunking — then one pure matching+cover
+     computation per bucket, fanned out across the pool. *)
+  let bucket_arr =
+    let l = Hashtbl.fold (fun key l acc -> (key, !l) :: acc) buckets [] in
+    Array.of_list (List.sort compare l)
+  in
+  let per_bucket =
+    Repro_par.Pool.init pool (Array.length bucket_arr) (fun k ->
+        let (_, _, _), edges = bucket_arr.(k) in
+        (* compress endpoints *)
+        let left_ids = Hashtbl.create 16 and right_ids = Hashtbl.create 16 in
+        let left_back = ref [] and right_back = ref [] in
+        let nl = ref 0 and nr = ref 0 in
+        let lid u =
+          match Hashtbl.find_opt left_ids u with
+          | Some i -> i
+          | None ->
+              let i = !nl in
+              incr nl;
+              Hashtbl.replace left_ids u i;
+              left_back := u :: !left_back;
+              i
+        in
+        let rid v =
+          match Hashtbl.find_opt right_ids v with
+          | Some i -> i
+          | None ->
+              let i = !nr in
+              incr nr;
+              Hashtbl.replace right_ids v i;
+              right_back := v :: !right_back;
+              i
+        in
+        let compressed = List.map (fun (u, v) -> (lid u, rid v)) edges in
+        let left_arr = Array.of_list (List.rev !left_back) in
+        let right_arr = Array.of_list (List.rev !right_back) in
+        let bg =
+          Repro_matching.Bipartite.create ~left:!nl ~right:!nr compressed
+        in
+        let matching = Repro_matching.Hopcroft_karp.solve bg in
+        let matched_pairs = ref [] in
+        Array.iteri
+          (fun i j ->
+            if j >= 0 then
+              matched_pairs := (left_arr.(i), right_arr.(j)) :: !matched_pairs)
+          matching.Repro_matching.Hopcroft_karp.mate_left;
+        let cover = Repro_matching.Koenig.of_matching bg matching in
+        let cover_vertices =
+          List.map (fun i -> left_arr.(i)) cover.Repro_matching.Koenig.left_cover
+          @ List.map
+              (fun i -> right_arr.(i))
+              cover.Repro_matching.Koenig.right_cover
+        in
+        ( matching.Repro_matching.Hopcroft_karp.size,
+          !matched_pairs,
+          cover_vertices ))
+  in
+  (* merge sequentially in sorted-bucket order *)
+  Array.iteri
+    (fun k (size, matched_pairs, cover_vertices) ->
+      let (h, a, b), _ = bucket_arr.(k) in
+      Repro_obs.Span.count "matching_augmentations" size;
+      matching_edge_total := !matching_edge_total + size;
+      bucket_matchings := (h, a, b, matched_pairs) :: !bucket_matchings;
+      List.iter (fun v -> add_f v h) cover_vertices)
+    per_bucket;
   Repro_obs.Span.count "buckets" bucket_count;
   Repro_obs.Span.count "cover_size" !f_total);
   (* --- assemble hubsets ------------------------------------------- *)
   let final =
     Repro_obs.Span.run ~name:"hubsets" (fun () ->
   let labels : (int * int) list array = Array.make n [] in
-  for v = 0 to n - 1 do
-    let add x =
-      if Dist.is_finite rows.(v).(x) then
-        labels.(v) <- (x, rows.(v).(x)) :: labels.(v)
-    in
-    add v;
-    List.iter add !s_list;
-    List.iter (fun (x, dvx) -> labels.(v) <- (x, dvx) :: labels.(v)) q.(v);
-    List.iter (fun (x, dvx) -> labels.(v) <- (x, dvx) :: labels.(v)) r.(v);
-    Hashtbl.iter
-      (fun h () ->
-        add h;
-        iter_adj h (fun nb -> add nb))
-      f.(v)
-  done;
+  (* one writer per vertex; Hub_label.make sorts and dedups, so the
+     accumulation order (including f's hash order) never shows *)
+  Repro_par.Pool.parallel_for pool ~n (fun ~slot:_ lo hi ->
+      for v = lo to hi - 1 do
+        let add x =
+          if Dist.is_finite rows.(v).(x) then
+            labels.(v) <- (x, rows.(v).(x)) :: labels.(v)
+        in
+        add v;
+        List.iter add !s_list;
+        List.iter (fun (x, dvx) -> labels.(v) <- (x, dvx) :: labels.(v)) q.(v);
+        List.iter (fun (x, dvx) -> labels.(v) <- (x, dvx) :: labels.(v)) r.(v);
+        Hashtbl.iter
+          (fun h () ->
+            add h;
+            iter_adj h (fun nb -> add nb))
+          f.(v)
+      done);
   let final = Hub_label.make ~n labels in
   Repro_obs.Span.count "total_hubs" (Hub_label.total_size final);
   final)
@@ -238,16 +309,16 @@ let build_on ~rng ~d ?colors ?s_size ~n ~rows ~iter_adj () =
     },
     { colour_of = colour; bucket_matchings = !bucket_matchings } )
 
-let build_checked ~rng ?d ?colors ?s_size g =
+let build_checked ~rng ?d ?colors ?s_size ?pool g =
   Repro_obs.Span.run ~name:"rs-hub.build" (fun () ->
       let n = Graph.n g in
       let d = match d with Some d -> d | None -> default_d n in
       let rows =
         Repro_obs.Span.run ~name:"distance-rows" (fun () ->
-            Array.init n (fun v -> Traversal.bfs g v))
+            Traversal.bfs_rows ?pool g)
       in
       let result =
-        build_on ~rng ~d ?colors ?s_size ~n ~rows
+        build_on ~rng ~d ?colors ?s_size ?pool ~n ~rows
           ~iter_adj:(fun v f -> Graph.iter_neighbors g v f)
           ()
       in
@@ -260,11 +331,11 @@ let build_checked ~rng ?d ?colors ?s_size g =
         ];
       result)
 
-let build ~rng ?d ?colors ?s_size g =
-  let labels, stats, _ = build_checked ~rng ?d ?colors ?s_size g in
+let build ~rng ?d ?colors ?s_size ?pool g =
+  let labels, stats, _ = build_checked ~rng ?d ?colors ?s_size ?pool g in
   (labels, stats)
 
-let build_w ~rng ?d g =
+let build_w ~rng ?d ?pool g =
   List.iter
     (fun (_, _, w) ->
       if w > 1 then invalid_arg "Rs_hub.build_w: weights must be 0/1")
@@ -274,21 +345,21 @@ let build_w ~rng ?d g =
       let d = match d with Some d -> d | None -> default_d n in
       let rows =
         Repro_obs.Span.run ~name:"distance-rows" (fun () ->
-            Array.init n (fun v -> Dijkstra.distances g v))
+            Dijkstra.distance_rows ?pool g)
       in
       let labels, stats, _ =
-        build_on ~rng ~d ~n ~rows
+        build_on ~rng ~d ?pool ~n ~rows
           ~iter_adj:(fun v f -> Wgraph.iter_neighbors g v (fun u _ -> f u))
           ()
       in
       (labels, stats))
 
-let build_sparse ~rng ?d g =
+let build_sparse ~rng ?d ?pool g =
   let n = Graph.n g in
   let m = Graph.m g in
   let k = max 1 ((2 * m + n - 1) / max n 1) in
   let split = Subdivide.split_unweighted g ~k in
-  let labels', stats = build_w ~rng ?d split.Subdivide.graph in
+  let labels', stats = build_w ~rng ?d ?pool split.Subdivide.graph in
   (* project back: hubs of the representative copy, hub vertices mapped
      to their originating vertex *)
   let labels =

@@ -60,18 +60,27 @@ val build :
   ?d:int ->
   ?colors:int ->
   ?s_size:int ->
+  ?pool:Repro_par.Pool.t ->
   Graph.t ->
   Hub_label.t * stats
 (** Unweighted graphs. The optional [colors] (default [d³]) and
     [s_size] (default [⌈(n/d) ln(d+1)⌉]) override the proof's parameter
     choices — ablation knobs for the [E-ABL] experiment; the output is
-    an exact cover for any values. *)
+    an exact cover for any values.
+
+    The heavy phases — distance rows, pair classification, per-bucket
+    König covers, hubset assembly — fan out across [pool] (default
+    {!Repro_par.Pool.default}). All random draws happen on the calling
+    domain and parallel results merge in a fixed order, so for a given
+    [rng] seed the labeling, the stats and the span counters are
+    identical for any job count. *)
 
 val build_checked :
   rng:Random.State.t ->
   ?d:int ->
   ?colors:int ->
   ?s_size:int ->
+  ?pool:Repro_par.Pool.t ->
   Graph.t ->
   Hub_label.t * stats * lemma42_data
 (** Like {!build} but also returns the data needed by
@@ -84,13 +93,22 @@ val lemma42_holds : n:int -> lemma42_data -> bool
     Ruzsa–Szemerédi-style graph, which is what bounds [Σ|F_v|] by
     [O(D⁵ n²/RS(n))] in the proof. *)
 
-val build_w : rng:Random.State.t -> ?d:int -> Wgraph.t -> Hub_label.t * stats
+val build_w :
+  rng:Random.State.t ->
+  ?d:int ->
+  ?pool:Repro_par.Pool.t ->
+  Wgraph.t ->
+  Hub_label.t * stats
 (** Graphs with 0/1 weights (the generalisation noted after the proof
     of Theorem 4.1, needed by {!build_sparse}).
     @raise Invalid_argument if some weight exceeds 1. *)
 
 val build_sparse :
-  rng:Random.State.t -> ?d:int -> Graph.t -> Hub_label.t * stats
+  rng:Random.State.t ->
+  ?d:int ->
+  ?pool:Repro_par.Pool.t ->
+  Graph.t ->
+  Hub_label.t * stats
 (** Theorem 1.4: reduce a constant *average* degree graph to bounded
     maximum degree by vertex subdivision with weight-0 links
     ({!Repro_graph.Subdivide.split_high_degree} with [k = ⌈2m/n⌉]),

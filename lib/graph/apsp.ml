@@ -1,12 +1,9 @@
 type t = { n : int; rows : int array array }
 
-let of_graph g =
-  let n = Graph.n g in
-  { n; rows = Array.init n (fun s -> Traversal.bfs g s) }
+let of_graph ?pool g = { n = Graph.n g; rows = Traversal.bfs_rows ?pool g }
 
-let of_wgraph g =
-  let n = Wgraph.n g in
-  { n; rows = Array.init n (fun s -> Dijkstra.distances g s) }
+let of_wgraph ?pool g =
+  { n = Wgraph.n g; rows = Dijkstra.distance_rows ?pool g }
 
 let n t = t.n
 

@@ -6,11 +6,12 @@
 
 type t
 
-val of_graph : Graph.t -> t
-(** BFS from every vertex. *)
+val of_graph : ?pool:Repro_par.Pool.t -> Graph.t -> t
+(** BFS from every vertex, parallel across sources ({!Traversal.bfs_rows}). *)
 
-val of_wgraph : Wgraph.t -> t
-(** Dijkstra from every vertex. *)
+val of_wgraph : ?pool:Repro_par.Pool.t -> Wgraph.t -> t
+(** Dijkstra from every vertex, parallel across sources
+    ({!Dijkstra.distance_rows}). *)
 
 val n : t -> int
 

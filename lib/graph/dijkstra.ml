@@ -22,6 +22,39 @@ let shortest_paths g s =
 
 let distances g s = (shortest_paths g s).dist
 
+(* Distances over a caller-supplied queue; [pq] must be empty (a fully
+   drained queue is — popping restores the free state) and sized for
+   [Wgraph.n g]. Lets row sweeps reuse one queue per domain. *)
+let distances_with ~pq g s =
+  let n = Wgraph.n g in
+  let dist = Array.make n Dist.inf in
+  dist.(s) <- 0;
+  Pqueue.insert pq s 0;
+  while not (Pqueue.is_empty pq) do
+    let u, du = Pqueue.pop_min pq in
+    Wgraph.iter_neighbors g u (fun v w ->
+        let d = du + w in
+        if d < dist.(v) then begin
+          dist.(v) <- d;
+          Pqueue.insert_or_decrease pq v d
+        end)
+  done;
+  dist
+
+let distance_rows ?pool g =
+  let n = Wgraph.n g in
+  let rows = Array.make n [||] in
+  let pool = match pool with Some p -> p | None -> Repro_par.Pool.default () in
+  let queues =
+    Array.init (Repro_par.Pool.jobs pool) (fun _ -> Pqueue.create n)
+  in
+  Repro_par.Pool.parallel_for pool ~n (fun ~slot lo hi ->
+      let pq = queues.(slot) in
+      for s = lo to hi - 1 do
+        rows.(s) <- distances_with ~pq g s
+      done);
+  rows
+
 let has_zero_weight g =
   List.exists (fun (_, _, w) -> w = 0) (Wgraph.edges g)
 

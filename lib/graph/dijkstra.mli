@@ -14,6 +14,12 @@ val shortest_paths : Wgraph.t -> int -> result
 
 val distances : Wgraph.t -> int -> int array
 
+val distance_rows : ?pool:Repro_par.Pool.t -> Wgraph.t -> int array array
+(** Dijkstra from every vertex, fanned out across the pool (default
+    {!Repro_par.Pool.default}) with one priority queue of scratch per
+    domain. Row [s] equals [distances g s]; the result is identical for
+    any job count. *)
+
 val count_shortest_paths : Wgraph.t -> int -> int array
 (** [count_shortest_paths g s] counts, for every vertex, the number of
     distinct shortest paths from [s] (saturated at

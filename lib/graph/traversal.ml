@@ -26,6 +26,39 @@ let bfs g s =
   done;
   dist
 
+(* BFS body over a caller-supplied (drained) queue, so row sweeps can
+   reuse one queue per domain instead of allocating per root. *)
+let bfs_with ~queue g s =
+  let n = Graph.n g in
+  let dist = Array.make n Dist.inf in
+  dist.(s) <- 0;
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.iter_neighbors g u (fun v ->
+        if dist.(v) = Dist.inf then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+  done;
+  dist
+
+let bfs_rows ?pool g =
+  let n = Graph.n g in
+  let rows = Array.make n [||] in
+  let pool = match pool with Some p -> p | None -> Repro_par.Pool.default () in
+  (* one queue per execution slot; a slot runs its chunks sequentially,
+     and each BFS drains the queue, so reuse is safe *)
+  let queues =
+    Array.init (Repro_par.Pool.jobs pool) (fun _ -> Queue.create ())
+  in
+  Repro_par.Pool.parallel_for pool ~n (fun ~slot lo hi ->
+      let queue = queues.(slot) in
+      for s = lo to hi - 1 do
+        rows.(s) <- bfs_with ~queue g s
+      done);
+  rows
+
 let bfs_full g s =
   let n = Graph.n g in
   if s < 0 || s >= n then invalid_arg "Traversal.bfs_full: source out of range";

@@ -17,6 +17,13 @@ val path_count_cap : int
 val bfs : Graph.t -> int -> int array
 (** [bfs g s] is the array of distances from [s]. *)
 
+val bfs_rows : ?pool:Repro_par.Pool.t -> Graph.t -> int array array
+(** One BFS per vertex — the distance-rows workload of the Theorem 4.1
+    pipeline — fanned out across the pool (default
+    {!Repro_par.Pool.default}) with one queue of scratch per domain.
+    Row [s] equals [bfs g s]; the result is identical for any job
+    count. *)
+
 val bfs_full : Graph.t -> int -> bfs_result
 (** BFS with parent pointers and shortest-path counting. *)
 

@@ -133,17 +133,53 @@ let query t u v =
   if u < 0 || u >= t.n || v < 0 || v >= t.n then invalid_arg "Flat_hub.query";
   dispatch t u v
 
-let query_many t pairs =
+let query_many ?pool t pairs =
   Array.iter
     (fun (u, v) ->
       if u < 0 || u >= t.n || v < 0 || v >= t.n then
         invalid_arg "Flat_hub.query_many")
     pairs;
-  let out = Array.make (Array.length pairs) 0 in
-  for k = 0 to Array.length pairs - 1 do
-    let u, v = Array.unsafe_get pairs k in
-    Array.unsafe_set out k (dispatch t u v)
-  done;
+  let m = Array.length pairs in
+  let out = Array.make m 0 in
+  (match t.cache with
+  | Some c ->
+      (* The direct-mapped cache is not domain-safe — concurrent writes
+         could tear a key/value pair — so cached batches stay on the
+         calling domain. Hits and misses accumulate in locals and merge
+         once at the end: the stats counters see a batch as one atomic
+         update even if another domain reads them mid-batch. *)
+      let hits = ref 0 and misses = ref 0 in
+      for k = 0 to m - 1 do
+        let u, v = Array.unsafe_get pairs k in
+        let key = if u <= v then (u * t.n) + v else (v * t.n) + u in
+        let slot = key mod c.slots in
+        let d =
+          if Array.unsafe_get c.keys slot = key then begin
+            incr hits;
+            Array.unsafe_get c.values slot
+          end
+          else begin
+            incr misses;
+            let d = raw_query t u v in
+            Array.unsafe_set c.keys slot key;
+            Array.unsafe_set c.values slot d;
+            d
+          end
+        in
+        Array.unsafe_set out k d
+      done;
+      c.hits <- c.hits + !hits;
+      c.misses <- c.misses + !misses
+  | None ->
+      (* cache-free stores are immutable: fan the batch out *)
+      let pool =
+        match pool with Some p -> p | None -> Repro_par.Pool.default ()
+      in
+      Repro_par.Pool.parallel_for pool ~n:m (fun ~slot:_ lo hi ->
+          for k = lo to hi - 1 do
+            let u, v = Array.unsafe_get pairs k in
+            Array.unsafe_set out k (raw_query t u v)
+          done));
   out
 
 let cache_stats t =

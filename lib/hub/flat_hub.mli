@@ -72,10 +72,17 @@ val query : t -> int -> int -> int
     fills the cache when one was configured.
     @raise Invalid_argument on out-of-range endpoints. *)
 
-val query_many : t -> (int * int) array -> int array
+val query_many : ?pool:Repro_par.Pool.t -> t -> (int * int) array -> int array
 (** Batched queries: validates all endpoints up front, then answers
     with the per-call overhead amortised away. [query_many t ps] equals
-    [Array.map (fun (u, v) -> query t u v) ps].
+    [Array.map (fun (u, v) -> query t u v) ps] for any job count.
+
+    On a cache-free store the batch fans out across the pool (default
+    {!Repro_par.Pool.default}) — the packed arrays are read-only. A
+    cached store answers on the calling domain (the direct-mapped cache
+    is not domain-safe), accumulating hit/miss counts locally and
+    merging them into {!cache_stats} once at the end, so the counters
+    advance atomically per batch.
     @raise Invalid_argument if any endpoint is out of range. *)
 
 val cache_stats : t -> (int * int) option

@@ -47,33 +47,40 @@ let structural g labels =
     | None -> Ok ()
   end
 
-let verify ?(samples = 8) ~rng g labels =
+let verify ?(samples = 8) ?pool ~rng g labels =
   let n = Graph.n g in
   let missing_self = ref 0 in
   for v = 0 to n - 1 do
     if Hub_label.dist_to_hub labels v ~hub:v <> Some 0 then incr missing_self
   done;
   let sources = if n = 0 then 0 else min samples n in
-  let stored_mismatches = ref 0 in
-  let pairs = ref 0 in
-  let violations = ref 0 in
-  for _ = 1 to sources do
-    let u = Random.State.int rng n in
-    let dist = Traversal.bfs g u in
-    Array.iter
-      (fun (h, d) -> if dist.(h) <> d then incr stored_mismatches)
-      (Hub_label.hubs labels u);
-    for v = 0 to n - 1 do
-      incr pairs;
-      if Hub_label.query labels u v <> dist.(v) then incr violations
-    done
-  done;
+  (* Draw every source up front — the rng advances exactly as it did
+     when sources were drawn inside the loop — then check them in
+     parallel and sum the per-source tallies in source order. *)
+  let srcs = Array.init sources (fun _ -> Random.State.int rng n) in
+  let pool = match pool with Some p -> p | None -> Repro_par.Pool.default () in
+  let per_source =
+    Repro_par.Pool.init pool sources (fun k ->
+        let u = srcs.(k) in
+        let dist = Traversal.bfs g u in
+        let mism = ref 0 and viol = ref 0 in
+        Array.iter
+          (fun (h, d) -> if dist.(h) <> d then incr mism)
+          (Hub_label.hubs labels u);
+        for v = 0 to n - 1 do
+          if Hub_label.query labels u v <> dist.(v) then incr viol
+        done;
+        (!mism, !viol))
+  in
+  let stored_mismatches =
+    Array.fold_left (fun acc (m, _) -> acc + m) 0 per_source
+  and violations = Array.fold_left (fun acc (_, v) -> acc + v) 0 per_source in
   {
     n;
     entries = Hub_label.total_size labels;
     missing_self = !missing_self;
     sources_checked = sources;
-    stored_mismatches = !stored_mismatches;
-    pairs_checked = !pairs;
-    cover_violations = !violations;
+    stored_mismatches;
+    pairs_checked = sources * n;
+    cover_violations = violations;
   }

@@ -27,12 +27,21 @@ val structural : Graph.t -> Hub_label.t -> (unit, string) result
     and no stored distance exceeds [n - 1] (impossible in an
     unweighted graph). *)
 
-val verify : ?samples:int -> rng:Random.State.t -> Graph.t -> Hub_label.t -> report
+val verify :
+  ?samples:int ->
+  ?pool:Repro_par.Pool.t ->
+  rng:Random.State.t ->
+  Graph.t ->
+  Hub_label.t ->
+  report
 (** [verify ~samples ~rng g labels] BFSes from [samples] random
     sources (default 8) and checks, for each source, every stored
     distance of its hubset and the cover property against every other
-    vertex. [missing_self] is informational and does not affect
-    {!ok} — a labeling can be exact without explicit self-hubs. *)
+    vertex. Sources are drawn from [rng] up front and checked in
+    parallel across the pool (default {!Repro_par.Pool.default});
+    the report is identical for any job count. [missing_self] is
+    informational and does not affect {!ok} — a labeling can be exact
+    without explicit self-hubs. *)
 
 val ok : report -> bool
 (** No stored mismatches and no cover violations. *)

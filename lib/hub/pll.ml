@@ -3,8 +3,7 @@ open Repro_graph
 (* Shared driver: [labels] accumulate as reversed lists; [root_dist]
    caches the current label of the BFS root for O(1) prune queries. *)
 
-let finalise ~n labels =
-  Hub_label.make ~n (Array.map (fun l -> l) labels)
+let finalise ~n labels = Hub_label.make ~n labels
 
 let prune_query ~root_dist ~label_of u du =
   (* distance via hubs common to the processed root and u, using the
@@ -83,12 +82,13 @@ let build_w ?order g =
   let dist = Array.make n Dist.inf in
   let settled = Array.make n false in
   let touched = ref [] in
+  (* drained every sweep, so one queue serves all roots *)
+  let pq = Pqueue.create n in
   Repro_obs.Span.run ~name:"pruned-sweep" (fun () ->
   Array.iter
     (fun root ->
       List.iter (fun (h, d) -> root_dist.(h) <- d) labels.(root);
       root_dist.(root) <- 0;
-      let pq = Pqueue.create n in
       dist.(root) <- 0;
       touched := [ root ];
       Pqueue.insert pq root 0;

@@ -1,0 +1,13 @@
+(** SHA-256, self-contained (FIPS 180-4) — no external dependencies.
+
+    Used to pin the determinism contract of {!Pool}: bench part 6 and
+    the parallel test suites hash label serialisations and
+    metrics/span snapshots produced at different job counts and assert
+    the digests coincide, and the hashes recorded in
+    [BENCH_parallel.json] make the byte-identity auditable offline. *)
+
+val sha256_hex : string -> string
+(** Lowercase hex digest (64 characters) of the input bytes. *)
+
+val sha256 : string -> string
+(** Raw 32-byte digest. *)

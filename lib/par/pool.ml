@@ -1,0 +1,268 @@
+(* Fork-join batches over a persistent set of worker domains.
+
+   One batch runs at a time: [tasks] is the current batch, [next] the
+   first unclaimed index, [unfinished] the tasks not yet completed.
+   Workers park on [work] between batches; the submitter participates
+   in its own batch (slot 0) and parks on [finished] only for the tail.
+   All shared fields are guarded by [mutex]; the release/acquire pairs
+   on it order every task's writes before the submitter's post-join
+   reads, so per-index output arrays need no further synchronisation. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  mutable tasks : (int -> unit) array; (* slot -> unit *)
+  mutable exns : exn option array; (* one slot per task of the batch *)
+  mutable next : int;
+  mutable unfinished : int;
+  mutable busy : bool;
+  mutable closing : bool;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Worker tasks must never submit to the pool they run on (single-batch
+   design); flag the context so nested calls degrade to inline runs. *)
+let inside_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let max_jobs = 64
+let clamp_jobs j = max 1 (min j max_jobs)
+
+let jobs t = t.jobs
+
+(* Claim loop shared by workers and the submitting domain. Returns when
+   the current batch has no unclaimed task left. *)
+let drain_batch t ~slot =
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.mutex;
+    if t.next < Array.length t.tasks then begin
+      let i = t.next in
+      t.next <- i + 1;
+      Mutex.unlock t.mutex;
+      (try t.tasks.(i) slot with e -> t.exns.(i) <- Some e);
+      Mutex.lock t.mutex;
+      t.unfinished <- t.unfinished - 1;
+      if t.unfinished = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.mutex
+    end
+    else begin
+      Mutex.unlock t.mutex;
+      continue := false
+    end
+  done
+
+let worker t slot () =
+  Domain.DLS.set inside_worker true;
+  let stop = ref false in
+  while not !stop do
+    Mutex.lock t.mutex;
+    (* claim outstanding work even when closing, so shutdown never
+       abandons a batch the submitter is joining on *)
+    while t.next >= Array.length t.tasks && not t.closing do
+      Condition.wait t.work t.mutex
+    done;
+    if t.next < Array.length t.tasks then begin
+      Mutex.unlock t.mutex;
+      drain_batch t ~slot
+    end
+    else begin
+      stop := true;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let already = t.closed in
+  t.closing <- true;
+  t.closed <- true;
+  Condition.broadcast t.work;
+  let workers = t.workers in
+  t.workers <- [];
+  Mutex.unlock t.mutex;
+  if not already then List.iter Domain.join workers
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | Some j ->
+        if j < 1 then invalid_arg "Pool.create: jobs must be positive";
+        clamp_jobs j
+    | None -> clamp_jobs (Domain.recommended_domain_count ())
+  in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      tasks = [||];
+      exns = [||];
+      next = 0;
+      unfinished = 0;
+      busy = false;
+      closing = false;
+      closed = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then begin
+    t.workers <- List.init (jobs - 1) (fun i -> Domain.spawn (worker t (i + 1)));
+    (* leaked pools must not block process termination *)
+    at_exit (fun () -> shutdown t)
+  end;
+  t
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Run a batch of tasks (task i receives the executing slot). Inline
+   when the pool has one job, is closed, is already mid-batch, or when
+   called from inside one of its workers. *)
+let run_tasks t tasks =
+  let k = Array.length tasks in
+  if k = 0 then ()
+  else begin
+    let inline () =
+      Array.iter (fun f -> f 0) tasks
+    in
+    if t.jobs = 1 || Domain.DLS.get inside_worker then inline ()
+    else begin
+      Mutex.lock t.mutex;
+      if t.busy || t.closed then begin
+        Mutex.unlock t.mutex;
+        inline ()
+      end
+      else begin
+        t.busy <- true;
+        t.tasks <- tasks;
+        t.exns <- Array.make k None;
+        t.next <- 0;
+        t.unfinished <- k;
+        Condition.broadcast t.work;
+        Mutex.unlock t.mutex;
+        drain_batch t ~slot:0;
+        Mutex.lock t.mutex;
+        while t.unfinished > 0 do
+          Condition.wait t.finished t.mutex
+        done;
+        t.tasks <- [||];
+        t.busy <- false;
+        let exns = t.exns in
+        t.exns <- [||];
+        Mutex.unlock t.mutex;
+        (* deterministic propagation: lowest task index wins *)
+        Array.iter (function Some e -> raise e | None -> ()) exns
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* the jobs knob                                                       *)
+
+let recommended () = Domain.recommended_domain_count ()
+
+let jobs_override = ref None
+
+let set_default_jobs j =
+  if j < 1 then invalid_arg "Pool.set_default_jobs: jobs must be positive";
+  jobs_override := Some (clamp_jobs j)
+
+let env_jobs () =
+  match Sys.getenv_opt "HUBHARD_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> Some (clamp_jobs j)
+      | _ -> None)
+
+let default_jobs () =
+  match !jobs_override with
+  | Some j -> j
+  | None -> (
+      match env_jobs () with
+      | Some j -> j
+      | None -> clamp_jobs (recommended ()))
+
+let global : t option ref = ref None
+
+let default () =
+  let j = default_jobs () in
+  match !global with
+  | Some p when p.jobs = j && not p.closed -> p
+  | prev ->
+      Option.iter shutdown prev;
+      let p = create ~jobs:j () in
+      global := Some p;
+      p
+
+(* ------------------------------------------------------------------ *)
+(* combinators                                                         *)
+
+let chunk_count t ?chunks n =
+  let d =
+    match chunks with
+    | Some c ->
+        if c < 1 then invalid_arg "Pool: chunks must be positive";
+        c
+    | None -> if t.jobs = 1 then 1 else 8 * t.jobs
+  in
+  max 1 (min d n)
+
+(* chunk k of c over [0, n): balanced contiguous ranges *)
+let chunk_bounds ~n ~c k =
+  let base = n / c and extra = n mod c in
+  let lo = (k * base) + min k extra in
+  let hi = lo + base + (if k < extra then 1 else 0) in
+  (lo, hi)
+
+let parallel_for t ?chunks ~n f =
+  if n < 0 then invalid_arg "Pool.parallel_for: negative n";
+  if n > 0 then begin
+    let c = chunk_count t ?chunks n in
+    run_tasks t
+      (Array.init c (fun k slot ->
+           let lo, hi = chunk_bounds ~n ~c k in
+           f ~slot lo hi))
+  end
+
+let map_chunks t ?chunks ~n f =
+  if n < 0 then invalid_arg "Pool.map_chunks: negative n";
+  if n = 0 then [||]
+  else begin
+    let c = chunk_count t ?chunks n in
+    let out = Array.make c None in
+    run_tasks t
+      (Array.init c (fun k slot ->
+           let lo, hi = chunk_bounds ~n ~c k in
+           out.(k) <- Some (f ~slot lo hi)));
+    Array.map (function Some x -> x | None -> assert false) out
+  end
+
+let reduce_chunks t ?chunks ~n ~init ~fold map =
+  Array.fold_left fold init (map_chunks t ?chunks ~n map)
+
+let init t ?chunks n f =
+  if n < 0 then invalid_arg "Pool.init: negative n";
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f 0) in
+    parallel_for t ?chunks ~n (fun ~slot:_ lo hi ->
+        (* chunk 0 recomputes index 0; f is pure by contract *)
+        for i = lo to hi - 1 do
+          out.(i) <- f i
+        done);
+    out
+  end
+
+let run_list t thunks =
+  let arr = Array.of_list thunks in
+  let out = Array.make (Array.length arr) None in
+  run_tasks t
+    (Array.mapi (fun i thunk _slot -> out.(i) <- Some (thunk ())) arr);
+  Array.to_list
+    (Array.map (function Some x -> x | None -> assert false) out)

@@ -1,0 +1,97 @@
+(** A small hand-rolled domain pool for the construction and batch-query
+    hot paths — stdlib [Domain] + [Mutex]/[Condition] only, no external
+    dependencies.
+
+    {2 Determinism contract}
+
+    Every combinator here is {e order-preserving}: chunk results are
+    merged in chunk index order, chunks cover index ranges contiguously
+    and exceptions are re-raised for the lowest failing task index. A
+    computation whose chunks (a) only read shared state, (b) write only
+    per-index or per-chunk outputs and (c) route all counter/metric
+    updates through the per-chunk results is therefore {e byte-identical}
+    for [jobs = 1] and [jobs = N] — the property the determinism suite
+    (test/test_par.ml) and bench part 6 pin down. Callers that need
+    mutable scratch allocate one structure per {e slot} (the executing
+    worker's index in [0, jobs)) and index it with the [~slot] argument;
+    two tasks never run on one slot concurrently.
+
+    {2 The jobs knob}
+
+    The global default pool ({!default}) sizes itself from, in order:
+    {!set_default_jobs} (the CLI [--jobs] flag), the [HUBHARD_JOBS]
+    environment variable, then [Domain.recommended_domain_count ()].
+    With one job no domains are ever spawned and every combinator runs
+    inline in the caller.
+
+    Nested or concurrent submissions never deadlock: a pool that is
+    already executing a batch (or a call made from inside a worker task)
+    runs the new batch inline in the calling domain. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (clamped to
+    [1 .. 64]; default {!default_jobs}). The pool keeps its workers
+    parked on a condition variable between batches; {!shutdown} (or
+    process exit) joins them. *)
+
+val jobs : t -> int
+(** Number of execution slots, including the submitting domain. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent; also registered with [at_exit]
+    so leaked pools never block process termination. After shutdown the
+    pool still works — everything runs inline. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] over a fresh pool and always shuts it down. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()], recorded in bench artifacts
+    for cross-machine comparability. *)
+
+val set_default_jobs : int -> unit
+(** Override the default job count (the CLI [--jobs] flag). The global
+    pool is re-created lazily on the next {!default} call.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val default_jobs : unit -> int
+(** The resolved default: {!set_default_jobs} override, else
+    [HUBHARD_JOBS] (ignored unless a positive integer), else
+    [Domain.recommended_domain_count ()]; clamped to [1 .. 64]. *)
+
+val default : unit -> t
+(** The lazily-created global pool at {!default_jobs}. Re-created (old
+    workers joined) when the resolved job count changed since the last
+    call. *)
+
+val parallel_for : t -> ?chunks:int -> n:int -> (slot:int -> int -> int -> unit) -> unit
+(** [parallel_for pool ~n f] partitions [0, n) into contiguous ranges
+    and calls [f ~slot lo hi] for each (half-open, [lo < hi]). [chunks]
+    defaults to [8 * jobs] (bounded by [n]); ranges differ in length by
+    at most one. Exceptions propagate: the one from the lowest chunk
+    index is re-raised after the batch drains. *)
+
+val map_chunks : t -> ?chunks:int -> n:int -> (slot:int -> int -> int -> 'a) -> 'a array
+(** Like {!parallel_for} but collects one result per chunk, in chunk
+    index order — the order-preserving deterministic reduction
+    primitive. Result [k] is [f ~slot lo_k hi_k]. *)
+
+val reduce_chunks :
+  t ->
+  ?chunks:int ->
+  n:int ->
+  init:'b ->
+  fold:('b -> 'a -> 'b) ->
+  (slot:int -> int -> int -> 'a) ->
+  'b
+(** [map_chunks] followed by a left fold over the chunk results in
+    chunk order: [fold (... (fold init r_0) ...) r_last]. *)
+
+val init : t -> ?chunks:int -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]: element order, and therefore the result, is
+    identical to the sequential version for pure [f]. *)
+
+val run_list : t -> (unit -> 'a) list -> 'a list
+(** Run independent thunks, returning their results in input order. *)

@@ -240,6 +240,97 @@ let query_detailed t u v =
 
 let query t u v = fst (query_detailed t u v)
 
+(* Batched queries. The primary's answers are pure given an honest
+   backend, so they can be precomputed in parallel; every piece of
+   accounting — counters, strikes, quarantine flips, fallback and
+   spot-check work — then replays sequentially in pair order, making
+   the stats trajectory indistinguishable from a [query_detailed]
+   loop. *)
+
+type primary_outcome = P_ans of int | P_over | P_exn
+
+let query_many_detailed ?pool t pairs =
+  match pool with
+  | None -> Array.map (fun (u, v) -> query_detailed t u v) pairs
+  | Some pool ->
+      let m = Array.length pairs in
+      let n = Graph.n t.graph in
+      (* quarantine is permanent, so the primary is live for the whole
+         batch iff it is live now; mid-batch strikes are honoured by
+         the replay below *)
+      let pre =
+        match t.primary with
+        | Some p when not t.is_quarantined ->
+            let out = Array.make m P_exn in
+            Repro_par.Pool.parallel_for pool ~n:m (fun ~slot:_ lo hi ->
+                for k = lo to hi - 1 do
+                  let u, v = pairs.(k) in
+                  if u >= 0 && u < n && v >= 0 && v < n then
+                    out.(k) <-
+                      (match Backend.query p u v with
+                      | d -> P_ans d
+                      | exception Over_budget -> P_over
+                      | exception _ -> P_exn)
+                done);
+            Some out
+        | _ -> None
+      in
+      Array.mapi
+        (fun k (u, v) ->
+          if u < 0 || u >= n || v < 0 || v >= n then begin
+            t.validation_failures <- t.validation_failures + 1;
+            note t (fun e -> e.e_validation_failures);
+            invalid_arg "Resilient_oracle.query: vertex out of range"
+          end;
+          t.queries <- t.queries + 1;
+          note t (fun e -> e.e_queries);
+          match pre with
+          | Some out when not t.is_quarantined -> (
+              t.primary_attempts <- t.primary_attempts + 1;
+              match out.(k) with
+              | P_over ->
+                  t.budget_exhausted <- t.budget_exhausted + 1;
+                  note t (fun e -> e.e_budget_exhausted);
+                  serve_fallback t u v
+              | P_exn ->
+                  t.faults <- t.faults + 1;
+                  note t (fun e -> e.e_faults);
+                  strike t;
+                  serve_fallback t u v
+              | P_ans d ->
+                  let checked =
+                    t.spot_check_every > 0
+                    && t.primary_attempts mod t.spot_check_every = 0
+                  in
+                  if not checked then begin
+                    t.primary_answers <- t.primary_answers + 1;
+                    note t (fun e -> e.e_primary_answers);
+                    (d, Primary)
+                  end
+                  else begin
+                    t.spot_checks <- t.spot_checks + 1;
+                    note t (fun e -> e.e_spot_checks);
+                    let truth, src = compute_fallback t u v in
+                    if truth = d then begin
+                      t.primary_answers <- t.primary_answers + 1;
+                      note t (fun e -> e.e_primary_answers);
+                      (d, Primary)
+                    end
+                    else begin
+                      t.disagreements <- t.disagreements + 1;
+                      note t (fun e -> e.e_disagreements);
+                      strike t;
+                      t.fallback_answers <- t.fallback_answers + 1;
+                      note t (fun e -> e.e_fallback_answers);
+                      (truth, src)
+                    end
+                  end)
+          | _ -> serve_fallback t u v)
+        pairs
+
+let query_many ?pool t pairs =
+  Array.map fst (query_many_detailed ?pool t pairs)
+
 let stats t =
   {
     queries = t.queries;

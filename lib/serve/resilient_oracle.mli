@@ -128,6 +128,26 @@ val query_detailed : t -> int -> int -> int * source
 (** Like {!query}, also reporting which stage produced the served
     answer — the CLI uses it to flag degraded-mode responses. *)
 
+val query_many : ?pool:Repro_par.Pool.t -> t -> (int * int) array -> int array
+(** Batched {!query}. Without [pool] this is exactly a sequential
+    [query] loop. With [pool] the primary's answers are precomputed in
+    parallel across domains and all accounting (counters, strikes,
+    quarantine, spot checks, fallback searches) replays sequentially in
+    pair order, so answers and {!stats} match the sequential loop for
+    any job count.
+
+    Pass [pool] only when the primary backend is domain-safe: pure
+    functions of [(u, v)], e.g. {!hub_primary} or {!flat_primary} over
+    a {e cache-free} store. Instrumented, cached or fault-injecting
+    primaries mutate shared state per call — batch those without a
+    pool.
+    @raise Invalid_argument when a pair is out of range (pairs before
+    it have already been served and counted, as in the loop). *)
+
+val query_many_detailed :
+  ?pool:Repro_par.Pool.t -> t -> (int * int) array -> (int * source) array
+(** {!query_many}, also reporting each answer's serving stage. *)
+
 val stats : t -> stats
 val quarantined : t -> bool
 

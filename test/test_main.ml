@@ -23,4 +23,5 @@ let () =
       ("flat-hub", Test_flat_hub.suite);
       ("differential", Test_differential.suite);
       ("observability", Test_obs.suite);
+      ("parallel", Test_par.suite);
     ]
