@@ -127,8 +127,9 @@ let make_entries (z : sizes) =
       ~labels:labels_sparse sparse
   in
   let serve_flat =
-    Repro_serve.Resilient_oracle.create_flat ~spot_check_every:0
-      ~flat:flat_sparse sparse
+    Repro_serve.Resilient_oracle.create ~spot_check_every:0
+      ~primary:(Repro_serve.Resilient_oracle.flat_primary flat_sparse)
+      sparse
   in
   let serve_checked =
     Repro_serve.Resilient_oracle.create ~spot_check_every:8
@@ -580,6 +581,165 @@ let run_parallel ~mode (z : sizes) =
      available) -> BENCH_parallel.json\n%!"
     deterministic (Pool.recommended ())
 
+(* Part 7: the sharded serving tier -> BENCH_shard.json.
+
+   Fan-out latency of the router over {1, 2, 4} forked workers against
+   the same Resilient_oracle stack in-process, plus
+   recovery-time-to-healthy after a worker is killed mid-stream. Every
+   configuration answers the identical query stream and the answer
+   digests must agree — sharding must never change a distance. This
+   part MUST run before anything creates a domain pool: the router
+   forks, and OCaml 5 forbids fork once a domain has been spawned. *)
+
+let run_shard ~mode (z : sizes) =
+  let module Router = Repro_shard.Router in
+  let module Supervisor = Repro_shard.Supervisor in
+  let module Checksum = Repro_par.Checksum in
+  let iters = if mode = "smoke" then 2 else 30 in
+  let sparse = Generators.random_connected (rng ()) ~n:z.sparse_n ~m:z.sparse_m in
+  let labels = Pll.build sparse in
+  let pairs =
+    let r = rng () in
+    Array.init z.pairs (fun _ ->
+        (Random.State.int r z.sparse_n, Random.State.int r z.sparse_n))
+  in
+  let time_ms f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let t1 = Unix.gettimeofday () in
+    ((t1 -. t0) *. 1e3, r)
+  in
+  let digest answers =
+    Checksum.sha256_hex
+      (String.concat ","
+         (Array.to_list
+            (Array.map (fun (a : Router.answer) -> string_of_int a.Router.dist)
+               answers)))
+  in
+  (* the in-process baseline is the exact stack a worker runs: flat
+     store behind the resilient chain *)
+  let flat = Flat_hub.of_labels labels in
+  let oracle =
+    Repro_serve.Resilient_oracle.create ~spot_check_every:0
+      ~primary:(Repro_serve.Resilient_oracle.flat_primary flat)
+      sparse
+  in
+  let single_ms, single_answers =
+    time_ms (fun () ->
+        let out = ref [||] in
+        for _ = 1 to iters do
+          out := Repro_serve.Resilient_oracle.query_many_detailed oracle pairs
+        done;
+        !out)
+  in
+  let single_sha =
+    Checksum.sha256_hex
+      (String.concat ","
+         (Array.to_list
+            (Array.map (fun (d, _) -> string_of_int d) single_answers)))
+  in
+  let single_ns = single_ms *. 1e6 /. float_of_int (iters * z.pairs) in
+  (* a short backoff keeps the recovery measurement about respawn+ping
+     cost, not about waiting out the production default *)
+  let supervisor =
+    {
+      Supervisor.default_config with
+      Supervisor.base_backoff_ns = 10_000_000L;
+      jitter_frac = 0.0;
+    }
+  in
+  let router_cfg shards =
+    {
+      (Router.default_config sparse) with
+      Router.labels = Some labels;
+      shards;
+      partition = Repro_hub.Partition.Hash;
+      supervisor;
+      spot_check_every = 0;
+      seed = !seed;
+    }
+  in
+  let one_run shards =
+    let router = Router.create (router_cfg shards) in
+    let fan_ms, answers =
+      time_ms (fun () ->
+          let out = ref [||] in
+          for _ = 1 to iters do
+            out := Router.query_batch router pairs
+          done;
+          !out)
+    in
+    Router.shutdown router;
+    let ns = fan_ms *. 1e6 /. float_of_int (iters * z.pairs) in
+    (shards, ns, digest answers)
+  in
+  let runs = List.map one_run [ 1; 2; 4 ] in
+  (* recovery: kill one of two workers mid-stream, then time the heal
+     (backoff + respawn + ping) back to Healthy *)
+  let recovery_router =
+    Router.create
+      {
+        (router_cfg 2) with
+        Router.chaos =
+          [ (0, Repro_serve.Fault_injector.chaos ~after_frames:4
+                  Repro_serve.Fault_injector.Kill) ];
+      }
+  in
+  let crash_answers = Router.query_batch recovery_router pairs in
+  let recovery_ms, () = time_ms (fun () -> Router.heal recovery_router) in
+  let sup = Router.supervisor recovery_router in
+  let recovered_state = Supervisor.state_name (Supervisor.state sup 0) in
+  let recovery_restarts = Supervisor.restarts_used sup 0 in
+  let healed_answers = Router.query_batch recovery_router pairs in
+  Router.shutdown recovery_router;
+  let shas = single_sha :: List.map (fun (_, _, s) -> s) runs in
+  let consistent =
+    List.for_all (( = ) single_sha) shas
+    && digest crash_answers = single_sha
+    && digest healed_answers = single_sha
+  in
+  let run_json (shards, ns, sha) =
+    Printf.sprintf
+      {|    { "shards": %d, "ns_per_query": %.1f, "vs_single_process": %.3f, "answers_sha256": "%s" }|}
+      shards ns (single_ns /. ns) sha
+  in
+  let oc = open_out "BENCH_shard.json" in
+  Printf.fprintf oc
+    {|{
+  "bench": "shard",
+  "mode": "%s",
+  "seed": %d,
+  "graph": { "n": %d, "m": %d },
+  "queries": %d,
+  "iters": %d,
+  "single_process": { "ns_per_query": %.1f, "answers_sha256": "%s" },
+  "runs": [
+%s
+  ],
+  "recovery": {
+    "kill_after_frames": 4,
+    "base_backoff_ms": 10,
+    "recovery_ms": %.2f,
+    "restarts_used": %d,
+    "state_after_heal": "%s"
+  },
+  "answers_identical_everywhere": %b
+}
+|}
+    mode !seed z.sparse_n z.sparse_m z.pairs iters single_ns single_sha
+    (String.concat ",\n" (List.map run_json runs))
+    recovery_ms recovery_restarts recovered_state consistent;
+  close_out oc;
+  List.iter
+    (fun (shards, ns, _) ->
+      Printf.printf "shard (%s, shards=%d): %.1f ns/q (single-process %.1f)\n%!"
+        mode shards ns single_ns)
+    runs;
+  Printf.printf
+    "shard: recovery to %s in %.2f ms after kill; answers identical across \
+     every configuration: %b -> BENCH_shard.json\n%!"
+    recovered_state recovery_ms consistent
+
 (* ------------------------------------------------------------------ *)
 
 let benchmark tests =
@@ -606,6 +766,8 @@ let img (window, results) =
 open Notty_unix
 
 let run_smoke () =
+  (* Part 7 first: the router forks, so it must precede any domain pool. *)
+  run_shard ~mode:"smoke" smoke_sizes;
   List.iter
     (fun (name, body) ->
       body ();
@@ -618,6 +780,10 @@ let run_smoke () =
   print_endline "bench smoke: all entries ran"
 
 let run_full () =
+  (* Part 7 first: the router forks, so it must precede any domain pool
+     (Parts 1 and 6 both spawn them). *)
+  run_shard ~mode:"full" full_sizes;
+  print_newline ();
   (* Part 1: paper-artifact experiment reports. *)
   Repro_experiments.Experiments.run_all ();
   (* Part 2: micro-benchmarks. *)
@@ -660,4 +826,6 @@ let () =
     build_profile ~mode:"full" full_sizes
   else if Array.exists (( = ) "--parallel") Sys.argv then
     run_parallel ~mode:"full" full_sizes
+  else if Array.exists (( = ) "--shard") Sys.argv then
+    run_shard ~mode:"full" full_sizes
   else run_full ()

@@ -344,6 +344,10 @@ let check_cmd =
 
 module Resilient_oracle = Repro_serve.Resilient_oracle
 module Fault_injector = Repro_serve.Fault_injector
+module Wire = Repro_shard.Wire
+module Worker = Repro_shard.Worker
+module Router = Repro_shard.Router
+module Supervisor = Repro_shard.Supervisor
 module Backend = Repro_obs.Backend
 module Metrics = Repro_obs.Metrics
 module Obs = Repro_obs.Obs
@@ -1043,12 +1047,16 @@ let serve_loop_cmd =
     in
     let stop = ref false in
     let drain_reason = ref "signal" in
-    let prev_sigint =
+    (* SIGTERM is what process supervisors (and the shard router) send;
+       it gets the same graceful drain as an interactive ^C: finish the
+       current line, flush the batch, write the final snapshot. *)
+    let install_stop signal =
       try
-        Some
-          (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true)))
+        Some (Sys.signal signal (Sys.Signal_handle (fun _ -> stop := true)))
       with Invalid_argument _ | Sys_error _ -> None
     in
+    let prev_sigint = install_stop Sys.sigint in
+    let prev_sigterm = install_stop Sys.sigterm in
     let line_no = ref 0 in
     while not !stop do
       match input_line ic with
@@ -1097,6 +1105,7 @@ let serve_loop_cmd =
     done;
     if ic != stdin then close_in ic;
     Option.iter (fun b -> Sys.set_signal Sys.sigint b) prev_sigint;
+    Option.iter (fun b -> Sys.set_signal Sys.sigterm b) prev_sigterm;
     flush_batch ();
     Events.emit event_log "serve_loop.drain"
       [ ("reason", Events.Str !drain_reason); ("served", Events.Int !served) ];
@@ -1124,9 +1133,9 @@ let serve_loop_cmd =
      serving path, periodically flushing an observability snapshot (metrics \
      registry + recent traces + structured event log, one JSON object) to \
      --metrics-out.<seq> by atomic write-then-rename, with a final snapshot \
-     at --metrics-out on EOF/SIGINT drain. With --clock-step the snapshots \
-     are byte-identical across runs. Exit 12 when any answer came from a \
-     degraded path."
+     at --metrics-out on EOF/SIGINT/SIGTERM drain. With --clock-step the \
+     snapshots are byte-identical across runs. Exit 12 when any answer came \
+     from a degraded path."
   in
   Cmd.v (Cmd.info "loop" ~doc)
     Term.(
@@ -1135,15 +1144,355 @@ let serve_loop_cmd =
       $ spot_check $ quarantine_after $ flat $ cache_slots $ inject_fraction
       $ inject_mode $ echo $ batch $ metrics_out_arg $ seed_arg $ jobs_arg)
 
+(* serve worker / serve router: the supervised sharded tier. A worker
+   speaks the Wire protocol over stdin/stdout and owns one partition
+   slice; the router forks (or execs) a fleet of them, fans queries
+   out, and survives their deaths. See docs/ROBUSTNESS.md. *)
+
+let shards_arg ~default =
+  let doc = "Number of shards the vertex set is split into." in
+  Arg.(value & opt int default & info [ "shards" ] ~docv:"S" ~doc)
+
+let partition_arg =
+  let doc = "Partition scheme: $(docv) is range or hash." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("range", Repro_hub.Partition.Range);
+             ("hash", Repro_hub.Partition.Hash);
+           ])
+        Repro_hub.Partition.Range
+    & info [ "partition" ] ~docv:"SCHEME" ~doc)
+
+let clock_step_arg =
+  let doc =
+    "Manual clock step in ns per reading (0 = monotonic wall clock); with \
+     it, metrics snapshots are byte-identical across same-seed runs."
+  in
+  Arg.(value & opt int 0 & info [ "clock-step" ] ~docv:"NS" ~doc)
+
+let serve_worker_cmd =
+  let shard =
+    let doc = "This worker's shard index (in [0, shards))." in
+    Arg.(value & opt int 0 & info [ "shard" ] ~docv:"I" ~doc)
+  in
+  let chaos =
+    let doc =
+      "Chaos plan '<fault>@<frames>' (kill, hang, truncate, corrupt, slow): \
+       misbehave exactly once, just before writing the $(i,frames)-th \
+       response frame."
+    in
+    Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"PLAN" ~doc)
+  in
+  let budget =
+    let doc = "Per-query step budget; 0 means unlimited." in
+    Arg.(value & opt int 0 & info [ "budget" ] ~docv:"B" ~doc)
+  in
+  let spot_check =
+    let doc = "Spot-check every K-th primary answer (0 disables)." in
+    Arg.(value & opt int 1 & info [ "spot-check-every" ] ~docv:"K" ~doc)
+  in
+  let quarantine_after =
+    let doc = "Quarantine the primary after this many strikes." in
+    Arg.(value & opt int 3 & info [ "quarantine-after" ] ~docv:"Q" ~doc)
+  in
+  let run graph_file labels_file shards shard partition chaos budget spot_check
+      quarantine_after clock_step seed =
+    if shards < 1 || shard < 0 || shard >= shards then begin
+      Printf.eprintf "hubhard: need 0 <= --shard < --shards\n";
+      exit 124
+    end;
+    let chaos =
+      match chaos with
+      | None -> None
+      | Some s -> (
+          match Fault_injector.chaos_of_string s with
+          | Ok c -> Some c
+          | Error msg ->
+              Printf.eprintf "hubhard: %s\n" msg;
+              exit 124)
+    in
+    let g = parse_graph_exit graph_file in
+    if Graph.n g = 0 then begin
+      Printf.eprintf "validation failure: empty graph\n";
+      exit exit_validation_failure
+    end;
+    let labels = Option.map parse_labels_exit labels_file in
+    Option.iter (fun (l, _) -> structural_exit g l) labels;
+    let cfg =
+      {
+        Worker.graph = g;
+        labels = Option.map fst labels;
+        shards;
+        shard;
+        partition;
+        spot_check_every = spot_check;
+        quarantine_after;
+        step_budget = (if budget > 0 then Some budget else None);
+        chaos;
+        clock_step =
+          (if clock_step > 0 then Some (Int64.of_int clock_step) else None);
+        seed;
+      }
+    in
+    Worker.run ~input:Unix.stdin ~output:Unix.stdout cfg
+  in
+  let doc =
+    "Run one shard worker: serve Wire-protocol frames (length-prefixed \
+     binary) over stdin/stdout for the partition slice this shard owns, \
+     behind the full resilient degradation chain. Normally spawned by \
+     'serve router', not by hand."
+  in
+  Cmd.v (Cmd.info "worker" ~doc)
+    Term.(
+      const run $ graph_file_arg $ labels_file_opt_arg $ shards_arg ~default:1
+      $ shard $ partition_arg $ chaos $ budget $ spot_check $ quarantine_after
+      $ clock_step_arg $ seed_arg)
+
+let serve_router_cmd =
+  let queries_file =
+    let doc =
+      "Query stream: one 'u v' pair per line ('-' for stdin; blank lines and \
+       '#' comments skipped)."
+    in
+    Arg.(value & opt string "-" & info [ "queries" ] ~docv:"FILE" ~doc)
+  in
+  let chaos =
+    let doc =
+      "Per-shard chaos plan '<shard>:<fault>@<frames>' (repeatable), applied \
+       to that shard's initial worker."
+    in
+    Arg.(value & opt_all string [] & info [ "chaos" ] ~docv:"S:PLAN" ~doc)
+  in
+  let batch =
+    let doc =
+      "Pairs per router batch; restarts happen only at batch boundaries, so \
+       a mid-batch crash degrades at most one batch of its partition."
+    in
+    Arg.(value & opt int 64 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let deadline_ms =
+    let doc = "Per-request deadline in milliseconds." in
+    Arg.(value & opt int 2000 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_restarts =
+    let doc = "Restart budget per shard before quarantine." in
+    Arg.(value & opt int 3 & info [ "max-restarts" ] ~docv:"R" ~doc)
+  in
+  let backoff_ms =
+    let doc = "Base restart backoff in milliseconds (doubles per restart)." in
+    Arg.(value & opt int 50 & info [ "backoff-ms" ] ~docv:"MS" ~doc)
+  in
+  let worker_exe =
+    let doc =
+      "Spawn workers by exec'ing $(docv) ('serve worker' is appended) \
+       instead of forking in-process."
+    in
+    Arg.(value & opt (some string) None & info [ "worker-exe" ] ~docv:"EXE" ~doc)
+  in
+  let echo =
+    let doc = "Print each answer as 'u v dist source' (off by default)." in
+    Arg.(value & flag & info [ "echo" ] ~doc)
+  in
+  let spot_check =
+    let doc = "Per-worker spot-check cadence (0 disables)." in
+    Arg.(value & opt int 1 & info [ "spot-check-every" ] ~docv:"K" ~doc)
+  in
+  let run graph_file labels_file queries_file shards partition chaos batch
+      deadline_ms max_restarts backoff_ms worker_exe echo spot_check clock_step
+      metrics_out seed =
+    if shards < 1 || batch < 1 || deadline_ms < 1 || max_restarts < 0
+       || backoff_ms < 0 || clock_step < 0
+    then begin
+      Printf.eprintf
+        "hubhard: need --shards/--batch/--deadline-ms positive, \
+         --max-restarts/--backoff-ms/--clock-step non-negative\n";
+      exit 124
+    end;
+    let chaos =
+      List.map
+        (fun s ->
+          match String.index_opt s ':' with
+          | None ->
+              Printf.eprintf
+                "hubhard: --chaos %S: expected <shard>:<fault>@<frames>\n" s;
+              exit 124
+          | Some i -> (
+              let shard = String.sub s 0 i
+              and plan = String.sub s (i + 1) (String.length s - i - 1) in
+              match
+                (int_of_string_opt shard, Fault_injector.chaos_of_string plan)
+              with
+              | Some sh, Ok c when sh >= 0 && sh < shards -> (sh, c)
+              | Some _, Ok _ ->
+                  Printf.eprintf "hubhard: --chaos %S: shard out of range\n" s;
+                  exit 124
+              | None, _ ->
+                  Printf.eprintf "hubhard: --chaos %S: bad shard index\n" s;
+                  exit 124
+              | _, Error msg ->
+                  Printf.eprintf "hubhard: %s\n" msg;
+                  exit 124))
+        chaos
+    in
+    let g = parse_graph_exit graph_file in
+    let n = Graph.n g in
+    if n = 0 then begin
+      Printf.eprintf "validation failure: empty graph\n";
+      exit exit_validation_failure
+    end;
+    let labels = Option.map parse_labels_exit labels_file in
+    Option.iter (fun (l, _) -> structural_exit g l) labels;
+    let event_log = Events.create (Events.ring ~capacity:64) in
+    Events.install event_log;
+    let spawn =
+      match worker_exe with
+      | None -> Router.Fork
+      | Some exe ->
+          Router.Exec
+            (fun ~shard ->
+              let base =
+                [
+                  exe; "serve"; "worker"; graph_file;
+                  "--shards"; string_of_int shards;
+                  "--shard"; string_of_int shard;
+                  "--partition"; Repro_hub.Partition.string_of_spec partition;
+                  "--spot-check-every"; string_of_int spot_check;
+                  "--clock-step"; string_of_int clock_step;
+                  "--seed"; string_of_int seed;
+                ]
+              in
+              let base =
+                match labels_file with
+                | Some f -> base @ [ "--labels-file"; f ]
+                | None -> base
+              in
+              let base =
+                match List.assoc_opt shard chaos with
+                | Some c ->
+                    base @ [ "--chaos"; Fault_injector.chaos_to_string c ]
+                | None -> base
+              in
+              Array.of_list base)
+    in
+    let cfg =
+      {
+        (Router.default_config g) with
+        labels = Option.map fst labels;
+        shards;
+        partition;
+        supervisor =
+          {
+            Supervisor.default_config with
+            deadline_ns = Int64.of_int (deadline_ms * 1_000_000);
+            max_restarts;
+            base_backoff_ns = Int64.of_int (backoff_ms * 1_000_000);
+          };
+        spot_check_every = spot_check;
+        chaos;
+        clock_step =
+          (if clock_step > 0 then Some (Int64.of_int clock_step) else None);
+        seed;
+        spawn;
+      }
+    in
+    let router, spawn_span =
+      Span.profile ~name:"router.spawn" (fun () -> Router.create cfg)
+    in
+    let ic =
+      if queries_file = "-" then stdin
+      else
+        match open_in queries_file with
+        | ic -> ic
+        | exception Sys_error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit exit_parse_failure
+    in
+    let served = ref 0 and degraded = ref 0 and skipped = ref 0 in
+    let pending = ref [] and pending_n = ref 0 in
+    let flush_batch () =
+      if !pending_n > 0 then begin
+        let arr = Array.of_list (List.rev !pending) in
+        pending := [];
+        pending_n := 0;
+        let answers = Router.query_batch router arr in
+        Array.iteri
+          (fun i (a : Router.answer) ->
+            let u, v = arr.(i) in
+            incr served;
+            if a.Router.degraded then incr degraded;
+            if echo then
+              Format.printf "%d %d %a %s%s@." u v Dist.pp a.Router.dist
+                (Wire.name_of_source_code a.Router.source)
+                (if a.Router.degraded then " degraded" else ""))
+          answers
+      end
+    in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then
+           match Scanf.sscanf line " %d %d" (fun u v -> (u, v)) with
+           | exception _ -> incr skipped
+           | u, v ->
+               if u < 0 || u >= n || v < 0 || v >= n then incr skipped
+               else begin
+                 pending := (u, v) :: !pending;
+                 incr pending_n;
+                 if !pending_n >= batch then flush_batch ()
+               end
+       done
+     with End_of_file -> ());
+    if ic != stdin then close_in ic;
+    flush_batch ();
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        write_file path (Metrics.to_json (Router.merged_snapshot router)));
+    let sup = Router.supervisor router in
+    Format.printf
+      "served %d queries over %d shard(s) (%d degraded, %d lines skipped); \
+       spawn took %Ldns@."
+      !served shards !degraded !skipped
+      (Span.total_ns spawn_span);
+    for s = 0 to shards - 1 do
+      Format.printf "shard %d: %s, %d restart(s)@." s
+        (Supervisor.state_name (Supervisor.state sup s))
+        (Supervisor.restarts_used sup s)
+    done;
+    Router.shutdown router;
+    Events.uninstall ();
+    if !degraded > 0 then exit exit_degraded
+  in
+  let doc =
+    "Route queries across a supervised fleet of forked (or exec'd) shard \
+     workers: per-request deadlines, bounded exponential-backoff restarts, \
+     quarantine of flapping shards, and local exact fallback for a dead \
+     shard's partition. With --metrics-out, write the merged metrics \
+     snapshot (router counters plus each worker's registry under \
+     'shard<i>.'). Exit 12 when any answer was degraded."
+  in
+  Cmd.v (Cmd.info "router" ~doc)
+    Term.(
+      const run $ graph_file_arg $ labels_file_opt_arg $ queries_file
+      $ shards_arg ~default:2 $ partition_arg $ chaos $ batch $ deadline_ms
+      $ max_restarts $ backoff_ms $ worker_exe $ echo $ spot_check
+      $ clock_step_arg $ metrics_out_arg $ seed_arg)
+
 let serve_cmd =
   let doc =
     "Resilient serving path: validated inputs, spot-checked answers, \
-     graceful degradation (hub labels -> bidirectional search -> BFS). Exit \
-     codes: 10 parse failure, 11 validation failure, 12 degraded-mode \
-     answers."
+     graceful degradation (hub labels -> bidirectional search -> BFS), and \
+     the supervised sharded tier (worker/router). Exit codes: 10 parse \
+     failure, 11 validation failure, 12 degraded-mode answers."
   in
   Cmd.group (Cmd.info "serve" ~doc)
-    [ serve_check_cmd; serve_query_cmd; serve_stats_cmd; serve_loop_cmd ]
+    [
+      serve_check_cmd; serve_query_cmd; serve_stats_cmd; serve_loop_cmd;
+      serve_worker_cmd; serve_router_cmd;
+    ]
 
 (* ---------------------------------------------------------------- *)
 

@@ -179,6 +179,100 @@ let snapshot t =
 let find_counter s name = List.assoc_opt name s.counters
 let find_histogram s name = List.assoc_opt name s.histograms
 
+let prefix_snapshot p s =
+  let add l = List.map (fun (name, v) -> (p ^ name, v)) l in
+  {
+    counters = add s.counters;
+    gauges = add s.gauges;
+    histograms = add s.histograms;
+  }
+
+let union_snapshots snaps =
+  let by_name l = List.stable_sort (fun (a, _) (b, _) -> compare a b) l in
+  {
+    counters = by_name (List.concat_map (fun s -> s.counters) snaps);
+    gauges = by_name (List.concat_map (fun s -> s.gauges) snaps);
+    histograms = by_name (List.concat_map (fun s -> s.histograms) snaps);
+  }
+
+(* Wire form: one metric per line, whitespace-separated fields. The
+   shard tier ships worker snapshots through this; it must be canonical
+   (equal snapshots -> equal bytes) and parse without exceptions. *)
+
+let check_wire_name name =
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then
+        invalid_arg
+          (Printf.sprintf "Metrics.snapshot_to_wire: name %S contains \
+                           whitespace" name))
+    name
+
+let snapshot_to_wire s =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, v) ->
+      check_wire_name name;
+      Printf.bprintf buf "c %s %d\n" name v)
+    s.counters;
+  List.iter
+    (fun (name, v) ->
+      check_wire_name name;
+      Printf.bprintf buf "g %s %d\n" name v)
+    s.gauges;
+  List.iter
+    (fun (name, h) ->
+      check_wire_name name;
+      Printf.bprintf buf "h %s %d %d %d %d %d %d\n" name h.count h.sum h.p50
+        h.p90 h.p99 h.max)
+    s.histograms;
+  Buffer.contents buf
+
+let snapshot_of_wire text =
+  let err line_no what =
+    Error (Printf.sprintf "metrics wire line %d: %s" line_no what)
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go line_no counters gauges histograms = function
+    | [] ->
+        Ok
+          {
+            counters = List.rev counters;
+            gauges = List.rev gauges;
+            histograms = List.rev histograms;
+          }
+    | line :: rest -> (
+        if String.trim line = "" then
+          go (line_no + 1) counters gauges histograms rest
+        else
+          match
+            String.split_on_char ' ' line
+            |> List.filter (fun s -> s <> "")
+          with
+          | "c" :: name :: [ v ] -> (
+              match int_of_string_opt v with
+              | Some v ->
+                  go (line_no + 1) ((name, v) :: counters) gauges histograms
+                    rest
+              | None -> err line_no "bad counter value")
+          | "g" :: name :: [ v ] -> (
+              match int_of_string_opt v with
+              | Some v ->
+                  go (line_no + 1) counters ((name, v) :: gauges) histograms
+                    rest
+              | None -> err line_no "bad gauge value")
+          | "h" :: name :: fields -> (
+              match List.map int_of_string_opt fields with
+              | [ Some count; Some sum; Some p50; Some p90; Some p99; Some max ]
+                ->
+                  go (line_no + 1) counters gauges
+                    ((name, { count; sum; p50; p90; p99; max }) :: histograms)
+                    rest
+              | _ -> err line_no "bad histogram fields")
+          | _ -> err line_no "bad metric line")
+  in
+  go 1 [] [] [] lines
+
 (* Metric names are identifier-like by convention, but escape anyway so
    the output is always valid JSON. *)
 let json_escape s =

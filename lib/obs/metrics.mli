@@ -101,6 +101,30 @@ val snapshot : t -> snapshot
 val find_counter : snapshot -> string -> int option
 val find_histogram : snapshot -> string -> hist_summary option
 
+val prefix_snapshot : string -> snapshot -> snapshot
+(** [prefix_snapshot p s] renames every metric [name] to [p ^ name];
+    sort order is preserved because the prefix is common. The sharded
+    serving tier uses this to namespace each worker's registry
+    ([shard0.], [shard1.], ...) before merging. *)
+
+val union_snapshots : snapshot list -> snapshot
+(** Concatenate and re-sort by metric name. Callers keep names disjoint
+    (e.g. via {!prefix_snapshot}); duplicate names are kept as-is, in
+    input order within equal keys. *)
+
+val snapshot_to_wire : snapshot -> string
+(** Compact line-based serialisation for shipping a snapshot over the
+    shard wire protocol: one metric per line —
+    [c <name> <value>], [g <name> <value>],
+    [h <name> <count> <sum> <p50> <p90> <p99> <max>].
+    Metric names follow the dot-separated convention and must not
+    contain whitespace or newlines (raises [Invalid_argument]
+    otherwise). Canonical: equal snapshots serialise to equal bytes. *)
+
+val snapshot_of_wire : string -> (snapshot, string) result
+(** Parse {!snapshot_to_wire} output. Every malformed line yields
+    [Error] naming the 1-based line; never raises. *)
+
 val to_json : snapshot -> string
 (** The registry as one JSON object:
     [{"counters": {name: int, ...},

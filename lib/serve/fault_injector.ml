@@ -43,6 +43,45 @@ let wrap t f u v =
         else d + delta
   end
 
+type proc_fault = Kill | Hang | Truncate_frame | Corrupt_frame | Slow_write
+type chaos = { after_frames : int; fault : proc_fault }
+
+let chaos ~after_frames fault =
+  if after_frames < 1 then
+    invalid_arg "Fault_injector.chaos: after_frames must be >= 1";
+  { after_frames; fault }
+
+let fault_name = function
+  | Kill -> "kill"
+  | Hang -> "hang"
+  | Truncate_frame -> "truncate"
+  | Corrupt_frame -> "corrupt"
+  | Slow_write -> "slow"
+
+let chaos_to_string c =
+  Printf.sprintf "%s@%d" (fault_name c.fault) c.after_frames
+
+let chaos_of_string s =
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "chaos plan %S: expected <fault>@<frames>" s)
+  | Some i -> (
+      let fault = String.sub s 0 i
+      and frames = String.sub s (i + 1) (String.length s - i - 1) in
+      let fault =
+        match fault with
+        | "kill" -> Ok Kill
+        | "hang" -> Ok Hang
+        | "truncate" -> Ok Truncate_frame
+        | "corrupt" -> Ok Corrupt_frame
+        | "slow" -> Ok Slow_write
+        | other -> Error (Printf.sprintf "chaos plan: unknown fault %S" other)
+      in
+      match (fault, int_of_string_opt frames) with
+      | Error e, _ -> Error e
+      | Ok f, Some n when n >= 1 -> Ok { after_frames = n; fault = f }
+      | Ok _, _ ->
+          Error (Printf.sprintf "chaos plan %S: frame count must be >= 1" s))
+
 let corrupt_labels ~seed ~fraction labels =
   if fraction < 0.0 || fraction > 1.0 then
     invalid_arg "Fault_injector.corrupt_labels: fraction must lie in [0, 1]";

@@ -148,20 +148,6 @@ let create ?step_budget ?spot_check_every ?quarantine_after ?metrics ?labels
   in
   make ?step_budget ?spot_check_every ?quarantine_after ?metrics ~primary g
 
-let create_flat ?step_budget ?spot_check_every ?quarantine_after ?metrics ~flat
-    g =
-  if Flat_hub.n flat <> Graph.n g then
-    invalid_arg "Resilient_oracle.create_flat: store and graph disagree on n";
-  create ?step_budget ?spot_check_every ?quarantine_after ?metrics
-    ~primary:(flat_primary ?step_budget flat)
-    g
-
-let with_primary ?step_budget ?spot_check_every ?quarantine_after ?metrics
-    ~name f g =
-  create ?step_budget ?spot_check_every ?quarantine_after ?metrics
-    ~primary:(Backend.make ~name ~space_words:0 f)
-    g
-
 let strike t =
   t.strikes <- t.strikes + 1;
   if (not t.is_quarantined) && t.strikes >= t.quarantine_after then begin

@@ -90,34 +90,6 @@ val hub_primary : ?step_budget:int -> Hub_label.t -> Repro_obs.Backend.t
 val flat_primary : ?step_budget:int -> Flat_hub.t -> Repro_obs.Backend.t
 (** {!Flat_hub.backend} with the same scan-budget cap. *)
 
-val create_flat :
-  ?step_budget:int ->
-  ?spot_check_every:int ->
-  ?quarantine_after:int ->
-  ?metrics:Repro_obs.Metrics.t ->
-  flat:Flat_hub.t ->
-  Graph.t ->
-  t
-(** [create ~primary:(flat_primary ?step_budget flat)] plus an [n]
-    consistency check.
-    @raise Invalid_argument if [flat] disagrees with [g] on [n].
-    @deprecated Use {!create} with [~primary:(flat_primary flat)]. *)
-
-val with_primary :
-  ?step_budget:int ->
-  ?spot_check_every:int ->
-  ?quarantine_after:int ->
-  ?metrics:Repro_obs.Metrics.t ->
-  name:string ->
-  (int -> int -> int) ->
-  Graph.t ->
-  t
-(** [create ~primary:(Backend.make ~name ~space_words:0 f)]: an
-    arbitrary primary function; exceptions it raises are contained and
-    count as faults/strikes. This is the hook the fault-injection
-    harness uses.
-    @deprecated Use {!create} with [~primary]. *)
-
 val query : t -> int -> int -> int
 (** Exact distance ({!Dist.inf} when disconnected) whenever spot
     checks are exhaustive or the primary is honest.

@@ -1,0 +1,565 @@
+open Repro_graph
+open Repro_hub
+open Repro_serve
+module Obs = Repro_obs
+
+type spawn = Fork | Exec of (shard:int -> string array)
+
+type config = {
+  graph : Graph.t;
+  labels : Hub_label.t option;
+  shards : int;
+  partition : Partition.spec;
+  supervisor : Supervisor.config;
+  spot_check_every : int;
+  quarantine_after : int;
+  step_budget : int option;
+  chaos : (int * Fault_injector.chaos) list;
+  clock_step : int64 option;
+  seed : int;
+  spawn : spawn;
+}
+
+let default_config graph =
+  {
+    graph;
+    labels = None;
+    shards = 2;
+    partition = Partition.Range;
+    supervisor = Supervisor.default_config;
+    spot_check_every = 1;
+    quarantine_after = 3;
+    step_budget = None;
+    chaos = [];
+    clock_step = None;
+    seed = 0;
+    spawn = Fork;
+  }
+
+type answer = { dist : int; source : int; degraded : bool }
+
+type conn = {
+  c_pid : int;
+  c_fd : Unix.file_descr;
+  mutable c_buf : string;  (* bytes read but not yet framed *)
+  c_stash : (int, Wire.response) Hashtbl.t;  (* out-of-order responses *)
+}
+
+type counters = {
+  m_queries : Obs.Metrics.counter;
+  m_degraded : Obs.Metrics.counter;
+  m_restarts : Obs.Metrics.counter;
+  m_timeouts : Obs.Metrics.counter;
+  m_retries : Obs.Metrics.counter;
+  m_bad_frames : Obs.Metrics.counter;
+  m_crashes : Obs.Metrics.counter;
+  m_quarantined : Obs.Metrics.gauge;
+  m_latency : Obs.Metrics.histogram;
+}
+
+type t = {
+  cfg : config;
+  sup : Supervisor.t;
+  reg : Obs.Metrics.t;
+  ctr : counters;
+  clock : Obs.Clock.t;
+  manual : Obs.Clock.manual option;  (* backoff waits advance this *)
+  conns : conn option array;
+  pending : int64 option array;  (* backoff still owed before respawn *)
+  fallback : Resilient_oracle.t Lazy.t;
+  next_id : int ref;
+  mutable down : bool;
+}
+
+(* router-side failure taxonomy; the supervisor decides what it costs *)
+type rerr = Timeout | Wire_err of Wire.error
+
+let is_soft = function
+  | Timeout -> true
+  | Wire_err (Wire.Bad_opcode _ | Wire.Bad_payload _) -> true
+  | Wire_err _ -> false  (* EOF / truncation / transport: the peer is gone *)
+
+let event name fields = Obs.Events.emit_ambient ~level:Obs.Events.Warn name fields
+
+(* ----- frame transport with deadlines ------------------------------- *)
+
+let deadline_s t = Int64.to_float t.cfg.supervisor.Supervisor.deadline_ns /. 1e9
+
+let rec recv_frame conn ~until =
+  match Wire.decode_frame conn.c_buf ~pos:0 with
+  | Ok (payload, next) ->
+      conn.c_buf <-
+        String.sub conn.c_buf next (String.length conn.c_buf - next);
+      Ok payload
+  | Error (Wire.Eof | Wire.Truncated _) -> (
+      (* not enough buffered bytes: wait for the descriptor *)
+      let remaining = until -. Unix.gettimeofday () in
+      if remaining <= 0.0 then Error Timeout
+      else
+        match Unix.select [ conn.c_fd ] [] [] remaining with
+        | [], _, _ -> Error Timeout
+        | _ -> (
+            let chunk = Bytes.create 65536 in
+            match Unix.read conn.c_fd chunk 0 65536 with
+            | 0 ->
+                Error
+                  (Wire_err
+                     (if conn.c_buf = "" then Wire.Eof
+                      else
+                        Wire.Truncated
+                          { wanted = 4; got = String.length conn.c_buf }))
+            | k ->
+                conn.c_buf <- conn.c_buf ^ Bytes.sub_string chunk 0 k;
+                recv_frame conn ~until
+            | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                recv_frame conn ~until
+            | exception Unix.Unix_error (e, _, _) ->
+                Error (Wire_err (Wire.Io (Unix.error_message e))))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv_frame conn ~until)
+  | Error e -> Error (Wire_err e)
+
+let response_id = function
+  | Wire.Answer { id; _ }
+  | Wire.Pong { id }
+  | Wire.Stats_payload { id; _ }
+  | Wire.Error_frame { id; _ } ->
+      id
+
+(* Wait for the response with this [id]; responses to other requests
+   (late answers after a timeout, pipelined batch items) are stashed,
+   never dropped. *)
+let rec recv_matching conn ~id ~until =
+  match Hashtbl.find_opt conn.c_stash id with
+  | Some resp ->
+      Hashtbl.remove conn.c_stash id;
+      Ok resp
+  | None -> (
+      match recv_frame conn ~until with
+      | Error _ as e -> e
+      | Ok payload -> (
+          match Wire.response_of_payload payload with
+          | Error e -> Error (Wire_err e)
+          | Ok resp ->
+              let rid = response_id resp in
+              if rid = id then Ok resp
+              else begin
+                Hashtbl.replace conn.c_stash rid resp;
+                recv_matching conn ~id ~until
+              end))
+
+let send_frame conn frame =
+  match Wire.write_frame conn.c_fd frame with
+  | Ok () -> Ok ()
+  | Error e -> Error (Wire_err e)
+
+let fresh_id t =
+  incr t.next_id;
+  !(t.next_id)
+
+(* ----- worker lifecycle --------------------------------------------- *)
+
+let worker_config cfg ~shard ~with_chaos =
+  {
+    Worker.graph = cfg.graph;
+    labels = cfg.labels;
+    shards = cfg.shards;
+    shard;
+    partition = cfg.partition;
+    spot_check_every = cfg.spot_check_every;
+    quarantine_after = cfg.quarantine_after;
+    step_budget = cfg.step_budget;
+    chaos = (if with_chaos then List.assoc_opt shard cfg.chaos else None);
+    clock_step = cfg.clock_step;
+    seed = cfg.seed;
+  }
+
+let spawn_conn t shard ~with_chaos =
+  let parent_fd, child_fd =
+    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  match t.cfg.spawn with
+  | Fork -> (
+      match Unix.fork () with
+      | 0 ->
+          Unix.close parent_fd;
+          Array.iter
+            (function Some c -> (try Unix.close c.c_fd with _ -> ()) | None -> ())
+            t.conns;
+          (try
+             Worker.run ~input:child_fd ~output:child_fd
+               (worker_config t.cfg ~shard ~with_chaos)
+           with _ -> ());
+          Unix._exit 0
+      | pid ->
+          Unix.close child_fd;
+          Some { c_pid = pid; c_fd = parent_fd; c_buf = ""; c_stash = Hashtbl.create 16 }
+      | exception Unix.Unix_error _ ->
+          Unix.close parent_fd;
+          Unix.close child_fd;
+          None)
+  | Exec argv_of -> (
+      let argv = argv_of ~shard in
+      Unix.set_close_on_exec parent_fd;
+      match Unix.create_process argv.(0) argv child_fd child_fd Unix.stderr with
+      | pid ->
+          Unix.close child_fd;
+          Some { c_pid = pid; c_fd = parent_fd; c_buf = ""; c_stash = Hashtbl.create 16 }
+      | exception Unix.Unix_error _ ->
+          Unix.close parent_fd;
+          Unix.close child_fd;
+          None)
+
+let reap pid =
+  let rec go () =
+    match Unix.waitpid [] pid with
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  go ()
+
+let demote t shard =
+  match t.conns.(shard) with
+  | None -> ()
+  | Some c ->
+      (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+      (try Unix.kill c.c_pid Sys.sigkill with Unix.Unix_error _ -> ());
+      reap c.c_pid;
+      t.conns.(shard) <- None
+
+let ping t conn =
+  let id = fresh_id t in
+  match send_frame conn (Wire.encode_request (Wire.Ping { id })) with
+  | Error _ -> false
+  | Ok () -> (
+      match
+        recv_matching conn ~id ~until:(Unix.gettimeofday () +. deadline_s t)
+      with
+      | Ok (Wire.Pong { id = _ }) -> true
+      | Ok _ | Error _ -> false)
+
+let update_quarantine_gauge t =
+  let q = ref 0 in
+  for s = 0 to t.cfg.shards - 1 do
+    if Supervisor.state t.sup s = Supervisor.Quarantined then incr q
+  done;
+  Obs.Metrics.set_gauge t.ctr.m_quarantined !q
+
+(* Honour a Restart_after backoff. Under a manual clock the wait is a
+   clock advance — no wall time passes, the nanoseconds are still
+   accounted — which is what keeps the chaos suite fast AND
+   byte-reproducible. *)
+let wait_backoff t ns =
+  match t.manual with
+  | Some m -> Obs.Clock.advance m ns
+  | None -> Unix.sleepf (Int64.to_float ns /. 1e9)
+
+let apply_verdict t shard = function
+  | Supervisor.Keep -> ()
+  | Supervisor.Restart_after ns ->
+      demote t shard;
+      t.pending.(shard) <- Some ns;
+      event "router.restart_scheduled"
+        [ ("shard", Obs.Events.Int shard);
+          ("backoff_ns", Obs.Events.Int (Int64.to_int ns)) ]
+  | Supervisor.Quarantined_now ->
+      demote t shard;
+      t.pending.(shard) <- None;
+      update_quarantine_gauge t;
+      event "router.quarantine" [ ("shard", Obs.Events.Int shard) ]
+
+let crash t shard =
+  Obs.Metrics.incr t.ctr.m_crashes;
+  event "router.crash" [ ("shard", Obs.Events.Int shard) ];
+  apply_verdict t shard (Supervisor.on_crash t.sup shard)
+
+let rec heal_shard t shard =
+  match t.pending.(shard) with
+  | None -> ()
+  | Some ns -> (
+      wait_backoff t ns;
+      t.pending.(shard) <- None;
+      Obs.Metrics.incr t.ctr.m_restarts;
+      let conn = spawn_conn t shard ~with_chaos:false in
+      t.conns.(shard) <- conn;
+      match conn with
+      | Some c when ping t c ->
+          Supervisor.on_restarted t.sup shard;
+          event "router.restarted"
+            [ ("shard", Obs.Events.Int shard); ("pid", Obs.Events.Int c.c_pid) ]
+      | Some _ | None ->
+          demote t shard;
+          apply_verdict t shard (Supervisor.on_crash t.sup shard);
+          heal_shard t shard)
+
+let heal t =
+  for s = 0 to t.cfg.shards - 1 do
+    heal_shard t s
+  done
+
+(* ----- construction -------------------------------------------------- *)
+
+let create cfg =
+  if cfg.shards < 1 then invalid_arg "Router.create: shards must be >= 1";
+  (match cfg.labels with
+  | Some l when Hub_label.n l <> Graph.n cfg.graph ->
+      invalid_arg "Router.create: labels and graph disagree on n"
+  | _ -> ());
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let reg = Obs.Metrics.create () in
+  let manual =
+    Option.map (fun step -> Obs.Clock.manual ~auto_step:step ()) cfg.clock_step
+  in
+  let clock =
+    match manual with Some m -> Obs.Clock.read m | None -> Obs.Clock.monotonic
+  in
+  let ctr =
+    {
+      m_queries = Obs.Metrics.counter reg "router.queries";
+      m_degraded = Obs.Metrics.counter reg "router.degraded";
+      m_restarts = Obs.Metrics.counter reg "router.restarts";
+      m_timeouts = Obs.Metrics.counter reg "router.timeouts";
+      m_retries = Obs.Metrics.counter reg "router.retries";
+      m_bad_frames = Obs.Metrics.counter reg "router.bad_frames";
+      m_crashes = Obs.Metrics.counter reg "router.crashes";
+      m_quarantined = Obs.Metrics.gauge reg "router.quarantined";
+      m_latency = Obs.Metrics.histogram reg "router.latency_ns";
+    }
+  in
+  let t =
+    {
+      cfg;
+      sup = Supervisor.create ~seed:cfg.seed ~shards:cfg.shards cfg.supervisor;
+      reg;
+      ctr;
+      clock;
+      manual;
+      conns = Array.make cfg.shards None;
+      pending = Array.make cfg.shards None;
+      fallback = lazy (Resilient_oracle.create ~metrics:reg cfg.graph);
+      next_id = ref 0;
+      down = false;
+    }
+  in
+  for s = 0 to cfg.shards - 1 do
+    let conn = spawn_conn t s ~with_chaos:true in
+    t.conns.(s) <- conn;
+    (match conn with
+    | Some c ->
+        event "router.spawn"
+          [ ("shard", Obs.Events.Int s); ("pid", Obs.Events.Int c.c_pid) ]
+    | None -> ());
+    match conn with
+    | Some c when ping t c -> Supervisor.on_success t.sup s
+    | Some _ | None ->
+        demote t s;
+        apply_verdict t s (Supervisor.on_crash t.sup s)
+  done;
+  heal t;
+  t
+
+(* ----- serving ------------------------------------------------------- *)
+
+let fallback_answer t u v =
+  Obs.Metrics.incr t.ctr.m_degraded;
+  let dist, _ = Resilient_oracle.query_detailed (Lazy.force t.fallback) u v in
+  { dist; source = Wire.source_router; degraded = true }
+
+let answer_of_response resp =
+  match resp with
+  | Wire.Answer { dist; source; degraded; _ } -> Some { dist; source; degraded }
+  | Wire.Pong _ | Wire.Stats_payload _ | Wire.Error_frame _ -> None
+
+(* One batch window on one shard: send every request, then collect in
+   order. A soft failure burns one bounded retry for its item; once the
+   supervisor escalates (restart or quarantine) the remaining items of
+   the window degrade to the local fallback — restarts wait for the
+   batch boundary. Returns [false] when the shard was demoted. *)
+let window_size = 256
+
+let run_window t shard conn items out =
+  let ids = Array.map (fun _ -> 0) items in
+  let sent = ref 0 in
+  (try
+     Array.iteri
+       (fun i (_, u, v) ->
+         let id = fresh_id t in
+         ids.(i) <- id;
+         match send_frame conn (Wire.encode_request (Wire.Query { id; u; v })) with
+         | Ok () -> sent := i + 1
+         | Error _ -> raise Exit)
+       items
+   with Exit -> ());
+  let alive = ref true in
+  let crash_now () =
+    alive := false;
+    crash t shard
+  in
+  let soft_now () =
+    match Supervisor.on_soft_failure t.sup shard with
+    | Supervisor.Keep -> ()
+    | v ->
+        alive := false;
+        apply_verdict t shard v
+  in
+  Array.iteri
+    (fun i (idx, u, v) ->
+      if not !alive then out.(idx) <- fallback_answer t u v
+      else if i >= !sent then begin
+        (* the send failed before this item went out *)
+        crash_now ();
+        out.(idx) <- fallback_answer t u v
+      end
+      else
+        let rec attempt ~id ~retried =
+          let until = Unix.gettimeofday () +. deadline_s t in
+          match recv_matching conn ~id ~until with
+          | Ok resp -> (
+              match answer_of_response resp with
+              | Some a ->
+                  Supervisor.on_success t.sup shard;
+                  out.(idx) <- a
+              | None ->
+                  (* Error_frame or a mismatched kind: soft *)
+                  Obs.Metrics.incr t.ctr.m_bad_frames;
+                  soft_now ();
+                  out.(idx) <- fallback_answer t u v)
+          | Error e when is_soft e -> (
+              (match e with
+              | Timeout -> Obs.Metrics.incr t.ctr.m_timeouts
+              | Wire_err _ -> Obs.Metrics.incr t.ctr.m_bad_frames);
+              match Supervisor.on_soft_failure t.sup shard with
+              | Supervisor.Keep when not retried ->
+                  Obs.Metrics.incr t.ctr.m_retries;
+                  let id' = fresh_id t in
+                  (match
+                     send_frame conn
+                       (Wire.encode_request (Wire.Query { id = id'; u; v }))
+                   with
+                  | Ok () -> attempt ~id:id' ~retried:true
+                  | Error _ ->
+                      crash_now ();
+                      out.(idx) <- fallback_answer t u v)
+              | Supervisor.Keep -> out.(idx) <- fallback_answer t u v
+              | verdict ->
+                  alive := false;
+                  apply_verdict t shard verdict;
+                  out.(idx) <- fallback_answer t u v)
+          | Error _ ->
+              crash_now ();
+              out.(idx) <- fallback_answer t u v
+        in
+        attempt ~id:ids.(i) ~retried:false)
+    items;
+  !alive
+
+let query_batch t pairs =
+  if t.down then invalid_arg "Router.query_batch: router is shut down";
+  let n = Graph.n t.cfg.graph in
+  let owners =
+    Array.map
+      (fun (u, v) ->
+        Partition.owner_of_pair t.cfg.partition ~shards:t.cfg.shards ~n u v)
+      pairs
+  in
+  heal t;
+  let out = Array.make (Array.length pairs) { dist = 0; source = 0; degraded = false } in
+  let per_shard = Array.make t.cfg.shards [] in
+  Array.iteri
+    (fun idx (u, v) ->
+      per_shard.(owners.(idx)) <- (idx, u, v) :: per_shard.(owners.(idx)))
+    pairs;
+  for s = 0 to t.cfg.shards - 1 do
+    let items = Array.of_list (List.rev per_shard.(s)) in
+    if Array.length items > 0 then begin
+      Obs.Metrics.incr ~by:(Array.length items) t.ctr.m_queries;
+      Obs.Metrics.observe_span ~clock:t.clock t.ctr.m_latency (fun () ->
+          match t.conns.(s) with
+          | None ->
+              Array.iter
+                (fun (idx, u, v) -> out.(idx) <- fallback_answer t u v)
+                items
+          | Some conn ->
+              Hashtbl.reset conn.c_stash;
+              let k = ref 0 in
+              let continue = ref true in
+              while !continue && !k < Array.length items do
+                let stop = min (Array.length items) (!k + window_size) in
+                let window = Array.sub items !k (stop - !k) in
+                (match t.conns.(s) with
+                | Some c -> continue := run_window t s c window out
+                | None -> continue := false);
+                if not !continue then
+                  (* degrade the unsent remainder of this shard's batch *)
+                  for j = stop to Array.length items - 1 do
+                    let idx, u, v = items.(j) in
+                    out.(idx) <- fallback_answer t u v
+                  done;
+                k := stop
+              done)
+    end
+  done;
+  out
+
+let query t u v = (query_batch t [| (u, v) |]).(0)
+
+(* ----- introspection ------------------------------------------------- *)
+
+let supervisor t = t.sup
+let metrics t = t.reg
+let pid t shard = Option.map (fun c -> c.c_pid) t.conns.(shard)
+
+let merged_snapshot t =
+  heal t;
+  let snaps = ref [] in
+  for s = t.cfg.shards - 1 downto 0 do
+    match t.conns.(s) with
+    | None -> ()
+    | Some conn -> (
+        let id = fresh_id t in
+        match send_frame conn (Wire.encode_request (Wire.Stats { id })) with
+        | Error _ -> crash t s
+        | Ok () -> (
+            match
+              recv_matching conn ~id
+                ~until:(Unix.gettimeofday () +. deadline_s t)
+            with
+            | Ok (Wire.Stats_payload { data; _ }) -> (
+                match Obs.Metrics.snapshot_of_wire data with
+                | Ok snap ->
+                    Supervisor.on_success t.sup s;
+                    snaps :=
+                      Obs.Metrics.prefix_snapshot (Printf.sprintf "shard%d." s)
+                        snap
+                      :: !snaps
+                | Error _ ->
+                    Obs.Metrics.incr t.ctr.m_bad_frames;
+                    apply_verdict t s (Supervisor.on_soft_failure t.sup s))
+            | Ok _ | Error (Wire_err (Wire.Bad_opcode _ | Wire.Bad_payload _))
+              ->
+                Obs.Metrics.incr t.ctr.m_bad_frames;
+                apply_verdict t s (Supervisor.on_soft_failure t.sup s)
+            | Error Timeout ->
+                Obs.Metrics.incr t.ctr.m_timeouts;
+                apply_verdict t s (Supervisor.on_soft_failure t.sup s)
+            | Error (Wire_err _) -> crash t s))
+  done;
+  Obs.Metrics.union_snapshots (Obs.Metrics.snapshot t.reg :: !snaps)
+
+let shutdown t =
+  if not t.down then begin
+    t.down <- true;
+    Array.iteri
+      (fun s conn ->
+        match conn with
+        | None -> ()
+        | Some c ->
+            (try
+               ignore (Wire.write_frame c.c_fd (Wire.encode_request Wire.Shutdown))
+             with _ -> ());
+            (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+            (try Unix.kill c.c_pid Sys.sigkill with Unix.Unix_error _ -> ());
+            reap c.c_pid;
+            t.conns.(s) <- None)
+      t.conns
+  end

@@ -1,0 +1,106 @@
+(** The router: owns the worker fleet, fans queries out, merges
+    metrics, survives its workers.
+
+    A router spawns [shards] workers (by {!Fork}ing and calling
+    {!Worker.run} directly over a [Unix] socketpair, or by {!Exec}ing
+    [hubhard serve worker] with the socket on stdin/stdout), routes
+    each query pair to the shard owning it
+    ({!Repro_hub.Partition.owner_of_pair}) and speaks {!Wire} over the
+    pipes. Batches are pipelined per shard: all requests are written
+    first, responses collected in id order, stale or reordered frames
+    discarded by id.
+
+    Failure handling is delegated to a {!Supervisor}: deadline misses
+    and unparseable frames are soft failures, EOF/EPIPE are crashes.
+    When the supervisor orders a restart the router waits out the
+    backoff ({b advancing the manual clock} instead of sleeping when
+    [clock_step] is set — that is what makes the chaos suite both fast
+    and deterministic), SIGKILLs and reaps the old process, respawns,
+    and confirms with a ping. Restarts happen {e between} batches; a
+    shard that dies mid-batch degrades only its own partition for the
+    rest of that batch, with the router's local search-only
+    {!Repro_serve.Resilient_oracle} answering those pairs exactly —
+    marked [source = source_router], [degraded = true]. A quarantined
+    shard degrades its partition forever.
+
+    All router-side accounting lands in a {!Repro_obs.Metrics} registry
+    ([router.queries], [router.degraded], [router.restarts],
+    [router.timeouts], [router.retries], [router.bad_frames],
+    [router.latency_ns]); {!merged_snapshot} unions it with each live
+    worker's snapshot under a [shard<i>.] prefix. Structured events
+    ([router.spawn], [router.crash], [router.restart],
+    [router.quarantine], …) go to the ambient
+    {!Repro_obs.Events} sink when one is installed. *)
+
+open Repro_graph
+open Repro_hub
+open Repro_serve
+
+type spawn =
+  | Fork  (** fork(2) before any domain pool exists — OCaml 5 forbids
+              forking once domains run *)
+  | Exec of (shard:int -> string array)
+      (** argv for shard [i]; argv.(0) is the executable path *)
+
+type config = {
+  graph : Graph.t;
+  labels : Hub_label.t option;
+  shards : int;
+  partition : Partition.spec;
+  supervisor : Supervisor.config;
+  spot_check_every : int;
+  quarantine_after : int;
+  step_budget : int option;
+  chaos : (int * Fault_injector.chaos) list;
+      (** per-shard chaos plans, applied to the {e initial} spawn only
+          — a restarted worker comes back clean *)
+  clock_step : int64 option;
+      (** manual clocks everywhere (workers' latency histograms, the
+          router's, and backoff waits) for byte-stable snapshots *)
+  seed : int;
+  spawn : spawn;
+}
+
+val default_config : Graph.t -> config
+(** Fork spawn, 2 shards, [Range] partition,
+    {!Supervisor.default_config}, exhaustive spot checks, no chaos,
+    monotonic clocks, seed 0. *)
+
+type answer = { dist : int; source : int; degraded : bool }
+(** [source] is a {!Wire} source code; [degraded] is set on any answer
+    not served by a healthy worker's primary path. *)
+
+type t
+
+val create : config -> t
+(** Spawns and pings every worker. A worker that cannot be spawned or
+    never answers its first ping goes straight through the supervisor's
+    crash path (so a hopeless shard ends up quarantined, not fatal).
+    Ignores [SIGPIPE] process-wide — dead workers must surface as
+    [EPIPE], not kill the router. *)
+
+val query : t -> int -> int -> answer
+(** Routed single query; heals due restarts first.
+    @raise Invalid_argument on out-of-range endpoints. *)
+
+val query_batch : t -> (int * int) array -> answer array
+(** Pipelined batch, one answer per pair, in order. Restarts are
+    healed before the batch and never during it. *)
+
+val supervisor : t -> Supervisor.t
+val metrics : t -> Repro_obs.Metrics.t
+(** The router's own registry (no worker content). *)
+
+val pid : t -> int -> int option
+(** The shard's live worker pid, if it has one ([None] while down). *)
+
+val heal : t -> unit
+(** Perform any due restarts now (normally implicit at batch start). *)
+
+val merged_snapshot : t -> Repro_obs.Metrics.snapshot
+(** Router registry ∪ each live worker's snapshot under [shard<i>.];
+    workers that are down or quarantined contribute nothing. *)
+
+val shutdown : t -> unit
+(** Send [Shutdown] to every live worker, close the pipes, reap every
+    child (SIGKILL stragglers). Idempotent. *)

@@ -1,0 +1,115 @@
+type state = Healthy | Suspect | Restarting | Quarantined
+
+let state_name = function
+  | Healthy -> "healthy"
+  | Suspect -> "suspect"
+  | Restarting -> "restarting"
+  | Quarantined -> "quarantined"
+
+type config = {
+  suspect_after : int;
+  max_restarts : int;
+  base_backoff_ns : int64;
+  max_backoff_ns : int64;
+  jitter_frac : float;
+  deadline_ns : int64;
+  ping_every_ns : int64;
+}
+
+let default_config =
+  {
+    suspect_after = 2;
+    max_restarts = 3;
+    base_backoff_ns = 50_000_000L;
+    max_backoff_ns = 2_000_000_000L;
+    jitter_frac = 0.1;
+    deadline_ns = 2_000_000_000L;
+    ping_every_ns = 1_000_000_000L;
+  }
+
+type verdict = Keep | Restart_after of int64 | Quarantined_now
+
+type cell = {
+  mutable state : state;
+  mutable streak : int;  (* consecutive soft failures *)
+  mutable restarts : int;
+}
+
+type t = { cfg : config; rng : Random.State.t; cells : cell array }
+
+let create ~seed ~shards cfg =
+  if shards < 1 then invalid_arg "Supervisor.create: shards must be >= 1";
+  if cfg.suspect_after < 1 then
+    invalid_arg "Supervisor.create: suspect_after must be >= 1";
+  if cfg.max_restarts < 0 then
+    invalid_arg "Supervisor.create: max_restarts must be >= 0";
+  if cfg.jitter_frac < 0.0 || cfg.jitter_frac > 1.0 then
+    invalid_arg "Supervisor.create: jitter_frac must lie in [0, 1]";
+  {
+    cfg;
+    rng = Random.State.make [| seed; 0x5AD |];
+    cells =
+      Array.init shards (fun _ -> { state = Healthy; streak = 0; restarts = 0 });
+  }
+
+let config t = t.cfg
+let cell t shard = t.cells.(shard)
+let state t shard = (cell t shard).state
+let restarts_used t shard = (cell t shard).restarts
+
+let backoff t k =
+  let shifted =
+    if k >= 62 then t.cfg.max_backoff_ns
+    else Int64.shift_left t.cfg.base_backoff_ns k
+  in
+  let capped =
+    if Int64.compare shifted t.cfg.max_backoff_ns > 0 || Int64.compare shifted 0L < 0
+    then t.cfg.max_backoff_ns
+    else shifted
+  in
+  let jitter =
+    Int64.of_float
+      (Random.State.float t.rng 1.0 *. t.cfg.jitter_frac *. Int64.to_float capped)
+  in
+  Int64.add capped jitter
+
+let on_success t shard =
+  let c = cell t shard in
+  match c.state with
+  | Quarantined | Restarting -> ()
+  | Healthy | Suspect ->
+      c.streak <- 0;
+      c.state <- Healthy
+
+let escalate t c =
+  if c.state = Quarantined then Quarantined_now
+  else if c.restarts >= t.cfg.max_restarts then begin
+    c.state <- Quarantined;
+    Quarantined_now
+  end
+  else begin
+    let k = c.restarts in
+    c.restarts <- c.restarts + 1;
+    c.state <- Restarting;
+    c.streak <- 0;
+    Restart_after (backoff t k)
+  end
+
+let on_crash t shard = escalate t (cell t shard)
+
+let on_soft_failure t shard =
+  let c = cell t shard in
+  match c.state with
+  | Quarantined -> Quarantined_now
+  | Restarting -> Keep
+  | Healthy | Suspect ->
+      c.streak <- c.streak + 1;
+      c.state <- Suspect;
+      if c.streak >= t.cfg.suspect_after then escalate t c else Keep
+
+let on_restarted t shard =
+  let c = cell t shard in
+  if c.state = Restarting then begin
+    c.state <- Healthy;
+    c.streak <- 0
+  end

@@ -1,0 +1,76 @@
+(** Restart policy for shard workers — the router's brain.
+
+    The supervisor is deliberately pure policy: it owns no file
+    descriptors and never sleeps. The router reports what it observed
+    ({!on_success}, {!on_soft_failure}, {!on_crash}) and the supervisor
+    answers with a {!verdict}; how a backoff delay is honoured (advance
+    the manual clock in tests, [sleepf] in production) is the caller's
+    business. That split is what makes the chaos suite deterministic:
+    the whole state machine can be driven from a unit test without a
+    single process in sight.
+
+    Per-shard state machine:
+
+    {v
+    Healthy --soft failure x suspect_after--> Suspect
+    Healthy/Suspect --crash or suspect overflow--> Restarting
+    Restarting --on_restarted--> Healthy
+    Restarting --restart budget exhausted--> Quarantined (terminal)
+    v}
+
+    Soft failures are recoverable per-request anomalies — a deadline
+    miss, a frame that would not parse. Crashes are EOF/EPIPE on the
+    pipe or a failed health ping. Each restart costs one unit of the
+    per-shard budget; the backoff before restart [k] is
+    [base * 2^k] capped at [max_backoff_ns], plus a seeded jitter of up
+    to [jitter_frac] of that value, so same-seed runs wait the same
+    nanoseconds. *)
+
+type state = Healthy | Suspect | Restarting | Quarantined
+
+val state_name : state -> string
+
+type config = {
+  suspect_after : int;
+      (** consecutive soft failures before the shard is treated as
+          crashed; the first failure already marks it [Suspect] *)
+  max_restarts : int;  (** restart budget per shard; 0 = never restart *)
+  base_backoff_ns : int64;
+  max_backoff_ns : int64;
+  jitter_frac : float;  (** in [0, 1]; fraction of the backoff added *)
+  deadline_ns : int64;  (** per-request deadline, for the router *)
+  ping_every_ns : int64;  (** health-check cadence, for the router *)
+}
+
+val default_config : config
+(** 2 soft failures to suspect, 3 restarts, 50ms base / 2s cap backoff,
+    10% jitter, 2s deadline, 1s pings. *)
+
+type verdict =
+  | Keep  (** shard stays up; no action *)
+  | Restart_after of int64  (** respawn after this many nanoseconds *)
+  | Quarantined_now  (** budget exhausted — stop trying, degrade forever *)
+
+type t
+
+val create : seed:int -> shards:int -> config -> t
+val config : t -> config
+val state : t -> int -> state
+val restarts_used : t -> int -> int
+
+val on_success : t -> int -> unit
+(** A good answer: clears the consecutive-failure streak, and a
+    [Suspect] shard returns to [Healthy]. *)
+
+val on_soft_failure : t -> int -> verdict
+(** Timeout or unparseable frame. Marks the shard [Suspect]; once the
+    streak reaches [suspect_after], escalates exactly like
+    {!on_crash}. *)
+
+val on_crash : t -> int -> verdict
+(** EOF, EPIPE or failed ping. Spends one restart from the budget and
+    answers [Restart_after backoff], or [Quarantined_now] when the
+    budget is gone. Idempotent on quarantined shards. *)
+
+val on_restarted : t -> int -> unit
+(** The router respawned the worker and it answered a ping. *)

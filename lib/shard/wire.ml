@@ -1,0 +1,273 @@
+(* Length-prefixed binary frames. See wire.mli for the layout; the
+   invariants that matter here:
+   - decoding is total: every branch returns a typed error, and body
+     reads are bounds-checked before any Bytes access;
+   - encoding and decoding agree byte for byte (round-trip property in
+     test_shard.ml);
+   - the signed-length check runs before any allocation sized by
+     attacker-controlled input. *)
+
+type request =
+  | Query of { id : int; u : int; v : int }
+  | Ping of { id : int }
+  | Stats of { id : int }
+  | Shutdown
+
+type response =
+  | Answer of { id : int; dist : int; source : int; degraded : bool }
+  | Pong of { id : int }
+  | Stats_payload of { id : int; data : string }
+  | Error_frame of { id : int; code : int; msg : string }
+
+let source_primary = 0
+let source_bidirectional = 1
+let source_bfs = 2
+let source_router = 3
+let source_other = 255
+
+let source_code_of_name = function
+  | "primary" -> source_primary
+  | "bidirectional" -> source_bidirectional
+  | "bfs" -> source_bfs
+  | "router" -> source_router
+  | _ -> source_other
+
+let name_of_source_code c =
+  if c = source_primary then "primary"
+  else if c = source_bidirectional then "bidirectional"
+  else if c = source_bfs then "bfs"
+  else if c = source_router then "router"
+  else "other"
+
+let err_bad_request = 1
+let err_unavailable = 2
+
+type error =
+  | Eof
+  | Truncated of { wanted : int; got : int }
+  | Negative_length of int
+  | Oversized of int
+  | Bad_opcode of int
+  | Bad_payload of string
+  | Io of string
+
+let error_to_string = function
+  | Eof -> "end of stream"
+  | Truncated { wanted; got } ->
+      Printf.sprintf "truncated frame: wanted %d bytes, got %d" wanted got
+  | Negative_length l -> Printf.sprintf "negative frame length %d" l
+  | Oversized l -> Printf.sprintf "oversized frame length %d" l
+  | Bad_opcode op -> Printf.sprintf "unknown opcode 0x%02x" op
+  | Bad_payload msg -> "bad payload: " ^ msg
+  | Io msg -> "io error: " ^ msg
+
+let max_frame_len = 1 lsl 20
+
+(* opcodes: requests in 0x01..0x7f, responses in 0x81..0xff *)
+let op_query = 0x01
+let op_ping = 0x02
+let op_stats = 0x03
+let op_shutdown = 0x04
+let op_answer = 0x81
+let op_pong = 0x82
+let op_stats_payload = 0x83
+let op_error = 0x84
+
+(* ----- encoding ---------------------------------------------------- *)
+
+let frame payload_len fill =
+  let b = Bytes.create (4 + payload_len) in
+  Bytes.set_int32_le b 0 (Int32.of_int payload_len);
+  fill b;
+  Bytes.unsafe_to_string b
+
+let put_i64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+
+let encode_request = function
+  | Query { id; u; v } ->
+      frame 25 (fun b ->
+          Bytes.set_uint8 b 4 op_query;
+          put_i64 b 5 id;
+          put_i64 b 13 u;
+          put_i64 b 21 v)
+  | Ping { id } ->
+      frame 9 (fun b ->
+          Bytes.set_uint8 b 4 op_ping;
+          put_i64 b 5 id)
+  | Stats { id } ->
+      frame 9 (fun b ->
+          Bytes.set_uint8 b 4 op_stats;
+          put_i64 b 5 id)
+  | Shutdown -> frame 1 (fun b -> Bytes.set_uint8 b 4 op_shutdown)
+
+let encode_response = function
+  | Answer { id; dist; source; degraded } ->
+      frame 19 (fun b ->
+          Bytes.set_uint8 b 4 op_answer;
+          put_i64 b 5 id;
+          put_i64 b 13 dist;
+          Bytes.set_uint8 b 21 (source land 0xff);
+          Bytes.set_uint8 b 22 (if degraded then 1 else 0))
+  | Pong { id } ->
+      frame 9 (fun b ->
+          Bytes.set_uint8 b 4 op_pong;
+          put_i64 b 5 id)
+  | Stats_payload { id; data } ->
+      let len = 9 + String.length data in
+      if len > max_frame_len then
+        invalid_arg "Wire.encode_response: stats payload too large";
+      frame len (fun b ->
+          Bytes.set_uint8 b 4 op_stats_payload;
+          put_i64 b 5 id;
+          Bytes.blit_string data 0 b 13 (String.length data))
+  | Error_frame { id; code; msg } ->
+      let len = 10 + String.length msg in
+      if len > max_frame_len then
+        invalid_arg "Wire.encode_response: error message too large";
+      frame len (fun b ->
+          Bytes.set_uint8 b 4 op_error;
+          put_i64 b 5 id;
+          Bytes.set_uint8 b 13 (code land 0xff);
+          Bytes.blit_string msg 0 b 14 (String.length msg))
+
+(* ----- pure decoding ------------------------------------------------ *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let check_len s ~pos wanted =
+  let got = String.length s - pos in
+  if got >= wanted then Ok () else Error (Truncated { wanted; got })
+
+let decode_frame s ~pos =
+  if pos < 0 || pos > String.length s then
+    Error (Bad_payload "position out of range")
+  else if pos = String.length s then Error Eof
+  else
+    let* () = check_len s ~pos 4 in
+    let len = Int32.to_int (String.get_int32_le s pos) in
+    if len < 0 then Error (Negative_length len)
+    else if len > max_frame_len then Error (Oversized len)
+    else if len = 0 then Error (Bad_payload "empty frame: no opcode")
+    else
+      let* () = check_len s ~pos:(pos + 4) len in
+      Ok (String.sub s (pos + 4) len, pos + 4 + len)
+
+let get_i64 p off = Int64.to_int (String.get_int64_le p off)
+
+let body_exact p wanted =
+  let got = String.length p in
+  if got = wanted then Ok ()
+  else if got < wanted then Error (Truncated { wanted; got })
+  else Error (Bad_payload (Printf.sprintf "%d trailing bytes" (got - wanted)))
+
+let request_of_payload p =
+  if String.length p = 0 then Error (Bad_payload "empty frame: no opcode")
+  else
+    let op = Char.code p.[0] in
+    if op = op_query then
+      let* () = body_exact p 25 in
+      Ok (Query { id = get_i64 p 1; u = get_i64 p 9; v = get_i64 p 17 })
+    else if op = op_ping then
+      let* () = body_exact p 9 in
+      Ok (Ping { id = get_i64 p 1 })
+    else if op = op_stats then
+      let* () = body_exact p 9 in
+      Ok (Stats { id = get_i64 p 1 })
+    else if op = op_shutdown then
+      let* () = body_exact p 1 in
+      Ok Shutdown
+    else Error (Bad_opcode op)
+
+let check_payload_min p wanted =
+  let got = String.length p in
+  if got >= wanted then Ok () else Error (Truncated { wanted; got })
+
+let response_of_payload p =
+  if String.length p = 0 then Error (Bad_payload "empty frame: no opcode")
+  else
+    let op = Char.code p.[0] in
+    if op = op_answer then
+      let* () = body_exact p 19 in
+      Ok
+        (Answer
+           {
+             id = get_i64 p 1;
+             dist = get_i64 p 9;
+             source = Char.code p.[17];
+             degraded = Char.code p.[18] <> 0;
+           })
+    else if op = op_pong then
+      let* () = body_exact p 9 in
+      Ok (Pong { id = get_i64 p 1 })
+    else if op = op_stats_payload then
+      let* () = check_payload_min p 9 in
+      Ok
+        (Stats_payload
+           { id = get_i64 p 1; data = String.sub p 9 (String.length p - 9) })
+    else if op = op_error then
+      let* () = check_payload_min p 10 in
+      Ok
+        (Error_frame
+           {
+             id = get_i64 p 1;
+             code = Char.code p.[9];
+             msg = String.sub p 10 (String.length p - 10);
+           })
+    else Error (Bad_opcode op)
+
+(* ----- descriptor-level transport ----------------------------------- *)
+
+let rec read_exact fd buf off len =
+  if len = 0 then Ok ()
+  else
+    match Unix.read fd buf off len with
+    | 0 -> Error (Truncated { wanted = off + len; got = off })
+    | k -> read_exact fd buf (off + k) (len - k)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact fd buf off len
+    | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+
+let decode_after_header fd header =
+  let len = Int32.to_int (Bytes.get_int32_le header 0) in
+  if len < 0 then Error (Negative_length len)
+  else if len > max_frame_len then Error (Oversized len)
+  else if len = 0 then Error (Bad_payload "empty frame: no opcode")
+  else
+    let body = Bytes.create len in
+    match read_exact fd body 0 len with
+    | Error _ as e -> e
+    | Ok () -> Ok (Bytes.unsafe_to_string body)
+
+let rec read_frame fd =
+  let header = Bytes.create 4 in
+  match Unix.read fd header 0 4 with
+  | 0 -> Error Eof
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      (* nothing was consumed; retry the whole frame read *)
+      read_frame fd
+  | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+  | k -> (
+      match read_exact fd header k (4 - k) with
+      | Error _ as e -> e
+      | Ok () -> decode_after_header fd header)
+
+let read_request fd =
+  match read_frame fd with
+  | Error _ as e -> e
+  | Ok p -> request_of_payload p
+
+let read_response fd =
+  match read_frame fd with
+  | Error _ as e -> e
+  | Ok p -> response_of_payload p
+
+let write_frame fd s =
+  let b = Bytes.unsafe_of_string s in
+  let rec go off len =
+    if len = 0 then Ok ()
+    else
+      match Unix.write fd b off len with
+      | k -> go (off + k) (len - k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+      | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+  in
+  go 0 (String.length s)

@@ -1,0 +1,110 @@
+(** The length-prefixed binary request/response codec of the sharded
+    serving tier.
+
+    One protocol drives every transport — a worker's stdin/stdout
+    ([hubhard serve worker]), the router's [Unix] socketpairs, and any
+    future TCP listener — because frames are self-delimiting:
+
+    {v
+    +----------------+---------+-------------------+
+    | length (i32 LE)| opcode  | body (length - 1) |
+    +----------------+---------+-------------------+
+    v}
+
+    [length] counts the payload (opcode byte included), is signed so a
+    hostile prefix like [0xFFFFFFFF] surfaces as {!Negative_length}
+    rather than a giant allocation, and is capped at {!max_frame_len}
+    ({!Oversized}). Integers in bodies are 64-bit little-endian;
+    strings are raw bytes running to the end of the frame.
+
+    Every decoding entry point is total: malformed input yields a typed
+    {!error}, never an exception and never a hang — the adversarial
+    suite in [test_io_adversarial.ml] locks that in. The opcode space
+    is the extension point: new ops (eccentricity, top-k, one-to-many
+    batches — see PAPERS.md/Ducoffe) claim fresh opcodes without
+    touching framing, and an unknown opcode is a per-frame
+    {!Bad_opcode} error that leaves the stream in sync. *)
+
+(** {1 Messages} *)
+
+type request =
+  | Query of { id : int; u : int; v : int }
+      (** point-to-point distance; [id] is echoed in the response *)
+  | Ping of { id : int }  (** health check *)
+  | Stats of { id : int }  (** request the worker's metrics snapshot *)
+  | Shutdown  (** drain and exit; no response *)
+
+type response =
+  | Answer of { id : int; dist : int; source : int; degraded : bool }
+      (** [dist] uses the {!Repro_graph.Dist} convention; [source] is a
+          {!source_code}; [degraded] marks answers not served by the
+          healthy primary path *)
+  | Pong of { id : int }
+  | Stats_payload of { id : int; data : string }
+      (** [data] is {!Repro_obs.Metrics.snapshot_to_wire} output *)
+  | Error_frame of { id : int; code : int; msg : string }
+      (** explicit in-band failure: the peer could not serve [id] *)
+
+(** {1 Source and error codes} *)
+
+val source_primary : int
+val source_bidirectional : int
+val source_bfs : int
+val source_router : int
+(** Answers synthesised by the router's local fallback oracle while the
+    owning shard is down. *)
+
+val source_code_of_name : string -> int
+(** Maps the {!Repro_obs.Trace.t} [source] strings emitted by the
+    resilient chain; unknown strings map to a reserved [other] code. *)
+
+val name_of_source_code : int -> string
+
+val err_bad_request : int
+val err_unavailable : int
+
+(** {1 Errors} *)
+
+type error =
+  | Eof  (** clean end of stream at a frame boundary *)
+  | Truncated of { wanted : int; got : int }
+      (** stream ended inside a header or body *)
+  | Negative_length of int
+  | Oversized of int
+  | Bad_opcode of int
+  | Bad_payload of string
+  | Io of string  (** transport-level [Unix] error *)
+
+val error_to_string : error -> string
+
+val max_frame_len : int
+(** Upper bound on the payload length accepted or produced (1 MiB). *)
+
+(** {1 Pure string-level codec} *)
+
+val encode_request : request -> string
+(** Full frame, header included. *)
+
+val encode_response : response -> string
+
+val decode_frame : string -> pos:int -> (string * int, error) result
+(** [(payload, next_pos)] of the frame starting at [pos]; [Eof] when
+    [pos] is exactly the end of the buffer. *)
+
+val request_of_payload : string -> (request, error) result
+val response_of_payload : string -> (response, error) result
+
+(** {1 Descriptor-level transport} *)
+
+val read_frame : Unix.file_descr -> (string, error) result
+(** Blocking read of one payload. [Eof] on a clean end of stream,
+    [Truncated] when the peer died mid-frame, [Io] on transport
+    errors; retries [EINTR]. *)
+
+val read_request : Unix.file_descr -> (request, error) result
+val read_response : Unix.file_descr -> (response, error) result
+
+val write_frame : Unix.file_descr -> string -> (unit, error) result
+(** Write a pre-encoded frame (from {!encode_request} /
+    {!encode_response}), retrying short writes and [EINTR]; [Io] on a
+    broken pipe. *)

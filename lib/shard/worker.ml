@@ -1,0 +1,163 @@
+open Repro_graph
+open Repro_hub
+open Repro_serve
+module Obs = Repro_obs
+
+type config = {
+  graph : Graph.t;
+  labels : Hub_label.t option;
+  shards : int;
+  shard : int;
+  partition : Partition.spec;
+  spot_check_every : int;
+  quarantine_after : int;
+  step_budget : int option;
+  chaos : Fault_injector.chaos option;
+  clock_step : int64 option;
+  seed : int;
+}
+
+let default_config graph =
+  {
+    graph;
+    labels = None;
+    shards = 1;
+    shard = 0;
+    partition = Partition.Range;
+    spot_check_every = 1;
+    quarantine_after = 3;
+    step_budget = None;
+    chaos = None;
+    clock_step = None;
+    seed = 0;
+  }
+
+(* Applying a chaos plan is the only non-obvious part of the loop: the
+   fault fires exactly once, in place of (or around) the write of the
+   [after_frames]-th response frame. Kill-class faults use
+   [Unix._exit] so no at_exit machinery (channel flushing in the
+   forked parent image) runs in the doomed child. *)
+let write_response ~chaos ~frames_written output resp =
+  let frame = Wire.encode_response resp in
+  incr frames_written;
+  let fire =
+    match chaos with
+    | Some (c : Fault_injector.chaos) -> !frames_written = c.after_frames
+    | None -> false
+  in
+  if not fire then Wire.write_frame output frame
+  else
+    match (Option.get chaos).fault with
+    | Fault_injector.Kill -> Unix._exit 137
+    | Fault_injector.Hang ->
+        while true do
+          Unix.sleep 3600
+        done;
+        assert false
+    | Fault_injector.Truncate_frame ->
+        let half = max 1 (String.length frame / 2) in
+        let b = Bytes.unsafe_of_string frame in
+        let rec go off len =
+          if len > 0 then
+            match Unix.write output b off len with
+            | k -> go (off + k) (len - k)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+            | exception Unix.Unix_error (_, _, _) -> ()
+        in
+        go 0 half;
+        Unix._exit 137
+    | Fault_injector.Corrupt_frame ->
+        let b = Bytes.of_string frame in
+        for i = 4 to Bytes.length b - 1 do
+          Bytes.set_uint8 b i (Bytes.get_uint8 b i lxor 0xff)
+        done;
+        Wire.write_frame output (Bytes.unsafe_to_string b)
+    | Fault_injector.Slow_write ->
+        let rec dribble i =
+          if i >= String.length frame then Ok ()
+          else begin
+            Unix.sleepf 0.05;
+            match Wire.write_frame output (String.sub frame i 1) with
+            | Ok () -> dribble (i + 1)
+            | Error _ as e -> e
+          end
+        in
+        dribble 0
+
+let build_backend cfg metrics clock =
+  let primary =
+    match cfg.labels with
+    | None -> None
+    | Some labels ->
+        let slice =
+          Partition.slice cfg.partition ~shards:cfg.shards ~shard:cfg.shard
+            labels
+        in
+        let flat = Flat_hub.of_labels slice in
+        Some (Resilient_oracle.flat_primary ?step_budget:cfg.step_budget flat)
+  in
+  let oracle =
+    Resilient_oracle.create ?step_budget:cfg.step_budget
+      ~spot_check_every:cfg.spot_check_every
+      ~quarantine_after:cfg.quarantine_after ~metrics ?primary cfg.graph
+  in
+  Obs.Obs.instrument ?clock ~prefix:"worker" metrics
+    (Resilient_oracle.backend oracle)
+
+let run ~input ~output cfg =
+  if cfg.shard < 0 || cfg.shard >= cfg.shards then
+    invalid_arg "Worker.run: shard out of range";
+  let metrics = Obs.Metrics.create () in
+  let clock =
+    Option.map
+      (fun step -> Obs.Clock.read (Obs.Clock.manual ~auto_step:step ()))
+      cfg.clock_step
+  in
+  let backend = build_backend cfg metrics clock in
+  let shard_gauge = Obs.Metrics.gauge metrics "worker.shard" in
+  Obs.Metrics.set_gauge shard_gauge cfg.shard;
+  let seed_gauge = Obs.Metrics.gauge metrics "worker.seed" in
+  Obs.Metrics.set_gauge seed_gauge cfg.seed;
+  let bad_frames = Obs.Metrics.counter metrics "worker.bad_frames" in
+  let frames_written = ref 0 in
+  let send resp =
+    match write_response ~chaos:cfg.chaos ~frames_written output resp with
+    | Ok () -> true
+    | Error _ -> false (* router hung up; stop serving *)
+  in
+  let rec loop () =
+    match Wire.read_request input with
+    | Ok (Wire.Query { id; u; v }) ->
+        let resp =
+          match Obs.Backend.query_detailed backend u v with
+          | dist, trace ->
+              let source = Wire.source_code_of_name trace.Obs.Trace.source in
+              Wire.Answer
+                { id; dist; source; degraded = source <> Wire.source_primary }
+          | exception Invalid_argument msg ->
+              Wire.Error_frame { id; code = Wire.err_bad_request; msg }
+        in
+        if send resp then loop ()
+    | Ok (Wire.Ping { id }) -> if send (Wire.Pong { id }) then loop ()
+    | Ok (Wire.Stats { id }) ->
+        let data = Obs.Metrics.(snapshot_to_wire (snapshot metrics)) in
+        if send (Wire.Stats_payload { id; data }) then loop ()
+    | Ok Wire.Shutdown -> ()
+    | Error ((Wire.Bad_opcode _ | Wire.Bad_payload _) as e) ->
+        (* the frame was read in full; the stream is still in sync *)
+        Obs.Metrics.incr bad_frames;
+        let resp =
+          Wire.Error_frame
+            {
+              id = 0;
+              code = Wire.err_bad_request;
+              msg = Wire.error_to_string e;
+            }
+        in
+        if send resp then loop ()
+    | Error (Wire.Eof | Wire.Truncated _ | Wire.Negative_length _
+            | Wire.Oversized _ | Wire.Io _) ->
+        (* EOF or a desynchronised stream: nothing sane can follow *)
+        ()
+  in
+  loop ()

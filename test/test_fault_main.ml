@@ -17,9 +17,10 @@ let scenario ~name ~mode ~fraction ~pairs ~n ~m =
   let labels = Pll.build g in
   let inj = Fault_injector.create ~seed:42 ~fraction mode in
   let oracle =
-    Resilient_oracle.with_primary ~spot_check_every:1 ~quarantine_after:3
-      ~name:"faulty-hub"
-      (Fault_injector.wrap inj (Hub_label.query labels))
+    Resilient_oracle.create ~spot_check_every:1 ~quarantine_after:3
+      ~primary:
+        (Repro_obs.Backend.make ~name:"faulty-hub" ~space_words:0
+           (Fault_injector.wrap inj (Hub_label.query labels)))
       g
   in
   let wrong = ref 0 in

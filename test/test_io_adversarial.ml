@@ -149,6 +149,103 @@ let prop_hub_roundtrip =
           && Array.init (Hub_label.n labels) (fun v -> Hub_label.hubs labels' v)
              = Array.init (Hub_label.n labels) (fun v -> Hub_label.hubs labels v))
 
+(* ----- Wire protocol (sharded tier) ---------------------------------
+   Every hostile byte sequence must surface as a typed [Wire.error] —
+   never an exception, never a hang. The descriptor-level entry points
+   are exercised over real pipes with the writer closed, so a
+   would-be hang fails fast as EOF instead. *)
+
+module Wire = Repro_shard.Wire
+
+let wire_err name s =
+  match Wire.decode_frame s ~pos:0 with
+  | Ok _ -> Alcotest.failf "%s: expected a wire error" name
+  | Error e -> e
+
+let le32 n =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.to_string b
+
+let test_wire_truncated_frames () =
+  let full = Wire.encode_request (Wire.Query { id = 1; u = 2; v = 3 }) in
+  (* cut the frame at every possible byte boundary *)
+  for k = 1 to String.length full - 1 do
+    match wire_err "truncated" (String.sub full 0 k) with
+    | Wire.Truncated _ -> ()
+    | e ->
+        Alcotest.failf "cut at %d: expected Truncated, got %s" k
+          (Wire.error_to_string e)
+  done;
+  (* a fixed-size payload with trailing bytes is also malformed *)
+  match Wire.request_of_payload ("\x02" ^ String.make 9 '\x00') with
+  | Error (Wire.Bad_payload _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "trailing bytes must be rejected"
+
+let test_wire_hostile_lengths () =
+  (match wire_err "negative" ("\xff\xff\xff\xff" ^ "junk") with
+  | Wire.Negative_length _ -> ()
+  | e -> Alcotest.failf "expected Negative_length, got %s" (Wire.error_to_string e));
+  (match wire_err "oversized" (le32 (Wire.max_frame_len + 1)) with
+  | Wire.Oversized l -> Test_util.check_int "length echoed" (Wire.max_frame_len + 1) l
+  | e -> Alcotest.failf "expected Oversized, got %s" (Wire.error_to_string e));
+  match wire_err "empty" (le32 0) with
+  | Wire.Bad_payload _ -> ()
+  | e -> Alcotest.failf "expected Bad_payload, got %s" (Wire.error_to_string e)
+
+let test_wire_garbage_opcodes () =
+  List.iter
+    (fun p ->
+      (match Wire.request_of_payload p with
+      | Error (Wire.Bad_opcode _) -> ()
+      | Ok _ | Error _ -> Alcotest.failf "request opcode %d" (Char.code p.[0]));
+      match Wire.response_of_payload p with
+      | Error (Wire.Bad_opcode _) -> ()
+      | Ok _ | Error _ -> Alcotest.failf "response opcode %d" (Char.code p.[0]))
+    [ "\x7f"; "\xff"; "\x05rest" ];
+  (* request opcodes are not response opcodes and vice versa *)
+  (match Wire.response_of_payload "\x02\x01\x00\x00\x00\x00\x00\x00\x00" with
+  | Error (Wire.Bad_opcode 0x02) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "ping is not a response");
+  match Wire.request_of_payload "\x82\x01\x00\x00\x00\x00\x00\x00\x00" with
+  | Error (Wire.Bad_opcode 0x82) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "pong is not a request"
+
+let test_wire_midframe_eof_on_pipe () =
+  let check bytes expect =
+    let r, w = Unix.pipe ~cloexec:false () in
+    if bytes <> "" then (
+      match Wire.write_frame w bytes with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "setup write: %s" (Wire.error_to_string e));
+    Unix.close w;
+    let got = Wire.read_frame r in
+    Unix.close r;
+    match (got, expect) with
+    | Error (Wire.Truncated _), `Truncated -> ()
+    | Error Wire.Eof, `Eof -> ()
+    | Ok _, _ -> Alcotest.fail "expected an error from the pipe"
+    | Error e, _ ->
+        Alcotest.failf "wrong pipe error: %s" (Wire.error_to_string e)
+  in
+  check "" `Eof;
+  (* die inside the header *)
+  check "\x19\x00" `Truncated;
+  (* die inside the body: header promises 25 bytes, deliver 5 *)
+  check (le32 25 ^ "\x01abcd") `Truncated
+
+let prop_wire_decode_total =
+  Test_util.qcheck "Wire.decode_frame is total on random bytes" ~count:300
+    QCheck2.Gen.(string_size ~gen:char (int_range 0 64))
+    (fun s ->
+      (* no exception, and on success the reported next position is sane *)
+      match Wire.decode_frame s ~pos:0 with
+      | Ok (payload, next) ->
+          next <= String.length s && String.length payload = next - 4
+          && (match Wire.request_of_payload payload with _ -> true)
+          && (match Wire.response_of_payload payload with _ -> true)
+      | Error _ -> true)
+
 let suite =
   [
     Alcotest.test_case "graph truncated input" `Quick test_graph_truncated;
@@ -163,4 +260,10 @@ let suite =
     prop_graph_roundtrip;
     prop_wgraph_roundtrip;
     prop_hub_roundtrip;
+    Alcotest.test_case "wire truncated frames" `Quick test_wire_truncated_frames;
+    Alcotest.test_case "wire hostile lengths" `Quick test_wire_hostile_lengths;
+    Alcotest.test_case "wire garbage opcodes" `Quick test_wire_garbage_opcodes;
+    Alcotest.test_case "wire mid-frame EOF on a pipe" `Quick
+      test_wire_midframe_eof_on_pipe;
+    prop_wire_decode_total;
   ]

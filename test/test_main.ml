@@ -20,6 +20,7 @@ let () =
       ("tz-theorems", Test_tz.suite);
       ("io-adversarial", Test_io_adversarial.suite);
       ("serve", Test_serve.suite);
+      ("shard", Test_shard.suite);
       ("flat-hub", Test_flat_hub.suite);
       ("differential", Test_differential.suite);
       ("observability", Test_obs.suite);

@@ -121,9 +121,10 @@ let test_acceptance_corrupted_backend () =
   let labels = Pll.build g in
   let inj = Fault_injector.create ~seed:7 ~fraction:0.2 Fault_injector.Corrupt in
   let oracle =
-    Resilient_oracle.with_primary ~spot_check_every:1 ~quarantine_after:3
-      ~name:"faulty-hub"
-      (Fault_injector.wrap inj (Hub_label.query labels))
+    Resilient_oracle.create ~spot_check_every:1 ~quarantine_after:3
+      ~primary:
+        (Repro_obs.Backend.make ~name:"faulty-hub" ~space_words:0
+           (Fault_injector.wrap inj (Hub_label.query labels)))
       g
   in
   let truth = truth_table g in
@@ -150,9 +151,10 @@ let test_resilient_failing_backend () =
   let labels = Pll.build g in
   let inj = Fault_injector.create ~seed:9 ~fraction:0.3 Fault_injector.Fail in
   let oracle =
-    Resilient_oracle.with_primary ~spot_check_every:1 ~quarantine_after:5
-      ~name:"crashy-hub"
-      (Fault_injector.wrap inj (Hub_label.query labels))
+    Resilient_oracle.create ~spot_check_every:1 ~quarantine_after:5
+      ~primary:
+        (Repro_obs.Backend.make ~name:"crashy-hub" ~space_words:0
+           (Fault_injector.wrap inj (Hub_label.query labels)))
       g
   in
   let truth = truth_table g in

@@ -1,0 +1,437 @@
+(* Unit tests for the sharded serving tier: Wire codec round-trips,
+   partition slicing exactness, the supervisor state machine and
+   backoff schedule, the metrics wire format, and the worker frame
+   loop driven in-process over plain pipes (process-level scenarios —
+   fork, kill, restart — live in test_shard_smoke.ml, which runs in a
+   fresh domain-free process). *)
+
+open Repro_hub
+open Repro_shard
+module Metrics = Repro_obs.Metrics
+module Fault_injector = Repro_serve.Fault_injector
+
+(* ----- Wire codec ---------------------------------------------------- *)
+
+let decode_request_frame s =
+  match Wire.decode_frame s ~pos:0 with
+  | Error e -> Alcotest.failf "decode_frame: %s" (Wire.error_to_string e)
+  | Ok (payload, next) ->
+      Test_util.check_int "frame consumed" (String.length s) next;
+      (match Wire.request_of_payload payload with
+      | Ok r -> r
+      | Error e ->
+          Alcotest.failf "request_of_payload: %s" (Wire.error_to_string e))
+
+let decode_response_frame s =
+  match Wire.decode_frame s ~pos:0 with
+  | Error e -> Alcotest.failf "decode_frame: %s" (Wire.error_to_string e)
+  | Ok (payload, _) -> (
+      match Wire.response_of_payload payload with
+      | Ok r -> r
+      | Error e ->
+          Alcotest.failf "response_of_payload: %s" (Wire.error_to_string e))
+
+let test_wire_request_roundtrip () =
+  let reqs =
+    [
+      Wire.Query { id = 1; u = 0; v = 999_999_999 };
+      Wire.Ping { id = max_int };
+      Wire.Stats { id = 0 };
+      Wire.Shutdown;
+    ]
+  in
+  List.iter
+    (fun r ->
+      Test_util.check_bool "request roundtrips" true
+        (decode_request_frame (Wire.encode_request r) = r))
+    reqs
+
+let test_wire_response_roundtrip () =
+  let resps =
+    [
+      Wire.Answer
+        { id = 7; dist = Repro_graph.Dist.inf; source = Wire.source_bfs;
+          degraded = true };
+      Wire.Answer { id = 8; dist = 0; source = Wire.source_primary;
+                    degraded = false };
+      Wire.Pong { id = 42 };
+      Wire.Stats_payload { id = 3; data = "c a 1\ng b 2\n" };
+      Wire.Stats_payload { id = 4; data = "" };
+      Wire.Error_frame { id = 5; code = Wire.err_unavailable; msg = "down" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      Test_util.check_bool "response roundtrips" true
+        (decode_response_frame (Wire.encode_response r) = r))
+    resps
+
+let test_wire_stream_of_frames () =
+  let frames =
+    [
+      Wire.encode_request (Wire.Query { id = 1; u = 2; v = 3 });
+      Wire.encode_request (Wire.Ping { id = 2 });
+      Wire.encode_request Wire.Shutdown;
+    ]
+  in
+  let s = String.concat "" frames in
+  let rec go pos acc =
+    match Wire.decode_frame s ~pos with
+    | Error Wire.Eof -> List.rev acc
+    | Error e -> Alcotest.failf "stream decode: %s" (Wire.error_to_string e)
+    | Ok (payload, next) -> (
+        match Wire.request_of_payload payload with
+        | Ok r -> go next (r :: acc)
+        | Error e -> Alcotest.failf "payload: %s" (Wire.error_to_string e))
+  in
+  Test_util.check_int "three frames" 3 (List.length (go 0 []))
+
+let test_wire_source_codes () =
+  List.iter
+    (fun name ->
+      Test_util.check_bool ("source code of " ^ name) true
+        (Wire.name_of_source_code (Wire.source_code_of_name name) = name))
+    [ "primary"; "bidirectional"; "bfs"; "router" ];
+  Test_util.check_bool "unknown source maps to other" true
+    (Wire.name_of_source_code (Wire.source_code_of_name "no-such") = "other")
+
+let prop_wire_query_roundtrip =
+  Test_util.qcheck "Wire query roundtrip" ~count:200
+    QCheck2.Gen.(
+      triple (int_range 0 max_int) (int_range 0 1_000_000)
+        (int_range 0 1_000_000))
+    (fun (id, u, v) ->
+      decode_request_frame (Wire.encode_request (Wire.Query { id; u; v }))
+      = Wire.Query { id; u; v })
+
+(* ----- Partition ----------------------------------------------------- *)
+
+let test_partition_owner () =
+  List.iter
+    (fun spec ->
+      let n = 100 and shards = 3 in
+      for v = 0 to n - 1 do
+        let o = Partition.owner spec ~shards ~n v in
+        Test_util.check_bool "owner in range" true (o >= 0 && o < shards)
+      done;
+      Test_util.check_int "pair routes to min's owner"
+        (Partition.owner spec ~shards ~n 4)
+        (Partition.owner_of_pair spec ~shards ~n 90 4))
+    [ Partition.Range; Partition.Hash ];
+  (* range blocks are contiguous and non-decreasing *)
+  let prev = ref 0 in
+  for v = 0 to 99 do
+    let o = Partition.owner Partition.Range ~shards:4 ~n:100 v in
+    Test_util.check_bool "range monotone" true (o >= !prev);
+    prev := o
+  done;
+  Test_util.check_bool "spec strings" true
+    (Partition.spec_of_string "hash" = Ok Partition.Hash
+    && Partition.string_of_spec Partition.Range = "range")
+
+let prop_slice_exact_on_owned =
+  Test_util.qcheck "partition slice exact on owned queries" ~count:30
+    QCheck2.Gen.(
+      pair Gen.small_connected_gen
+        (pair (int_range 2 4) (int_range 0 1_000_000)))
+    (fun (param, (shards, qseed)) ->
+      let g = Gen.build_connected param in
+      let labels = Pll.build g in
+      let n = Hub_label.n labels in
+      let rng = Random.State.make [| qseed |] in
+      List.for_all
+        (fun spec ->
+          let slices =
+            Array.init shards (fun shard ->
+                Partition.slice spec ~shards ~shard labels)
+          in
+          (* slices genuinely drop entries unless the graph is tiny *)
+          Array.for_all
+            (fun sl -> Hub_label.total_size sl <= Hub_label.total_size labels)
+            slices
+          && List.for_all
+               (fun _ ->
+                 let u = Random.State.int rng n
+                 and v = Random.State.int rng n in
+                 let s = Partition.owner_of_pair spec ~shards ~n u v in
+                 Hub_label.query slices.(s) u v = Hub_label.query labels u v)
+               (List.init 20 Fun.id))
+        [ Partition.Range; Partition.Hash ])
+
+(* ----- Supervisor ---------------------------------------------------- *)
+
+let no_jitter =
+  {
+    Supervisor.default_config with
+    jitter_frac = 0.0;
+    base_backoff_ns = 100L;
+    max_backoff_ns = 350L;
+  }
+
+let test_supervisor_soft_escalation () =
+  let sup = Supervisor.create ~seed:1 ~shards:2 no_jitter in
+  Test_util.check_bool "starts healthy" true
+    (Supervisor.state sup 0 = Supervisor.Healthy);
+  (match Supervisor.on_soft_failure sup 0 with
+  | Supervisor.Keep -> ()
+  | _ -> Alcotest.fail "first soft failure keeps the shard");
+  Test_util.check_bool "now suspect" true
+    (Supervisor.state sup 0 = Supervisor.Suspect);
+  (* a success heals the streak *)
+  Supervisor.on_success sup 0;
+  Test_util.check_bool "healed" true
+    (Supervisor.state sup 0 = Supervisor.Healthy);
+  (match Supervisor.on_soft_failure sup 0 with
+  | Supervisor.Keep -> ()
+  | _ -> Alcotest.fail "streak was reset");
+  (* second consecutive soft failure escalates (suspect_after = 2) *)
+  (match Supervisor.on_soft_failure sup 0 with
+  | Supervisor.Restart_after ns -> Test_util.check_bool "backoff" true (ns = 100L)
+  | _ -> Alcotest.fail "expected Restart_after");
+  Test_util.check_bool "restarting" true
+    (Supervisor.state sup 0 = Supervisor.Restarting);
+  Supervisor.on_restarted sup 0;
+  Test_util.check_bool "healthy after restart" true
+    (Supervisor.state sup 0 = Supervisor.Healthy);
+  (* the other shard was never touched *)
+  Test_util.check_bool "shard 1 isolated" true
+    (Supervisor.state sup 1 = Supervisor.Healthy)
+
+let test_supervisor_backoff_and_quarantine () =
+  let sup = Supervisor.create ~seed:1 ~shards:1 no_jitter in
+  let backoffs = ref [] in
+  let rec crash_until_quarantined k =
+    if k > 10 then Alcotest.fail "never quarantined"
+    else
+      match Supervisor.on_crash sup 0 with
+      | Supervisor.Restart_after ns ->
+          backoffs := ns :: !backoffs;
+          Supervisor.on_restarted sup 0;
+          crash_until_quarantined (k + 1)
+      | Supervisor.Quarantined_now -> ()
+      | Supervisor.Keep -> Alcotest.fail "crash never keeps"
+  in
+  crash_until_quarantined 0;
+  (* base 100, doubling, capped at 350: 100, 200, 350; budget 3 *)
+  Test_util.check_bool "exponential then capped" true
+    (List.rev !backoffs = [ 100L; 200L; 350L ]);
+  Test_util.check_int "restart budget spent" 3 (Supervisor.restarts_used sup 0);
+  Test_util.check_bool "terminal" true
+    (Supervisor.state sup 0 = Supervisor.Quarantined);
+  (* quarantine is absorbing *)
+  (match Supervisor.on_crash sup 0 with
+  | Supervisor.Quarantined_now -> ()
+  | _ -> Alcotest.fail "quarantine is terminal");
+  Supervisor.on_success sup 0;
+  Test_util.check_bool "success does not resurrect" true
+    (Supervisor.state sup 0 = Supervisor.Quarantined)
+
+let test_supervisor_jitter_deterministic () =
+  let run seed =
+    let sup =
+      Supervisor.create ~seed ~shards:1
+        { Supervisor.default_config with jitter_frac = 0.5 }
+    in
+    match Supervisor.on_crash sup 0 with
+    | Supervisor.Restart_after ns -> ns
+    | _ -> Alcotest.fail "expected Restart_after"
+  in
+  Test_util.check_bool "same seed, same jitter" true (run 11 = run 11);
+  let base = Supervisor.default_config.Supervisor.base_backoff_ns in
+  let ns = run 11 in
+  Test_util.check_bool "jitter within [base, 1.5*base]" true
+    (ns >= base && Int64.to_float ns <= Int64.to_float base *. 1.5)
+
+let test_supervisor_zero_budget () =
+  let sup =
+    Supervisor.create ~seed:0 ~shards:1
+      { no_jitter with Supervisor.max_restarts = 0 }
+  in
+  match Supervisor.on_crash sup 0 with
+  | Supervisor.Quarantined_now ->
+      Test_util.check_bool "quarantined immediately" true
+        (Supervisor.state sup 0 = Supervisor.Quarantined)
+  | _ -> Alcotest.fail "zero budget quarantines on first crash"
+
+(* ----- Metrics wire format ------------------------------------------- *)
+
+let sample_registry () =
+  let reg = Metrics.create () in
+  Metrics.incr ~by:5 (Metrics.counter reg "a.queries");
+  Metrics.incr (Metrics.counter reg "b.errors");
+  Metrics.set_gauge (Metrics.gauge reg "depth") 3;
+  let h = Metrics.histogram reg "lat" in
+  List.iter (Metrics.observe h) [ 10; 20; 30; 1000 ];
+  reg
+
+let test_metrics_wire_roundtrip () =
+  let snap = Metrics.snapshot (sample_registry ()) in
+  match Metrics.snapshot_of_wire (Metrics.snapshot_to_wire snap) with
+  | Error e -> Alcotest.failf "snapshot_of_wire: %s" e
+  | Ok snap' ->
+      Test_util.check_bool "wire roundtrip preserves snapshot" true
+        (snap = snap');
+      Test_util.check_bool "json agrees too" true
+        (Metrics.to_json snap = Metrics.to_json snap')
+
+let test_metrics_prefix_union () =
+  let s0 = Metrics.prefix_snapshot "shard0." (Metrics.snapshot (sample_registry ()))
+  and s1 = Metrics.prefix_snapshot "shard1." (Metrics.snapshot (sample_registry ())) in
+  let merged = Metrics.union_snapshots [ s1; s0 ] in
+  Test_util.check_bool "prefixed counters present" true
+    (Metrics.find_counter merged "shard0.a.queries" = Some 5
+    && Metrics.find_counter merged "shard1.a.queries" = Some 5);
+  (* union sorts by name, so merge order does not matter *)
+  Test_util.check_bool "order independent" true
+    (Metrics.union_snapshots [ s0; s1 ] = merged)
+
+let test_metrics_wire_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Metrics.snapshot_of_wire s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ "x nope 1\n"; "c onlyname\n"; "c n notanint\n"; "h short 1 2\n" ]
+
+(* ----- Worker loop over pipes (single process, no fork) -------------- *)
+
+let with_worker_io cfg requests k =
+  let req_r, req_w = Unix.pipe ~cloexec:false () in
+  let resp_r, resp_w = Unix.pipe ~cloexec:false () in
+  List.iter
+    (fun r ->
+      match Wire.write_frame req_w r with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write: %s" (Wire.error_to_string e))
+    requests;
+  Unix.close req_w;
+  Worker.run ~input:req_r ~output:resp_w cfg;
+  Unix.close resp_w;
+  let out = k resp_r in
+  Unix.close req_r;
+  Unix.close resp_r;
+  out
+
+let read_response_exn fd =
+  match Wire.read_response fd with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "read_response: %s" (Wire.error_to_string e)
+
+let worker_fixture () =
+  let rng = Random.State.make [| 5 |] in
+  let g = Repro_graph.Generators.random_connected rng ~n:60 ~m:120 in
+  let labels = Pll.build g in
+  (g, labels)
+
+let test_worker_serves_frames () =
+  let g, labels = worker_fixture () in
+  let cfg =
+    { (Worker.default_config g) with Worker.labels = Some labels;
+      clock_step = Some 1000L }
+  in
+  let truth = Hub_label.query labels 0 41 in
+  with_worker_io cfg
+    [
+      Wire.encode_request (Wire.Ping { id = 1 });
+      Wire.encode_request (Wire.Query { id = 2; u = 0; v = 41 });
+      Wire.encode_request (Wire.Query { id = 3; u = 9; v = 9 });
+      Wire.encode_request (Wire.Stats { id = 4 });
+      "\x01\x00\x00\x00\x7f" (* unknown opcode: in-band error, keep going *);
+      Wire.encode_request (Wire.Query { id = 5; u = 0; v = 7000 });
+      Wire.encode_request Wire.Shutdown;
+    ]
+    (fun fd ->
+      (match read_response_exn fd with
+      | Wire.Pong { id = 1 } -> ()
+      | _ -> Alcotest.fail "expected Pong 1");
+      (match read_response_exn fd with
+      | Wire.Answer { id = 2; dist; source; degraded } ->
+          Test_util.check_int "exact distance" truth dist;
+          Test_util.check_int "primary source" Wire.source_primary source;
+          Test_util.check_bool "not degraded" false degraded
+      | _ -> Alcotest.fail "expected Answer 2");
+      (match read_response_exn fd with
+      | Wire.Answer { id = 3; dist = 0; _ } -> ()
+      | _ -> Alcotest.fail "expected Answer 3 with dist 0");
+      (match read_response_exn fd with
+      | Wire.Stats_payload { id = 4; data } -> (
+          match Metrics.snapshot_of_wire data with
+          | Ok snap ->
+              Test_util.check_bool "worker counted queries" true
+                (Metrics.find_counter snap "worker.queries" = Some 2)
+          | Error e -> Alcotest.failf "stats payload: %s" e)
+      | _ -> Alcotest.fail "expected Stats_payload 4");
+      (match read_response_exn fd with
+      | Wire.Error_frame { code; _ } ->
+          Test_util.check_int "bad request code" Wire.err_bad_request code
+      | _ -> Alcotest.fail "expected Error_frame for bad opcode");
+      match read_response_exn fd with
+      | Wire.Error_frame { id = 5; code; _ } ->
+          Test_util.check_int "out of range rejected" Wire.err_bad_request code
+      | _ -> Alcotest.fail "expected Error_frame 5")
+
+let test_worker_chaos_corrupt_frame () =
+  let g, labels = worker_fixture () in
+  let cfg =
+    {
+      (Worker.default_config g) with
+      Worker.labels = Some labels;
+      chaos = Some (Fault_injector.chaos ~after_frames:1 Fault_injector.Corrupt_frame);
+    }
+  in
+  with_worker_io cfg
+    [
+      Wire.encode_request (Wire.Query { id = 1; u = 0; v = 1 });
+      Wire.encode_request (Wire.Query { id = 2; u = 0; v = 1 });
+      Wire.encode_request Wire.Shutdown;
+    ]
+    (fun fd ->
+      (* first frame arrives but is flipped: framing survives, payload
+         does not parse *)
+      (match Wire.read_response fd with
+      | Error (Wire.Bad_opcode _) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected a corrupted first frame");
+      (* the fault is one-shot: the stream recovers on the next frame *)
+      match read_response_exn fd with
+      | Wire.Answer { id = 2; degraded = false; _ } -> ()
+      | _ -> Alcotest.fail "expected a clean Answer 2")
+
+let test_worker_shutdown_on_eof () =
+  (* no Shutdown frame: closing the request pipe must end the loop *)
+  let g, _ = worker_fixture () in
+  with_worker_io (Worker.default_config g)
+    [ Wire.encode_request (Wire.Ping { id = 1 }) ]
+    (fun fd ->
+      match read_response_exn fd with
+      | Wire.Pong { id = 1 } -> ()
+      | _ -> Alcotest.fail "expected Pong before EOF exit")
+
+let suite =
+  [
+    Alcotest.test_case "wire request roundtrip" `Quick test_wire_request_roundtrip;
+    Alcotest.test_case "wire response roundtrip" `Quick
+      test_wire_response_roundtrip;
+    Alcotest.test_case "wire frame stream" `Quick test_wire_stream_of_frames;
+    Alcotest.test_case "wire source codes" `Quick test_wire_source_codes;
+    prop_wire_query_roundtrip;
+    Alcotest.test_case "partition owner" `Quick test_partition_owner;
+    prop_slice_exact_on_owned;
+    Alcotest.test_case "supervisor soft escalation" `Quick
+      test_supervisor_soft_escalation;
+    Alcotest.test_case "supervisor backoff and quarantine" `Quick
+      test_supervisor_backoff_and_quarantine;
+    Alcotest.test_case "supervisor jitter deterministic" `Quick
+      test_supervisor_jitter_deterministic;
+    Alcotest.test_case "supervisor zero budget" `Quick
+      test_supervisor_zero_budget;
+    Alcotest.test_case "metrics wire roundtrip" `Quick
+      test_metrics_wire_roundtrip;
+    Alcotest.test_case "metrics prefix and union" `Quick
+      test_metrics_prefix_union;
+    Alcotest.test_case "metrics wire rejects garbage" `Quick
+      test_metrics_wire_rejects_garbage;
+    Alcotest.test_case "worker serves frames" `Quick test_worker_serves_frames;
+    Alcotest.test_case "worker chaos corrupt frame" `Quick
+      test_worker_chaos_corrupt_frame;
+    Alcotest.test_case "worker exits on EOF" `Quick test_worker_shutdown_on_eof;
+  ]
