@@ -419,6 +419,50 @@ let structural_exit g labels =
       Printf.eprintf "validation failure: %s\n" msg;
       exit exit_validation_failure
 
+(* Zero-copy path: map the packed file instead of parsing it. The O(n)
+   header/offset validation is done by the loader; the O(total)
+   structural check is deliberately skipped — that is the whole point
+   of --mmap (run 'serve check' offline when provenance is in doubt).
+   Malformed files exit 10 like every other parse failure; a store
+   whose n disagrees with the graph exits 11. *)
+let load_mmap_exit ~graph path =
+  if path = "-" then begin
+    Printf.eprintf "hubhard: --mmap requires a regular file, not stdin\n";
+    exit 124
+  end;
+  match Mmap_hub.load_res path with
+  | Error e ->
+      Printf.eprintf "%s: parse failure: %s\n" path (Mmap_hub.error_to_string e);
+      exit exit_parse_failure
+  | Ok store ->
+      if Mmap_hub.n store <> Graph.n graph then begin
+        Printf.eprintf
+          "validation failure: mmap store has n=%d but graph has n=%d\n"
+          (Mmap_hub.n store) (Graph.n graph);
+        exit exit_validation_failure
+      end;
+      store
+
+let mmap_arg =
+  let doc =
+    "Serve from a zero-copy memory-mapped store: --labels-file must name a \
+     binary packed file (hubhard label --pack) on disk, not stdin. Cold \
+     start is O(1) in the label size and every process mapping the file \
+     shares one page-cache copy. Mutually exclusive with --flat; skips the \
+     startup structural re-validation (run 'serve check' offline instead)."
+  in
+  Arg.(value & flag & info [ "mmap" ] ~doc)
+
+let reject_bad_mmap_combo ~mmap ~flat ~labels_file =
+  if mmap && flat then begin
+    Printf.eprintf "hubhard: --mmap and --flat are mutually exclusive\n";
+    exit 124
+  end;
+  if mmap && labels_file = None then begin
+    Printf.eprintf "hubhard: --mmap requires --labels-file\n";
+    exit 124
+  end
+
 let graph_file_arg =
   let doc = "Graph file in Graph_io format ('-' for stdin)." in
   Arg.(
@@ -467,15 +511,41 @@ let serve_check_cmd =
 
 (* Build the serving oracle for `serve query` / `serve stats`: one
    unified Resilient_oracle.create over a uniform primary backend,
-   every layer instrumented into [registry]. Returns the oracle and
-   the packed store when one is in play (for cache reporting). *)
+   every layer instrumented into [registry]. Returns the oracle plus a
+   cache-stats thunk for whichever store is in play. [mmap] (already
+   loaded and n-checked) takes the primary slot when present; [labels]
+   feeds the assoc or heap-flat primaries otherwise. *)
 let build_serving_oracle ?clock ?(instrument_primary = true) ~registry ~labels
-    ~flat ~cache_slots ~step_budget ~spot_check ~quarantine_after
+    ~flat ~mmap ~cache_slots ~step_budget ~spot_check ~quarantine_after
     ~inject_fraction ~inject_mode ~seed g =
-  let primary_and_store =
-    match labels with
-    | None -> None
-    | Some (l, packed) ->
+  let wrap_primary base =
+    let base =
+      if inject_fraction <= 0.0 then base
+      else
+        let inj =
+          Fault_injector.create ~seed ~fraction:inject_fraction inject_mode
+        in
+        Backend.make
+          ~name:(Backend.name base ^ "+faults")
+          ~space_words:(Backend.space_words base)
+          (Fault_injector.wrap inj (Backend.query base))
+    in
+    (* batched serving skips the per-call primary instrumentation:
+       the wrapper mutates the registry and reads the clock on every
+       call, which is neither domain-safe nor clock-deterministic
+       when primary answers are precomputed in parallel *)
+    if instrument_primary then Obs.instrument ?clock registry base else base
+  in
+  let primary_and_cache =
+    match (mmap, labels) with
+    | Some m, _ ->
+        let store =
+          if cache_slots > 0 then Mmap_hub.with_cache ~cache_slots m else m
+        in
+        Some
+          ( wrap_primary (Resilient_oracle.mmap_primary ?step_budget store),
+            fun () -> Mmap_hub.cache_stats store )
+    | None, Some (l, packed) ->
         let store =
           if not flat then None
           else
@@ -489,34 +559,20 @@ let build_serving_oracle ?clock ?(instrument_primary = true) ~registry ~labels
           | Some s -> Resilient_oracle.flat_primary ?step_budget s
           | None -> Resilient_oracle.hub_primary ?step_budget l
         in
-        let base =
-          if inject_fraction <= 0.0 then base
-          else
-            let inj =
-              Fault_injector.create ~seed ~fraction:inject_fraction inject_mode
-            in
-            Backend.make
-              ~name:(Backend.name base ^ "+faults")
-              ~space_words:(Backend.space_words base)
-              (Fault_injector.wrap inj (Backend.query base))
-        in
-        (* batched serving skips the per-call primary instrumentation:
-           the wrapper mutates the registry and reads the clock on every
-           call, which is neither domain-safe nor clock-deterministic
-           when primary answers are precomputed in parallel *)
-        let base =
-          if instrument_primary then Obs.instrument ?clock registry base
-          else base
-        in
-        Some (base, store)
+        Some
+          ( wrap_primary base,
+            fun () -> Option.bind store Flat_hub.cache_stats )
+    | None, None -> None
   in
-  let primary = Option.map fst primary_and_store in
-  let store = Option.bind primary_and_store snd in
+  let primary = Option.map fst primary_and_cache in
+  let cache_stats =
+    match primary_and_cache with Some (_, f) -> f | None -> fun () -> None
+  in
   let oracle =
     Resilient_oracle.create ?step_budget ~spot_check_every:spot_check
       ~quarantine_after ~metrics:registry ?primary g
   in
-  (oracle, store)
+  (oracle, cache_stats)
 
 let write_file path s =
   let oc = open_out_bin path in
@@ -603,7 +659,7 @@ let serve_query_cmd =
       & info [ "inject-mode" ] ~docv:"MODE" ~doc)
   in
   let run graph_file labels_file pairs num budget spot_check quarantine_after
-      flat cache_slots inject_fraction inject_mode metrics_out seed jobs =
+      flat mmap cache_slots inject_fraction inject_mode metrics_out seed jobs =
     apply_jobs jobs;
     if inject_fraction < 0.0 || inject_fraction > 1.0 then begin
       Printf.eprintf "hubhard: --inject-fraction must lie in [0, 1]\n";
@@ -613,19 +669,26 @@ let serve_query_cmd =
       Printf.eprintf "hubhard: --cache-slots must be non-negative\n";
       exit 124
     end;
+    reject_bad_mmap_combo ~mmap ~flat ~labels_file;
     let g = parse_graph_exit graph_file in
     let n = Graph.n g in
     if n = 0 then begin
       Printf.eprintf "validation failure: empty graph\n";
       exit exit_validation_failure
     end;
-    let labels = Option.map parse_labels_exit labels_file in
+    let mmap =
+      if mmap then Option.map (load_mmap_exit ~graph:g) labels_file else None
+    in
+    let labels =
+      if mmap <> None then None else Option.map parse_labels_exit labels_file
+    in
     Option.iter (fun (l, _) -> structural_exit g l) labels;
     let step_budget = if budget > 0 then Some budget else None in
     let registry = Metrics.create () in
-    let oracle, _store =
-      build_serving_oracle ~registry ~labels ~flat ~cache_slots ~step_budget
-        ~spot_check ~quarantine_after ~inject_fraction ~inject_mode ~seed g
+    let oracle, _cache_stats =
+      build_serving_oracle ~registry ~labels ~flat ~mmap ~cache_slots
+        ~step_budget ~spot_check ~quarantine_after ~inject_fraction
+        ~inject_mode ~seed g
     in
     let backend =
       Obs.instrument ~prefix:"serve" registry (Resilient_oracle.backend oracle)
@@ -675,8 +738,8 @@ let serve_query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ graph_file_arg $ labels_file $ pairs $ num $ budget
-      $ spot_check $ quarantine_after $ flat $ cache_slots $ inject_fraction
-      $ inject_mode $ metrics_out_arg $ seed_arg $ jobs_arg)
+      $ spot_check $ quarantine_after $ flat $ mmap_arg $ cache_slots
+      $ inject_fraction $ inject_mode $ metrics_out_arg $ seed_arg $ jobs_arg)
 
 let serve_stats_cmd =
   let num =
@@ -710,26 +773,32 @@ let serve_stats_cmd =
     let doc = "Number of most recent per-query trace records to show." in
     Arg.(value & opt int 5 & info [ "traces" ] ~docv:"K" ~doc)
   in
-  let run graph_file labels_file num budget spot_check flat cache_slots json
-      traces metrics_out seed jobs =
+  let run graph_file labels_file num budget spot_check flat mmap cache_slots
+      json traces metrics_out seed jobs =
     apply_jobs jobs;
     if cache_slots < 0 then begin
       Printf.eprintf "hubhard: --cache-slots must be non-negative\n";
       exit 124
     end;
+    reject_bad_mmap_combo ~mmap ~flat ~labels_file;
     let g = parse_graph_exit graph_file in
     let n = Graph.n g in
     if n = 0 then begin
       Printf.eprintf "validation failure: empty graph\n";
       exit exit_validation_failure
     end;
-    let labels = Option.map parse_labels_exit labels_file in
+    let mmap =
+      if mmap then Option.map (load_mmap_exit ~graph:g) labels_file else None
+    in
+    let labels =
+      if mmap <> None then None else Option.map parse_labels_exit labels_file
+    in
     Option.iter (fun (l, _) -> structural_exit g l) labels;
     let step_budget = if budget > 0 then Some budget else None in
     let registry = Metrics.create () in
-    let oracle, store =
-      build_serving_oracle ~registry ~labels ~flat ~cache_slots ~step_budget
-        ~spot_check ~quarantine_after:3 ~inject_fraction:0.0
+    let oracle, cache_stats =
+      build_serving_oracle ~registry ~labels ~flat ~mmap ~cache_slots
+        ~step_budget ~spot_check ~quarantine_after:3 ~inject_fraction:0.0
         ~inject_mode:Fault_injector.Corrupt ~seed g
     in
     let recorder = Trace.recorder ~capacity:(max 1 traces) in
@@ -747,12 +816,9 @@ let serve_stats_cmd =
     else begin
       Format.printf "backend: %s (%d words)@." (Backend.name backend)
         (Backend.space_words backend);
-      (match store with
-      | Some s ->
-          Option.iter
-            (fun (h, m) -> Format.printf "flat cache: %d hits, %d misses@." h m)
-            (Flat_hub.cache_stats s)
-      | None -> ());
+      Option.iter
+        (fun (h, m) -> Format.printf "store cache: %d hits, %d misses@." h m)
+        (cache_stats ());
       Format.printf "%a" Metrics.pp snap;
       if traces > 0 then begin
         Format.printf "recent traces (%d of %d):@."
@@ -778,8 +844,8 @@ let serve_stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
       const run $ graph_file_arg $ labels_file_opt_arg $ num $ budget
-      $ spot_check $ flat $ cache_slots $ json $ traces $ metrics_out_arg
-      $ seed_arg $ jobs_arg)
+      $ spot_check $ flat $ mmap_arg $ cache_slots $ json $ traces
+      $ metrics_out_arg $ seed_arg $ jobs_arg)
 
 (* serve loop: a long-lived query loop over a file or stdin, flushing
    periodic observability snapshots (metrics registry + recent traces +
@@ -888,8 +954,8 @@ let serve_loop_cmd =
   in
   let run graph_file labels_file queries_file flush_every flush_ticks
       clock_step traces events_cap budget spot_check quarantine_after flat
-      cache_slots inject_fraction inject_mode echo batch metrics_out seed jobs
-      =
+      mmap cache_slots inject_fraction inject_mode echo batch metrics_out seed
+      jobs =
     apply_jobs jobs;
     if batch < 1 then begin
       Printf.eprintf "hubhard: --batch must be positive\n";
@@ -899,6 +965,7 @@ let serve_loop_cmd =
       Printf.eprintf "hubhard: --inject-fraction must lie in [0, 1]\n";
       exit 124
     end;
+    reject_bad_mmap_combo ~mmap ~flat ~labels_file;
     if cache_slots < 0 || flush_every < 0 || flush_ticks < 0 || clock_step < 0
        || traces < 1 || events_cap < 1
     then begin
@@ -922,14 +989,26 @@ let serve_loop_cmd =
       Printf.eprintf "validation failure: empty graph\n";
       exit exit_validation_failure
     end;
-    let labels = Option.map parse_labels_exit labels_file in
+    let mmap =
+      if mmap then Option.map (load_mmap_exit ~graph:g) labels_file else None
+    in
+    let labels =
+      if mmap <> None then None else Option.map parse_labels_exit labels_file
+    in
     Option.iter (fun (l, _) -> structural_exit g l) labels;
+    (* the store kind recorded in every snapshot, next to the metrics *)
+    let store_kind =
+      if mmap <> None then "mmap"
+      else if labels = None then "search"
+      else if flat then "flat"
+      else "assoc"
+    in
     let step_budget = if budget > 0 then Some budget else None in
     let registry = Metrics.create () in
-    let oracle, _store =
+    let oracle, _cache_stats =
       build_serving_oracle ~clock ~instrument_primary:(batch = 1) ~registry
-        ~labels ~flat ~cache_slots ~step_budget ~spot_check ~quarantine_after
-        ~inject_fraction ~inject_mode ~seed g
+        ~labels ~flat ~mmap ~cache_slots ~step_budget ~spot_check
+        ~quarantine_after ~inject_fraction ~inject_mode ~seed g
     in
     let recorder = Trace.recorder ~capacity:traces in
     let backend =
@@ -960,6 +1039,7 @@ let serve_loop_cmd =
       Printf.bprintf buf "{\n";
       Printf.bprintf buf "  \"snapshot\": %d,\n" !snapshots;
       Printf.bprintf buf "  \"final\": %b,\n" final;
+      Printf.bprintf buf "  \"store\": %S,\n" store_kind;
       Printf.bprintf buf "  \"queries\": %d,\n" !served;
       Printf.bprintf buf "  \"malformed_lines\": %d,\n" !malformed;
       Printf.bprintf buf "  \"out_of_range\": %d,\n" !out_of_range;
@@ -1141,8 +1221,9 @@ let serve_loop_cmd =
     Term.(
       const run $ graph_file_arg $ labels_file_opt_arg $ queries_file
       $ flush_every $ flush_ticks $ clock_step $ traces $ events_cap $ budget
-      $ spot_check $ quarantine_after $ flat $ cache_slots $ inject_fraction
-      $ inject_mode $ echo $ batch $ metrics_out_arg $ seed_arg $ jobs_arg)
+      $ spot_check $ quarantine_after $ flat $ mmap_arg $ cache_slots
+      $ inject_fraction $ inject_mode $ echo $ batch $ metrics_out_arg
+      $ seed_arg $ jobs_arg)
 
 (* serve worker / serve router: the supervised sharded tier. A worker
    speaks the Wire protocol over stdin/stdout and owns one partition
@@ -1199,11 +1280,12 @@ let serve_worker_cmd =
     Arg.(value & opt int 3 & info [ "quarantine-after" ] ~docv:"Q" ~doc)
   in
   let run graph_file labels_file shards shard partition chaos budget spot_check
-      quarantine_after clock_step seed =
+      quarantine_after clock_step mmap seed =
     if shards < 1 || shard < 0 || shard >= shards then begin
       Printf.eprintf "hubhard: need 0 <= --shard < --shards\n";
       exit 124
     end;
+    reject_bad_mmap_combo ~mmap ~flat:false ~labels_file;
     let chaos =
       match chaos with
       | None -> None
@@ -1219,12 +1301,18 @@ let serve_worker_cmd =
       Printf.eprintf "validation failure: empty graph\n";
       exit exit_validation_failure
     end;
-    let labels = Option.map parse_labels_exit labels_file in
+    let mmap =
+      if mmap then Option.map (load_mmap_exit ~graph:g) labels_file else None
+    in
+    let labels =
+      if mmap <> None then None else Option.map parse_labels_exit labels_file
+    in
     Option.iter (fun (l, _) -> structural_exit g l) labels;
     let cfg =
       {
         Worker.graph = g;
         labels = Option.map fst labels;
+        mmap;
         shards;
         shard;
         partition;
@@ -1249,7 +1337,7 @@ let serve_worker_cmd =
     Term.(
       const run $ graph_file_arg $ labels_file_opt_arg $ shards_arg ~default:1
       $ shard $ partition_arg $ chaos $ budget $ spot_check $ quarantine_after
-      $ clock_step_arg $ seed_arg)
+      $ clock_step_arg $ mmap_arg $ seed_arg)
 
 let serve_router_cmd =
   let queries_file =
@@ -1302,7 +1390,7 @@ let serve_router_cmd =
   in
   let run graph_file labels_file queries_file shards partition chaos batch
       deadline_ms max_restarts backoff_ms worker_exe echo spot_check clock_step
-      metrics_out seed =
+      mmap metrics_out seed =
     if shards < 1 || batch < 1 || deadline_ms < 1 || max_restarts < 0
        || backoff_ms < 0 || clock_step < 0
     then begin
@@ -1311,6 +1399,7 @@ let serve_router_cmd =
          --max-restarts/--backoff-ms/--clock-step non-negative\n";
       exit 124
     end;
+    reject_bad_mmap_combo ~mmap ~flat:false ~labels_file;
     let chaos =
       List.map
         (fun s ->
@@ -1343,7 +1432,13 @@ let serve_router_cmd =
       Printf.eprintf "validation failure: empty graph\n";
       exit exit_validation_failure
     end;
-    let labels = Option.map parse_labels_exit labels_file in
+    let mmap_store =
+      if mmap then Option.map (load_mmap_exit ~graph:g) labels_file else None
+    in
+    let labels =
+      if mmap_store <> None then None
+      else Option.map parse_labels_exit labels_file
+    in
     Option.iter (fun (l, _) -> structural_exit g l) labels;
     let event_log = Events.create (Events.ring ~capacity:64) in
     Events.install event_log;
@@ -1355,7 +1450,7 @@ let serve_router_cmd =
             (fun ~shard ->
               let base =
                 [
-                  exe; "serve"; "worker"; graph_file;
+                  exe; "serve"; "worker"; "--graph-file"; graph_file;
                   "--shards"; string_of_int shards;
                   "--shard"; string_of_int shard;
                   "--partition"; Repro_hub.Partition.string_of_spec partition;
@@ -1369,6 +1464,9 @@ let serve_router_cmd =
                 | Some f -> base @ [ "--labels-file"; f ]
                 | None -> base
               in
+              (* exec'd workers map the packed file themselves; the OS
+                 page cache still keeps one physical copy fleet-wide *)
+              let base = if mmap then base @ [ "--mmap" ] else base in
               let base =
                 match List.assoc_opt shard chaos with
                 | Some c ->
@@ -1381,6 +1479,7 @@ let serve_router_cmd =
       {
         (Router.default_config g) with
         labels = Option.map fst labels;
+        mmap = mmap_store;
         shards;
         partition;
         supervisor =
@@ -1479,7 +1578,7 @@ let serve_router_cmd =
       const run $ graph_file_arg $ labels_file_opt_arg $ queries_file
       $ shards_arg ~default:2 $ partition_arg $ chaos $ batch $ deadline_ms
       $ max_restarts $ backoff_ms $ worker_exe $ echo $ spot_check
-      $ clock_step_arg $ metrics_out_arg $ seed_arg)
+      $ clock_step_arg $ mmap_arg $ metrics_out_arg $ seed_arg)
 
 let serve_cmd =
   let doc =

@@ -34,6 +34,10 @@ val of_string : string -> Hub_label.t
     [(hub, dist)] words. The encoding is canonical, so
     save → load → save round-trips byte-for-byte. *)
 
+val packed_magic : string
+(** The 8-byte magic ["HUBFLAT1"] that opens every packed file (also
+    the first word of the {!Mmap_hub} view). *)
+
 val is_packed : string -> bool
 (** Whether the string starts with the packed-form magic (used to
     auto-detect binary label files). *)

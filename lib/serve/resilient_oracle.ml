@@ -132,6 +132,11 @@ let flat_primary ?step_budget store =
     (fun u v -> Flat_hub.size store u + Flat_hub.size store v)
     step_budget
 
+let mmap_primary ?step_budget store =
+  budget_capped (Mmap_hub.backend store)
+    (fun u v -> Mmap_hub.size store u + Mmap_hub.size store v)
+    step_budget
+
 let create ?step_budget ?spot_check_every ?quarantine_after ?metrics ?labels
     ?primary g =
   let primary =

@@ -90,6 +90,10 @@ val hub_primary : ?step_budget:int -> Hub_label.t -> Repro_obs.Backend.t
 val flat_primary : ?step_budget:int -> Flat_hub.t -> Repro_obs.Backend.t
 (** {!Flat_hub.backend} with the same scan-budget cap. *)
 
+val mmap_primary : ?step_budget:int -> Mmap_hub.t -> Repro_obs.Backend.t
+(** {!Mmap_hub.backend} with the same scan-budget cap — the zero-copy
+    store slots into the identical degradation chain. *)
+
 val query : t -> int -> int -> int
 (** Exact distance ({!Dist.inf} when disconnected) whenever spot
     checks are exhaustive or the primary is honest.

@@ -8,6 +8,7 @@ type spawn = Fork | Exec of (shard:int -> string array)
 type config = {
   graph : Graph.t;
   labels : Hub_label.t option;
+  mmap : Mmap_hub.t option;
   shards : int;
   partition : Partition.spec;
   supervisor : Supervisor.config;
@@ -24,6 +25,7 @@ let default_config graph =
   {
     graph;
     labels = None;
+    mmap = None;
     shards = 2;
     partition = Partition.Range;
     supervisor = Supervisor.default_config;
@@ -162,6 +164,7 @@ let worker_config cfg ~shard ~with_chaos =
   {
     Worker.graph = cfg.graph;
     labels = cfg.labels;
+    mmap = cfg.mmap;
     shards = cfg.shards;
     shard;
     partition = cfg.partition;
@@ -304,6 +307,12 @@ let create cfg =
   (match cfg.labels with
   | Some l when Hub_label.n l <> Graph.n cfg.graph ->
       invalid_arg "Router.create: labels and graph disagree on n"
+  | _ -> ());
+  (match (cfg.mmap, cfg.labels) with
+  | Some _, Some _ ->
+      invalid_arg "Router.create: pass ~labels or ~mmap, not both"
+  | Some m, None when Mmap_hub.n m <> Graph.n cfg.graph ->
+      invalid_arg "Router.create: mmap store and graph disagree on n"
   | _ -> ());
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let reg = Obs.Metrics.create () in

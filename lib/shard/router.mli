@@ -45,6 +45,12 @@ type spawn =
 type config = {
   graph : Graph.t;
   labels : Hub_label.t option;
+  mmap : Mmap_hub.t option;
+      (** zero-copy worker primaries: forked workers inherit the
+          parent's mapping (one page-cache copy across the fleet);
+          exec-mode spawn functions must arrange for the child to map
+          the same file itself (the CLI appends [--mmap]). Mutually
+          exclusive with [labels]. *)
   shards : int;
   partition : Partition.spec;
   supervisor : Supervisor.config;

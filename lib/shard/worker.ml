@@ -6,6 +6,7 @@ module Obs = Repro_obs
 type config = {
   graph : Graph.t;
   labels : Hub_label.t option;
+  mmap : Mmap_hub.t option;
   shards : int;
   shard : int;
   partition : Partition.spec;
@@ -21,6 +22,7 @@ let default_config graph =
   {
     graph;
     labels = None;
+    mmap = None;
     shards = 1;
     shard = 0;
     partition = Partition.Range;
@@ -86,15 +88,25 @@ let write_response ~chaos ~frames_written output resp =
 
 let build_backend cfg metrics clock =
   let primary =
-    match cfg.labels with
-    | None -> None
-    | Some labels ->
+    match (cfg.mmap, cfg.labels) with
+    | Some _, Some _ ->
+        invalid_arg "Worker.run: pass ~labels or ~mmap, not both"
+    | Some store, None ->
+        (* Zero-copy mode: every worker maps the same whole file (one
+           page-cache copy fleet-wide), so there is no heap slice to
+           cut — partition routing at the router already confines which
+           pairs reach this shard. *)
+        if Mmap_hub.n store <> Graph.n cfg.graph then
+          invalid_arg "Worker.run: mmap store and graph disagree on n";
+        Some (Resilient_oracle.mmap_primary ?step_budget:cfg.step_budget store)
+    | None, Some labels ->
         let slice =
           Partition.slice cfg.partition ~shards:cfg.shards ~shard:cfg.shard
             labels
         in
         let flat = Flat_hub.of_labels slice in
         Some (Resilient_oracle.flat_primary ?step_budget:cfg.step_budget flat)
+    | None, None -> None
   in
   let oracle =
     Resilient_oracle.create ?step_budget:cfg.step_budget

@@ -29,6 +29,12 @@ type config = {
   graph : Graph.t;
   labels : Hub_label.t option;
       (** [None] builds a search-only worker (BFS fallback chain only) *)
+  mmap : Mmap_hub.t option;
+      (** zero-copy primary: serve the {e whole} mapped store (no heap
+          slice — the router's partition routing confines which pairs
+          arrive; the OS page cache keeps one physical copy across all
+          workers mapping the same file). Mutually exclusive with
+          [labels]. *)
   shards : int;
   shard : int;
   partition : Partition.spec;

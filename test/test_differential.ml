@@ -2,9 +2,10 @@
    must agree, query by query, with BFS ground truth — on random sparse
    graphs, on disconnected graphs (infinity handling), on weighted
    graphs, and on the paper's G_{b,l} degree-3 gadget instances. The
-   packed Flat_hub store is run alongside the assoc Hub_label it was
-   frozen from, so the flat-layout optimisation can never silently
-   diverge from the structures it replaced. *)
+   packed Flat_hub store and the zero-copy Mmap_hub view of the same
+   bytes are run alongside the assoc Hub_label they were frozen from,
+   so neither layout optimisation can silently diverge from the
+   structures it replaced. *)
 
 open Repro_graph
 open Repro_hub
@@ -13,17 +14,24 @@ open Repro_serve
 
 let inf_budget = max_int
 
-(* The unweighted backend battery over a graph: (name, query). *)
+(* The unweighted backend battery over a graph: (name, query). The
+   mmap store rides through an actual temp file round trip (pack →
+   map → unlink), so the zero-copy byte path is exercised on every
+   generated graph. *)
 let unweighted_backends g =
   let pll = Pll.build g in
   let flat = Flat_hub.of_labels pll in
   let flat_cached = Flat_hub.of_labels ~cache_slots:32 pll in
+  let mm = Test_util.mmap_of_flat ~deep:true flat in
+  let mm_cached = Test_util.mmap_of_flat ~cache_slots:32 flat in
   let hhl = Canonical_hhl.build ~order:(Order.by_degree g) g in
   let w = Wgraph.of_unweighted g in
   [
     ("hub-assoc", Hub_label.query pll);
     ("flat", Flat_hub.query flat);
     ("flat-cached", Flat_hub.query flat_cached);
+    ("mmap", Mmap_hub.query mm);
+    ("mmap-cached", Mmap_hub.query mm_cached);
     ("canonical-hhl", Hub_label.query hhl);
     ("dijkstra-unit", fun u v -> (Dijkstra.distances w u).(v));
     ( "bidirectional",
@@ -72,11 +80,14 @@ let diff_weighted =
       let w = Gen.build_weighted (params, wseed) in
       let labels = Pll.build_w w in
       let flat = Flat_hub.of_labels labels in
+      let mm = Test_util.mmap_of_flat ~deep:true flat in
       let n = Wgraph.n w in
       Array.for_all
         (fun (u, v) ->
           let truth = (Dijkstra.distances w u).(v) in
-          Hub_label.query labels u v = truth && Flat_hub.query flat u v = truth)
+          Hub_label.query labels u v = truth
+          && Flat_hub.query flat u v = truth
+          && Mmap_hub.query mm u v = truth)
         (Gen.query_pairs ~seed ~n 10))
 
 (* G_{2,1} is deterministic; build its backends once and vary only the
@@ -90,20 +101,22 @@ let gadget_fixture =
      let g = (Degree_gadget.build grid).Degree_gadget.graph in
      let pll = Pll.build g in
      let flat = Flat_hub.of_labels pll in
-     (g, pll, flat))
+     let mm = Test_util.mmap_of_flat ~deep:true flat in
+     (g, pll, flat, mm))
 
 let diff_gadget =
-  Test_util.qcheck "G_{2,1} gadget: flat = assoc = BFS = bidirectional"
+  Test_util.qcheck "G_{2,1} gadget: mmap = flat = assoc = BFS = bidirectional"
     ~count:8
     QCheck2.Gen.(int_range 0 1_000_000)
     (fun seed ->
-      let g, pll, flat = Lazy.force gadget_fixture in
+      let g, pll, flat, mm = Lazy.force gadget_fixture in
       let n = Graph.n g in
       Array.for_all
         (fun (u, v) ->
           let truth = (Traversal.bfs g u).(v) in
           Hub_label.query pll u v = truth
           && Flat_hub.query flat u v = truth
+          && Mmap_hub.query mm u v = truth
           &&
           match Budget_search.bidirectional g ~budget:inf_budget u v with
           | Some d -> d = truth

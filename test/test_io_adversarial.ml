@@ -246,6 +246,178 @@ let prop_wire_decode_total =
           && (match Wire.response_of_payload payload with _ -> true)
       | Error _ -> true)
 
+(* ----- Mmap_hub (zero-copy packed store) -----------------------------
+   Every malformed HUBFLAT1 file must decode to a typed [Mmap_hub.error]
+   — never a segfault, exception or hang. The fixture labeling is built
+   by hand so every word offset in the file is known exactly:
+     word 0 magic | 1 n=3 | 2 total=6 | 3..6 offsets 0,1,3,6
+     | 7.. data (0,0) (0,1)(1,0) (0,2)(1,1)(2,0)            (19 words) *)
+
+let packed_fixture =
+  lazy
+    (let labels =
+       Hub_label.make ~n:3
+         (Array.of_list
+            [ [ (0, 0) ]; [ (0, 1); (1, 0) ]; [ (0, 2); (1, 1); (2, 0) ] ])
+     in
+     Hub_io.flat_to_bytes (Flat_hub.of_labels labels))
+
+let mmap_load ?deep bytes =
+  let path = Filename.temp_file "hubhard_adv" ".bin" in
+  let oc = open_out_bin path in
+  output_string oc bytes;
+  close_out oc;
+  let res = Mmap_hub.load_res ?deep path in
+  Sys.remove path;
+  res
+
+let mmap_err name ?deep bytes =
+  match mmap_load ?deep bytes with
+  | Ok _ -> Alcotest.failf "%s: expected a load error" name
+  | Error e -> e
+
+let patch bytes ~word v =
+  let b = Bytes.of_string bytes in
+  Bytes.set_int64_le b (8 * word) v;
+  Bytes.to_string b
+
+let expect name got want =
+  if got <> want then
+    Alcotest.failf "%s: got %s, wanted %s" name
+      (Mmap_hub.error_to_string got)
+      (Mmap_hub.error_to_string want)
+
+let test_mmap_pristine () =
+  let bytes = Lazy.force packed_fixture in
+  Test_util.check_int "fixture size" (8 * 19) (String.length bytes);
+  match mmap_load ~deep:true bytes with
+  | Error e -> Alcotest.failf "pristine: %s" (Mmap_hub.error_to_string e)
+  | Ok store ->
+      Test_util.check_int "n" 3 (Mmap_hub.n store);
+      Test_util.check_int "total" 6 (Mmap_hub.total_size store);
+      Test_util.check_int "d(0,2)" 2 (Mmap_hub.query store 0 2);
+      Test_util.check_int "d(2,1)" 1 (Mmap_hub.query store 2 1)
+
+(* cut the file at every possible byte boundary; the error constructor
+   is fully determined by the cut length *)
+let test_mmap_truncated_every_byte () =
+  let bytes = Lazy.force packed_fixture in
+  for k = 0 to String.length bytes - 1 do
+    let e = mmap_err (Printf.sprintf "cut at %d" k) (String.sub bytes 0 k) in
+    let want =
+      if k < 24 then Mmap_hub.Too_short { bytes = k }
+      else if k mod 8 <> 0 then Mmap_hub.Misaligned { bytes = k }
+      else
+        (* expected_words saturates to max_int while the header's
+           n=3/total=6 still exceed the truncated word count *)
+        let actual_words = k / 8 in
+        let expected_words = if actual_words < 6 then max_int else 19 in
+        Mmap_hub.Length_mismatch { expected_words; actual_words }
+    in
+    expect (Printf.sprintf "cut at %d" k) e want
+  done
+
+let test_mmap_hostile_header () =
+  let bytes = Lazy.force packed_fixture in
+  (match mmap_err "magic" (patch bytes ~word:0 0L) with
+  | Mmap_hub.Bad_magic -> ()
+  | e -> Alcotest.failf "magic: got %s" (Mmap_hub.error_to_string e));
+  (match mmap_err "negative n" (patch bytes ~word:1 (-1L)) with
+  | Mmap_hub.Bad_header { word = 8; _ } -> ()
+  | e -> Alcotest.failf "negative n: got %s" (Mmap_hub.error_to_string e));
+  (match mmap_err "overflowing n" (patch bytes ~word:1 Int64.max_int) with
+  | Mmap_hub.Bad_header { word = 8; _ } -> ()
+  | e -> Alcotest.failf "overflowing n: got %s" (Mmap_hub.error_to_string e));
+  (match mmap_err "negative total" (patch bytes ~word:2 Int64.min_int) with
+  | Mmap_hub.Bad_header { word = 16; _ } -> ()
+  | e -> Alcotest.failf "negative total: got %s" (Mmap_hub.error_to_string e));
+  expect "inflated n"
+    (mmap_err "inflated n" (patch bytes ~word:1 4L))
+    (Mmap_hub.Length_mismatch { expected_words = 20; actual_words = 19 });
+  expect "inflated total"
+    (mmap_err "inflated total" (patch bytes ~word:2 7L))
+    (Mmap_hub.Length_mismatch { expected_words = 21; actual_words = 19 });
+  (* n/total far beyond the file: the saturated length check, not an
+     allocation or overflow, must reject them *)
+  (match mmap_err "huge n" (patch bytes ~word:1 0x10_0000_0000L) with
+  | Mmap_hub.Length_mismatch _ -> ()
+  | e -> Alcotest.failf "huge n: got %s" (Mmap_hub.error_to_string e));
+  (match
+     mmap_err "misaligned tail" (bytes ^ "xyz")
+   with
+  | Mmap_hub.Misaligned _ -> ()
+  | e -> Alcotest.failf "misaligned tail: got %s" (Mmap_hub.error_to_string e));
+  match mmap_err "trailing word" (bytes ^ String.make 8 '\x00') with
+  | Mmap_hub.Length_mismatch { expected_words = 19; actual_words = 20 } -> ()
+  | e -> Alcotest.failf "trailing word: got %s" (Mmap_hub.error_to_string e)
+
+let test_mmap_hostile_offsets () =
+  let bytes = Lazy.force packed_fixture in
+  let bad word v name =
+    match mmap_err name (patch bytes ~word v) with
+    | Mmap_hub.Bad_offsets _ -> ()
+    | e -> Alcotest.failf "%s: got %s" name (Mmap_hub.error_to_string e)
+  in
+  bad 3 1L "offsets must start at 0";
+  bad 3 (-1L) "negative first offset";
+  bad 5 0L "decreasing offsets";
+  bad 5 7L "offset beyond entry count";
+  bad 5 Int64.max_int "offset beyond int64 range";
+  bad 6 5L "final offset below total";
+  bad 4 (-3L) "negative middle offset"
+
+(* deep mode scans every entry word; shallow mode deliberately accepts
+   garbage entries (memory safety only needs the offsets) and
+   [validate_entries] catches the rot after the fact. *)
+let test_mmap_hostile_entries () =
+  let bytes = Lazy.force packed_fixture in
+  let bad word v name =
+    (match mmap_err ~deep:true name (patch bytes ~word v) with
+    | Mmap_hub.Bad_entry _ -> ()
+    | e -> Alcotest.failf "%s (deep): got %s" name (Mmap_hub.error_to_string e));
+    match mmap_load (patch bytes ~word v) with
+    | Error e ->
+        Alcotest.failf "%s: shallow load must accept bad entry words, got %s"
+          name (Mmap_hub.error_to_string e)
+    | Ok store -> (
+        match Mmap_hub.validate_entries store with
+        | Error (Mmap_hub.Bad_entry _) -> ()
+        | Error e ->
+            Alcotest.failf "%s: validate_entries got %s" name
+              (Mmap_hub.error_to_string e)
+        | Ok () -> Alcotest.failf "%s: validate_entries accepted rot" name)
+  in
+  bad 7 5L "hub out of range";
+  bad 7 (-1L) "negative hub";
+  bad 11 0L "hubs not strictly increasing";
+  bad 8 (-2L) "negative distance";
+  bad 8 0x4000_0000_0000_0000L "distance overflows native int"
+
+let test_mmap_not_a_file () =
+  (match Mmap_hub.load_res "/nonexistent/hubhard/labels.bin" with
+  | Error (Mmap_hub.Io _) -> ()
+  | Error e -> Alcotest.failf "missing file: got %s" (Mmap_hub.error_to_string e)
+  | Ok _ -> Alcotest.fail "missing file: expected an error");
+  (match Mmap_hub.load_res (Filename.get_temp_dir_name ()) with
+  | Error (Mmap_hub.Not_regular _ | Mmap_hub.Io _) -> ()
+  | Error e -> Alcotest.failf "directory: got %s" (Mmap_hub.error_to_string e)
+  | Ok _ -> Alcotest.fail "directory: expected an error");
+  if Sys.file_exists "/dev/null" then
+    match Mmap_hub.load_res "/dev/null" with
+    | Error (Mmap_hub.Not_regular _) -> ()
+    | Error e ->
+        Alcotest.failf "/dev/null: got %s" (Mmap_hub.error_to_string e)
+    | Ok _ -> Alcotest.fail "/dev/null: expected Not_regular"
+
+let prop_mmap_load_total =
+  Test_util.qcheck "Mmap_hub.load_res is total on random bytes" ~count:120
+    QCheck2.Gen.(string_size ~gen:char (int_range 0 200))
+    (fun s ->
+      (* no exception ever; acceptance implies a coherent header *)
+      match mmap_load ~deep:true s with
+      | Ok store -> Mmap_hub.n store >= 0 && Mmap_hub.total_size store >= 0
+      | Error _ -> true)
+
 let suite =
   [
     Alcotest.test_case "graph truncated input" `Quick test_graph_truncated;
@@ -266,4 +438,15 @@ let suite =
     Alcotest.test_case "wire mid-frame EOF on a pipe" `Quick
       test_wire_midframe_eof_on_pipe;
     prop_wire_decode_total;
+    Alcotest.test_case "mmap pristine fixture loads" `Quick test_mmap_pristine;
+    Alcotest.test_case "mmap truncation at every byte" `Quick
+      test_mmap_truncated_every_byte;
+    Alcotest.test_case "mmap hostile header words" `Quick
+      test_mmap_hostile_header;
+    Alcotest.test_case "mmap hostile offsets" `Quick test_mmap_hostile_offsets;
+    Alcotest.test_case "mmap hostile entries (deep vs shallow)" `Quick
+      test_mmap_hostile_entries;
+    Alcotest.test_case "mmap non-regular and missing files" `Quick
+      test_mmap_not_a_file;
+    prop_mmap_load_total;
   ]

@@ -25,4 +25,5 @@ let () =
       ("differential", Test_differential.suite);
       ("observability", Test_obs.suite);
       ("parallel", Test_par.suite);
+      ("mmap-hub", Test_mmap_hub.suite);
     ]

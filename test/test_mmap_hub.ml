@@ -1,0 +1,153 @@
+(* Unit suite for the zero-copy Mmap_hub store: golden byte-stability
+   pin of the packed HUBFLAT1 encoding, store/flat equivalence, the
+   direct-mapped cache, batch queries and the Backend surface. The
+   adversarial file battery lives in test_io_adversarial.ml; the
+   oracle-equality chain in test_differential.ml. *)
+
+open Repro_hub
+module Checksum = Repro_par.Checksum
+
+(* Fixed-seed fixture: every byte of the packed file is a pure function
+   of these parameters, which the golden pin below freezes in-tree. *)
+let fixture =
+  lazy
+    (let g = Gen.build_connected (24, 40, 4242) in
+     let labels = Pll.build g in
+     let flat = Flat_hub.of_labels labels in
+     (flat, Hub_io.flat_to_bytes flat))
+
+(* sha256 of the fixture's packed bytes. If this pin moves, the
+   HUBFLAT1 byte layout changed: every previously written label file —
+   and every mmap view of one — just became unreadable. That is a
+   format break and must be deliberate, not accidental. *)
+let golden_sha256 =
+  "4c0a9f91f427c4ea857cd23ea661ed1438624eb7140f6df618cb2d9c499caffa"
+
+let test_golden_pin () =
+  let _, bytes = Lazy.force fixture in
+  let got = Checksum.sha256_hex bytes in
+  if got <> golden_sha256 then
+    Alcotest.failf
+      "packed HUBFLAT1 bytes drifted: sha256 %s, pinned %s — this breaks \
+       every existing packed label file and mmap consumer"
+      got golden_sha256
+
+let test_save_map_save_stable () =
+  let flat, bytes = Lazy.force fixture in
+  let store = Test_util.mmap_of_flat ~deep:true flat in
+  let again = Hub_io.flat_to_bytes (Mmap_hub.to_flat store) in
+  Test_util.check_bool "map -> thaw -> save is byte-identical" true
+    (String.equal bytes again)
+
+let test_store_matches_flat () =
+  let flat, _ = Lazy.force fixture in
+  let store = Test_util.mmap_of_flat ~deep:true flat in
+  let n = Flat_hub.n flat in
+  Test_util.check_int "n" n (Mmap_hub.n store);
+  Test_util.check_int "total" (Flat_hub.total_size flat)
+    (Mmap_hub.total_size store);
+  Test_util.check_int "space_words" (Flat_hub.space_words flat)
+    (Mmap_hub.space_words store);
+  for v = 0 to n - 1 do
+    Test_util.check_int "size" (Flat_hub.size flat v) (Mmap_hub.size store v);
+    if Flat_hub.hubs flat v <> Mmap_hub.hubs store v then
+      Alcotest.failf "hubset of %d differs" v
+  done;
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      Test_util.check_int
+        (Printf.sprintf "d(%d,%d)" u v)
+        (Flat_hub.query flat u v) (Mmap_hub.query store u v)
+    done
+  done;
+  Test_util.check_bool "to_flat round trip" true
+    (Flat_hub.equal flat (Mmap_hub.to_flat store))
+
+let test_validate_entries_ok () =
+  let flat, _ = Lazy.force fixture in
+  let store = Test_util.mmap_of_flat flat in
+  match Mmap_hub.validate_entries store with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "pristine: %s" (Mmap_hub.error_to_string e)
+
+let test_cache () =
+  let flat, _ = Lazy.force fixture in
+  let store = Test_util.mmap_of_flat ~cache_slots:8 flat in
+  let d1 = Mmap_hub.query store 1 2 in
+  let d2 = Mmap_hub.query store 1 2 in
+  let d3 = Mmap_hub.query store 2 1 in
+  Test_util.check_int "repeat" d1 d2;
+  Test_util.check_int "unordered pair key" d1 d3;
+  (match Mmap_hub.cache_stats store with
+  | Some (hits, misses) ->
+      Test_util.check_int "hits" 2 hits;
+      Test_util.check_int "misses" 1 misses
+  | None -> Alcotest.fail "expected cache stats");
+  Test_util.check_bool "uncached has no stats" true
+    (Mmap_hub.cache_stats (Mmap_hub.with_cache ~cache_slots:0 store) = None);
+  Alcotest.check_raises "negative slots"
+    (Invalid_argument "Mmap_hub: cache_slots must be non-negative") (fun () ->
+      ignore (Mmap_hub.with_cache ~cache_slots:(-1) store))
+
+let test_query_validation () =
+  let flat, _ = Lazy.force fixture in
+  let store = Test_util.mmap_of_flat flat in
+  Alcotest.check_raises "query range" (Invalid_argument "Mmap_hub.query")
+    (fun () -> ignore (Mmap_hub.query store 0 (Mmap_hub.n store)));
+  Alcotest.check_raises "negative endpoint" (Invalid_argument "Mmap_hub.query")
+    (fun () -> ignore (Mmap_hub.query store (-1) 0))
+
+let test_query_many () =
+  let flat, _ = Lazy.force fixture in
+  let store = Test_util.mmap_of_flat flat in
+  let cached = Test_util.mmap_of_flat ~cache_slots:16 flat in
+  let n = Mmap_hub.n store in
+  let pairs = Gen.query_pairs ~seed:99 ~n 64 in
+  let want = Array.map (fun (u, v) -> Mmap_hub.query store u v) pairs in
+  Test_util.check_bool "batch = loop (pool fan-out)" true
+    (Mmap_hub.query_many store pairs = want);
+  Test_util.check_bool "batch = loop (cached, sequential)" true
+    (Mmap_hub.query_many cached pairs = want);
+  (match Mmap_hub.cache_stats cached with
+  | Some (hits, misses) -> Test_util.check_int "stats cover batch" 64 (hits + misses)
+  | None -> Alcotest.fail "expected cache stats");
+  Alcotest.check_raises "batch validates endpoints"
+    (Invalid_argument "Mmap_hub.query_many") (fun () ->
+      ignore (Mmap_hub.query_many store [| (0, n) |]))
+
+let test_backend () =
+  let flat, _ = Lazy.force fixture in
+  let store = Test_util.mmap_of_flat flat in
+  let b = Mmap_hub.backend store in
+  Alcotest.(check string) "name" "mmap-hub-labeling" (Repro_obs.Backend.name b);
+  Test_util.check_int "space" (Mmap_hub.space_words store)
+    (Repro_obs.Backend.space_words b);
+  let d, tr = Repro_obs.Backend.query_detailed b 3 4 in
+  Test_util.check_int "dist" (Mmap_hub.query store 3 4) d;
+  Test_util.check_int "entries scanned"
+    (Mmap_hub.size store 3 + Mmap_hub.size store 4)
+    tr.Repro_obs.Trace.entries_scanned;
+  (* a cached backend reports Hit with zero scanned entries *)
+  let cb = Mmap_hub.backend (Test_util.mmap_of_flat ~cache_slots:4 flat) in
+  ignore (Repro_obs.Backend.query b 5 6);
+  ignore (Repro_obs.Backend.query cb 5 6);
+  let _, tr2 = Repro_obs.Backend.query_detailed cb 5 6 in
+  Test_util.check_bool "cache hit" true
+    (tr2.Repro_obs.Trace.cache = Repro_obs.Trace.Hit);
+  Test_util.check_int "hit scans nothing" 0 tr2.Repro_obs.Trace.entries_scanned
+
+let suite =
+  [
+    Alcotest.test_case "golden sha256 pin of packed bytes" `Quick
+      test_golden_pin;
+    Alcotest.test_case "save -> map -> save is stable" `Quick
+      test_save_map_save_stable;
+    Alcotest.test_case "mmap view = flat store everywhere" `Quick
+      test_store_matches_flat;
+    Alcotest.test_case "validate_entries accepts pristine" `Quick
+      test_validate_entries_ok;
+    Alcotest.test_case "direct-mapped cache" `Quick test_cache;
+    Alcotest.test_case "query endpoint validation" `Quick test_query_validation;
+    Alcotest.test_case "query_many batch = loop" `Quick test_query_many;
+    Alcotest.test_case "backend surface and traces" `Quick test_backend;
+  ]

@@ -9,3 +9,17 @@ let check_int = Alcotest.(check int)
 let qcheck ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~count ~name gen prop)
+
+(* Round a flat store through a temp HUBFLAT1 file into the zero-copy
+   mmap view. The file is unlinked immediately — POSIX keeps mapped
+   pages alive — so qcheck loops never leak temp files. *)
+let mmap_of_flat ?cache_slots ?deep flat =
+  let path = Filename.temp_file "hubhard_mmap" ".bin" in
+  let oc = open_out_bin path in
+  output_string oc (Repro_hub.Hub_io.flat_to_bytes flat);
+  close_out oc;
+  let res = Repro_hub.Mmap_hub.load_res ?cache_slots ?deep path in
+  Sys.remove path;
+  match res with
+  | Ok store -> store
+  | Error e -> Alcotest.failf "mmap_of_flat: %s" (Repro_hub.Mmap_hub.error_to_string e)
