@@ -871,6 +871,141 @@ let run_mmap ~mode (z : sizes) =
     (parse_ms /. open_ms)
     mmap_ns flat_ns assoc_ns identical
 
+(* Part 9: the ops query surface -> BENCH_ops.json.
+
+   One request per operation of the Ops algebra, timed across the
+   three in-process backends (the lifted assoc labeling, the flat
+   store's inverted-index fast paths and the zero-copy mmap view of
+   the same bytes), plus the sha256 digest of every canonical response
+   string — which must be identical across all three: the fast paths
+   must never trade correctness for their asymptotics. Uses the
+   default domain pool for the fanned ops, so it runs after Part 7's
+   forks. *)
+
+let run_ops ~mode (z : sizes) =
+  let module Checksum = Repro_par.Checksum in
+  let module Ops = Repro_obs.Ops in
+  let module Backend = Repro_obs.Backend in
+  let iters = if mode = "smoke" then 1 else 40 in
+  let g = Generators.random_connected (rng ()) ~n:z.sparse_n ~m:z.sparse_m in
+  let n = Graph.n g in
+  let labels = Pll.build g in
+  let flat = Flat_hub.of_labels labels in
+  let path = Filename.temp_file "hubhard_bench_ops" ".bin" in
+  let oc = open_out_bin path in
+  output_string oc (Hub_io.flat_to_bytes flat);
+  close_out oc;
+  let store =
+    match Mmap_hub.load_res path with
+    | Ok s -> s
+    | Error e -> failwith (Mmap_hub.error_to_string e)
+  in
+  Sys.remove path;
+  let r = rng () in
+  let v () = Random.State.int r n in
+  let vs k = Array.init k (fun _ -> v ()) in
+  (* (request, heavy): heavy ops touch all n rows, so they get a
+     reduced iteration count *)
+  let reqs =
+    [
+      (Ops.Dist { u = v (); v = v () }, false);
+      (Ops.Batch (Array.init 64 (fun _ -> (v (), v ()))), false);
+      (Ops.One_to_many { source = v (); targets = vs 64 }, false);
+      (Ops.Many_to_many { sources = vs 8; targets = vs 16 }, false);
+      (Ops.Top_k_nearest { source = v (); k = 32 }, false);
+      (Ops.Eccentricity (v ()), false);
+      (Ops.Farthest (v ()), false);
+      (Ops.Diameter_radius, true);
+    ]
+  in
+  let backends =
+    [
+      ("assoc", Backend.lift ~n (Hub_label.backend labels));
+      ("flat", Flat_hub.ops flat);
+      ("mmap", Mmap_hub.ops store);
+    ]
+  in
+  let time_ns b req ~heavy =
+    let iters = if heavy then max 1 (iters / 20) else iters in
+    ignore (Backend.op b req);
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Backend.op b req)
+    done;
+    let t1 = Unix.gettimeofday () in
+    (t1 -. t0) *. 1e9 /. float_of_int iters
+  in
+  let rows =
+    List.map
+      (fun (req, heavy) ->
+        let ns =
+          List.map (fun (bn, b) -> (bn, time_ns b req ~heavy)) backends
+        in
+        (req, ns))
+      reqs
+  in
+  (* the digest every store must agree on: canonical response strings
+     of the whole battery, in order *)
+  let digest (_, b) =
+    Checksum.sha256_hex
+      (String.concat "\n"
+         (List.map
+            (fun (req, _) -> Ops.response_to_string (Backend.op b req))
+            reqs))
+  in
+  let shas = List.map (fun b -> (fst b, digest b)) backends in
+  let identical =
+    match shas with
+    | (_, h0) :: rest -> List.for_all (fun (_, h) -> h = h0) rest
+    | [] -> true
+  in
+  let oc = open_out "BENCH_ops.json" in
+  Printf.fprintf oc
+    {|{
+  "bench": "ops",
+  "mode": "%s",
+  "seed": %d,
+  "jobs": %d,
+  "graph": { "n": %d, "m": %d },
+  "iters": %d,
+  "ops": [
+%s
+  ],
+  "answers_sha256": { %s },
+  "answers_identical": %b
+}
+|}
+    mode !seed
+    (Repro_par.Pool.default_jobs ())
+    z.sparse_n z.sparse_m iters
+    (String.concat ",\n"
+       (List.map
+          (fun (req, ns) ->
+            Printf.sprintf
+              {|    { "op": "%s", "request": "%s", "ns_per_op": { %s } }|}
+              (Ops.name req)
+              (Ops.request_to_string req)
+              (String.concat ", "
+                 (List.map
+                    (fun (bn, t) -> Printf.sprintf {|"%s": %.1f|} bn t)
+                    ns)))
+          rows))
+    (String.concat ", "
+       (List.map (fun (bn, h) -> Printf.sprintf {|"%s": "%s"|} bn h) shas))
+    identical;
+  close_out oc;
+  let flat_ns name =
+    match List.assoc_opt name (List.map (fun (r, ns) -> (Ops.name r, ns)) rows)
+    with
+    | Some ns -> ( match List.assoc_opt "flat" ns with Some t -> t | None -> 0.)
+    | None -> 0.
+  in
+  Printf.printf
+    "ops (%s, n=%d): flat ecc %.0f ns, top-k %.0f ns, diam %.0f ns; answers \
+     identical across assoc/flat/mmap: %b -> BENCH_ops.json\n%!"
+    mode z.sparse_n (flat_ns "eccentricity") (flat_ns "top_k_nearest")
+    (flat_ns "diameter_radius") identical
+
 (* ------------------------------------------------------------------ *)
 
 let benchmark tests =
@@ -909,6 +1044,7 @@ let run_smoke () =
   build_profile ~mode:"smoke" smoke_sizes;
   run_parallel ~mode:"smoke" smoke_sizes;
   run_mmap ~mode:"smoke" smoke_sizes;
+  run_ops ~mode:"smoke" smoke_sizes;
   print_endline "bench smoke: all entries ran"
 
 let run_full () =
@@ -948,7 +1084,10 @@ let run_full () =
   run_parallel ~mode:"full" full_sizes;
   (* Part 8: the zero-copy mmap store. *)
   print_newline ();
-  run_mmap ~mode:"full" full_sizes
+  run_mmap ~mode:"full" full_sizes;
+  (* Part 9: the ops query surface. *)
+  print_newline ();
+  run_ops ~mode:"full" full_sizes
 
 let () =
   if Array.exists (( = ) "--smoke") Sys.argv then run_smoke ()
@@ -965,4 +1104,6 @@ let () =
     run_shard ~mode:"full" full_sizes
   else if Array.exists (( = ) "--mmap-json") Sys.argv then
     run_mmap ~mode:"full" full_sizes
+  else if Array.exists (( = ) "--ops-json") Sys.argv then
+    run_ops ~mode:"full" full_sizes
   else run_full ()

@@ -349,6 +349,7 @@ module Worker = Repro_shard.Worker
 module Router = Repro_shard.Router
 module Supervisor = Repro_shard.Supervisor
 module Backend = Repro_obs.Backend
+module Ops = Repro_obs.Ops
 module Metrics = Repro_obs.Metrics
 module Obs = Repro_obs.Obs
 module Trace = Repro_obs.Trace
@@ -453,7 +454,14 @@ let mmap_arg =
   in
   Arg.(value & flag & info [ "mmap" ] ~doc)
 
-let reject_bad_mmap_combo ~mmap ~flat ~labels_file =
+(* One shared resolver for the serving-store kind; every serve
+   subcommand (query | stats | loop | worker | router) routes its
+   --mmap/--flat/--labels-file combination through here, so the
+   rejected combinations — and their exit-124 contract — live in
+   exactly one place. *)
+type store_kind = Store_assoc | Store_flat | Store_mmap
+
+let resolve_store_kind ?(flat = false) ~mmap ~labels_file () =
   if mmap && flat then begin
     Printf.eprintf "hubhard: --mmap and --flat are mutually exclusive\n";
     exit 124
@@ -461,7 +469,13 @@ let reject_bad_mmap_combo ~mmap ~flat ~labels_file =
   if mmap && labels_file = None then begin
     Printf.eprintf "hubhard: --mmap requires --labels-file\n";
     exit 124
-  end
+  end;
+  if mmap then Store_mmap else if flat then Store_flat else Store_assoc
+
+let store_kind_name ~labels = function
+  | Store_mmap -> "mmap"
+  | Store_flat -> "flat"
+  | Store_assoc -> if labels then "assoc" else "search"
 
 let graph_file_arg =
   let doc = "Graph file in Graph_io format ('-' for stdin)." in
@@ -536,6 +550,9 @@ let build_serving_oracle ?clock ?(instrument_primary = true) ~registry ~labels
        when primary answers are precomputed in parallel *)
     if instrument_primary then Obs.instrument ?clock registry base else base
   in
+  (* the third slot is the native aggregate-op implementation riding
+     the same store: the assoc labeling has none (the oracle lifts its
+     point query over Ops.brute instead) *)
   let primary_and_cache =
     match (mmap, labels) with
     | Some m, _ ->
@@ -544,7 +561,8 @@ let build_serving_oracle ?clock ?(instrument_primary = true) ~registry ~labels
         in
         Some
           ( wrap_primary (Resilient_oracle.mmap_primary ?step_budget store),
-            fun () -> Mmap_hub.cache_stats store )
+            (fun () -> Mmap_hub.cache_stats store),
+            Some (Mmap_hub.ops store) )
     | None, Some (l, packed) ->
         let store =
           if not flat then None
@@ -561,16 +579,22 @@ let build_serving_oracle ?clock ?(instrument_primary = true) ~registry ~labels
         in
         Some
           ( wrap_primary base,
-            fun () -> Option.bind store Flat_hub.cache_stats )
+            (fun () -> Option.bind store Flat_hub.cache_stats),
+            Option.map (fun s -> Flat_hub.ops s) store )
     | None, None -> None
   in
-  let primary = Option.map fst primary_and_cache in
+  let primary = Option.map (fun (p, _, _) -> p) primary_and_cache in
+  let primary_ops =
+    Option.bind primary_and_cache (fun (_, _, o) -> o)
+  in
   let cache_stats =
-    match primary_and_cache with Some (_, f) -> f | None -> fun () -> None
+    match primary_and_cache with
+    | Some (_, f, _) -> f
+    | None -> fun () -> None
   in
   let oracle =
     Resilient_oracle.create ?step_budget ~spot_check_every:spot_check
-      ~quarantine_after ~metrics:registry ?primary g
+      ~quarantine_after ~metrics:registry ?primary ?primary_ops g
   in
   (oracle, cache_stats)
 
@@ -602,6 +626,15 @@ let serve_query_cmd =
     let doc = "Query pair 'u,v' (repeatable)." in
     Arg.(
       value & opt_all (pair ~sep:',' int int) [] & info [ "pair" ] ~docv:"U,V" ~doc)
+  in
+  let ops =
+    let doc =
+      "Aggregate operation (repeatable): 'dist:U,V', 'batch:U,V;U,V', \
+       'one-to-many:S:T1,T2', 'many-to-many:S1,S2:T1,T2', 'top-k:S,K', \
+       'ecc:V', 'farthest:V' or 'diam'. Served through the resilient \
+       per-op degradation path and instrumented under ops.<name>.*."
+    in
+    Arg.(value & opt_all string [] & info [ "op" ] ~docv:"OP" ~doc)
   in
   let num =
     let doc = "Number of random query pairs when no --pair is given." in
@@ -658,8 +691,9 @@ let serve_query_cmd =
           Fault_injector.Corrupt
       & info [ "inject-mode" ] ~docv:"MODE" ~doc)
   in
-  let run graph_file labels_file pairs num budget spot_check quarantine_after
-      flat mmap cache_slots inject_fraction inject_mode metrics_out seed jobs =
+  let run graph_file labels_file pairs ops num budget spot_check
+      quarantine_after flat mmap cache_slots inject_fraction inject_mode
+      metrics_out seed jobs =
     apply_jobs jobs;
     if inject_fraction < 0.0 || inject_fraction > 1.0 then begin
       Printf.eprintf "hubhard: --inject-fraction must lie in [0, 1]\n";
@@ -669,15 +703,34 @@ let serve_query_cmd =
       Printf.eprintf "hubhard: --cache-slots must be non-negative\n";
       exit 124
     end;
-    reject_bad_mmap_combo ~mmap ~flat ~labels_file;
+    let kind = resolve_store_kind ~flat ~mmap ~labels_file () in
+    let op_reqs =
+      List.map
+        (fun s ->
+          match Ops.request_of_string s with
+          | Ok r -> r
+          | Error msg ->
+              Printf.eprintf "hubhard: --op %S: %s\n" s msg;
+              exit 124)
+        ops
+    in
     let g = parse_graph_exit graph_file in
     let n = Graph.n g in
     if n = 0 then begin
       Printf.eprintf "validation failure: empty graph\n";
       exit exit_validation_failure
     end;
+    List.iter
+      (fun r ->
+        match Ops.validate ~n r with
+        | Ok () -> ()
+        | Error msg ->
+            Printf.eprintf "validation failure: %s\n" msg;
+            exit exit_validation_failure)
+      op_reqs;
     let mmap =
-      if mmap then Option.map (load_mmap_exit ~graph:g) labels_file else None
+      if kind = Store_mmap then Option.map (load_mmap_exit ~graph:g) labels_file
+      else None
     in
     let labels =
       if mmap <> None then None else Option.map parse_labels_exit labels_file
@@ -695,6 +748,8 @@ let serve_query_cmd =
     in
     let pairs =
       if pairs <> [] then pairs
+      else if op_reqs <> [] then []
+        (* --op alone: don't pad the run with random point queries *)
       else
         let rng = rng_of seed in
         List.init num (fun _ ->
@@ -712,6 +767,15 @@ let serve_query_cmd =
         let d, tr = Backend.query_detailed backend u v in
         Format.printf "%d %d %a %s@." u v Dist.pp d tr.Trace.source)
       pairs;
+    let serve_op = Obs.instrument_op registry (Resilient_oracle.op oracle) in
+    List.iter
+      (fun req ->
+        let resp, src = serve_op req in
+        Format.printf "%s -> %s %s@."
+          (Ops.request_to_string req)
+          (Ops.response_to_string resp)
+          (Resilient_oracle.source_name src))
+      op_reqs;
     let s = Resilient_oracle.stats oracle in
     Format.printf "stats: %a@." Resilient_oracle.pp_stats s;
     if Resilient_oracle.quarantined oracle then
@@ -730,14 +794,15 @@ let serve_query_cmd =
     then exit exit_degraded
   in
   let doc =
-    "Answer distance queries through the resilient serving path (exit 12 \
-     when any answer came from a degraded/fallback path). With \
-     --metrics-out, dump the instrumented query counters and latency \
-     percentiles as JSON."
+    "Answer distance queries — point pairs (--pair) and aggregate \
+     operations (--op: eccentricity, top-k, one-to-many, diameter…) — \
+     through the resilient serving path (exit 12 when any answer came from \
+     a degraded/fallback path). With --metrics-out, dump the instrumented \
+     query counters and latency percentiles as JSON."
   in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
-      const run $ graph_file_arg $ labels_file $ pairs $ num $ budget
+      const run $ graph_file_arg $ labels_file $ pairs $ ops $ num $ budget
       $ spot_check $ quarantine_after $ flat $ mmap_arg $ cache_slots
       $ inject_fraction $ inject_mode $ metrics_out_arg $ seed_arg $ jobs_arg)
 
@@ -780,7 +845,7 @@ let serve_stats_cmd =
       Printf.eprintf "hubhard: --cache-slots must be non-negative\n";
       exit 124
     end;
-    reject_bad_mmap_combo ~mmap ~flat ~labels_file;
+    let kind = resolve_store_kind ~flat ~mmap ~labels_file () in
     let g = parse_graph_exit graph_file in
     let n = Graph.n g in
     if n = 0 then begin
@@ -788,7 +853,8 @@ let serve_stats_cmd =
       exit exit_validation_failure
     end;
     let mmap =
-      if mmap then Option.map (load_mmap_exit ~graph:g) labels_file else None
+      if kind = Store_mmap then Option.map (load_mmap_exit ~graph:g) labels_file
+      else None
     in
     let labels =
       if mmap <> None then None else Option.map parse_labels_exit labels_file
@@ -965,7 +1031,7 @@ let serve_loop_cmd =
       Printf.eprintf "hubhard: --inject-fraction must lie in [0, 1]\n";
       exit 124
     end;
-    reject_bad_mmap_combo ~mmap ~flat ~labels_file;
+    let kind = resolve_store_kind ~flat ~mmap ~labels_file () in
     if cache_slots < 0 || flush_every < 0 || flush_ticks < 0 || clock_step < 0
        || traces < 1 || events_cap < 1
     then begin
@@ -990,19 +1056,15 @@ let serve_loop_cmd =
       exit exit_validation_failure
     end;
     let mmap =
-      if mmap then Option.map (load_mmap_exit ~graph:g) labels_file else None
+      if kind = Store_mmap then Option.map (load_mmap_exit ~graph:g) labels_file
+      else None
     in
     let labels =
       if mmap <> None then None else Option.map parse_labels_exit labels_file
     in
     Option.iter (fun (l, _) -> structural_exit g l) labels;
     (* the store kind recorded in every snapshot, next to the metrics *)
-    let store_kind =
-      if mmap <> None then "mmap"
-      else if labels = None then "search"
-      else if flat then "flat"
-      else "assoc"
-    in
+    let store_kind = store_kind_name ~labels:(labels <> None) kind in
     let step_budget = if budget > 0 then Some budget else None in
     let registry = Metrics.create () in
     let oracle, _cache_stats =
@@ -1285,7 +1347,7 @@ let serve_worker_cmd =
       Printf.eprintf "hubhard: need 0 <= --shard < --shards\n";
       exit 124
     end;
-    reject_bad_mmap_combo ~mmap ~flat:false ~labels_file;
+    let kind = resolve_store_kind ~mmap ~labels_file () in
     let chaos =
       match chaos with
       | None -> None
@@ -1302,7 +1364,8 @@ let serve_worker_cmd =
       exit exit_validation_failure
     end;
     let mmap =
-      if mmap then Option.map (load_mmap_exit ~graph:g) labels_file else None
+      if kind = Store_mmap then Option.map (load_mmap_exit ~graph:g) labels_file
+      else None
     in
     let labels =
       if mmap <> None then None else Option.map parse_labels_exit labels_file
@@ -1343,9 +1406,18 @@ let serve_router_cmd =
   let queries_file =
     let doc =
       "Query stream: one 'u v' pair per line ('-' for stdin; blank lines and \
-       '#' comments skipped)."
+       '#' comments skipped). With --op and no explicit --queries, the \
+       stream is skipped entirely."
     in
     Arg.(value & opt string "-" & info [ "queries" ] ~docv:"FILE" ~doc)
+  in
+  let ops =
+    let doc =
+      "Aggregate operation (repeatable, same forms as 'serve query --op'), \
+       fanned out to the owning shards and merged; a dead shard's share is \
+       served exactly by the router's local fallback (marked degraded)."
+    in
+    Arg.(value & opt_all string [] & info [ "op" ] ~docv:"OP" ~doc)
   in
   let chaos =
     let doc =
@@ -1388,7 +1460,7 @@ let serve_router_cmd =
     let doc = "Per-worker spot-check cadence (0 disables)." in
     Arg.(value & opt int 1 & info [ "spot-check-every" ] ~docv:"K" ~doc)
   in
-  let run graph_file labels_file queries_file shards partition chaos batch
+  let run graph_file labels_file queries_file ops shards partition chaos batch
       deadline_ms max_restarts backoff_ms worker_exe echo spot_check clock_step
       mmap metrics_out seed =
     if shards < 1 || batch < 1 || deadline_ms < 1 || max_restarts < 0
@@ -1399,7 +1471,17 @@ let serve_router_cmd =
          --max-restarts/--backoff-ms/--clock-step non-negative\n";
       exit 124
     end;
-    reject_bad_mmap_combo ~mmap ~flat:false ~labels_file;
+    let kind = resolve_store_kind ~mmap ~labels_file () in
+    let op_reqs =
+      List.map
+        (fun s ->
+          match Ops.request_of_string s with
+          | Ok r -> r
+          | Error msg ->
+              Printf.eprintf "hubhard: --op %S: %s\n" s msg;
+              exit 124)
+        ops
+    in
     let chaos =
       List.map
         (fun s ->
@@ -1432,8 +1514,17 @@ let serve_router_cmd =
       Printf.eprintf "validation failure: empty graph\n";
       exit exit_validation_failure
     end;
+    List.iter
+      (fun r ->
+        match Ops.validate ~n r with
+        | Ok () -> ()
+        | Error msg ->
+            Printf.eprintf "validation failure: %s\n" msg;
+            exit exit_validation_failure)
+      op_reqs;
     let mmap_store =
-      if mmap then Option.map (load_mmap_exit ~graph:g) labels_file else None
+      if kind = Store_mmap then Option.map (load_mmap_exit ~graph:g) labels_file
+      else None
     in
     let labels =
       if mmap_store <> None then None
@@ -1501,10 +1592,12 @@ let serve_router_cmd =
       Span.profile ~name:"router.spawn" (fun () -> Router.create cfg)
     in
     let ic =
-      if queries_file = "-" then stdin
+      if queries_file = "-" then
+        if op_reqs <> [] then None (* --op alone: no query stream *)
+        else Some stdin
       else
         match open_in queries_file with
-        | ic -> ic
+        | ic -> Some ic
         | exception Sys_error msg ->
             Printf.eprintf "error: %s\n" msg;
             exit exit_parse_failure
@@ -1529,23 +1622,37 @@ let serve_router_cmd =
           answers
       end
     in
-    (try
-       while true do
-         let line = String.trim (input_line ic) in
-         if line <> "" && line.[0] <> '#' then
-           match Scanf.sscanf line " %d %d" (fun u v -> (u, v)) with
-           | exception _ -> incr skipped
-           | u, v ->
-               if u < 0 || u >= n || v < 0 || v >= n then incr skipped
-               else begin
-                 pending := (u, v) :: !pending;
-                 incr pending_n;
-                 if !pending_n >= batch then flush_batch ()
-               end
-       done
-     with End_of_file -> ());
-    if ic != stdin then close_in ic;
+    Option.iter
+      (fun ic ->
+        (try
+           while true do
+             let line = String.trim (input_line ic) in
+             if line <> "" && line.[0] <> '#' then
+               match Scanf.sscanf line " %d %d" (fun u v -> (u, v)) with
+               | exception _ -> incr skipped
+               | u, v ->
+                   if u < 0 || u >= n || v < 0 || v >= n then incr skipped
+                   else begin
+                     pending := (u, v) :: !pending;
+                     incr pending_n;
+                     if !pending_n >= batch then flush_batch ()
+                   end
+           done
+         with End_of_file -> ());
+        if ic != stdin then close_in ic)
+      ic;
     flush_batch ();
+    List.iter
+      (fun req ->
+        let r = Router.op router req in
+        incr served;
+        if r.Router.degraded then incr degraded;
+        Format.printf "%s -> %s %s%s@."
+          (Ops.request_to_string req)
+          (Ops.response_to_string r.Router.response)
+          (Wire.name_of_source_code r.Router.source)
+          (if r.Router.degraded then " degraded" else ""))
+      op_reqs;
     (match metrics_out with
     | None -> ()
     | Some path ->
@@ -1575,7 +1682,7 @@ let serve_router_cmd =
   in
   Cmd.v (Cmd.info "router" ~doc)
     Term.(
-      const run $ graph_file_arg $ labels_file_opt_arg $ queries_file
+      const run $ graph_file_arg $ labels_file_opt_arg $ queries_file $ ops
       $ shards_arg ~default:2 $ partition_arg $ chaos $ batch $ deadline_ms
       $ max_restarts $ backoff_ms $ worker_exe $ echo $ spot_check
       $ clock_step_arg $ mmap_arg $ metrics_out_arg $ seed_arg)

@@ -75,9 +75,6 @@ let of_string_res s =
     | exception Invalid_argument msg -> fail 0 msg
   with Parse e -> Error e
 
-let of_string s =
-  match of_string_res s with Ok g -> g | Error e -> invalid_arg e.msg
-
 let wgraph_to_string g =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "%d %d\n" (Wgraph.n g) (Wgraph.m g));
@@ -108,9 +105,6 @@ let wgraph_of_string_res s =
     | g -> Ok g
     | exception Invalid_argument msg -> fail 0 msg
   with Parse e -> Error e
-
-let wgraph_of_string s =
-  match wgraph_of_string_res s with Ok g -> g | Error e -> invalid_arg e.msg
 
 let to_dot ?(name = "g") g =
   let buf = Buffer.create 1024 in

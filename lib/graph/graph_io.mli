@@ -4,12 +4,11 @@
     ["u v"] (or ["u v w"] in the weighted variant), 0-indexed. Blank
     lines and [#]-comments are ignored.
 
-    The [_res] parsers are the canonical, Result-first entry points:
+    The [_res] parsers are the canonical (and only) entry points:
     they reject out-of-range endpoints, self loops, duplicate edges
-    and negative weights, and report the offending input line. New
-    code should match on the [result]; the raising
-    [of_string]/[wgraph_of_string] wrappers are deprecated thin shims
-    kept for old call sites and throwaway scripts. *)
+    and negative weights, and report the offending input line. The
+    raising [of_string]/[wgraph_of_string] shims of early revisions
+    are gone — match on the [result]. *)
 
 type parse_error = { line : int; msg : string }
 (** [line] is 1-based in the raw input (blank and comment lines
@@ -24,22 +23,10 @@ val of_string_res : string -> (Graph.t, parse_error) result
 (** Validated parse: every endpoint must lie in [0 .. n-1], edges must
     be simple and distinct, and the edge count must match the header. *)
 
-val of_string : string -> Graph.t
-  [@@ocaml.deprecated "use of_string_res and match on the result"]
-(** Raising shim over {!of_string_res}.
-    @raise Invalid_argument on malformed input.
-    @deprecated Use {!of_string_res}. *)
-
 val wgraph_to_string : Wgraph.t -> string
 
 val wgraph_of_string_res : string -> (Wgraph.t, parse_error) result
 (** As {!of_string_res}, additionally rejecting negative weights. *)
-
-val wgraph_of_string : string -> Wgraph.t
-  [@@ocaml.deprecated "use wgraph_of_string_res and match on the result"]
-(** Raising shim over {!wgraph_of_string_res}.
-    @raise Invalid_argument on malformed input.
-    @deprecated Use {!wgraph_of_string_res}. *)
 
 val to_dot : ?name:string -> Graph.t -> string
 (** Graphviz rendering, for small illustrative instances. *)

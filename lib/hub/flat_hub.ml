@@ -223,3 +223,20 @@ let backend t =
   in
   Repro_obs.Backend.make ~name:backend_name ~space_words:(space_words t)
     ~detailed (query t)
+
+let ops ?pool t =
+  let module Base = (val backend t : Repro_obs.Backend.S) in
+  let q = query t and h = hubs t and nn = t.n in
+  let idx = lazy (Hub_index.build ~n:nn ~hubs:h) in
+  let module B = struct
+    include Base
+
+    let op req =
+      match req with
+      | Repro_obs.Ops.Dist _ | Repro_obs.Ops.Batch _ ->
+          (* point queries use the two-pointer merge directly and never
+             force the inverted index *)
+          Repro_obs.Ops.brute ~n:nn ~query:q req
+      | _ -> Hub_index.eval ?pool (Lazy.force idx) ~hubs:h ~query:q req
+  end in
+  (module B : Repro_obs.Backend.S_ops)

@@ -102,3 +102,12 @@ val backend : t -> Repro_obs.Backend.t
     [entries_scanned] and, on a cached store, whether the distance
     cache hit ([entries_scanned = 0] on a hit — the packed arrays were
     never touched). *)
+
+val ops : ?pool:Repro_par.Pool.t -> t -> Repro_obs.Backend.ops
+(** The store as an ops backend: [Dist] / [Batch] go through the
+    two-pointer point query; every aggregate request runs over a
+    shared {!Hub_index} built lazily on first aggregate use and
+    reused for the backend's lifetime. [Many_to_many] and
+    [Diameter_radius] fan out across [pool] (default
+    {!Repro_par.Pool.default}); answers are byte-identical for any
+    job count. *)

@@ -1,0 +1,115 @@
+open Repro_graph
+module Ops = Repro_obs.Ops
+
+type t = {
+  n : int;
+  offsets : int array; (* length n + 1; hub h's entries at offsets.(h) .. *)
+  verts : int array; (* entry vertex, ascending within a hub *)
+  dists : int array; (* distance from the entry vertex to the hub *)
+}
+
+let build ~n ~hubs =
+  Repro_obs.Span.run ~name:"hub-index.build" (fun () ->
+      if n < 0 then invalid_arg "Hub_index.build: negative n";
+      let offsets = Array.make (n + 1) 0 in
+      let check_hub h =
+        if h < 0 || h >= n then invalid_arg "Hub_index.build: hub out of range"
+      in
+      for v = 0 to n - 1 do
+        Array.iter
+          (fun (h, _) ->
+            check_hub h;
+            offsets.(h + 1) <- offsets.(h + 1) + 1)
+          (hubs v)
+      done;
+      for h = 1 to n do
+        offsets.(h) <- offsets.(h) + offsets.(h - 1)
+      done;
+      let total = offsets.(n) in
+      let next = Array.sub offsets 0 (max 1 n) in
+      let verts = Array.make total 0 and dists = Array.make total 0 in
+      (* vertices are visited in ascending order, so each hub's run is
+         filled ascending — the deterministic scan order of [row] *)
+      for v = 0 to n - 1 do
+        Array.iter
+          (fun (h, d) ->
+            let e = next.(h) in
+            verts.(e) <- v;
+            dists.(e) <- d;
+            next.(h) <- e + 1)
+          (hubs v)
+      done;
+      Repro_obs.Span.count "entries" total;
+      { n; offsets; verts; dists })
+
+let n t = t.n
+let total_size t = t.offsets.(t.n)
+
+let space_words t =
+  Array.length t.offsets + Array.length t.verts + Array.length t.dists
+
+let row t s_hubs =
+  let out = Array.make t.n Dist.inf in
+  Array.iter
+    (fun (h, d_sh) ->
+      if h < 0 || h >= t.n then invalid_arg "Hub_index.row: hub out of range";
+      for e = t.offsets.(h) to t.offsets.(h + 1) - 1 do
+        let w = Array.unsafe_get t.verts e in
+        let d = Dist.add d_sh (Array.unsafe_get t.dists e) in
+        if d < Array.unsafe_get out w then Array.unsafe_set out w d
+      done)
+    s_hubs;
+  out
+
+(* Independent per-index work fanned out across the pool; writes are
+   per-index only, so results are byte-identical for any job count. *)
+let fan pool ~m f =
+  Repro_par.Pool.parallel_for pool ~n:m (fun ~slot:_ lo hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)
+
+let eval ?pool t ~hubs ~query req =
+  (match Ops.validate ~n:t.n req with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Hub_index.eval: " ^ msg));
+  let pool_of () =
+    match pool with Some p -> p | None -> Repro_par.Pool.default ()
+  in
+  let ecc_of v =
+    match Ops.farthest_of (Ops.row_pairs (row t (hubs v))) with
+    | Some (_, d) -> d
+    | None -> 0
+  in
+  match req with
+  | Ops.Dist { u; v } -> Ops.R_dist (query u v)
+  | Ops.Batch pairs -> Ops.R_dists (Array.map (fun (u, v) -> query u v) pairs)
+  | Ops.One_to_many { source; targets } ->
+      let r = row t (hubs source) in
+      Ops.R_dists (Array.map (fun w -> r.(w)) targets)
+  | Ops.Many_to_many { sources; targets } ->
+      let out = Array.make (Array.length sources) [||] in
+      fan (pool_of ()) ~m:(Array.length sources) (fun i ->
+          let r = row t (hubs sources.(i)) in
+          out.(i) <- Array.map (fun w -> r.(w)) targets);
+      Ops.R_matrix out
+  | Ops.Top_k_nearest { source; k } ->
+      Ops.R_nearest (Ops.k_nearest ~k (Ops.row_pairs (row t (hubs source))))
+  | Ops.Eccentricity v -> Ops.R_ecc (ecc_of v)
+  | Ops.Farthest v -> (
+      match Ops.farthest_of (Ops.row_pairs (row t (hubs v))) with
+      | Some (vertex, dist) -> Ops.R_farthest { vertex; dist }
+      | None -> Ops.R_farthest { vertex = v; dist = 0 })
+  | Ops.Diameter_radius ->
+      if t.n = 0 then Ops.R_diam_rad { diameter = 0; radius = 0 }
+      else begin
+        let ecc = Array.make t.n 0 in
+        fan (pool_of ()) ~m:t.n (fun v -> ecc.(v) <- ecc_of v);
+        let dia = ref 0 and rad = ref max_int in
+        Array.iter
+          (fun e ->
+            if e > !dia then dia := e;
+            if e < !rad then rad := e)
+          ecc;
+        Ops.R_diam_rad { diameter = !dia; radius = !rad }
+      end

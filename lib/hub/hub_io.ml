@@ -92,9 +92,6 @@ let of_string_res s =
         ("msg", Repro_obs.Events.Str e.msg) ];
     Error e)
 
-let of_string s =
-  match of_string_res s with Ok l -> l | Error e -> invalid_arg e.msg
-
 (* ---------------------------------------------------------------- *)
 (* Binary serialisation of the packed flat form.
 
@@ -171,5 +168,3 @@ let flat_of_bytes_res s =
         ("msg", Repro_obs.Events.Str e.msg) ];
     Error e)
 
-let flat_of_bytes s =
-  match flat_of_bytes_res s with Ok f -> f | Error e -> invalid_arg e.msg

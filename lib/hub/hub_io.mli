@@ -4,12 +4,11 @@
     ["v k h1 d1 h2 d2 ..."]. Lossless. Blank lines and [#]-comments
     are ignored.
 
-    {!of_string_res} is the canonical, Result-first entry point: it
+    {!of_string_res} is the canonical (and only) entry point: it
     rejects out-of-range vertex/hub ids, negative distances, duplicate
     vertex lines, and count mismatches against the header, reporting
-    the offending input line. The raising {!of_string} /
-    {!flat_of_bytes} wrappers are deprecated thin shims kept for old
-    call sites. *)
+    the offending input line. The raising shims of early revisions are
+    gone — match on the [result]. *)
 
 type parse_error = Repro_graph.Graph_io.parse_error = {
   line : int;
@@ -19,12 +18,6 @@ type parse_error = Repro_graph.Graph_io.parse_error = {
 val to_string : Hub_label.t -> string
 
 val of_string_res : string -> (Hub_label.t, parse_error) result
-
-val of_string : string -> Hub_label.t
-  [@@ocaml.deprecated "use of_string_res and match on the result"]
-(** Raising shim over {!of_string_res}.
-    @raise Invalid_argument on malformed input.
-    @deprecated Use {!of_string_res}. *)
 
 (** {1 Binary packed form}
 
@@ -49,9 +42,3 @@ val flat_of_bytes_res : string -> (Flat_hub.t, parse_error) result
     mismatches and every CSR violation {!Flat_hub.of_raw} rejects. For
     this binary format the [line] field carries the byte offset of the
     offending word. *)
-
-val flat_of_bytes : string -> Flat_hub.t
-  [@@ocaml.deprecated "use flat_of_bytes_res and match on the result"]
-(** Raising shim over {!flat_of_bytes_res}.
-    @raise Invalid_argument on malformed input.
-    @deprecated Use {!flat_of_bytes_res}. *)

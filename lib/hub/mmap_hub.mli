@@ -126,3 +126,10 @@ val backend : t -> Repro_obs.Backend.t
     ["mmap-hub-labeling"]). Traces mirror {!Flat_hub.backend}:
     [entries_scanned = |S(u)| + |S(v)|], cache hit/miss flags on a
     cached store with [entries_scanned = 0] on a hit. *)
+
+val ops : ?pool:Repro_par.Pool.t -> t -> Repro_obs.Backend.ops
+(** The store as an ops backend, mirroring {!Flat_hub.ops}: [Dist] /
+    [Batch] stay on the mapped words; aggregates run over a lazily
+    built shared {!Hub_index} (which lives on the heap — the one
+    departure from the zero-copy budget, paid only when an aggregate
+    is first asked for). Byte-identical answers for any job count. *)

@@ -27,3 +27,35 @@ let make ~name ~space_words ?detailed q =
             (d, Trace.make ~source:name ~u ~v ~dist:d ())
   end in
   (module B : S)
+
+module type S_ops = sig
+  include S
+
+  val op : Ops.request -> Ops.response
+end
+
+type ops = (module S_ops)
+
+let ops_name (module B : S_ops) = B.name
+let ops_space_words (module B : S_ops) = B.space_words
+let op (module B : S_ops) = B.op
+let base (module B : S_ops) = (module B : S)
+
+let make_ops ~name ~space_words ?detailed ~op q =
+  let module Base = (val make ~name ~space_words ?detailed q : S)
+  in
+  let module B = struct
+    include Base
+
+    let op = op
+  end in
+  (module B : S_ops)
+
+let lift ~n backend =
+  let module Base = (val backend : S) in
+  let module B = struct
+    include Base
+
+    let op = Ops.brute ~n ~query:Base.query
+  end in
+  (module B : S_ops)

@@ -44,3 +44,46 @@ val make :
 (** Pack a query function as a backend. Without [detailed],
     [query_detailed] wraps the plain query in a minimal trace
     ([source = name], nothing else filled in). *)
+
+(** {2 The ops surface}
+
+    The widened signature: a backend that additionally evaluates the
+    whole {!Ops.request} algebra (eccentricity, top-k, one-to-many,
+    ...). Fast stores implement [op] natively over an inverted hub
+    index ({!Repro_hub.Flat_hub.ops}, {!Repro_hub.Mmap_hub.ops});
+    any plain {!S} joins the surface through {!lift}, which answers
+    aggregates by brute-force point queries — slower, never wrong, so
+    every backend serves every operation. *)
+
+module type S_ops = sig
+  include S
+
+  val op : Ops.request -> Ops.response
+  (** Evaluate one request. Implementations may assume the request is
+      valid for this backend's vertex universe ({!Ops.validate});
+      serving layers validate before dispatch and out-of-range
+      requests raise [Invalid_argument]. *)
+end
+
+type ops = (module S_ops)
+
+val ops_name : ops -> string
+val ops_space_words : ops -> int
+val op : ops -> Ops.request -> Ops.response
+
+val base : ops -> t
+(** Forget the ops surface — the same backend as a plain {!S}. *)
+
+val make_ops :
+  name:string ->
+  space_words:int ->
+  ?detailed:(int -> int -> int * Trace.t) ->
+  op:(Ops.request -> Ops.response) ->
+  (int -> int -> int) ->
+  ops
+(** {!make} plus an [op] evaluator. *)
+
+val lift : n:int -> t -> ops
+(** Adapt a plain backend: [op] is {!Ops.brute} over its [query], so
+    aggregate requests cost up to [n] (diameter: [n^2]) point
+    queries. [n] is the backend's vertex universe. *)

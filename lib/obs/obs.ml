@@ -33,3 +33,31 @@ let instrument ?(clock = Clock.monotonic) ?recorder ?prefix registry backend =
   in
   Backend.make ~name:B.name ~space_words:B.space_words ~detailed:timed
     (fun u v -> fst (timed u v))
+
+let instrument_op ?(clock = Clock.monotonic) ?(prefix = "ops") registry f req =
+  let base = prefix ^ "." ^ Ops.name req in
+  let h_latency = Metrics.histogram registry (base ^ ".latency_ns") in
+  let c_count = Metrics.counter registry (base ^ ".count") in
+  let c_errors = Metrics.counter registry (base ^ ".errors") in
+  let t0 = clock () in
+  let finish () =
+    Metrics.observe h_latency (Int64.to_int (Int64.sub (clock ()) t0));
+    Metrics.incr c_count
+  in
+  match f req with
+  | exception e ->
+      finish ();
+      Metrics.incr c_errors;
+      raise e
+  | res ->
+      finish ();
+      res
+
+let instrument_ops ?clock ?prefix registry backend =
+  let module B = (val backend : Backend.S_ops) in
+  let module I = struct
+    include B
+
+    let op req = instrument_op ?clock ?prefix registry B.op req
+  end in
+  (module I : Backend.S_ops)

@@ -34,3 +34,34 @@ val instrument :
   Backend.t
 (** [recorder], when given, additionally receives every trace record
     (ring-buffered; see {!Trace.recorder}). *)
+
+val instrument_op :
+  ?clock:Clock.t ->
+  ?prefix:string ->
+  Metrics.t ->
+  (Ops.request -> 'a) ->
+  Ops.request ->
+  'a
+(** Time and count one evaluation of an {!Ops.request} into
+
+    - counter [<p>.<op>.count] — evaluations;
+    - counter [<p>.<op>.errors] — evaluations that raised (re-raised
+      after being counted and timed);
+    - histogram [<p>.<op>.latency_ns] — per-evaluation latency;
+
+    where [<p>] is [prefix] (default ["ops"]) and [<op>] is
+    {!Ops.name} of the request ([ops.eccentricity.count],
+    [ops.top_k_nearest.latency_ns], ...). Polymorphic in the result so
+    richer evaluators (e.g. {!Repro_serve.Resilient_oracle.op}, which
+    also reports its serving stage) instrument identically. *)
+
+val instrument_ops :
+  ?clock:Clock.t ->
+  ?prefix:string ->
+  Metrics.t ->
+  Backend.ops ->
+  Backend.ops
+(** The same backend with every [op] evaluation routed through
+    {!instrument_op}. The point-query path ([query] /
+    [query_detailed]) is left untouched — compose with {!instrument}
+    for that. *)

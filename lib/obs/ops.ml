@@ -1,0 +1,243 @@
+open Repro_graph
+
+type request =
+  | Dist of { u : int; v : int }
+  | Batch of (int * int) array
+  | One_to_many of { source : int; targets : int array }
+  | Many_to_many of { sources : int array; targets : int array }
+  | Top_k_nearest of { source : int; k : int }
+  | Eccentricity of int
+  | Farthest of int
+  | Diameter_radius
+
+type response =
+  | R_dist of int
+  | R_dists of int array
+  | R_matrix of int array array
+  | R_nearest of (int * int) array
+  | R_ecc of int
+  | R_farthest of { vertex : int; dist : int }
+  | R_diam_rad of { diameter : int; radius : int }
+
+let name = function
+  | Dist _ -> "dist"
+  | Batch _ -> "batch"
+  | One_to_many _ -> "one_to_many"
+  | Many_to_many _ -> "many_to_many"
+  | Top_k_nearest _ -> "top_k_nearest"
+  | Eccentricity _ -> "eccentricity"
+  | Farthest _ -> "farthest"
+  | Diameter_radius -> "diameter_radius"
+
+let validate ~n req =
+  let vertex v =
+    if v < 0 || v >= n then
+      Error (Printf.sprintf "vertex %d out of range [0, %d)" v n)
+    else Ok ()
+  in
+  let vertices a =
+    Array.fold_left
+      (fun acc v -> match acc with Error _ -> acc | Ok () -> vertex v)
+      (Ok ()) a
+  in
+  match req with
+  | Dist { u; v } -> ( match vertex u with Ok () -> vertex v | e -> e)
+  | Batch pairs ->
+      Array.fold_left
+        (fun acc (u, v) ->
+          match acc with
+          | Error _ -> acc
+          | Ok () -> ( match vertex u with Ok () -> vertex v | e -> e))
+        (Ok ()) pairs
+  | One_to_many { source; targets } -> (
+      match vertex source with Ok () -> vertices targets | e -> e)
+  | Many_to_many { sources; targets } -> (
+      match vertices sources with Ok () -> vertices targets | e -> e)
+  | Top_k_nearest { source; k } -> (
+      if k < 0 then Error (Printf.sprintf "k must be non-negative, got %d" k)
+      else match vertex source with Ok () -> Ok () | e -> e)
+  | Eccentricity v | Farthest v -> vertex v
+  | Diameter_radius -> Ok ()
+
+(* ----- string forms -------------------------------------------------- *)
+
+let dist_str d = if Dist.is_finite d then string_of_int d else "inf"
+
+let ints_str a = String.concat "," (Array.to_list (Array.map string_of_int a))
+
+let request_to_string = function
+  | Dist { u; v } -> Printf.sprintf "dist:%d,%d" u v
+  | Batch pairs ->
+      "batch:"
+      ^ String.concat ";"
+          (Array.to_list
+             (Array.map (fun (u, v) -> Printf.sprintf "%d,%d" u v) pairs))
+  | One_to_many { source; targets } ->
+      Printf.sprintf "one-to-many:%d:%s" source (ints_str targets)
+  | Many_to_many { sources; targets } ->
+      Printf.sprintf "many-to-many:%s:%s" (ints_str sources) (ints_str targets)
+  | Top_k_nearest { source; k } -> Printf.sprintf "top-k:%d,%d" source k
+  | Eccentricity v -> Printf.sprintf "ecc:%d" v
+  | Farthest v -> Printf.sprintf "farthest:%d" v
+  | Diameter_radius -> "diam"
+
+let parse_int what s =
+  match int_of_string_opt (String.trim s) with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: bad integer %S" what s)
+
+let parse_ints what s =
+  if String.trim s = "" then Error (what ^ ": empty vertex list")
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | p :: rest -> (
+          match parse_int what p with
+          | Ok v -> go (v :: acc) rest
+          | Error _ as e -> e)
+    in
+    go [] parts
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let request_of_string s =
+  let op, rest =
+    match String.index_opt s ':' with
+    | None -> (s, "")
+    | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  match op with
+  | "dist" -> (
+      let* a = parse_ints "dist" rest in
+      match a with
+      | [| u; v |] -> Ok (Dist { u; v })
+      | _ -> Error "dist: expected exactly 'u,v'")
+  | "batch" ->
+      let groups = String.split_on_char ';' rest in
+      let rec go acc = function
+        | [] -> Ok (Batch (Array.of_list (List.rev acc)))
+        | g :: rest -> (
+            let* a = parse_ints "batch" g in
+            match a with
+            | [| u; v |] -> go ((u, v) :: acc) rest
+            | _ -> Error "batch: each pair must be 'u,v'")
+      in
+      go [] groups
+  | "one-to-many" -> (
+      match String.index_opt rest ':' with
+      | None -> Error "one-to-many: expected 's:t1,t2,...'"
+      | Some i ->
+          let* source = parse_int "one-to-many" (String.sub rest 0 i) in
+          let* targets =
+            parse_ints "one-to-many"
+              (String.sub rest (i + 1) (String.length rest - i - 1))
+          in
+          Ok (One_to_many { source; targets }))
+  | "many-to-many" -> (
+      match String.index_opt rest ':' with
+      | None -> Error "many-to-many: expected 's1,s2:t1,t2'"
+      | Some i ->
+          let* sources = parse_ints "many-to-many" (String.sub rest 0 i) in
+          let* targets =
+            parse_ints "many-to-many"
+              (String.sub rest (i + 1) (String.length rest - i - 1))
+          in
+          Ok (Many_to_many { sources; targets }))
+  | "top-k" -> (
+      let* a = parse_ints "top-k" rest in
+      match a with
+      | [| source; k |] -> Ok (Top_k_nearest { source; k })
+      | _ -> Error "top-k: expected 's,k'")
+  | "ecc" ->
+      let* v = parse_int "ecc" rest in
+      Ok (Eccentricity v)
+  | "farthest" ->
+      let* v = parse_int "farthest" rest in
+      Ok (Farthest v)
+  | "diam" ->
+      if rest = "" then Ok Diameter_radius
+      else Error "diam: takes no arguments"
+  | other -> Error (Printf.sprintf "unknown operation %S" other)
+
+let response_to_string = function
+  | R_dist d -> "dist " ^ dist_str d
+  | R_dists a ->
+      "dists " ^ String.concat "," (Array.to_list (Array.map dist_str a))
+  | R_matrix m ->
+      "matrix "
+      ^ String.concat ";"
+          (Array.to_list
+             (Array.map
+                (fun row ->
+                  String.concat "," (Array.to_list (Array.map dist_str row)))
+                m))
+  | R_nearest pairs ->
+      "nearest "
+      ^ String.concat ","
+          (Array.to_list
+             (Array.map
+                (fun (v, d) -> string_of_int v ^ ":" ^ dist_str d)
+                pairs))
+  | R_ecc d -> "ecc " ^ dist_str d
+  | R_farthest { vertex; dist } ->
+      Printf.sprintf "farthest %d:%s" vertex (dist_str dist)
+  | R_diam_rad { diameter; radius } ->
+      Printf.sprintf "diam %s rad %s" (dist_str diameter) (dist_str radius)
+
+let equal_response (a : response) (b : response) = a = b
+let pp_response ppf r = Format.pp_print_string ppf (response_to_string r)
+
+(* ----- shared reducers ---------------------------------------------- *)
+
+let by_dist_then_vertex (v1, d1) (v2, d2) =
+  if d1 <> d2 then compare d1 d2 else compare v1 v2
+
+let k_nearest ~k pairs =
+  if k < 0 then invalid_arg "Ops.k_nearest: k must be non-negative";
+  let sorted = Array.copy pairs in
+  Array.sort by_dist_then_vertex sorted;
+  if k >= Array.length sorted then sorted else Array.sub sorted 0 k
+
+let farthest_of pairs =
+  Array.fold_left
+    (fun acc (v, d) ->
+      match acc with
+      | None -> Some (v, d)
+      | Some (bv, bd) ->
+          if d > bd || (d = bd && v < bv) then Some (v, d) else acc)
+    None pairs
+
+let row_pairs row = Array.mapi (fun v d -> (v, d)) row
+
+(* ----- brute-force reference ----------------------------------------- *)
+
+let brute ~n ~query req =
+  let row s = Array.init n (fun v -> (v, query s v)) in
+  let ecc_of s =
+    match farthest_of (row s) with Some (_, d) -> d | None -> 0
+  in
+  match req with
+  | Dist { u; v } -> R_dist (query u v)
+  | Batch pairs -> R_dists (Array.map (fun (u, v) -> query u v) pairs)
+  | One_to_many { source; targets } ->
+      R_dists (Array.map (query source) targets)
+  | Many_to_many { sources; targets } ->
+      R_matrix (Array.map (fun s -> Array.map (query s) targets) sources)
+  | Top_k_nearest { source; k } -> R_nearest (k_nearest ~k (row source))
+  | Eccentricity v -> R_ecc (ecc_of v)
+  | Farthest v -> (
+      match farthest_of (row v) with
+      | Some (vertex, dist) -> R_farthest { vertex; dist }
+      | None -> R_farthest { vertex = v; dist = 0 })
+  | Diameter_radius ->
+      if n = 0 then R_diam_rad { diameter = 0; radius = 0 }
+      else begin
+        let dia = ref 0 and rad = ref max_int in
+        for v = 0 to n - 1 do
+          let e = ecc_of v in
+          if e > !dia then dia := e;
+          if e < !rad then rad := e
+        done;
+        R_diam_rad { diameter = !dia; radius = !rad }
+      end

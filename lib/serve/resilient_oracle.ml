@@ -3,6 +3,7 @@ open Repro_hub
 module Backend = Repro_obs.Backend
 module Metrics = Repro_obs.Metrics
 module Trace = Repro_obs.Trace
+module Ops = Repro_obs.Ops
 
 type source = Primary | Bidirectional | Bfs
 
@@ -57,6 +58,7 @@ let emitters_of registry =
 type t = {
   graph : Graph.t;
   primary : Backend.t option;
+  primary_ops : Backend.ops option;
   emit : emitters option;
   step_budget : int;
   spot_check_every : int;
@@ -78,14 +80,21 @@ type t = {
 let note t sel = match t.emit with Some e -> Metrics.incr (sel e) | None -> ()
 
 let make ?(step_budget = max_int) ?(spot_check_every = 1)
-    ?(quarantine_after = 3) ?metrics ~primary graph =
+    ?(quarantine_after = 3) ?metrics ?primary_ops ~primary graph =
   if step_budget <= 0 then
     invalid_arg "Resilient_oracle: step_budget must be positive";
   if quarantine_after <= 0 then
     invalid_arg "Resilient_oracle: quarantine_after must be positive";
+  let primary_ops =
+    match (primary_ops, primary) with
+    | (Some _ as o), _ -> o
+    | None, Some p -> Some (Backend.lift ~n:(Graph.n graph) p)
+    | None, None -> None
+  in
   {
     graph;
     primary;
+    primary_ops;
     emit = Option.map emitters_of metrics;
     step_budget;
     spot_check_every;
@@ -138,7 +147,7 @@ let mmap_primary ?step_budget store =
     step_budget
 
 let create ?step_budget ?spot_check_every ?quarantine_after ?metrics ?labels
-    ?primary g =
+    ?primary ?primary_ops g =
   let primary =
     match (primary, labels) with
     | Some _, Some _ ->
@@ -151,7 +160,8 @@ let create ?step_budget ?spot_check_every ?quarantine_after ?metrics ?labels
         Some (hub_primary ?step_budget l)
     | None, None -> None
   in
-  make ?step_budget ?spot_check_every ?quarantine_after ?metrics ~primary g
+  make ?step_budget ?spot_check_every ?quarantine_after ?metrics ?primary_ops
+    ~primary g
 
 let strike t =
   t.strikes <- t.strikes + 1;
@@ -322,6 +332,131 @@ let query_many_detailed ?pool t pairs =
 let query_many ?pool t pairs =
   Array.map fst (query_many_detailed ?pool t pairs)
 
+let fallback_hops = function Primary -> 0 | Bidirectional -> 1 | Bfs -> 2
+
+(* The aggregate-ops fallback: exact BFS rows reduced with the shared
+   Ops helpers, so its tie-breaking matches every fast path. Aggregates
+   skip the bidirectional stage — they need whole rows, which is
+   exactly what one BFS per source yields. *)
+let fallback_response t req =
+  let row s = Traversal.bfs t.graph s in
+  let pairs s = Ops.row_pairs (row s) in
+  let ecc_of s =
+    match Ops.farthest_of (pairs s) with Some (_, d) -> d | None -> 0
+  in
+  match req with
+  | Ops.Dist { u; v } -> Ops.R_dist (row u).(v)
+  | Ops.Batch ps ->
+      Ops.R_dists (Array.map (fun (u, v) -> (row u).(v)) ps)
+  | Ops.One_to_many { source; targets } ->
+      let r = row source in
+      Ops.R_dists (Array.map (fun w -> r.(w)) targets)
+  | Ops.Many_to_many { sources; targets } ->
+      Ops.R_matrix
+        (Array.map
+           (fun s ->
+             let r = row s in
+             Array.map (fun w -> r.(w)) targets)
+           sources)
+  | Ops.Top_k_nearest { source; k } ->
+      Ops.R_nearest (Ops.k_nearest ~k (pairs source))
+  | Ops.Eccentricity v -> Ops.R_ecc (ecc_of v)
+  | Ops.Farthest v -> (
+      match Ops.farthest_of (pairs v) with
+      | Some (vertex, dist) -> Ops.R_farthest { vertex; dist }
+      | None -> Ops.R_farthest { vertex = v; dist = 0 })
+  | Ops.Diameter_radius ->
+      let n = Graph.n t.graph in
+      if n = 0 then Ops.R_diam_rad { diameter = 0; radius = 0 }
+      else begin
+        let dia = ref 0 and rad = ref max_int in
+        for v = 0 to n - 1 do
+          let e = ecc_of v in
+          if e > !dia then dia := e;
+          if e < !rad then rad := e
+        done;
+        Ops.R_diam_rad { diameter = !dia; radius = !rad }
+      end
+
+let serve_fallback_op t req =
+  let resp = fallback_response t req in
+  t.fallback_answers <- t.fallback_answers + 1;
+  note t (fun e -> e.e_fallback_answers);
+  (resp, Bfs)
+
+let op t req =
+  (match Ops.validate ~n:(Graph.n t.graph) req with
+  | Ok () -> ()
+  | Error msg ->
+      t.validation_failures <- t.validation_failures + 1;
+      note t (fun e -> e.e_validation_failures);
+      invalid_arg ("Resilient_oracle.op: " ^ msg));
+  match req with
+  | Ops.Dist { u; v } ->
+      let d, src = query_detailed t u v in
+      (Ops.R_dist d, src)
+  | Ops.Batch pairs ->
+      (* point queries keep their per-pair accounting (budgets, spot
+         checks, strikes); the reported source is the deepest stage
+         any pair degraded to *)
+      let src = ref Primary in
+      let ds =
+        Array.map
+          (fun (u, v) ->
+            let d, s = query_detailed t u v in
+            if fallback_hops s > fallback_hops !src then src := s;
+            d)
+          pairs
+      in
+      (Ops.R_dists ds, !src)
+  | _ -> (
+      (* an aggregate counts as one accepted query; degradation is
+         all-or-nothing per request *)
+      t.queries <- t.queries + 1;
+      note t (fun e -> e.e_queries);
+      match t.primary_ops with
+      | Some o when not t.is_quarantined -> (
+          t.primary_attempts <- t.primary_attempts + 1;
+          match Backend.op o req with
+          | exception Over_budget ->
+              t.budget_exhausted <- t.budget_exhausted + 1;
+              note t (fun e -> e.e_budget_exhausted);
+              serve_fallback_op t req
+          | exception _ ->
+              t.faults <- t.faults + 1;
+              note t (fun e -> e.e_faults);
+              strike t;
+              serve_fallback_op t req
+          | resp ->
+              let checked =
+                t.spot_check_every > 0
+                && t.primary_attempts mod t.spot_check_every = 0
+              in
+              if not checked then begin
+                t.primary_answers <- t.primary_answers + 1;
+                note t (fun e -> e.e_primary_answers);
+                (resp, Primary)
+              end
+              else begin
+                t.spot_checks <- t.spot_checks + 1;
+                note t (fun e -> e.e_spot_checks);
+                let truth = fallback_response t req in
+                if Ops.equal_response truth resp then begin
+                  t.primary_answers <- t.primary_answers + 1;
+                  note t (fun e -> e.e_primary_answers);
+                  (resp, Primary)
+                end
+                else begin
+                  t.disagreements <- t.disagreements + 1;
+                  note t (fun e -> e.e_disagreements);
+                  strike t;
+                  t.fallback_answers <- t.fallback_answers + 1;
+                  note t (fun e -> e.e_fallback_answers);
+                  (truth, Bfs)
+                end
+              end)
+      | _ -> serve_fallback_op t req)
+
 let stats t =
   {
     queries = t.queries;
@@ -337,8 +472,6 @@ let stats t =
 
 let quarantined t = t.is_quarantined
 let primary_name t = Option.map Backend.name t.primary
-
-let fallback_hops = function Primary -> 0 | Bidirectional -> 1 | Bfs -> 2
 
 let backend t =
   let name =

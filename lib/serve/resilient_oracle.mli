@@ -60,6 +60,7 @@ val create :
   ?metrics:Repro_obs.Metrics.t ->
   ?labels:Hub_label.t ->
   ?primary:Repro_obs.Backend.t ->
+  ?primary_ops:Repro_obs.Backend.ops ->
   Graph.t ->
   t
 (** [create g] builds a resilient oracle over [g]. The single unified
@@ -68,6 +69,13 @@ val create :
     a search-only oracle. [labels] is the legacy spelling of
     [~primary:(hub_primary ?step_budget labels)] kept so existing
     callers compile unchanged — pass one of the two, not both.
+
+    [primary_ops] is the fast evaluator behind {!op} (typically
+    {!Repro_hub.Flat_hub.ops} / {!Repro_hub.Mmap_hub.ops} over the
+    same store as [primary]). When omitted, aggregate requests run
+    through {!Repro_obs.Backend.lift} over [primary] — point queries
+    only, budget caps included — or straight through the fallback
+    chain when there is no primary at all.
 
     [spot_check_every k]: every [k]-th successful primary answer is
     re-derived through the fallback chain; [k = 1] (default) verifies
@@ -123,6 +131,25 @@ val query_many : ?pool:Repro_par.Pool.t -> t -> (int * int) array -> int array
 val query_many_detailed :
   ?pool:Repro_par.Pool.t -> t -> (int * int) array -> (int * source) array
 (** {!query_many}, also reporting each answer's serving stage. *)
+
+val op : t -> Repro_obs.Ops.request -> Repro_obs.Ops.response * source
+(** Evaluate any {!Repro_obs.Ops.request} with the same resilience
+    contract as point queries. [Dist] routes through {!query_detailed}
+    and [Batch] through a sequential per-pair loop (each pair keeps
+    its own budget/spot-check accounting; the reported source is the
+    deepest stage any pair degraded to). Every other request counts as
+    {e one} accepted query and degrades all-or-nothing: the primary
+    ops evaluator is tried first ({!Over_budget} → clean skip, any
+    other exception → fault + strike), its successful answers are
+    spot-checked every [spot_check_every]-th primary attempt against
+    the BFS fallback via full-response comparison (disagreement →
+    strike + serve the truth), and quarantine removes it from rotation
+    exactly as for points. The fallback evaluates aggregates with one
+    exact BFS row per source ([source = Bfs]; the bidirectional stage
+    only applies to point queries), so on the unweighted serving
+    graphs every degraded answer is still exact.
+    @raise Invalid_argument on an invalid request (counted in
+    [validation_failures]). *)
 
 val stats : t -> stats
 val quarantined : t -> bool

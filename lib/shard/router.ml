@@ -124,7 +124,11 @@ let response_id = function
   | Wire.Answer { id; _ }
   | Wire.Pong { id }
   | Wire.Stats_payload { id; _ }
-  | Wire.Error_frame { id; _ } ->
+  | Wire.Error_frame { id; _ }
+  | Wire.Row_payload { id; _ }
+  | Wire.Ecc_payload { id; _ }
+  | Wire.Topk_payload { id; _ }
+  | Wire.Diam_payload { id; _ } ->
       id
 
 (* Wait for the response with this [id]; responses to other requests
@@ -377,7 +381,7 @@ let fallback_answer t u v =
 let answer_of_response resp =
   match resp with
   | Wire.Answer { dist; source; degraded; _ } -> Some { dist; source; degraded }
-  | Wire.Pong _ | Wire.Stats_payload _ | Wire.Error_frame _ -> None
+  | _ -> None
 
 (* One batch window on one shard: send every request, then collect in
    order. A soft failure burns one bounded retry for its item; once the
@@ -511,6 +515,263 @@ let query_batch t pairs =
   out
 
 let query t u v = (query_batch t [| (u, v) |]).(0)
+
+(* ----- aggregate operations ------------------------------------------ *)
+
+type op_result = { response : Obs.Ops.response; source : int; degraded : bool }
+
+(* One aggregate request to one shard, with the same failure taxonomy
+   as run_window: one bounded retry on a soft failure, supervisor
+   verdicts applied, crash on transport death. [extract] both matches
+   the expected payload kind and rejects malformed ones (a mismatch is
+   a soft failure). [None] means the caller must serve this shard's
+   share locally. *)
+let shard_call t shard ~extract make_req =
+  match t.conns.(shard) with
+  | None -> None
+  | Some conn ->
+      let rec attempt ~retried =
+        let id = fresh_id t in
+        match send_frame conn (Wire.encode_request (make_req id)) with
+        | Error _ ->
+            crash t shard;
+            None
+        | Ok () -> (
+            let until = Unix.gettimeofday () +. deadline_s t in
+            match recv_matching conn ~id ~until with
+            | Ok resp -> (
+                match extract resp with
+                | Some x ->
+                    Supervisor.on_success t.sup shard;
+                    Some x
+                | None -> (
+                    Obs.Metrics.incr t.ctr.m_bad_frames;
+                    match Supervisor.on_soft_failure t.sup shard with
+                    | Supervisor.Keep -> None
+                    | v ->
+                        apply_verdict t shard v;
+                        None))
+            | Error e when is_soft e -> (
+                (match e with
+                | Timeout -> Obs.Metrics.incr t.ctr.m_timeouts
+                | Wire_err _ -> Obs.Metrics.incr t.ctr.m_bad_frames);
+                match Supervisor.on_soft_failure t.sup shard with
+                | Supervisor.Keep when not retried ->
+                    Obs.Metrics.incr t.ctr.m_retries;
+                    attempt ~retried:true
+                | Supervisor.Keep -> None
+                | v ->
+                    apply_verdict t shard v;
+                    None)
+            | Error _ ->
+                crash t shard;
+                None)
+      in
+      attempt ~retried:false
+
+let owned_by_shard t =
+  let n = Graph.n t.cfg.graph in
+  let buckets = Array.make t.cfg.shards [] in
+  for v = n - 1 downto 0 do
+    let s = Partition.owner t.cfg.partition ~shards:t.cfg.shards ~n v in
+    buckets.(s) <- v :: buckets.(s)
+  done;
+  Array.map Array.of_list buckets
+
+(* Local fallback for one shard's share of an aggregate: the search-only
+   oracle answers the same restricted request exactly. *)
+let fb_row t ~source ~targets =
+  Obs.Metrics.incr t.ctr.m_degraded;
+  match
+    Resilient_oracle.op (Lazy.force t.fallback)
+      (Obs.Ops.One_to_many { source; targets })
+  with
+  | Obs.Ops.R_dists ds, _ -> ds
+  | _ -> assert false (* One_to_many always yields R_dists *)
+
+let fb_ecc t w =
+  Obs.Metrics.incr t.ctr.m_degraded;
+  match Resilient_oracle.op (Lazy.force t.fallback) (Obs.Ops.Eccentricity w) with
+  | Obs.Ops.R_ecc e, _ -> e
+  | _ -> assert false (* Eccentricity always yields R_ecc *)
+
+type merge_acc = { mutable code : int; mutable dg : bool }
+
+let bump acc ~code ~degraded =
+  if code > acc.code then acc.code <- code;
+  if degraded then acc.dg <- true
+
+let degrade acc =
+  bump acc ~code:Wire.source_router ~degraded:true
+
+(* Distances from [source] to every target, each target served by its
+   owning shard (slice rows are exact at owned entries). *)
+let row_op t acc ~source ~targets =
+  let n = Graph.n t.cfg.graph in
+  let out = Array.make (Array.length targets) 0 in
+  let per_shard = Array.make t.cfg.shards [] in
+  Array.iteri
+    (fun i w ->
+      let s = Partition.owner t.cfg.partition ~shards:t.cfg.shards ~n w in
+      per_shard.(s) <- i :: per_shard.(s))
+    targets;
+  for s = 0 to t.cfg.shards - 1 do
+    let idxs = Array.of_list (List.rev per_shard.(s)) in
+    if Array.length idxs > 0 then begin
+      let ts = Array.map (fun i -> targets.(i)) idxs in
+      let result =
+        shard_call t s
+          ~extract:(function
+            | Wire.Row_payload { dists; source; degraded; _ }
+              when Array.length dists = Array.length ts ->
+                Some (dists, source, degraded)
+            | _ -> None)
+          (fun id -> Wire.Op_row { id; source; targets = ts })
+      in
+      match result with
+      | Some (dists, code, degraded) ->
+          Array.iteri (fun j i -> out.(i) <- dists.(j)) idxs;
+          bump acc ~code ~degraded
+      | None ->
+          let ds = fb_row t ~source ~targets:ts in
+          Array.iteri (fun j i -> out.(i) <- ds.(j)) idxs;
+          degrade acc
+    end
+  done;
+  out
+
+(* The farthest owned (vertex, dist) witness of [v] per shard; the
+   global farthest is then farthest_of over the per-shard witnesses
+   (each already the smallest-id in its shard, so the shared reducer
+   reconstructs the global tie-break). *)
+let ecc_candidates t acc v =
+  let owned = owned_by_shard t in
+  let cands = ref [] in
+  for s = t.cfg.shards - 1 downto 0 do
+    let ow = owned.(s) in
+    if Array.length ow > 0 then begin
+      let result =
+        shard_call t s
+          ~extract:(function
+            | Wire.Ecc_payload { vertex; dist; source; degraded; _ }
+              when vertex >= 0 ->
+                Some (vertex, dist, source, degraded)
+            | _ -> None)
+          (fun id -> Wire.Op_ecc { id; v })
+      in
+      match result with
+      | Some (vertex, dist, code, degraded) ->
+          cands := (vertex, dist) :: !cands;
+          bump acc ~code ~degraded
+      | None ->
+          let ds = fb_row t ~source:v ~targets:ow in
+          (match Obs.Ops.farthest_of (Array.mapi (fun i d -> (ow.(i), d)) ds)
+           with
+          | Some c -> cands := c :: !cands
+          | None -> ());
+          degrade acc
+    end
+  done;
+  Array.of_list !cands
+
+let op_uninstrumented t req =
+  let acc = { code = Wire.source_primary; dg = false } in
+  let finish response = { response; source = acc.code; degraded = acc.dg } in
+  match req with
+  | Obs.Ops.Dist { u; v } ->
+      let (a : answer) = (query_batch t [| (u, v) |]).(0) in
+      { response = Obs.Ops.R_dist a.dist; source = a.source;
+        degraded = a.degraded }
+  | Obs.Ops.Batch pairs ->
+      let answers = query_batch t pairs in
+      Array.iter
+        (fun (a : answer) -> bump acc ~code:a.source ~degraded:a.degraded)
+        answers;
+      finish (Obs.Ops.R_dists (Array.map (fun (a : answer) -> a.dist) answers))
+  | Obs.Ops.One_to_many { source; targets } ->
+      finish (Obs.Ops.R_dists (row_op t acc ~source ~targets))
+  | Obs.Ops.Many_to_many { sources; targets } ->
+      finish
+        (Obs.Ops.R_matrix
+           (Array.map (fun source -> row_op t acc ~source ~targets) sources))
+  | Obs.Ops.Top_k_nearest { source; k } ->
+      let owned = owned_by_shard t in
+      let cands = ref [] in
+      for s = t.cfg.shards - 1 downto 0 do
+        let ow = owned.(s) in
+        if Array.length ow > 0 then begin
+          let result =
+            shard_call t s
+              ~extract:(function
+                | Wire.Topk_payload { pairs; source; degraded; _ } ->
+                    Some (pairs, source, degraded)
+                | _ -> None)
+              (fun id -> Wire.Op_topk { id; source; k })
+          in
+          match result with
+          | Some (pairs, code, degraded) ->
+              cands := pairs :: !cands;
+              bump acc ~code ~degraded
+          | None ->
+              let ds = fb_row t ~source ~targets:ow in
+              cands := Array.mapi (fun i d -> (ow.(i), d)) ds :: !cands;
+              degrade acc
+        end
+      done;
+      (* the global k smallest live in the union of per-shard k
+         smallest *)
+      finish (Obs.Ops.R_nearest (Obs.Ops.k_nearest ~k (Array.concat !cands)))
+  | Obs.Ops.Eccentricity v -> (
+      match Obs.Ops.farthest_of (ecc_candidates t acc v) with
+      | Some (_, d) -> finish (Obs.Ops.R_ecc d)
+      | None -> finish (Obs.Ops.R_ecc 0))
+  | Obs.Ops.Farthest v -> (
+      match Obs.Ops.farthest_of (ecc_candidates t acc v) with
+      | Some (vertex, dist) -> finish (Obs.Ops.R_farthest { vertex; dist })
+      | None -> finish (Obs.Ops.R_farthest { vertex = v; dist = 0 }))
+  | Obs.Ops.Diameter_radius ->
+      let owned = owned_by_shard t in
+      let dia = ref 0 and rad = ref max_int and saw = ref false in
+      for s = 0 to t.cfg.shards - 1 do
+        let ow = owned.(s) in
+        if Array.length ow > 0 then begin
+          saw := true;
+          let result =
+            shard_call t s
+              ~extract:(function
+                | Wire.Diam_payload
+                    { diameter; radius; vertices; source; degraded; _ }
+                  when vertices > 0 ->
+                    Some (diameter, radius, source, degraded)
+                | _ -> None)
+              (fun id -> Wire.Op_diam { id })
+          in
+          match result with
+          | Some (d, r, code, degraded) ->
+              if d > !dia then dia := d;
+              if r < !rad then rad := r;
+              bump acc ~code ~degraded
+          | None ->
+              Array.iter
+                (fun w ->
+                  let e = fb_ecc t w in
+                  if e > !dia then dia := e;
+                  if e < !rad then rad := e)
+                ow;
+              degrade acc
+        end
+      done;
+      if not !saw then finish (Obs.Ops.R_diam_rad { diameter = 0; radius = 0 })
+      else finish (Obs.Ops.R_diam_rad { diameter = !dia; radius = !rad })
+
+let op t req =
+  if t.down then invalid_arg "Router.op: router is shut down";
+  (match Obs.Ops.validate ~n:(Graph.n t.cfg.graph) req with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Router.op: " ^ msg));
+  heal t;
+  Obs.Obs.instrument_op ~clock:t.clock ~prefix:"router.ops" t.reg
+    (op_uninstrumented t) req
 
 (* ----- introspection ------------------------------------------------- *)
 

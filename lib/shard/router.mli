@@ -93,6 +93,34 @@ val query_batch : t -> (int * int) array -> answer array
 (** Pipelined batch, one answer per pair, in order. Restarts are
     healed before the batch and never during it. *)
 
+type op_result = {
+  response : Repro_obs.Ops.response;
+  source : int;
+  degraded : bool;
+}
+(** [source] is the deepest {!Wire} source code that contributed to the
+    merged answer (codes are ordered primary < bidirectional < bfs <
+    router); [degraded] is set if {e any} contributing shard answered
+    off its primary path or the router's local fallback served a dead
+    shard's share. *)
+
+val op : t -> Repro_obs.Ops.request -> op_result
+(** Fan an {!Repro_obs.Ops} aggregate out to the owning shards and
+    merge: one-to-many rows are scattered by target owner ([Op_row]),
+    eccentricity/farthest take the per-shard farthest owned witness
+    ([Op_ecc]) and reduce with the shared max-dist-min-vertex
+    tie-break, top-k concatenates per-shard k-nearest candidate sets
+    ([Op_topk]) and re-reduces, and diameter/radius take max/min over
+    shard eccentricity extrema ([Op_diam]). [Dist]/[Batch] ride the
+    existing {!query_batch} path. Heals due restarts first; a shard
+    that fails mid-op (after one soft retry) has its share served
+    exactly by the router's local search-only oracle with
+    [source = source_router]. Responses are byte-identical to the
+    in-process backends for every partition and shard count.
+    Instrumented under [router.ops.<op>.*] in {!metrics}.
+    @raise Invalid_argument on a request that fails
+    {!Repro_obs.Ops.validate} or after {!shutdown}. *)
+
 val supervisor : t -> Supervisor.t
 val metrics : t -> Repro_obs.Metrics.t
 (** The router's own registry (no worker content). *)

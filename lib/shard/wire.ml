@@ -12,12 +12,38 @@ type request =
   | Ping of { id : int }
   | Stats of { id : int }
   | Shutdown
+  | Op_row of { id : int; source : int; targets : int array }
+  | Op_ecc of { id : int; v : int }
+  | Op_topk of { id : int; source : int; k : int }
+  | Op_diam of { id : int }
 
 type response =
   | Answer of { id : int; dist : int; source : int; degraded : bool }
   | Pong of { id : int }
   | Stats_payload of { id : int; data : string }
   | Error_frame of { id : int; code : int; msg : string }
+  | Row_payload of { id : int; dists : int array; source : int; degraded : bool }
+  | Ecc_payload of {
+      id : int;
+      vertex : int;
+      dist : int;
+      source : int;
+      degraded : bool;
+    }
+  | Topk_payload of {
+      id : int;
+      pairs : (int * int) array;
+      source : int;
+      degraded : bool;
+    }
+  | Diam_payload of {
+      id : int;
+      diameter : int;
+      radius : int;
+      vertices : int;
+      source : int;
+      degraded : bool;
+    }
 
 let source_primary = 0
 let source_bidirectional = 1
@@ -68,10 +94,18 @@ let op_query = 0x01
 let op_ping = 0x02
 let op_stats = 0x03
 let op_shutdown = 0x04
+let op_op_row = 0x05
+let op_op_ecc = 0x06
+let op_op_topk = 0x07
+let op_op_diam = 0x08
 let op_answer = 0x81
 let op_pong = 0x82
 let op_stats_payload = 0x83
 let op_error = 0x84
+let op_row_payload = 0x85
+let op_ecc_payload = 0x86
+let op_topk_payload = 0x87
+let op_diam_payload = 0x88
 
 (* ----- encoding ---------------------------------------------------- *)
 
@@ -99,6 +133,30 @@ let encode_request = function
           Bytes.set_uint8 b 4 op_stats;
           put_i64 b 5 id)
   | Shutdown -> frame 1 (fun b -> Bytes.set_uint8 b 4 op_shutdown)
+  | Op_row { id; source; targets } ->
+      let len = 17 + (8 * Array.length targets) in
+      if len > max_frame_len then
+        invalid_arg "Wire.encode_request: target list too large";
+      frame len (fun b ->
+          Bytes.set_uint8 b 4 op_op_row;
+          put_i64 b 5 id;
+          put_i64 b 13 source;
+          Array.iteri (fun i w -> put_i64 b (21 + (8 * i)) w) targets)
+  | Op_ecc { id; v } ->
+      frame 17 (fun b ->
+          Bytes.set_uint8 b 4 op_op_ecc;
+          put_i64 b 5 id;
+          put_i64 b 13 v)
+  | Op_topk { id; source; k } ->
+      frame 25 (fun b ->
+          Bytes.set_uint8 b 4 op_op_topk;
+          put_i64 b 5 id;
+          put_i64 b 13 source;
+          put_i64 b 21 k)
+  | Op_diam { id } ->
+      frame 9 (fun b ->
+          Bytes.set_uint8 b 4 op_op_diam;
+          put_i64 b 5 id)
 
 let encode_response = function
   | Answer { id; dist; source; degraded } ->
@@ -129,6 +187,47 @@ let encode_response = function
           put_i64 b 5 id;
           Bytes.set_uint8 b 13 (code land 0xff);
           Bytes.blit_string msg 0 b 14 (String.length msg))
+  | Row_payload { id; dists; source; degraded } ->
+      let len = 11 + (8 * Array.length dists) in
+      if len > max_frame_len then
+        invalid_arg "Wire.encode_response: distance row too large";
+      frame len (fun b ->
+          Bytes.set_uint8 b 4 op_row_payload;
+          put_i64 b 5 id;
+          Bytes.set_uint8 b 13 (source land 0xff);
+          Bytes.set_uint8 b 14 (if degraded then 1 else 0);
+          Array.iteri (fun i d -> put_i64 b (15 + (8 * i)) d) dists)
+  | Ecc_payload { id; vertex; dist; source; degraded } ->
+      frame 27 (fun b ->
+          Bytes.set_uint8 b 4 op_ecc_payload;
+          put_i64 b 5 id;
+          put_i64 b 13 vertex;
+          put_i64 b 21 dist;
+          Bytes.set_uint8 b 29 (source land 0xff);
+          Bytes.set_uint8 b 30 (if degraded then 1 else 0))
+  | Topk_payload { id; pairs; source; degraded } ->
+      let len = 11 + (16 * Array.length pairs) in
+      if len > max_frame_len then
+        invalid_arg "Wire.encode_response: top-k payload too large";
+      frame len (fun b ->
+          Bytes.set_uint8 b 4 op_topk_payload;
+          put_i64 b 5 id;
+          Bytes.set_uint8 b 13 (source land 0xff);
+          Bytes.set_uint8 b 14 (if degraded then 1 else 0);
+          Array.iteri
+            (fun i (v, d) ->
+              put_i64 b (15 + (16 * i)) v;
+              put_i64 b (23 + (16 * i)) d)
+            pairs)
+  | Diam_payload { id; diameter; radius; vertices; source; degraded } ->
+      frame 35 (fun b ->
+          Bytes.set_uint8 b 4 op_diam_payload;
+          put_i64 b 5 id;
+          put_i64 b 13 diameter;
+          put_i64 b 21 radius;
+          put_i64 b 29 vertices;
+          Bytes.set_uint8 b 37 (source land 0xff);
+          Bytes.set_uint8 b 38 (if degraded then 1 else 0))
 
 (* ----- pure decoding ------------------------------------------------ *)
 
@@ -160,6 +259,10 @@ let body_exact p wanted =
   else if got < wanted then Error (Truncated { wanted; got })
   else Error (Bad_payload (Printf.sprintf "%d trailing bytes" (got - wanted)))
 
+let check_payload_min p wanted =
+  let got = String.length p in
+  if got >= wanted then Ok () else Error (Truncated { wanted; got })
+
 let request_of_payload p =
   if String.length p = 0 then Error (Bad_payload "empty frame: no opcode")
   else
@@ -176,11 +279,29 @@ let request_of_payload p =
     else if op = op_shutdown then
       let* () = body_exact p 1 in
       Ok Shutdown
+    else if op = op_op_row then
+      let* () = check_payload_min p 17 in
+      let rest = String.length p - 17 in
+      if rest mod 8 <> 0 then
+        Error (Bad_payload "op_row: target bytes not a multiple of 8")
+      else
+        Ok
+          (Op_row
+             {
+               id = get_i64 p 1;
+               source = get_i64 p 9;
+               targets = Array.init (rest / 8) (fun i -> get_i64 p (17 + (8 * i)));
+             })
+    else if op = op_op_ecc then
+      let* () = body_exact p 17 in
+      Ok (Op_ecc { id = get_i64 p 1; v = get_i64 p 9 })
+    else if op = op_op_topk then
+      let* () = body_exact p 25 in
+      Ok (Op_topk { id = get_i64 p 1; source = get_i64 p 9; k = get_i64 p 17 })
+    else if op = op_op_diam then
+      let* () = body_exact p 9 in
+      Ok (Op_diam { id = get_i64 p 1 })
     else Error (Bad_opcode op)
-
-let check_payload_min p wanted =
-  let got = String.length p in
-  if got >= wanted then Ok () else Error (Truncated { wanted; got })
 
 let response_of_payload p =
   if String.length p = 0 then Error (Bad_payload "empty frame: no opcode")
@@ -212,6 +333,59 @@ let response_of_payload p =
              id = get_i64 p 1;
              code = Char.code p.[9];
              msg = String.sub p 10 (String.length p - 10);
+           })
+    else if op = op_row_payload then
+      let* () = check_payload_min p 11 in
+      let rest = String.length p - 11 in
+      if rest mod 8 <> 0 then
+        Error (Bad_payload "row_payload: distance bytes not a multiple of 8")
+      else
+        Ok
+          (Row_payload
+             {
+               id = get_i64 p 1;
+               source = Char.code p.[9];
+               degraded = Char.code p.[10] <> 0;
+               dists = Array.init (rest / 8) (fun i -> get_i64 p (11 + (8 * i)));
+             })
+    else if op = op_ecc_payload then
+      let* () = body_exact p 27 in
+      Ok
+        (Ecc_payload
+           {
+             id = get_i64 p 1;
+             vertex = get_i64 p 9;
+             dist = get_i64 p 17;
+             source = Char.code p.[25];
+             degraded = Char.code p.[26] <> 0;
+           })
+    else if op = op_topk_payload then
+      let* () = check_payload_min p 11 in
+      let rest = String.length p - 11 in
+      if rest mod 16 <> 0 then
+        Error (Bad_payload "topk_payload: pair bytes not a multiple of 16")
+      else
+        Ok
+          (Topk_payload
+             {
+               id = get_i64 p 1;
+               source = Char.code p.[9];
+               degraded = Char.code p.[10] <> 0;
+               pairs =
+                 Array.init (rest / 16) (fun i ->
+                     (get_i64 p (11 + (16 * i)), get_i64 p (19 + (16 * i))));
+             })
+    else if op = op_diam_payload then
+      let* () = body_exact p 35 in
+      Ok
+        (Diam_payload
+           {
+             id = get_i64 p 1;
+             diameter = get_i64 p 9;
+             radius = get_i64 p 17;
+             vertices = get_i64 p 25;
+             source = Char.code p.[33];
+             degraded = Char.code p.[34] <> 0;
            })
     else Error (Bad_opcode op)
 

@@ -19,11 +19,12 @@
 
     Every decoding entry point is total: malformed input yields a typed
     {!error}, never an exception and never a hang — the adversarial
-    suite in [test_io_adversarial.ml] locks that in. The opcode space
-    is the extension point: new ops (eccentricity, top-k, one-to-many
-    batches — see PAPERS.md/Ducoffe) claim fresh opcodes without
-    touching framing, and an unknown opcode is a per-frame
-    {!Bad_opcode} error that leaves the stream in sync. *)
+    suite in [test_io_adversarial.ml] locks that in. The aggregate
+    operations of the {!Repro_obs.Ops} algebra (eccentricity, top-k,
+    one-to-many rows — see PAPERS.md/Ducoffe) ride the same framing as
+    fresh opcodes ([0x05..0x08] requests, [0x85..0x88] responses); an
+    unknown opcode is a per-frame {!Bad_opcode} error that leaves the
+    stream in sync. *)
 
 (** {1 Messages} *)
 
@@ -33,6 +34,18 @@ type request =
   | Ping of { id : int }  (** health check *)
   | Stats of { id : int }  (** request the worker's metrics snapshot *)
   | Shutdown  (** drain and exit; no response *)
+  | Op_row of { id : int; source : int; targets : int array }
+      (** one-to-many: distances from [source] to each target, in
+          order. The target count is derived from the frame length, so
+          a list may hold at most [(max_frame_len - 17) / 8] ids. *)
+  | Op_ecc of { id : int; v : int }
+      (** eccentricity of [v] restricted to the worker's {e owned}
+          vertices, with the farthest owned witness *)
+  | Op_topk of { id : int; source : int; k : int }
+      (** the k nearest {e owned} vertices to [source] *)
+  | Op_diam of { id : int }
+      (** diameter/radius of the owned-eccentricity set: max and min
+          over owned [w] of ecc(w) (the router reduces shard maxima) *)
 
 type response =
   | Answer of { id : int; dist : int; source : int; degraded : bool }
@@ -44,6 +57,35 @@ type response =
       (** [data] is {!Repro_obs.Metrics.snapshot_to_wire} output *)
   | Error_frame of { id : int; code : int; msg : string }
       (** explicit in-band failure: the peer could not serve [id] *)
+  | Row_payload of { id : int; dists : int array; source : int; degraded : bool }
+      (** answer to [Op_row], distances in request-target order *)
+  | Ecc_payload of {
+      id : int;
+      vertex : int;
+      dist : int;
+      source : int;
+      degraded : bool;
+    }
+      (** answer to [Op_ecc]: the farthest owned vertex and its
+          distance; [vertex = -1] when the shard owns no vertices *)
+  | Topk_payload of {
+      id : int;
+      pairs : (int * int) array;
+      source : int;
+      degraded : bool;
+    }
+      (** answer to [Op_topk]: [(vertex, dist)] sorted by
+          [(dist, vertex)] ascending *)
+  | Diam_payload of {
+      id : int;
+      diameter : int;
+      radius : int;
+      vertices : int;
+      source : int;
+      degraded : bool;
+    }
+      (** answer to [Op_diam]; [vertices] is the owned count (0 means
+          the shard contributed nothing and the router skips it) *)
 
 (** {1 Source and error codes} *)
 

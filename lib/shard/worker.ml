@@ -87,7 +87,7 @@ let write_response ~chaos ~frames_written output resp =
         dribble 0
 
 let build_backend cfg metrics clock =
-  let primary =
+  let primary, primary_ops =
     match (cfg.mmap, cfg.labels) with
     | Some _, Some _ ->
         invalid_arg "Worker.run: pass ~labels or ~mmap, not both"
@@ -98,23 +98,27 @@ let build_backend cfg metrics clock =
            pairs reach this shard. *)
         if Mmap_hub.n store <> Graph.n cfg.graph then
           invalid_arg "Worker.run: mmap store and graph disagree on n";
-        Some (Resilient_oracle.mmap_primary ?step_budget:cfg.step_budget store)
+        ( Some (Resilient_oracle.mmap_primary ?step_budget:cfg.step_budget store),
+          Some (Mmap_hub.ops store) )
     | None, Some labels ->
         let slice =
           Partition.slice cfg.partition ~shards:cfg.shards ~shard:cfg.shard
             labels
         in
         let flat = Flat_hub.of_labels slice in
-        Some (Resilient_oracle.flat_primary ?step_budget:cfg.step_budget flat)
-    | None, None -> None
+        ( Some (Resilient_oracle.flat_primary ?step_budget:cfg.step_budget flat),
+          Some (Flat_hub.ops flat) )
+    | None, None -> (None, None)
   in
   let oracle =
     Resilient_oracle.create ?step_budget:cfg.step_budget
       ~spot_check_every:cfg.spot_check_every
-      ~quarantine_after:cfg.quarantine_after ~metrics ?primary cfg.graph
+      ~quarantine_after:cfg.quarantine_after ~metrics ?primary ?primary_ops
+      cfg.graph
   in
-  Obs.Obs.instrument ?clock ~prefix:"worker" metrics
-    (Resilient_oracle.backend oracle)
+  ( oracle,
+    Obs.Obs.instrument ?clock ~prefix:"worker" metrics
+      (Resilient_oracle.backend oracle) )
 
 let run ~input ~output cfg =
   if cfg.shard < 0 || cfg.shard >= cfg.shards then
@@ -125,7 +129,29 @@ let run ~input ~output cfg =
       (fun step -> Obs.Clock.read (Obs.Clock.manual ~auto_step:step ()))
       cfg.clock_step
   in
-  let backend = build_backend cfg metrics clock in
+  let oracle, backend = build_backend cfg metrics clock in
+  (* the shard's owned vertices, ascending — every aggregate op reads
+     label rows only at these entries, which Partition.slice keeps
+     exact for any source *)
+  let owned =
+    let n = Graph.n cfg.graph in
+    let buf = Array.make n 0 and k = ref 0 in
+    for v = 0 to n - 1 do
+      if Partition.owner cfg.partition ~shards:cfg.shards ~n v = cfg.shard
+      then begin
+        buf.(!k) <- v;
+        incr k
+      end
+    done;
+    Array.sub buf 0 !k
+  in
+  let serve_op =
+    Obs.Obs.instrument_op ?clock ~prefix:"worker.ops" metrics
+      (Resilient_oracle.op oracle)
+  in
+  let source_code src =
+    Wire.source_code_of_name (Resilient_oracle.source_name src)
+  in
   let shard_gauge = Obs.Metrics.gauge metrics "worker.shard" in
   Obs.Metrics.set_gauge shard_gauge cfg.shard;
   let seed_gauge = Obs.Metrics.gauge metrics "worker.seed" in
@@ -148,6 +174,162 @@ let run ~input ~output cfg =
                 { id; dist; source; degraded = source <> Wire.source_primary }
           | exception Invalid_argument msg ->
               Wire.Error_frame { id; code = Wire.err_bad_request; msg }
+        in
+        if send resp then loop ()
+    | Ok (Wire.Op_row { id; source; targets }) ->
+        let resp =
+          match serve_op (Obs.Ops.One_to_many { source; targets }) with
+          | Obs.Ops.R_dists dists, src ->
+              let source = source_code src in
+              Wire.Row_payload
+                { id; dists; source; degraded = source <> Wire.source_primary }
+          | _ ->
+              Wire.Error_frame
+                {
+                  id;
+                  code = Wire.err_unavailable;
+                  msg = "unexpected response shape";
+                }
+          | exception Invalid_argument msg ->
+              Wire.Error_frame { id; code = Wire.err_bad_request; msg }
+        in
+        if send resp then loop ()
+    | Ok (Wire.Op_ecc { id; v }) ->
+        let resp =
+          if Array.length owned = 0 then
+            Wire.Ecc_payload
+              {
+                id;
+                vertex = -1;
+                dist = 0;
+                source = Wire.source_primary;
+                degraded = false;
+              }
+          else
+            match serve_op (Obs.Ops.One_to_many { source = v; targets = owned })
+            with
+            | Obs.Ops.R_dists ds, src -> (
+                match
+                  Obs.Ops.farthest_of (Array.mapi (fun i d -> (owned.(i), d)) ds)
+                with
+                | Some (vertex, dist) ->
+                    let source = source_code src in
+                    Wire.Ecc_payload
+                      {
+                        id;
+                        vertex;
+                        dist;
+                        source;
+                        degraded = source <> Wire.source_primary;
+                      }
+                | None ->
+                    Wire.Error_frame
+                      {
+                        id;
+                        code = Wire.err_unavailable;
+                        msg = "empty reduction";
+                      })
+            | _ ->
+                Wire.Error_frame
+                  {
+                    id;
+                    code = Wire.err_unavailable;
+                    msg = "unexpected response shape";
+                  }
+            | exception Invalid_argument msg ->
+                Wire.Error_frame { id; code = Wire.err_bad_request; msg }
+        in
+        if send resp then loop ()
+    | Ok (Wire.Op_topk { id; source = s; k }) ->
+        let resp =
+          if k < 0 then
+            Wire.Error_frame
+              {
+                id;
+                code = Wire.err_bad_request;
+                msg = "top-k: k must be non-negative";
+              }
+          else if Array.length owned = 0 then
+            Wire.Topk_payload
+              { id; pairs = [||]; source = Wire.source_primary; degraded = false }
+          else
+            match serve_op (Obs.Ops.One_to_many { source = s; targets = owned })
+            with
+            | Obs.Ops.R_dists ds, src ->
+                let pairs =
+                  Obs.Ops.k_nearest ~k
+                    (Array.mapi (fun i d -> (owned.(i), d)) ds)
+                in
+                let source = source_code src in
+                Wire.Topk_payload
+                  { id; pairs; source; degraded = source <> Wire.source_primary }
+            | _ ->
+                Wire.Error_frame
+                  {
+                    id;
+                    code = Wire.err_unavailable;
+                    msg = "unexpected response shape";
+                  }
+            | exception Invalid_argument msg ->
+                Wire.Error_frame { id; code = Wire.err_bad_request; msg }
+        in
+        if send resp then loop ()
+    | Ok (Wire.Op_diam { id }) ->
+        let resp =
+          if Array.length owned = 0 then
+            Wire.Diam_payload
+              {
+                id;
+                diameter = 0;
+                radius = 0;
+                vertices = 0;
+                source = Wire.source_primary;
+                degraded = false;
+              }
+          else begin
+            (* one global eccentricity per owned vertex — exact on a
+               slice because the source is owned *)
+            let dia = ref 0
+            and rad = ref max_int
+            and code = ref Wire.source_primary
+            and bad = ref None in
+            Array.iter
+              (fun w ->
+                if !bad = None then
+                  match serve_op (Obs.Ops.Eccentricity w) with
+                  | Obs.Ops.R_ecc e, src ->
+                      if e > !dia then dia := e;
+                      if e < !rad then rad := e;
+                      let c = source_code src in
+                      if c > !code then code := c
+                  | _ ->
+                      bad :=
+                        Some
+                          (Wire.Error_frame
+                             {
+                               id;
+                               code = Wire.err_unavailable;
+                               msg = "unexpected response shape";
+                             })
+                  | exception Invalid_argument msg ->
+                      bad :=
+                        Some
+                          (Wire.Error_frame
+                             { id; code = Wire.err_bad_request; msg }))
+              owned;
+            match !bad with
+            | Some e -> e
+            | None ->
+                Wire.Diam_payload
+                  {
+                    id;
+                    diameter = !dia;
+                    radius = !rad;
+                    vertices = Array.length owned;
+                    source = !code;
+                    degraded = !code <> Wire.source_primary;
+                  }
+          end
         in
         if send resp then loop ()
     | Ok (Wire.Ping { id }) -> if send (Wire.Pong { id }) then loop ()

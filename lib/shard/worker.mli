@@ -4,7 +4,13 @@
     its shard, packed into a {!Repro_hub.Flat_hub} store behind the
     full {!Repro_serve.Resilient_oracle} degradation chain, and serves
     {!Wire} requests read from [input] until [Shutdown], EOF, or an
-    unrecoverable stream error. Per-frame errors ([Bad_opcode],
+    unrecoverable stream error. Point queries and the aggregate ops
+    ([Op_row], [Op_ecc], [Op_topk], [Op_diam]) all route through the
+    oracle's per-op degradation ({!Repro_serve.Resilient_oracle.op});
+    aggregates read label rows only at the shard's {e owned} vertices
+    (or from owned sources), which {!Repro_hub.Partition.slice} keeps
+    exact, and are instrumented under [worker.ops.<op>.*]. Per-frame
+    errors ([Bad_opcode],
     [Bad_payload]) get an in-band [Error_frame] and the loop continues
     — framing keeps the stream in sync; desynchronising errors
     (truncation, oversized length) end the process, and the router's

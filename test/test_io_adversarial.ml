@@ -77,15 +77,16 @@ let test_wgraph_bad_lines () =
   in
   Test_util.check_int "zero weight accepted" 1 (Wgraph.m g)
 
-(* Legacy raising wrappers (now deprecated shims over the [_res]
-   parsers) keep their exception contract. *)
+(* The raising shims are gone; the [_res] parsers carry the same
+   message strings (the "Graph_io.of_string:" prefixes name the format,
+   not a function), pinned here so error output stays stable. *)
 let test_compat_raises () =
-  Alcotest.check_raises "of_string raises"
-    (Invalid_argument "Graph_io.of_string: edge count mismatch") (fun () ->
-      ignore ((Graph_io.of_string [@alert "-deprecated"]) "3 2\n0 1\n"));
-  Alcotest.check_raises "hub of_string raises"
-    (Invalid_argument "Hub_io.of_string: duplicate vertex line") (fun () ->
-      ignore ((Hub_io.of_string [@alert "-deprecated"]) "2 2\n0 1 0 0\n0 1 0 0\n"))
+  check_err "graph edge count" ~line:1
+    ~substr:"Graph_io.of_string: edge count mismatch"
+    (graph_err "3 2\n0 1\n");
+  check_err "hub duplicate vertex" ~line:3
+    ~substr:"Hub_io.of_string: duplicate vertex line"
+    (hub_err "2 2\n0 1 0 0\n0 1 0 0\n")
 
 (* ----- Hub_io -------------------------------------------------------- *)
 
@@ -202,14 +203,27 @@ let test_wire_garbage_opcodes () =
       match Wire.response_of_payload p with
       | Error (Wire.Bad_opcode _) -> ()
       | Ok _ | Error _ -> Alcotest.failf "response opcode %d" (Char.code p.[0]))
-    [ "\x7f"; "\xff"; "\x05rest" ];
+    [ "\x7f"; "\xff"; "\x09rest" ];
+  (* 0x05 is Op_row now: a short body is Truncated, never Bad_opcode *)
+  (match Wire.request_of_payload "\x05rest" with
+  | Error (Wire.Truncated _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "short Op_row body should be Truncated");
   (* request opcodes are not response opcodes and vice versa *)
   (match Wire.response_of_payload "\x02\x01\x00\x00\x00\x00\x00\x00\x00" with
   | Error (Wire.Bad_opcode 0x02) -> ()
   | Ok _ | Error _ -> Alcotest.fail "ping is not a response");
-  match Wire.request_of_payload "\x82\x01\x00\x00\x00\x00\x00\x00\x00" with
+  (match Wire.response_of_payload "\x08\x01\x00\x00\x00\x00\x00\x00\x00" with
+  | Error (Wire.Bad_opcode 0x08) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "Op_diam is not a response");
+  (match Wire.request_of_payload "\x82\x01\x00\x00\x00\x00\x00\x00\x00" with
   | Error (Wire.Bad_opcode 0x82) -> ()
-  | Ok _ | Error _ -> Alcotest.fail "pong is not a request"
+  | Ok _ | Error _ -> Alcotest.fail "pong is not a request");
+  match
+    Wire.request_of_payload
+      ("\x86" ^ String.init 33 (fun _ -> '\x00'))
+  with
+  | Error (Wire.Bad_opcode 0x86) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "Ecc_payload is not a request"
 
 let test_wire_midframe_eof_on_pipe () =
   let check bytes expect =

@@ -26,4 +26,5 @@ let () =
       ("observability", Test_obs.suite);
       ("parallel", Test_par.suite);
       ("mmap-hub", Test_mmap_hub.suite);
+      ("ops", Test_ops.suite);
     ]

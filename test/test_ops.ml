@@ -1,0 +1,367 @@
+(* The ops algebra, differentially: every implementation of the
+   request/response surface — Ops.brute over a point oracle, the
+   inverted-index fast paths behind Flat_hub.ops / Mmap_hub.ops, the
+   resilient oracle's per-op degradation, and the BFS/Dijkstra ground
+   truth — must produce equal responses, on random graphs (connected
+   and disconnected, so the inf conventions are exercised), weighted
+   graphs, and the paper's G_{2,1} gadget. The string codec, the
+   validation layer and the eight new Wire opcodes are pinned
+   alongside. *)
+
+open Repro_graph
+open Repro_hub
+open Repro_core
+open Repro_serve
+module Backend = Repro_obs.Backend
+module Ops = Repro_obs.Ops
+module Wire = Repro_shard.Wire
+module Pool = Repro_par.Pool
+
+(* ----- ground truth -------------------------------------------------- *)
+
+(* All-rows BFS truth, memoised per graph: [query] closes over the
+   rows so Ops.brute over it is the reference implementation. *)
+let truth_of g =
+  let n = Graph.n g in
+  let rows = Array.init n (fun s -> Traversal.bfs g s) in
+  fun req -> Ops.brute ~n ~query:(fun u v -> rows.(u).(v)) req
+
+let check_resp name ~expect got =
+  if not (Ops.equal_response expect got) then
+    Alcotest.failf "%s: expected %s, got %s" name
+      (Ops.response_to_string expect)
+      (Ops.response_to_string got)
+
+(* A request battery covering all eight shapes, vertices drawn from
+   the seed. *)
+let requests_of ~seed n =
+  let rng = Random.State.make [| seed |] in
+  let v () = Random.State.int rng n in
+  [
+    Ops.Dist { u = v (); v = v () };
+    Ops.Batch (Array.init 3 (fun _ -> (v (), v ())));
+    Ops.One_to_many { source = v (); targets = Array.init 4 (fun _ -> v ()) };
+    Ops.Many_to_many
+      {
+        sources = Array.init 2 (fun _ -> v ());
+        targets = Array.init 3 (fun _ -> v ());
+      };
+    Ops.Top_k_nearest { source = v (); k = Random.State.int rng (n + 2) };
+    Ops.Eccentricity (v ());
+    Ops.Farthest (v ());
+    Ops.Diameter_radius;
+  ]
+
+(* ----- unweighted differential (connected + disconnected) ------------ *)
+
+let ops_backends g =
+  let pll = Pll.build g in
+  let flat = Flat_hub.of_labels pll in
+  let mm = Test_util.mmap_of_flat ~deep:true flat in
+  [
+    ("lifted-assoc", Backend.lift ~n:(Graph.n g) (Hub_label.backend pll));
+    ("flat-ops", Flat_hub.ops flat);
+    ("mmap-ops", Mmap_hub.ops mm);
+  ]
+
+let diff_unweighted =
+  Test_util.qcheck
+    "ops: lifted assoc = flat = mmap = oracle = BFS brute (inf included)"
+    ~count:50 Gen.small_graph_gen
+    (fun ((_, _, seed) as params) ->
+      let g = Gen.build_graph params in
+      let n = Graph.n g in
+      let truth = truth_of g in
+      let backends = ops_backends g in
+      let pll = Pll.build g in
+      let flat = Flat_hub.of_labels pll in
+      let primary_oracle =
+        Resilient_oracle.create
+          ~primary:(Resilient_oracle.flat_primary flat)
+          ~primary_ops:(Flat_hub.ops flat) g
+      in
+      let search_oracle = Resilient_oracle.create g in
+      List.for_all
+        (fun req ->
+          let expect = truth req in
+          List.iter
+            (fun (name, b) -> check_resp name ~expect (Backend.op b req))
+            backends;
+          check_resp "oracle-primary" ~expect
+            (fst (Resilient_oracle.op primary_oracle req));
+          check_resp "oracle-search-only" ~expect
+            (fst (Resilient_oracle.op search_oracle req));
+          true)
+        (requests_of ~seed n))
+
+(* ----- weighted differential ----------------------------------------- *)
+
+let diff_weighted =
+  Test_util.qcheck "ops (weighted): flat = mmap = Dijkstra brute" ~count:30
+    (Gen.weighted_gen ~max_n:20 ~max_deg:3 ())
+    (fun (((_, _, seed) as params), wseed) ->
+      let w = Gen.build_weighted (params, wseed) in
+      let n = Wgraph.n w in
+      let rows = Array.init n (fun s -> Dijkstra.distances w s) in
+      let truth = Ops.brute ~n ~query:(fun u v -> rows.(u).(v)) in
+      let labels = Pll.build_w w in
+      let flat = Flat_hub.of_labels labels in
+      let mm = Test_util.mmap_of_flat ~deep:true flat in
+      let fo = Flat_hub.ops flat and mo = Mmap_hub.ops mm in
+      List.for_all
+        (fun req ->
+          let expect = truth req in
+          check_resp "flat-ops-w" ~expect (Backend.op fo req);
+          check_resp "mmap-ops-w" ~expect (Backend.op mo req);
+          true)
+        (requests_of ~seed n))
+
+(* ----- pinned inf conventions on a disconnected graph ---------------- *)
+
+let test_disconnected_pinned () =
+  (* two components: 0-1 and 2-3 *)
+  let g = Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  let flat = Flat_hub.of_labels (Pll.build g) in
+  let b = Flat_hub.ops flat in
+  let render req = Ops.response_to_string (Backend.op b req) in
+  Alcotest.(check string) "ecc inf" "ecc inf" (render (Ops.Eccentricity 0));
+  Alcotest.(check string) "diam/rad inf" "diam inf rad inf"
+    (render Ops.Diameter_radius);
+  Alcotest.(check string) "farthest smallest inf vertex" "farthest 2:inf"
+    (render (Ops.Farthest 0));
+  Alcotest.(check string) "top-k crosses components as inf"
+    "nearest 0:0,1:1,2:inf,3:inf"
+    (render (Ops.Top_k_nearest { source = 0; k = 4 }));
+  Alcotest.(check string) "one-to-many renders inf" "dists 0,inf"
+    (render (Ops.One_to_many { source = 0; targets = [| 0; 2 |] }))
+
+(* ----- the G_{2,1} degree-3 gadget ----------------------------------- *)
+
+let test_gadget () =
+  let grid = Grid_graph.create ~b:2 ~l:1 () in
+  let g = (Degree_gadget.build grid).Degree_gadget.graph in
+  let n = Graph.n g in
+  let truth = truth_of g in
+  let flat = Flat_hub.of_labels (Pll.build g) in
+  let mm = Test_util.mmap_of_flat ~deep:true flat in
+  let fo = Flat_hub.ops flat and mo = Mmap_hub.ops mm in
+  let reqs =
+    Ops.Diameter_radius
+    :: List.concat_map
+         (fun v ->
+           [
+             Ops.Eccentricity v;
+             Ops.Farthest v;
+             Ops.Top_k_nearest { source = v; k = 5 };
+           ])
+         [ 0; n / 2; n - 1 ]
+  in
+  List.iter
+    (fun req ->
+      let expect = truth req in
+      check_resp "gadget-flat" ~expect (Backend.op fo req);
+      check_resp "gadget-mmap" ~expect (Backend.op mo req))
+    reqs
+
+(* ----- top-k = sorted full row (the qcheck property) ----------------- *)
+
+let topk_is_sorted_row =
+  Test_util.qcheck "top-k = k_nearest of the full BFS row" ~count:80
+    Gen.small_graph_gen
+    (fun ((_, _, seed) as params) ->
+      let g = Gen.build_graph params in
+      let n = Graph.n g in
+      let rng = Random.State.make [| seed |] in
+      let source = Random.State.int rng n in
+      let k = Random.State.int rng (n + 2) in
+      let flat = Flat_hub.of_labels (Pll.build g) in
+      let got = Backend.op (Flat_hub.ops flat) (Ops.Top_k_nearest { source; k }) in
+      let expect =
+        Ops.R_nearest (Ops.k_nearest ~k (Ops.row_pairs (Traversal.bfs g source)))
+      in
+      check_resp "topk-row" ~expect got;
+      true)
+
+(* ----- pooled fan-out is jobs-invariant ------------------------------ *)
+
+let test_jobs_invariant () =
+  let g = Gen.build_connected (24, 40, 2026) in
+  let flat = Flat_hub.of_labels (Pll.build g) in
+  let reqs =
+    [
+      Ops.Many_to_many
+        { sources = [| 0; 5; 11 |]; targets = [| 1; 2; 20; 23 |] };
+      Ops.Diameter_radius;
+    ]
+  in
+  Pool.with_pool ~jobs:1 (fun p1 ->
+      Pool.with_pool ~jobs:2 (fun p2 ->
+          let b1 = Flat_hub.ops ~pool:p1 flat
+          and b2 = Flat_hub.ops ~pool:p2 flat in
+          List.iter
+            (fun req ->
+              check_resp "jobs 1 = jobs 2" ~expect:(Backend.op b1 req)
+                (Backend.op b2 req))
+            reqs))
+
+(* ----- string codec and validation ----------------------------------- *)
+
+let test_request_string_roundtrip () =
+  List.iter
+    (fun req ->
+      match Ops.request_of_string (Ops.request_to_string req) with
+      | Ok r ->
+          Alcotest.(check bool)
+            (Ops.request_to_string req)
+            true (r = req)
+      | Error msg ->
+          Alcotest.failf "%s failed to re-parse: %s"
+            (Ops.request_to_string req) msg)
+    (requests_of ~seed:99 30);
+  List.iter
+    (fun s ->
+      match Ops.request_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not parse" s)
+    [ ""; "bogus"; "dist:1"; "ecc:x"; "top-k:"; "top-k:1"; "one-to-many:3" ]
+
+let test_validate () =
+  let ok r = Alcotest.(check bool) "valid" true (Ops.validate ~n:5 r = Ok ()) in
+  let bad r =
+    Alcotest.(check bool)
+      "invalid" true
+      (match Ops.validate ~n:5 r with Error _ -> true | Ok () -> false)
+  in
+  ok (Ops.Eccentricity 4);
+  ok (Ops.Top_k_nearest { source = 0; k = 0 });
+  ok Ops.Diameter_radius;
+  bad (Ops.Eccentricity 5);
+  bad (Ops.Dist { u = -1; v = 0 });
+  bad (Ops.Top_k_nearest { source = 0; k = -1 });
+  bad (Ops.One_to_many { source = 0; targets = [| 1; 7 |] })
+
+(* ----- the eight new Wire opcodes ------------------------------------ *)
+
+let payload_of_frame frame =
+  match Wire.decode_frame frame ~pos:0 with
+  | Ok (payload, _) -> payload
+  | Error e -> Alcotest.failf "decode_frame: %s" (Wire.error_to_string e)
+
+let test_wire_op_roundtrips () =
+  let reqs =
+    [
+      Wire.Op_row { id = 7; source = 3; targets = [| 0; 5; 2 |] };
+      Wire.Op_row { id = 8; source = 0; targets = [||] };
+      Wire.Op_ecc { id = 9; v = 4 };
+      Wire.Op_topk { id = 10; source = 1; k = 3 };
+      Wire.Op_diam { id = 11 };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Wire.request_of_payload (payload_of_frame (Wire.encode_request r))
+      with
+      | Ok r' -> Alcotest.(check bool) "request round-trip" true (r = r')
+      | Error e -> Alcotest.failf "request: %s" (Wire.error_to_string e))
+    reqs;
+  let resps =
+    [
+      Wire.Row_payload
+        { id = 1; dists = [| 0; 3; Dist.inf |]; source = 0; degraded = false };
+      Wire.Ecc_payload
+        { id = 2; vertex = 5; dist = 9; source = 2; degraded = true };
+      Wire.Ecc_payload
+        { id = 3; vertex = -1; dist = 0; source = 0; degraded = false };
+      Wire.Topk_payload
+        { id = 4; pairs = [| (0, 0); (3, 1) |]; source = 1; degraded = false };
+      Wire.Topk_payload { id = 5; pairs = [||]; source = 0; degraded = false };
+      Wire.Diam_payload
+        {
+          id = 6;
+          diameter = Dist.inf;
+          radius = 4;
+          vertices = 17;
+          source = 3;
+          degraded = true;
+        };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match
+        Wire.response_of_payload (payload_of_frame (Wire.encode_response r))
+      with
+      | Ok r' -> Alcotest.(check bool) "response round-trip" true (r = r')
+      | Error e -> Alcotest.failf "response: %s" (Wire.error_to_string e))
+    resps
+
+let test_wire_op_adversarial () =
+  (* ragged arrays surface as Bad_payload (arity checks), short fixed
+     bodies as Truncated — either way a typed error, never an
+     exception and never a garbage value *)
+  let is_bad = function
+    | Error (Wire.Bad_payload _ | Wire.Truncated _) -> true
+    | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e)
+    | Ok _ -> false
+  in
+  let truncated_req r cut =
+    let p = payload_of_frame (Wire.encode_request r) in
+    Wire.request_of_payload (String.sub p 0 (String.length p - cut))
+  in
+  let truncated_resp r cut =
+    let p = payload_of_frame (Wire.encode_response r) in
+    Wire.response_of_payload (String.sub p 0 (String.length p - cut))
+  in
+  (* chopping one byte breaks both the minimum-length and the
+     arity (mod 8 / mod 16) checks; never an exception, never junk *)
+  Alcotest.(check bool) "Op_row ragged tail" true
+    (is_bad
+       (truncated_req (Wire.Op_row { id = 1; source = 0; targets = [| 2 |] }) 1));
+  Alcotest.(check bool) "Op_ecc short" true
+    (is_bad (truncated_req (Wire.Op_ecc { id = 1; v = 0 }) 8));
+  Alcotest.(check bool) "Op_topk short" true
+    (is_bad (truncated_req (Wire.Op_topk { id = 1; source = 0; k = 1 }) 1));
+  Alcotest.(check bool) "Row_payload ragged tail" true
+    (is_bad
+       (truncated_resp
+          (Wire.Row_payload
+             { id = 1; dists = [| 4 |]; source = 0; degraded = false })
+          3));
+  Alcotest.(check bool) "Topk_payload ragged pair" true
+    (is_bad
+       (truncated_resp
+          (Wire.Topk_payload
+             { id = 1; pairs = [| (0, 1) |]; source = 0; degraded = false })
+          8));
+  Alcotest.(check bool) "Diam_payload short" true
+    (is_bad
+       (truncated_resp
+          (Wire.Diam_payload
+             {
+               id = 1;
+               diameter = 0;
+               radius = 0;
+               vertices = 1;
+               source = 0;
+               degraded = false;
+             })
+          1))
+
+let suite =
+  [
+    diff_unweighted;
+    diff_weighted;
+    Alcotest.test_case "disconnected conventions pinned" `Quick
+      test_disconnected_pinned;
+    Alcotest.test_case "G_{2,1} gadget ops" `Slow test_gadget;
+    topk_is_sorted_row;
+    Alcotest.test_case "pooled ops are jobs-invariant" `Quick
+      test_jobs_invariant;
+    Alcotest.test_case "request string codec" `Quick
+      test_request_string_roundtrip;
+    Alcotest.test_case "request validation" `Quick test_validate;
+    Alcotest.test_case "wire op frames round-trip" `Quick
+      test_wire_op_roundtrips;
+    Alcotest.test_case "wire op frames: adversarial decodes" `Quick
+      test_wire_op_adversarial;
+  ]
