@@ -294,7 +294,16 @@ let serve_metrics ~mode (z : sizes) ~rounds =
     let h =
       match Metrics.find_histogram snap (prefix ^ ".latency_ns") with
       | Some h -> h
-      | None -> { Metrics.count = 0; sum = 0; p50 = 0; p90 = 0; p99 = 0; max = 0 }
+      | None ->
+        {
+          Metrics.count = 0;
+          sum = 0;
+          p50 = 0;
+          p90 = 0;
+          p99 = 0;
+          max = 0;
+          exemplars = [];
+        }
     in
     let counter name =
       Option.value ~default:0 (Metrics.find_counter snap (prefix ^ name))
@@ -1007,6 +1016,117 @@ let run_ops ~mode (z : sizes) =
     (flat_ns "diameter_radius") identical
 
 (* ------------------------------------------------------------------ *)
+(* Part 10: distributed-tracing overhead -> BENCH_trace.json.
+
+   ns/query through a 2-shard forked router with tracing off, with
+   tracing at sample_every=1 (every query minted, sampled and recorded
+   end to end, a context block on every wire frame) and at
+   sample_every=16 (context still on every frame, 1-in-16 recorded).
+   Answers must stay identical in all three — the context block is
+   invisible to the query path. The router forks, so this part MUST run
+   before anything creates a domain pool, alongside Part 7. *)
+
+let run_trace ~mode (z : sizes) =
+  let module Router = Repro_shard.Router in
+  let module Checksum = Repro_par.Checksum in
+  let iters = if mode = "smoke" then 2 else 30 in
+  let sparse = Generators.random_connected (rng ()) ~n:z.sparse_n ~m:z.sparse_m in
+  let labels = Pll.build sparse in
+  let pairs =
+    let r = rng () in
+    Array.init z.pairs (fun _ ->
+        (Random.State.int r z.sparse_n, Random.State.int r z.sparse_n))
+  in
+  let time_ms f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let t1 = Unix.gettimeofday () in
+    ((t1 -. t0) *. 1e3, r)
+  in
+  let digest answers =
+    Checksum.sha256_hex
+      (String.concat ","
+         (Array.to_list
+            (Array.map (fun (a : Router.answer) -> string_of_int a.Router.dist)
+               answers)))
+  in
+  let one_run name trace =
+    let router =
+      Router.create
+        {
+          (Router.default_config sparse) with
+          Router.labels = Some labels;
+          shards = 2;
+          partition = Repro_hub.Partition.Hash;
+          spot_check_every = 0;
+          seed = !seed;
+          trace;
+        }
+    in
+    let ms, answers =
+      time_ms (fun () ->
+          let out = ref [||] in
+          for _ = 1 to iters do
+            out := Router.query_batch router pairs
+          done;
+          !out)
+    in
+    let traces = List.length (Router.trace_trees router) in
+    Router.shutdown router;
+    let ns = ms *. 1e6 /. float_of_int (iters * z.pairs) in
+    (name, ns, traces, digest answers)
+  in
+  let off = one_run "off" None in
+  let every1 =
+    one_run "every-query"
+      (Some { Router.default_trace_config with Router.sample_every = 1 })
+  in
+  let every16 =
+    one_run "1-in-16"
+      (Some { Router.default_trace_config with Router.sample_every = 16 })
+  in
+  let ns_of (_, ns, _, _) = ns and sha_of (_, _, _, s) = s in
+  let identical =
+    sha_of off = sha_of every1 && sha_of off = sha_of every16
+  in
+  let run_json (name, ns, traces, sha) =
+    Printf.sprintf
+      {|    { "sampling": "%s", "ns_per_query": %.1f, "overhead_ns_per_query": %.1f, "traces_recorded": %d, "answers_sha256": "%s" }|}
+      name ns (ns -. ns_of off) traces sha
+  in
+  let oc = open_out "BENCH_trace.json" in
+  Printf.fprintf oc
+    {|{
+  "bench": "trace",
+  "mode": "%s",
+  "seed": %d,
+  "store": "flat",
+  "graph": { "n": %d, "m": %d },
+  "queries": %d,
+  "iters": %d,
+  "shards": 2,
+  "runs": [
+%s
+  ],
+  "answers_identical_everywhere": %b
+}
+|}
+    mode !seed z.sparse_n z.sparse_m z.pairs iters
+    (String.concat ",\n" (List.map run_json [ off; every1; every16 ]))
+    identical;
+  close_out oc;
+  List.iter
+    (fun (name, ns, traces, _) ->
+      Printf.printf
+        "trace (%s, sampling=%s): %.1f ns/q (+%.1f vs off), %d trace(s)\n%!"
+        mode name ns (ns -. ns_of off) traces)
+    [ off; every1; every16 ];
+  Printf.printf
+    "trace: answers identical with tracing off/sampled/full: %b -> \
+     BENCH_trace.json\n%!"
+    identical
+
+(* ------------------------------------------------------------------ *)
 
 let benchmark tests =
   let ols =
@@ -1032,8 +1152,10 @@ let img (window, results) =
 open Notty_unix
 
 let run_smoke () =
-  (* Part 7 first: the router forks, so it must precede any domain pool. *)
+  (* Parts 7 and 10 first: the router forks, so they must precede any
+     domain pool. *)
   run_shard ~mode:"smoke" smoke_sizes;
+  run_trace ~mode:"smoke" smoke_sizes;
   List.iter
     (fun (name, body) ->
       body ();
@@ -1048,9 +1170,11 @@ let run_smoke () =
   print_endline "bench smoke: all entries ran"
 
 let run_full () =
-  (* Part 7 first: the router forks, so it must precede any domain pool
-     (Parts 1 and 6 both spawn them). *)
+  (* Parts 7 and 10 first: the router forks, so they must precede any
+     domain pool (Parts 1 and 6 both spawn them). *)
   run_shard ~mode:"full" full_sizes;
+  print_newline ();
+  run_trace ~mode:"full" full_sizes;
   print_newline ();
   (* Part 1: paper-artifact experiment reports. *)
   Repro_experiments.Experiments.run_all ();
@@ -1106,4 +1230,6 @@ let () =
     run_mmap ~mode:"full" full_sizes
   else if Array.exists (( = ) "--ops-json") Sys.argv then
     run_ops ~mode:"full" full_sizes
+  else if Array.exists (( = ) "--trace-json") Sys.argv then
+    run_trace ~mode:"full" full_sizes
   else run_full ()

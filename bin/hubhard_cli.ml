@@ -834,12 +834,23 @@ let serve_stats_cmd =
     let doc = "Print the metrics registry as JSON instead of the text report." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let format =
+    let doc =
+      "Output format: $(b,text) (human-readable report), $(b,json) (the \
+       docs/OBSERVABILITY.md schema) or $(b,prom) (Prometheus text \
+       exposition with cumulative _bucket/_sum/_count histogram series)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("prom", `Prom) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
   let traces =
     let doc = "Number of most recent per-query trace records to show." in
     Arg.(value & opt int 5 & info [ "traces" ] ~docv:"K" ~doc)
   in
   let run graph_file labels_file num budget spot_check flat mmap cache_slots
-      json traces metrics_out seed jobs =
+      json format traces metrics_out seed jobs =
     apply_jobs jobs;
     if cache_slots < 0 then begin
       Printf.eprintf "hubhard: --cache-slots must be non-negative\n";
@@ -877,24 +888,27 @@ let serve_stats_cmd =
       ignore (Backend.query backend (Random.State.int rng n)
                 (Random.State.int rng n))
     done;
+    Metrics.sample_runtime_gauges registry;
     let snap = Metrics.snapshot registry in
-    if json then print_string (Metrics.to_json snap)
-    else begin
-      Format.printf "backend: %s (%d words)@." (Backend.name backend)
-        (Backend.space_words backend);
-      Option.iter
-        (fun (h, m) -> Format.printf "store cache: %d hits, %d misses@." h m)
-        (cache_stats ());
-      Format.printf "%a" Metrics.pp snap;
-      if traces > 0 then begin
-        Format.printf "recent traces (%d of %d):@."
-          (List.length (Trace.records recorder))
-          (Trace.seen recorder);
-        List.iter
-          (fun tr -> Format.printf "  %a@." Trace.pp tr)
-          (Trace.records recorder)
-      end
-    end;
+    let format = if json then `Json else format in
+    (match format with
+    | `Json -> print_string (Metrics.to_json snap)
+    | `Prom -> print_string (Metrics.to_prometheus registry)
+    | `Text ->
+        Format.printf "backend: %s (%d words)@." (Backend.name backend)
+          (Backend.space_words backend);
+        Option.iter
+          (fun (h, m) -> Format.printf "store cache: %d hits, %d misses@." h m)
+          (cache_stats ());
+        Format.printf "%a" Metrics.pp snap;
+        if traces > 0 then begin
+          Format.printf "recent traces (%d of %d):@."
+            (List.length (Trace.records recorder))
+            (Trace.seen recorder);
+          List.iter
+            (fun tr -> Format.printf "  %a@." Trace.pp tr)
+            (Trace.records recorder)
+        end);
     match metrics_out with
     | None -> ()
     | Some path ->
@@ -910,7 +924,7 @@ let serve_stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
       const run $ graph_file_arg $ labels_file_opt_arg $ num $ budget
-      $ spot_check $ flat $ mmap_arg $ cache_slots $ json $ traces
+      $ spot_check $ flat $ mmap_arg $ cache_slots $ json $ format $ traces
       $ metrics_out_arg $ seed_arg $ jobs_arg)
 
 (* serve loop: a long-lived query loop over a file or stdin, flushing
@@ -1106,6 +1120,7 @@ let serve_loop_cmd =
       Printf.bprintf buf "  \"malformed_lines\": %d,\n" !malformed;
       Printf.bprintf buf "  \"out_of_range\": %d,\n" !out_of_range;
       Printf.bprintf buf "  \"clock_ns\": %Ld,\n" (clock ());
+      Metrics.sample_runtime_gauges registry;
       Printf.bprintf buf "  \"metrics\": %s,\n"
         (String.trim (Metrics.to_json (Metrics.snapshot registry)));
       let add_array key to_json items close =
@@ -1687,17 +1702,342 @@ let serve_router_cmd =
       $ max_restarts $ backoff_ms $ worker_exe $ echo $ spot_check
       $ clock_step_arg $ mmap_arg $ metrics_out_arg $ seed_arg)
 
+let serve_trace_cmd =
+  let queries_file =
+    let doc =
+      "Query stream: one 'u v' pair per line ('-' for stdin; blank lines and \
+       '#' comments skipped). With --op and no explicit --queries, the \
+       stream is skipped entirely."
+    in
+    Arg.(value & opt string "-" & info [ "queries" ] ~docv:"FILE" ~doc)
+  in
+  let ops =
+    let doc =
+      "Aggregate operation (repeatable, same forms as 'serve query --op'), \
+       fanned out and traced like any query."
+    in
+    Arg.(value & opt_all string [] & info [ "op" ] ~docv:"OP" ~doc)
+  in
+  let chaos =
+    let doc =
+      "Per-shard chaos plan '<shard>:<fault>@<frames>' (repeatable), applied \
+       to that shard's initial worker — chaos paths (retries, backoff, \
+       degraded recomputes) are exactly what the trace trees make visible."
+    in
+    Arg.(value & opt_all string [] & info [ "chaos" ] ~docv:"S:PLAN" ~doc)
+  in
+  let batch =
+    let doc = "Pairs per router batch (one trace tree per batch)." in
+    Arg.(value & opt int 64 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let deadline_ms =
+    let doc = "Per-request deadline in milliseconds." in
+    Arg.(value & opt int 2000 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_restarts =
+    let doc = "Restart budget per shard before quarantine." in
+    Arg.(value & opt int 3 & info [ "max-restarts" ] ~docv:"R" ~doc)
+  in
+  let backoff_ms =
+    let doc = "Base restart backoff in milliseconds (doubles per restart)." in
+    Arg.(value & opt int 50 & info [ "backoff-ms" ] ~docv:"MS" ~doc)
+  in
+  let worker_exe =
+    let doc =
+      "Spawn workers by exec'ing $(docv) ('serve worker' is appended) \
+       instead of forking in-process."
+    in
+    Arg.(value & opt (some string) None & info [ "worker-exe" ] ~docv:"EXE" ~doc)
+  in
+  let spot_check =
+    let doc = "Per-worker spot-check cadence (0 disables)." in
+    Arg.(value & opt int 1 & info [ "spot-check-every" ] ~docv:"K" ~doc)
+  in
+  let trace_sample =
+    let doc =
+      "Head-sample 1 in $(docv) traces (deterministic hash of the trace \
+       id); 1 records every query. Retried, degraded and slow queries are \
+       force-recorded regardless."
+    in
+    Arg.(value & opt int 1 & info [ "trace-sample" ] ~docv:"N" ~doc)
+  in
+  let slow_ms =
+    let doc =
+      "Also force-record any query at least this slow (milliseconds; 0 \
+       disables the threshold)."
+    in
+    Arg.(value & opt int 0 & info [ "slow-ms" ] ~docv:"MS" ~doc)
+  in
+  let trace_format =
+    let doc =
+      "Trace rendering: 'text' (flame-style tree per trace) or 'jsonl' (one \
+       JSON object per trace: {\"trace_id\": ..., \"root\": <span tree>})."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("jsonl", `Jsonl) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let trace_out =
+    let doc =
+      "Also write the rendered traces to $(docv) (atomic write-then-rename; \
+       byte-identical across same-seed runs under --clock-step)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let run graph_file labels_file queries_file ops shards partition chaos batch
+      deadline_ms max_restarts backoff_ms worker_exe spot_check trace_sample
+      slow_ms trace_format trace_out clock_step mmap metrics_out seed =
+    if shards < 1 || batch < 1 || deadline_ms < 1 || max_restarts < 0
+       || backoff_ms < 0 || clock_step < 0 || trace_sample < 1 || slow_ms < 0
+    then begin
+      Printf.eprintf
+        "hubhard: need --shards/--batch/--deadline-ms/--trace-sample \
+         positive, --max-restarts/--backoff-ms/--clock-step/--slow-ms \
+         non-negative\n";
+      exit 124
+    end;
+    let kind = resolve_store_kind ~mmap ~labels_file () in
+    let op_reqs =
+      List.map
+        (fun s ->
+          match Ops.request_of_string s with
+          | Ok r -> r
+          | Error msg ->
+              Printf.eprintf "hubhard: --op %S: %s\n" s msg;
+              exit 124)
+        ops
+    in
+    let chaos =
+      List.map
+        (fun s ->
+          match String.index_opt s ':' with
+          | None ->
+              Printf.eprintf
+                "hubhard: --chaos %S: expected <shard>:<fault>@<frames>\n" s;
+              exit 124
+          | Some i -> (
+              let shard = String.sub s 0 i
+              and plan = String.sub s (i + 1) (String.length s - i - 1) in
+              match
+                (int_of_string_opt shard, Fault_injector.chaos_of_string plan)
+              with
+              | Some sh, Ok c when sh >= 0 && sh < shards -> (sh, c)
+              | Some _, Ok _ ->
+                  Printf.eprintf "hubhard: --chaos %S: shard out of range\n" s;
+                  exit 124
+              | None, _ ->
+                  Printf.eprintf "hubhard: --chaos %S: bad shard index\n" s;
+                  exit 124
+              | _, Error msg ->
+                  Printf.eprintf "hubhard: %s\n" msg;
+                  exit 124))
+        chaos
+    in
+    let g = parse_graph_exit graph_file in
+    let n = Graph.n g in
+    if n = 0 then begin
+      Printf.eprintf "validation failure: empty graph\n";
+      exit exit_validation_failure
+    end;
+    List.iter
+      (fun r ->
+        match Ops.validate ~n r with
+        | Ok () -> ()
+        | Error msg ->
+            Printf.eprintf "validation failure: %s\n" msg;
+            exit exit_validation_failure)
+      op_reqs;
+    let mmap_store =
+      if kind = Store_mmap then Option.map (load_mmap_exit ~graph:g) labels_file
+      else None
+    in
+    let labels =
+      if mmap_store <> None then None
+      else Option.map parse_labels_exit labels_file
+    in
+    Option.iter (fun (l, _) -> structural_exit g l) labels;
+    let event_log = Events.create (Events.ring ~capacity:64) in
+    Events.install event_log;
+    let spawn =
+      match worker_exe with
+      | None -> Router.Fork
+      | Some exe ->
+          Router.Exec
+            (fun ~shard ->
+              let base =
+                [
+                  exe; "serve"; "worker"; "--graph-file"; graph_file;
+                  "--shards"; string_of_int shards;
+                  "--shard"; string_of_int shard;
+                  "--partition"; Repro_hub.Partition.string_of_spec partition;
+                  "--spot-check-every"; string_of_int spot_check;
+                  "--clock-step"; string_of_int clock_step;
+                  "--seed"; string_of_int seed;
+                ]
+              in
+              let base =
+                match labels_file with
+                | Some f -> base @ [ "--labels-file"; f ]
+                | None -> base
+              in
+              let base = if mmap then base @ [ "--mmap" ] else base in
+              let base =
+                match List.assoc_opt shard chaos with
+                | Some c ->
+                    base @ [ "--chaos"; Fault_injector.chaos_to_string c ]
+                | None -> base
+              in
+              Array.of_list base)
+    in
+    let cfg =
+      {
+        (Router.default_config g) with
+        labels = Option.map fst labels;
+        mmap = mmap_store;
+        shards;
+        partition;
+        supervisor =
+          {
+            Supervisor.default_config with
+            deadline_ns = Int64.of_int (deadline_ms * 1_000_000);
+            max_restarts;
+            base_backoff_ns = Int64.of_int (backoff_ms * 1_000_000);
+          };
+        spot_check_every = spot_check;
+        chaos;
+        clock_step =
+          (if clock_step > 0 then Some (Int64.of_int clock_step) else None);
+        seed;
+        spawn;
+        trace =
+          Some
+            {
+              Router.sample_every = trace_sample;
+              slow_ns = Int64.of_int (slow_ms * 1_000_000);
+              capacity = 4096;
+            };
+      }
+    in
+    let router = Router.create cfg in
+    let ic =
+      if queries_file = "-" then
+        if op_reqs <> [] then None
+        else Some stdin
+      else
+        match open_in queries_file with
+        | ic -> Some ic
+        | exception Sys_error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit exit_parse_failure
+    in
+    let served = ref 0 and degraded = ref 0 and skipped = ref 0 in
+    let pending = ref [] and pending_n = ref 0 in
+    let flush_batch () =
+      if !pending_n > 0 then begin
+        let arr = Array.of_list (List.rev !pending) in
+        pending := [];
+        pending_n := 0;
+        let answers = Router.query_batch router arr in
+        Array.iter
+          (fun (a : Router.answer) ->
+            incr served;
+            if a.Router.degraded then incr degraded)
+          answers
+      end
+    in
+    Option.iter
+      (fun ic ->
+        (try
+           while true do
+             let line = String.trim (input_line ic) in
+             if line <> "" && line.[0] <> '#' then
+               match Scanf.sscanf line " %d %d" (fun u v -> (u, v)) with
+               | exception _ -> incr skipped
+               | u, v ->
+                   if u < 0 || u >= n || v < 0 || v >= n then incr skipped
+                   else begin
+                     pending := (u, v) :: !pending;
+                     incr pending_n;
+                     if !pending_n >= batch then flush_batch ()
+                   end
+           done
+         with End_of_file -> ());
+        if ic != stdin then close_in ic)
+      ic;
+    flush_batch ();
+    List.iter
+      (fun req ->
+        let r = Router.op router req in
+        incr served;
+        if r.Router.degraded then incr degraded)
+      op_reqs;
+    let trees = Router.trace_trees router in
+    let rendered =
+      let buf = Buffer.create 4096 in
+      (match trace_format with
+      | `Text ->
+          List.iter
+            (fun (id, node) ->
+              Buffer.add_string buf (Printf.sprintf "trace %s\n" id);
+              Buffer.add_string buf
+                (Format.asprintf "%a" Span.pp_flame node))
+            trees
+      | `Jsonl ->
+          List.iter
+            (fun (id, node) ->
+              Buffer.add_string buf
+                (Printf.sprintf "{\"trace_id\": \"%s\", \"root\": %s}\n" id
+                   (Span.to_json node)))
+            trees);
+      Buffer.contents buf
+    in
+    print_string rendered;
+    (match trace_out with
+    | None -> ()
+    | Some path -> write_file path rendered);
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        write_file path (Metrics.to_json (Router.merged_snapshot router)));
+    Format.printf
+      "traced %d queries over %d shard(s): %d trace tree(s) (%d degraded, \
+       %d lines skipped)@."
+      !served shards (List.length trees) !degraded !skipped;
+    Router.shutdown router;
+    Events.uninstall ();
+    if !degraded > 0 then exit exit_degraded
+  in
+  let doc =
+    "Route queries across the supervised sharded tier with distributed \
+     tracing on: each query mints a deterministic trace context, \
+     propagates it to the workers over the wire, and the router \
+     reassembles one end-to-end trace tree per query — router span, \
+     per-shard RPC spans, worker spans, and the retry / backoff / \
+     degraded-recompute spans of the unlucky paths. Deterministic given \
+     --seed and --clock-step: the rendered traces are byte-identical \
+     across same-seed runs. Exit 12 when any answer was degraded."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ graph_file_arg $ labels_file_opt_arg $ queries_file $ ops
+      $ shards_arg ~default:3 $ partition_arg $ chaos $ batch $ deadline_ms
+      $ max_restarts $ backoff_ms $ worker_exe $ spot_check $ trace_sample
+      $ slow_ms $ trace_format $ trace_out $ clock_step_arg $ mmap_arg
+      $ metrics_out_arg $ seed_arg)
+
 let serve_cmd =
   let doc =
     "Resilient serving path: validated inputs, spot-checked answers, \
      graceful degradation (hub labels -> bidirectional search -> BFS), and \
-     the supervised sharded tier (worker/router). Exit codes: 10 parse \
-     failure, 11 validation failure, 12 degraded-mode answers."
+     the supervised sharded tier (worker/router) with end-to-end \
+     distributed tracing. Exit codes: 10 parse failure, 11 validation \
+     failure, 12 degraded-mode answers."
   in
   Cmd.group (Cmd.info "serve" ~doc)
     [
       serve_check_cmd; serve_query_cmd; serve_stats_cmd; serve_loop_cmd;
-      serve_worker_cmd; serve_router_cmd;
+      serve_worker_cmd; serve_router_cmd; serve_trace_cmd;
     ]
 
 (* ---------------------------------------------------------------- *)

@@ -4,6 +4,7 @@ type gauge = { mutable value : int }
 type histogram = {
   bounds : int array; (* strictly increasing bucket upper bounds *)
   buckets : int array; (* length bounds + 1; last slot is overflow *)
+  exemplars : string option array; (* per bucket: last sampled trace id *)
   mutable total : int;
   mutable sum : int;
   mutable max_seen : int;
@@ -77,6 +78,7 @@ let histogram ?(buckets = default_latency_buckets) t name =
           {
             bounds = Array.copy buckets;
             buckets = Array.make (Array.length buckets + 1) 0;
+            exemplars = Array.make (Array.length buckets + 1) None;
             total = 0;
             sum = 0;
             max_seen = 0;
@@ -104,22 +106,34 @@ let bucket_of h v =
   done;
   !lo
 
-let observe h v =
+let observe ?exemplar h v =
   let v = max v 0 in
   let b = bucket_of h v in
   h.buckets.(b) <- h.buckets.(b) + 1;
   h.total <- h.total + 1;
   h.sum <- h.sum + v;
-  if v > h.max_seen then h.max_seen <- v
+  if v > h.max_seen then h.max_seen <- v;
+  match exemplar with
+  | None -> ()
+  | Some _ -> h.exemplars.(b) <- exemplar
 
-let observe_span ?(clock = Clock.monotonic) h f =
+let observe_span ?(clock = Clock.monotonic) ?exemplar h f =
   let t0 = clock () in
-  let finally () = observe h (Int64.to_int (Int64.sub (clock ()) t0)) in
+  let finally () =
+    let v = Int64.to_int (Int64.sub (clock ()) t0) in
+    (* resolve the exemplar after the thunk: by then the caller knows
+       whether the work was sampled or force-sampled *)
+    observe ?exemplar:(Option.bind exemplar (fun f -> f ())) h v
+  in
   Fun.protect ~finally f
 
 let hist_count h = h.total
 let hist_sum h = h.sum
 let hist_max h = h.max_seen
+
+(* [hist_summary] below reuses the [exemplars] field name; bind the
+   histogram's array accessor while it is still unambiguous *)
+let hist_exemplar_slots h = h.exemplars
 
 let percentile h q =
   if q <= 0.0 || q > 1.0 then
@@ -143,6 +157,7 @@ type hist_summary = {
   p90 : int;
   p99 : int;
   max : int;
+  exemplars : (int * string) list; (* bucket index -> last trace id, sorted *)
 }
 
 type snapshot = {
@@ -152,6 +167,13 @@ type snapshot = {
 }
 
 let summarise h =
+  let slots = hist_exemplar_slots h in
+  let exemplars = ref [] in
+  for i = Array.length slots - 1 downto 0 do
+    match slots.(i) with
+    | Some id -> exemplars := (i, id) :: !exemplars
+    | None -> ()
+  done;
   {
     count = h.total;
     sum = h.sum;
@@ -159,6 +181,7 @@ let summarise h =
     p90 = percentile h 0.9;
     p99 = percentile h 0.99;
     max = h.max_seen;
+    exemplars = !exemplars;
   }
 
 let snapshot t =
@@ -224,7 +247,12 @@ let snapshot_to_wire s =
     (fun (name, h) ->
       check_wire_name name;
       Printf.bprintf buf "h %s %d %d %d %d %d %d\n" name h.count h.sum h.p50
-        h.p90 h.p99 h.max)
+        h.p90 h.p99 h.max;
+      List.iter
+        (fun (bucket, ex) ->
+          check_wire_name ex;
+          Printf.bprintf buf "x %s %d %s\n" name bucket ex)
+        h.exemplars)
     s.histograms;
   Buffer.contents buf
 
@@ -266,9 +294,22 @@ let snapshot_of_wire text =
               | [ Some count; Some sum; Some p50; Some p90; Some p99; Some max ]
                 ->
                   go (line_no + 1) counters gauges
-                    ((name, { count; sum; p50; p90; p99; max }) :: histograms)
+                    (( name,
+                       { count; sum; p50; p90; p99; max; exemplars = [] } )
+                    :: histograms)
                     rest
               | _ -> err line_no "bad histogram fields")
+          | [ "x"; name; bucket; ex ] -> (
+              match (int_of_string_opt bucket, List.assoc_opt name histograms)
+              with
+              | Some bucket, Some h when bucket >= 0 ->
+                  let h = { h with exemplars = h.exemplars @ [ (bucket, ex) ] } in
+                  go (line_no + 1) counters gauges
+                    ((name, h) :: List.remove_assoc name histograms)
+                    rest
+              | Some _, Some _ -> err line_no "negative exemplar bucket"
+              | Some _, None -> err line_no "exemplar for unknown histogram"
+              | None, _ -> err line_no "bad exemplar bucket")
           | _ -> err line_no "bad metric line")
   in
   go 1 [] [] [] lines
@@ -308,13 +349,79 @@ let to_json s =
       Buffer.add_string buf (Printf.sprintf "\"%s\": %d" (json_escape name) v));
   Buffer.add_string buf ",\n  \"histograms\": ";
   obj s.histograms (fun (name, h) ->
+      (* exemplars appear only when present, keeping exemplar-free
+         output byte-identical to the historical form *)
+      let exemplars =
+        match h.exemplars with
+        | [] -> ""
+        | exs ->
+            let fields =
+              List.map
+                (fun (bucket, ex) ->
+                  Printf.sprintf "\"%d\": \"%s\"" bucket (json_escape ex))
+                exs
+            in
+            Printf.sprintf ", \"exemplars\": {%s}" (String.concat ", " fields)
+      in
       Buffer.add_string buf
         (Printf.sprintf
            "\"%s\": {\"count\": %d, \"sum_ns\": %d, \"p50_ns\": %d, \
-            \"p90_ns\": %d, \"p99_ns\": %d, \"max_ns\": %d}"
-           (json_escape name) h.count h.sum h.p50 h.p90 h.p99 h.max));
+            \"p90_ns\": %d, \"p99_ns\": %d, \"max_ns\": %d%s}"
+           (json_escape name) h.count h.sum h.p50 h.p90 h.p99 h.max exemplars));
   Buffer.add_string buf "\n}\n";
   Buffer.contents buf
+
+(* Prometheus text exposition (version 0.0.4). Operates on the registry
+   rather than a snapshot: the classic format wants full cumulative
+   bucket counts, which summaries no longer carry. *)
+
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let metrics =
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (name, m) ->
+      let pname = prom_name name in
+      match m with
+      | Counter c ->
+          Printf.bprintf buf "# TYPE %s_total counter\n%s_total %d\n" pname
+            pname c.count
+      | Gauge g ->
+          Printf.bprintf buf "# TYPE %s gauge\n%s %d\n" pname pname g.value
+      | Histogram h ->
+          Printf.bprintf buf "# TYPE %s histogram\n" pname;
+          let acc = ref 0 in
+          Array.iteri
+            (fun i bound ->
+              acc := !acc + h.buckets.(i);
+              Printf.bprintf buf "%s_bucket{le=\"%d\"} %d\n" pname bound !acc)
+            h.bounds;
+          Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" pname h.total;
+          Printf.bprintf buf "%s_sum %d\n" pname h.sum;
+          Printf.bprintf buf "%s_count %d\n" pname h.total)
+    metrics;
+  Buffer.contents buf
+
+(* Runtime gauges, refreshed at snapshot time. Gc.stat (not quick_stat)
+   is deliberate: live_words needs the full walk. It forces a major
+   collection, which is fine at snapshot cadence and keeps the numbers
+   deterministic across identical same-binary runs. *)
+let sample_runtime_gauges t =
+  let st = Gc.stat () in
+  set_gauge (gauge t "runtime.gc.minor_collections") st.Gc.minor_collections;
+  set_gauge (gauge t "runtime.gc.major_collections") st.Gc.major_collections;
+  set_gauge (gauge t "runtime.heap_words") st.Gc.heap_words;
+  set_gauge (gauge t "runtime.live_words") st.Gc.live_words
 
 let pp ppf s =
   List.iter

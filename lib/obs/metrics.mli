@@ -58,12 +58,22 @@ val histogram : ?buckets:int array -> t -> string -> histogram
     @raise Invalid_argument on empty or non-increasing [buckets], or if
     the name already exists with different buckets. *)
 
-val observe : histogram -> int -> unit
-(** Record one value (negative values are clamped to 0). *)
+val observe : ?exemplar:string -> histogram -> int -> unit
+(** Record one value (negative values are clamped to 0). When
+    [exemplar] is given (a trace id from {!Trace_ctx.id_string}), the
+    value's bucket retains it as its last sampled exemplar, linking
+    outliers in this histogram to their trace trees. *)
 
-val observe_span : ?clock:Clock.t -> histogram -> (unit -> 'a) -> 'a
+val observe_span :
+  ?clock:Clock.t ->
+  ?exemplar:(unit -> string option) ->
+  histogram ->
+  (unit -> 'a) ->
+  'a
 (** Time a thunk with [clock] (default {!Clock.monotonic}) and record
-    the elapsed nanoseconds — also when the thunk raises. *)
+    the elapsed nanoseconds — also when the thunk raises. [exemplar] is
+    consulted {e after} the thunk, so force-sampling decisions made
+    during the work (a retry, a degraded answer) are visible to it. *)
 
 val hist_count : histogram -> int
 val hist_sum : histogram -> int
@@ -86,6 +96,9 @@ type hist_summary = {
   p90 : int;
   p99 : int;
   max : int;
+  exemplars : (int * string) list;
+      (** [(bucket index, trace id)] for buckets that retain an
+          exemplar, sorted by bucket index; [[]] when none *)
 }
 
 type snapshot = {
@@ -116,10 +129,12 @@ val snapshot_to_wire : snapshot -> string
 (** Compact line-based serialisation for shipping a snapshot over the
     shard wire protocol: one metric per line —
     [c <name> <value>], [g <name> <value>],
-    [h <name> <count> <sum> <p50> <p90> <p99> <max>].
-    Metric names follow the dot-separated convention and must not
-    contain whitespace or newlines (raises [Invalid_argument]
-    otherwise). Canonical: equal snapshots serialise to equal bytes. *)
+    [h <name> <count> <sum> <p50> <p90> <p99> <max>], and after each
+    histogram one [x <name> <bucket> <exemplar>] line per retained
+    exemplar. Metric names (and exemplars) follow the dot-separated
+    convention and must not contain whitespace or newlines (raises
+    [Invalid_argument] otherwise). Canonical: equal snapshots serialise
+    to equal bytes. *)
 
 val snapshot_of_wire : string -> (snapshot, string) result
 (** Parse {!snapshot_to_wire} output. Every malformed line yields
@@ -131,7 +146,25 @@ val to_json : snapshot -> string
       "gauges": {name: int, ...},
       "histograms": {name: {"count": int, "sum_ns": int, "p50_ns": int,
                             "p90_ns": int, "p99_ns": int, "max_ns": int}}}]
+    — histograms with exemplars additionally carry
+    ["exemplars": {"<bucket>": "<trace id>", ...}]; the key is absent
+    otherwise, keeping exemplar-free output byte-stable
     (see docs/OBSERVABILITY.md for the full schema). *)
+
+val to_prometheus : t -> string
+(** The registry in Prometheus text exposition format: counters as
+    [<name>_total], gauges verbatim, histograms as cumulative
+    [<name>_bucket{le="..."}] series plus [_sum] and [_count], each
+    preceded by a [# TYPE] line. Characters outside
+    [[a-zA-Z0-9_:]] in metric names are mangled to [_]; metrics are
+    sorted by (original) name. Takes the registry, not a snapshot,
+    because the exposition needs the full per-bucket counts. *)
+
+val sample_runtime_gauges : t -> unit
+(** Refresh the OCaml runtime gauges [runtime.gc.minor_collections],
+    [runtime.gc.major_collections], [runtime.heap_words] and
+    [runtime.live_words] from [Gc.stat]. Call at snapshot time; note
+    [Gc.stat] performs a full major collection. *)
 
 val pp : Format.formatter -> snapshot -> unit
 (** Human-readable text report, one metric per line. *)

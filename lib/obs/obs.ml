@@ -34,14 +34,18 @@ let instrument ?(clock = Clock.monotonic) ?recorder ?prefix registry backend =
   Backend.make ~name:B.name ~space_words:B.space_words ~detailed:timed
     (fun u v -> fst (timed u v))
 
-let instrument_op ?(clock = Clock.monotonic) ?(prefix = "ops") registry f req =
+let instrument_op ?(clock = Clock.monotonic) ?exemplar ?(prefix = "ops")
+    registry f req =
   let base = prefix ^ "." ^ Ops.name req in
   let h_latency = Metrics.histogram registry (base ^ ".latency_ns") in
   let c_count = Metrics.counter registry (base ^ ".count") in
   let c_errors = Metrics.counter registry (base ^ ".errors") in
   let t0 = clock () in
   let finish () =
-    Metrics.observe h_latency (Int64.to_int (Int64.sub (clock ()) t0));
+    (* the exemplar thunk runs after [f]: by now the caller knows
+       whether this request's trace was (force-)sampled *)
+    let exemplar = Option.bind exemplar (fun g -> g ()) in
+    Metrics.observe ?exemplar h_latency (Int64.to_int (Int64.sub (clock ()) t0));
     Metrics.incr c_count
   in
   match f req with

@@ -37,6 +37,7 @@ val instrument :
 
 val instrument_op :
   ?clock:Clock.t ->
+  ?exemplar:(unit -> string option) ->
   ?prefix:string ->
   Metrics.t ->
   (Ops.request -> 'a) ->
@@ -51,9 +52,12 @@ val instrument_op :
 
     where [<p>] is [prefix] (default ["ops"]) and [<op>] is
     {!Ops.name} of the request ([ops.eccentricity.count],
-    [ops.top_k_nearest.latency_ns], ...). Polymorphic in the result so
-    richer evaluators (e.g. {!Repro_serve.Resilient_oracle.op}, which
-    also reports its serving stage) instrument identically. *)
+    [ops.top_k_nearest.latency_ns], ...). [exemplar], when given, is
+    consulted after the evaluation (so force-sampling decisions made
+    during it are visible); a [Some] trace id becomes the latency
+    bucket's exemplar ({!Metrics.observe}). Polymorphic in the result
+    so richer evaluators (e.g. {!Repro_serve.Resilient_oracle.op},
+    which also reports its serving stage) instrument identically. *)
 
 val instrument_ops :
   ?clock:Clock.t ->

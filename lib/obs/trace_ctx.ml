@@ -1,0 +1,269 @@
+type t = {
+  hi : int64;
+  lo : int64;
+  span_id : int64;
+  sampled : bool;
+  forced : bool;
+}
+
+(* Murmur3/splitmix finalizer: a cheap bijective mixer whose output is
+   a pure function of the input — determinism is the whole point. *)
+let mix z =
+  let z = Int64.logxor z (Int64.shift_right_logical z 33) in
+  let z = Int64.mul z 0xff51afd7ed558ccdL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 33) in
+  let z = Int64.mul z 0xc4ceb9fe1a85ec53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let golden = 0x9e3779b97f4a7c15L
+
+(* span id 0 is the reserved "no parent" marker *)
+let nonzero z = if Int64.equal z 0L then 1L else z
+
+let root ~seed ~seq =
+  let base =
+    Int64.add (Int64.mul (Int64.of_int seed) golden) (Int64.of_int seq)
+  in
+  let hi = mix base in
+  let lo = mix (Int64.logxor hi golden) in
+  {
+    hi;
+    lo;
+    span_id = nonzero (mix lo);
+    sampled = false;
+    forced = false;
+  }
+
+let head_sample ~every t =
+  if every < 1 then invalid_arg "Trace_ctx.head_sample: every must be >= 1";
+  if every = 1 then { t with sampled = true }
+  else
+    let h = mix (Int64.logxor t.hi t.lo) in
+    { t with sampled = Int64.unsigned_rem h (Int64.of_int every) = 0L }
+
+let child t ~seq =
+  {
+    t with
+    span_id =
+      nonzero
+        (mix (Int64.add t.span_id (Int64.mul golden (Int64.of_int (seq + 1)))));
+  }
+
+let force t = { t with sampled = true; forced = true }
+let recorded t = t.sampled || t.forced
+let id_string t = Printf.sprintf "%016Lx%016Lx" t.hi t.lo
+
+(* ----- 25-byte wire block ------------------------------------------- *)
+
+let encoded_len = 25
+
+let encode t =
+  let b = Bytes.create encoded_len in
+  Bytes.set_int64_le b 0 t.hi;
+  Bytes.set_int64_le b 8 t.lo;
+  Bytes.set_int64_le b 16 t.span_id;
+  let flags = (if t.sampled then 1 else 0) lor if t.forced then 2 else 0 in
+  Bytes.set_uint8 b 24 flags;
+  Bytes.unsafe_to_string b
+
+let decode s ~pos =
+  if pos < 0 || pos + encoded_len > String.length s then
+    Error
+      (Printf.sprintf "trace context: wanted %d bytes at %d, have %d"
+         encoded_len pos (String.length s))
+  else
+    let hi = String.get_int64_le s pos in
+    let lo = String.get_int64_le s (pos + 8) in
+    let span_id = String.get_int64_le s (pos + 16) in
+    let flags = Char.code s.[pos + 24] in
+    (* unknown flag bits are ignored: a newer peer's extensions must
+       not break this decoder *)
+    Ok
+      {
+        hi;
+        lo;
+        span_id;
+        sampled = flags land 1 <> 0;
+        forced = flags land 2 <> 0;
+      }
+
+(* ----- completed spans ----------------------------------------------- *)
+
+type span = {
+  trace_hi : int64;
+  trace_lo : int64;
+  span_id : int64;
+  parent_id : int64;
+  name : string;
+  start_ns : int64;
+  elapsed_ns : int64;
+}
+
+type store = {
+  capacity : int;
+  q : span Queue.t;
+  mutable total : int;
+}
+
+let store ~capacity =
+  if capacity < 1 then invalid_arg "Trace_ctx.store: capacity must be >= 1";
+  { capacity; q = Queue.create (); total = 0 }
+
+let record st sp =
+  st.total <- st.total + 1;
+  Queue.push sp st.q;
+  if Queue.length st.q > st.capacity then ignore (Queue.pop st.q)
+
+let spans st = List.of_seq (Queue.to_seq st.q)
+let seen st = st.total
+let clear st = Queue.clear st.q
+
+(* ----- wire form ------------------------------------------------------ *)
+
+let check_name name =
+  if name = "" then invalid_arg "Trace_ctx.spans_to_wire: empty span name";
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then
+        invalid_arg
+          (Printf.sprintf
+             "Trace_ctx.spans_to_wire: name %S contains whitespace" name))
+    name
+
+let spans_to_wire sps =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun sp ->
+      check_name sp.name;
+      Printf.bprintf buf "s %Lx %Lx %Lx %Lx %Ld %Ld %s\n" sp.trace_hi
+        sp.trace_lo sp.span_id sp.parent_id sp.start_ns sp.elapsed_ns sp.name)
+    sps;
+  Buffer.contents buf
+
+let hex64_opt s =
+  (* Int64.of_string with "0x" accepts the full unsigned range; reject
+     signs and junk that of_string would let through *)
+  if s = "" then None
+  else if String.exists (fun c -> c = '+' || c = '-' || c = '_') s then None
+  else Int64.of_string_opt ("0x" ^ s)
+
+let dec64_opt s =
+  if s = "" || String.exists (fun c -> c = '_') s then None
+  else Int64.of_string_opt s
+
+let spans_of_wire text =
+  let err line_no what =
+    Error (Printf.sprintf "trace wire line %d: %s" line_no what)
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go line_no acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        if String.trim line = "" then go (line_no + 1) acc rest
+        else
+          match
+            String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+          with
+          | [ "s"; hi; lo; span; parent; start; elapsed; name ] -> (
+              match
+                ( hex64_opt hi,
+                  hex64_opt lo,
+                  hex64_opt span,
+                  hex64_opt parent,
+                  dec64_opt start,
+                  dec64_opt elapsed )
+              with
+              | ( Some trace_hi,
+                  Some trace_lo,
+                  Some span_id,
+                  Some parent_id,
+                  Some start_ns,
+                  Some elapsed_ns ) ->
+                  go (line_no + 1)
+                    ({
+                       trace_hi;
+                       trace_lo;
+                       span_id;
+                       parent_id;
+                       name;
+                       start_ns;
+                       elapsed_ns;
+                     }
+                    :: acc)
+                    rest
+              | _ -> err line_no "bad span fields")
+          | _ -> err line_no "bad span line")
+  in
+  go 1 [] lines
+
+(* ----- reassembly ----------------------------------------------------- *)
+
+let span_order a b =
+  match Int64.compare a.start_ns b.start_ns with
+  | 0 -> Int64.unsigned_compare a.span_id b.span_id
+  | c -> c
+
+let tree sps =
+  (* group by trace id, preserving nothing but the spans themselves:
+     ordering is re-derived from (start_ns, span_id) so the result is
+     independent of merge order *)
+  let traces = Hashtbl.create 16 in
+  List.iter
+    (fun sp ->
+      let key = (sp.trace_hi, sp.trace_lo) in
+      Hashtbl.replace traces key
+        (sp :: (Option.value ~default:[] (Hashtbl.find_opt traces key))))
+    sps;
+  let build_trace sps =
+    let sps = List.sort span_order sps in
+    let present = Hashtbl.create 16 in
+    List.iter (fun sp -> Hashtbl.replace present sp.span_id ()) sps;
+    (* the root is the earliest span with no recorded parent; orphans
+       (parent span not recorded, e.g. an unsampled window) nest under
+       it rather than vanishing *)
+    let is_root sp =
+      Int64.equal sp.parent_id 0L || not (Hashtbl.mem present sp.parent_id)
+    in
+    let root_sp =
+      match List.find_opt is_root sps with
+      | Some sp -> sp
+      | None -> List.hd sps (* a parent cycle: degrade gracefully *)
+    in
+    let children_of =
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun sp ->
+          if not (sp == root_sp) then begin
+            let parent =
+              if
+                Hashtbl.mem present sp.parent_id
+                && not (Int64.equal sp.parent_id sp.span_id)
+              then sp.parent_id
+              else root_sp.span_id
+            in
+            Hashtbl.replace tbl parent
+              (sp :: Option.value ~default:[] (Hashtbl.find_opt tbl parent))
+          end)
+        sps;
+      fun id -> List.sort span_order (Option.value ~default:[] (Hashtbl.find_opt tbl id))
+    in
+    (* depth-bounded so a hostile parent graph cannot loop; spans past
+       the bound are dropped rather than recursed into *)
+    let rec node depth sp =
+      {
+        Span.name = sp.name;
+        start_ns = sp.start_ns;
+        elapsed_ns = sp.elapsed_ns;
+        counters = [];
+        children =
+          (if depth >= 64 then []
+           else List.map (node (depth + 1)) (children_of sp.span_id));
+      }
+    in
+    node 0 root_sp
+  in
+  Hashtbl.fold
+    (fun (hi, lo) sps acc ->
+      (Printf.sprintf "%016Lx%016Lx" hi lo, build_trace sps) :: acc)
+    traces []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,117 @@
+(** Cross-process trace contexts for the sharded serving tier.
+
+    A trace context is a 128-bit trace id, a 64-bit span id and two
+    sampling flags, small enough to ride every {!Repro_shard.Wire}
+    request frame as a 25-byte optional block. All ids are produced by
+    deterministic mixing of [(seed, sequence)] — two same-seed runs of
+    the same workload mint identical trace ids, which is what keeps the
+    [serve trace] output byte-identical under the manual {!Clock}.
+
+    Sampling is {e head-based}: the decision is a pure hash of the
+    trace id ({!head_sample}), made once at the root and propagated in
+    the context, so every process in the request path agrees without
+    coordination. Degraded, retried or slow requests are {e force}
+    sampled after the fact ({!force}) — the spans of an unlucky query
+    are recorded even when the head decision said no (shards only
+    contribute their child spans to such traces when they themselves
+    observed the degradation, since the in-flight context still carries
+    the original decision).
+
+    Completed spans are {!span} records in a bounded {!store}; the
+    router pulls each worker's store over the wire
+    ({!spans_to_wire} / {!spans_of_wire}, canonical and total like the
+    metrics wire form) and {!tree} reassembles everything into
+    {!Span.node} trees, one per trace. *)
+
+type t = {
+  hi : int64;  (** trace id, high 64 bits *)
+  lo : int64;  (** trace id, low 64 bits *)
+  span_id : int64;  (** the sender's span, parent of work done for it *)
+  sampled : bool;  (** head-sampling decision, made at the root *)
+  forced : bool;  (** sampling forced by a degraded/retried/slow path *)
+}
+
+val root : seed:int -> seq:int -> t
+(** Mint the context of a fresh trace: ids are a pure mix of
+    [(seed, seq)], [sampled]/[forced] start false. Span ids are never
+    [0] (the reserved "no parent" marker). *)
+
+val head_sample : every:int -> t -> t
+(** Set [sampled] by the deterministic 1-in-[every] head decision
+    (a hash of the trace id); [every <= 1] samples everything.
+    @raise Invalid_argument when [every < 1]. *)
+
+val child : t -> seq:int -> t
+(** A fresh child span id derived from the current span and [seq];
+    trace id and flags are inherited. *)
+
+val force : t -> t
+(** Mark the context force-sampled ([sampled] and [forced] both set). *)
+
+val recorded : t -> bool
+(** [sampled || forced]: whether spans for this trace are recorded. *)
+
+val id_string : t -> string
+(** The 128-bit trace id as 32 lowercase hex digits — the exemplar
+    string stored in {!Metrics} histogram buckets. *)
+
+val encode : t -> string
+(** The 25-byte wire block: [hi], [lo], [span_id] as 64-bit LE, then
+    one flags byte (bit 0 sampled, bit 1 forced). *)
+
+val encoded_len : int
+(** 25. *)
+
+val decode : string -> pos:int -> (t, string) result
+(** Decode {!encode} output at [pos]; total — a short buffer yields
+    [Error], unknown flag bits are ignored. *)
+
+(** {1 Completed spans} *)
+
+type span = {
+  trace_hi : int64;
+  trace_lo : int64;
+  span_id : int64;
+  parent_id : int64;  (** [0L] marks a trace root *)
+  name : string;  (** whitespace-free, e.g. [rpc.shard1] *)
+  start_ns : int64;
+      (** clock reading of the {e recording} process — offsets are only
+          comparable within one process's clock domain *)
+  elapsed_ns : int64;
+}
+
+type store
+(** A bounded FIFO of completed spans (oldest dropped first). Not
+    thread-safe, like the registries it sits next to. *)
+
+val store : capacity:int -> store
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val record : store -> span -> unit
+val spans : store -> span list
+(** In insertion order. *)
+
+val seen : store -> int
+(** Total spans ever recorded (including dropped ones). *)
+
+val clear : store -> unit
+
+(** {1 Wire form and reassembly} *)
+
+val spans_to_wire : span list -> string
+(** One span per line:
+    [s <hi> <lo> <span> <parent> <start> <elapsed> <name>] with ids in
+    hex. Canonical — equal lists serialise to equal bytes.
+    @raise Invalid_argument on a name with whitespace. *)
+
+val spans_of_wire : string -> (span list, string) result
+(** Parse {!spans_to_wire} output. Malformed lines yield [Error]
+    naming the 1-based line; never raises. *)
+
+val tree : span list -> (string * Span.node) list
+(** Reassemble spans (typically router + worker stores merged) into one
+    {!Span.node} tree per trace, keyed and sorted by {!id_string}.
+    Children nest under their [parent_id] (orphans attach to the trace
+    root) and are ordered by [(start_ns, span_id)]; node [start_ns] /
+    [elapsed_ns] are the recorded per-process values. Deterministic:
+    equal span lists yield equal trees. *)

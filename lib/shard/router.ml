@@ -5,6 +5,14 @@ module Obs = Repro_obs
 
 type spawn = Fork | Exec of (shard:int -> string array)
 
+type trace_config = {
+  sample_every : int;  (* head-sample 1 in N traces; 1 = everything *)
+  slow_ns : int64;  (* force-record traces at least this slow; 0 = off *)
+  capacity : int;  (* bound on the router-side span store *)
+}
+
+let default_trace_config = { sample_every = 1; slow_ns = 0L; capacity = 4096 }
+
 type config = {
   graph : Graph.t;
   labels : Hub_label.t option;
@@ -19,6 +27,7 @@ type config = {
   clock_step : int64 option;
   seed : int;
   spawn : spawn;
+  trace : trace_config option;
 }
 
 let default_config graph =
@@ -36,6 +45,7 @@ let default_config graph =
     clock_step = None;
     seed = 0;
     spawn = Fork;
+    trace = None;
   }
 
 type answer = { dist : int; source : int; degraded : bool }
@@ -59,6 +69,19 @@ type counters = {
   m_latency : Obs.Metrics.histogram;
 }
 
+(* The one trace in flight. The router serves queries one at a time, so
+   a single mutable slot suffices; completed child spans accumulate in
+   [a_spans] (reversed) and are committed to the store only when the
+   trace turns out to be sampled, forced, or slow. *)
+type active = {
+  mutable a_ctx : Obs.Trace_ctx.t;  (* flags updated by force *)
+  mutable a_spans : Obs.Trace_ctx.span list;
+  mutable a_next : int;  (* child-span sequence counter *)
+  a_start : int64;
+  a_name : string;
+  mutable a_parent : int64;  (* parent id for newly minted child spans *)
+}
+
 type t = {
   cfg : config;
   sup : Supervisor.t;
@@ -70,6 +93,9 @@ type t = {
   pending : int64 option array;  (* backoff still owed before respawn *)
   fallback : Resilient_oracle.t Lazy.t;
   next_id : int ref;
+  tstore : Obs.Trace_ctx.store option;
+  tseq : int ref;
+  mutable cur : active option;
   mutable down : bool;
 }
 
@@ -128,7 +154,8 @@ let response_id = function
   | Wire.Row_payload { id; _ }
   | Wire.Ecc_payload { id; _ }
   | Wire.Topk_payload { id; _ }
-  | Wire.Diam_payload { id; _ } ->
+  | Wire.Diam_payload { id; _ }
+  | Wire.Trace_payload { id; _ } ->
       id
 
 (* Wait for the response with this [id]; responses to other requests
@@ -161,6 +188,106 @@ let send_frame conn frame =
 let fresh_id t =
   incr t.next_id;
   !(t.next_id)
+
+(* ----- trace lifecycle ----------------------------------------------- *)
+
+let ctx_span_id (c : Obs.Trace_ctx.t) = c.span_id
+
+(* Open a trace for this query if none is active. Nested entry points
+   (op Dist -> query_batch) leave the outer trace in place; the caller
+   that began the trace ends it. *)
+let trace_begin t name =
+  match (t.tstore, t.cur, t.cfg.trace) with
+  | Some _, None, Some tc ->
+      let seq = !(t.tseq) in
+      incr t.tseq;
+      let ctx =
+        Obs.Trace_ctx.head_sample ~every:tc.sample_every
+          (Obs.Trace_ctx.root ~seed:t.cfg.seed ~seq)
+      in
+      t.cur <-
+        Some
+          {
+            a_ctx = ctx;
+            a_spans = [];
+            a_next = 0;
+            a_start = t.clock ();
+            a_name = name;
+            a_parent = ctx_span_id ctx;
+          };
+      true
+  | _ -> false
+
+let force_cur t =
+  match t.cur with
+  | Some a -> a.a_ctx <- Obs.Trace_ctx.force a.a_ctx
+  | None -> ()
+
+(* Mint a child context under the current parent span: sent on the wire
+   so worker spans nest in the right place, and used as the span id of
+   router-side child spans. *)
+let mint_child t =
+  match t.cur with
+  | None -> None
+  | Some a ->
+      let c =
+        Obs.Trace_ctx.child
+          { a.a_ctx with span_id = a.a_parent }
+          ~seq:a.a_next
+      in
+      a.a_next <- a.a_next + 1;
+      Some c
+
+let trace_span t name ~span_id ~start =
+  match t.cur with
+  | None -> ()
+  | Some a ->
+      a.a_spans <-
+        {
+          Obs.Trace_ctx.trace_hi = a.a_ctx.hi;
+          trace_lo = a.a_ctx.lo;
+          span_id;
+          parent_id = a.a_parent;
+          name;
+          start_ns = start;
+          elapsed_ns = Int64.sub (t.clock ()) start;
+        }
+        :: a.a_spans
+
+(* Close the active trace; commit its spans iff it was head-sampled,
+   force-sampled along the way, or slower than the configured
+   threshold. *)
+let trace_end t =
+  match (t.cur, t.tstore, t.cfg.trace) with
+  | Some a, Some store, Some tc ->
+      t.cur <- None;
+      let elapsed = Int64.sub (t.clock ()) a.a_start in
+      let slow =
+        Int64.compare tc.slow_ns 0L > 0 && Int64.compare elapsed tc.slow_ns >= 0
+      in
+      if Obs.Trace_ctx.recorded a.a_ctx || slow then begin
+        Obs.Trace_ctx.record store
+          {
+            Obs.Trace_ctx.trace_hi = a.a_ctx.hi;
+            trace_lo = a.a_ctx.lo;
+            span_id = ctx_span_id a.a_ctx;
+            parent_id = 0L;
+            name = a.a_name;
+            start_ns = a.a_start;
+            elapsed_ns = elapsed;
+          };
+        List.iter (Obs.Trace_ctx.record store) (List.rev a.a_spans)
+      end
+  | _ -> t.cur <- None
+
+(* Exemplar thunk for the router's histograms: the current trace id,
+   when its spans will be recorded. Evaluated after the timed work, so
+   forcing during the work is visible. *)
+let trace_exemplar t () =
+  match t.cur with
+  | Some a when Obs.Trace_ctx.recorded a.a_ctx ->
+      Some (Obs.Trace_ctx.id_string a.a_ctx)
+  | _ -> None
 
 (* ----- worker lifecycle --------------------------------------------- *)
 
@@ -284,7 +411,14 @@ let rec heal_shard t shard =
   match t.pending.(shard) with
   | None -> ()
   | Some ns -> (
+      let b0 = t.clock () in
       wait_backoff t ns;
+      (match mint_child t with
+      | Some c ->
+          trace_span t
+            (Printf.sprintf "backoff.shard%d" shard)
+            ~span_id:(ctx_span_id c) ~start:b0
+      | None -> ());
       t.pending.(shard) <- None;
       Obs.Metrics.incr t.ctr.m_restarts;
       let conn = spawn_conn t shard ~with_chaos:false in
@@ -318,6 +452,15 @@ let create cfg =
   | Some m, None when Mmap_hub.n m <> Graph.n cfg.graph ->
       invalid_arg "Router.create: mmap store and graph disagree on n"
   | _ -> ());
+  (match cfg.trace with
+  | Some tc ->
+      if tc.sample_every < 1 then
+        invalid_arg "Router.create: trace sample_every must be >= 1";
+      if Int64.compare tc.slow_ns 0L < 0 then
+        invalid_arg "Router.create: trace slow_ns must be >= 0";
+      if tc.capacity < 1 then
+        invalid_arg "Router.create: trace capacity must be >= 1"
+  | None -> ());
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let reg = Obs.Metrics.create () in
   let manual =
@@ -351,6 +494,12 @@ let create cfg =
       pending = Array.make cfg.shards None;
       fallback = lazy (Resilient_oracle.create ~metrics:reg cfg.graph);
       next_id = ref 0;
+      tstore =
+        Option.map
+          (fun tc -> Obs.Trace_ctx.store ~capacity:tc.capacity)
+          cfg.trace;
+      tseq = ref 0;
+      cur = None;
       down = false;
     }
   in
@@ -373,10 +522,43 @@ let create cfg =
 
 (* ----- serving ------------------------------------------------------- *)
 
-let fallback_answer t u v =
+(* A router-local degraded recompute is real serving work, not just an
+   incident counter: time it and count it under
+   [router.ops.<op>.degraded_local.*], force-sample the active trace,
+   and nest a [recompute.shard<i>.<op>] span in the tree. *)
+let degraded_local t ~opname ~shard f =
   Obs.Metrics.incr t.ctr.m_degraded;
-  let dist, _ = Resilient_oracle.query_detailed (Lazy.force t.fallback) u v in
-  { dist; source = Wire.source_router; degraded = true }
+  force_cur t;
+  let base = "router.ops." ^ opname ^ ".degraded_local" in
+  let h = Obs.Metrics.histogram t.reg (base ^ ".latency_ns") in
+  let c = Obs.Metrics.counter t.reg (base ^ ".count") in
+  let t0 = t.clock () in
+  let res = f () in
+  let elapsed = Int64.sub (t.clock ()) t0 in
+  Obs.Metrics.observe ?exemplar:(trace_exemplar t ()) h (Int64.to_int elapsed);
+  Obs.Metrics.incr c;
+  (match (t.cur, mint_child t) with
+  | Some a, Some cc ->
+      a.a_spans <-
+        {
+          Obs.Trace_ctx.trace_hi = a.a_ctx.hi;
+          trace_lo = a.a_ctx.lo;
+          span_id = ctx_span_id cc;
+          parent_id = a.a_parent;
+          name = Printf.sprintf "recompute.shard%d.%s" shard opname;
+          start_ns = t0;
+          elapsed_ns = elapsed;
+        }
+        :: a.a_spans
+  | _ -> ());
+  res
+
+let fallback_answer t ~opname ~shard u v =
+  degraded_local t ~opname ~shard (fun () ->
+      let dist, _ =
+        Resilient_oracle.query_detailed (Lazy.force t.fallback) u v
+      in
+      { dist; source = Wire.source_router; degraded = true })
 
 let answer_of_response resp =
   match resp with
@@ -390,7 +572,11 @@ let answer_of_response resp =
    batch boundary. Returns [false] when the shard was demoted. *)
 let window_size = 256
 
-let run_window t shard conn items out =
+let run_window t shard conn ~opname ~wctx items out =
+  let fallback_answer t u v = fallback_answer t ~opname ~shard u v in
+  let encode_query id u v =
+    Wire.encode_request_ctx ?ctx:wctx (Wire.Query { id; u; v })
+  in
   let ids = Array.map (fun _ -> 0) items in
   let sent = ref 0 in
   (try
@@ -398,7 +584,7 @@ let run_window t shard conn items out =
        (fun i (_, u, v) ->
          let id = fresh_id t in
          ids.(i) <- id;
-         match send_frame conn (Wire.encode_request (Wire.Query { id; u; v })) with
+         match send_frame conn (encode_query id u v) with
          | Ok () -> sent := i + 1
          | Error _ -> raise Exit)
        items
@@ -444,12 +630,20 @@ let run_window t shard conn items out =
               match Supervisor.on_soft_failure t.sup shard with
               | Supervisor.Keep when not retried ->
                   Obs.Metrics.incr t.ctr.m_retries;
+                  (* a retry is exactly the unlucky path tracing exists
+                     for: force the trace and nest a retry span *)
+                  force_cur t;
+                  let rt0 = t.clock () in
                   let id' = fresh_id t in
-                  (match
-                     send_frame conn
-                       (Wire.encode_request (Wire.Query { id = id'; u; v }))
-                   with
-                  | Ok () -> attempt ~id:id' ~retried:true
+                  (match send_frame conn (encode_query id' u v) with
+                  | Ok () ->
+                      attempt ~id:id' ~retried:true;
+                      (match mint_child t with
+                      | Some c ->
+                          trace_span t
+                            (Printf.sprintf "retry.shard%d" shard)
+                            ~span_id:(ctx_span_id c) ~start:rt0
+                      | None -> ())
                   | Error _ ->
                       crash_now ();
                       out.(idx) <- fallback_answer t u v)
@@ -466,55 +660,91 @@ let run_window t shard conn items out =
     items;
   !alive
 
-let query_batch t pairs =
+let query_batch_named t ~opname pairs =
   if t.down then invalid_arg "Router.query_batch: router is shut down";
-  let n = Graph.n t.cfg.graph in
-  let owners =
-    Array.map
-      (fun (u, v) ->
-        Partition.owner_of_pair t.cfg.partition ~shards:t.cfg.shards ~n u v)
-      pairs
-  in
-  heal t;
-  let out = Array.make (Array.length pairs) { dist = 0; source = 0; degraded = false } in
-  let per_shard = Array.make t.cfg.shards [] in
-  Array.iteri
-    (fun idx (u, v) ->
-      per_shard.(owners.(idx)) <- (idx, u, v) :: per_shard.(owners.(idx)))
-    pairs;
-  for s = 0 to t.cfg.shards - 1 do
-    let items = Array.of_list (List.rev per_shard.(s)) in
-    if Array.length items > 0 then begin
-      Obs.Metrics.incr ~by:(Array.length items) t.ctr.m_queries;
-      Obs.Metrics.observe_span ~clock:t.clock t.ctr.m_latency (fun () ->
-          match t.conns.(s) with
-          | None ->
-              Array.iter
-                (fun (idx, u, v) -> out.(idx) <- fallback_answer t u v)
-                items
-          | Some conn ->
-              Hashtbl.reset conn.c_stash;
-              let k = ref 0 in
-              let continue = ref true in
-              while !continue && !k < Array.length items do
-                let stop = min (Array.length items) (!k + window_size) in
-                let window = Array.sub items !k (stop - !k) in
-                (match t.conns.(s) with
-                | Some c -> continue := run_window t s c window out
-                | None -> continue := false);
-                if not !continue then
-                  (* degrade the unsent remainder of this shard's batch *)
-                  for j = stop to Array.length items - 1 do
-                    let idx, u, v = items.(j) in
-                    out.(idx) <- fallback_answer t u v
-                  done;
-                k := stop
-              done)
-    end
-  done;
-  out
+  let began = trace_begin t ("router." ^ opname) in
+  Fun.protect
+    ~finally:(fun () -> if began then trace_end t)
+    (fun () ->
+      let n = Graph.n t.cfg.graph in
+      let owners =
+        Array.map
+          (fun (u, v) ->
+            Partition.owner_of_pair t.cfg.partition ~shards:t.cfg.shards ~n u v)
+          pairs
+      in
+      heal t;
+      let out =
+        Array.make (Array.length pairs)
+          { dist = 0; source = 0; degraded = false }
+      in
+      let per_shard = Array.make t.cfg.shards [] in
+      Array.iteri
+        (fun idx (u, v) ->
+          per_shard.(owners.(idx)) <- (idx, u, v) :: per_shard.(owners.(idx)))
+        pairs;
+      for s = 0 to t.cfg.shards - 1 do
+        let items = Array.of_list (List.rev per_shard.(s)) in
+        if Array.length items > 0 then begin
+          Obs.Metrics.incr ~by:(Array.length items) t.ctr.m_queries;
+          Obs.Metrics.observe_span ~clock:t.clock
+            ~exemplar:(fun () -> trace_exemplar t ())
+            t.ctr.m_latency
+            (fun () ->
+              match t.conns.(s) with
+              | None ->
+                  Array.iter
+                    (fun (idx, u, v) ->
+                      out.(idx) <- fallback_answer t ~opname ~shard:s u v)
+                    items
+              | Some conn ->
+                  Hashtbl.reset conn.c_stash;
+                  let k = ref 0 in
+                  let wj = ref 0 in
+                  let continue = ref true in
+                  while !continue && !k < Array.length items do
+                    let stop = min (Array.length items) (!k + window_size) in
+                    let window = Array.sub items !k (stop - !k) in
+                    (match t.conns.(s) with
+                    | Some c ->
+                        (* one rpc span per shard window; retries and
+                           recomputes inside the window nest under it *)
+                        let wctx = mint_child t in
+                        let w0 = t.clock () in
+                        let saved =
+                          Option.map (fun a -> a.a_parent) t.cur
+                        in
+                        (match (t.cur, wctx) with
+                        | Some a, Some c -> a.a_parent <- ctx_span_id c
+                        | _ -> ());
+                        continue :=
+                          run_window t s c ~opname ~wctx window out;
+                        (match (t.cur, saved) with
+                        | Some a, Some p -> a.a_parent <- p
+                        | _ -> ());
+                        (match wctx with
+                        | Some c ->
+                            trace_span t
+                              (Printf.sprintf "rpc.shard%d.w%d" s !wj)
+                              ~span_id:(ctx_span_id c) ~start:w0
+                        | None -> ())
+                    | None -> continue := false);
+                    incr wj;
+                    if not !continue then
+                      (* degrade the unsent remainder of this shard's
+                         batch *)
+                      for j = stop to Array.length items - 1 do
+                        let idx, u, v = items.(j) in
+                        out.(idx) <- fallback_answer t ~opname ~shard:s u v
+                      done;
+                    k := stop
+                  done)
+        end
+      done;
+      out)
 
-let query t u v = (query_batch t [| (u, v) |]).(0)
+let query_batch t pairs = query_batch_named t ~opname:"batch" pairs
+let query t u v = (query_batch_named t ~opname:"dist" [| (u, v) |]).(0)
 
 (* ----- aggregate operations ------------------------------------------ *)
 
@@ -530,9 +760,30 @@ let shard_call t shard ~extract make_req =
   match t.conns.(shard) with
   | None -> None
   | Some conn ->
+      (* one rpc span per aggregate call; the context rides the frame
+         so the worker's own span nests under it *)
+      let wctx = mint_child t in
+      let t0 = t.clock () in
+      let saved = Option.map (fun a -> a.a_parent) t.cur in
+      (match (t.cur, wctx) with
+      | Some a, Some c -> a.a_parent <- ctx_span_id c
+      | _ -> ());
+      let finish res =
+        (match (t.cur, saved) with
+        | Some a, Some p -> a.a_parent <- p
+        | _ -> ());
+        (match wctx with
+        | Some c ->
+            trace_span t
+              (Printf.sprintf "rpc.shard%d" shard)
+              ~span_id:(ctx_span_id c) ~start:t0
+        | None -> ());
+        res
+      in
       let rec attempt ~retried =
         let id = fresh_id t in
-        match send_frame conn (Wire.encode_request (make_req id)) with
+        match send_frame conn (Wire.encode_request_ctx ?ctx:wctx (make_req id))
+        with
         | Error _ ->
             crash t shard;
             None
@@ -558,7 +809,16 @@ let shard_call t shard ~extract make_req =
                 match Supervisor.on_soft_failure t.sup shard with
                 | Supervisor.Keep when not retried ->
                     Obs.Metrics.incr t.ctr.m_retries;
-                    attempt ~retried:true
+                    force_cur t;
+                    let rt0 = t.clock () in
+                    let res = attempt ~retried:true in
+                    (match mint_child t with
+                    | Some c ->
+                        trace_span t
+                          (Printf.sprintf "retry.shard%d" shard)
+                          ~span_id:(ctx_span_id c) ~start:rt0
+                    | None -> ());
+                    res
                 | Supervisor.Keep -> None
                 | v ->
                     apply_verdict t shard v;
@@ -567,7 +827,7 @@ let shard_call t shard ~extract make_req =
                 crash t shard;
                 None)
       in
-      attempt ~retried:false
+      finish (attempt ~retried:false)
 
 let owned_by_shard t =
   let n = Graph.n t.cfg.graph in
@@ -580,20 +840,22 @@ let owned_by_shard t =
 
 (* Local fallback for one shard's share of an aggregate: the search-only
    oracle answers the same restricted request exactly. *)
-let fb_row t ~source ~targets =
-  Obs.Metrics.incr t.ctr.m_degraded;
-  match
-    Resilient_oracle.op (Lazy.force t.fallback)
-      (Obs.Ops.One_to_many { source; targets })
-  with
-  | Obs.Ops.R_dists ds, _ -> ds
-  | _ -> assert false (* One_to_many always yields R_dists *)
+let fb_row t ~opname ~shard ~source ~targets =
+  degraded_local t ~opname ~shard (fun () ->
+      match
+        Resilient_oracle.op (Lazy.force t.fallback)
+          (Obs.Ops.One_to_many { source; targets })
+      with
+      | Obs.Ops.R_dists ds, _ -> ds
+      | _ -> assert false (* One_to_many always yields R_dists *))
 
-let fb_ecc t w =
-  Obs.Metrics.incr t.ctr.m_degraded;
-  match Resilient_oracle.op (Lazy.force t.fallback) (Obs.Ops.Eccentricity w) with
-  | Obs.Ops.R_ecc e, _ -> e
-  | _ -> assert false (* Eccentricity always yields R_ecc *)
+let fb_ecc t ~opname ~shard w =
+  degraded_local t ~opname ~shard (fun () ->
+      match
+        Resilient_oracle.op (Lazy.force t.fallback) (Obs.Ops.Eccentricity w)
+      with
+      | Obs.Ops.R_ecc e, _ -> e
+      | _ -> assert false (* Eccentricity always yields R_ecc *))
 
 type merge_acc = { mutable code : int; mutable dg : bool }
 
@@ -606,7 +868,7 @@ let degrade acc =
 
 (* Distances from [source] to every target, each target served by its
    owning shard (slice rows are exact at owned entries). *)
-let row_op t acc ~source ~targets =
+let row_op t acc ~opname ~source ~targets =
   let n = Graph.n t.cfg.graph in
   let out = Array.make (Array.length targets) 0 in
   let per_shard = Array.make t.cfg.shards [] in
@@ -633,7 +895,7 @@ let row_op t acc ~source ~targets =
           Array.iteri (fun j i -> out.(i) <- dists.(j)) idxs;
           bump acc ~code ~degraded
       | None ->
-          let ds = fb_row t ~source ~targets:ts in
+          let ds = fb_row t ~opname ~shard:s ~source ~targets:ts in
           Array.iteri (fun j i -> out.(i) <- ds.(j)) idxs;
           degrade acc
     end
@@ -644,7 +906,7 @@ let row_op t acc ~source ~targets =
    global farthest is then farthest_of over the per-shard witnesses
    (each already the smallest-id in its shard, so the shared reducer
    reconstructs the global tie-break). *)
-let ecc_candidates t acc v =
+let ecc_candidates t acc ~opname v =
   let owned = owned_by_shard t in
   let cands = ref [] in
   for s = t.cfg.shards - 1 downto 0 do
@@ -664,7 +926,7 @@ let ecc_candidates t acc v =
           cands := (vertex, dist) :: !cands;
           bump acc ~code ~degraded
       | None ->
-          let ds = fb_row t ~source:v ~targets:ow in
+          let ds = fb_row t ~opname ~shard:s ~source:v ~targets:ow in
           (match Obs.Ops.farthest_of (Array.mapi (fun i d -> (ow.(i), d)) ds)
            with
           | Some c -> cands := c :: !cands
@@ -675,25 +937,28 @@ let ecc_candidates t acc v =
   Array.of_list !cands
 
 let op_uninstrumented t req =
+  let opname = Obs.Ops.name req in
   let acc = { code = Wire.source_primary; dg = false } in
   let finish response = { response; source = acc.code; degraded = acc.dg } in
   match req with
   | Obs.Ops.Dist { u; v } ->
-      let (a : answer) = (query_batch t [| (u, v) |]).(0) in
+      let (a : answer) = (query_batch_named t ~opname [| (u, v) |]).(0) in
       { response = Obs.Ops.R_dist a.dist; source = a.source;
         degraded = a.degraded }
   | Obs.Ops.Batch pairs ->
-      let answers = query_batch t pairs in
+      let answers = query_batch_named t ~opname pairs in
       Array.iter
         (fun (a : answer) -> bump acc ~code:a.source ~degraded:a.degraded)
         answers;
       finish (Obs.Ops.R_dists (Array.map (fun (a : answer) -> a.dist) answers))
   | Obs.Ops.One_to_many { source; targets } ->
-      finish (Obs.Ops.R_dists (row_op t acc ~source ~targets))
+      finish (Obs.Ops.R_dists (row_op t acc ~opname ~source ~targets))
   | Obs.Ops.Many_to_many { sources; targets } ->
       finish
         (Obs.Ops.R_matrix
-           (Array.map (fun source -> row_op t acc ~source ~targets) sources))
+           (Array.map
+              (fun source -> row_op t acc ~opname ~source ~targets)
+              sources))
   | Obs.Ops.Top_k_nearest { source; k } ->
       let owned = owned_by_shard t in
       let cands = ref [] in
@@ -713,7 +978,7 @@ let op_uninstrumented t req =
               cands := pairs :: !cands;
               bump acc ~code ~degraded
           | None ->
-              let ds = fb_row t ~source ~targets:ow in
+              let ds = fb_row t ~opname ~shard:s ~source ~targets:ow in
               cands := Array.mapi (fun i d -> (ow.(i), d)) ds :: !cands;
               degrade acc
         end
@@ -722,11 +987,11 @@ let op_uninstrumented t req =
          smallest *)
       finish (Obs.Ops.R_nearest (Obs.Ops.k_nearest ~k (Array.concat !cands)))
   | Obs.Ops.Eccentricity v -> (
-      match Obs.Ops.farthest_of (ecc_candidates t acc v) with
+      match Obs.Ops.farthest_of (ecc_candidates t acc ~opname v) with
       | Some (_, d) -> finish (Obs.Ops.R_ecc d)
       | None -> finish (Obs.Ops.R_ecc 0))
   | Obs.Ops.Farthest v -> (
-      match Obs.Ops.farthest_of (ecc_candidates t acc v) with
+      match Obs.Ops.farthest_of (ecc_candidates t acc ~opname v) with
       | Some (vertex, dist) -> finish (Obs.Ops.R_farthest { vertex; dist })
       | None -> finish (Obs.Ops.R_farthest { vertex = v; dist = 0 }))
   | Obs.Ops.Diameter_radius ->
@@ -754,7 +1019,7 @@ let op_uninstrumented t req =
           | None ->
               Array.iter
                 (fun w ->
-                  let e = fb_ecc t w in
+                  let e = fb_ecc t ~opname ~shard:s w in
                   if e > !dia then dia := e;
                   if e < !rad then rad := e)
                 ow;
@@ -769,9 +1034,17 @@ let op t req =
   (match Obs.Ops.validate ~n:(Graph.n t.cfg.graph) req with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Router.op: " ^ msg));
-  heal t;
-  Obs.Obs.instrument_op ~clock:t.clock ~prefix:"router.ops" t.reg
-    (op_uninstrumented t) req
+  (* trace first, then heal: backoff waits spent healing show up as
+     spans under this query's root, while the instrumented window below
+     keeps its historical meaning (serve time only) *)
+  let began = trace_begin t ("router." ^ Obs.Ops.name req) in
+  Fun.protect
+    ~finally:(fun () -> if began then trace_end t)
+    (fun () ->
+      heal t;
+      Obs.Obs.instrument_op ~clock:t.clock
+        ~exemplar:(fun () -> trace_exemplar t ())
+        ~prefix:"router.ops" t.reg (op_uninstrumented t) req)
 
 (* ----- introspection ------------------------------------------------- *)
 
@@ -815,6 +1088,49 @@ let merged_snapshot t =
             | Error (Wire_err _) -> crash t s))
   done;
   Obs.Metrics.union_snapshots (Obs.Metrics.snapshot t.reg :: !snaps)
+
+(* Pull every live worker's span store, merge with the router's own,
+   and reassemble into one tree per trace. Failures follow the same
+   soft taxonomy as [merged_snapshot]: a shard that cannot report its
+   spans degrades the fetch, never the caller. *)
+let trace_trees t =
+  match t.tstore with
+  | None -> []
+  | Some store ->
+      heal t;
+      let spans = ref (Obs.Trace_ctx.spans store) in
+      for s = t.cfg.shards - 1 downto 0 do
+        match t.conns.(s) with
+        | None -> ()
+        | Some conn -> (
+            let id = fresh_id t in
+            match
+              send_frame conn (Wire.encode_request (Wire.Trace_fetch { id }))
+            with
+            | Error _ -> crash t s
+            | Ok () -> (
+                match
+                  recv_matching conn ~id
+                    ~until:(Unix.gettimeofday () +. deadline_s t)
+                with
+                | Ok (Wire.Trace_payload { data; _ }) -> (
+                    match Obs.Trace_ctx.spans_of_wire data with
+                    | Ok sps ->
+                        Supervisor.on_success t.sup s;
+                        spans := !spans @ sps
+                    | Error _ ->
+                        Obs.Metrics.incr t.ctr.m_bad_frames;
+                        apply_verdict t s (Supervisor.on_soft_failure t.sup s))
+                | Ok _
+                | Error (Wire_err (Wire.Bad_opcode _ | Wire.Bad_payload _)) ->
+                    Obs.Metrics.incr t.ctr.m_bad_frames;
+                    apply_verdict t s (Supervisor.on_soft_failure t.sup s)
+                | Error Timeout ->
+                    Obs.Metrics.incr t.ctr.m_timeouts;
+                    apply_verdict t s (Supervisor.on_soft_failure t.sup s)
+                | Error (Wire_err _) -> crash t s))
+      done;
+      Obs.Trace_ctx.tree !spans
 
 let shutdown t =
   if not t.down then begin

@@ -42,6 +42,19 @@ type spawn =
   | Exec of (shard:int -> string array)
       (** argv for shard [i]; argv.(0) is the executable path *)
 
+type trace_config = {
+  sample_every : int;
+      (** head-sample 1 in N traces (a deterministic hash of the trace
+          id); [1] records everything *)
+  slow_ns : int64;
+      (** additionally force-record any query at least this slow;
+          [0L] disables the threshold *)
+  capacity : int;  (** bound on the router-side span store *)
+}
+
+val default_trace_config : trace_config
+(** Sample everything, no slow threshold, 4096 spans. *)
+
 type config = {
   graph : Graph.t;
   labels : Hub_label.t option;
@@ -65,12 +78,19 @@ type config = {
           router's, and backoff waits) for byte-stable snapshots *)
   seed : int;
   spawn : spawn;
+  trace : trace_config option;
+      (** distributed tracing: when set, every query mints a
+          deterministic trace context from [(seed, sequence)],
+          propagates it to the workers on the wire, and records spans
+          for sampled, forced (retried/degraded) and slow traces.
+          [None] (the default) sends context-free frames, byte-identical
+          to the pre-tracing protocol. *)
 }
 
 val default_config : Graph.t -> config
 (** Fork spawn, 2 shards, [Range] partition,
     {!Supervisor.default_config}, exhaustive spot checks, no chaos,
-    monotonic clocks, seed 0. *)
+    monotonic clocks, seed 0, no tracing. *)
 
 type answer = { dist : int; source : int; degraded : bool }
 (** [source] is a {!Wire} source code; [degraded] is set on any answer
@@ -134,6 +154,20 @@ val heal : t -> unit
 val merged_snapshot : t -> Repro_obs.Metrics.snapshot
 (** Router registry ∪ each live worker's snapshot under [shard<i>.];
     workers that are down or quarantined contribute nothing. *)
+
+val trace_trees : t -> (string * Repro_obs.Span.node) list
+(** The end-to-end trace trees recorded so far, keyed and sorted by
+    32-hex trace id: the router's span store merged with every live
+    worker's (fetched over the wire), reassembled per trace. Each tree
+    roots at the query's [router.<op>] span with [rpc.shard<i>[.w<j>]]
+    child spans per shard call, [retry.shard<i>] /
+    [recompute.shard<i>.<op>] / [backoff.shard<i>] spans on the unlucky
+    paths, and the workers' own [shard<i>.<op>] spans nested under the
+    rpc that carried their context. [[]] when tracing is off. A worker
+    that cannot report its spans follows the same soft-failure taxonomy
+    as {!merged_snapshot} — the tree is then partial, never an error.
+    Span timestamps are raw per-process clock readings: offsets are
+    comparable within one process's spans only. *)
 
 val shutdown : t -> unit
 (** Send [Shutdown] to every live worker, close the pipes, reap every

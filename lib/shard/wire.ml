@@ -16,6 +16,7 @@ type request =
   | Op_ecc of { id : int; v : int }
   | Op_topk of { id : int; source : int; k : int }
   | Op_diam of { id : int }
+  | Trace_fetch of { id : int }
 
 type response =
   | Answer of { id : int; dist : int; source : int; degraded : bool }
@@ -44,6 +45,7 @@ type response =
       source : int;
       degraded : bool;
     }
+  | Trace_payload of { id : int; data : string }
 
 let source_primary = 0
 let source_bidirectional = 1
@@ -98,6 +100,14 @@ let op_op_row = 0x05
 let op_op_ecc = 0x06
 let op_op_topk = 0x07
 let op_op_diam = 0x08
+let op_trace_fetch = 0x09
+
+(* 0x0f wraps another request with a versioned trace-context block; a
+   dedicated opcode keeps every pre-context payload byte-identical and
+   lets an old peer reject it cleanly as Bad_opcode without losing
+   stream sync. *)
+let op_ctx = 0x0f
+let ctx_version = 1
 let op_answer = 0x81
 let op_pong = 0x82
 let op_stats_payload = 0x83
@@ -106,6 +116,7 @@ let op_row_payload = 0x85
 let op_ecc_payload = 0x86
 let op_topk_payload = 0x87
 let op_diam_payload = 0x88
+let op_trace_payload = 0x89
 
 (* ----- encoding ---------------------------------------------------- *)
 
@@ -157,6 +168,29 @@ let encode_request = function
       frame 9 (fun b ->
           Bytes.set_uint8 b 4 op_op_diam;
           put_i64 b 5 id)
+  | Trace_fetch { id } ->
+      frame 9 (fun b ->
+          Bytes.set_uint8 b 4 op_trace_fetch;
+          put_i64 b 5 id)
+
+(* ctx payload: 0x0f | version | ctx length | ctx bytes | inner payload *)
+let encode_request_ctx ?ctx req =
+  match ctx with
+  | None -> encode_request req
+  | Some c ->
+      let inner = encode_request req in
+      let inner_len = String.length inner - 4 in
+      let block = Repro_obs.Trace_ctx.encode c in
+      let block_len = String.length block in
+      let len = 3 + block_len + inner_len in
+      if len > max_frame_len then
+        invalid_arg "Wire.encode_request_ctx: frame too large";
+      frame len (fun b ->
+          Bytes.set_uint8 b 4 op_ctx;
+          Bytes.set_uint8 b 5 ctx_version;
+          Bytes.set_uint8 b 6 block_len;
+          Bytes.blit_string block 0 b 7 block_len;
+          Bytes.blit_string inner 4 b (7 + block_len) inner_len)
 
 let encode_response = function
   | Answer { id; dist; source; degraded } ->
@@ -228,6 +262,14 @@ let encode_response = function
           put_i64 b 29 vertices;
           Bytes.set_uint8 b 37 (source land 0xff);
           Bytes.set_uint8 b 38 (if degraded then 1 else 0))
+  | Trace_payload { id; data } ->
+      let len = 9 + String.length data in
+      if len > max_frame_len then
+        invalid_arg "Wire.encode_response: trace payload too large";
+      frame len (fun b ->
+          Bytes.set_uint8 b 4 op_trace_payload;
+          put_i64 b 5 id;
+          Bytes.blit_string data 0 b 13 (String.length data))
 
 (* ----- pure decoding ------------------------------------------------ *)
 
@@ -301,7 +343,41 @@ let request_of_payload p =
     else if op = op_op_diam then
       let* () = body_exact p 9 in
       Ok (Op_diam { id = get_i64 p 1 })
+    else if op = op_trace_fetch then
+      let* () = body_exact p 9 in
+      Ok (Trace_fetch { id = get_i64 p 1 })
     else Error (Bad_opcode op)
+
+(* Context-aware request decoding: 0x0f unwraps to (request, Some ctx);
+   everything else falls through to the plain decoder with ctx = None.
+   The inner payload is decoded by [request_of_payload] itself, so a
+   nested 0x0f is rejected as Bad_opcode rather than recursed into. *)
+let request_of_payload_ctx p =
+  if String.length p > 0 && Char.code p.[0] = op_ctx then
+    let* () = check_payload_min p 3 in
+    let version = Char.code p.[1] in
+    let block_len = Char.code p.[2] in
+    let* () = check_payload_min p (3 + block_len) in
+    let* ctx =
+      if version <> ctx_version then
+        (* forward compatibility: an unknown context version is skipped,
+           not fatal — the inner request still decodes *)
+        Ok None
+      else if block_len <> Repro_obs.Trace_ctx.encoded_len then
+        Error
+          (Bad_payload
+             (Printf.sprintf "trace context v1: bad length %d" block_len))
+      else
+        match Repro_obs.Trace_ctx.decode p ~pos:3 with
+        | Ok ctx -> Ok (Some ctx)
+        | Error msg -> Error (Bad_payload msg)
+    in
+    let inner = String.sub p (3 + block_len) (String.length p - 3 - block_len) in
+    let* req = request_of_payload inner in
+    Ok (req, ctx)
+  else
+    let* req = request_of_payload p in
+    Ok (req, None)
 
 let response_of_payload p =
   if String.length p = 0 then Error (Bad_payload "empty frame: no opcode")
@@ -387,6 +463,11 @@ let response_of_payload p =
              source = Char.code p.[33];
              degraded = Char.code p.[34] <> 0;
            })
+    else if op = op_trace_payload then
+      let* () = check_payload_min p 9 in
+      Ok
+        (Trace_payload
+           { id = get_i64 p 1; data = String.sub p 9 (String.length p - 9) })
     else Error (Bad_opcode op)
 
 (* ----- descriptor-level transport ----------------------------------- *)
@@ -428,6 +509,11 @@ let read_request fd =
   match read_frame fd with
   | Error _ as e -> e
   | Ok p -> request_of_payload p
+
+let read_request_ctx fd =
+  match read_frame fd with
+  | Error _ as e -> e
+  | Ok p -> request_of_payload_ctx p
 
 let read_response fd =
   match read_frame fd with

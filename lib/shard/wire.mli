@@ -46,6 +46,9 @@ type request =
   | Op_diam of { id : int }
       (** diameter/radius of the owned-eccentricity set: max and min
           over owned [w] of ecc(w) (the router reduces shard maxima) *)
+  | Trace_fetch of { id : int }
+      (** request the worker's recorded trace spans (drains nothing;
+          the worker's span store is bounded) *)
 
 type response =
   | Answer of { id : int; dist : int; source : int; degraded : bool }
@@ -86,6 +89,8 @@ type response =
     }
       (** answer to [Op_diam]; [vertices] is the owned count (0 means
           the shard contributed nothing and the router skips it) *)
+  | Trace_payload of { id : int; data : string }
+      (** [data] is {!Repro_obs.Trace_ctx.spans_to_wire} output *)
 
 (** {1 Source and error codes} *)
 
@@ -136,6 +141,29 @@ val decode_frame : string -> pos:int -> (string * int, error) result
 val request_of_payload : string -> (request, error) result
 val response_of_payload : string -> (response, error) result
 
+(** {1 Trace-context propagation}
+
+    A request may be wrapped with a trace context: opcode [0x0f], then a
+    version byte, a context-length byte, the context block
+    ({!Repro_obs.Trace_ctx.encode}, 25 bytes in version 1) and the
+    unmodified inner request payload. The wrapper is a {e separate}
+    opcode so that a peer that predates it rejects the frame as
+    {!Bad_opcode} (stream stays in sync, the caller sees an in-band
+    error) and so that context-free frames stay byte-identical to the
+    historical encoding. An unknown context {e version} is skipped —
+    the inner request still decodes, with no context. Responses never
+    carry a context; [0x0f] in a response payload is {!Bad_opcode}. *)
+
+val encode_request_ctx :
+  ?ctx:Repro_obs.Trace_ctx.t -> request -> string
+(** With [ctx] absent this is exactly {!encode_request}. *)
+
+val request_of_payload_ctx :
+  string -> (request * Repro_obs.Trace_ctx.t option, error) result
+(** Total, like {!request_of_payload} (which handles every non-[0x0f]
+    payload, returning no context). A nested [0x0f] inner payload is
+    {!Bad_opcode}. *)
+
 (** {1 Descriptor-level transport} *)
 
 val read_frame : Unix.file_descr -> (string, error) result
@@ -144,6 +172,12 @@ val read_frame : Unix.file_descr -> (string, error) result
     errors; retries [EINTR]. *)
 
 val read_request : Unix.file_descr -> (request, error) result
+
+val read_request_ctx :
+  Unix.file_descr ->
+  (request * Repro_obs.Trace_ctx.t option, error) result
+(** {!read_frame} + {!request_of_payload_ctx}. *)
+
 val read_response : Unix.file_descr -> (response, error) result
 
 val write_frame : Unix.file_descr -> string -> (unit, error) result

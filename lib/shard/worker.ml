@@ -145,9 +145,63 @@ let run ~input ~output cfg =
     done;
     Array.sub buf 0 !k
   in
+  (* Trace recording: spans are timed on the worker's own clock domain
+     and kept in a bounded store the router drains via Trace_fetch. The
+     current request's trace id doubles as the exemplar for the
+     worker.ops.* latency histograms. *)
+  let wclk =
+    match clock with Some c -> c | None -> Obs.Clock.monotonic
+  in
+  let tstore = Obs.Trace_ctx.store ~capacity:1024 in
+  let tseq = ref 0 in
+  let cur_exemplar = ref None in
   let serve_op =
-    Obs.Obs.instrument_op ?clock ~prefix:"worker.ops" metrics
+    Obs.Obs.instrument_op ?clock
+      ~exemplar:(fun () -> !cur_exemplar)
+      ~prefix:"worker.ops" metrics
       (Resilient_oracle.op oracle)
+  in
+  let resp_degraded = function
+    | Wire.Answer { degraded; _ }
+    | Wire.Row_payload { degraded; _ }
+    | Wire.Ecc_payload { degraded; _ }
+    | Wire.Topk_payload { degraded; _ }
+    | Wire.Diam_payload { degraded; _ } ->
+        degraded
+    | Wire.Error_frame _ -> true
+    | Wire.Pong _ | Wire.Stats_payload _ | Wire.Trace_payload _ -> false
+  in
+  (* Wrap one request's handler in a child span of [ctx]. The span is
+     recorded when the context was (force-)sampled upstream, or when
+     this worker itself served a degraded/failed answer — the local
+     evidence for a trace the router will force-sample on its side. *)
+  let with_trace ctx opname compute =
+    match ctx with
+    | None ->
+        cur_exemplar := None;
+        compute ()
+    | Some (c : Obs.Trace_ctx.t) ->
+        cur_exemplar :=
+          (if Obs.Trace_ctx.recorded c then Some (Obs.Trace_ctx.id_string c)
+           else None);
+        let t0 = wclk () in
+        let resp = compute () in
+        if Obs.Trace_ctx.recorded c || resp_degraded resp then begin
+          let seq = !tseq in
+          incr tseq;
+          let child = Obs.Trace_ctx.child c ~seq in
+          Obs.Trace_ctx.record tstore
+            {
+              Obs.Trace_ctx.trace_hi = c.hi;
+              trace_lo = c.lo;
+              span_id = child.span_id;
+              parent_id = c.span_id;
+              name = Printf.sprintf "shard%d.%s" cfg.shard opname;
+              start_ns = t0;
+              elapsed_ns = Int64.sub (wclk ()) t0;
+            }
+        end;
+        resp
   in
   let source_code src =
     Wire.source_code_of_name (Resilient_oracle.source_name src)
@@ -164,20 +218,29 @@ let run ~input ~output cfg =
     | Error _ -> false (* router hung up; stop serving *)
   in
   let rec loop () =
-    match Wire.read_request input with
-    | Ok (Wire.Query { id; u; v }) ->
+    match Wire.read_request_ctx input with
+    | Ok (Wire.Query { id; u; v }, ctx) ->
         let resp =
-          match Obs.Backend.query_detailed backend u v with
-          | dist, trace ->
-              let source = Wire.source_code_of_name trace.Obs.Trace.source in
-              Wire.Answer
-                { id; dist; source; degraded = source <> Wire.source_primary }
-          | exception Invalid_argument msg ->
-              Wire.Error_frame { id; code = Wire.err_bad_request; msg }
+          with_trace ctx "dist" (fun () ->
+              match Obs.Backend.query_detailed backend u v with
+              | dist, trace ->
+                  let source =
+                    Wire.source_code_of_name trace.Obs.Trace.source
+                  in
+                  Wire.Answer
+                    {
+                      id;
+                      dist;
+                      source;
+                      degraded = source <> Wire.source_primary;
+                    }
+              | exception Invalid_argument msg ->
+                  Wire.Error_frame { id; code = Wire.err_bad_request; msg })
         in
         if send resp then loop ()
-    | Ok (Wire.Op_row { id; source; targets }) ->
+    | Ok (Wire.Op_row { id; source; targets }, ctx) ->
         let resp =
+          with_trace ctx "one_to_many" (fun () ->
           match serve_op (Obs.Ops.One_to_many { source; targets }) with
           | Obs.Ops.R_dists dists, src ->
               let source = source_code src in
@@ -191,11 +254,12 @@ let run ~input ~output cfg =
                   msg = "unexpected response shape";
                 }
           | exception Invalid_argument msg ->
-              Wire.Error_frame { id; code = Wire.err_bad_request; msg }
+              Wire.Error_frame { id; code = Wire.err_bad_request; msg })
         in
         if send resp then loop ()
-    | Ok (Wire.Op_ecc { id; v }) ->
+    | Ok (Wire.Op_ecc { id; v }, ctx) ->
         let resp =
+          with_trace ctx "eccentricity" (fun () ->
           if Array.length owned = 0 then
             Wire.Ecc_payload
               {
@@ -237,11 +301,12 @@ let run ~input ~output cfg =
                     msg = "unexpected response shape";
                   }
             | exception Invalid_argument msg ->
-                Wire.Error_frame { id; code = Wire.err_bad_request; msg }
+                Wire.Error_frame { id; code = Wire.err_bad_request; msg })
         in
         if send resp then loop ()
-    | Ok (Wire.Op_topk { id; source = s; k }) ->
+    | Ok (Wire.Op_topk { id; source = s; k }, ctx) ->
         let resp =
+          with_trace ctx "top_k_nearest" (fun () ->
           if k < 0 then
             Wire.Error_frame
               {
@@ -271,11 +336,12 @@ let run ~input ~output cfg =
                     msg = "unexpected response shape";
                   }
             | exception Invalid_argument msg ->
-                Wire.Error_frame { id; code = Wire.err_bad_request; msg }
+                Wire.Error_frame { id; code = Wire.err_bad_request; msg })
         in
         if send resp then loop ()
-    | Ok (Wire.Op_diam { id }) ->
+    | Ok (Wire.Op_diam { id }, ctx) ->
         let resp =
+          with_trace ctx "diameter_radius" (fun () ->
           if Array.length owned = 0 then
             Wire.Diam_payload
               {
@@ -329,14 +395,21 @@ let run ~input ~output cfg =
                     source = !code;
                     degraded = !code <> Wire.source_primary;
                   }
-          end
+          end)
         in
         if send resp then loop ()
-    | Ok (Wire.Ping { id }) -> if send (Wire.Pong { id }) then loop ()
-    | Ok (Wire.Stats { id }) ->
+    | Ok (Wire.Ping { id }, _) -> if send (Wire.Pong { id }) then loop ()
+    | Ok (Wire.Stats { id }, _) ->
+        (* no runtime-gauge sampling here: GC counters depend on the
+           process's whole allocation history, and a forked worker's
+           differs run to run — the merged snapshot must stay
+           byte-identical across same-seed chaos runs *)
         let data = Obs.Metrics.(snapshot_to_wire (snapshot metrics)) in
         if send (Wire.Stats_payload { id; data }) then loop ()
-    | Ok Wire.Shutdown -> ()
+    | Ok (Wire.Trace_fetch { id }, _) ->
+        let data = Obs.Trace_ctx.spans_to_wire (Obs.Trace_ctx.spans tstore) in
+        if send (Wire.Trace_payload { id; data }) then loop ()
+    | Ok (Wire.Shutdown, _) -> ()
     | Error ((Wire.Bad_opcode _ | Wire.Bad_payload _) as e) ->
         (* the frame was read in full; the stream is still in sync *)
         Obs.Metrics.incr bad_frames;

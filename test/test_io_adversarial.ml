@@ -203,11 +203,18 @@ let test_wire_garbage_opcodes () =
       match Wire.response_of_payload p with
       | Error (Wire.Bad_opcode _) -> ()
       | Ok _ | Error _ -> Alcotest.failf "response opcode %d" (Char.code p.[0]))
-    [ "\x7f"; "\xff"; "\x09rest" ];
+    [ "\x7f"; "\xff"; "\x0arest" ];
   (* 0x05 is Op_row now: a short body is Truncated, never Bad_opcode *)
   (match Wire.request_of_payload "\x05rest" with
   | Error (Wire.Truncated _) -> ()
   | Ok _ | Error _ -> Alcotest.fail "short Op_row body should be Truncated");
+  (* 0x09 is Trace_fetch now: a short body is Truncated, never Bad_opcode *)
+  (match Wire.request_of_payload "\x09rest" with
+  | Error (Wire.Truncated _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "short Trace_fetch body should be Truncated");
+  (match Wire.response_of_payload "\x09rest" with
+  | Error (Wire.Bad_opcode 0x09) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "Trace_fetch is not a response");
   (* request opcodes are not response opcodes and vice versa *)
   (match Wire.response_of_payload "\x02\x01\x00\x00\x00\x00\x00\x00\x00" with
   | Error (Wire.Bad_opcode 0x02) -> ()
@@ -258,6 +265,128 @@ let prop_wire_decode_total =
           next <= String.length s && String.length payload = next - 4
           && (match Wire.request_of_payload payload with _ -> true)
           && (match Wire.response_of_payload payload with _ -> true)
+      | Error _ -> true)
+
+(* ----- Trace-context wrapper (opcode 0x0f) ---------------------------
+   The optional context block must never cost totality: every hostile
+   version/length/flags byte, every truncation and every misplaced
+   wrapper surfaces as a typed [Wire.error] or a context-free decode —
+   never an exception, never a mis-framed stream. *)
+
+let ctx_fixture =
+  Repro_obs.Trace_ctx.force
+    (Repro_obs.Trace_ctx.head_sample ~every:1
+       (Repro_obs.Trace_ctx.root ~seed:20190721 ~seq:5))
+
+let test_ctx_truncated_every_byte () =
+  let inner = Wire.Query { id = 7; u = 1; v = 2 } in
+  let full = Wire.encode_request_ctx ~ctx:ctx_fixture inner in
+  (* the wrapped frame really is the wrapper opcode *)
+  (match Wire.decode_frame full ~pos:0 with
+  | Ok (p, _) -> Test_util.check_int "wrapper opcode" 0x0f (Char.code p.[0])
+  | Error e -> Alcotest.failf "fixture frame: %s" (Wire.error_to_string e));
+  for k = 1 to String.length full - 1 do
+    match Wire.decode_frame (String.sub full 0 k) ~pos:0 with
+    | Error (Wire.Truncated _) -> ()
+    | Error Wire.Eof -> ()
+    | Ok (p, _) -> (
+        (* header survived the cut: the payload itself must reject *)
+        match Wire.request_of_payload_ctx p with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "cut at %d decoded" k)
+    | Error e ->
+        Alcotest.failf "cut at %d: unexpected %s" k (Wire.error_to_string e)
+  done;
+  (* untouched, it round-trips with the context intact *)
+  match Wire.decode_frame full ~pos:0 with
+  | Ok (p, _) -> (
+      match Wire.request_of_payload_ctx p with
+      | Ok (req, Some c) ->
+          Test_util.check_bool "inner request intact" true (req = inner);
+          Test_util.check_bool "context intact" true (c = ctx_fixture)
+      | Ok (_, None) -> Alcotest.fail "context lost"
+      | Error e -> Alcotest.failf "round trip: %s" (Wire.error_to_string e))
+  | Error e -> Alcotest.failf "round trip frame: %s" (Wire.error_to_string e)
+
+let test_ctx_hostile_bytes () =
+  let inner = Wire.Query { id = 7; u = 1; v = 2 } in
+  let full = Wire.encode_request_ctx ~ctx:ctx_fixture inner in
+  let payload = String.sub full 4 (String.length full - 4) in
+  let patched i c =
+    let b = Bytes.of_string payload in
+    Bytes.set b i c;
+    Bytes.to_string b
+  in
+  (* unknown version: block skipped, inner request still decodes *)
+  (match Wire.request_of_payload_ctx (patched 1 '\xff') with
+  | Ok (req, None) ->
+      Test_util.check_bool "unknown version keeps request" true (req = inner)
+  | Ok (_, Some _) -> Alcotest.fail "unknown version produced a context"
+  | Error e ->
+      Alcotest.failf "unknown version: %s" (Wire.error_to_string e));
+  (* v1 with a wrong block length is malformed, not misframed *)
+  (match Wire.request_of_payload_ctx (patched 2 '\x18') with
+  | Error (Wire.Bad_payload _ | Wire.Truncated _) -> ()
+  | Ok _ -> Alcotest.fail "wrong ctx length decoded"
+  | Error e ->
+      Alcotest.failf "wrong ctx length: %s" (Wire.error_to_string e));
+  (* hostile flag bits are reserved, ignored: still decodes *)
+  (match Wire.request_of_payload_ctx (patched 27 '\xff') with
+  | Ok (req, Some _) ->
+      Test_util.check_bool "hostile flags keep request" true (req = inner)
+  | Ok (_, None) -> Alcotest.fail "hostile flags dropped the context"
+  | Error e -> Alcotest.failf "hostile flags: %s" (Wire.error_to_string e));
+  (* a wrapper around garbage inner bytes fails like plain garbage *)
+  (match
+     Wire.request_of_payload_ctx
+       (String.sub payload 0 28 ^ "\xffgarbage")
+   with
+  | Error (Wire.Bad_opcode 0xff) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "garbage inner payload accepted");
+  (* a wrapper with no inner payload at all *)
+  match Wire.request_of_payload_ctx (String.sub payload 0 28) with
+  | Error (Wire.Bad_payload _ | Wire.Truncated _) -> ()
+  | Ok _ -> Alcotest.fail "empty inner payload accepted"
+  | Error e ->
+      Alcotest.failf "empty inner payload: %s" (Wire.error_to_string e)
+
+let test_ctx_misplaced_wrappers () =
+  let inner = Wire.Query { id = 7; u = 1; v = 2 } in
+  let wrapped = Wire.encode_request_ctx ~ctx:ctx_fixture inner in
+  let payload = String.sub wrapped 4 (String.length wrapped - 4) in
+  (* nested wrapper: the inner payload must not be a 0x0f itself *)
+  let nested =
+    String.sub payload 0 28 ^ payload (* ctx block, then the whole
+                                         wrapper again as "inner" *)
+  in
+  (match Wire.request_of_payload_ctx nested with
+  | Error (Wire.Bad_opcode 0x0f) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "nested ctx wrapper accepted");
+  (* responses never carry a context *)
+  (match Wire.response_of_payload payload with
+  | Error (Wire.Bad_opcode 0x0f) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "ctx wrapper accepted as a response");
+  (* the plain (ctx-unaware) request decoder also rejects it: an old
+     peer stays in sync and answers with a typed error *)
+  (match Wire.request_of_payload payload with
+  | Error (Wire.Bad_opcode 0x0f) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "old peer would mis-parse the wrapper");
+  (* context-free encoding is byte-identical to the historical one *)
+  Test_util.check_bool "no ctx = historical bytes" true
+    (Wire.encode_request_ctx inner = Wire.encode_request inner)
+
+let prop_ctx_decode_total =
+  Test_util.qcheck "request_of_payload_ctx is total on random bytes"
+    ~count:300
+    QCheck2.Gen.(string_size ~gen:char (int_range 0 80))
+    (fun s ->
+      (* force the interesting opcode half the time *)
+      let s = if String.length s > 0 && Char.code s.[0] land 1 = 0 then
+          "\x0f" ^ s
+        else s
+      in
+      match Wire.request_of_payload_ctx s with
+      | Ok (_, _) -> true
       | Error _ -> true)
 
 (* ----- Mmap_hub (zero-copy packed store) -----------------------------
@@ -452,6 +581,12 @@ let suite =
     Alcotest.test_case "wire mid-frame EOF on a pipe" `Quick
       test_wire_midframe_eof_on_pipe;
     prop_wire_decode_total;
+    Alcotest.test_case "trace ctx truncation at every byte" `Quick
+      test_ctx_truncated_every_byte;
+    Alcotest.test_case "trace ctx hostile bytes" `Quick test_ctx_hostile_bytes;
+    Alcotest.test_case "trace ctx misplaced wrappers" `Quick
+      test_ctx_misplaced_wrappers;
+    prop_ctx_decode_total;
     Alcotest.test_case "mmap pristine fixture loads" `Quick test_mmap_pristine;
     Alcotest.test_case "mmap truncation at every byte" `Quick
       test_mmap_truncated_every_byte;

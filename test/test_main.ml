@@ -27,4 +27,5 @@ let () =
       ("parallel", Test_par.suite);
       ("mmap-hub", Test_mmap_hub.suite);
       ("ops", Test_ops.suite);
+      ("trace-ctx", Test_trace_ctx.suite);
     ]

@@ -1,0 +1,401 @@
+(* Trace contexts, exemplars and runtime gauges: the process-local
+   halves of the distributed-tracing tentpole.
+
+   Pins: deterministic id minting and head sampling, the 25-byte wire
+   block (round trip + totality), the span store bound, the canonical
+   span wire form, tree reassembly (orphans, cycles, ordering), the
+   exemplar path through Metrics/Obs (last-wins per bucket, wire + JSON
+   round trips, thunks consulted after the timed work), the Prometheus
+   exposition (golden-pinned) and the runtime gauges. *)
+
+open Repro_obs
+
+let check_int = Test_util.check_int
+let check_bool = Test_util.check_bool
+let check_str = Alcotest.(check string)
+
+(* ----- context minting ---------------------------------------------- *)
+
+let test_root_deterministic () =
+  let a = Trace_ctx.root ~seed:7 ~seq:3 in
+  let b = Trace_ctx.root ~seed:7 ~seq:3 in
+  check_bool "same (seed, seq) mints same ids" true (a = b);
+  let c = Trace_ctx.root ~seed:7 ~seq:4 in
+  check_bool "different seq, different trace id" true
+    (a.Trace_ctx.hi <> c.Trace_ctx.hi || a.Trace_ctx.lo <> c.Trace_ctx.lo);
+  let d = Trace_ctx.root ~seed:8 ~seq:3 in
+  check_bool "different seed, different trace id" true
+    (a.Trace_ctx.hi <> d.Trace_ctx.hi || a.Trace_ctx.lo <> d.Trace_ctx.lo);
+  check_bool "span id never 0" true (a.Trace_ctx.span_id <> 0L);
+  check_bool "fresh root unsampled" false
+    (a.Trace_ctx.sampled || a.Trace_ctx.forced);
+  check_int "id_string is 32 hex chars" 32
+    (String.length (Trace_ctx.id_string a));
+  String.iter
+    (fun ch ->
+      check_bool "id_string lowercase hex" true
+        (match ch with '0' .. '9' | 'a' .. 'f' -> true | _ -> false))
+    (Trace_ctx.id_string a)
+
+let test_head_sample () =
+  let ctx i = Trace_ctx.root ~seed:42 ~seq:i in
+  for i = 0 to 49 do
+    check_bool "every=1 samples everything" true
+      (Trace_ctx.head_sample ~every:1 (ctx i)).Trace_ctx.sampled
+  done;
+  let hits = ref 0 in
+  for i = 0 to 499 do
+    if (Trace_ctx.head_sample ~every:4 (ctx i)).Trace_ctx.sampled then
+      incr hits
+  done;
+  (* a hash-based 1-in-4 head decision: not all, not none, and the
+     exact count is deterministic given the seed *)
+  check_bool "every=4 samples some" true (!hits > 0 && !hits < 500);
+  let again = ref 0 in
+  for i = 0 to 499 do
+    if (Trace_ctx.head_sample ~every:4 (ctx i)).Trace_ctx.sampled then
+      incr again
+  done;
+  check_int "head decision is a pure function" !hits !again;
+  check_bool "every=0 raises" true
+    (try
+       ignore (Trace_ctx.head_sample ~every:0 (ctx 0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_child_and_force () =
+  let root =
+    Trace_ctx.head_sample ~every:1 (Trace_ctx.root ~seed:1 ~seq:0)
+  in
+  let c1 = Trace_ctx.child root ~seq:0 in
+  let c2 = Trace_ctx.child root ~seq:1 in
+  check_bool "child keeps trace id" true
+    (c1.Trace_ctx.hi = root.Trace_ctx.hi
+    && c1.Trace_ctx.lo = root.Trace_ctx.lo);
+  check_bool "child keeps flags" true (c1.Trace_ctx.sampled = true);
+  check_bool "child span ids fresh" true
+    (c1.Trace_ctx.span_id <> root.Trace_ctx.span_id
+    && c1.Trace_ctx.span_id <> c2.Trace_ctx.span_id);
+  check_bool "child span id nonzero" true
+    (c1.Trace_ctx.span_id <> 0L && c2.Trace_ctx.span_id <> 0L);
+  let f = Trace_ctx.force (Trace_ctx.root ~seed:1 ~seq:9) in
+  check_bool "force sets both flags" true
+    (f.Trace_ctx.sampled && f.Trace_ctx.forced);
+  check_bool "recorded = sampled || forced" true
+    (Trace_ctx.recorded f
+    && Trace_ctx.recorded root
+    && not (Trace_ctx.recorded (Trace_ctx.root ~seed:1 ~seq:2)))
+
+(* ----- 25-byte block ------------------------------------------------- *)
+
+let test_encode_decode () =
+  let cases =
+    [
+      Trace_ctx.root ~seed:0 ~seq:0;
+      Trace_ctx.head_sample ~every:1 (Trace_ctx.root ~seed:3 ~seq:11);
+      Trace_ctx.force (Trace_ctx.root ~seed:99 ~seq:7);
+      Trace_ctx.child (Trace_ctx.root ~seed:5 ~seq:1) ~seq:4;
+    ]
+  in
+  List.iter
+    (fun c ->
+      let s = Trace_ctx.encode c in
+      check_int "encoded_len" Trace_ctx.encoded_len (String.length s);
+      match Trace_ctx.decode s ~pos:0 with
+      | Ok d -> check_bool "round trip" true (d = c)
+      | Error e -> Alcotest.fail ("decode failed: " ^ e))
+    cases;
+  (* decode at an offset inside a larger buffer *)
+  let c = Trace_ctx.force (Trace_ctx.root ~seed:2 ~seq:2) in
+  let buf = "junk" ^ Trace_ctx.encode c ^ "tail" in
+  (match Trace_ctx.decode buf ~pos:4 with
+  | Ok d -> check_bool "offset round trip" true (d = c)
+  | Error e -> Alcotest.fail ("offset decode failed: " ^ e));
+  (* totality: every truncation is an Error, never an exception *)
+  let s = Trace_ctx.encode c in
+  for len = 0 to String.length s - 1 do
+    match Trace_ctx.decode (String.sub s 0 len) ~pos:0 with
+    | Ok _ -> Alcotest.fail "truncated block decoded"
+    | Error _ -> ()
+  done;
+  (* unknown flag bits are reserved, ignored on decode *)
+  let hostile = Bytes.of_string s in
+  Bytes.set hostile 24 (Char.chr (Char.code (Bytes.get hostile 24) lor 0xfc));
+  match Trace_ctx.decode (Bytes.to_string hostile) ~pos:0 with
+  | Ok d -> check_bool "unknown flag bits ignored" true (d = c)
+  | Error e -> Alcotest.fail ("hostile flags rejected: " ^ e)
+
+(* ----- span store ---------------------------------------------------- *)
+
+let mk_span ?(hi = 1L) ?(lo = 2L) ~id ~parent ~start name : Trace_ctx.span =
+  {
+    trace_hi = hi;
+    trace_lo = lo;
+    span_id = id;
+    parent_id = parent;
+    name;
+    start_ns = start;
+    elapsed_ns = 10L;
+  }
+
+let test_store_bound () =
+  let st = Trace_ctx.store ~capacity:3 in
+  for i = 1 to 5 do
+    Trace_ctx.record st
+      (mk_span ~id:(Int64.of_int i) ~parent:0L ~start:0L "s")
+  done;
+  check_int "bounded to capacity" 3 (List.length (Trace_ctx.spans st));
+  check_int "seen counts drops" 5 (Trace_ctx.seen st);
+  (match Trace_ctx.spans st with
+  | { Trace_ctx.span_id = 3L; _ } :: _ -> ()
+  | _ -> Alcotest.fail "oldest spans not dropped first");
+  Trace_ctx.clear st;
+  check_int "clear empties" 0 (List.length (Trace_ctx.spans st));
+  check_bool "capacity 0 raises" true
+    (try
+       ignore (Trace_ctx.store ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ----- span wire form ------------------------------------------------ *)
+
+let test_span_wire_round_trip () =
+  let spans =
+    [
+      mk_span ~id:5L ~parent:0L ~start:100L "router.batch";
+      mk_span ~id:6L ~parent:5L ~start:200L "rpc.shard0.w0";
+      mk_span ~hi:(-1L) ~lo:Int64.min_int ~id:Int64.max_int ~parent:6L
+        ~start:0L "shard0.dist";
+    ]
+  in
+  let wire = Trace_ctx.spans_to_wire spans in
+  (match Trace_ctx.spans_of_wire wire with
+  | Ok back -> check_bool "wire round trip" true (back = spans)
+  | Error e -> Alcotest.fail ("wire parse failed: " ^ e));
+  check_str "canonical bytes" wire (Trace_ctx.spans_to_wire spans);
+  check_bool "empty list round trips" true
+    (Trace_ctx.spans_of_wire (Trace_ctx.spans_to_wire []) = Ok []);
+  check_bool "whitespace in name raises" true
+    (try
+       ignore
+         (Trace_ctx.spans_to_wire
+            [ mk_span ~id:1L ~parent:0L ~start:0L "bad name" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_span_wire_hostile () =
+  let bad =
+    [
+      "s 1 2 3";                               (* too few fields *)
+      "z 1 2 3 0 0 0 n";                       (* unknown tag *)
+      "s xx 2 3 0 0 0 n";                      (* bad hex *)
+      "s 1 2 3 0 nope 0 n";                    (* bad decimal *)
+      "s 1 2 3 0 0 0 a b";                     (* trailing field *)
+    ]
+  in
+  List.iteri
+    (fun i line ->
+      match Trace_ctx.spans_of_wire (line ^ "\n") with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "hostile line %d parsed" i)
+      | Error msg ->
+          check_bool "error names line 1" true
+            (String.length msg > 0
+            && (let has_one = ref false in
+                String.iter (fun c -> if c = '1' then has_one := true) msg;
+                !has_one)))
+    bad;
+  (* totality over random garbage: never raises *)
+  let rng = Random.State.make [| 20190721 |] in
+  for _ = 1 to 200 do
+    let s =
+      String.init
+        (Random.State.int rng 40)
+        (fun _ -> Char.chr (Random.State.int rng 256))
+    in
+    match Trace_ctx.spans_of_wire s with Ok _ | Error _ -> ()
+  done
+
+(* ----- tree reassembly ----------------------------------------------- *)
+
+let test_tree_assembly () =
+  let spans =
+    [
+      (* trace (1,2): root + nested child + orphan *)
+      mk_span ~id:10L ~parent:0L ~start:0L "router.dist";
+      mk_span ~id:11L ~parent:10L ~start:5L "rpc.shard0.w0";
+      mk_span ~id:12L ~parent:11L ~start:7L "shard0.dist";
+      mk_span ~id:13L ~parent:99L ~start:9L "orphan";
+      (* second trace *)
+      mk_span ~hi:3L ~lo:4L ~id:20L ~parent:0L ~start:0L "router.ecc";
+    ]
+  in
+  let trees = Trace_ctx.tree spans in
+  check_int "one tree per trace" 2 (List.length trees);
+  let ids = List.map fst trees in
+  check_bool "sorted by trace id" true (ids = List.sort compare ids);
+  let root =
+    match
+      List.find_opt
+        (fun (_, n) -> n.Span.name = "router.dist")
+        trees
+    with
+    | Some (id, n) ->
+        check_int "trace id key is 32 hex" 32 (String.length id);
+        n
+    | None -> Alcotest.fail "router.dist tree missing"
+  in
+  check_int "root has rpc child + adopted orphan" 2
+    (List.length root.Span.children);
+  (match root.Span.children with
+  | [ rpc; orphan ] ->
+      check_str "children ordered by start" "rpc.shard0.w0" rpc.Span.name;
+      check_str "orphan attached to root" "orphan" orphan.Span.name;
+      (match rpc.Span.children with
+      | [ w ] -> check_str "worker span nested under rpc" "shard0.dist"
+                   w.Span.name
+      | _ -> Alcotest.fail "rpc child missing")
+  | _ -> Alcotest.fail "unexpected root children");
+  check_bool "deterministic" true (Trace_ctx.tree spans = trees)
+
+let test_tree_cycle_safe () =
+  (* two spans claiming each other as parent: must terminate with both
+     present (attached to the synthesised/earliest root) *)
+  let spans =
+    [
+      mk_span ~id:1L ~parent:2L ~start:0L "a";
+      mk_span ~id:2L ~parent:1L ~start:1L "b";
+    ]
+  in
+  match Trace_ctx.tree spans with
+  | [ (_, root) ] ->
+      let rec count (n : Span.node) =
+        1 + List.fold_left (fun acc c -> acc + count c) 0 n.Span.children
+      in
+      check_int "cycle: both spans in tree" 2 (count root)
+  | l -> check_int "cycle: one trace" 1 (List.length l)
+
+(* ----- exemplars through Metrics ------------------------------------- *)
+
+let test_exemplar_retention () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "lat" in
+  Metrics.observe h 120;
+  Metrics.observe ~exemplar:"aaaa" h 130;
+  Metrics.observe ~exemplar:"bbbb" h 140;  (* same bucket: last wins *)
+  Metrics.observe ~exemplar:"cccc" h 2_000_000_000;  (* overflow bucket *)
+  let snap = Metrics.snapshot r in
+  let s = Option.get (Metrics.find_histogram snap "lat") in
+  (match s.Metrics.exemplars with
+  | [ (b1, "bbbb"); (b2, "cccc") ] ->
+      check_bool "bucket order" true (b1 < b2)
+  | other ->
+      Alcotest.fail
+        (Printf.sprintf "unexpected exemplars (%d)" (List.length other)));
+  (* wire round trip keeps them *)
+  (match Metrics.snapshot_of_wire (Metrics.snapshot_to_wire snap) with
+  | Ok back -> check_bool "exemplars survive the wire" true (back = snap)
+  | Error e -> Alcotest.fail ("wire parse failed: " ^ e));
+  (* JSON carries them, and only histograms that have them *)
+  let json = Metrics.to_json snap in
+  let contains sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "json has exemplars" true (contains "\"exemplars\"" json);
+  check_bool "json has trace id" true (contains "\"bbbb\"" json);
+  let r2 = Metrics.create () in
+  Metrics.observe (Metrics.histogram r2 "lat") 120;
+  check_bool "no exemplars, no key" false
+    (contains "\"exemplars\"" (Metrics.to_json (Metrics.snapshot r2)))
+
+let test_exemplar_thunk_after_work () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "lat" in
+  let clock = Clock.read (Clock.manual ~auto_step:10L ()) in
+  let decided = ref None in
+  Metrics.observe_span ~clock ~exemplar:(fun () -> !decided) h (fun () ->
+      (* the force decision lands mid-work; the thunk must see it *)
+      decided := Some "feedcafe");
+  let s = Option.get (Metrics.find_histogram (Metrics.snapshot r) "lat") in
+  check_bool "thunk evaluated after work" true
+    (List.exists (fun (_, e) -> e = "feedcafe") s.Metrics.exemplars)
+
+let test_instrument_op_exemplar () =
+  let r = Metrics.create () in
+  let clock = Clock.read (Clock.manual ~auto_step:100L ()) in
+  let req = Ops.Dist { u = 0; v = 1 } in
+  let got =
+    Obs.instrument_op ~clock ~exemplar:(fun () -> Some "0123abcd") r
+      (fun _ -> 17)
+      req
+  in
+  check_int "result passes through" 17 got;
+  let snap = Metrics.snapshot r in
+  match Metrics.find_histogram snap "ops.dist.latency_ns" with
+  | Some s ->
+      check_bool "instrument_op stores exemplar" true
+        (List.exists (fun (_, e) -> e = "0123abcd") s.Metrics.exemplars)
+  | None -> Alcotest.fail "ops.dist.latency_ns missing"
+
+(* ----- Prometheus exposition (golden) -------------------------------- *)
+
+let test_prometheus_golden () =
+  let r = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter r "router.queries");
+  Metrics.set_gauge (Metrics.gauge r "runtime.heap_words") 1234;
+  let h = Metrics.histogram ~buckets:[| 100; 1000 |] r "lat-ns" in
+  Metrics.observe h 50;
+  Metrics.observe h 500;
+  Metrics.observe h 5000;
+  check_str "prom exposition"
+    ("# TYPE lat_ns histogram\n"
+   ^ "lat_ns_bucket{le=\"100\"} 1\n"
+   ^ "lat_ns_bucket{le=\"1000\"} 2\n"
+   ^ "lat_ns_bucket{le=\"+Inf\"} 3\n"
+   ^ "lat_ns_sum 5550\n" ^ "lat_ns_count 3\n"
+   ^ "# TYPE router_queries_total counter\n"
+   ^ "router_queries_total 3\n"
+   ^ "# TYPE runtime_heap_words gauge\n"
+   ^ "runtime_heap_words 1234\n")
+    (Metrics.to_prometheus r)
+
+(* ----- runtime gauges ------------------------------------------------ *)
+
+let test_runtime_gauges () =
+  let r = Metrics.create () in
+  Metrics.sample_runtime_gauges r;
+  let snap = Metrics.snapshot r in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name snap.Metrics.gauges with
+      | Some v -> check_bool (name ^ " sampled") true (v >= 0)
+      | None -> Alcotest.fail (name ^ " missing"))
+    [
+      "runtime.gc.minor_collections"; "runtime.gc.major_collections";
+      "runtime.heap_words"; "runtime.live_words";
+    ];
+  check_bool "heap holds live" true
+    (List.assoc "runtime.heap_words" snap.Metrics.gauges
+    >= List.assoc "runtime.live_words" snap.Metrics.gauges)
+
+let suite =
+  [
+    Alcotest.test_case "root: deterministic ids" `Quick test_root_deterministic;
+    Alcotest.test_case "head sampling" `Quick test_head_sample;
+    Alcotest.test_case "child + force" `Quick test_child_and_force;
+    Alcotest.test_case "encode/decode block" `Quick test_encode_decode;
+    Alcotest.test_case "span store bound" `Quick test_store_bound;
+    Alcotest.test_case "span wire round trip" `Quick test_span_wire_round_trip;
+    Alcotest.test_case "span wire hostile lines" `Quick test_span_wire_hostile;
+    Alcotest.test_case "tree assembly" `Quick test_tree_assembly;
+    Alcotest.test_case "tree cycle safety" `Quick test_tree_cycle_safe;
+    Alcotest.test_case "exemplar retention" `Quick test_exemplar_retention;
+    Alcotest.test_case "exemplar thunk after work" `Quick
+      test_exemplar_thunk_after_work;
+    Alcotest.test_case "instrument_op exemplar" `Quick
+      test_instrument_op_exemplar;
+    Alcotest.test_case "golden: prometheus exposition" `Quick
+      test_prometheus_golden;
+    Alcotest.test_case "runtime gauges" `Quick test_runtime_gauges;
+  ]
