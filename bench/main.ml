@@ -1127,6 +1127,200 @@ let run_trace ~mode (z : sizes) =
     identical
 
 (* ------------------------------------------------------------------ *)
+(* Part 11: the compressed HUBFLAT2 store -> BENCH_compress.json.
+
+   Size: the same labeling packed as HUBFLAT1 vs HUBFLAT2 (file bytes,
+   bytes/entry, measured bits/entry from Hub_stats.packed_sizes and the
+   compression ratio). Cold start: best-of-N opens across heap parse,
+   HUBFLAT1 mmap and HUBFLAT2 mmap. Steady state: ns/query for point
+   queries, pooled batches (query_many) and one eccentricity op across
+   flat/mmap/compact. Every answer array must hash identically across
+   assoc/flat/mmap/compact — compression must never change a distance.
+   Uses the default domain pool for batches, so it runs after the
+   forking parts. *)
+
+let run_compress ~mode (z : sizes) =
+  let module Checksum = Repro_par.Checksum in
+  let module Ops = Repro_obs.Ops in
+  let module Backend = Repro_obs.Backend in
+  let iters = if mode = "smoke" then 2 else 200 in
+  let open_iters = if mode = "smoke" then 3 else 40 in
+  let ecc_iters = if mode = "smoke" then 1 else 20 in
+  let g = Generators.random_connected (rng ()) ~n:z.sparse_n ~m:z.sparse_m in
+  let labels = Pll.build g in
+  let flat = Flat_hub.of_labels labels in
+  let ps = Repro_hub.Hub_stats.packed_sizes flat in
+  let write_tmp suffix bytes =
+    let path = Filename.temp_file "hubhard_bench_compress" suffix in
+    let oc = open_out_bin path in
+    output_string oc bytes;
+    close_out oc;
+    path
+  in
+  let flat_path = write_tmp ".bin" (Hub_io.flat_to_bytes flat) in
+  let compact_path = write_tmp ".cbin" (Hub_io.compact_to_bytes flat) in
+  let mmap_open () =
+    match Mmap_hub.load_res flat_path with
+    | Ok s -> s
+    | Error e -> failwith (Mmap_hub.error_to_string e)
+  in
+  let compact_open () =
+    match Compact_hub.load_res compact_path with
+    | Ok s -> s
+    | Error e -> failwith (Compact_hub.error_to_string e)
+  in
+  let heap_parse () =
+    let ic = open_in_bin flat_path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Hub_io.flat_of_bytes_res s with
+    | Ok f -> f
+    | Error e -> failwith e.Hub_io.msg
+  in
+  let time_best_ms f =
+    ignore (f ());
+    let best = ref infinity in
+    for _ = 1 to open_iters do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let t1 = Unix.gettimeofday () in
+      best := Float.min !best ((t1 -. t0) *. 1e3)
+    done;
+    !best
+  in
+  let parse_ms = time_best_ms heap_parse in
+  let mmap_ms = time_best_ms mmap_open in
+  let compact_ms = time_best_ms compact_open in
+  let mm = mmap_open () in
+  let compact = compact_open () in
+  Sys.remove flat_path;
+  Sys.remove compact_path;
+  let pairs =
+    let r = rng () in
+    Array.init z.pairs (fun _ ->
+        (Random.State.int r z.sparse_n, Random.State.int r z.sparse_n))
+  in
+  let sweep q () = Array.iter (fun (u, v) -> ignore (q u v : int)) pairs in
+  let t = time_ns_per_query ~iters ~queries:z.pairs in
+  let point =
+    [
+      ("flat", t (sweep (Flat_hub.query flat)));
+      ("mmap", t (sweep (Mmap_hub.query mm)));
+      ("compact", t (sweep (Compact_hub.query compact)));
+    ]
+  in
+  let batch =
+    [
+      ("flat", t (fun () -> ignore (Flat_hub.query_many flat pairs)));
+      ("mmap", t (fun () -> ignore (Mmap_hub.query_many mm pairs)));
+      ("compact", t (fun () -> ignore (Compact_hub.query_many compact pairs)));
+    ]
+  in
+  let ecc = Ops.Eccentricity 0 in
+  let time_op b =
+    ignore (Backend.op b ecc);
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to ecc_iters do
+      ignore (Backend.op b ecc)
+    done;
+    let t1 = Unix.gettimeofday () in
+    (t1 -. t0) *. 1e9 /. float_of_int ecc_iters
+  in
+  let ops =
+    [
+      ("flat", time_op (Flat_hub.ops flat));
+      ("mmap", time_op (Mmap_hub.ops mm));
+      ("compact", time_op (Compact_hub.ops compact));
+    ]
+  in
+  let digest q =
+    Checksum.sha256_hex
+      (String.concat ","
+         (Array.to_list (Array.map (fun (u, v) -> string_of_int (q u v)) pairs)))
+  in
+  let shas =
+    [
+      ("assoc", digest (Hub_label.query labels));
+      ("flat", digest (Flat_hub.query flat));
+      ("mmap", digest (Mmap_hub.query mm));
+      ("compact", digest (Compact_hub.query compact));
+    ]
+  in
+  let identical =
+    match shas with
+    | (_, h0) :: rest -> List.for_all (fun (_, h) -> h = h0) rest
+    | [] -> true
+  in
+  let ratio =
+    if ps.Repro_hub.Hub_stats.flat2_bytes = 0 then 0.
+    else
+      float_of_int ps.Repro_hub.Hub_stats.flat1_bytes
+      /. float_of_int ps.Repro_hub.Hub_stats.flat2_bytes
+  in
+  let per_entry bytes =
+    if ps.Repro_hub.Hub_stats.entries = 0 then 0.
+    else float_of_int bytes /. float_of_int ps.Repro_hub.Hub_stats.entries
+  in
+  let json_map l =
+    String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf {|"%s": %.1f|} k v) l)
+  in
+  let oc = open_out "BENCH_compress.json" in
+  Printf.fprintf oc
+    {|{
+  "bench": "compress",
+  "mode": "%s",
+  "seed": %d,
+  "jobs": %d,
+  "store": "compact",
+  "graph": { "n": %d, "m": %d },
+  "label_entries": %d,
+  "avg_label_size": %.2f,
+  "max_label_size": %d,
+  "packed_bytes": { "flat1": %d, "flat2": %d },
+  "bytes_per_entry": { "flat1": %.2f, "flat2": %.2f },
+  "bits_per_entry": { "flat1": %.2f, "flat2": %.2f },
+  "compression_ratio": %.2f,
+  "queries": %d,
+  "iters": %d,
+  "cold_start_best_of": %d,
+  "cold_start_ms": { "heap_parse": %.3f, "mmap_open": %.3f, "compact_open": %.3f },
+  "ns_per_query_point": { %s },
+  "ns_per_query_batch": { %s },
+  "ns_per_op_eccentricity": { %s },
+  "answers_sha256": { %s },
+  "answers_identical": %b
+}
+|}
+    mode !seed
+    (Repro_par.Pool.default_jobs ())
+    z.sparse_n z.sparse_m ps.Repro_hub.Hub_stats.entries
+    ps.Repro_hub.Hub_stats.avg_size ps.Repro_hub.Hub_stats.max_size
+    ps.Repro_hub.Hub_stats.flat1_bytes ps.Repro_hub.Hub_stats.flat2_bytes
+    (per_entry ps.Repro_hub.Hub_stats.flat1_bytes)
+    (per_entry ps.Repro_hub.Hub_stats.flat2_bytes)
+    ps.Repro_hub.Hub_stats.flat1_bits_per_entry
+    ps.Repro_hub.Hub_stats.flat2_bits_per_entry ratio z.pairs iters open_iters
+    parse_ms mmap_ms compact_ms (json_map point) (json_map batch)
+    (json_map ops)
+    (String.concat ", "
+       (List.map (fun (bn, h) -> Printf.sprintf {|"%s": "%s"|} bn h) shas))
+    identical;
+  close_out oc;
+  let ns_of l name =
+    match List.assoc_opt name l with Some t -> t | None -> 0.
+  in
+  Printf.printf
+    "compress (%s, %d entries): %d -> %d bytes (%.2fx, %.2f vs %.2f \
+     bits/entry); point %.1f ns/q (flat %.1f); answers identical across \
+     assoc/flat/mmap/compact: %b -> BENCH_compress.json\n%!"
+    mode ps.Repro_hub.Hub_stats.entries ps.Repro_hub.Hub_stats.flat1_bytes
+    ps.Repro_hub.Hub_stats.flat2_bytes ratio
+    ps.Repro_hub.Hub_stats.flat1_bits_per_entry
+    ps.Repro_hub.Hub_stats.flat2_bits_per_entry (ns_of point "compact")
+    (ns_of point "flat") identical
+
+(* ------------------------------------------------------------------ *)
 
 let benchmark tests =
   let ols =
@@ -1167,6 +1361,7 @@ let run_smoke () =
   run_parallel ~mode:"smoke" smoke_sizes;
   run_mmap ~mode:"smoke" smoke_sizes;
   run_ops ~mode:"smoke" smoke_sizes;
+  run_compress ~mode:"smoke" smoke_sizes;
   print_endline "bench smoke: all entries ran"
 
 let run_full () =
@@ -1211,7 +1406,10 @@ let run_full () =
   run_mmap ~mode:"full" full_sizes;
   (* Part 9: the ops query surface. *)
   print_newline ();
-  run_ops ~mode:"full" full_sizes
+  run_ops ~mode:"full" full_sizes;
+  (* Part 11: the compressed HUBFLAT2 store. *)
+  print_newline ();
+  run_compress ~mode:"full" full_sizes
 
 let () =
   if Array.exists (( = ) "--smoke") Sys.argv then run_smoke ()
@@ -1232,4 +1430,6 @@ let () =
     run_ops ~mode:"full" full_sizes
   else if Array.exists (( = ) "--trace-json") Sys.argv then
     run_trace ~mode:"full" full_sizes
+  else if Array.exists (( = ) "--compress-json") Sys.argv then
+    run_compress ~mode:"full" full_sizes
   else run_full ()

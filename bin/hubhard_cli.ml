@@ -168,8 +168,29 @@ let label_cmd =
     in
     Arg.(value & opt (some string) None & info [ "pack" ] ~docv:"FILE" ~doc)
   in
-  let run kind n scheme d verify out pack profile seed jobs =
+  let compress =
+    let doc =
+      "With --pack: write the compressed HUBFLAT2 form (delta/varint hubs, \
+       zigzag-varint distances, per-block skip pointers) instead of the \
+       word-per-field HUBFLAT1 form. Every consumer (--labels-file, \
+       --compact, serve worker/router) auto-detects either."
+    in
+    Arg.(value & flag & info [ "compress" ] ~doc)
+  in
+  let stats =
+    let doc =
+      "Report measured on-disk label sizes: entry counts, avg/max hubset \
+       size, and bits per entry under both binary formats (HUBFLAT1 vs \
+       HUBFLAT2)."
+    in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let run kind n scheme d verify out pack compress stats profile seed jobs =
     apply_jobs jobs;
+    if compress && pack = None then begin
+      Printf.eprintf "hubhard: --compress requires --pack\n";
+      exit 124
+    end;
     let rng = rng_of seed in
     match
       let construct () =
@@ -216,14 +237,30 @@ let label_cmd =
             write path (Hub_io.to_string labels);
             write (path ^ ".graph") (Graph_io.to_string g);
             Printf.printf "wrote %s and %s.graph\n" path path);
+        if stats then
+          print_endline
+            (Hub_stats.packed_report
+               (Hub_stats.packed_sizes (Flat_hub.of_labels labels)));
         (match pack with
         | None -> ()
         | Some path ->
-            let packed = Hub_io.flat_to_bytes (Flat_hub.of_labels labels) in
+            let flat = Flat_hub.of_labels labels in
+            let packed =
+              if compress then Hub_io.compact_to_bytes flat
+              else Hub_io.flat_to_bytes flat
+            in
             write path packed;
             write (path ^ ".graph") (Graph_io.to_string g);
-            Printf.printf "packed %d bytes into %s (and %s.graph)\n"
-              (String.length packed) path path);
+            let entries = Flat_hub.total_size flat in
+            Printf.printf
+              "packed %d bytes (%s, %d entries, %.2f bytes/entry) into %s \
+               (and %s.graph)\n"
+              (String.length packed)
+              (if compress then "HUBFLAT2" else "HUBFLAT1")
+              entries
+              (if entries = 0 then 0.
+               else float_of_int (String.length packed) /. float_of_int entries)
+              path path);
         `Ok ()
     | exception Invalid_argument msg -> `Error (false, msg)
   in
@@ -239,8 +276,8 @@ let label_cmd =
     (Cmd.info "label" ~doc)
     Term.(
       ret
-        (const run $ kind $ n $ scheme $ d $ verify $ out $ pack $ profile
-       $ seed_arg $ jobs_arg))
+        (const run $ kind $ n $ scheme $ d $ verify $ out $ pack $ compress
+       $ stats $ profile $ seed_arg $ jobs_arg))
 
 (* ---------------------------------------------------------------- *)
 (* sumindex                                                           *)
@@ -393,14 +430,24 @@ let parse_graph_exit path =
         (Graph_io.string_of_parse_error e);
       exit exit_parse_failure
 
-(* Label files are auto-detected: the binary packed form (by magic) or
-   the plain-text Hub_io format. Returns the assoc labeling for the
-   validation paths plus the packed store when one was loaded. *)
+(* Label files are auto-detected: the binary packed form, the
+   compressed binary form (both by magic) or the plain-text Hub_io
+   format. Returns the assoc labeling for the validation paths plus
+   the packed store when one was loaded. *)
 let parse_labels_exit path =
   let s = read_input path in
   if Hub_io.is_packed s then
     match Hub_io.flat_of_bytes_res s with
     | Ok flat -> (Flat_hub.to_labels flat, Some flat)
+    | Error e ->
+        Printf.eprintf "%s: parse failure: %s\n" path
+          (Graph_io.string_of_parse_error e);
+        exit exit_parse_failure
+  else if Hub_io.is_compact s then
+    match Hub_io.compact_of_bytes_res s with
+    | Ok store ->
+        let flat = Compact_hub.to_flat store in
+        (Flat_hub.to_labels flat, Some flat)
     | Error e ->
         Printf.eprintf "%s: parse failure: %s\n" path
           (Graph_io.string_of_parse_error e);
@@ -449,31 +496,73 @@ let mmap_arg =
     "Serve from a zero-copy memory-mapped store: --labels-file must name a \
      binary packed file (hubhard label --pack) on disk, not stdin. Cold \
      start is O(1) in the label size and every process mapping the file \
-     shares one page-cache copy. Mutually exclusive with --flat; skips the \
-     startup structural re-validation (run 'serve check' offline instead)."
+     shares one page-cache copy. Mutually exclusive with --flat and \
+     --compact; skips the startup structural re-validation (run 'serve \
+     check' offline instead)."
   in
   Arg.(value & flag & info [ "mmap" ] ~doc)
 
-(* One shared resolver for the serving-store kind; every serve
-   subcommand (query | stats | loop | worker | router) routes its
-   --mmap/--flat/--labels-file combination through here, so the
-   rejected combinations — and their exit-124 contract — live in
-   exactly one place. *)
-type store_kind = Store_assoc | Store_flat | Store_mmap
+let compact_arg =
+  let doc =
+    "Serve from a zero-copy compressed store: --labels-file must name a \
+     binary compressed file (hubhard label --pack --compress) on disk, not \
+     stdin. Same page-cache sharing and O(1)-in-label-size cold start as \
+     --mmap at a fraction of the bytes (delta-varint HUBFLAT2 encoding, see \
+     docs/PERFORMANCE.md). Mutually exclusive with --flat and --mmap."
+  in
+  Arg.(value & flag & info [ "compact" ] ~doc)
 
-let resolve_store_kind ?(flat = false) ~mmap ~labels_file () =
-  if mmap && flat then begin
-    Printf.eprintf "hubhard: --mmap and --flat are mutually exclusive\n";
+(* Compressed zero-copy path: the HUBFLAT2 mirror of load_mmap_exit.
+   Shallow O(n) validation on open; malformed files exit 10, an
+   n-mismatch exits 11. *)
+let load_compact_exit ~graph path =
+  if path = "-" then begin
+    Printf.eprintf "hubhard: --compact requires a regular file, not stdin\n";
+    exit 124
+  end;
+  match Compact_hub.load_res path with
+  | Error e ->
+      Printf.eprintf "%s: parse failure: %s\n" path
+        (Compact_hub.error_to_string e);
+      exit exit_parse_failure
+  | Ok store ->
+      if Compact_hub.n store <> Graph.n graph then begin
+        Printf.eprintf
+          "validation failure: compact store has n=%d but graph has n=%d\n"
+          (Compact_hub.n store) (Graph.n graph);
+        exit exit_validation_failure
+      end;
+      store
+
+(* One shared resolver for the serving-store kind; every serve
+   subcommand (query | stats | loop | worker | router | trace) routes
+   its --mmap/--compact/--flat/--labels-file combination through here,
+   so the rejected combinations — and their exit-124 contract — live
+   in exactly one place. *)
+type store_kind = Store_assoc | Store_flat | Store_mmap | Store_compact
+
+let resolve_store_kind ?(flat = false) ~mmap ~compact ~labels_file () =
+  if (mmap && flat) || (compact && flat) || (mmap && compact) then begin
+    Printf.eprintf
+      "hubhard: --mmap, --compact and --flat are mutually exclusive\n";
     exit 124
   end;
   if mmap && labels_file = None then begin
     Printf.eprintf "hubhard: --mmap requires --labels-file\n";
     exit 124
   end;
-  if mmap then Store_mmap else if flat then Store_flat else Store_assoc
+  if compact && labels_file = None then begin
+    Printf.eprintf "hubhard: --compact requires --labels-file\n";
+    exit 124
+  end;
+  if mmap then Store_mmap
+  else if compact then Store_compact
+  else if flat then Store_flat
+  else Store_assoc
 
 let store_kind_name ~labels = function
   | Store_mmap -> "mmap"
+  | Store_compact -> "compact"
   | Store_flat -> "flat"
   | Store_assoc -> if labels then "assoc" else "search"
 
@@ -526,12 +615,12 @@ let serve_check_cmd =
 (* Build the serving oracle for `serve query` / `serve stats`: one
    unified Resilient_oracle.create over a uniform primary backend,
    every layer instrumented into [registry]. Returns the oracle plus a
-   cache-stats thunk for whichever store is in play. [mmap] (already
-   loaded and n-checked) takes the primary slot when present; [labels]
-   feeds the assoc or heap-flat primaries otherwise. *)
+   cache-stats thunk for whichever store is in play. [mmap] / [compact]
+   (already loaded and n-checked) take the primary slot when present;
+   [labels] feeds the assoc or heap-flat primaries otherwise. *)
 let build_serving_oracle ?clock ?(instrument_primary = true) ~registry ~labels
-    ~flat ~mmap ~cache_slots ~step_budget ~spot_check ~quarantine_after
-    ~inject_fraction ~inject_mode ~seed g =
+    ~flat ~mmap ~compact ~cache_slots ~step_budget ~spot_check
+    ~quarantine_after ~inject_fraction ~inject_mode ~seed g =
   let wrap_primary base =
     let base =
       if inject_fraction <= 0.0 then base
@@ -554,8 +643,8 @@ let build_serving_oracle ?clock ?(instrument_primary = true) ~registry ~labels
      the same store: the assoc labeling has none (the oracle lifts its
      point query over Ops.brute instead) *)
   let primary_and_cache =
-    match (mmap, labels) with
-    | Some m, _ ->
+    match (mmap, compact, labels) with
+    | Some m, _, _ ->
         let store =
           if cache_slots > 0 then Mmap_hub.with_cache ~cache_slots m else m
         in
@@ -563,7 +652,15 @@ let build_serving_oracle ?clock ?(instrument_primary = true) ~registry ~labels
           ( wrap_primary (Resilient_oracle.mmap_primary ?step_budget store),
             (fun () -> Mmap_hub.cache_stats store),
             Some (Mmap_hub.ops store) )
-    | None, Some (l, packed) ->
+    | None, Some c, _ ->
+        let store =
+          if cache_slots > 0 then Compact_hub.with_cache ~cache_slots c else c
+        in
+        Some
+          ( wrap_primary (Resilient_oracle.compact_primary ?step_budget store),
+            (fun () -> Compact_hub.cache_stats store),
+            Some (Compact_hub.ops store) )
+    | None, None, Some (l, packed) ->
         let store =
           if not flat then None
           else
@@ -581,7 +678,7 @@ let build_serving_oracle ?clock ?(instrument_primary = true) ~registry ~labels
           ( wrap_primary base,
             (fun () -> Option.bind store Flat_hub.cache_stats),
             Option.map (fun s -> Flat_hub.ops s) store )
-    | None, None -> None
+    | None, None, None -> None
   in
   let primary = Option.map (fun (p, _, _) -> p) primary_and_cache in
   let primary_ops =
@@ -692,8 +789,8 @@ let serve_query_cmd =
       & info [ "inject-mode" ] ~docv:"MODE" ~doc)
   in
   let run graph_file labels_file pairs ops num budget spot_check
-      quarantine_after flat mmap cache_slots inject_fraction inject_mode
-      metrics_out seed jobs =
+      quarantine_after flat mmap compact cache_slots inject_fraction
+      inject_mode metrics_out seed jobs =
     apply_jobs jobs;
     if inject_fraction < 0.0 || inject_fraction > 1.0 then begin
       Printf.eprintf "hubhard: --inject-fraction must lie in [0, 1]\n";
@@ -703,7 +800,7 @@ let serve_query_cmd =
       Printf.eprintf "hubhard: --cache-slots must be non-negative\n";
       exit 124
     end;
-    let kind = resolve_store_kind ~flat ~mmap ~labels_file () in
+    let kind = resolve_store_kind ~flat ~mmap ~compact ~labels_file () in
     let op_reqs =
       List.map
         (fun s ->
@@ -732,14 +829,20 @@ let serve_query_cmd =
       if kind = Store_mmap then Option.map (load_mmap_exit ~graph:g) labels_file
       else None
     in
+    let compact =
+      if kind = Store_compact then
+        Option.map (load_compact_exit ~graph:g) labels_file
+      else None
+    in
     let labels =
-      if mmap <> None then None else Option.map parse_labels_exit labels_file
+      if mmap <> None || compact <> None then None
+      else Option.map parse_labels_exit labels_file
     in
     Option.iter (fun (l, _) -> structural_exit g l) labels;
     let step_budget = if budget > 0 then Some budget else None in
     let registry = Metrics.create () in
     let oracle, _cache_stats =
-      build_serving_oracle ~registry ~labels ~flat ~mmap ~cache_slots
+      build_serving_oracle ~registry ~labels ~flat ~mmap ~compact ~cache_slots
         ~step_budget ~spot_check ~quarantine_after ~inject_fraction
         ~inject_mode ~seed g
     in
@@ -803,8 +906,9 @@ let serve_query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ graph_file_arg $ labels_file $ pairs $ ops $ num $ budget
-      $ spot_check $ quarantine_after $ flat $ mmap_arg $ cache_slots
-      $ inject_fraction $ inject_mode $ metrics_out_arg $ seed_arg $ jobs_arg)
+      $ spot_check $ quarantine_after $ flat $ mmap_arg $ compact_arg
+      $ cache_slots $ inject_fraction $ inject_mode $ metrics_out_arg
+      $ seed_arg $ jobs_arg)
 
 let serve_stats_cmd =
   let num =
@@ -849,14 +953,14 @@ let serve_stats_cmd =
     let doc = "Number of most recent per-query trace records to show." in
     Arg.(value & opt int 5 & info [ "traces" ] ~docv:"K" ~doc)
   in
-  let run graph_file labels_file num budget spot_check flat mmap cache_slots
-      json format traces metrics_out seed jobs =
+  let run graph_file labels_file num budget spot_check flat mmap compact
+      cache_slots json format traces metrics_out seed jobs =
     apply_jobs jobs;
     if cache_slots < 0 then begin
       Printf.eprintf "hubhard: --cache-slots must be non-negative\n";
       exit 124
     end;
-    let kind = resolve_store_kind ~flat ~mmap ~labels_file () in
+    let kind = resolve_store_kind ~flat ~mmap ~compact ~labels_file () in
     let g = parse_graph_exit graph_file in
     let n = Graph.n g in
     if n = 0 then begin
@@ -867,14 +971,20 @@ let serve_stats_cmd =
       if kind = Store_mmap then Option.map (load_mmap_exit ~graph:g) labels_file
       else None
     in
+    let compact =
+      if kind = Store_compact then
+        Option.map (load_compact_exit ~graph:g) labels_file
+      else None
+    in
     let labels =
-      if mmap <> None then None else Option.map parse_labels_exit labels_file
+      if mmap <> None || compact <> None then None
+      else Option.map parse_labels_exit labels_file
     in
     Option.iter (fun (l, _) -> structural_exit g l) labels;
     let step_budget = if budget > 0 then Some budget else None in
     let registry = Metrics.create () in
     let oracle, cache_stats =
-      build_serving_oracle ~registry ~labels ~flat ~mmap ~cache_slots
+      build_serving_oracle ~registry ~labels ~flat ~mmap ~compact ~cache_slots
         ~step_budget ~spot_check ~quarantine_after:3 ~inject_fraction:0.0
         ~inject_mode:Fault_injector.Corrupt ~seed g
     in
@@ -924,8 +1034,8 @@ let serve_stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
       const run $ graph_file_arg $ labels_file_opt_arg $ num $ budget
-      $ spot_check $ flat $ mmap_arg $ cache_slots $ json $ format $ traces
-      $ metrics_out_arg $ seed_arg $ jobs_arg)
+      $ spot_check $ flat $ mmap_arg $ compact_arg $ cache_slots $ json
+      $ format $ traces $ metrics_out_arg $ seed_arg $ jobs_arg)
 
 (* serve loop: a long-lived query loop over a file or stdin, flushing
    periodic observability snapshots (metrics registry + recent traces +
@@ -1034,8 +1144,8 @@ let serve_loop_cmd =
   in
   let run graph_file labels_file queries_file flush_every flush_ticks
       clock_step traces events_cap budget spot_check quarantine_after flat
-      mmap cache_slots inject_fraction inject_mode echo batch metrics_out seed
-      jobs =
+      mmap compact cache_slots inject_fraction inject_mode echo batch
+      metrics_out seed jobs =
     apply_jobs jobs;
     if batch < 1 then begin
       Printf.eprintf "hubhard: --batch must be positive\n";
@@ -1045,7 +1155,7 @@ let serve_loop_cmd =
       Printf.eprintf "hubhard: --inject-fraction must lie in [0, 1]\n";
       exit 124
     end;
-    let kind = resolve_store_kind ~flat ~mmap ~labels_file () in
+    let kind = resolve_store_kind ~flat ~mmap ~compact ~labels_file () in
     if cache_slots < 0 || flush_every < 0 || flush_ticks < 0 || clock_step < 0
        || traces < 1 || events_cap < 1
     then begin
@@ -1073,8 +1183,14 @@ let serve_loop_cmd =
       if kind = Store_mmap then Option.map (load_mmap_exit ~graph:g) labels_file
       else None
     in
+    let compact =
+      if kind = Store_compact then
+        Option.map (load_compact_exit ~graph:g) labels_file
+      else None
+    in
     let labels =
-      if mmap <> None then None else Option.map parse_labels_exit labels_file
+      if mmap <> None || compact <> None then None
+      else Option.map parse_labels_exit labels_file
     in
     Option.iter (fun (l, _) -> structural_exit g l) labels;
     (* the store kind recorded in every snapshot, next to the metrics *)
@@ -1083,7 +1199,7 @@ let serve_loop_cmd =
     let registry = Metrics.create () in
     let oracle, _cache_stats =
       build_serving_oracle ~clock ~instrument_primary:(batch = 1) ~registry
-        ~labels ~flat ~mmap ~cache_slots ~step_budget ~spot_check
+        ~labels ~flat ~mmap ~compact ~cache_slots ~step_budget ~spot_check
         ~quarantine_after ~inject_fraction ~inject_mode ~seed g
     in
     let recorder = Trace.recorder ~capacity:traces in
@@ -1298,9 +1414,9 @@ let serve_loop_cmd =
     Term.(
       const run $ graph_file_arg $ labels_file_opt_arg $ queries_file
       $ flush_every $ flush_ticks $ clock_step $ traces $ events_cap $ budget
-      $ spot_check $ quarantine_after $ flat $ mmap_arg $ cache_slots
-      $ inject_fraction $ inject_mode $ echo $ batch $ metrics_out_arg
-      $ seed_arg $ jobs_arg)
+      $ spot_check $ quarantine_after $ flat $ mmap_arg $ compact_arg
+      $ cache_slots $ inject_fraction $ inject_mode $ echo $ batch
+      $ metrics_out_arg $ seed_arg $ jobs_arg)
 
 (* serve worker / serve router: the supervised sharded tier. A worker
    speaks the Wire protocol over stdin/stdout and owns one partition
@@ -1357,12 +1473,12 @@ let serve_worker_cmd =
     Arg.(value & opt int 3 & info [ "quarantine-after" ] ~docv:"Q" ~doc)
   in
   let run graph_file labels_file shards shard partition chaos budget spot_check
-      quarantine_after clock_step mmap seed =
+      quarantine_after clock_step mmap compact seed =
     if shards < 1 || shard < 0 || shard >= shards then begin
       Printf.eprintf "hubhard: need 0 <= --shard < --shards\n";
       exit 124
     end;
-    let kind = resolve_store_kind ~mmap ~labels_file () in
+    let kind = resolve_store_kind ~mmap ~compact ~labels_file () in
     let chaos =
       match chaos with
       | None -> None
@@ -1382,8 +1498,14 @@ let serve_worker_cmd =
       if kind = Store_mmap then Option.map (load_mmap_exit ~graph:g) labels_file
       else None
     in
+    let compact =
+      if kind = Store_compact then
+        Option.map (load_compact_exit ~graph:g) labels_file
+      else None
+    in
     let labels =
-      if mmap <> None then None else Option.map parse_labels_exit labels_file
+      if mmap <> None || compact <> None then None
+      else Option.map parse_labels_exit labels_file
     in
     Option.iter (fun (l, _) -> structural_exit g l) labels;
     let cfg =
@@ -1391,6 +1513,7 @@ let serve_worker_cmd =
         Worker.graph = g;
         labels = Option.map fst labels;
         mmap;
+        compact;
         shards;
         shard;
         partition;
@@ -1415,7 +1538,7 @@ let serve_worker_cmd =
     Term.(
       const run $ graph_file_arg $ labels_file_opt_arg $ shards_arg ~default:1
       $ shard $ partition_arg $ chaos $ budget $ spot_check $ quarantine_after
-      $ clock_step_arg $ mmap_arg $ seed_arg)
+      $ clock_step_arg $ mmap_arg $ compact_arg $ seed_arg)
 
 let serve_router_cmd =
   let queries_file =
@@ -1477,7 +1600,7 @@ let serve_router_cmd =
   in
   let run graph_file labels_file queries_file ops shards partition chaos batch
       deadline_ms max_restarts backoff_ms worker_exe echo spot_check clock_step
-      mmap metrics_out seed =
+      mmap compact metrics_out seed =
     if shards < 1 || batch < 1 || deadline_ms < 1 || max_restarts < 0
        || backoff_ms < 0 || clock_step < 0
     then begin
@@ -1486,7 +1609,7 @@ let serve_router_cmd =
          --max-restarts/--backoff-ms/--clock-step non-negative\n";
       exit 124
     end;
-    let kind = resolve_store_kind ~mmap ~labels_file () in
+    let kind = resolve_store_kind ~mmap ~compact ~labels_file () in
     let op_reqs =
       List.map
         (fun s ->
@@ -1541,8 +1664,13 @@ let serve_router_cmd =
       if kind = Store_mmap then Option.map (load_mmap_exit ~graph:g) labels_file
       else None
     in
+    let compact_store =
+      if kind = Store_compact then
+        Option.map (load_compact_exit ~graph:g) labels_file
+      else None
+    in
     let labels =
-      if mmap_store <> None then None
+      if mmap_store <> None || compact_store <> None then None
       else Option.map parse_labels_exit labels_file
     in
     Option.iter (fun (l, _) -> structural_exit g l) labels;
@@ -1573,6 +1701,7 @@ let serve_router_cmd =
               (* exec'd workers map the packed file themselves; the OS
                  page cache still keeps one physical copy fleet-wide *)
               let base = if mmap then base @ [ "--mmap" ] else base in
+              let base = if compact then base @ [ "--compact" ] else base in
               let base =
                 match List.assoc_opt shard chaos with
                 | Some c ->
@@ -1586,6 +1715,7 @@ let serve_router_cmd =
         (Router.default_config g) with
         labels = Option.map fst labels;
         mmap = mmap_store;
+        compact = compact_store;
         shards;
         partition;
         supervisor =
@@ -1700,7 +1830,7 @@ let serve_router_cmd =
       const run $ graph_file_arg $ labels_file_opt_arg $ queries_file $ ops
       $ shards_arg ~default:2 $ partition_arg $ chaos $ batch $ deadline_ms
       $ max_restarts $ backoff_ms $ worker_exe $ echo $ spot_check
-      $ clock_step_arg $ mmap_arg $ metrics_out_arg $ seed_arg)
+      $ clock_step_arg $ mmap_arg $ compact_arg $ metrics_out_arg $ seed_arg)
 
 let serve_trace_cmd =
   let queries_file =
@@ -1787,7 +1917,7 @@ let serve_trace_cmd =
   in
   let run graph_file labels_file queries_file ops shards partition chaos batch
       deadline_ms max_restarts backoff_ms worker_exe spot_check trace_sample
-      slow_ms trace_format trace_out clock_step mmap metrics_out seed =
+      slow_ms trace_format trace_out clock_step mmap compact metrics_out seed =
     if shards < 1 || batch < 1 || deadline_ms < 1 || max_restarts < 0
        || backoff_ms < 0 || clock_step < 0 || trace_sample < 1 || slow_ms < 0
     then begin
@@ -1797,7 +1927,7 @@ let serve_trace_cmd =
          non-negative\n";
       exit 124
     end;
-    let kind = resolve_store_kind ~mmap ~labels_file () in
+    let kind = resolve_store_kind ~mmap ~compact ~labels_file () in
     let op_reqs =
       List.map
         (fun s ->
@@ -1852,8 +1982,13 @@ let serve_trace_cmd =
       if kind = Store_mmap then Option.map (load_mmap_exit ~graph:g) labels_file
       else None
     in
+    let compact_store =
+      if kind = Store_compact then
+        Option.map (load_compact_exit ~graph:g) labels_file
+      else None
+    in
     let labels =
-      if mmap_store <> None then None
+      if mmap_store <> None || compact_store <> None then None
       else Option.map parse_labels_exit labels_file
     in
     Option.iter (fun (l, _) -> structural_exit g l) labels;
@@ -1882,6 +2017,7 @@ let serve_trace_cmd =
                 | None -> base
               in
               let base = if mmap then base @ [ "--mmap" ] else base in
+              let base = if compact then base @ [ "--compact" ] else base in
               let base =
                 match List.assoc_opt shard chaos with
                 | Some c ->
@@ -1895,6 +2031,7 @@ let serve_trace_cmd =
         (Router.default_config g) with
         labels = Option.map fst labels;
         mmap = mmap_store;
+        compact = compact_store;
         shards;
         partition;
         supervisor =
@@ -2024,7 +2161,7 @@ let serve_trace_cmd =
       $ shards_arg ~default:3 $ partition_arg $ chaos $ batch $ deadline_ms
       $ max_restarts $ backoff_ms $ worker_exe $ spot_check $ trace_sample
       $ slow_ms $ trace_format $ trace_out $ clock_step_arg $ mmap_arg
-      $ metrics_out_arg $ seed_arg)
+      $ compact_arg $ metrics_out_arg $ seed_arg)
 
 let serve_cmd =
   let doc =

@@ -168,3 +168,27 @@ let flat_of_bytes_res s =
         ("msg", Repro_obs.Events.Str e.msg) ];
     Error e)
 
+(* ---------------------------------------------------------------- *)
+(* Compressed packed form: the HUBFLAT2 encoding of Compact_hub. *)
+
+let compact_magic = Compact_hub.magic
+
+let is_compact s =
+  String.length s >= String.length compact_magic
+  && String.sub s 0 (String.length compact_magic) = compact_magic
+
+let compact_to_bytes ?block flat = Compact_hub.to_bytes ?block flat
+
+let compact_of_bytes_res s =
+  (* the heap parse path validates in full, like flat_of_bytes_res;
+     shallow opens are the mmap path's business (Compact_hub.load_res) *)
+  match Compact_hub.of_bytes_res ~deep:true s with
+  | Ok t -> Ok t
+  | Error e ->
+      let err = { line = 0; msg = Compact_hub.error_to_string e } in
+      Repro_obs.Events.emit_ambient ~level:Repro_obs.Events.Warn
+        "hub_io.parse_failure"
+        [ ("byte", Repro_obs.Events.Int err.line);
+          ("msg", Repro_obs.Events.Str err.msg) ];
+      Error err
+

@@ -42,3 +42,26 @@ val flat_of_bytes_res : string -> (Flat_hub.t, parse_error) result
     mismatches and every CSR violation {!Flat_hub.of_raw} rejects. For
     this binary format the [line] field carries the byte offset of the
     offending word. *)
+
+(** {1 Compressed packed form}
+
+    The [HUBFLAT2] encoding of {!Compact_hub}: delta-varint hub ids,
+    zigzag-varint distances against a per-vertex base, block skip
+    tables (see that module for the layout). Also canonical, so
+    save → load → save round-trips byte-for-byte. *)
+
+val compact_magic : string
+(** The 8-byte magic ["HUBFLAT2"] that opens every compressed file. *)
+
+val is_compact : string -> bool
+(** Whether the string starts with the compressed-form magic (used to
+    auto-detect binary label files next to {!is_packed}). *)
+
+val compact_to_bytes : ?block:int -> Flat_hub.t -> string
+(** {!Compact_hub.to_bytes} under the IO spans. *)
+
+val compact_of_bytes_res : string -> (Compact_hub.t, parse_error) result
+(** Deep-validated heap decode ({!Compact_hub.of_bytes_res}
+    [~deep:true] — the parse mirror of {!flat_of_bytes_res}'s full
+    validation), with the typed {!Compact_hub.error} rendered into the
+    uniform [parse_error]. *)

@@ -40,6 +40,45 @@ let bits_per_vertex t =
   let n = Hub_label.n t in
   if n = 0 then 0.0 else float_of_int (bits_naive t) /. float_of_int n
 
+type packed_sizes = {
+  entries : int;
+  avg_size : float;
+  max_size : int;
+  flat1_bytes : int;
+  flat2_bytes : int;
+  flat1_bits_per_entry : float;
+  flat2_bits_per_entry : float;
+}
+
+let packed_sizes flat =
+  let n = Flat_hub.n flat in
+  let entries = Flat_hub.total_size flat in
+  let max_size = ref 0 in
+  for v = 0 to n - 1 do
+    let s = Flat_hub.size flat v in
+    if s > !max_size then max_size := s
+  done;
+  let flat1_bytes = String.length (Hub_io.flat_to_bytes flat) in
+  let flat2_bytes = String.length (Compact_hub.to_bytes flat) in
+  let per b = if entries = 0 then 0. else 8. *. float_of_int b /. float_of_int entries in
+  { entries;
+    avg_size = (if n = 0 then 0. else float_of_int entries /. float_of_int n);
+    max_size = !max_size;
+    flat1_bytes;
+    flat2_bytes;
+    flat1_bits_per_entry = per flat1_bytes;
+    flat2_bits_per_entry = per flat2_bytes }
+
+let packed_report p =
+  Printf.sprintf
+    "entries: %d\navg hubs/vertex: %.2f\nmax hubs: %d\n\
+     HUBFLAT1: %d bytes (%.1f bits/entry)\n\
+     HUBFLAT2: %d bytes (%.1f bits/entry)\ncompression: %.2fx"
+    p.entries p.avg_size p.max_size p.flat1_bytes p.flat1_bits_per_entry
+    p.flat2_bytes p.flat2_bits_per_entry
+    (if p.flat2_bytes = 0 then 0.
+     else float_of_int p.flat1_bytes /. float_of_int p.flat2_bytes)
+
 let report t =
   let n = Hub_label.n t in
   Printf.sprintf

@@ -146,6 +146,11 @@ let mmap_primary ?step_budget store =
     (fun u v -> Mmap_hub.size store u + Mmap_hub.size store v)
     step_budget
 
+let compact_primary ?step_budget store =
+  budget_capped (Compact_hub.backend store)
+    (fun u v -> Compact_hub.size store u + Compact_hub.size store v)
+    step_budget
+
 let create ?step_budget ?spot_check_every ?quarantine_after ?metrics ?labels
     ?primary ?primary_ops g =
   let primary =

@@ -102,6 +102,10 @@ val mmap_primary : ?step_budget:int -> Mmap_hub.t -> Repro_obs.Backend.t
 (** {!Mmap_hub.backend} with the same scan-budget cap — the zero-copy
     store slots into the identical degradation chain. *)
 
+val compact_primary : ?step_budget:int -> Compact_hub.t -> Repro_obs.Backend.t
+(** {!Compact_hub.backend} with the same scan-budget cap — the
+    compressed store slots into the identical degradation chain. *)
+
 val query : t -> int -> int -> int
 (** Exact distance ({!Dist.inf} when disconnected) whenever spot
     checks are exhaustive or the primary is honest.

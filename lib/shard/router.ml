@@ -17,6 +17,7 @@ type config = {
   graph : Graph.t;
   labels : Hub_label.t option;
   mmap : Mmap_hub.t option;
+  compact : Compact_hub.t option;
   shards : int;
   partition : Partition.spec;
   supervisor : Supervisor.config;
@@ -35,6 +36,7 @@ let default_config graph =
     graph;
     labels = None;
     mmap = None;
+    compact = None;
     shards = 2;
     partition = Partition.Range;
     supervisor = Supervisor.default_config;
@@ -296,6 +298,7 @@ let worker_config cfg ~shard ~with_chaos =
     Worker.graph = cfg.graph;
     labels = cfg.labels;
     mmap = cfg.mmap;
+    compact = cfg.compact;
     shards = cfg.shards;
     shard;
     partition = cfg.partition;
@@ -446,11 +449,13 @@ let create cfg =
   | Some l when Hub_label.n l <> Graph.n cfg.graph ->
       invalid_arg "Router.create: labels and graph disagree on n"
   | _ -> ());
-  (match (cfg.mmap, cfg.labels) with
-  | Some _, Some _ ->
-      invalid_arg "Router.create: pass ~labels or ~mmap, not both"
-  | Some m, None when Mmap_hub.n m <> Graph.n cfg.graph ->
+  (match (cfg.mmap, cfg.compact, cfg.labels) with
+  | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
+      invalid_arg "Router.create: pass at most one of ~labels/~mmap/~compact"
+  | Some m, None, None when Mmap_hub.n m <> Graph.n cfg.graph ->
       invalid_arg "Router.create: mmap store and graph disagree on n"
+  | None, Some c, None when Compact_hub.n c <> Graph.n cfg.graph ->
+      invalid_arg "Router.create: compact store and graph disagree on n"
   | _ -> ());
   (match cfg.trace with
   | Some tc ->

@@ -64,6 +64,10 @@ type config = {
           exec-mode spawn functions must arrange for the child to map
           the same file itself (the CLI appends [--mmap]). Mutually
           exclusive with [labels]. *)
+  compact : Compact_hub.t option;
+      (** compressed zero-copy worker primaries: the same spawn
+          contract as [mmap] over a [HUBFLAT2] store (the CLI appends
+          [--compact]). Mutually exclusive with [labels] and [mmap]. *)
   shards : int;
   partition : Partition.spec;
   supervisor : Supervisor.config;

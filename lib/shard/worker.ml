@@ -7,6 +7,7 @@ type config = {
   graph : Graph.t;
   labels : Hub_label.t option;
   mmap : Mmap_hub.t option;
+  compact : Compact_hub.t option;
   shards : int;
   shard : int;
   partition : Partition.spec;
@@ -23,6 +24,7 @@ let default_config graph =
     graph;
     labels = None;
     mmap = None;
+    compact = None;
     shards = 1;
     shard = 0;
     partition = Partition.Range;
@@ -88,10 +90,10 @@ let write_response ~chaos ~frames_written output resp =
 
 let build_backend cfg metrics clock =
   let primary, primary_ops =
-    match (cfg.mmap, cfg.labels) with
-    | Some _, Some _ ->
-        invalid_arg "Worker.run: pass ~labels or ~mmap, not both"
-    | Some store, None ->
+    match (cfg.mmap, cfg.compact, cfg.labels) with
+    | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
+        invalid_arg "Worker.run: pass at most one of ~labels/~mmap/~compact"
+    | Some store, None, None ->
         (* Zero-copy mode: every worker maps the same whole file (one
            page-cache copy fleet-wide), so there is no heap slice to
            cut — partition routing at the router already confines which
@@ -100,7 +102,17 @@ let build_backend cfg metrics clock =
           invalid_arg "Worker.run: mmap store and graph disagree on n";
         ( Some (Resilient_oracle.mmap_primary ?step_budget:cfg.step_budget store),
           Some (Mmap_hub.ops store) )
-    | None, Some labels ->
+    | None, Some store, None ->
+        (* Compressed mode: like mmap mode, every worker maps the same
+           whole HUBFLAT2 file through the page cache — now ~6x fewer
+           resident bytes per fleet. *)
+        if Compact_hub.n store <> Graph.n cfg.graph then
+          invalid_arg "Worker.run: compact store and graph disagree on n";
+        ( Some
+            (Resilient_oracle.compact_primary ?step_budget:cfg.step_budget
+               store),
+          Some (Compact_hub.ops store) )
+    | None, None, Some labels ->
         let slice =
           Partition.slice cfg.partition ~shards:cfg.shards ~shard:cfg.shard
             labels
@@ -108,7 +120,7 @@ let build_backend cfg metrics clock =
         let flat = Flat_hub.of_labels slice in
         ( Some (Resilient_oracle.flat_primary ?step_budget:cfg.step_budget flat),
           Some (Flat_hub.ops flat) )
-    | None, None -> (None, None)
+    | None, None, None -> (None, None)
   in
   let oracle =
     Resilient_oracle.create ?step_budget:cfg.step_budget

@@ -41,6 +41,11 @@ type config = {
           arrive; the OS page cache keeps one physical copy across all
           workers mapping the same file). Mutually exclusive with
           [labels]. *)
+  compact : Compact_hub.t option;
+      (** compressed zero-copy primary: the whole mapped [HUBFLAT2]
+          store, with the same one-page-cache-copy sharing as [mmap]
+          at a fraction of the bytes. Mutually exclusive with [labels]
+          and [mmap]. *)
   shards : int;
   shard : int;
   partition : Partition.spec;

@@ -1,0 +1,226 @@
+(* Unit suite for the compressed Compact_hub store: golden
+   byte-stability pin of the HUBFLAT2 encoding, heap/map decode
+   equivalence with the flat store (across block sizes, so the
+   skip-table leap path is exercised), the direct-mapped cache, batch
+   queries, measured size accounting and the Backend surface. The
+   adversarial byte battery lives in test_io_adversarial.ml; the
+   oracle-equality chain in test_differential.ml. *)
+
+open Repro_hub
+module Checksum = Repro_par.Checksum
+
+(* The same fixed-seed fixture as test_mmap_hub: every byte of the
+   compressed image is a pure function of these parameters. *)
+let fixture =
+  lazy
+    (let g = Gen.build_connected (24, 40, 4242) in
+     let labels = Pll.build g in
+     let flat = Flat_hub.of_labels labels in
+     (flat, Compact_hub.to_bytes flat))
+
+(* sha256 of the fixture's HUBFLAT2 bytes. If this pin moves, the
+   compressed byte layout changed: every previously written .cbin
+   label file just became unreadable. That is a format break and must
+   be deliberate, not accidental. *)
+let golden_sha256 =
+  "9dcd80e03c05b4139f558ce6908a2fa93cc11f88cb4934177c0cdf662eb9980a"
+
+let test_golden_pin () =
+  let _, bytes = Lazy.force fixture in
+  let got = Checksum.sha256_hex bytes in
+  if got <> golden_sha256 then
+    Alcotest.failf
+      "packed HUBFLAT2 bytes drifted: sha256 %s, pinned %s — this breaks \
+       every existing compressed label file"
+      got golden_sha256
+
+let test_save_load_save_stable () =
+  let flat, bytes = Lazy.force fixture in
+  (* heap decode *)
+  let heap = Test_util.compact_of_flat ~deep:true flat in
+  let again = Compact_hub.to_bytes (Compact_hub.to_flat heap) in
+  Test_util.check_bool "parse -> thaw -> save is byte-identical" true
+    (String.equal bytes again);
+  (* zero-copy decode *)
+  let map = Test_util.compact_map_of_flat ~deep:true flat in
+  let again = Compact_hub.to_bytes (Compact_hub.to_flat map) in
+  Test_util.check_bool "map -> thaw -> save is byte-identical" true
+    (String.equal bytes again)
+
+let check_store_matches_flat flat store =
+  let n = Flat_hub.n flat in
+  Test_util.check_int "n" n (Compact_hub.n store);
+  Test_util.check_int "total" (Flat_hub.total_size flat)
+    (Compact_hub.total_size store);
+  for v = 0 to n - 1 do
+    Test_util.check_int "size" (Flat_hub.size flat v) (Compact_hub.size store v);
+    if Flat_hub.hubs flat v <> Compact_hub.hubs store v then
+      Alcotest.failf "hubset of %d differs" v
+  done;
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      Test_util.check_int
+        (Printf.sprintf "d(%d,%d)" u v)
+        (Flat_hub.query flat u v) (Compact_hub.query store u v)
+    done
+  done;
+  Test_util.check_bool "to_flat round trip" true
+    (Flat_hub.equal flat (Compact_hub.to_flat store))
+
+let test_store_matches_flat () =
+  let flat, _ = Lazy.force fixture in
+  check_store_matches_flat flat (Test_util.compact_of_flat ~deep:true flat);
+  check_store_matches_flat flat (Test_util.compact_map_of_flat ~deep:true flat)
+
+(* Tiny blocks force hubsets across many blocks, so the merge takes
+   the skip-table leaps and the mid-stream absolute re-anchors; block
+   1 is the degenerate all-skip layout. *)
+let test_block_sizes () =
+  let flat, _ = Lazy.force fixture in
+  List.iter
+    (fun block ->
+      check_store_matches_flat flat
+        (Test_util.compact_of_flat ~deep:true ~block flat))
+    [ 1; 2; 3; 4; 7; 1024 ]
+
+let test_validate_entries_ok () =
+  let flat, _ = Lazy.force fixture in
+  let store = Test_util.compact_map_of_flat flat in
+  match Compact_hub.validate_entries store with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "pristine: %s" (Compact_hub.error_to_string e)
+
+let test_sizes () =
+  let flat, bytes = Lazy.force fixture in
+  let store = Test_util.compact_of_flat flat in
+  Test_util.check_int "bytes" (String.length bytes) (Compact_hub.bytes store);
+  Test_util.check_int "block" Compact_hub.default_block
+    (Compact_hub.block store);
+  let bpe = Compact_hub.bits_per_entry store in
+  Test_util.check_bool "bits/entry is measured from the file" true
+    (abs_float
+       (bpe
+       -. 8. *. float_of_int (String.length bytes)
+          /. float_of_int (Flat_hub.total_size flat))
+    < 1e-9);
+  (* the stats satellite agrees with the store's own accounting *)
+  let p = Hub_stats.packed_sizes flat in
+  Test_util.check_int "stats entries" (Flat_hub.total_size flat) p.entries;
+  Test_util.check_int "stats HUBFLAT2 bytes" (String.length bytes)
+    p.Hub_stats.flat2_bytes;
+  Test_util.check_int "stats HUBFLAT1 bytes"
+    (String.length (Hub_io.flat_to_bytes flat))
+    p.Hub_stats.flat1_bytes;
+  Test_util.check_bool "compressed beats flat" true
+    (p.Hub_stats.flat2_bytes < p.Hub_stats.flat1_bytes)
+
+let test_cache () =
+  let flat, _ = Lazy.force fixture in
+  let store = Test_util.compact_of_flat ~cache_slots:8 flat in
+  let d1 = Compact_hub.query store 1 2 in
+  let d2 = Compact_hub.query store 1 2 in
+  let d3 = Compact_hub.query store 2 1 in
+  Test_util.check_int "repeat" d1 d2;
+  Test_util.check_int "unordered pair key" d1 d3;
+  (match Compact_hub.cache_stats store with
+  | Some (hits, misses) ->
+      Test_util.check_int "hits" 2 hits;
+      Test_util.check_int "misses" 1 misses
+  | None -> Alcotest.fail "expected cache stats");
+  Test_util.check_bool "uncached has no stats" true
+    (Compact_hub.cache_stats (Compact_hub.with_cache ~cache_slots:0 store)
+    = None);
+  Alcotest.check_raises "negative slots"
+    (Invalid_argument "Compact_hub: cache_slots must be non-negative")
+    (fun () -> ignore (Compact_hub.with_cache ~cache_slots:(-1) store))
+
+let test_query_validation () =
+  let flat, _ = Lazy.force fixture in
+  let store = Test_util.compact_of_flat flat in
+  Alcotest.check_raises "query range" (Invalid_argument "Compact_hub.query")
+    (fun () -> ignore (Compact_hub.query store 0 (Compact_hub.n store)));
+  Alcotest.check_raises "negative endpoint"
+    (Invalid_argument "Compact_hub.query") (fun () ->
+      ignore (Compact_hub.query store (-1) 0))
+
+let test_query_many () =
+  let flat, _ = Lazy.force fixture in
+  let store = Test_util.compact_map_of_flat flat in
+  let cached = Test_util.compact_of_flat ~cache_slots:16 flat in
+  let n = Compact_hub.n store in
+  let pairs = Gen.query_pairs ~seed:99 ~n 64 in
+  let want = Array.map (fun (u, v) -> Compact_hub.query store u v) pairs in
+  Test_util.check_bool "batch = loop (pool fan-out)" true
+    (Compact_hub.query_many store pairs = want);
+  Test_util.check_bool "batch = loop (cached, sequential)" true
+    (Compact_hub.query_many cached pairs = want);
+  (match Compact_hub.cache_stats cached with
+  | Some (hits, misses) ->
+      Test_util.check_int "stats cover batch" 64 (hits + misses)
+  | None -> Alcotest.fail "expected cache stats");
+  Alcotest.check_raises "batch validates endpoints"
+    (Invalid_argument "Compact_hub.query_many") (fun () ->
+      ignore (Compact_hub.query_many store [| (0, n) |]))
+
+let test_backend () =
+  let flat, _ = Lazy.force fixture in
+  let store = Test_util.compact_of_flat flat in
+  let b = Compact_hub.backend store in
+  Alcotest.(check string) "name" "compact-hub-labeling"
+    (Repro_obs.Backend.name b);
+  Test_util.check_int "space" (Compact_hub.space_words store)
+    (Repro_obs.Backend.space_words b);
+  let d, tr = Repro_obs.Backend.query_detailed b 3 4 in
+  Test_util.check_int "dist" (Compact_hub.query store 3 4) d;
+  Test_util.check_int "entries scanned"
+    (Compact_hub.size store 3 + Compact_hub.size store 4)
+    tr.Repro_obs.Trace.entries_scanned;
+  (* a cached backend reports Hit with zero scanned entries *)
+  let cb = Compact_hub.backend (Test_util.compact_of_flat ~cache_slots:4 flat) in
+  ignore (Repro_obs.Backend.query b 5 6);
+  ignore (Repro_obs.Backend.query cb 5 6);
+  let _, tr2 = Repro_obs.Backend.query_detailed cb 5 6 in
+  Test_util.check_bool "cache hit" true
+    (tr2.Repro_obs.Trace.cache = Repro_obs.Trace.Hit);
+  Test_util.check_int "hit scans nothing" 0 tr2.Repro_obs.Trace.entries_scanned
+
+(* Randomised equivalence: any labeling, any block size, heap and map
+   decodes both answer exactly like the flat store. *)
+let prop_matches_flat =
+  Test_util.qcheck ~count:40 "compact = flat on random labelings"
+    QCheck2.Gen.(
+      pair (Gen.connected_gen ~max_n:20 ~max_deg:4 ()) (int_range 1 8))
+    (fun (params, block) ->
+      let g = Gen.build_connected params in
+      let flat = Flat_hub.of_labels (Pll.build g) in
+      let heap = Test_util.compact_of_flat ~deep:true ~block flat in
+      let map = Test_util.compact_map_of_flat ~deep:true ~block flat in
+      let n = Flat_hub.n flat in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          let want = Flat_hub.query flat u v in
+          if Compact_hub.query heap u v <> want then ok := false;
+          if Compact_hub.query map u v <> want then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "golden sha256 pin of compressed bytes" `Quick
+      test_golden_pin;
+    Alcotest.test_case "save -> load -> save is stable" `Quick
+      test_save_load_save_stable;
+    Alcotest.test_case "compact store = flat store everywhere" `Quick
+      test_store_matches_flat;
+    Alcotest.test_case "every block size agrees" `Quick test_block_sizes;
+    Alcotest.test_case "validate_entries accepts pristine" `Quick
+      test_validate_entries_ok;
+    Alcotest.test_case "measured bytes and bits/entry" `Quick test_sizes;
+    Alcotest.test_case "direct-mapped cache" `Quick test_cache;
+    Alcotest.test_case "query endpoint validation" `Quick test_query_validation;
+    Alcotest.test_case "query_many batch = loop" `Quick test_query_many;
+    Alcotest.test_case "backend surface and traces" `Quick test_backend;
+    prop_matches_flat;
+  ]

@@ -2,10 +2,12 @@
    must agree, query by query, with BFS ground truth — on random sparse
    graphs, on disconnected graphs (infinity handling), on weighted
    graphs, and on the paper's G_{b,l} degree-3 gadget instances. The
-   packed Flat_hub store and the zero-copy Mmap_hub view of the same
-   bytes are run alongside the assoc Hub_label they were frozen from,
-   so neither layout optimisation can silently diverge from the
-   structures it replaced. *)
+   packed Flat_hub store, the zero-copy Mmap_hub view of the same
+   bytes, and the compressed Compact_hub store (heap, mmap and cached,
+   with block sizes small enough to force the skip table) are run
+   alongside the assoc Hub_label they were frozen from, so no layout
+   optimisation can silently diverge from the structures it
+   replaced. *)
 
 open Repro_graph
 open Repro_hub
@@ -24,6 +26,11 @@ let unweighted_backends g =
   let flat_cached = Flat_hub.of_labels ~cache_slots:32 pll in
   let mm = Test_util.mmap_of_flat ~deep:true flat in
   let mm_cached = Test_util.mmap_of_flat ~cache_slots:32 flat in
+  (* a tiny block size forces multi-block regions (and therefore the
+     skip table) even on these small generated graphs *)
+  let compact = Test_util.compact_of_flat ~deep:true ~block:2 flat in
+  let compact_mm = Test_util.compact_map_of_flat ~deep:true flat in
+  let compact_cached = Test_util.compact_of_flat ~cache_slots:32 flat in
   let hhl = Canonical_hhl.build ~order:(Order.by_degree g) g in
   let w = Wgraph.of_unweighted g in
   [
@@ -32,6 +39,9 @@ let unweighted_backends g =
     ("flat-cached", Flat_hub.query flat_cached);
     ("mmap", Mmap_hub.query mm);
     ("mmap-cached", Mmap_hub.query mm_cached);
+    ("compact", Compact_hub.query compact);
+    ("compact-mmap", Compact_hub.query compact_mm);
+    ("compact-cached", Compact_hub.query compact_cached);
     ("canonical-hhl", Hub_label.query hhl);
     ("dijkstra-unit", fun u v -> (Dijkstra.distances w u).(v));
     ( "bidirectional",
@@ -81,13 +91,15 @@ let diff_weighted =
       let labels = Pll.build_w w in
       let flat = Flat_hub.of_labels labels in
       let mm = Test_util.mmap_of_flat ~deep:true flat in
+      let compact = Test_util.compact_of_flat ~deep:true ~block:3 flat in
       let n = Wgraph.n w in
       Array.for_all
         (fun (u, v) ->
           let truth = (Dijkstra.distances w u).(v) in
           Hub_label.query labels u v = truth
           && Flat_hub.query flat u v = truth
-          && Mmap_hub.query mm u v = truth)
+          && Mmap_hub.query mm u v = truth
+          && Compact_hub.query compact u v = truth)
         (Gen.query_pairs ~seed ~n 10))
 
 (* G_{2,1} is deterministic; build its backends once and vary only the
@@ -102,14 +114,16 @@ let gadget_fixture =
      let pll = Pll.build g in
      let flat = Flat_hub.of_labels pll in
      let mm = Test_util.mmap_of_flat ~deep:true flat in
-     (g, pll, flat, mm))
+     let compact = Test_util.compact_map_of_flat ~deep:true flat in
+     (g, pll, flat, mm, compact))
 
 let diff_gadget =
-  Test_util.qcheck "G_{2,1} gadget: mmap = flat = assoc = BFS = bidirectional"
+  Test_util.qcheck
+    "G_{2,1} gadget: compact = mmap = flat = assoc = BFS = bidirectional"
     ~count:8
     QCheck2.Gen.(int_range 0 1_000_000)
     (fun seed ->
-      let g, pll, flat, mm = Lazy.force gadget_fixture in
+      let g, pll, flat, mm, compact = Lazy.force gadget_fixture in
       let n = Graph.n g in
       Array.for_all
         (fun (u, v) ->
@@ -117,11 +131,55 @@ let diff_gadget =
           Hub_label.query pll u v = truth
           && Flat_hub.query flat u v = truth
           && Mmap_hub.query mm u v = truth
+          && Compact_hub.query compact u v = truth
           &&
           match Budget_search.bidirectional g ~budget:inf_budget u v with
           | Some d -> d = truth
           | None -> false)
         (Gen.query_pairs ~seed ~n 6))
+
+(* Job-count invariance: the compact store's batched queries and
+   aggregate ops must be identical across worker counts and equal to
+   the flat store's answers (which the batteries above tie to BFS). *)
+let diff_compact_jobs =
+  Test_util.qcheck "compact query_many/ops invariant across job counts"
+    ~count:12
+    (Gen.connected_gen ~max_n:20 ~max_deg:4 ())
+    (fun ((_, _, seed) as params) ->
+      let g = Gen.build_connected params in
+      let flat = Flat_hub.of_labels (Pll.build g) in
+      let compact = Test_util.compact_of_flat ~deep:true ~block:2 flat in
+      let n = Graph.n g in
+      let pairs = Gen.query_pairs ~seed ~n 12 in
+      let expected = Flat_hub.query_many flat pairs in
+      let reqs =
+        Repro_obs.Ops.
+          [
+            Batch pairs;
+            One_to_many
+              { source = 0; targets = Array.init n (fun i -> n - 1 - i) };
+            Top_k_nearest { source = seed mod n; k = 3 };
+            Eccentricity (seed mod n);
+            Farthest 0;
+            Diameter_radius;
+          ]
+      in
+      let flat_ops = Flat_hub.ops flat in
+      let module F = (val flat_ops : Repro_obs.Backend.S_ops) in
+      List.for_all
+        (fun jobs ->
+          Repro_par.Pool.with_pool ~jobs (fun pool ->
+              Compact_hub.query_many ~pool compact pairs = expected
+              &&
+              let module C =
+                (val Compact_hub.ops ~pool compact : Repro_obs.Backend.S_ops)
+              in
+              List.for_all
+                (fun req ->
+                  Repro_obs.Ops.response_to_string (C.op req)
+                  = Repro_obs.Ops.response_to_string (F.op req))
+                reqs))
+        [ 1; 2; 4 ])
 
 (* The TZ oracle is approximate by design: differential bounds instead
    of equality — never below the truth, never above 3x. *)
@@ -144,5 +202,6 @@ let suite =
     diff_disconnected;
     diff_weighted;
     diff_gadget;
+    diff_compact_jobs;
     diff_tz_stretch;
   ]

@@ -561,6 +561,273 @@ let prop_mmap_load_total =
       | Ok store -> Mmap_hub.n store >= 0 && Mmap_hub.total_size store >= 0
       | Error _ -> true)
 
+(* ----- Compact_hub (compressed zero-copy store) ----------------------
+   The HUBFLAT2 decoder faces a strictly nastier input space than
+   HUBFLAT1: variable-length varints, deltas, and a skip table full of
+   byte offsets. Same contract: every malformed image surfaces as a
+   typed [Compact_hub.error] under deep validation, and a shallowly
+   accepted image may answer queries wrongly but never crashes, hangs
+   or reads out of bounds. *)
+
+let compact_fixture =
+  lazy
+    (let labels =
+       Hub_label.make ~n:3
+         (Array.of_list
+            [ [ (0, 0) ]; [ (0, 1); (1, 0) ]; [ (0, 2); (1, 1); (2, 0) ] ])
+     in
+     Compact_hub.to_bytes (Flat_hub.of_labels labels))
+
+let compact_err name ?deep bytes =
+  match Compact_hub.of_bytes_res ?deep bytes with
+  | Ok _ -> Alcotest.failf "%s: expected a load error" name
+  | Error e -> e
+
+let cexpect name got want =
+  if got <> want then
+    Alcotest.failf "%s: got %s, wanted %s" name
+      (Compact_hub.error_to_string got)
+      (Compact_hub.error_to_string want)
+
+(* hand-assemble a HUBFLAT2 image so every byte is known exactly *)
+let mk ?(magic = "HUBFLAT2") ~n ~total ~block ~ent_off ~byte_off blob =
+  let blob_len = String.length blob in
+  let words = 5 + (2 * (n + 1)) in
+  let pad = (8 - (blob_len mod 8)) mod 8 in
+  let out = Bytes.make ((8 * words) + blob_len + pad) '\000' in
+  Bytes.blit_string magic 0 out 0 8;
+  let w = ref 1 in
+  let put x =
+    Bytes.set_int64_le out (8 * !w) (Int64.of_int x);
+    incr w
+  in
+  put n;
+  put total;
+  put block;
+  put blob_len;
+  Array.iter put ent_off;
+  Array.iter put byte_off;
+  Bytes.blit_string blob 0 out (8 * words) blob_len;
+  Bytes.to_string out
+
+let u32s x =
+  String.init 4 (fun i -> Char.chr ((x lsr (8 * i)) land 0xff))
+
+let skip_entry ~hub ~off = u32s hub ^ u32s off
+
+(* one vertex, one entry per block: region = 8-byte skip entry, base
+   varint, then (hub varint, zigzag varint) *)
+let mk1 blob ~k =
+  mk ~n:1 ~total:k ~block:1 ~ent_off:[| 0; k |]
+    ~byte_off:[| 0; String.length blob |]
+    blob
+
+let test_compact_pristine () =
+  let bytes = Lazy.force compact_fixture in
+  Test_util.check_int "fixture size" 144 (String.length bytes);
+  match Compact_hub.of_bytes_res ~deep:true bytes with
+  | Error e -> Alcotest.failf "pristine: %s" (Compact_hub.error_to_string e)
+  | Ok store ->
+      Test_util.check_int "n" 3 (Compact_hub.n store);
+      Test_util.check_int "total" 6 (Compact_hub.total_size store);
+      Test_util.check_int "d(0,2)" 2 (Compact_hub.query store 0 2);
+      Test_util.check_int "d(2,1)" 1 (Compact_hub.query store 2 1)
+
+(* cut the image at every byte boundary; the error constructor is fully
+   determined by the cut length (offsets only decode past the header) *)
+let test_compact_truncated_every_byte () =
+  let bytes = Lazy.force compact_fixture in
+  let full_words = String.length bytes / 8 in
+  for k = 0 to String.length bytes - 1 do
+    let name = Printf.sprintf "cut at %d" k in
+    let e = compact_err name (String.sub bytes 0 k) in
+    let want =
+      if k < 40 then Compact_hub.Too_short { bytes = k }
+      else if k mod 8 <> 0 then Compact_hub.Misaligned { bytes = k }
+      else
+        Compact_hub.Length_mismatch
+          { expected_words = full_words; actual_words = k / 8 }
+    in
+    cexpect name e want
+  done
+
+let test_compact_hostile_header () =
+  let bytes = Lazy.force compact_fixture in
+  (match compact_err "magic" (patch bytes ~word:0 0L) with
+  | Compact_hub.Bad_magic -> ()
+  | e -> Alcotest.failf "magic: got %s" (Compact_hub.error_to_string e));
+  let bad_header name word v want_byte =
+    match compact_err name (patch bytes ~word v) with
+    | Compact_hub.Bad_header { word = b; _ } when b = want_byte -> ()
+    | e -> Alcotest.failf "%s: got %s" name (Compact_hub.error_to_string e)
+  in
+  bad_header "negative n" 1 (-1L) 8;
+  bad_header "overflowing n" 1 Int64.max_int 8;
+  bad_header "n beyond 2^31" 1 0x8000_0000L 8;
+  bad_header "negative total" 2 Int64.min_int 16;
+  bad_header "zero block" 3 0L 24;
+  bad_header "negative blob_len" 4 (-5L) 32;
+  (match compact_err "inflated n" (patch bytes ~word:1 4L) with
+  | Compact_hub.Length_mismatch _ -> ()
+  | e -> Alcotest.failf "inflated n: got %s" (Compact_hub.error_to_string e));
+  (* blob_len far beyond the file: the saturated length check rejects
+     it before any allocation *)
+  (match compact_err "huge blob_len" (patch bytes ~word:4 0x10_0000_0000L) with
+  | Compact_hub.Length_mismatch { expected_words; _ } ->
+      Test_util.check_int "saturated" max_int expected_words
+  | e -> Alcotest.failf "huge blob_len: got %s" (Compact_hub.error_to_string e));
+  (match compact_err "misaligned tail" (bytes ^ "xyz") with
+  | Compact_hub.Misaligned _ -> ()
+  | e ->
+      Alcotest.failf "misaligned tail: got %s" (Compact_hub.error_to_string e));
+  match compact_err "trailing word" (bytes ^ String.make 8 '\x00') with
+  | Compact_hub.Length_mismatch { expected_words = 18; actual_words = 19 } -> ()
+  | e -> Alcotest.failf "trailing word: got %s" (Compact_hub.error_to_string e)
+
+(* ent_off lives at words 5..8 (0,1,3,6), byte_off at words 9..12
+   (0,11,24,39) for the 3-vertex fixture *)
+let test_compact_hostile_offsets () =
+  let bytes = Lazy.force compact_fixture in
+  let bad word v name =
+    match compact_err name (patch bytes ~word v) with
+    | Compact_hub.Bad_offsets _ -> ()
+    | e -> Alcotest.failf "%s: got %s" name (Compact_hub.error_to_string e)
+  in
+  bad 5 1L "entry offsets must start at 0";
+  bad 5 (-1L) "negative first entry offset";
+  bad 7 0L "decreasing entry offsets";
+  bad 8 7L "entry offset beyond total";
+  bad 8 5L "final entry offset below total";
+  bad 8 Int64.max_int "entry offset beyond int range";
+  bad 9 (-3L) "negative byte offset";
+  bad 11 1L "decreasing byte offsets";
+  bad 12 38L "final byte offset below blob_len";
+  (* monotone but leaving vertex 0 less room than its skip table: the
+     shallow room check must refuse, or the query path could read the
+     next vertex's bytes as skip slots *)
+  bad 10 3L "region too small for its skip table"
+
+(* deep mode strictly re-decodes every region; shallow mode accepts the
+   same images and must then answer queries without crashing (possibly
+   wrongly — the resilient serving layer spot-checks for that). *)
+let test_compact_hostile_varints () =
+  let deep_rejects name ?(k = 1) ~substr blob =
+    (match compact_err name ~deep:true (mk1 blob ~k) with
+    | Compact_hub.Bad_entry { msg; _ } ->
+        let contains s sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        if not (contains msg substr) then
+          Alcotest.failf "%s: message %S does not mention %S" name msg substr
+    | e -> Alcotest.failf "%s: got %s" name (Compact_hub.error_to_string e));
+    match Compact_hub.of_bytes_res (mk1 blob ~k) with
+    | Error e ->
+        Alcotest.failf "%s: shallow load must accept blob rot, got %s" name
+          (Compact_hub.error_to_string e)
+    | Ok store ->
+        (* totality: a clamped decode of hostile bytes, never a crash *)
+        ignore (Compact_hub.query store 0 0)
+  in
+  (* canonical single-entry region, for reference: skip(0,9) 00 00 00 *)
+  (match
+     Compact_hub.of_bytes_res ~deep:true
+       (mk1 (skip_entry ~hub:0 ~off:9 ^ "\x00\x00\x00") ~k:1)
+   with
+  | Ok store -> Test_util.check_int "canonical d(0,0)" 0 (Compact_hub.query store 0 0)
+  | Error e -> Alcotest.failf "canonical: %s" (Compact_hub.error_to_string e));
+  (* a continuation bit on every byte runs off the region end *)
+  deep_rejects "continuation forever" ~substr:"truncated varint"
+    (skip_entry ~hub:0 ~off:9 ^ "\xff\xff\xff");
+  (* non-minimal encoding of the base (0x80 0x00 = 0) *)
+  deep_rejects "overlong varint" ~substr:"overlong varint"
+    (skip_entry ~hub:0 ~off:10 ^ "\x80\x00\x00\x00");
+  (* nine continuation bytes overflow a 63-bit native int *)
+  deep_rejects "varint overflows int" ~substr:"overflows a native int"
+    (skip_entry ~hub:0 ~off:17 ^ String.make 9 '\xff' ^ "\x01\x00\x00");
+  (* the skip table must describe the actual layout *)
+  deep_rejects "skip offset out of range" ~substr:"byte offset mismatch"
+    (skip_entry ~hub:0 ~off:0xffff ^ "\x00\x00\x00");
+  deep_rejects "skip first-hub mismatch" ~substr:"first hub mismatch"
+    (skip_entry ~hub:5 ~off:9 ^ "\x00\x00\x00");
+  (* delta pushes the hub id out of [0, n) *)
+  deep_rejects "hub out of range" ~substr:"hub out of range"
+    (skip_entry ~hub:5 ~off:9 ^ "\x00\x05\x00");
+  (* zigzag below the base: a negative distance *)
+  deep_rejects "negative distance" ~substr:"bad distance"
+    (skip_entry ~hub:0 ~off:9 ^ "\x00\x00\x01");
+  deep_rejects "trailing region bytes" ~substr:"trailing bytes"
+    (skip_entry ~hub:0 ~off:9 ^ "\x00\x00\x00\x00");
+  (* an empty hubset must own an empty region *)
+  match
+    compact_err "empty hubset, bytes" ~deep:true
+      (mk ~n:1 ~total:0 ~block:1 ~ent_off:[| 0; 0 |] ~byte_off:[| 0; 1 |]
+         "\x00")
+  with
+  | Compact_hub.Bad_entry { msg = "empty hubset with a non-empty region"; _ }
+    -> ()
+  | e ->
+      Alcotest.failf "empty hubset: got %s" (Compact_hub.error_to_string e)
+
+let test_compact_not_a_file () =
+  (match Compact_hub.load_res "/nonexistent/hubhard/labels.cbin" with
+  | Error (Compact_hub.Io _) -> ()
+  | Error e ->
+      Alcotest.failf "missing file: got %s" (Compact_hub.error_to_string e)
+  | Ok _ -> Alcotest.fail "missing file: expected an error");
+  (match Compact_hub.load_res (Filename.get_temp_dir_name ()) with
+  | Error (Compact_hub.Not_regular _ | Compact_hub.Io _) -> ()
+  | Error e ->
+      Alcotest.failf "directory: got %s" (Compact_hub.error_to_string e)
+  | Ok _ -> Alcotest.fail "directory: expected an error");
+  (* Hub_io's auto-detecting entry point funnels the same errors into
+     its parse_error type *)
+  match Hub_io.compact_of_bytes_res "HUBFLAT2 and then garbage" with
+  | Error e -> Test_util.check_int "parse_error line" 0 e.Graph_io.line
+  | Ok _ -> Alcotest.fail "garbage after magic accepted"
+
+let prop_compact_load_total =
+  Test_util.qcheck "Compact_hub.of_bytes_res is total on random bytes"
+    ~count:150
+    QCheck2.Gen.(string_size ~gen:char (int_range 0 220))
+    (fun s ->
+      (* force the interesting prefix half the time *)
+      let s =
+        if String.length s > 0 && Char.code s.[0] land 1 = 0 then
+          "HUBFLAT2" ^ s
+        else s
+      in
+      match Compact_hub.of_bytes_res ~deep:true s with
+      | Ok store ->
+          Compact_hub.n store >= 0 && Compact_hub.total_size store >= 0
+      | Error _ -> true)
+
+(* memory safety under single-byte corruption: whatever a flipped byte
+   does to the blob, a shallowly accepted store must answer every query
+   (the skip-table merge clamps and terminates) *)
+let prop_compact_flipped_byte_safe =
+  Test_util.qcheck "Compact_hub survives any single flipped byte" ~count:200
+    QCheck2.Gen.(pair (int_range 0 143) (int_range 1 255))
+    (fun (pos, delta) ->
+      let bytes = Bytes.of_string (Lazy.force compact_fixture) in
+      Bytes.set bytes pos
+        (Char.chr ((Char.code (Bytes.get bytes pos) + delta) land 0xff));
+      match Compact_hub.of_bytes_res (Bytes.to_string bytes) with
+      | Error _ -> true
+      | Ok store ->
+          let n = Compact_hub.n store in
+          (try
+             for u = 0 to n - 1 do
+               for v = 0 to n - 1 do
+                 ignore (Compact_hub.query store u v)
+               done
+             done;
+             true
+           with
+          | Invalid_argument _ -> true
+          | _ -> false))
+
 let suite =
   [
     Alcotest.test_case "graph truncated input" `Quick test_graph_truncated;
@@ -598,4 +865,18 @@ let suite =
     Alcotest.test_case "mmap non-regular and missing files" `Quick
       test_mmap_not_a_file;
     prop_mmap_load_total;
+    Alcotest.test_case "compact pristine fixture loads" `Quick
+      test_compact_pristine;
+    Alcotest.test_case "compact truncation at every byte" `Quick
+      test_compact_truncated_every_byte;
+    Alcotest.test_case "compact hostile header words" `Quick
+      test_compact_hostile_header;
+    Alcotest.test_case "compact hostile offsets" `Quick
+      test_compact_hostile_offsets;
+    Alcotest.test_case "compact hostile varints (deep vs shallow)" `Quick
+      test_compact_hostile_varints;
+    Alcotest.test_case "compact non-regular and missing files" `Quick
+      test_compact_not_a_file;
+    prop_compact_load_total;
+    prop_compact_flipped_byte_safe;
   ]

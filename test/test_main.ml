@@ -26,6 +26,7 @@ let () =
       ("observability", Test_obs.suite);
       ("parallel", Test_par.suite);
       ("mmap-hub", Test_mmap_hub.suite);
+      ("compact-hub", Test_compact_hub.suite);
       ("ops", Test_ops.suite);
       ("trace-ctx", Test_trace_ctx.suite);
     ]

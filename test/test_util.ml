@@ -23,3 +23,28 @@ let mmap_of_flat ?cache_slots ?deep flat =
   match res with
   | Ok store -> store
   | Error e -> Alcotest.failf "mmap_of_flat: %s" (Repro_hub.Mmap_hub.error_to_string e)
+
+(* Same round trip for the compressed HUBFLAT2 store's zero-copy path. *)
+let compact_map_of_flat ?cache_slots ?deep ?block flat =
+  let path = Filename.temp_file "hubhard_compact" ".bin" in
+  let oc = open_out_bin path in
+  output_string oc (Repro_hub.Compact_hub.to_bytes ?block flat);
+  close_out oc;
+  let res = Repro_hub.Compact_hub.load_res ?cache_slots ?deep path in
+  Sys.remove path;
+  match res with
+  | Ok store -> store
+  | Error e ->
+      Alcotest.failf "compact_map_of_flat: %s"
+        (Repro_hub.Compact_hub.error_to_string e)
+
+(* The heap decode of the same bytes (no file involved). *)
+let compact_of_flat ?cache_slots ?deep ?block flat =
+  match
+    Repro_hub.Compact_hub.of_bytes_res ?cache_slots ?deep
+      (Repro_hub.Compact_hub.to_bytes ?block flat)
+  with
+  | Ok store -> store
+  | Error e ->
+      Alcotest.failf "compact_of_flat: %s"
+        (Repro_hub.Compact_hub.error_to_string e)
